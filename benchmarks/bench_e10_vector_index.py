@@ -1,0 +1,111 @@
+"""E10 — embedding search at scale: the recall/throughput trade-off.
+
+Paper (section 4): "Users need tools for searching and querying these
+embeddings ... performing these operations at industrial scale will be
+non-trivial as the size of embeddings and their associated models are
+continuing to increase."
+
+Protocol: index 20k 64-d vectors with each index family; measure recall@10
+against exact search, queries/second, and candidate distance evaluations
+per query (work saved). The reproduction target: approximate indexes trade
+a little recall for orders of magnitude less work.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    BruteForceIndex,
+    HNSWIndex,
+    IVFFlatIndex,
+    LSHIndex,
+    recall_at_k,
+)
+
+N_VECTORS = 10_000
+DIM = 64
+N_QUERIES = 50
+K = 10
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    # Clustered vectors: realistic embedding geometry (ANN-friendly).
+    centers = rng.normal(size=(64, DIM)) * 3.0
+    assignment = rng.integers(0, 64, size=N_VECTORS)
+    vectors = centers[assignment] + rng.normal(size=(N_VECTORS, DIM))
+    queries = vectors[rng.choice(N_VECTORS, size=N_QUERIES, replace=False)] + (
+        rng.normal(size=(N_QUERIES, DIM)) * 0.1
+    )
+    return vectors, queries
+
+
+@pytest.fixture(scope="module")
+def exact_results(data):
+    vectors, queries = data
+    index = BruteForceIndex()
+    index.build(vectors)
+    return index, [index.query(q, K) for q in queries]
+
+
+def index_families():
+    return [
+        ("brute", BruteForceIndex()),
+        ("lsh(12t,14b)", LSHIndex(n_tables=12, n_bits=14, seed=0)),
+        ("ivf(128c,8p)", IVFFlatIndex(n_cells=128, n_probes=8, seed=0)),
+        ("hnsw(m8,ef96)", HNSWIndex(m=8, ef_construction=64, ef_search=96, seed=0)),
+    ]
+
+
+def test_e10_vector_index_tradeoff(benchmark, data, exact_results, report):
+    vectors, queries = data
+    __, exact = exact_results
+
+    rows = []
+    stats = {}
+    for name, index in index_families():
+        build_start = time.perf_counter()
+        index.build(vectors)
+        build_seconds = time.perf_counter() - build_start
+
+        index.distance_evaluations = 0
+        query_start = time.perf_counter()
+        results = [index.query(q, K) for q in queries]
+        query_seconds = time.perf_counter() - query_start
+
+        recalls = [
+            recall_at_k(approx, truth, K) for approx, truth in zip(results, exact)
+        ]
+        qps = N_QUERIES / query_seconds
+        work = index.distance_evaluations / N_QUERIES
+        stats[name] = (float(np.mean(recalls)), qps, work)
+        rows.append(
+            [name, float(np.mean(recalls)), f"{qps:,.0f}", f"{work:,.0f}",
+             f"{build_seconds:.2f}s"]
+        )
+
+    # Benchmark the HNSW query path (the headline ANN structure).
+    hnsw = HNSWIndex(m=8, ef_construction=64, ef_search=96, seed=0)
+    hnsw.build(vectors)
+    benchmark(hnsw.query, queries[0], K)
+
+    report.line(f"E10: recall@{K} vs throughput, {N_VECTORS} x {DIM} vectors")
+    report.table(
+        ["index", "recall@10", "qps", "dist_evals/q", "build"], rows, width=16
+    )
+    brute_work = stats["brute"][2]
+    for name in ("ivf(128c,8p)", "hnsw(m8,ef96)"):
+        report.line(f"{name}: {brute_work / stats[name][2]:.0f}x less work, "
+                    f"recall {stats[name][0]:.3f}")
+
+    assert stats["brute"][0] == 1.0
+    for name, (recall, __, work) in stats.items():
+        if name == "brute":
+            continue
+        assert recall > 0.7, name
+        assert work < brute_work / 3, name

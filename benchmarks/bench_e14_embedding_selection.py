@@ -1,0 +1,118 @@
+"""E14 — selecting the right embedding for a task under constraints.
+
+Paper (section 3.1.2): "Users need to ... search over possible embeddings
+and select the best ones for their task. ... There is little available work
+on finding the right embedding to use, especially given compute or memory
+constraints. The work of May et al. takes a first step by a variant of the
+eigenspace overlap score as a way of predicting downstream performance."
+
+Protocol: an embedding store holds 9 versions (the base plus compressed
+variants at several memory budgets). Selecting by full downstream
+evaluation is the gold standard but costs one model training per version;
+EOS screening evaluates only the top-3 EOS candidates. We compare the
+selected version's downstream accuracy and the number of evaluations spent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.core.embedding_store import EmbeddingStore, Provenance
+from repro.datagen import CorpusConfig, generate_corpus
+from repro.embeddings import (
+    PpmiSvdConfig,
+    kmeans_codebook_compress,
+    pca_compress,
+    train_ppmi_svd,
+    uniform_quantize,
+)
+from repro.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def world():
+    corpus = generate_corpus(
+        CorpusConfig(vocab_size=400, n_topics=10, n_sentences=1200,
+                     sentence_length=6, topic_purity=0.6),
+        seed=0,
+    )
+    base = train_ppmi_svd(corpus, PpmiSvdConfig(dim=48))
+    store = EmbeddingStore(clock=SimClock())
+    store.register("words", base, Provenance(trainer="ppmi_svd"))
+    for rank in (4, 12, 32):
+        store.register("words", pca_compress(base, rank).embedding,
+                       Provenance(trainer=f"pca{rank}", parent_version=1))
+    for bits in (1, 4):
+        store.register("words", uniform_quantize(base, bits).embedding,
+                       Provenance(trainer=f"quant{bits}", parent_version=1))
+    for codes in (8, 64, 256):
+        store.register(
+            "words", kmeans_codebook_compress(base, codes, seed=0).embedding,
+            Provenance(trainer=f"kmeans{codes}", parent_version=1),
+        )
+
+    rng = np.random.default_rng(0)
+    train_mask = rng.random(len(corpus.sentences)) < 0.5
+
+    def evaluate(embedding):
+        features = np.stack(
+            [embedding.vectors[s].mean(axis=0) for s in corpus.sentences]
+        )
+        labels = corpus.sentence_topics
+        model = LogisticRegression(epochs=120).fit(
+            features[train_mask], labels[train_mask]
+        )
+        return float(
+            np.mean(model.predict(features[~train_mask]) == labels[~train_mask])
+        )
+
+    return store, evaluate
+
+
+def test_e14_embedding_selection(benchmark, world, report):
+    store, evaluate = world
+
+    evaluation_counter = {"n": 0}
+
+    def counted(embedding):
+        evaluation_counter["n"] += 1
+        return evaluate(embedding)
+
+    # Gold standard: evaluate every version.
+    best_full, full_scores = store.select_version("words", counted)
+    full_evaluations = evaluation_counter["n"]
+
+    # EOS-screened: evaluate only the 3 most base-like versions.
+    evaluation_counter["n"] = 0
+    best_screened, screened_scores = store.select_version(
+        "words", counted, screen_with_eos=True,
+        eos_reference_version=1, eos_keep=3,
+    )
+    screened_evaluations = evaluation_counter["n"]
+
+    benchmark(
+        store.select_version, "words", evaluate,
+        True, 1, 3,
+    )
+
+    rows = [
+        ["full evaluation", f"v{best_full.version}",
+         full_scores[best_full.version], full_evaluations],
+        ["EOS-screened (keep 3)", f"v{best_screened.version}",
+         screened_scores[best_screened.version], screened_evaluations],
+    ]
+    report.line("E14: task-aware embedding selection "
+                f"({store.latest_version('words')} stored versions)")
+    report.table(
+        ["strategy", "picked", "task_accuracy", "evals"], rows, width=22
+    )
+    regret = full_scores[best_full.version] - screened_scores[best_screened.version]
+    report.line(f"screening spends {screened_evaluations}/{full_evaluations} "
+                f"evaluations for {regret:.3f} accuracy regret "
+                "(May et al.'s EOS as a cheap pre-screen)")
+
+    assert full_evaluations == 9
+    assert screened_evaluations == 3
+    assert regret <= 0.02

@@ -1,0 +1,116 @@
+"""E15 — near-real-time detection: sequential vs windowed monitors.
+
+Paper (section 2.2.3): feature stores need "near real-time outlier and
+input drift detection". Windowed monitors (E6) must wait for a full window
+before testing; sequential detectors (Page-Hinkley, CUSUM) process every
+event and can fire mid-window.
+
+Protocol: a stream shifts its mean at a known point. We measure detection
+*delay in events* for CUSUM and Page-Hinkley against the windowed PSI/KS
+monitor at two window sizes, across shift magnitudes, plus false-alarm
+rates on stationary streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from repro.monitoring.monitor import AlertLog, FeatureMonitor
+from repro.monitoring.sequential import CusumDetector, PageHinkley
+
+CHANGE_POINT = 1000
+STREAM_LENGTH = 3000
+SHIFTS = (0.5, 1.0, 3.0)  # in reference sigmas
+N_TRIALS = 10
+
+
+def make_stream(shift_sigmas, seed):
+    rng = np.random.default_rng(seed)
+    before = rng.normal(10.0, 2.0, size=CHANGE_POINT)
+    after = rng.normal(10.0 + shift_sigmas * 2.0, 2.0,
+                       size=STREAM_LENGTH - CHANGE_POINT)
+    return np.concatenate([before, after])
+
+
+def windowed_delay(reference, stream, window):
+    """First alert index of a windowed monitor, as an event count."""
+    monitor = FeatureMonitor("x", reference, AlertLog())
+    for start in range(0, len(stream) - window + 1, window):
+        fired = monitor.observe(stream[start : start + window], timestamp=start)
+        if fired:
+            return start + window  # known only once the window closes
+    return None
+
+
+def sequential_delay(detector_factory, reference, stream):
+    detector = detector_factory(reference)
+    fired_at = detector.process(stream)
+    return fired_at
+
+
+def mean_delay(fn, reference):
+    delays = {}
+    for shift in SHIFTS:
+        per_trial = []
+        for trial in range(N_TRIALS):
+            fired = fn(reference, make_stream(shift, seed=100 + trial))
+            per_trial.append(
+                np.nan if fired is None or fired <= CHANGE_POINT
+                else fired - CHANGE_POINT
+            )
+        delays[shift] = float(np.nanmean(per_trial))
+    return delays
+
+
+def false_alarm_rate(fn, reference):
+    alarms = 0
+    for trial in range(N_TRIALS):
+        stream = np.random.default_rng(500 + trial).normal(
+            10.0, 2.0, size=STREAM_LENGTH
+        )
+        if fn(reference, stream) is not None:
+            alarms += 1
+    return alarms / N_TRIALS
+
+
+def test_e15_sequential_detection(benchmark, report):
+    reference = np.random.default_rng(0).normal(10.0, 2.0, size=2000)
+
+    detectors = {
+        "cusum (k=.5,h=10)": lambda ref, s: sequential_delay(
+            CusumDetector, ref, s
+        ),
+        "page-hinkley": lambda ref, s: sequential_delay(PageHinkley, ref, s),
+        "windowed-500": lambda ref, s: windowed_delay(ref, s, 500),
+        "windowed-100": lambda ref, s: windowed_delay(ref, s, 100),
+    }
+
+    benchmark(CusumDetector(reference).process, make_stream(3.0, seed=0))
+
+    rows = []
+    results = {}
+    for name, fn in detectors.items():
+        delays = mean_delay(fn, reference)
+        fa = false_alarm_rate(fn, reference)
+        results[name] = (delays, fa)
+        rows.append(
+            [name, delays[0.5], delays[1.0], delays[3.0], fa]
+        )
+
+    report.line("E15: detection delay (events after the change) by detector")
+    report.table(
+        ["detector", "0.5-sigma", "1-sigma", "3-sigma", "false_alarm"],
+        rows,
+        width=18,
+    )
+    report.line("sequential detectors fire within tens of events; windowed "
+                "monitors pay at least one window of latency")
+
+    cusum_delays, cusum_fa = results["cusum (k=.5,h=10)"]
+    win500_delays, __ = results["windowed-500"]
+    # Sequential detection of a large shift is much faster than waiting for
+    # a 500-event window, at zero observed false alarms.
+    assert cusum_delays[3.0] < 25
+    assert win500_delays[3.0] >= 100
+    assert cusum_fa <= 0.1  # rare false alarms over 3000-event streams
+    # Even the subtle 0.5-sigma shift is eventually caught sequentially.
+    assert not np.isnan(cusum_delays[0.5])

@@ -1,0 +1,81 @@
+"""E1 — structured data boosts rare-entity NED by ~40 F1 points.
+
+Paper (section 3.1.1, quoting Orr et al. / Bootleg): "by adding structured
+data of the type of an entity and its knowledge graph relations, they could
+boost performance over rare entities by 40 F1 points."
+
+Regenerates the three-model comparison (prior-only, embeddings-only,
+structured) on a Zipfian synthetic KB, reporting overall / head / tail F1.
+The reproduction target is the *shape*: a large (tens of points) tail boost
+from type + relation features with head performance unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import KBConfig, MentionConfig, generate_kb, generate_mentions
+from repro.embeddings import train_entity_embeddings
+from repro.ned import (
+    CandidateFeaturizer,
+    NedModel,
+    TypeClassifier,
+    evaluate_model,
+    tail_entity_ids,
+)
+from repro.ned.features import FEATURE_NAMES
+
+CONFIGURATIONS = [
+    ("prior-only", ("log_prior",)),
+    ("embeddings", ("log_prior", "cooccurrence")),
+    ("structured", FEATURE_NAMES),
+]
+
+
+@pytest.fixture(scope="module")
+def ned_setup():
+    kb = generate_kb(KBConfig(n_entities=2000, n_types=25, n_aliases=400), seed=0)
+    sample = generate_mentions(kb, MentionConfig(n_mentions=8000), seed=0)
+    train, dev = sample.split(train_fraction=0.8, seed=1)
+    entity_emb, token_emb = train_entity_embeddings(
+        train, kb.n_entities, sample.vocabulary.size, dim=64
+    )
+    type_clf = TypeClassifier(sample.vocabulary).fit(train, kb)
+    featurizer = CandidateFeaturizer(
+        kb, sample.vocabulary, entity_emb, token_emb, type_clf
+    )
+    featurized_train = featurizer.featurize_all(train)
+    featurized_dev = featurizer.featurize_all(dev)
+    tails = tail_entity_ids(train, kb.n_entities, tail_threshold=2)
+    return kb, featurized_train, featurized_dev, tails
+
+
+def test_e1_rare_entity_f1(benchmark, ned_setup, report):
+    kb, featurized_train, featurized_dev, tails = ned_setup
+
+    def train_structured():
+        return NedModel(feature_subset=FEATURE_NAMES).fit(featurized_train)
+
+    benchmark(train_structured)
+
+    rows = []
+    results = {}
+    for name, subset in CONFIGURATIONS:
+        model = NedModel(feature_subset=subset).fit(featurized_train)
+        evaluation = evaluate_model(model, featurized_dev, tails)
+        results[name] = evaluation
+        rows.append(
+            [name, evaluation.overall_f1, evaluation.head_f1, evaluation.tail_f1]
+        )
+
+    report.line("E1: rare-entity F1 (paper: structured data boosts tail ~40 pts)")
+    report.line(f"KB: {kb.n_entities} entities, tail = <=2 train mentions "
+                f"({len(tails)} entities)")
+    report.table(["model", "overall_f1", "head_f1", "tail_f1"], rows)
+    boost = (results["structured"].tail_f1 - results["embeddings"].tail_f1) * 100
+    report.line(f"tail boost from structured data: {boost:.1f} F1 points "
+                "(paper: ~40)")
+
+    assert boost > 20.0
+    assert results["structured"].head_f1 > 0.9
+    assert results["embeddings"].head_tail_gap > 0.2

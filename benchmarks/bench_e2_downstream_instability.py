@@ -1,0 +1,109 @@
+"""E2 — downstream instability of retrained embeddings.
+
+Paper (section 3.1.2, citing Leszczynski et al.): downstream instability is
+"the number of predictions that change with different embeddings". Their
+finding: instability is substantial even between same-data retrains, and
+grows as the embedding's memory budget (dimension) shrinks.
+
+Protocol: train SGNS embeddings from several seeds at each dimension; train
+the *same* downstream classifier (sentence-topic prediction from averaged
+word vectors, fixed model seed) on each; report the mean pairwise
+prediction-disagreement on a shared test set.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.datagen import CorpusConfig, generate_corpus
+from repro.embeddings import SgnsConfig, downstream_instability, train_sgns
+from repro.models import LogisticRegression
+
+DIMS = (4, 8, 16, 64)
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # Short, impure sentences keep the downstream task genuinely hard
+    # (accuracy well below 1.0), which is where instability lives.
+    return generate_corpus(
+        CorpusConfig(
+            vocab_size=600,
+            n_topics=12,
+            n_sentences=1500,
+            sentence_length=5,
+            topic_purity=0.55,
+            zipf_exponent=1.2,
+        ),
+        seed=0,
+    )
+
+
+def sentence_features(embedding, corpus):
+    return np.stack(
+        [embedding.vectors[s].mean(axis=0) for s in corpus.sentences]
+    )
+
+
+def downstream_predictions(embedding, corpus, train_mask):
+    features = sentence_features(embedding, corpus)
+    labels = corpus.sentence_topics
+    model = LogisticRegression(epochs=150).fit(
+        features[train_mask], labels[train_mask]
+    )
+    return model.predict(features[~train_mask])
+
+
+@pytest.fixture(scope="module")
+def instability_by_dim(corpus):
+    rng = np.random.default_rng(0)
+    train_mask = rng.random(len(corpus.sentences)) < 0.5
+    results = {}
+    for dim in DIMS:
+        predictions = []
+        accuracies = []
+        for seed in SEEDS:
+            emb = train_sgns(corpus, SgnsConfig(dim=dim, epochs=2), seed=seed)
+            preds = downstream_predictions(emb, corpus, train_mask)
+            predictions.append(preds)
+            accuracies.append(
+                float(np.mean(preds == corpus.sentence_topics[~train_mask]))
+            )
+        disagreements = [
+            downstream_instability(a, b) for a, b in combinations(predictions, 2)
+        ]
+        results[dim] = (float(np.mean(disagreements)), float(np.mean(accuracies)))
+    return results
+
+
+def test_e2_downstream_instability(benchmark, corpus, instability_by_dim, report):
+    emb_a = train_sgns(corpus, SgnsConfig(dim=16, epochs=1), seed=10)
+    emb_b = train_sgns(corpus, SgnsConfig(dim=16, epochs=1), seed=11)
+    rng = np.random.default_rng(0)
+    train_mask = rng.random(len(corpus.sentences)) < 0.7
+    preds_a = downstream_predictions(emb_a, corpus, train_mask)
+    preds_b = downstream_predictions(emb_b, corpus, train_mask)
+
+    benchmark(downstream_instability, preds_a, preds_b)
+
+    report.line("E2: downstream instability vs embedding dimension")
+    report.line("(Leszczynski et al.: instability grows as memory shrinks)")
+    rows = [
+        [dim, instability_by_dim[dim][0], instability_by_dim[dim][1]]
+        for dim in DIMS
+    ]
+    report.table(["dim", "instability", "accuracy"], rows)
+
+    smallest = instability_by_dim[DIMS[0]][0]
+    largest = instability_by_dim[DIMS[-1]][0]
+    report.line(f"instability at dim={DIMS[0]}: {smallest:.3f}; "
+                f"at dim={DIMS[-1]}: {largest:.3f}")
+
+    # Shape assertions: retrains genuinely disagree, and the smallest
+    # dimension is less stable than the largest.
+    assert smallest > 0.02
+    assert smallest > largest

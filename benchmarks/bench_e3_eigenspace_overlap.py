@@ -1,0 +1,109 @@
+"""E3 — eigenspace overlap score predicts compressed-embedding performance.
+
+Paper (section 3.1.2, citing May et al.): the eigenspace overlap score is
+"a way of predicting downstream performance" of compressed embeddings.
+
+Protocol: train a base embedding; compress it along four families
+(uniform quantization at several bit widths, PCA at several ranks, k-means
+codebooks at several sizes, product quantization at several block counts);
+for each compressed variant measure (a) its EOS
+against the base and (b) the downstream accuracy of a classifier trained on
+it. Report both per variant plus the Spearman rank correlation — the
+reproduction target is a strong positive correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.datagen import CorpusConfig, generate_corpus
+from repro.embeddings import (
+    PpmiSvdConfig,
+    eigenspace_overlap_score,
+    kmeans_codebook_compress,
+    pca_compress,
+    product_quantize,
+    train_ppmi_svd,
+    uniform_quantize,
+)
+from repro.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = generate_corpus(
+        CorpusConfig(
+            vocab_size=500,
+            n_topics=10,
+            n_sentences=1500,
+            sentence_length=6,
+            topic_purity=0.6,
+        ),
+        seed=0,
+    )
+    base = train_ppmi_svd(corpus, PpmiSvdConfig(dim=64))
+    rng = np.random.default_rng(0)
+    train_mask = rng.random(len(corpus.sentences)) < 0.5
+    return corpus, base, train_mask
+
+
+def downstream_accuracy(embedding, corpus, train_mask):
+    features = np.stack(
+        [embedding.vectors[s].mean(axis=0) for s in corpus.sentences]
+    )
+    labels = corpus.sentence_topics
+    model = LogisticRegression(epochs=150).fit(
+        features[train_mask], labels[train_mask]
+    )
+    return float(
+        np.mean(model.predict(features[~train_mask]) == labels[~train_mask])
+    )
+
+
+def compression_sweep(base):
+    variants = []
+    for bits in (1, 2, 4, 8):
+        variants.append((f"quant-{bits}b", uniform_quantize(base, bits)))
+    for rank in (2, 8, 24, 48):
+        variants.append((f"pca-r{rank}", pca_compress(base, rank)))
+    for codes in (4, 16, 64, 256):
+        variants.append(
+            (f"kmeans-{codes}", kmeans_codebook_compress(base, codes, seed=0))
+        )
+    for subvectors in (2, 8, 16):
+        variants.append(
+            (f"pq-{subvectors}x16",
+             product_quantize(base, n_subvectors=subvectors, n_codes=16, seed=0))
+        )
+    return variants
+
+
+def test_e3_eigenspace_overlap(benchmark, setup, report):
+    corpus, base, train_mask = setup
+    variants = compression_sweep(base)
+
+    benchmark(eigenspace_overlap_score, base, variants[0][1].embedding)
+
+    base_accuracy = downstream_accuracy(base, corpus, train_mask)
+    rows = []
+    scores = []
+    accuracies = []
+    for name, result in variants:
+        eos = eigenspace_overlap_score(base, result.embedding)
+        accuracy = downstream_accuracy(result.embedding, corpus, train_mask)
+        scores.append(eos)
+        accuracies.append(accuracy)
+        rows.append([name, result.compression_ratio, eos, accuracy])
+
+    spearman = stats.spearmanr(scores, accuracies)
+    report.line("E3: eigenspace overlap score vs downstream accuracy")
+    report.line(f"(May et al.: EOS predicts performance; base accuracy "
+                f"{base_accuracy:.3f})")
+    report.table(["variant", "ratio", "eos", "accuracy"], rows)
+    report.line(f"Spearman rank correlation EOS~accuracy: "
+                f"{spearman.statistic:.3f} (p={spearman.pvalue:.2g})")
+
+    assert spearman.statistic > 0.5
+    assert spearman.pvalue < 0.05

@@ -1,0 +1,69 @@
+"""E4 — nearest-neighbour instability of retrained word embeddings.
+
+Paper (section 3.1.2, citing Wendlandt et al. and Hellrich & Hahn):
+embedding nearest neighbourhoods are surprisingly unstable across retrains
+even on identical data, and rare words are less stable than frequent ones —
+"the embeddings do not well represent rare things".
+
+Protocol: train SGNS on the same corpus with several seeds; per word,
+measure the overlap of its 10-NN sets across seed pairs; report mean
+overlap per frequency decile (0 = rarest).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.datagen import CorpusConfig, generate_corpus
+from repro.embeddings import SgnsConfig, knn_overlap, train_sgns
+
+SEEDS = (0, 1, 2)
+K = 10
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = generate_corpus(
+        CorpusConfig(vocab_size=500, n_topics=10, n_sentences=2000, sentence_length=8),
+        seed=0,
+    )
+    embeddings = [
+        train_sgns(corpus, SgnsConfig(dim=32, epochs=2), seed=seed) for seed in SEEDS
+    ]
+    return corpus, embeddings
+
+
+def test_e4_nn_stability(benchmark, setup, report):
+    corpus, embeddings = setup
+
+    benchmark(knn_overlap, embeddings[0], embeddings[1], K,
+              np.arange(0, corpus.vocab_size, 10))
+
+    overlaps = np.mean(
+        [knn_overlap(a, b, k=K) for a, b in combinations(embeddings, 2)], axis=0
+    )
+    deciles = corpus.frequency_deciles()
+    rows = []
+    decile_means = []
+    for decile in range(10):
+        mask = deciles == decile
+        mean_overlap = float(overlaps[mask].mean())
+        mean_freq = float(corpus.word_frequencies[mask].mean())
+        decile_means.append(mean_overlap)
+        rows.append([decile, mean_freq, mean_overlap])
+
+    report.line(f"E4: {K}-NN overlap across retrained embeddings "
+                f"({len(SEEDS)} seeds, same corpus)")
+    report.line("(Wendlandt et al.: neighbourhoods are unstable; "
+                "rare words least stable)")
+    report.table(["freq_decile", "mean_freq", "knn_overlap"], rows)
+    report.line(f"overall mean overlap: {overlaps.mean():.3f} "
+                "(1.0 would mean perfectly stable)")
+
+    # Shape: instability is real (overlap well below 1) and the rarest
+    # decile is less stable than the most frequent one.
+    assert overlaps.mean() < 0.95
+    assert decile_means[0] < decile_means[9]

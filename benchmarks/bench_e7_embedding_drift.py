@@ -1,0 +1,116 @@
+"""E7 — tabular metrics miss embedding drift; embedding-native metrics catch it.
+
+Paper (section 3.1): "With embeddings, standard metrics and tools for
+managing tabular features are no longer adequate as embeddings are derived
+data. For example, embeddings are often compared by dot product similarity,
+and existing FS metrics such as null value count do not capture drifts or
+changes in embeddings with respect to this metric."
+
+Protocol: apply four embedding changes (none, rotation, rescaling, partial
+retrain, full retrain); for each, ask (a) the tabular null-count monitor and
+(b) the embedding drift monitor whether anything changed, and measure the
+actual downstream damage when the changed embedding is served to a model
+trained on the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import ortho_group
+
+from repro.datagen import KBConfig, MentionConfig, generate_entity_task, generate_kb, generate_mentions
+from repro.embeddings import EmbeddingMatrix, train_entity_embeddings
+from repro.models import LogisticRegression
+from repro.monitoring import (
+    EmbeddingDriftMonitor,
+    null_count_monitor_misses_embedding_drift,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    kb = generate_kb(KBConfig(n_entities=600, n_types=10, n_aliases=120), seed=0)
+    sample = generate_mentions(kb, MentionConfig(n_mentions=4000), seed=0)
+    mentions, __ = sample.split(0.9, seed=1)
+    embedding, __ = train_entity_embeddings(
+        mentions, kb.n_entities, sample.vocabulary.size, dim=32
+    )
+    task = generate_entity_task(5000, kb.types, n_classes=kb.n_types, seed=1)
+    train, test = task.split(0.7, seed=0)
+    model = LogisticRegression(epochs=200).fit(
+        embedding.vectors[train.entity_ids], train.labels
+    )
+    baseline = float(
+        np.mean(model.predict(embedding.vectors[test.entity_ids]) == test.labels)
+    )
+    return kb, embedding, model, test, baseline
+
+
+def make_variants(embedding):
+    rng = np.random.default_rng(7)
+    rotation = ortho_group.rvs(embedding.dim, random_state=1)
+    partial = embedding.vectors.copy()
+    changed = rng.choice(embedding.n, size=embedding.n // 3, replace=False)
+    partial[changed] = rng.normal(size=(len(changed), embedding.dim))
+    return [
+        ("unchanged", embedding),
+        ("rotation", EmbeddingMatrix(vectors=embedding.vectors @ rotation)),
+        ("rescale x5", EmbeddingMatrix(vectors=embedding.vectors * 5.0)),
+        ("partial retrain", EmbeddingMatrix(vectors=partial)),
+        ("full retrain", EmbeddingMatrix(
+            vectors=rng.normal(size=embedding.vectors.shape)
+        )),
+    ]
+
+
+def test_e7_embedding_drift(benchmark, setup, report):
+    kb, embedding, model, test, baseline = setup
+    monitor = EmbeddingDriftMonitor(embedding)
+    variants = make_variants(embedding)
+
+    benchmark(monitor.check, variants[3][1])
+
+    rows = []
+    verdicts = {}
+    for name, variant in variants:
+        tabular_silent = null_count_monitor_misses_embedding_drift(
+            embedding, variant
+        )
+        embedding_report = monitor.check(variant)
+        accuracy = float(
+            np.mean(model.predict(variant.vectors[test.entity_ids]) == test.labels)
+        )
+        verdicts[name] = (tabular_silent, embedding_report.drifted, accuracy)
+        rows.append(
+            [
+                name,
+                "silent" if tabular_silent else "alarm",
+                "alarm" if embedding_report.drifted else "silent",
+                accuracy,
+            ]
+        )
+
+    report.line("E7: null-count monitor vs embedding drift monitor")
+    report.line(f"(downstream model accuracy on the original: {baseline:.3f})")
+    report.table(
+        ["change", "null-count", "embedding-mon", "downstream_acc"], rows, width=17
+    )
+    report.line("the tabular metric never fires; the embedding monitor fires "
+                "on every *semantic* change")
+    report.line("note: a pure rotation passes the (rotation-invariant) drift "
+                "monitor yet still breaks a pinned model — that gap is what "
+                "the version-compatibility check closes (see E9)")
+
+    # The paper's point: tabular metric silent everywhere...
+    assert all(tabular for tabular, __, __ in verdicts.values())
+    # ...embedding monitor quiet on the harmless cases, loud on the rest.
+    assert not verdicts["unchanged"][1]
+    assert not verdicts["rotation"][1]
+    for harmful in ("rescale x5", "partial retrain", "full retrain"):
+        # rescale keeps argmax predictions for linear models, but is flagged
+        # because it silently changes every dot-product magnitude.
+        assert verdicts[harmful][1], harmful
+    assert verdicts["full retrain"][2] < baseline - 0.3
+    assert verdicts["partial retrain"][2] < baseline - 0.1
+    assert verdicts["rotation"][2] < baseline - 0.1  # rotation hurts too!

@@ -1,0 +1,262 @@
+"""FIG1 — the paper's Figure 1 pipeline, end to end.
+
+Figure 1 shows the modern ML pipeline — training data -> model training &
+deployment -> monitoring & maintenance — with a feature-store row (tabular
+challenges) and an embedding-ecosystem row (embedding challenges).
+
+This bench executes the whole figure as a stage DAG over one simulated
+deployment: tabular ingestion and cadence-driven materialization, embedding
+pretraining and registration, downstream training with point-in-time
+features + embedding features, serving, monitoring (tabular drift +
+embedding quality), error-slice discovery, embedding patching, and a final
+verification that the patch propagated. Every stage must succeed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ColumnRef,
+    EmbeddingStore,
+    Feature,
+    FeatureSetSpec,
+    FeatureStore,
+    FeatureView,
+    Provenance,
+    SimClock,
+    TableSchema,
+    WindowAggregate,
+)
+from repro.datagen import (
+    KBConfig,
+    MentionConfig,
+    RideEventConfig,
+    generate_entity_task,
+    generate_kb,
+    generate_mentions,
+    generate_ride_events,
+)
+from repro.embeddings import train_entity_embeddings
+from repro.models import LogisticRegression, MeanImputer
+from repro.ned import tail_entity_ids
+from repro.patching import EmbeddingPatcher, SliceFinder
+from repro.pipeline import CadenceScheduler, Pipeline
+
+
+def build_pipeline() -> Pipeline:
+    pipeline = Pipeline()
+
+    def ingest(ctx):
+        clock = SimClock(start=0.0)
+        store = FeatureStore(clock=clock)
+        store.create_source_table(
+            "rides",
+            TableSchema(columns={"trip_km": "float", "fare": "float",
+                                 "rating": "float", "wait_minutes": "float",
+                                 "city": "int", "vehicle_type": "int"}),
+        )
+        store.register_entity("driver")
+        events = generate_ride_events(
+            RideEventConfig(n_events=20_000, n_entities=600, n_days=3), seed=0
+        )
+        store.ingest("rides", events.rows())
+        return {"store": store, "clock": clock, "events": events}
+
+    def featurize(ctx):
+        store = ctx["store"]
+        store.publish_view(
+            FeatureView(
+                name="driver_stats",
+                source_table="rides",
+                entity="driver",
+                features=(
+                    Feature("last_fare", "float", ColumnRef("fare")),
+                    Feature("fare_sum_24h", "float",
+                            WindowAggregate("fare", "sum", 86400.0)),
+                    Feature("rides_24h", "float",
+                            WindowAggregate("fare", "count", 86400.0)),
+                ),
+                cadence=6 * 3600.0,
+            )
+        )
+        scheduler = CadenceScheduler(store, tick_seconds=6 * 3600.0)
+        reference = ctx["events"].numeric["fare"]
+        scheduler.watch_column("rides", "fare",
+                               reference[~np.isnan(reference)][:2000])
+        reports = scheduler.run(12)  # 3 simulated days
+        materializations = sum(len(r.materialized_views) for r in reports)
+        store.create_feature_set(
+            FeatureSetSpec(
+                name="driver_features",
+                features=("driver_stats:fare_sum_24h", "driver_stats:rides_24h"),
+            )
+        )
+        return {"scheduler": scheduler, "n_materializations": materializations}
+
+    def pretrain_embeddings(ctx):
+        kb = generate_kb(KBConfig(n_entities=600, n_types=10, n_aliases=120), seed=0)
+        sample = generate_mentions(kb, MentionConfig(n_mentions=4000), seed=0)
+        mentions, __ = sample.split(0.9, seed=1)
+        entity_emb, token_emb = train_entity_embeddings(
+            mentions, kb.n_entities, sample.vocabulary.size, dim=32
+        )
+        embedding_store = EmbeddingStore(clock=ctx["clock"])
+        version = embedding_store.register(
+            "driver_entities", entity_emb,
+            Provenance(trainer="ppmi_svd", config={"dim": 32},
+                       data_snapshot="mentions@day3", seed=0),
+        )
+        return {
+            "kb": kb, "sample": sample, "mentions": mentions,
+            "entity_emb": entity_emb, "token_emb": token_emb,
+            "embedding_store": embedding_store, "embedding_version": version,
+        }
+
+    def train_models(ctx):
+        store, kb = ctx["store"], ctx["kb"]
+        entity_emb = ctx["entity_emb"]
+        # Tabular model: predict busy drivers from point-in-time features.
+        rng = np.random.default_rng(0)
+        label_entities = rng.integers(0, 600, size=1500)
+        label_times = rng.uniform(86400.0, 3 * 86400.0, size=1500)
+        busy = np.bincount(ctx["events"].entity_ids, minlength=600)
+        labels = (busy[label_entities] > np.median(busy)).astype(float)
+        training = store.build_training_set(
+            [(int(e), float(t), float(y))
+             for e, t, y in zip(label_entities, label_times, labels)],
+            "driver_features",
+        )
+        imputer = MeanImputer()
+        tabular_model = LogisticRegression(epochs=150).fit(
+            imputer.fit_transform(training.features),
+            training.labels.astype(np.int64),
+        )
+        store.register_model(
+            "busy_driver", tabular_model, feature_set="driver_features",
+            embedding_versions={},
+        )
+        # Embedding model: predict driver segment (= KB type) from embedding.
+        task = generate_entity_task(5000, kb.types, n_classes=kb.n_types, seed=1)
+        train, test = task.split(0.7, seed=0)
+        embedding_model = LogisticRegression(epochs=200).fit(
+            entity_emb.vectors[train.entity_ids], train.labels
+        )
+        store.register_model(
+            "driver_segment", embedding_model, feature_set="driver_features",
+            embedding_versions={"driver_entities": 1},
+        )
+        accuracy = float(np.mean(
+            embedding_model.predict(entity_emb.vectors[test.entity_ids])
+            == test.labels
+        ))
+        return {
+            "imputer": imputer, "tabular_model": tabular_model,
+            "embedding_model": embedding_model, "segment_test": test,
+            "segment_accuracy": accuracy,
+        }
+
+    def deploy_and_serve(ctx):
+        store = ctx["store"]
+        served = store.serve_features_for_model("busy_driver", [0, 1, 2, 3])
+        predictions = ctx["tabular_model"].predict(
+            ctx["imputer"].transform(served)
+        )
+        consumers = store.models.consumers_of_embedding("driver_entities")
+        return {
+            "online_predictions": predictions,
+            "embedding_consumers": [r.name for r in consumers],
+        }
+
+    def monitor(ctx):
+        scheduler = ctx["scheduler"]
+        model, test = ctx["embedding_model"], ctx["segment_test"]
+        entity_emb, kb = ctx["entity_emb"], ctx["kb"]
+        errors = model.predict(entity_emb.vectors[test.entity_ids]) != test.labels
+        quartile = np.minimum(test.entity_ids * 4 // kb.n_entities, 3)
+        found = SliceFinder(min_support=30).find(
+            {"popularity_quartile": quartile.astype(np.int64)}, errors
+        )
+        return {
+            "tabular_alerts": len(scheduler.alert_log),
+            "error_slices": found,
+        }
+
+    def patch(ctx):
+        kb, sample = ctx["kb"], ctx["sample"]
+        tails = tail_entity_ids(ctx["mentions"], kb.n_entities, tail_threshold=2)
+        patcher = EmbeddingPatcher(kb, sample.vocabulary, ctx["token_emb"])
+        patched = patcher.impute_from_structure(ctx["entity_emb"], tails)
+        embedding_store = ctx["embedding_store"]
+        version = embedding_store.register(
+            "driver_entities", patched.embedding,
+            Provenance(trainer="structural_patch", parent_version=1),
+            tags=("patched",),
+        )
+        embedding_store.mark_compatible("driver_entities", 1, version.version)
+        return {"tails": tails, "patched_version": version}
+
+    def verify(ctx):
+        embedding_store = ctx["embedding_store"]
+        model, test = ctx["embedding_model"], ctx["segment_test"]
+        tails = ctx["tails"]
+        vectors = embedding_store.vectors_for_model(
+            "driver_entities", 1, test.entity_ids,
+            serve_version=ctx["patched_version"].version,
+        )
+        tail_mask = np.isin(test.entity_ids, tails)
+        before = float(np.mean(
+            model.predict(ctx["entity_emb"].vectors[test.entity_ids])[tail_mask]
+            == test.labels[tail_mask]
+        ))
+        after = float(np.mean(
+            model.predict(vectors)[tail_mask] == test.labels[tail_mask]
+        ))
+        return {"tail_before": before, "tail_after": after}
+
+    pipeline.add_stage("ingest", ingest, description="scrape raw training data")
+    pipeline.add_stage("featurize", featurize, depends_on=("ingest",))
+    pipeline.add_stage("pretrain_embeddings", pretrain_embeddings,
+                       depends_on=("ingest",))
+    pipeline.add_stage("train_models", train_models,
+                       depends_on=("featurize", "pretrain_embeddings"))
+    pipeline.add_stage("deploy_and_serve", deploy_and_serve,
+                       depends_on=("train_models",))
+    pipeline.add_stage("monitor", monitor, depends_on=("deploy_and_serve",))
+    pipeline.add_stage("patch", patch, depends_on=("monitor",))
+    pipeline.add_stage("verify", verify, depends_on=("patch",))
+    return pipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline_run():
+    return build_pipeline().run()
+
+
+def test_fig1_pipeline(benchmark, pipeline_run, report):
+    context, results = pipeline_run
+
+    # Benchmark the serving hot path from the completed deployment.
+    store = context["store"]
+    benchmark(store.serve_features_for_model, "busy_driver", [0, 1, 2, 3])
+
+    report.line("FIG1: end-to-end pipeline (one stage per Figure-1 box)")
+    rows = [[r.stage, r.status, ", ".join(r.outputs)[:40]] for r in results]
+    report.table(["stage", "status", "outputs"], rows, width=22)
+    report.line("")
+    report.line(f"materializations over 3 days: {context['n_materializations']}")
+    report.line(f"embedding consumers found via lineage: "
+                f"{context['embedding_consumers']}")
+    report.line(f"segment model accuracy: {context['segment_accuracy']:.3f}")
+    slices = context["error_slices"]
+    report.line(f"monitoring surfaced {len(slices)} error slice(s); worst: "
+                f"{slices[0].name if slices else '-'}")
+    report.line(f"patch result on tail slice: {context['tail_before']:.3f} -> "
+                f"{context['tail_after']:.3f}")
+
+    assert all(r.status == "ok" for r in results)
+    assert context["n_materializations"] >= 6
+    assert context["embedding_consumers"] == ["driver_segment"]
+    assert context["tail_after"] > context["tail_before"] + 0.1
+    assert slices

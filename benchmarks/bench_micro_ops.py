@@ -1,0 +1,144 @@
+"""Micro-benchmarks for the store's hot paths.
+
+Not tied to a paper claim — these are the operational numbers a downstream
+adopter asks about first: ingest throughput, materialization cost,
+point-in-time join cost, online read/write rates, and index build/query
+costs. pytest-benchmark reports ops/sec for each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.core import (
+    ColumnRef,
+    Feature,
+    FeatureSetSpec,
+    FeatureStore,
+    FeatureView,
+    WindowAggregate,
+)
+from repro.datagen import RideEventConfig, generate_ride_events
+from repro.index import HNSWIndex, IVFFlatIndex
+from repro.storage import TableSchema
+
+N_EVENTS = 20_000
+N_ENTITIES = 500
+
+
+@pytest.fixture(scope="module")
+def events():
+    return generate_ride_events(
+        RideEventConfig(n_events=N_EVENTS, n_entities=N_ENTITIES, n_days=3), seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def loaded_store(events):
+    store = FeatureStore(clock=SimClock())
+    store.create_source_table(
+        "rides",
+        TableSchema(columns={"trip_km": "float", "fare": "float",
+                             "rating": "float", "wait_minutes": "float",
+                             "city": "int", "vehicle_type": "int"}),
+    )
+    store.register_entity("driver")
+    store.ingest("rides", events.rows())
+    store.publish_view(
+        FeatureView(
+            name="stats",
+            source_table="rides",
+            entity="driver",
+            features=(
+                Feature("last_fare", "float", ColumnRef("fare")),
+                Feature("fare_24h", "float", WindowAggregate("fare", "sum", 86400.0)),
+            ),
+            cadence=3600.0,
+        )
+    )
+    for day in (1, 2, 3):
+        store.materialize("stats", as_of=day * 86400.0)
+    store.create_feature_set(
+        FeatureSetSpec(name="fs", features=("stats:last_fare", "stats:fare_24h"))
+    )
+    return store
+
+
+def test_micro_ingest_1k_rows(benchmark, events):
+    rows = events.rows()[:1000]
+    counter = {"n": 0}
+
+    def setup():
+        store = FeatureStore(clock=SimClock())
+        store.create_source_table(
+            "rides",
+            TableSchema(columns={"trip_km": "float", "fare": "float",
+                                 "rating": "float", "wait_minutes": "float",
+                                 "city": "int", "vehicle_type": "int"}),
+        )
+        counter["n"] += 1
+        return (store,), {}
+
+    def ingest(store):
+        return store.ingest("rides", rows)
+
+    result = benchmark.pedantic(ingest, setup=setup, rounds=10)
+    assert result == 1000
+
+
+def test_micro_materialize_full(benchmark, loaded_store):
+    active_entities = len(loaded_store.offline.table("rides").entity_ids())
+    result = benchmark(
+        loaded_store.materialize, "stats", 3 * 86400.0 + 1.0
+    )
+    # Zipfian activity: some of the N_ENTITIES drivers never had an event.
+    assert result.entities_written == active_entities
+
+
+def test_micro_pit_join_100_labels(benchmark, loaded_store):
+    rng = np.random.default_rng(0)
+    labels = [
+        (int(e), float(t), 1.0)
+        for e, t in zip(
+            rng.integers(0, N_ENTITIES, size=100),
+            rng.uniform(86400.0, 3 * 86400.0, size=100),
+        )
+    ]
+    training = benchmark(loaded_store.build_training_set, labels, "fs")
+    assert len(training) == 100
+
+
+def test_micro_online_write(benchmark, loaded_store):
+    namespace = loaded_store.registry.view("stats").online_namespace
+    benchmark(
+        loaded_store.online.write, namespace, 1, {"last_fare": 1.0}, 1e9
+    )
+
+
+def test_micro_online_read(benchmark, loaded_store):
+    [got] = benchmark(loaded_store.get_online_features, "stats", [5])
+    assert got is not None
+
+
+def test_micro_ivf_build_5k(benchmark):
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(5000, 32))
+
+    def build():
+        index = IVFFlatIndex(n_cells=64, n_probes=4, seed=0)
+        index.build(vectors)
+        return index
+
+    index = benchmark(build)
+    assert index.size == 5000
+
+
+def test_micro_hnsw_query(benchmark):
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(5000, 32))
+    index = HNSWIndex(m=8, ef_construction=64, ef_search=48, seed=0)
+    index.build(vectors)
+    result = benchmark(index.query, vectors[0], 10)
+    assert result.ids[0] == 0

@@ -1,0 +1,61 @@
+"""Shared benchmark infrastructure.
+
+Experiment benches report their result tables through the ``report``
+fixture; collected lines are printed in the terminal summary (which pytest
+never captures) and persisted to ``benchmarks/results/<name>.txt`` so the
+numbers survive the run. EXPERIMENTS.md is written from those files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_COLLECTED: list[tuple[str, list[str]]] = []
+
+
+class ExperimentReport:
+    """Collects human-readable result lines for one experiment."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, header: list[str], rows: list[list[object]], width: int = 14) -> None:
+        self.line(" ".join(str(h).rjust(width) for h in header))
+        for row in rows:
+            formatted = []
+            for cell in row:
+                if isinstance(cell, float):
+                    formatted.append(f"{cell:.3f}".rjust(width))
+                else:
+                    formatted.append(str(cell).rjust(width))
+            self.line(" ".join(formatted))
+
+
+@pytest.fixture
+def report(request):
+    """Per-test experiment report, flushed at session end."""
+    experiment = ExperimentReport(request.node.name)
+    yield experiment
+    if experiment.lines:
+        _COLLECTED.append((experiment.name, experiment.lines))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"{request.module.__name__}.{request.node.name}.txt"
+        path.write_text("\n".join(experiment.lines) + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _COLLECTED:
+        return
+    terminalreporter.write_sep("=", "experiment results")
+    for name, lines in _COLLECTED:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in lines:
+            terminalreporter.write_line(line)

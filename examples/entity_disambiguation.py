@@ -1,0 +1,82 @@
+"""Bootleg-style named entity disambiguation (paper section 3.1.1).
+
+Builds a synthetic knowledge base with Zipfian entity popularity, trains
+self-supervised entity embeddings from mentions, and compares three
+disambiguation models on head vs tail entities:
+
+* prior-only (popularity),
+* embeddings-only (prior + co-occurrence), and
+* structured (adding entity types and KG relations — the Bootleg recipe).
+
+The paper's quoted result: structured data boosts rare-entity performance
+by ~40 F1 points. This script regenerates that comparison.
+
+Run:  python examples/entity_disambiguation.py
+"""
+
+from __future__ import annotations
+
+from repro.datagen import KBConfig, MentionConfig, generate_kb, generate_mentions
+from repro.embeddings import train_entity_embeddings
+from repro.ned import (
+    CandidateFeaturizer,
+    NedModel,
+    TypeClassifier,
+    evaluate_model,
+    tail_entity_ids,
+)
+from repro.ned.features import FEATURE_NAMES
+
+
+def main() -> None:
+    # 1. A synthetic KB: 2000 entities, 25 types, Zipf(1.1) popularity,
+    #    ambiguous aliases mixing head and tail candidates.
+    kb = generate_kb(KBConfig(n_entities=2000, n_types=25, n_aliases=400), seed=0)
+    sample = generate_mentions(kb, MentionConfig(n_mentions=8000), seed=0)
+    train, dev = sample.split(train_fraction=0.8, seed=1)
+    print(f"KB: {kb.n_entities} entities, {kb.n_types} types, "
+          f"{kb.graph.number_of_edges()} KG edges; "
+          f"{len(train)} train / {len(dev)} dev mentions")
+
+    # 2. Self-supervised pretraining: entity/token co-embeddings.
+    entity_emb, token_emb = train_entity_embeddings(
+        train, kb.n_entities, sample.vocabulary.size, dim=64
+    )
+    print(f"trained entity embeddings: {entity_emb.n} x {entity_emb.dim}")
+
+    # 3. Structured features: a context -> type classifier + KG overlap.
+    type_clf = TypeClassifier(sample.vocabulary).fit(train, kb)
+    featurizer = CandidateFeaturizer(
+        kb, sample.vocabulary, entity_emb, token_emb, type_clf
+    )
+    featurized_train = featurizer.featurize_all(train)
+    featurized_dev = featurizer.featurize_all(dev)
+
+    # 4. "Rare" = at most 2 training mentions (the embeddings cannot have
+    #    memorized these entities).
+    tails = tail_entity_ids(train, kb.n_entities, tail_threshold=2)
+    print(f"tail entities (<= 2 train mentions): {len(tails)} "
+          f"of {kb.n_entities}")
+
+    # 5. Train and compare the three models.
+    configurations = [
+        ("prior-only", ("log_prior",)),
+        ("embeddings", ("log_prior", "cooccurrence")),
+        ("structured", FEATURE_NAMES),
+    ]
+    print(f"\n{'model':<12}{'overall F1':>12}{'head F1':>10}{'tail F1':>10}")
+    results = {}
+    for name, subset in configurations:
+        model = NedModel(feature_subset=subset).fit(featurized_train)
+        evaluation = evaluate_model(model, featurized_dev, tails)
+        results[name] = evaluation
+        print(f"{name:<12}{evaluation.overall_f1:>12.3f}"
+              f"{evaluation.head_f1:>10.3f}{evaluation.tail_f1:>10.3f}")
+
+    boost = (results["structured"].tail_f1 - results["embeddings"].tail_f1) * 100
+    print(f"\nstructured data boosts tail F1 by {boost:.1f} points "
+          "(paper reports ~40 for Bootleg)")
+
+
+if __name__ == "__main__":
+    main()

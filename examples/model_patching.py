@@ -1,0 +1,147 @@
+"""Fine-grained monitoring and model patching (paper section 3.1.3).
+
+The full error-to-fix loop on a tabular product with *concept shift* in one
+subpopulation: inside city=3 the feature-label relationship is inverted
+(regional behaviour differs), so a single global model cannot serve both
+regions.
+
+1. the deployed classifier underperforms on the hidden subpopulation;
+2. the slice finder surfaces it from prediction errors alone;
+3. weak supervision (regional analysts' labeling functions + the EM label
+   model) produces training labels for the slice;
+4. two repairs are compared: slice-targeted augmentation retraining and a
+   slice-expert head (slice-based learning);
+5. a Robustness-Gym-style report shows before/after across slices.
+
+Run:  python examples/model_patching.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import LogisticRegression
+from repro.patching import (
+    LabelModel,
+    LabelingFunction,
+    SliceExpertModel,
+    SliceFinder,
+    augment_slice,
+    build_report,
+    majority_vote,
+)
+from repro.patching.weak_supervision import ABSTAIN, apply_labeling_functions
+
+
+def make_concept_shift_task(n=12_000, n_features=8, seed=0):
+    """Binary task: y = sign(x . w) globally, inverted inside city=3."""
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, n_features))
+    teacher = rng.normal(size=n_features)
+    metadata = {"city": rng.integers(0, 6, size=n).astype(np.int64)}
+    labels = (features @ teacher > 0).astype(np.int64)
+    in_slice = metadata["city"] == 3
+    labels[in_slice] = 1 - labels[in_slice]  # regional inversion
+    return features, labels, metadata, teacher
+
+
+def main() -> None:
+    features, labels, metadata, teacher = make_concept_shift_task()
+    cut = 7_000
+    train_X, test_X = features[:cut], features[cut:]
+    train_y, test_y = labels[:cut], labels[cut:]
+    train_meta = {k: v[:cut] for k, v in metadata.items()}
+    test_meta = {k: v[cut:] for k, v in metadata.items()}
+
+    # 1. Deploy a single global model.
+    model = LogisticRegression(epochs=200).fit(train_X, train_y)
+    errors = model.predict(test_X) != test_y
+    print(f"deployed model: {1 - errors.mean():.3f} overall accuracy on "
+          f"{len(test_y)} held-out rows")
+
+    # 2. Slice discovery from errors + metadata.
+    found = SliceFinder(min_support=50).find(test_meta, errors)
+    worst = found[0]
+    print(f"slice finder: worst slice {worst.name!r} — error "
+          f"{worst.error_rate:.2f} vs base {worst.base_error_rate:.2f} "
+          f"(lift {worst.lift:.1f}x, p={worst.p_value:.1e})")
+
+    # 3. Weak supervision: regional analysts write rules that encode the
+    #    *inverted* relationship for city=3; each rule is a noisy, partial
+    #    view (perturbed direction + abstain band); the label model learns
+    #    which analyst to trust.
+    rng = np.random.default_rng(1)
+
+    def regional_rule(perturbation_scale, threshold):
+        direction = -teacher + rng.normal(size=len(teacher)) * perturbation_scale
+
+        def fn(x):
+            score = float(np.dot(x, direction))
+            if abs(score) < threshold:
+                return ABSTAIN
+            return int(score > 0)
+
+        return fn
+
+    functions = [
+        LabelingFunction("analyst_precise", regional_rule(0.3, 0.5)),
+        LabelingFunction("analyst_noisy", regional_rule(1.5, 0.2)),
+        LabelingFunction("analyst_cautious", regional_rule(0.8, 1.2)),
+    ]
+    slice_mask_train = train_meta["city"] == 3
+    slice_rows = [train_X[i] for i in np.flatnonzero(slice_mask_train)]
+    votes = apply_labeling_functions(functions, slice_rows)
+    label_model = LabelModel(n_classes=2).fit(votes)
+    relabeled = label_model.predict(votes)
+    mv = majority_vote(votes, 2, seed=0)
+    truth_slice = train_y[slice_mask_train]
+    print("weak supervision over the slice: label model "
+          f"{np.mean(relabeled == truth_slice):.3f} vs majority vote "
+          f"{np.mean(mv == truth_slice):.3f}; learned analyst accuracies "
+          f"{np.round(label_model.accuracies, 2).tolist()}")
+
+    # 4a. Repair by augmentation: oversample the (re)labeled slice and
+    #     retrain the single global model. A linear model still has to
+    #     average two opposing boundaries — expect a trade-off.
+    patched_labels = train_y.copy()
+    patched_labels[slice_mask_train] = relabeled
+    extra_X, extra_y = augment_slice(
+        train_X, patched_labels, slice_mask_train, factor=3.0,
+        noise_scale=0.05, seed=0,
+    )
+    retrained = LogisticRegression(epochs=200).fit(
+        np.vstack([train_X, extra_X]), np.concatenate([patched_labels, extra_y])
+    )
+
+    # 4b. Repair by slice expert: the backbone keeps serving the majority;
+    #     a dedicated head owns city=3 (slice-based learning).
+    expert_model = SliceExpertModel(seed=0).fit(
+        train_X, patched_labels, {"city3": slice_mask_train}
+    )
+
+    # 5. Subpopulation report across the three models.
+    report = build_report(
+        {
+            "deployed": model.predict(test_X),
+            "augmented": retrained.predict(test_X),
+            "slice expert": expert_model.predict(
+                test_X, {"city3": test_meta["city"] == 3}
+            ),
+        },
+        test_y,
+        test_meta,
+        {"city3": lambda m: m["city"] == 3},
+    )
+    print()
+    print(report.to_text())
+    print()
+    for name in ("deployed", "augmented", "slice expert"):
+        slice_name, slice_acc = report.worst_slice(name)
+        print(f"{name:>13}: worst slice {slice_name} at {slice_acc:.3f}, "
+              f"gap {report.gap(name):.3f}")
+    print("\nthe slice expert repairs the region without sacrificing the "
+          "majority — the slice-based-learning result the paper cites")
+
+
+if __name__ == "__main__":
+    main()

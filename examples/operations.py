@@ -1,0 +1,143 @@
+"""A day on call: the operational loop (paper sections 2.2.3 and 4).
+
+Simulates the operator's view of a running deployment over two simulated
+days: the cadence scheduler materializes views and watches raw columns; an
+upstream regime change hits mid-way; the sequential detector fires within
+events (not windows), the windowed monitors confirm, the retraining policy
+recommends an action, and the dashboard renders the whole state — including
+an embedding update that arrives during the incident.
+
+Run:  python examples/operations.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ColumnRef,
+    EmbeddingStore,
+    Feature,
+    FeatureSetSpec,
+    FeatureStore,
+    FeatureView,
+    Provenance,
+    SimClock,
+    TableSchema,
+    WindowAggregate,
+)
+from repro.embeddings import EmbeddingMatrix
+from repro.monitoring import (
+    CusumDetector,
+    MonitorConfig,
+    RetrainingPolicy,
+    render_dashboard,
+)
+from repro.pipeline import CadenceScheduler
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+def generate_day(rng, start, mean, n=2000):
+    """One day of per-event amounts for a handful of merchants."""
+    timestamps = np.sort(start + rng.uniform(0.0, DAY, size=n))
+    return [
+        {
+            "entity_id": int(rng.integers(0, 20)),
+            "timestamp": float(ts),
+            "amount": float(rng.normal(mean, 2.0)),
+        }
+        for ts in timestamps
+    ]
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    clock = SimClock(start=0.0)
+    store = FeatureStore(clock=clock)
+    store.create_source_table("txns", TableSchema(columns={"amount": "float"}))
+    store.register_entity("merchant")
+    store.publish_view(
+        FeatureView(
+            name="merchant_stats",
+            source_table="txns",
+            entity="merchant",
+            features=(
+                Feature("last_amount", "float", ColumnRef("amount")),
+                Feature("volume_6h", "float", WindowAggregate("amount", "count", 6 * HOUR)),
+            ),
+            cadence=6 * HOUR,
+        )
+    )
+    store.create_feature_set(
+        FeatureSetSpec(name="fs", features=("merchant_stats:last_amount",))
+    )
+    store.register_model("risk_model", model=None, feature_set="fs",
+                         metrics={"auc": 0.87})
+
+    embeddings = EmbeddingStore(clock=clock)
+    base = EmbeddingMatrix(vectors=rng.normal(size=(200, 16)))
+    embeddings.register(
+        "merchant_emb", base, Provenance(trainer="nightly", data_snapshot="d0")
+    )
+    store.models.register(  # second model, pinned to the embedding
+        "recommender", model=None, feature_set="fs",
+        embedding_versions={"merchant_emb": 1},
+    )
+
+    # Day 1: healthy. Day 2: upstream bug shifts amounts 10 -> 16 at noon.
+    day1 = generate_day(rng, start=0.0, mean=10.0)
+    day2_morning = generate_day(rng, start=DAY, mean=10.0, n=1000)
+    day2_broken = generate_day(rng, start=DAY + 12 * HOUR, mean=16.0, n=1000)
+    store.ingest("txns", day1)
+
+    scheduler = CadenceScheduler(store, tick_seconds=6 * HOUR)
+    reference = np.array([r["amount"] for r in day1])
+    scheduler.watch_column(
+        "txns", "amount", reference,
+        config=MonitorConfig(ks_alpha=1e-4, outlier_rate_threshold=0.03),
+    )
+    scheduler.watch_embedding(embeddings, "merchant_emb")
+
+    # Sequential detector rides alongside for event-level latency.
+    cusum = CusumDetector(reference)
+
+    print("== day 1 (healthy) ==")
+    for report in scheduler.run(4):
+        print(f"tick {report.tick}: t={report.now / HOUR:.0f}h "
+              f"materialized={list(report.materialized_views)} "
+              f"alerts={report.alerts_fired}")
+
+    print("\n== day 2 (incident at 36h) ==")
+    store.ingest("txns", day2_morning + day2_broken)
+    for event in day2_morning + day2_broken:
+        if cusum.update(event["amount"]):
+            print(f"sequential CUSUM fired at t="
+                  f"{event['timestamp'] / HOUR:.2f}h "
+                  "(events, not windows, after the 36.00h change)")
+            break
+    # Mid-incident, the nightly embedding job ships a drifted retrain.
+    embeddings.register(
+        "merchant_emb",
+        EmbeddingMatrix(vectors=rng.normal(size=base.vectors.shape)),
+        Provenance(trainer="nightly", data_snapshot="d2", parent_version=1),
+    )
+    for report in scheduler.run(4):
+        print(f"tick {report.tick}: t={report.now / HOUR:.0f}h "
+              f"alerts={report.alerts_fired}")
+
+    policy = RetrainingPolicy(
+        watched_columns={"txns.amount", "merchant_emb:v1->v2"},
+        drift_alert_threshold=2,
+    )
+    decision = policy.decide(
+        scheduler.alert_log, now=clock.now(), model_trained_at=0.0
+    )
+    print(f"\nretraining policy: {decision.action} — {decision.reason}")
+
+    print("\n" + render_dashboard(store, scheduler.alert_log, embeddings))
+
+
+if __name__ == "__main__":
+    main()

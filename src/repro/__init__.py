@@ -1,0 +1,86 @@
+"""repro: an embedding-enhanced feature store.
+
+A complete, laptop-scale reproduction of the system envisioned in
+"Managing ML Pipelines: Feature Stores and the Coming Wave of Embedding
+Ecosystems" (Orr, Sanyal, Ling, Goel, Leszczynski — VLDB 2021).
+
+The library has two centers of gravity:
+
+* :class:`repro.FeatureStore` — the classic tabular feature store: a
+  versioned registry of published feature views, a dual offline/online
+  datastore, cadence-driven materialization, point-in-time-correct training
+  sets, online serving with freshness contracts, and quality/drift/skew
+  monitoring.
+* :class:`repro.EmbeddingStore` — embeddings as first-class citizens:
+  versioning, provenance chains, per-version quality metrics, vector search
+  (brute/LSH/IVF/HNSW), model/embedding compatibility enforcement, and
+  patching tools that fix tail-entity rows once for every downstream
+  consumer.
+
+See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the
+paper-reproduction map.
+"""
+
+from repro.clock import SimClock, WallClock
+from repro.core import (
+    ColumnRef,
+    EmbeddingStore,
+    EmbeddingVersion,
+    EntityDef,
+    Feature,
+    FeatureRegistry,
+    FeatureSetSpec,
+    FeatureStore,
+    FeatureView,
+    MaterializationResult,
+    Provenance,
+    RowTransform,
+    TrainingSet,
+    WindowAggregate,
+)
+from repro.embeddings import EmbeddingMatrix
+from repro.errors import (
+    CompatibilityError,
+    ReproError,
+    StaleFeatureError,
+    ValidationError,
+)
+from repro.storage import (
+    FreshnessPolicy,
+    ModelStore,
+    OfflineStore,
+    OnlineStore,
+    TableSchema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColumnRef",
+    "CompatibilityError",
+    "EmbeddingMatrix",
+    "EmbeddingStore",
+    "EmbeddingVersion",
+    "EntityDef",
+    "Feature",
+    "FeatureRegistry",
+    "FeatureSetSpec",
+    "FeatureStore",
+    "FeatureView",
+    "FreshnessPolicy",
+    "MaterializationResult",
+    "ModelStore",
+    "OfflineStore",
+    "OnlineStore",
+    "Provenance",
+    "ReproError",
+    "RowTransform",
+    "SimClock",
+    "StaleFeatureError",
+    "TableSchema",
+    "TrainingSet",
+    "ValidationError",
+    "WallClock",
+    "WindowAggregate",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Core systems: the feature store and the embedding store.
+
+* :mod:`repro.core.feature_store` — the classic tabular feature store
+  (paper part 1): registry, dual datastore, materialization, point-in-time
+  training sets, online serving.
+* :mod:`repro.core.embedding_store` — embeddings as first-class citizens
+  (paper parts 2-3): versioning, provenance, search, quality metrics and
+  model/embedding compatibility enforcement.
+"""
+
+from repro.core.embedding_store import (
+    EmbeddingStore,
+    EmbeddingVersion,
+    Provenance,
+)
+from repro.core.feature_store import (
+    FeatureStore,
+    MaterializationResult,
+    TrainingSet,
+)
+from repro.core.feature_view import Feature, FeatureSetSpec, FeatureView
+from repro.core.registry import EntityDef, FeatureRegistry
+from repro.core.transforms import (
+    ColumnRef,
+    RowTransform,
+    Transformation,
+    WindowAggregate,
+)
+
+__all__ = [
+    "ColumnRef",
+    "EmbeddingStore",
+    "EmbeddingVersion",
+    "EntityDef",
+    "Feature",
+    "FeatureRegistry",
+    "FeatureSetSpec",
+    "FeatureStore",
+    "FeatureView",
+    "MaterializationResult",
+    "Provenance",
+    "RowTransform",
+    "TrainingSet",
+    "Transformation",
+    "WindowAggregate",
+]

@@ -1,0 +1,412 @@
+"""The embedding store: embeddings as first-class feature-store citizens.
+
+This is the system the paper argues for (sections 3-4): "the next evolution
+of a feature store is one with native support for embeddings. ... Users need
+tools for searching and querying these embeddings as well as support for
+versioning, provenance, and downstream quality metrics."
+
+The store provides:
+
+* **versioning** — immutable, monotonically numbered versions per embedding
+  name;
+* **provenance** — every version records its trainer, config, data snapshot
+  and parent version;
+* **quality metrics** — on registration, each version is automatically
+  compared against its predecessor (neighbourhood Jaccard, aligned
+  displacement) and the scores are stored;
+* **search** — per-version vector indexes (brute/LSH/IVF/HNSW) built lazily;
+* **compatibility enforcement** — serving a version to a model pinned to a
+  different version raises :class:`~repro.errors.CompatibilityError` unless
+  the pair was explicitly marked compatible (the paper's "dot product ...
+  can lose meaning" hazard, experiment E9).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clock import Clock, WallClock
+from repro.embeddings.base import EmbeddingMatrix
+from repro.embeddings.metrics import (
+    align_procrustes,
+    eigenspace_overlap_score,
+    neighborhood_jaccard,
+    semantic_displacement,
+)
+from repro.errors import (
+    CompatibilityError,
+    NotRegisteredError,
+    ValidationError,
+)
+from repro.index import (
+    BruteForceIndex,
+    HNSWIndex,
+    IVFFlatIndex,
+    LSHIndex,
+    SearchResult,
+    VectorIndex,
+)
+
+logger = logging.getLogger(__name__)
+
+_INDEX_FACTORIES = {
+    "brute": BruteForceIndex,
+    "lsh": LSHIndex,
+    "ivf": IVFFlatIndex,
+    "hnsw": HNSWIndex,
+}
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How an embedding version was produced."""
+
+    trainer: str
+    config: dict[str, object] = field(default_factory=dict)
+    data_snapshot: str = ""
+    seed: int | None = None
+    parent_version: int | None = None
+
+
+@dataclass(frozen=True)
+class EmbeddingVersion:
+    """One immutable stored embedding version."""
+
+    name: str
+    version: int
+    embedding: EmbeddingMatrix
+    provenance: Provenance
+    created_at: float
+    metrics: dict[str, float] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:v{self.version}"
+
+
+class EmbeddingStore:
+    """Versioned, provenance-tracked embedding registry with serving."""
+
+    def __init__(self, clock: Clock | None = None, quality_knn_k: int = 10) -> None:
+        self._clock = clock or WallClock()
+        self._versions: dict[str, list[EmbeddingVersion]] = {}
+        self._indexes: dict[tuple[str, int, str], VectorIndex] = {}
+        self._compatible: set[tuple[str, int, int]] = set()
+        self.quality_knn_k = quality_knn_k
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        embedding: EmbeddingMatrix,
+        provenance: Provenance,
+        tags: tuple[str, ...] = (),
+    ) -> EmbeddingVersion:
+        """Store a new version; computes against-predecessor quality metrics.
+
+        All versions of a name must share the vocabulary size (row count);
+        dimension may change across versions (retraining at a new dim), in
+        which case cross-version metrics are skipped.
+        """
+        versions = self._versions.setdefault(name, [])
+        if versions and versions[-1].embedding.n != embedding.n:
+            raise ValidationError(
+                f"embedding {name!r}: row count {embedding.n} != existing "
+                f"{versions[-1].embedding.n}; versions must share a vocabulary"
+            )
+        metrics: dict[str, float] = {
+            "n": float(embedding.n),
+            "dim": float(embedding.dim),
+            "mean_norm": float(np.linalg.norm(embedding.vectors, axis=1).mean()),
+        }
+        if versions:
+            previous = versions[-1].embedding
+            if previous.n > self.quality_knn_k:
+                metrics["knn_jaccard_vs_previous"] = neighborhood_jaccard(
+                    previous, embedding, k=self.quality_knn_k
+                )
+            if previous.dim == embedding.dim:
+                displacement = semantic_displacement(previous, embedding)
+                metrics["mean_displacement_vs_previous"] = float(displacement.mean())
+                metrics["max_displacement_vs_previous"] = float(displacement.max())
+
+        record = EmbeddingVersion(
+            name=name,
+            version=len(versions) + 1,
+            embedding=embedding,
+            provenance=provenance,
+            created_at=self._clock.now(),
+            metrics=metrics,
+            tags=tuple(tags),
+        )
+        versions.append(record)
+        logger.info(
+            "registered embedding %s (trainer=%s, n=%d, dim=%d)",
+            record.key, provenance.trainer, embedding.n, embedding.dim,
+        )
+        return record
+
+    def get(self, name: str, version: int | None = None) -> EmbeddingVersion:
+        versions = self._versions.get(name)
+        if not versions:
+            raise NotRegisteredError(
+                f"no embedding {name!r}; have {sorted(self._versions)}"
+            )
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise NotRegisteredError(
+                f"embedding {name!r} has versions 1..{len(versions)}, not {version}"
+            )
+        return versions[version - 1]
+
+    def latest_version(self, name: str) -> int:
+        return self.get(name).version
+
+    def names(self) -> list[str]:
+        return sorted(self._versions)
+
+    def versions(self, name: str) -> list[EmbeddingVersion]:
+        if name not in self._versions:
+            raise NotRegisteredError(f"no embedding {name!r}")
+        return list(self._versions[name])
+
+    def provenance_chain(self, name: str, version: int) -> list[EmbeddingVersion]:
+        """Follow parent_version links back to the root, newest first."""
+        chain = []
+        current: int | None = version
+        while current is not None:
+            record = self.get(name, current)
+            chain.append(record)
+            current = record.provenance.parent_version
+        return chain
+
+    # -- search ----------------------------------------------------------------
+
+    def search(
+        self,
+        name: str,
+        query: np.ndarray,
+        k: int = 10,
+        version: int | None = None,
+        index_kind: str = "brute",
+    ) -> SearchResult:
+        """k-NN over a stored version, with a lazily built per-version index."""
+        if index_kind not in _INDEX_FACTORIES:
+            raise ValidationError(
+                f"unknown index kind {index_kind!r}; allowed {sorted(_INDEX_FACTORIES)}"
+            )
+        record = self.get(name, version)
+        cache_key = (name, record.version, index_kind)
+        index = self._indexes.get(cache_key)
+        if index is None:
+            index = _INDEX_FACTORIES[index_kind]()
+            index.build(record.embedding.vectors)
+            self._indexes[cache_key] = index
+        return index.query(np.asarray(query, dtype=float), k)
+
+    def search_filtered(
+        self,
+        name: str,
+        query: np.ndarray,
+        allowed_ids: np.ndarray,
+        k: int = 10,
+        version: int | None = None,
+    ) -> SearchResult:
+        """k-NN restricted to a caller-supplied id set (exact).
+
+        Filtered search ("nearest products of this category", "entities of
+        this type") is the bread-and-butter embedding-store query shape; it
+        is answered exactly by scoring only the allowed rows.
+        """
+        record = self.get(name, version)
+        allowed_ids = np.asarray(allowed_ids, dtype=np.int64)
+        if len(allowed_ids) == 0:
+            raise ValidationError("allowed_ids is empty")
+        if allowed_ids.min() < 0 or allowed_ids.max() >= record.embedding.n:
+            raise ValidationError("allowed_ids out of range")
+        vectors = record.embedding.vectors
+        query = np.asarray(query, dtype=float)
+        norms = np.linalg.norm(vectors[allowed_ids], axis=1)
+        qnorm = np.linalg.norm(query)
+        denom = norms * (qnorm if qnorm > 0 else 1.0)
+        denom[denom == 0] = 1e-12
+        scores = (vectors[allowed_ids] @ query) / denom
+        k = min(k, len(allowed_ids))
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        order = np.argsort(-scores[top])
+        keep = top[order]
+        return SearchResult(ids=allowed_ids[keep], scores=scores[keep])
+
+    def analogy(
+        self,
+        name: str,
+        positive: list[int],
+        negative: list[int],
+        k: int = 10,
+        version: int | None = None,
+    ) -> SearchResult:
+        """Vector-arithmetic analogy query: sum(positive) - sum(negative).
+
+        The classic "a is to b as c is to ?" pattern
+        (``positive=[b, c], negative=[a]``). Input ids are excluded from the
+        results, matching word2vec convention.
+        """
+        record = self.get(name, version)
+        if not positive:
+            raise ValidationError("analogy needs at least one positive id")
+        ids = positive + negative
+        if min(ids) < 0 or max(ids) >= record.embedding.n:
+            raise ValidationError("analogy ids out of range")
+        normalized = record.embedding.normalized()
+        query = normalized[positive].sum(axis=0) - (
+            normalized[negative].sum(axis=0) if negative else 0.0
+        )
+        result = self.search(
+            name, query, k=k + len(ids), version=version, index_kind="brute"
+        )
+        exclude = set(ids)
+        keep = [i for i, rid in enumerate(result.ids) if int(rid) not in exclude]
+        keep = keep[:k]
+        return SearchResult(ids=result.ids[keep], scores=result.scores[keep])
+
+    # -- compatibility & serving ---------------------------------------------
+
+    def mark_compatible(self, name: str, model_version: int, serve_version: int) -> None:
+        """Declare that vectors of ``serve_version`` may feed models pinned
+        to ``model_version`` (e.g. after Procrustes alignment or a verified
+        no-op retrain)."""
+        self.get(name, model_version)
+        self.get(name, serve_version)
+        self._compatible.add((name, model_version, serve_version))
+
+    def is_compatible(self, name: str, model_version: int, serve_version: int) -> bool:
+        if model_version == serve_version:
+            return True
+        return (name, model_version, serve_version) in self._compatible
+
+    def vectors_for_model(
+        self,
+        name: str,
+        pinned_version: int,
+        entity_ids: np.ndarray,
+        serve_version: int | None = None,
+        override: bool = False,
+    ) -> np.ndarray:
+        """Serve embedding rows to a model pinned to ``pinned_version``.
+
+        By default the *latest* version is served (that is the point of
+        centralized embedding management — consumers get updates for free),
+        but only if it is compatible with the pinned version; otherwise a
+        :class:`CompatibilityError` explains the mismatch. ``override=True``
+        bypasses the check, reproducing the paper's failure mode on purpose.
+        """
+        serve = self.get(name, serve_version)
+        if not override and not self.is_compatible(name, pinned_version, serve.version):
+            raise CompatibilityError(
+                f"model pinned to {name}:v{pinned_version} cannot consume "
+                f"{serve.key}: versions not marked compatible. Re-train the "
+                "model, align the embedding, or mark_compatible() explicitly."
+            )
+        entity_ids = np.asarray(entity_ids, dtype=np.int64)
+        if len(entity_ids) and (
+            entity_ids.min() < 0 or entity_ids.max() >= serve.embedding.n
+        ):
+            raise ValidationError("entity ids out of range for this embedding")
+        return serve.embedding.vectors[entity_ids]
+
+    # -- version selection -----------------------------------------------------
+
+    def select_version(
+        self,
+        name: str,
+        evaluate,
+        screen_with_eos: bool = False,
+        eos_reference_version: int | None = None,
+        eos_keep: int = 3,
+        max_bytes: int | None = None,
+    ) -> tuple[EmbeddingVersion, dict[int, float]]:
+        """Pick the best stored version for a downstream task.
+
+        Paper section 3.1.2: users need to "search over possible embeddings
+        and select the best ones for their task". ``evaluate`` maps an
+        :class:`EmbeddingMatrix` to a score (higher = better) — typically a
+        quick downstream fit on held-out data.
+
+        With ``screen_with_eos=True`` the candidates are first ranked by
+        eigenspace overlap against a reference version (May et al.'s cheap
+        predictor of downstream performance) and only the top ``eos_keep``
+        are evaluated for real — the screening pattern that makes selection
+        affordable when evaluation is expensive.
+
+        ``max_bytes`` enforces the "memory constraints" half of the paper's
+        sentence: versions whose raw matrix exceeds the budget are excluded
+        before any screening or evaluation.
+
+        Returns the winning version and the score of every version that was
+        actually evaluated.
+        """
+        versions = self.versions(name)
+        candidates = list(versions)
+        if max_bytes is not None:
+            candidates = [
+                record
+                for record in candidates
+                if record.embedding.memory_bytes() <= max_bytes
+            ]
+            if not candidates:
+                raise ValidationError(
+                    f"no version of {name!r} fits within {max_bytes} bytes"
+                )
+        if screen_with_eos and len(candidates) > eos_keep:
+            if eos_keep < 1:
+                raise ValidationError(f"eos_keep must be >= 1 ({eos_keep=})")
+            reference = self.get(name, eos_reference_version)
+            scored = sorted(
+                candidates,
+                key=lambda record: eigenspace_overlap_score(
+                    reference.embedding, record.embedding
+                ),
+                reverse=True,
+            )
+            candidates = scored[:eos_keep]
+
+        scores: dict[int, float] = {}
+        for record in candidates:
+            scores[record.version] = float(evaluate(record.embedding))
+        best_version = max(scores, key=scores.get)  # type: ignore[arg-type]
+        return self.get(name, best_version), scores
+
+    def align_and_register(
+        self,
+        name: str,
+        source_version: int,
+        target_version: int,
+        tags: tuple[str, ...] = ("aligned",),
+    ) -> EmbeddingVersion:
+        """Procrustes-align one version onto another and store the result.
+
+        The registered version is automatically marked compatible with
+        ``target_version`` — alignment is exactly what makes an updated
+        embedding safe for models trained on the old basis.
+        """
+        source = self.get(name, source_version)
+        target = self.get(name, target_version)
+        aligned = align_procrustes(source.embedding, target.embedding)
+        record = self.register(
+            name,
+            aligned,
+            Provenance(
+                trainer="procrustes_alignment",
+                config={"source": source_version, "target": target_version},
+                parent_version=source_version,
+            ),
+            tags=tags,
+        )
+        self.mark_compatible(name, target_version, record.version)
+        return record

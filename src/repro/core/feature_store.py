@@ -1,0 +1,470 @@
+"""The feature store facade.
+
+Ties together the registry, the dual datastore and the materializer into the
+workflow the paper describes (section 2.2):
+
+1. **author & publish** — :meth:`FeatureStore.publish_view` registers a
+   versioned definition and provisions its offline table and online
+   namespace;
+2. **materialize** — :meth:`FeatureStore.materialize` evaluates the view's
+   transformations as of a timestamp and writes the results to *both*
+   stores;
+3. **train** — :meth:`FeatureStore.build_training_set` performs the
+   point-in-time join of label events against materialized history;
+4. **serve** — :meth:`FeatureStore.get_online_features` reads the latest
+   vectors with freshness enforcement.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clock import Clock, SimClock
+from repro.core.feature_view import FeatureSetSpec, FeatureView
+from repro.core.registry import EntityDef, FeatureRegistry
+from repro.errors import ServingError, ValidationError
+from repro.storage.models import ModelStore
+from repro.storage.offline import OfflineStore, OfflineTable, TableSchema
+from repro.storage.online import FreshnessPolicy, OnlineStore
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class MaterializationResult:
+    """Summary of one materialization run."""
+
+    view: str
+    version: int
+    as_of: float
+    entities_written: int
+
+
+@dataclass(frozen=True)
+class TrainingSet:
+    """A point-in-time-correct training dataset with provenance.
+
+    ``features`` is an ``(n, d)`` float matrix (NaN where a feature had no
+    value at the label's timestamp); ``feature_names`` are the pinned
+    ``view@version:feature`` names; ``provenance`` records the feature set
+    used so the model store can pin it.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    timestamps: np.ndarray
+    entity_ids: np.ndarray
+    feature_names: tuple[str, ...]
+    feature_set: str
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def dropna(self) -> "TrainingSet":
+        """Rows where every feature is present."""
+        keep = ~np.isnan(self.features).any(axis=1)
+        return TrainingSet(
+            features=self.features[keep],
+            labels=self.labels[keep],
+            timestamps=self.timestamps[keep],
+            entity_ids=self.entity_ids[keep],
+            feature_names=self.feature_names,
+            feature_set=self.feature_set,
+        )
+
+
+@dataclass
+class _ViewRuntime:
+    """Book-keeping the store keeps per published view version."""
+
+    view: FeatureView
+    last_materialized: float | None = None
+    runs: list[MaterializationResult] = field(default_factory=list)
+
+
+class FeatureStore:
+    """Centralized feature management (the paper's Part-1 system)."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self.registry = FeatureRegistry()
+        self.offline = OfflineStore()
+        self.online = OnlineStore(clock=self.clock)
+        self.models = ModelStore(clock=self.clock)
+        self._runtimes: dict[tuple[str, int], _ViewRuntime] = {}
+
+    # -- sources ------------------------------------------------------------
+
+    def create_source_table(self, name: str, schema: TableSchema) -> OfflineTable:
+        """Provision a raw event table features will be derived from."""
+        return self.offline.create_table(name, schema)
+
+    def ingest(self, table: str, rows: list[dict[str, object]]) -> int:
+        """Append raw events to a source table."""
+        return self.offline.table(table).append(rows)
+
+    def attach_stream(
+        self,
+        name: str,
+        features: list,
+        ttl: float | None = None,
+        emit_interval: float = 60.0,
+    ):
+        """Provision a streaming ingestion path bound to this store.
+
+        Returns a :class:`repro.streaming.StreamProcessor` whose aggregates
+        are served from this store's online store (namespace
+        ``<name>__stream``) and logged to its offline store (table
+        ``__stream__<name>``). The log table is a normal offline table, so
+        a batch :class:`FeatureView` can be published over it to fold
+        streaming features into point-in-time training sets — the paper's
+        "persisted to the online store and logged to the offline store"
+        (section 2.2.1), composed with the batch path.
+        """
+        from repro.streaming.processor import StreamProcessor
+
+        return StreamProcessor(
+            features=features,
+            online=self.online,
+            offline=self.offline,
+            namespace=f"{name}__stream",
+            log_table=f"__stream__{name}",
+            emit_interval=emit_interval,
+            ttl=ttl,
+        )
+
+    def get_stream_features(
+        self,
+        name: str,
+        entity_ids: list[int],
+        policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
+    ) -> list[dict[str, object] | None]:
+        """Online lookup of a stream attached via :meth:`attach_stream`."""
+        return self.online.read_many(f"{name}__stream", entity_ids, policy)
+
+    # -- authoring & publishing ----------------------------------------------
+
+    def register_entity(self, name: str, description: str = "") -> EntityDef:
+        entity = EntityDef(name=name, description=description)
+        self.registry.register_entity(entity)
+        return entity
+
+    def publish_view(self, view: FeatureView) -> FeatureView:
+        """Publish a feature view and provision its storage.
+
+        Validates that the source table exists and declares every input
+        column the view's transformations read.
+        """
+        source = self.offline.table(view.source_table)
+        known = set(source.schema.columns) | {"entity_id", "timestamp"}
+        missing = view.input_columns() - known
+        if missing:
+            raise ValidationError(
+                f"view {view.name!r} reads columns {sorted(missing)} that source "
+                f"table {view.source_table!r} does not declare"
+            )
+        stamped = self.registry.publish_view(view)
+        feature_columns = {f.name: f.dtype for f in stamped.features}
+        self.offline.create_table(
+            stamped.materialized_table, TableSchema(columns=feature_columns)
+        )
+        self.online.create_namespace(stamped.online_namespace, ttl=stamped.ttl)
+        self._runtimes[(stamped.name, stamped.version)] = _ViewRuntime(view=stamped)
+        logger.info(
+            "published view %s v%d (%d features, cadence %.0fs)",
+            stamped.name, stamped.version, len(stamped.features), stamped.cadence,
+        )
+        return stamped
+
+    # -- materialization ------------------------------------------------------
+
+    def materialize(
+        self,
+        view_name: str,
+        as_of: float | None = None,
+        version: int | None = None,
+        entity_ids: list[int] | None = None,
+    ) -> MaterializationResult:
+        """Evaluate a view's features as of a timestamp, into both stores.
+
+        Only entities with at least one source event at or before ``as_of``
+        receive a row. Feature rows are timestamped ``as_of``, which is what
+        point-in-time training joins key on.
+        """
+        view = self.registry.view(view_name, version)
+        runtime = self._runtimes[(view.name, view.version)]
+        as_of = self.clock.now() if as_of is None else float(as_of)
+        source = self.offline.table(view.source_table)
+        target = self.offline.table(view.materialized_table)
+
+        max_window = max(
+            (t.window for f in view.features for t in [f.transform]
+             if hasattr(t, "window")),
+            default=None,
+        )
+
+        candidates = entity_ids if entity_ids is not None else source.entity_ids()
+        written = 0
+        for entity_id in candidates:
+            latest = source.latest_before(entity_id, as_of)
+            if latest is None:
+                continue
+            if max_window is not None:
+                events = source.events_between(entity_id, as_of - max_window, as_of)
+                # An empty window means the latest event predates it;
+                # ColumnRef/RowTransform still need that latest event, and
+                # WindowAggregate correctly sees nothing in range.
+                if not events:
+                    events = [latest]
+            else:
+                events = [latest]
+
+            values: dict[str, object] = {}
+            for feature in view.features:
+                values[feature.name] = feature.transform.evaluate(events, as_of)
+
+            target.append(
+                [{"entity_id": entity_id, "timestamp": as_of, **values}]
+            )
+            self.online.write(view.online_namespace, entity_id, values, event_time=as_of)
+            written += 1
+
+        result = MaterializationResult(
+            view=view.name, version=view.version, as_of=as_of, entities_written=written
+        )
+        runtime.last_materialized = as_of
+        runtime.runs.append(result)
+        logger.info(
+            "materialized %s v%d as_of=%.0f: %d entities",
+            view.name, view.version, as_of, written,
+        )
+        return result
+
+    def backfill(
+        self,
+        view_name: str,
+        start: float,
+        end: float,
+        version: int | None = None,
+        step: float | None = None,
+    ) -> list[MaterializationResult]:
+        """Materialize a historical range at the view's cadence.
+
+        The orchestration path for "when the underlying data changes"
+        (section 2.2.1): after late-arriving data or a view republish, the
+        offline history must be regenerated so point-in-time training joins
+        see the corrected values. Runs at ``start, start+step, ...`` up to
+        and including ``end`` (``step`` defaults to the view's cadence).
+
+        Note the online store is only effectively updated by the *last* run
+        (its last-event-time-wins upsert ignores the older snapshots).
+        """
+        if end < start:
+            raise ValidationError(f"backfill range reversed ({start=}, {end=})")
+        view = self.registry.view(view_name, version)
+        step = view.cadence if step is None else float(step)
+        if step <= 0:
+            raise ValidationError(f"step must be positive ({step=})")
+        results = []
+        as_of = start
+        while as_of <= end:
+            results.append(
+                self.materialize(view_name, as_of=as_of, version=view.version)
+            )
+            as_of += step
+        return results
+
+    def materialization_runs(
+        self, view_name: str, version: int | None = None
+    ) -> list[MaterializationResult]:
+        view = self.registry.view(view_name, version)
+        return list(self._runtimes[(view.name, view.version)].runs)
+
+    def views_due(self, now: float | None = None) -> list[FeatureView]:
+        """Latest view versions whose cadence says they should re-materialize.
+
+        The FS "orchestrates the updates to the features based on the
+        user-defined cadence" (section 2.2.1); the pipeline scheduler calls
+        this every tick.
+        """
+        now = self.clock.now() if now is None else now
+        due = []
+        for name in self.registry.view_names():
+            view = self.registry.view(name)
+            runtime = self._runtimes[(view.name, view.version)]
+            last = runtime.last_materialized
+            if last is None or now - last >= view.cadence:
+                due.append(view)
+        return due
+
+    # -- serving ---------------------------------------------------------------
+
+    def get_online_features(
+        self,
+        view_name: str,
+        entity_ids: list[int],
+        version: int | None = None,
+        policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
+    ) -> list[dict[str, object] | None]:
+        """Low-latency lookup of the latest feature vectors."""
+        view = self.registry.view(view_name, version)
+        return self.online.read_many(view.online_namespace, entity_ids, policy)
+
+    # -- training sets -----------------------------------------------------------
+
+    def create_feature_set(self, spec: FeatureSetSpec) -> FeatureSetSpec:
+        return self.registry.create_feature_set(spec)
+
+    def get_historical_features(
+        self,
+        entity_events: list[tuple[int, float]],
+        feature_set: str,
+    ) -> list[dict[str, object]]:
+        """Point-in-time join: feature values as each event's timestamp saw them.
+
+        For every ``(entity_id, timestamp)`` pair, each selected feature is
+        read from the *latest materialized row at or before* the timestamp —
+        never from the future.
+        """
+        resolved = self.registry.resolve_feature_set(feature_set)
+        tables = {
+            view.name: self.offline.table(view.materialized_table)
+            for view, __ in resolved
+        }
+        out: list[dict[str, object]] = []
+        for entity_id, timestamp in entity_events:
+            row: dict[str, object] = {"entity_id": entity_id, "timestamp": timestamp}
+            for view, feature_name in resolved:
+                hit = tables[view.name].latest_before(entity_id, timestamp)
+                key = f"{view.name}@{view.version}:{feature_name}"
+                row[key] = None if hit is None else hit.get(feature_name)
+            out.append(row)
+        return out
+
+    def build_training_set(
+        self,
+        labels: list[tuple[int, float, float]],
+        feature_set: str,
+    ) -> TrainingSet:
+        """Join labels ``(entity_id, timestamp, label)`` against history.
+
+        Non-numeric features are rejected — training matrices are float.
+        """
+        resolved = self.registry.resolve_feature_set(feature_set)
+        for view, feature_name in resolved:
+            dtype = view.feature(feature_name).dtype
+            if dtype == "string":
+                raise ValidationError(
+                    f"feature {view.name}:{feature_name} is a string; training "
+                    "sets require numeric features"
+                )
+        names = tuple(
+            f"{view.name}@{view.version}:{feature_name}"
+            for view, feature_name in resolved
+        )
+        joined = self.get_historical_features(
+            [(e, t) for e, t, __ in labels], feature_set
+        )
+        n = len(labels)
+        matrix = np.full((n, len(names)), np.nan)
+        for i, row in enumerate(joined):
+            for j, name in enumerate(names):
+                value = row[name]
+                if value is not None:
+                    matrix[i, j] = float(value)  # type: ignore[arg-type]
+        return TrainingSet(
+            features=matrix,
+            labels=np.array([label for __, __, label in labels]),
+            timestamps=np.array([t for __, t, __ in labels]),
+            entity_ids=np.array([e for e, __, __ in labels], dtype=np.int64),
+            feature_names=names,
+            feature_set=feature_set,
+        )
+
+    # -- embedding-enhanced training sets ------------------------------------
+
+    @staticmethod
+    def compose_with_embedding(
+        training: TrainingSet,
+        embedding_store,
+        name: str,
+        pinned_version: int,
+        serve_version: int | None = None,
+    ) -> tuple[np.ndarray, tuple[str, ...]]:
+        """Append an entity embedding's rows to a training matrix.
+
+        The paper's "embedding enhanced feature store" (section 4) serves
+        tabular features and embeddings side by side; this composes both
+        into one ``(n, d_tabular + d_embedding)`` matrix, pulling vectors
+        through the embedding store's compatibility-checked path. Returns
+        the matrix and the extended feature-name tuple (embedding columns
+        are named ``<name>@<version>[j]``).
+        """
+        vectors = embedding_store.vectors_for_model(
+            name, pinned_version, training.entity_ids, serve_version=serve_version
+        )
+        matrix = np.hstack([training.features, vectors])
+        version = serve_version if serve_version is not None else pinned_version
+        embedding_names = tuple(
+            f"{name}@{version}[{j}]" for j in range(vectors.shape[1])
+        )
+        return matrix, training.feature_names + embedding_names
+
+    # -- models ------------------------------------------------------------------
+
+    def register_model(
+        self,
+        name: str,
+        model: object,
+        feature_set: str,
+        metrics: dict[str, float] | None = None,
+        hyperparameters: dict[str, object] | None = None,
+        embedding_versions: dict[str, int] | None = None,
+    ):
+        """Store a trained model and wire its lineage to the feature set."""
+        self.registry.feature_set(feature_set)  # must exist
+        record = self.models.register(
+            name,
+            model,
+            metrics=metrics,
+            hyperparameters=hyperparameters,
+            feature_set=feature_set,
+            embedding_versions=embedding_versions,
+        )
+        self.registry.link_model(name, feature_set)
+        for embedding_name in (embedding_versions or {}):
+            self.registry.link_embedding(embedding_name, name)
+        return record
+
+    def serve_features_for_model(
+        self,
+        model_name: str,
+        entity_ids: list[int],
+        policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
+    ) -> np.ndarray:
+        """Assemble the online feature matrix a deployed model expects.
+
+        Reads each pinned feature of the model's feature set from the online
+        store under the given freshness ``policy``; missing or stale-dropped
+        values become NaN (callers impute or reject).
+        """
+        record = self.models.get(model_name)
+        if record.feature_set is None:
+            raise ServingError(f"model {model_name!r} has no pinned feature set")
+        resolved = self.registry.resolve_feature_set(record.feature_set)
+        for view, feature_name in resolved:
+            if view.feature(feature_name).dtype == "string":
+                raise ServingError(
+                    f"feature {view.name}:{feature_name} is a string; model "
+                    "feature matrices are numeric"
+                )
+        matrix = np.full((len(entity_ids), len(resolved)), np.nan)
+        for j, (view, feature_name) in enumerate(resolved):
+            vectors = self.online.read_many(view.online_namespace, entity_ids, policy)
+            for i, values in enumerate(vectors):
+                if values is not None and values.get(feature_name) is not None:
+                    matrix[i, j] = float(values[feature_name])  # type: ignore[arg-type]
+        return matrix

@@ -1,0 +1,148 @@
+"""Feature transformations.
+
+A feature view (paper section 2.2.1) is authored as "simple definitional
+metadata, e.g., the feature update cadence and a definition SQL query". Our
+stand-in for the definition query is a small algebra of transformations that
+are applied at materialization time:
+
+* :class:`ColumnRef` — pass the latest raw value through.
+* :class:`RowTransform` — a row-level derived value (e.g. fare per km).
+* :class:`WindowAggregate` — a per-entity trailing-window aggregate (the
+  "aggregation functions ... applied on the raw streaming features").
+
+All transformations are evaluated *as of* a timestamp and only ever read
+events at or before it, which is what makes materialized features safe for
+point-in-time training joins.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+_AGGREGATIONS: dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda v: float(np.mean(v)),
+    "sum": lambda v: float(np.sum(v)),
+    "min": lambda v: float(np.min(v)),
+    "max": lambda v: float(np.max(v)),
+    "std": lambda v: float(np.std(v)),
+    "count": lambda v: float(len(v)),
+    "last": lambda v: float(v[-1]),
+}
+
+
+class Transformation(ABC):
+    """Computes one feature value for one entity as of a timestamp."""
+
+    @property
+    @abstractmethod
+    def input_columns(self) -> tuple[str, ...]:
+        """Raw source columns this transformation reads (for lineage)."""
+
+    @abstractmethod
+    def evaluate(
+        self, events: Sequence[dict[str, object]], as_of: float
+    ) -> float | int | str | None:
+        """Compute the feature value from an entity's time-sorted events.
+
+        ``events`` contains only events with ``timestamp <= as_of`` — the
+        caller enforces the point-in-time contract; implementations may
+        assume it.
+        """
+
+
+@dataclass(frozen=True)
+class ColumnRef(Transformation):
+    """The raw column value from the entity's latest event."""
+
+    column: str
+
+    @property
+    def input_columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def evaluate(
+        self, events: Sequence[dict[str, object]], as_of: float
+    ) -> float | int | str | None:
+        if not events:
+            return None
+        return events[-1].get(self.column)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class RowTransform(Transformation):
+    """A function of several columns of the entity's latest event.
+
+    ``fn`` receives the column values positionally (matching ``inputs``) and
+    must tolerate ``None`` or return ``None`` itself; any exception is
+    treated as a definition bug and re-raised.
+    """
+
+    fn: Callable[..., float | int | str | None]
+    inputs: tuple[str, ...]
+
+    @property
+    def input_columns(self) -> tuple[str, ...]:
+        return self.inputs
+
+    def evaluate(
+        self, events: Sequence[dict[str, object]], as_of: float
+    ) -> float | int | str | None:
+        if not events:
+            return None
+        latest = events[-1]
+        args = [latest.get(column) for column in self.inputs]
+        if any(a is None for a in args):
+            return None
+        return self.fn(*args)
+
+
+@dataclass(frozen=True)
+class WindowAggregate(Transformation):
+    """A trailing-window aggregate of one column.
+
+    ``window`` is in seconds; events with
+    ``as_of - window < timestamp <= as_of`` participate. NULL values are
+    skipped; an empty window yields ``None`` (except ``count``, which
+    yields 0).
+    """
+
+    column: str
+    agg: str
+    window: float
+
+    def __post_init__(self) -> None:
+        if self.agg not in _AGGREGATIONS:
+            raise ValidationError(
+                f"unknown aggregation {self.agg!r}; allowed: {sorted(_AGGREGATIONS)}"
+            )
+        if self.window <= 0:
+            raise ValidationError(f"window must be positive ({self.window=})")
+
+    @property
+    def input_columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def evaluate(
+        self, events: Sequence[dict[str, object]], as_of: float
+    ) -> float | None:
+        lo = as_of - self.window
+        values = [
+            event[self.column]
+            for event in events
+            if lo < float(event["timestamp"]) <= as_of  # type: ignore[arg-type]
+            and event.get(self.column) is not None
+        ]
+        if not values:
+            return 0.0 if self.agg == "count" else None
+        return _AGGREGATIONS[self.agg](np.asarray(values, dtype=float))
+
+
+def available_aggregations() -> list[str]:
+    """Names of the supported window aggregation functions."""
+    return sorted(_AGGREGATIONS)

@@ -1,0 +1,138 @@
+"""Synthetic text corpora for self-supervised embedding pretraining.
+
+The embedding-quality experiments (E2-E4 in DESIGN.md) need corpora whose
+co-occurrence structure is known: words belong to latent topics, sentences
+are drawn from one topic each, and the global word-frequency distribution is
+Zipfian. SGNS embeddings trained on such a corpus recover the topic
+structure, and the frequency skew reproduces the "rare words are less stable
+/ less well represented" phenomenon the paper highlights (sections 3.1.1 and
+3.1.2, citing Wendlandt et al. and Schick & Schütze).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Parameters for :func:`generate_corpus`."""
+
+    vocab_size: int = 2000
+    n_topics: int = 10
+    n_sentences: int = 5000
+    sentence_length: int = 12
+    zipf_exponent: float = 1.05
+    topic_purity: float = 0.9
+
+    def validate(self) -> None:
+        if self.vocab_size < self.n_topics:
+            raise ValidationError(
+                f"vocab_size ({self.vocab_size}) must be >= n_topics ({self.n_topics})"
+            )
+        if not 0.0 < self.topic_purity <= 1.0:
+            raise ValidationError(
+                f"topic_purity must be in (0, 1] ({self.topic_purity=})"
+            )
+        if self.n_sentences <= 0 or self.sentence_length <= 0:
+            raise ValidationError("n_sentences and sentence_length must be positive")
+
+
+@dataclass(frozen=True)
+class SyntheticCorpus:
+    """A generated corpus with its latent ground truth.
+
+    Attributes:
+        sentences: list of word-id arrays, one per sentence.
+        word_topics: latent topic id per word (ground-truth similarity
+            structure — words sharing a topic should embed nearby).
+        sentence_topics: latent topic id per sentence (downstream label).
+        word_frequencies: empirical corpus frequency per word id.
+    """
+
+    sentences: list[np.ndarray]
+    word_topics: np.ndarray
+    sentence_topics: np.ndarray
+    word_frequencies: np.ndarray
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.word_topics)
+
+    @property
+    def n_topics(self) -> int:
+        return int(self.word_topics.max()) + 1
+
+    def frequency_deciles(self) -> np.ndarray:
+        """Assign each word to a frequency decile (0 = rarest, 9 = most common).
+
+        Ties are broken by word id so the assignment is deterministic.
+        """
+        order = np.lexsort((np.arange(self.vocab_size), self.word_frequencies))
+        deciles = np.empty(self.vocab_size, dtype=np.int64)
+        for rank, word in enumerate(order):
+            deciles[word] = min(9, rank * 10 // self.vocab_size)
+        return deciles
+
+    def tokens(self) -> np.ndarray:
+        """Concatenate all sentences into a single token-id array."""
+        return np.concatenate(self.sentences) if self.sentences else np.array([], int)
+
+
+def generate_corpus(
+    config: CorpusConfig = CorpusConfig(), seed: int | np.random.Generator = 0
+) -> SyntheticCorpus:
+    """Generate a topic-structured Zipfian corpus.
+
+    Each word is assigned a home topic round-robin over a frequency-ranked
+    vocabulary (so every topic gets words across the frequency spectrum).
+    Each sentence draws one topic, then draws words from the home-topic
+    vocabulary with probability ``topic_purity`` and from the full vocabulary
+    otherwise; within either pool, word probabilities follow the global
+    Zipfian weights.
+    """
+    config.validate()
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+
+    vocab = config.vocab_size
+    ranks = np.arange(1, vocab + 1, dtype=float)
+    zipf_weights = ranks**-config.zipf_exponent
+    zipf_probs = zipf_weights / zipf_weights.sum()
+
+    # Round-robin topic assignment over frequency ranks: topic t owns words
+    # t, t + T, t + 2T, ... so topics are frequency-balanced.
+    word_topics = np.arange(vocab) % config.n_topics
+
+    topic_probs: list[np.ndarray] = []
+    for topic in range(config.n_topics):
+        member = word_topics == topic
+        probs = np.where(member, zipf_probs, 0.0)
+        topic_probs.append(probs / probs.sum())
+
+    sentence_topics = rng.integers(0, config.n_topics, size=config.n_sentences)
+    sentences: list[np.ndarray] = []
+    counts = np.zeros(vocab, dtype=np.int64)
+    for topic in sentence_topics:
+        on_topic = rng.random(config.sentence_length) < config.topic_purity
+        words = np.where(
+            on_topic,
+            rng.choice(vocab, size=config.sentence_length, p=topic_probs[topic]),
+            rng.choice(vocab, size=config.sentence_length, p=zipf_probs),
+        ).astype(np.int64)
+        np.add.at(counts, words, 1)
+        sentences.append(words)
+
+    return SyntheticCorpus(
+        sentences=sentences,
+        word_topics=word_topics.astype(np.int64),
+        sentence_topics=sentence_topics.astype(np.int64),
+        word_frequencies=counts,
+    )

@@ -1,0 +1,148 @@
+"""Drift and anomaly injectors.
+
+Monitoring experiments (E6, E7) need ground-truth anomalies: the paper's
+section 2.2.3 says feature stores must surface "training-deployment data
+skew and near real-time outlier and input drift detection". Each injector
+transforms a column (or dataset) and records exactly which rows/windows were
+corrupted, so benchmark harnesses can compute detection precision/recall.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class DriftInjector(ABC):
+    """Transforms a 1-D value array, corrupting rows in ``[start, end)``."""
+
+    @abstractmethod
+    def apply(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(corrupted_values, corrupted_mask)``.
+
+        The input array is never mutated; the mask marks affected rows.
+        """
+
+    @staticmethod
+    def _window_mask(n: int, start_fraction: float, end_fraction: float) -> np.ndarray:
+        if not 0.0 <= start_fraction < end_fraction <= 1.0:
+            raise ValidationError(
+                f"need 0 <= start < end <= 1 (got {start_fraction}, {end_fraction})"
+            )
+        mask = np.zeros(n, dtype=bool)
+        mask[int(start_fraction * n) : int(end_fraction * n)] = True
+        return mask
+
+
+@dataclass(frozen=True)
+class MeanShift(DriftInjector):
+    """Add ``delta`` to values inside a fractional row window."""
+
+    delta: float
+    start_fraction: float = 0.5
+    end_fraction: float = 1.0
+
+    def apply(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        mask = self._window_mask(len(values), self.start_fraction, self.end_fraction)
+        out = values.copy()
+        out[mask] = out[mask] + self.delta
+        return out, mask
+
+
+@dataclass(frozen=True)
+class VarianceShift(DriftInjector):
+    """Scale deviations from the window mean by ``factor`` inside a window."""
+
+    factor: float
+    start_fraction: float = 0.5
+    end_fraction: float = 1.0
+
+    def apply(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.factor <= 0:
+            raise ValidationError(f"factor must be positive ({self.factor=})")
+        mask = self._window_mask(len(values), self.start_fraction, self.end_fraction)
+        out = values.copy()
+        window = out[mask]
+        finite = window[~np.isnan(window)]
+        if len(finite):
+            center = float(np.mean(finite))
+            out[mask] = center + (window - center) * self.factor
+        return out, mask
+
+
+@dataclass(frozen=True)
+class NullBurst(DriftInjector):
+    """Set a random ``rate`` of values to NaN inside a window.
+
+    This is the classic upstream-pipeline failure a null-count metric
+    (paper section 2.2.2) is designed to catch.
+    """
+
+    rate: float
+    start_fraction: float = 0.5
+    end_fraction: float = 1.0
+
+    def apply(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not 0.0 < self.rate <= 1.0:
+            raise ValidationError(f"rate must be in (0, 1] ({self.rate=})")
+        window = self._window_mask(len(values), self.start_fraction, self.end_fraction)
+        hit = window & (rng.random(len(values)) < self.rate)
+        out = values.astype(float).copy()
+        out[hit] = np.nan
+        return out, hit
+
+
+@dataclass(frozen=True)
+class CategoricalShift(DriftInjector):
+    """Remap a fraction of categorical codes to a single new category.
+
+    Models the "new enum value appeared upstream" failure mode; the affected
+    rows take the code ``new_category``.
+    """
+
+    new_category: int
+    rate: float = 0.5
+    start_fraction: float = 0.5
+    end_fraction: float = 1.0
+
+    def apply(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not 0.0 < self.rate <= 1.0:
+            raise ValidationError(f"rate must be in (0, 1] ({self.rate=})")
+        window = self._window_mask(len(values), self.start_fraction, self.end_fraction)
+        hit = window & (rng.random(len(values)) < self.rate)
+        out = values.copy()
+        out[hit] = self.new_category
+        return out, hit
+
+
+def inject(
+    values: np.ndarray,
+    injectors: list[DriftInjector],
+    seed: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply injectors in sequence; return values and the union corruption mask."""
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    out = values.copy()
+    corrupted = np.zeros(len(values), dtype=bool)
+    for injector in injectors:
+        out, mask = injector.apply(out, rng)
+        corrupted |= mask
+    return out, corrupted

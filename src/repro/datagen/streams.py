@@ -1,0 +1,126 @@
+"""Event stream generation.
+
+Feature stores ingest *streaming* features in addition to batch tables
+(paper section 2.2.1: "For streaming features, users provide aggregation
+functions that are applied on the raw streaming features"). This module
+generates timestamped event streams with controllable arrival rates and
+per-entity value processes, including regime changes for drift experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """A single raw streaming event."""
+
+    timestamp: float
+    entity_id: int
+    value: float
+    attributes: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Parameters for :func:`generate_stream`.
+
+    ``rate_per_second`` is the Poisson arrival rate across all entities.
+    ``regime_changes`` maps a timestamp to a ``(mean, std)`` pair; the value
+    process switches to those parameters at that time (used to inject drift
+    that monitors must detect).
+    """
+
+    duration: float = 3600.0
+    rate_per_second: float = 2.0
+    n_entities: int = 50
+    mean: float = 10.0
+    std: float = 2.0
+    start_time: float = 0.0
+    regime_changes: dict[float, tuple[float, float]] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ValidationError(f"duration must be positive ({self.duration=})")
+        if self.rate_per_second <= 0:
+            raise ValidationError(
+                f"rate_per_second must be positive ({self.rate_per_second=})"
+            )
+        if self.n_entities <= 0:
+            raise ValidationError(f"n_entities must be positive ({self.n_entities=})")
+
+
+class EventStream:
+    """An iterable, replayable sequence of :class:`StreamEvent`.
+
+    Events are materialized eagerly (the workloads are laptop-scale) but the
+    class exposes an iterator interface so consumers treat it as a stream.
+    """
+
+    def __init__(self, events: list[StreamEvent]) -> None:
+        self._events = sorted(events, key=lambda e: e.timestamp)
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[StreamEvent]:
+        return list(self._events)
+
+    def between(self, start: float, end: float) -> list[StreamEvent]:
+        """Events with ``start <= timestamp < end``."""
+        return [e for e in self._events if start <= e.timestamp < end]
+
+    def values(self) -> np.ndarray:
+        return np.array([e.value for e in self._events])
+
+    def timestamps(self) -> np.ndarray:
+        return np.array([e.timestamp for e in self._events])
+
+
+def generate_stream(
+    config: StreamConfig = StreamConfig(), seed: int | np.random.Generator = 0
+) -> EventStream:
+    """Generate a Poisson-arrival event stream with piecewise value regimes."""
+    config.validate()
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+
+    expected = config.rate_per_second * config.duration
+    n_events = int(rng.poisson(expected))
+    offsets = np.sort(rng.uniform(0.0, config.duration, size=n_events))
+    timestamps = config.start_time + offsets
+    entity_ids = rng.integers(0, config.n_entities, size=n_events)
+
+    # Piecewise-constant regimes: sorted switch points partition the horizon.
+    switch_times = sorted(config.regime_changes)
+    means = np.full(n_events, config.mean)
+    stds = np.full(n_events, config.std)
+    for switch in switch_times:
+        mean, std = config.regime_changes[switch]
+        active = timestamps >= switch
+        means[active] = mean
+        stds[active] = std
+
+    values = rng.normal(means, stds)
+    events = [
+        StreamEvent(
+            timestamp=float(timestamps[i]),
+            entity_id=int(entity_ids[i]),
+            value=float(values[i]),
+        )
+        for i in range(n_events)
+    ]
+    return EventStream(events)

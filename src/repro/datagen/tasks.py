@@ -1,0 +1,235 @@
+"""Downstream classification tasks with planted structure.
+
+Two families:
+
+* :func:`generate_sliced_task` — a tabular classification task with *planted
+  underperforming slices* (subpopulations where the feature-label relation is
+  corrupted). Used by the slice-discovery and patching experiments (E8, E11):
+  a slice finder should recover exactly the planted slices.
+* :func:`generate_entity_task` — a task whose examples reference entities and
+  whose labels depend on a latent entity attribute. Downstream models consume
+  an *entity embedding* as their feature, which is how the paper's embedding
+  ecosystem serves derived data to many products (section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PlantedSlice:
+    """Ground truth for one planted error slice."""
+
+    name: str
+    column: str
+    value: int
+    mask: np.ndarray
+    noise_rate: float
+
+
+@dataclass(frozen=True)
+class ClassificationTask:
+    """A binary/multiclass classification dataset with metadata columns.
+
+    ``metadata`` columns are integer-coded attributes (e.g. city, device)
+    over which slices are defined; they are *not* part of the model features
+    unless a caller chooses to include them.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    metadata: dict[str, np.ndarray] = field(default_factory=dict)
+    planted_slices: tuple[PlantedSlice, ...] = ()
+    entity_ids: np.ndarray | None = None
+    n_classes: int = 2
+    clean_labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = len(self.labels)
+        if self.features.shape[0] != n:
+            raise ValidationError(
+                f"features rows {self.features.shape[0]} != labels {n}"
+            )
+        for name, col in self.metadata.items():
+            if len(col) != n:
+                raise ValidationError(f"metadata {name!r} length {len(col)} != {n}")
+        if self.entity_ids is not None and len(self.entity_ids) != n:
+            raise ValidationError("entity_ids length mismatch")
+        if self.clean_labels is not None and len(self.clean_labels) != n:
+            raise ValidationError("clean_labels length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def subset(self, mask: np.ndarray) -> "ClassificationTask":
+        """Row subset; planted-slice masks are subset alongside."""
+        return ClassificationTask(
+            features=self.features[mask],
+            labels=self.labels[mask],
+            metadata={k: v[mask] for k, v in self.metadata.items()},
+            planted_slices=tuple(
+                PlantedSlice(s.name, s.column, s.value, s.mask[mask], s.noise_rate)
+                for s in self.planted_slices
+            ),
+            entity_ids=None if self.entity_ids is None else self.entity_ids[mask],
+            n_classes=self.n_classes,
+            clean_labels=(
+                None if self.clean_labels is None else self.clean_labels[mask]
+            ),
+        )
+
+    def split(
+        self, train_fraction: float = 0.7, seed: int = 0
+    ) -> tuple["ClassificationTask", "ClassificationTask"]:
+        """Random train/test split preserving metadata and slice masks."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(train_fraction * len(self))
+        train_mask = np.zeros(len(self), dtype=bool)
+        train_mask[order[:cut]] = True
+        return self.subset(train_mask), self.subset(~train_mask)
+
+
+@dataclass(frozen=True)
+class SlicedTaskConfig:
+    """Parameters for :func:`generate_sliced_task`."""
+
+    n_rows: int = 4000
+    n_features: int = 8
+    n_classes: int = 2
+    metadata_cardinalities: dict[str, int] = field(
+        default_factory=lambda: {"city": 6, "device": 3}
+    )
+    planted: tuple[tuple[str, int, float], ...] = (("city", 3, 0.45),)
+    base_noise: float = 0.05
+    signal_strength: float = 2.5
+
+    def validate(self) -> None:
+        if self.n_rows <= 0 or self.n_features <= 0:
+            raise ValidationError("n_rows and n_features must be positive")
+        if not 0.0 <= self.base_noise < 0.5:
+            raise ValidationError(f"base_noise must be in [0, 0.5) ({self.base_noise=})")
+        for column, value, rate in self.planted:
+            if column not in self.metadata_cardinalities:
+                raise ValidationError(f"planted slice column {column!r} not declared")
+            if value >= self.metadata_cardinalities[column]:
+                raise ValidationError(
+                    f"planted slice value {value} out of range for {column!r}"
+                )
+            if not 0.0 < rate <= 0.5:
+                raise ValidationError(f"slice noise rate must be in (0, 0.5] ({rate=})")
+
+
+def generate_sliced_task(
+    config: SlicedTaskConfig = SlicedTaskConfig(), seed: int | np.random.Generator = 0
+) -> ClassificationTask:
+    """Generate a linearly separable task with label noise planted in slices.
+
+    Labels come from a random linear teacher on Gaussian features with
+    ``base_noise`` global label flips; inside each planted slice the flip
+    rate rises to that slice's ``noise_rate``, degrading any model's
+    achievable accuracy there — the "meaningful subpopulations of errors" the
+    paper's section 3.1.3 wants monitoring tools to surface.
+    """
+    config.validate()
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+
+    features = rng.normal(size=(config.n_rows, config.n_features))
+    teacher = rng.normal(size=config.n_features) * config.signal_strength
+    logits = features @ teacher
+    if config.n_classes == 2:
+        labels = (logits > 0).astype(np.int64)
+    else:
+        # Multiclass: bucket the teacher score into equiprobable bins.
+        edges = np.quantile(logits, np.linspace(0, 1, config.n_classes + 1)[1:-1])
+        labels = np.digitize(logits, edges).astype(np.int64)
+
+    metadata = {
+        name: rng.integers(0, cardinality, size=config.n_rows).astype(np.int64)
+        for name, cardinality in config.metadata_cardinalities.items()
+    }
+
+    flip = rng.random(config.n_rows) < config.base_noise
+    planted: list[PlantedSlice] = []
+    for name_value_rate in config.planted:
+        column, value, rate = name_value_rate
+        mask = metadata[column] == value
+        flip |= mask & (rng.random(config.n_rows) < rate)
+        planted.append(
+            PlantedSlice(
+                name=f"{column}={value}",
+                column=column,
+                value=value,
+                mask=mask,
+                noise_rate=rate,
+            )
+        )
+
+    noisy = labels.copy()
+    flipped_to = rng.integers(1, config.n_classes, size=config.n_rows)
+    noisy[flip] = (labels[flip] + flipped_to[flip]) % config.n_classes
+
+    return ClassificationTask(
+        features=features,
+        labels=noisy,
+        metadata=metadata,
+        planted_slices=tuple(planted),
+        n_classes=config.n_classes,
+        clean_labels=labels,
+    )
+
+
+def generate_entity_task(
+    n_rows: int,
+    entity_attributes: np.ndarray,
+    n_classes: int | None = None,
+    entity_skew: float = 1.1,
+    label_noise: float = 0.05,
+    seed: int | np.random.Generator = 0,
+) -> ClassificationTask:
+    """Generate a task whose label is the referenced entity's attribute.
+
+    ``entity_attributes`` maps entity id to an integer class (e.g. the
+    entity's type or topic). A downstream model sees only the entity's
+    *embedding* as features, so its accuracy directly measures how well the
+    embedding encodes the attribute — the paper's "downstream quality"
+    coupling (sections 3.1.2-3.1.3). Features here are just entity ids; the
+    caller composes them with an embedding matrix at train time.
+    """
+    if n_rows <= 0:
+        raise ValidationError(f"n_rows must be positive ({n_rows=})")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    n_entities = len(entity_attributes)
+    ranks = np.arange(1, n_entities + 1, dtype=float)
+    probs = ranks**-entity_skew
+    probs /= probs.sum()
+
+    entity_ids = rng.choice(n_entities, size=n_rows, p=probs).astype(np.int64)
+    clean = entity_attributes[entity_ids].astype(np.int64)
+    labels = clean.copy()
+    k = int(n_classes if n_classes is not None else entity_attributes.max() + 1)
+    if label_noise > 0 and k > 1:
+        flip = rng.random(n_rows) < label_noise
+        labels[flip] = (labels[flip] + rng.integers(1, k, size=n_rows)[flip]) % k
+
+    return ClassificationTask(
+        features=entity_ids.reshape(-1, 1).astype(float),
+        labels=labels,
+        metadata={"entity": entity_ids},
+        entity_ids=entity_ids,
+        n_classes=k,
+        clean_labels=clean,
+    )

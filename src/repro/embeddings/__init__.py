@@ -1,0 +1,57 @@
+"""Self-supervised embeddings: training, compression, quality metrics.
+
+This package provides everything the embedding-ecosystem half of the paper
+(section 3) needs, in pure numpy/scipy:
+
+* :mod:`repro.embeddings.base` — the :class:`EmbeddingMatrix` container with
+  similarity and nearest-neighbour queries.
+* :mod:`repro.embeddings.training` — skip-gram negative sampling (word2vec),
+  PPMI+SVD factorization, and Bootleg-style entity embedding trainers.
+* :mod:`repro.embeddings.compression` — uniform quantization, PCA low-rank
+  and k-means codebook compression (for the May et al. experiments).
+* :mod:`repro.embeddings.metrics` — k-NN stability (Wendlandt et al.),
+  eigenspace overlap score (May et al.), downstream instability
+  (Leszczynski et al.), and Procrustes alignment utilities.
+"""
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.embeddings.compression import (
+    CompressionResult,
+    kmeans_codebook_compress,
+    pca_compress,
+    product_quantize,
+    uniform_quantize,
+)
+from repro.embeddings.metrics import (
+    align_procrustes,
+    downstream_instability,
+    eigenspace_overlap_score,
+    knn_overlap,
+    semantic_displacement,
+)
+from repro.embeddings.training import (
+    PpmiSvdConfig,
+    SgnsConfig,
+    train_entity_embeddings,
+    train_ppmi_svd,
+    train_sgns,
+)
+
+__all__ = [
+    "CompressionResult",
+    "EmbeddingMatrix",
+    "PpmiSvdConfig",
+    "SgnsConfig",
+    "align_procrustes",
+    "downstream_instability",
+    "eigenspace_overlap_score",
+    "kmeans_codebook_compress",
+    "knn_overlap",
+    "pca_compress",
+    "product_quantize",
+    "semantic_displacement",
+    "train_entity_embeddings",
+    "train_ppmi_svd",
+    "train_sgns",
+    "uniform_quantize",
+]

@@ -1,0 +1,99 @@
+"""The embedding container.
+
+An :class:`EmbeddingMatrix` wraps an ``(n, d)`` float array of row vectors
+(one per word/entity id) and provides the similarity queries the rest of the
+ecosystem builds on: cosine similarity, dot products, and exact k-NN.
+Approximate indexes live in :mod:`repro.index`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class EmbeddingMatrix:
+    """Row-major embedding table: row ``i`` is the vector of id ``i``."""
+
+    vectors: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.vectors.ndim != 2:
+            raise ValidationError(
+                f"vectors must be 2-D (got shape {self.vectors.shape})"
+            )
+        if not np.isfinite(self.vectors).all():
+            raise ValidationError("vectors must be finite (no NaN/inf)")
+
+    @property
+    def n(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[1]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def vector(self, index: int) -> np.ndarray:
+        return self.vectors[index]
+
+    def normalized(self) -> np.ndarray:
+        """Unit-norm copy of the matrix (zero rows stay zero)."""
+        norms = np.linalg.norm(self.vectors, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return self.vectors / norms
+
+    def cosine_similarity(self, i: int, j: int) -> float:
+        a, b = self.vectors[i], self.vectors[j]
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            return 0.0
+        return float(a @ b / denom)
+
+    def similarity_to(self, query: np.ndarray) -> np.ndarray:
+        """Cosine similarity of every row to an external query vector."""
+        norms = np.linalg.norm(self.vectors, axis=1)
+        qnorm = np.linalg.norm(query)
+        denom = norms * qnorm
+        denom[denom == 0] = 1e-12
+        return (self.vectors @ query) / denom
+
+    def nearest_neighbors(
+        self, index: int, k: int, exclude_self: bool = True
+    ) -> np.ndarray:
+        """Indices of the k most cosine-similar rows to row ``index``."""
+        return self.nearest_neighbors_batch(np.array([index]), k, exclude_self)[0]
+
+    def nearest_neighbors_batch(
+        self, indices: np.ndarray, k: int, exclude_self: bool = True
+    ) -> np.ndarray:
+        """Exact k-NN for several query rows at once; shape ``(q, k)``.
+
+        Neighbours are returned most-similar first. ``k`` is clamped to the
+        number of available neighbours.
+        """
+        if k <= 0:
+            raise ValidationError(f"k must be positive ({k=})")
+        normalized = self.normalized()
+        sims = normalized[indices] @ normalized.T
+        if exclude_self:
+            sims[np.arange(len(indices)), indices] = -np.inf
+        k = min(k, self.n - (1 if exclude_self else 0))
+        # argpartition then sort the top-k slice: O(n + k log k) per query.
+        top = np.argpartition(-sims, kth=k - 1, axis=1)[:, :k]
+        order = np.argsort(-np.take_along_axis(sims, top, axis=1), axis=1)
+        return np.take_along_axis(top, order, axis=1)
+
+    def memory_bytes(self) -> int:
+        """Nominal storage footprint of the raw matrix."""
+        return self.vectors.nbytes
+
+    def subset(self, indices: np.ndarray) -> "EmbeddingMatrix":
+        """A new matrix containing only the selected rows (re-indexed)."""
+        return EmbeddingMatrix(vectors=self.vectors[indices].copy())

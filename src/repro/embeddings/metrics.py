@@ -1,0 +1,164 @@
+"""Embedding quality metrics.
+
+Paper section 3.1.2: "standard tabular metrics are inadequate for
+embeddings". The metrics the paper surveys, implemented here:
+
+* :func:`knn_overlap` — nearest-neighbour overlap between two embeddings of
+  the same vocabulary (Wendlandt et al.; Hellrich & Hahn). The per-word
+  stability measure.
+* :func:`eigenspace_overlap_score` — subspace overlap between a base and a
+  compressed embedding (May et al.), a predictor of downstream performance.
+* :func:`downstream_instability` — fraction of downstream predictions that
+  change when the embedding changes (Leszczynski et al.).
+* :func:`align_procrustes` / :func:`semantic_displacement` — orthogonal
+  alignment and per-word drift, the tools an embedding store needs to
+  compare versions whose bases differ by an arbitrary rotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import orthogonal_procrustes
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import ValidationError
+
+
+def _check_same_rows(a: EmbeddingMatrix, b: EmbeddingMatrix) -> None:
+    if a.n != b.n:
+        raise ValidationError(
+            f"embeddings cover different vocabularies: {a.n} vs {b.n} rows"
+        )
+
+
+def knn_overlap(
+    a: EmbeddingMatrix,
+    b: EmbeddingMatrix,
+    k: int = 10,
+    indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-row overlap of k-NN sets between two embeddings, in [0, 1].
+
+    ``overlap[i] = |N_a(i) ∩ N_b(i)| / k`` where ``N_x(i)`` is row i's
+    k-nearest-neighbour set (cosine) under embedding ``x``. Wendlandt et
+    al.'s word stability is exactly this, averaged over query words.
+    """
+    _check_same_rows(a, b)
+    if k <= 0:
+        raise ValidationError(f"k must be positive ({k=})")
+    if indices is None:
+        indices = np.arange(a.n)
+    neighbors_a = a.nearest_neighbors_batch(indices, k)
+    neighbors_b = b.nearest_neighbors_batch(indices, k)
+    overlaps = np.empty(len(indices))
+    for row in range(len(indices)):
+        set_a = set(neighbors_a[row].tolist())
+        set_b = set(neighbors_b[row].tolist())
+        overlaps[row] = len(set_a & set_b) / k
+    return overlaps
+
+
+def eigenspace_overlap_score(base: EmbeddingMatrix, other: EmbeddingMatrix) -> float:
+    """Eigenspace overlap score of May et al., in [0, 1].
+
+    ``EOS(X, Y) = ||U_X^T U_Y||_F^2 / max(d_X, d_Y)`` where ``U_X`` spans
+    ``X``'s column space (left singular vectors). 1.0 means the compressed
+    embedding spans the same subspace as the base — May et al. show this
+    predicts downstream performance of compressed embeddings.
+    """
+    _check_same_rows(base, other)
+
+    def _left_singular(matrix: np.ndarray) -> np.ndarray:
+        u, s, __ = np.linalg.svd(matrix, full_matrices=False)
+        keep = s > s.max() * 1e-10 if s.size and s.max() > 0 else np.zeros(0, bool)
+        return u[:, keep]
+
+    u_base = _left_singular(base.vectors)
+    u_other = _left_singular(other.vectors)
+    if u_base.shape[1] == 0 or u_other.shape[1] == 0:
+        return 0.0
+    overlap = np.linalg.norm(u_base.T @ u_other, ord="fro") ** 2
+    return float(overlap / max(u_base.shape[1], u_other.shape[1]))
+
+
+def downstream_instability(
+    predictions_a: np.ndarray, predictions_b: np.ndarray
+) -> float:
+    """Fraction of examples whose predictions differ between two models.
+
+    Leszczynski et al. define downstream instability as the expected
+    prediction disagreement between models trained on two embeddings; this
+    is its empirical estimator on a shared evaluation set.
+    """
+    if predictions_a.shape != predictions_b.shape:
+        raise ValidationError(
+            f"prediction shape mismatch: {predictions_a.shape} vs {predictions_b.shape}"
+        )
+    if len(predictions_a) == 0:
+        raise ValidationError("cannot measure instability on zero predictions")
+    return float(np.mean(predictions_a != predictions_b))
+
+
+def align_procrustes(
+    source: EmbeddingMatrix, target: EmbeddingMatrix
+) -> EmbeddingMatrix:
+    """Rotate ``source`` onto ``target`` with the best orthogonal map.
+
+    Solves ``min_R ||source R - target||_F`` over orthogonal ``R``
+    (orthogonal Procrustes). Embeddings trained from different seeds agree
+    only up to rotation, so version comparison must align first — this is
+    the tool the embedding store's drift monitor uses.
+    """
+    _check_same_rows(source, target)
+    if source.dim != target.dim:
+        raise ValidationError(
+            f"dimension mismatch: {source.dim} vs {target.dim}; "
+            "pad or project before aligning"
+        )
+    rotation, __ = orthogonal_procrustes(source.vectors, target.vectors)
+    return EmbeddingMatrix(vectors=source.vectors @ rotation)
+
+
+def semantic_displacement(
+    a: EmbeddingMatrix,
+    b: EmbeddingMatrix,
+    align: bool = True,
+) -> np.ndarray:
+    """Per-row cosine distance between two embedding versions.
+
+    With ``align=True`` (default) ``a`` is first Procrustes-rotated onto
+    ``b`` so only real semantic movement is measured, not basis changes.
+    Returns ``1 - cos(a_i, b_i)`` per row, in [0, 2]. Rows that are zero in
+    *both* versions (e.g. never-trained tail entities) have not moved and
+    score 0; a row that is zero in exactly one version scores 1.
+    """
+    _check_same_rows(a, b)
+    source = align_procrustes(a, b) if align else a
+    left = source.normalized()
+    right = b.normalized()
+    cosines = np.einsum("nd,nd->n", left, right)
+    norms_a = np.linalg.norm(source.vectors, axis=1)
+    norms_b = np.linalg.norm(b.vectors, axis=1)
+    tolerance = 1e-9 * max(norms_a.max(), norms_b.max(), 1.0)
+    cosines[(norms_a <= tolerance) & (norms_b <= tolerance)] = 1.0
+    return 1.0 - cosines
+
+
+def neighborhood_jaccard(
+    a: EmbeddingMatrix, b: EmbeddingMatrix, k: int = 10
+) -> float:
+    """Mean Jaccard similarity of k-NN sets — a scalar version-similarity.
+
+    Rotation-invariant (neighbour sets do not change under orthogonal
+    maps), so no alignment is needed; useful as a single drift score.
+    """
+    _check_same_rows(a, b)
+    neighbors_a = a.nearest_neighbors_batch(np.arange(a.n), k)
+    neighbors_b = b.nearest_neighbors_batch(np.arange(b.n), k)
+    scores = np.empty(a.n)
+    for i in range(a.n):
+        set_a = set(neighbors_a[i].tolist())
+        set_b = set(neighbors_b[i].tolist())
+        union = len(set_a | set_b)
+        scores[i] = len(set_a & set_b) / union if union else 1.0
+    return float(scores.mean())

@@ -1,0 +1,268 @@
+"""Self-supervised embedding trainers (pure numpy).
+
+Three trainers cover the paper's pretraining needs:
+
+* :func:`train_sgns` — word2vec skip-gram with negative sampling, the
+  canonical stochastic trainer. Its seed-to-seed variance is exactly what
+  the stability/instability experiments (E2, E4) measure.
+* :func:`train_ppmi_svd` — PPMI matrix factorization, the deterministic
+  spectral counterpart (Levy & Goldberg showed SGNS implicitly factorizes a
+  shifted PMI matrix). Used as the base embedding for compression
+  experiments (E3).
+* :func:`train_entity_embeddings` — entity/token co-embeddings from mention
+  contexts, the self-supervised signal Bootleg-style NED builds on (E1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.corpus import SyntheticCorpus
+from repro.datagen.kb import Mention
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import TrainingError, ValidationError
+
+
+@dataclass(frozen=True)
+class SgnsConfig:
+    """Hyperparameters for :func:`train_sgns`."""
+
+    dim: int = 32
+    window: int = 3
+    negatives: int = 5
+    epochs: int = 3
+    learning_rate: float = 0.025
+    batch_size: int = 256
+    max_grad_norm: float = 5.0
+
+    def validate(self) -> None:
+        if self.dim <= 0 or self.window <= 0 or self.negatives <= 0:
+            raise ValidationError("dim, window and negatives must be positive")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValidationError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValidationError(f"learning_rate must be positive ({self.learning_rate=})")
+
+
+def _skipgram_pairs(
+    sentences: list[np.ndarray], window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (center, context) pairs within ``window`` positions."""
+    centers: list[np.ndarray] = []
+    contexts: list[np.ndarray] = []
+    for sentence in sentences:
+        length = len(sentence)
+        for offset in range(1, window + 1):
+            if offset >= length:
+                break
+            centers.append(sentence[:-offset])
+            contexts.append(sentence[offset:])
+            centers.append(sentence[offset:])
+            contexts.append(sentence[:-offset])
+    if not centers:
+        raise TrainingError("no skip-gram pairs: sentences too short for the window")
+    return np.concatenate(centers), np.concatenate(contexts)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def train_sgns(
+    corpus: SyntheticCorpus,
+    config: SgnsConfig = SgnsConfig(),
+    seed: int = 0,
+) -> EmbeddingMatrix:
+    """Train skip-gram-negative-sampling word embeddings.
+
+    Negatives are drawn from the unigram distribution raised to 3/4 (the
+    word2vec heuristic). Input and output matrices are trained; the input
+    matrix is returned, matching standard practice.
+    """
+    config.validate()
+    rng = np.random.default_rng(seed)
+    vocab = corpus.vocab_size
+
+    centers, contexts = _skipgram_pairs(corpus.sentences, config.window)
+    n_pairs = len(centers)
+
+    freq = corpus.word_frequencies.astype(float) + 1.0
+    neg_probs = freq**0.75
+    neg_probs /= neg_probs.sum()
+
+    scale = 1.0 / config.dim
+    w_in = rng.uniform(-scale, scale, size=(vocab, config.dim))
+    w_out = np.zeros((vocab, config.dim))
+
+    for epoch in range(config.epochs):
+        order = rng.permutation(n_pairs)
+        lr = config.learning_rate * (1.0 - epoch / config.epochs * 0.5)
+        for start in range(0, n_pairs, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            c = centers[batch]
+            o = contexts[batch]
+            b = len(batch)
+
+            negatives = rng.choice(
+                vocab, size=(b, config.negatives), p=neg_probs
+            )
+
+            v_c = w_in[c]  # (b, d)
+            v_o = w_out[o]  # (b, d)
+            v_n = w_out[negatives]  # (b, k, d)
+
+            pos_score = _sigmoid(np.einsum("bd,bd->b", v_c, v_o))
+            neg_score = _sigmoid(np.einsum("bd,bkd->bk", v_c, v_n))
+
+            # Gradients of the SGNS objective.
+            g_pos = (pos_score - 1.0)[:, None]  # (b, 1)
+            g_neg = neg_score[:, :, None]  # (b, k, 1)
+
+            grad_c = g_pos * v_o + np.einsum("bkd,bko->bd", v_n, g_neg)
+            grad_o = g_pos * v_c
+            grad_n = g_neg * v_c[:, None, :]
+
+            # Per-example gradient clipping: large batches accumulate many
+            # updates onto Zipf-head rows, which diverges without a bound.
+            limit = config.max_grad_norm
+            grad_c = np.clip(grad_c, -limit, limit)
+            grad_o = np.clip(grad_o, -limit, limit)
+            grad_n = np.clip(grad_n, -limit, limit)
+
+            np.add.at(w_in, c, -lr * grad_c)
+            np.add.at(w_out, o, -lr * grad_o)
+            np.add.at(
+                w_out,
+                negatives.ravel(),
+                -lr * grad_n.reshape(-1, config.dim),
+            )
+
+    return EmbeddingMatrix(vectors=w_in)
+
+
+@dataclass(frozen=True)
+class PpmiSvdConfig:
+    """Hyperparameters for :func:`train_ppmi_svd`."""
+
+    dim: int = 32
+    window: int = 3
+    shift: float = 1.0
+    eigen_weight: float = 0.5
+
+    def validate(self) -> None:
+        if self.dim <= 0 or self.window <= 0:
+            raise ValidationError("dim and window must be positive")
+        if self.shift < 0:
+            raise ValidationError(f"shift must be non-negative ({self.shift=})")
+        if not 0.0 <= self.eigen_weight <= 1.0:
+            raise ValidationError(f"eigen_weight must be in [0, 1] ({self.eigen_weight=})")
+
+
+def _cooccurrence_counts(
+    sentences: list[np.ndarray], vocab: int, window: int
+) -> np.ndarray:
+    counts = np.zeros((vocab, vocab))
+    for sentence in sentences:
+        length = len(sentence)
+        for offset in range(1, window + 1):
+            if offset >= length:
+                break
+            left = sentence[:-offset]
+            right = sentence[offset:]
+            np.add.at(counts, (left, right), 1.0)
+            np.add.at(counts, (right, left), 1.0)
+    return counts
+
+
+def ppmi_matrix(counts: np.ndarray, shift: float = 1.0) -> np.ndarray:
+    """Positive pointwise mutual information of a co-occurrence matrix.
+
+    ``shift`` subtracts ``log(shift)`` before clamping at zero (the SGNS
+    negative-count analogue); ``shift=1`` is plain PPMI.
+    """
+    total = counts.sum()
+    if total == 0:
+        raise TrainingError("empty co-occurrence matrix")
+    row = counts.sum(axis=1, keepdims=True)
+    col = counts.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log((counts * total) / (row * col))
+    pmi[~np.isfinite(pmi)] = -np.inf
+    if shift > 0:
+        pmi -= np.log(shift) if shift != 1.0 else 0.0
+    return np.maximum(pmi, 0.0)
+
+
+def train_ppmi_svd(
+    corpus: SyntheticCorpus,
+    config: PpmiSvdConfig = PpmiSvdConfig(),
+    seed: int = 0,
+) -> EmbeddingMatrix:
+    """Deterministic spectral embeddings: truncated SVD of the PPMI matrix.
+
+    Rows are ``U_k diag(S_k)^eigen_weight`` — ``eigen_weight=0.5`` is the
+    symmetric weighting common in practice. ``seed`` only matters when the
+    spectrum is degenerate and is accepted for interface symmetry.
+    """
+    config.validate()
+    counts = _cooccurrence_counts(corpus.sentences, corpus.vocab_size, config.window)
+    ppmi = ppmi_matrix(counts, shift=config.shift)
+    u, s, __ = np.linalg.svd(ppmi, full_matrices=False)
+    k = min(config.dim, len(s))
+    vectors = u[:, :k] * (s[:k] ** config.eigen_weight)
+    if k < config.dim:
+        vectors = np.pad(vectors, ((0, 0), (0, config.dim - k)))
+    return EmbeddingMatrix(vectors=vectors)
+
+
+def train_entity_embeddings(
+    mentions: list[Mention],
+    n_entities: int,
+    vocab_size: int,
+    dim: int = 32,
+    shift: float = 1.0,
+) -> tuple[EmbeddingMatrix, EmbeddingMatrix]:
+    """Co-embed entities and context tokens from self-supervised mentions.
+
+    Factorizes the *frequency-weighted* entity-by-token PPMI matrix
+    (``PPMI * log(1 + count)``, a GloVe-style weighting): returns
+    ``(entity_embeddings, token_embeddings)`` such that the dot product
+    ``entity_vec @ token_vec`` scores how compatible an entity is with a
+    context token — the memorized co-occurrence signal of a Bootleg-style
+    NED model. The frequency weighting matters: plain PPMI equalizes row
+    magnitudes, so truncated SVD loses head and tail entities alike; with
+    it, popular entities keep their signal at low rank while entities with
+    few or no training mentions end up with (near-)zero vectors — precisely
+    the tail failure the paper discusses.
+    """
+    if n_entities <= 0 or vocab_size <= 0 or dim <= 0:
+        raise ValidationError("n_entities, vocab_size and dim must be positive")
+    counts = np.zeros((n_entities, vocab_size))
+    for mention in mentions:
+        np.add.at(counts, (mention.true_entity, mention.context), 1.0)
+    if counts.sum() == 0:
+        raise TrainingError("no mention/token co-occurrences to train on")
+
+    total = counts.sum()
+    row = counts.sum(axis=1, keepdims=True)
+    col = counts.sum(axis=0, keepdims=True)
+    row[row == 0] = 1.0
+    col[col == 0] = 1.0
+    with np.errstate(divide="ignore"):
+        pmi = np.log((counts * total) / (row * col))
+    pmi[~np.isfinite(pmi)] = 0.0
+    if shift != 1.0:
+        pmi -= np.log(shift)
+    weighted = np.maximum(pmi, 0.0) * np.log1p(counts)
+
+    u, s, vt = np.linalg.svd(weighted, full_matrices=False)
+    k = min(dim, len(s))
+    weights = np.sqrt(s[:k])
+    entity_vectors = u[:, :k] * weights
+    token_vectors = vt[:k].T * weights
+    if k < dim:
+        entity_vectors = np.pad(entity_vectors, ((0, 0), (0, dim - k)))
+        token_vectors = np.pad(token_vectors, ((0, 0), (0, dim - k)))
+    return EmbeddingMatrix(entity_vectors), EmbeddingMatrix(token_vectors)

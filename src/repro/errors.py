@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class RegistryError(ReproError):
+    """A feature/entity/embedding registry operation failed."""
+
+
+class NotRegisteredError(RegistryError, KeyError):
+    """A name was looked up in a registry but never registered."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; undo that.
+        return Exception.__str__(self)
+
+
+class AlreadyRegisteredError(RegistryError):
+    """A name was registered twice without an explicit overwrite."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An object failed schema or invariant validation."""
+
+
+class StorageError(ReproError):
+    """An offline/online/model store operation failed."""
+
+
+class PartitionNotFoundError(StorageError, KeyError):
+    """A date partition was requested that was never written."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class StaleFeatureError(StorageError):
+    """An online feature value violated its freshness (TTL) contract."""
+
+
+class SchemaMismatchError(StorageError):
+    """Rows appended to a table did not match its declared schema."""
+
+
+class CompatibilityError(ReproError):
+    """An embedding version is incompatible with the consuming model.
+
+    Raised by the embedding store's serving path when a model pinned to one
+    embedding version would receive vectors from a different, non-aligned
+    version (the paper's "dot product ... can lose meaning" hazard, section 4).
+    """
+
+
+class ProvenanceError(ReproError):
+    """A lineage/provenance record is missing or inconsistent."""
+
+
+class ServingError(ReproError):
+    """An online serving request could not be satisfied."""
+
+
+class TrainingError(ReproError):
+    """A model or embedding training run failed."""
+
+
+class MonitoringError(ReproError):
+    """A monitor was misconfigured or fed invalid data."""
+
+
+class PipelineError(ReproError):
+    """A pipeline stage failed or the DAG was invalid."""

@@ -1,0 +1,32 @@
+"""Vector indexes for embedding similarity search.
+
+Paper section 4: "Users need tools for searching and querying these
+embeddings ... performing these operations at industrial scale will be
+non-trivial". Four index families cover the standard recall/latency
+trade-off space (experiment E10):
+
+* :class:`BruteForceIndex` — exact search, the recall=1.0 baseline.
+* :class:`LSHIndex` — random-hyperplane locality-sensitive hashing.
+* :class:`IVFFlatIndex` — inverted file over k-means cells with probing.
+* :class:`HNSWIndex` — hierarchical navigable small-world graph.
+
+All share the :class:`VectorIndex` interface and count the number of
+candidate distance evaluations, so benchmarks can report work saved
+alongside recall.
+"""
+
+from repro.index.base import SearchResult, VectorIndex, recall_at_k
+from repro.index.brute import BruteForceIndex
+from repro.index.hnsw import HNSWIndex
+from repro.index.ivf import IVFFlatIndex
+from repro.index.lsh import LSHIndex
+
+__all__ = [
+    "BruteForceIndex",
+    "HNSWIndex",
+    "IVFFlatIndex",
+    "LSHIndex",
+    "SearchResult",
+    "VectorIndex",
+    "recall_at_k",
+]

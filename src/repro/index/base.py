@@ -1,0 +1,139 @@
+"""The vector index interface.
+
+Indexes operate on cosine similarity: vectors are L2-normalized at build
+time, and queries are normalized on entry, so inner product equals cosine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Top-k result for one query: parallel id and score arrays."""
+
+    ids: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class VectorIndex(ABC):
+    """Approximate (or exact) nearest-neighbour index over row vectors."""
+
+    def __init__(self) -> None:
+        self._vectors: np.ndarray | None = None
+        self.distance_evaluations = 0
+
+    @property
+    def size(self) -> int:
+        return 0 if self._vectors is None else len(self._vectors)
+
+    @property
+    def is_built(self) -> bool:
+        return self._vectors is not None
+
+    def build(self, vectors: np.ndarray) -> None:
+        """Index an ``(n, d)`` matrix (replaces any previous contents)."""
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2 or len(vectors) == 0:
+            raise ValidationError(
+                f"build expects a non-empty (n, d) matrix, got shape {vectors.shape}"
+            )
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._vectors = vectors / norms
+        self.distance_evaluations = 0
+        self._build(self._vectors)
+
+    @abstractmethod
+    def _build(self, normalized: np.ndarray) -> None:
+        """Index-specific construction over the normalized matrix."""
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Incrementally index new vectors; returns their assigned ids.
+
+        Embedding stores grow (new entities, new vocabulary); rebuilding the
+        whole index per addition is wasteful. The default implementation
+        appends to the stored matrix and delegates to :meth:`_add`; ids are
+        assigned contiguously after the existing rows.
+        """
+        if self._vectors is None:
+            raise ValidationError("index not built; call build() first")
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2 or vectors.shape[1] != self._vectors.shape[1]:
+            raise ValidationError(
+                f"add expects (n, {self._vectors.shape[1]}) vectors, "
+                f"got {vectors.shape}"
+            )
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        normalized = vectors / norms
+        start = len(self._vectors)
+        self._vectors = np.vstack([self._vectors, normalized])
+        new_ids = np.arange(start, start + len(normalized), dtype=np.int64)
+        self._add(normalized, new_ids)
+        return new_ids
+
+    def _add(self, normalized: np.ndarray, ids: np.ndarray) -> None:
+        """Index-specific incremental insertion (default: full rebuild)."""
+        self._build(self._vectors)  # type: ignore[arg-type]
+
+    def query(self, vector: np.ndarray, k: int) -> SearchResult:
+        """Top-k most similar indexed vectors to ``vector``."""
+        if self._vectors is None:
+            raise ValidationError("index not built; call build() first")
+        if k <= 0:
+            raise ValidationError(f"k must be positive ({k=})")
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self._vectors.shape[1],):
+            raise ValidationError(
+                f"query dim {vector.shape} != index dim ({self._vectors.shape[1]},)"
+            )
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        k = min(k, self.size)
+        return self._query(vector, k)
+
+    @abstractmethod
+    def _query(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        """Index-specific search with a normalized query and valid k."""
+
+    def _rank_candidates(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> SearchResult:
+        """Exactly score a candidate id set and keep the top k.
+
+        When the candidate set is smaller than ``k`` (sparse buckets/cells on
+        tiny datasets) the scan widens to the whole index so callers always
+        receive ``k`` results when the index holds at least ``k`` vectors.
+        """
+        assert self._vectors is not None
+        if len(candidates) < k:
+            candidates = np.arange(self.size, dtype=np.int64)
+        scores = self._vectors[candidates] @ query
+        self.distance_evaluations += len(candidates)
+        k = min(k, len(candidates))
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        order = np.argsort(-scores[top])
+        keep = top[order]
+        return SearchResult(ids=candidates[keep], scores=scores[keep])
+
+
+def recall_at_k(approximate: SearchResult, exact: SearchResult, k: int) -> float:
+    """Fraction of the exact top-k the approximate result recovered."""
+    if k <= 0:
+        raise ValidationError(f"k must be positive ({k=})")
+    truth = set(exact.ids[:k].tolist())
+    if not truth:
+        return 1.0
+    found = set(approximate.ids[:k].tolist())
+    return len(found & truth) / len(truth)

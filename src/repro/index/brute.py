@@ -1,0 +1,21 @@
+"""Exact brute-force search: the recall-1.0 / highest-latency baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+
+
+class BruteForceIndex(VectorIndex):
+    """Scores every indexed vector against the query."""
+
+    def _build(self, normalized: np.ndarray) -> None:
+        pass  # nothing beyond the normalized matrix itself
+
+    def _add(self, normalized: np.ndarray, ids: np.ndarray) -> None:
+        pass  # the appended matrix is already everything brute force needs
+
+    def _query(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        candidates = np.arange(self.size, dtype=np.int64)
+        return self._rank_candidates(normalized_query, candidates, k)

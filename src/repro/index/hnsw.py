@@ -1,0 +1,205 @@
+"""HNSW: hierarchical navigable small-world graph index.
+
+A faithful (laptop-scale, pure-Python) implementation of Malkov & Yashunin's
+algorithm: nodes get a geometric random level; each layer is a proximity
+graph with at most ``m`` (``m0`` at layer 0) neighbours per node; queries
+greedily descend from the top layer, then run a best-first beam search of
+width ``ef_search`` at layer 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.index.base import SearchResult, VectorIndex
+
+
+class HNSWIndex(VectorIndex):
+    """Hierarchical navigable small-world index (cosine similarity)."""
+
+    def __init__(
+        self,
+        m: int = 8,
+        ef_construction: int = 64,
+        ef_search: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if m <= 0 or ef_construction <= 0 or ef_search <= 0:
+            raise ValidationError("m, ef_construction and ef_search must be positive")
+        self.m = m
+        self.m0 = 2 * m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.seed = seed
+        self._levels: np.ndarray | None = None
+        self._graphs: list[dict[int, list[int]]] = []
+        self._entry_point: int = 0
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, normalized: np.ndarray) -> None:
+        n = len(normalized)
+        rng = np.random.default_rng(self.seed)
+        self._rng = rng  # reused by incremental _add level draws
+        level_mult = 1.0 / np.log(max(2.0, float(self.m)))
+        self._level_mult = level_mult
+        self._levels = np.floor(
+            -np.log(rng.uniform(1e-12, 1.0, size=n)) * level_mult
+        ).astype(np.int64)
+        max_level = int(self._levels.max())
+        self._graphs = [dict() for __ in range(max_level + 1)]
+        self._entry_point = int(np.argmax(self._levels))
+
+        order = rng.permutation(n)
+        initialized = False
+        for node in order.tolist():
+            if not initialized:
+                for layer in range(int(self._levels[node]) + 1):
+                    self._graphs[layer][node] = []
+                self._entry_point = node
+                initialized = True
+                continue
+            self._insert(node, normalized)
+
+    def _add(self, normalized: np.ndarray, ids: np.ndarray) -> None:
+        """Insert new nodes with the standard HNSW insertion routine."""
+        assert self._levels is not None
+        new_levels = np.floor(
+            -np.log(self._rng.uniform(1e-12, 1.0, size=len(ids)))
+            * self._level_mult
+        ).astype(np.int64)
+        self._levels = np.concatenate([self._levels, new_levels])
+        max_level = int(self._levels.max())
+        while len(self._graphs) <= max_level:
+            self._graphs.append({})
+        for node in ids.tolist():
+            self._insert(node, self._vectors)  # type: ignore[arg-type]
+
+    def _similarity(self, a: int, vector: np.ndarray) -> float:
+        assert self._vectors is not None
+        self.distance_evaluations += 1
+        return float(self._vectors[a] @ vector)
+
+    def _insert(self, node: int, vectors: np.ndarray) -> None:
+        assert self._levels is not None
+        level = int(self._levels[node])
+        query = vectors[node]
+        entry = self._entry_point
+        top = int(self._levels[self._entry_point])
+
+        # Greedy descent through layers above the node's level.
+        for layer in range(top, level, -1):
+            entry = self._greedy_closest(query, entry, layer)
+
+        # Beam insertion on layers <= level.
+        for layer in range(min(level, top), -1, -1):
+            candidates = self._search_layer(query, entry, layer, self.ef_construction)
+            max_degree = self.m0 if layer == 0 else self.m
+            neighbors = self._select_neighbors(node, candidates, max_degree)
+            self._graphs[layer][node] = list(neighbors)
+            for neighbor in neighbors:
+                links = self._graphs[layer].setdefault(neighbor, [])
+                links.append(node)
+                if len(links) > max_degree:
+                    scores = self._vectors[links] @ self._vectors[neighbor]  # type: ignore[index]
+                    self.distance_evaluations += len(links)
+                    ranked = sorted(zip(scores.tolist(), links), reverse=True)
+                    self._graphs[layer][neighbor] = self._select_neighbors(
+                        neighbor, ranked, max_degree
+                    )
+            if candidates:
+                entry = candidates[0][1]
+
+        for layer in range(top + 1, level + 1):
+            self._graphs[layer][node] = []
+        if level > top:
+            self._entry_point = node
+
+    def _select_neighbors(
+        self, base: int, candidates: list[tuple[float, int]], max_degree: int
+    ) -> list[int]:
+        """Diversity-aware neighbour selection (Malkov & Yashunin, alg. 4).
+
+        Iterating candidates best-first, a candidate is linked only if it is
+        more similar to ``base`` than to any already-selected neighbour.
+        Plain keep-the-closest pruning collapses clustered data into
+        intra-cluster cliques and disconnects the graph; this heuristic
+        preserves the long-range edges greedy search needs.
+        """
+        assert self._vectors is not None
+        selected: list[int] = []
+        for sim_to_base, candidate in sorted(candidates, reverse=True):
+            if candidate == base:
+                continue
+            if len(selected) >= max_degree:
+                break
+            if selected:
+                sims = self._vectors[selected] @ self._vectors[candidate]
+                self.distance_evaluations += len(selected)
+                if float(sims.max()) > sim_to_base:
+                    continue
+            selected.append(candidate)
+        if not selected and candidates:
+            # Degenerate fallback: link the single best candidate.
+            best = max(candidates)[1]
+            if best != base:
+                selected.append(best)
+        return selected
+
+    # -- search ----------------------------------------------------------------
+
+    def _greedy_closest(self, query: np.ndarray, entry: int, layer: int) -> int:
+        current = entry
+        current_sim = self._similarity(current, query)
+        improved = True
+        while improved:
+            improved = False
+            for neighbor in self._graphs[layer].get(current, ()):
+                sim = self._similarity(neighbor, query)
+                if sim > current_sim:
+                    current, current_sim = neighbor, sim
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entry: int, layer: int, ef: int
+    ) -> list[tuple[float, int]]:
+        """Best-first beam search; returns (similarity, id) best-first."""
+        entry_sim = self._similarity(entry, query)
+        visited = {entry}
+        # Max-heap of frontier (negated sim), min-heap of current best set.
+        frontier = [(-entry_sim, entry)]
+        best: list[tuple[float, int]] = [(entry_sim, entry)]
+        heapq.heapify(best)
+
+        while frontier:
+            negative_sim, node = heapq.heappop(frontier)
+            if -negative_sim < best[0][0] and len(best) >= ef:
+                break
+            for neighbor in self._graphs[layer].get(node, ()):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                sim = self._similarity(neighbor, query)
+                if len(best) < ef or sim > best[0][0]:
+                    heapq.heappush(frontier, (-sim, neighbor))
+                    heapq.heappush(best, (sim, neighbor))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted(best, reverse=True)
+
+    def _query(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        assert self._levels is not None
+        entry = self._entry_point
+        for layer in range(int(self._levels[self._entry_point]), 0, -1):
+            entry = self._greedy_closest(normalized_query, entry, layer)
+        ef = max(self.ef_search, k)
+        results = self._search_layer(normalized_query, entry, 0, ef)[:k]
+        return SearchResult(
+            ids=np.array([node for __, node in results], dtype=np.int64),
+            scores=np.array([sim for sim, __ in results]),
+        )

@@ -1,0 +1,84 @@
+"""IVF-Flat: inverted file over k-means cells.
+
+Vectors are partitioned into ``n_cells`` clusters at build time; a query
+scores only the vectors in the ``n_probes`` nearest cells. The classic
+recall knob: more probes = higher recall, more work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.index.base import SearchResult, VectorIndex
+
+
+class IVFFlatIndex(VectorIndex):
+    """k-means inverted-file index with exact in-cell scoring."""
+
+    def __init__(
+        self,
+        n_cells: int = 32,
+        n_probes: int = 4,
+        n_iterations: int = 15,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_cells <= 0 or n_probes <= 0 or n_iterations <= 0:
+            raise ValidationError("n_cells, n_probes and n_iterations must be positive")
+        self.n_cells = n_cells
+        self.n_probes = min(n_probes, n_cells)
+        self.n_iterations = n_iterations
+        self.seed = seed
+        self._centroids: np.ndarray | None = None
+        self._cells: list[np.ndarray] = []
+
+    def _build(self, normalized: np.ndarray) -> None:
+        n = len(normalized)
+        n_cells = min(self.n_cells, n)
+        rng = np.random.default_rng(self.seed)
+        centroids = normalized[rng.choice(n, size=n_cells, replace=False)].copy()
+
+        assignments = np.zeros(n, dtype=np.int64)
+        for __ in range(self.n_iterations):
+            similarities = normalized @ centroids.T
+            new_assignments = similarities.argmax(axis=1)
+            if np.array_equal(new_assignments, assignments):
+                break
+            assignments = new_assignments
+            for cell in range(n_cells):
+                members = normalized[assignments == cell]
+                if len(members):
+                    mean = members.mean(axis=0)
+                    norm = np.linalg.norm(mean)
+                    centroids[cell] = mean / norm if norm > 0 else mean
+
+        self._centroids = centroids
+        self._cells = [
+            np.flatnonzero(assignments == cell).astype(np.int64)
+            for cell in range(n_cells)
+        ]
+
+    def _add(self, normalized: np.ndarray, ids: np.ndarray) -> None:
+        """Assign new vectors to their nearest existing cell (no re-clustering).
+
+        Centroids stay frozen, so heavy additions can skew cell balance;
+        callers doing bulk loads should rebuild instead.
+        """
+        assert self._centroids is not None
+        assignments = (normalized @ self._centroids.T).argmax(axis=1)
+        for cell in np.unique(assignments):
+            members = ids[assignments == cell]
+            self._cells[cell] = np.concatenate([self._cells[cell], members])
+
+    def _query(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        assert self._centroids is not None
+        cell_scores = self._centroids @ normalized_query
+        probes = min(self.n_probes, len(self._centroids))
+        nearest_cells = np.argpartition(-cell_scores, kth=probes - 1)[:probes]
+        candidate_lists = [self._cells[c] for c in nearest_cells if len(self._cells[c])]
+        if candidate_lists:
+            candidates = np.concatenate(candidate_lists)
+        else:
+            candidates = np.arange(self.size, dtype=np.int64)
+        return self._rank_candidates(normalized_query, candidates, k)

@@ -1,0 +1,78 @@
+"""Random-hyperplane LSH index.
+
+Each of ``n_tables`` hash tables assigns a vector the sign pattern of
+``n_bits`` random hyperplane projections. Queries probe their own bucket in
+every table (optionally plus all Hamming-distance-1 buckets) and exactly
+re-rank the union of candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.index.base import SearchResult, VectorIndex
+
+
+class LSHIndex(VectorIndex):
+    """Sign-random-projection LSH for cosine similarity."""
+
+    def __init__(
+        self,
+        n_tables: int = 8,
+        n_bits: int = 12,
+        probe_neighbors: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_tables <= 0 or n_bits <= 0:
+            raise ValidationError("n_tables and n_bits must be positive")
+        if n_bits > 30:
+            raise ValidationError(f"n_bits too large ({n_bits}); keys are ints")
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        self.probe_neighbors = probe_neighbors
+        self.seed = seed
+        self._planes: np.ndarray | None = None
+        self._tables: list[dict[int, list[int]]] = []
+
+    def _hash(self, table: int, vectors: np.ndarray) -> np.ndarray:
+        assert self._planes is not None
+        projections = vectors @ self._planes[table].T  # (n, n_bits)
+        bits = (projections > 0).astype(np.int64)
+        weights = 1 << np.arange(self.n_bits, dtype=np.int64)
+        return bits @ weights
+
+    def _build(self, normalized: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        dim = normalized.shape[1]
+        self._planes = rng.normal(size=(self.n_tables, self.n_bits, dim))
+        self._tables = [{} for __ in range(self.n_tables)]
+        for table in range(self.n_tables):
+            keys = self._hash(table, normalized)
+            buckets = self._tables[table]
+            for index, key in enumerate(keys.tolist()):
+                buckets.setdefault(key, []).append(index)
+
+    def _add(self, normalized: np.ndarray, ids: np.ndarray) -> None:
+        for table in range(self.n_tables):
+            keys = self._hash(table, normalized)
+            buckets = self._tables[table]
+            for index, key in zip(ids.tolist(), keys.tolist()):
+                buckets.setdefault(key, []).append(index)
+
+    def _query(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        candidates: set[int] = set()
+        for table in range(self.n_tables):
+            key = int(self._hash(table, normalized_query[None, :])[0])
+            buckets = self._tables[table]
+            candidates.update(buckets.get(key, ()))
+            if self.probe_neighbors:
+                for bit in range(self.n_bits):
+                    candidates.update(buckets.get(key ^ (1 << bit), ()))
+        if not candidates:
+            # Degenerate query (e.g. empty buckets): fall back to exact.
+            candidate_ids = np.arange(self.size, dtype=np.int64)
+        else:
+            candidate_ids = np.fromiter(candidates, dtype=np.int64)
+        return self._rank_candidates(normalized_query, candidate_ids, k)

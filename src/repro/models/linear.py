@@ -1,0 +1,120 @@
+"""Multinomial logistic regression (pure numpy).
+
+Full-batch gradient descent on the softmax cross-entropy with L2
+regularization. Deterministic given the data (weights start at zero), which
+matters for the reproduction: downstream *instability* must come from the
+embeddings, not from the classifier's own training noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError, ValidationError
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression:
+    """Softmax classifier with L2 regularization.
+
+    Supports ``sample_weight`` in :meth:`fit`, which the weak-supervision
+    patching path uses to train on probabilistic labels.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        epochs: int = 200,
+        l2: float = 1e-4,
+        tolerance: float = 1e-7,
+    ) -> None:
+        if learning_rate <= 0 or epochs <= 0:
+            raise ValidationError("learning_rate and epochs must be positive")
+        if l2 < 0:
+            raise ValidationError(f"l2 must be non-negative ({l2=})")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.tolerance = tolerance
+        self.weights: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+        self.n_classes: int = 0
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "LogisticRegression":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ValidationError(
+                f"bad shapes: features {features.shape}, labels {labels.shape}"
+            )
+        if not np.isfinite(features).all():
+            raise TrainingError(
+                "features contain NaN/inf; impute before fitting "
+                "(see repro.models.preprocess.MeanImputer)"
+            )
+        if labels.min() < 0:
+            raise ValidationError("labels must be non-negative class ids")
+
+        n, d = features.shape
+        self.n_classes = int(labels.max()) + 1
+        if self.n_classes < 2:
+            self.n_classes = 2
+        one_hot = np.zeros((n, self.n_classes))
+        one_hot[np.arange(n), labels] = 1.0
+
+        if sample_weight is None:
+            sample_weight = np.ones(n)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if sample_weight.shape != (n,):
+                raise ValidationError("sample_weight must be (n,)")
+        weight_sum = sample_weight.sum()
+        if weight_sum <= 0:
+            raise ValidationError("sample_weight must have positive mass")
+
+        self.weights = np.zeros((d, self.n_classes))
+        self.bias = np.zeros(self.n_classes)
+        previous_loss = np.inf
+        for __ in range(self.epochs):
+            probs = _softmax(features @ self.weights + self.bias)
+            error = (probs - one_hot) * sample_weight[:, None] / weight_sum
+            grad_w = features.T @ error + self.l2 * self.weights
+            grad_b = error.sum(axis=0)
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+
+            loss = float(
+                -(sample_weight @ np.log(probs[np.arange(n), labels] + 1e-12))
+                / weight_sum
+            )
+            if abs(previous_loss - loss) < self.tolerance:
+                break
+            previous_loss = loss
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.weights is None:
+            raise TrainingError("model not fitted; call fit() first")
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features = np.asarray(features, dtype=float)
+        return _softmax(features @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Raw logits (useful for margin-based analyses)."""
+        self._check_fitted()
+        return np.asarray(features, dtype=float) @ self.weights + self.bias

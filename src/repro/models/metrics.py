@@ -1,0 +1,102 @@
+"""Classification metrics, including the per-slice view monitoring needs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _check_lengths(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    if len(y_true) != len(y_pred):
+        raise ValidationError(f"length mismatch: {len(y_true)} vs {len(y_pred)}")
+    if len(y_true) == 0:
+        raise ValidationError("cannot score zero examples")
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    _check_lengths(y_true, y_pred)
+    return float(np.mean(np.asarray(y_true) == np.asarray(y_pred)))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """``(n_classes, n_classes)`` matrix; rows = true, columns = predicted."""
+    _check_lengths(y_true, y_pred)
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    k = n_classes if n_classes is not None else int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((k, k), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_class: int = 1
+) -> tuple[float, float, float]:
+    """Binary precision, recall and F1 for one positive class.
+
+    Conventions: 0/0 precision or recall is 0.0.
+    """
+    _check_lengths(y_true, y_pred)
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = float(np.sum((y_pred == positive_class) & (y_true == positive_class)))
+    fp = float(np.sum((y_pred == positive_class) & (y_true != positive_class)))
+    fn = float(np.sum((y_pred != positive_class) & (y_true == positive_class)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def f1_score(
+    y_true: np.ndarray, y_pred: np.ndarray, average: str = "binary"
+) -> float:
+    """F1: ``binary`` (class 1), ``macro`` or ``micro`` over all classes."""
+    _check_lengths(y_true, y_pred)
+    if average == "binary":
+        return precision_recall_f1(y_true, y_pred, positive_class=1)[2]
+    classes = np.unique(np.concatenate([np.asarray(y_true), np.asarray(y_pred)]))
+    if average == "macro":
+        scores = [
+            precision_recall_f1(y_true, y_pred, positive_class=int(c))[2]
+            for c in classes
+        ]
+        return float(np.mean(scores))
+    if average == "micro":
+        return accuracy(y_true, y_pred)  # micro-F1 == accuracy for single-label
+    raise ValidationError(f"unknown average {average!r}; use binary/macro/micro")
+
+
+def slice_accuracies(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    slices: dict[str, np.ndarray],
+    min_size: int = 1,
+) -> dict[str, tuple[float, int]]:
+    """Accuracy per named slice: ``name -> (accuracy, support)``.
+
+    Slices smaller than ``min_size`` are dropped. This is the fine-grained
+    view (paper section 3.1.3, Robustness Gym-style) that surfaces
+    subpopulations where the model underperforms.
+    """
+    _check_lengths(y_true, y_pred)
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    out: dict[str, tuple[float, int]] = {}
+    for name, mask in slices.items():
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != y_true.shape:
+            raise ValidationError(f"slice {name!r} mask shape mismatch")
+        support = int(mask.sum())
+        if support < min_size:
+            continue
+        out[name] = (float(np.mean(y_true[mask] == y_pred[mask])), support)
+    return out

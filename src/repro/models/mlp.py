@@ -1,0 +1,110 @@
+"""One-hidden-layer MLP classifier (pure numpy).
+
+Mini-batch SGD with ReLU activation and softmax output. Seeded explicitly:
+unlike :class:`repro.models.linear.LogisticRegression`, the MLP's own
+initialization noise is a *controlled* variable — instability experiments
+hold the model seed fixed while varying the embedding seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError, ValidationError
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """ReLU MLP with one hidden layer."""
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        learning_rate: float = 0.1,
+        epochs: int = 60,
+        batch_size: int = 64,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if hidden <= 0 or learning_rate <= 0 or epochs <= 0 or batch_size <= 0:
+            raise ValidationError("hidden, learning_rate, epochs, batch_size must be positive")
+        if l2 < 0:
+            raise ValidationError(f"l2 must be non-negative ({l2=})")
+        self.hidden = hidden
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.w1: np.ndarray | None = None
+        self.b1: np.ndarray | None = None
+        self.w2: np.ndarray | None = None
+        self.b2: np.ndarray | None = None
+        self.n_classes: int = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ValidationError(
+                f"bad shapes: features {features.shape}, labels {labels.shape}"
+            )
+        if not np.isfinite(features).all():
+            raise TrainingError("features contain NaN/inf; impute before fitting")
+
+        rng = np.random.default_rng(self.seed)
+        n, d = features.shape
+        self.n_classes = max(2, int(labels.max()) + 1)
+
+        scale1 = np.sqrt(2.0 / d)
+        scale2 = np.sqrt(2.0 / self.hidden)
+        self.w1 = rng.normal(0.0, scale1, size=(d, self.hidden))
+        self.b1 = np.zeros(self.hidden)
+        self.w2 = rng.normal(0.0, scale2, size=(self.hidden, self.n_classes))
+        self.b2 = np.zeros(self.n_classes)
+
+        one_hot = np.zeros((n, self.n_classes))
+        one_hot[np.arange(n), labels] = 1.0
+
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            lr = self.learning_rate * (1.0 - 0.5 * epoch / self.epochs)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                x = features[batch]
+                y = one_hot[batch]
+
+                pre = x @ self.w1 + self.b1
+                hidden = np.maximum(pre, 0.0)
+                probs = _softmax(hidden @ self.w2 + self.b2)
+
+                g_out = (probs - y) / len(batch)
+                g_w2 = hidden.T @ g_out + self.l2 * self.w2
+                g_b2 = g_out.sum(axis=0)
+                g_hidden = (g_out @ self.w2.T) * (pre > 0)
+                g_w1 = x.T @ g_hidden + self.l2 * self.w1
+                g_b1 = g_hidden.sum(axis=0)
+
+                self.w2 -= lr * g_w2
+                self.b2 -= lr * g_b2
+                self.w1 -= lr * g_w1
+                self.b1 -= lr * g_b1
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.w1 is None:
+            raise TrainingError("model not fitted; call fit() first")
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features = np.asarray(features, dtype=float)
+        hidden = np.maximum(features @ self.w1 + self.b1, 0.0)
+        return _softmax(hidden @ self.w2 + self.b2)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)

@@ -1,0 +1,75 @@
+"""Feature preprocessing: imputation and scaling.
+
+Training sets built by point-in-time joins legitimately contain NaNs (an
+entity may predate any materialization); these transformers fit statistics
+on training data only — fitting on serving data would itself be a
+training/serving skew bug.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.errors import TrainingError, ValidationError
+
+
+class MeanImputer:
+    """Replace NaNs with per-column training means."""
+
+    def __init__(self) -> None:
+        self.means: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "MeanImputer":
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValidationError(f"expected (n, d) matrix, got {features.shape}")
+        with warnings.catch_warnings():
+            # All-NaN columns warn inside nanmean; they are handled below.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            self.means = np.nanmean(features, axis=0)
+        # Columns that are entirely NaN get 0.0.
+        self.means = np.where(np.isnan(self.means), 0.0, self.means)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.means is None:
+            raise TrainingError("imputer not fitted")
+        features = np.asarray(features, dtype=float).copy()
+        mask = np.isnan(features)
+        features[mask] = np.broadcast_to(self.means, features.shape)[mask]
+        return features
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling (NaN-aware fit)."""
+
+    def __init__(self) -> None:
+        self.means: np.ndarray | None = None
+        self.stds: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValidationError(f"expected (n, d) matrix, got {features.shape}")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            self.means = np.nanmean(features, axis=0)
+            self.stds = np.nanstd(features, axis=0)
+        self.means = np.where(np.isnan(self.means), 0.0, self.means)
+        self.stds = np.where(
+            np.isnan(self.stds) | (self.stds == 0), 1.0, self.stds
+        )
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.means is None or self.stds is None:
+            raise TrainingError("scaler not fitted")
+        return (np.asarray(features, dtype=float) - self.means) / self.stds
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

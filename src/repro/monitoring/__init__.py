@@ -1,0 +1,70 @@
+"""Model and feature monitoring.
+
+Paper section 2.2.3: feature stores "support critical model metrics such as
+training-deployment data skew and near real-time outlier and input drift
+detection. These metrics allow users to be informed of potential 'gremlins'
+in the system."
+
+* :mod:`repro.monitoring.detectors` — statistical drift detectors (PSI, KS,
+  KL, chi-square) and outlier detectors (z-score, MAD).
+* :mod:`repro.monitoring.skew` — training/serving skew reports built from
+  quality profiles.
+* :mod:`repro.monitoring.monitor` — windowed monitors plus the alert log.
+* :mod:`repro.monitoring.embedding_drift` — embedding-aware monitors
+  (section 3.1: "existing FS metrics such as null value count do not capture
+  drifts or changes in embeddings").
+"""
+
+from repro.monitoring.dashboard import DashboardSection, render_dashboard
+from repro.monitoring.detectors import (
+    DriftResult,
+    chi_square_drift,
+    kl_divergence,
+    ks_drift,
+    mad_outliers,
+    population_stability_index,
+    psi_drift,
+    zscore_outliers,
+)
+from repro.monitoring.embedding_drift import (
+    EmbeddingDriftMonitor,
+    EmbeddingDriftReport,
+    null_count_monitor_misses_embedding_drift,
+)
+from repro.monitoring.monitor import (
+    Alert,
+    AlertLog,
+    FeatureMonitor,
+    FreshnessMonitor,
+    MonitorConfig,
+)
+from repro.monitoring.retraining import RetrainDecision, RetrainingPolicy
+from repro.monitoring.sequential import CusumDetector, PageHinkley
+from repro.monitoring.skew import SkewReport, training_serving_skew
+
+__all__ = [
+    "Alert",
+    "AlertLog",
+    "CusumDetector",
+    "DashboardSection",
+    "DriftResult",
+    "EmbeddingDriftMonitor",
+    "EmbeddingDriftReport",
+    "FeatureMonitor",
+    "FreshnessMonitor",
+    "MonitorConfig",
+    "PageHinkley",
+    "RetrainDecision",
+    "RetrainingPolicy",
+    "SkewReport",
+    "chi_square_drift",
+    "kl_divergence",
+    "ks_drift",
+    "mad_outliers",
+    "null_count_monitor_misses_embedding_drift",
+    "population_stability_index",
+    "psi_drift",
+    "render_dashboard",
+    "training_serving_skew",
+    "zscore_outliers",
+]

@@ -1,0 +1,134 @@
+"""The operator dashboard: one text pane over the whole deployment.
+
+Paper section 2.2.3: metrics "allow users to be informed of potential
+'gremlins' in the system". This module renders a single human-readable
+status report combining the four health surfaces an on-call engineer needs:
+
+* alert summary (counts by kind, most recent per column),
+* feature freshness per view against its cadence budget,
+* embedding version status (latest version, quality-vs-previous metrics,
+  which models are pinned behind),
+* deployed-model inventory with lineage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.embedding_store import EmbeddingStore
+from repro.core.feature_store import FeatureStore
+from repro.monitoring.monitor import AlertLog
+
+
+@dataclass(frozen=True)
+class DashboardSection:
+    """One titled block of the rendered dashboard."""
+
+    title: str
+    lines: tuple[str, ...]
+
+    def render(self) -> str:
+        bar = "-" * max(20, len(self.title) + 4)
+        return "\n".join([bar, f"| {self.title}", bar, *self.lines])
+
+
+def alert_section(log: AlertLog, max_recent: int = 5) -> DashboardSection:
+    """Counts by alert kind plus the most recent alerts."""
+    if not log.alerts:
+        return DashboardSection("alerts", ("no alerts",))
+    by_kind: dict[str, int] = {}
+    for alert in log.alerts:
+        by_kind[alert.kind] = by_kind.get(alert.kind, 0) + 1
+    lines = [
+        "counts: " + ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+    ]
+    recent = sorted(log.alerts, key=lambda a: a.timestamp, reverse=True)
+    for alert in recent[:max_recent]:
+        lines.append(
+            f"  t={alert.timestamp:.0f} [{alert.kind}] {alert.column}: "
+            f"{alert.message}"
+        )
+    return DashboardSection("alerts", tuple(lines))
+
+
+def freshness_section(store: FeatureStore, now: float | None = None) -> DashboardSection:
+    """Per-view staleness against the cadence budget."""
+    now = store.clock.now() if now is None else now
+    lines = []
+    for name in store.registry.view_names():
+        view = store.registry.view(name)
+        table = store.offline.table(view.materialized_table)
+        last = table.last_event_time()
+        if last is None:
+            lines.append(f"{name} v{view.version}: NEVER MATERIALIZED")
+            continue
+        staleness = now - last
+        status = "ok" if staleness <= view.cadence else "STALE"
+        lines.append(
+            f"{name} v{view.version}: {staleness:.0f}s old "
+            f"(cadence {view.cadence:.0f}s) [{status}]"
+        )
+    if not lines:
+        lines = ["no feature views published"]
+    return DashboardSection("feature freshness", tuple(lines))
+
+
+def embedding_section(
+    embeddings: EmbeddingStore, store: FeatureStore
+) -> DashboardSection:
+    """Latest versions, quality metrics, and stale-pinned consumers."""
+    lines = []
+    for name in embeddings.names():
+        latest = embeddings.get(name)
+        quality = latest.metrics.get("knn_jaccard_vs_previous")
+        quality_text = "first version" if quality is None else f"jaccard={quality:.2f}"
+        lines.append(
+            f"{name}: v{latest.version} ({latest.provenance.trainer}, "
+            f"dim={latest.embedding.dim}, {quality_text})"
+        )
+        for record in store.models.consumers_of_embedding(name):
+            pinned = record.embedding_versions[name]
+            if pinned == latest.version:
+                continue
+            compatible = embeddings.is_compatible(name, pinned, latest.version)
+            state = "compatible" if compatible else "BLOCKED - retrain or align"
+            lines.append(
+                f"  consumer {record.name} pinned to v{pinned} ({state})"
+            )
+    if not lines:
+        lines = ["no embeddings registered"]
+    return DashboardSection("embeddings", tuple(lines))
+
+
+def model_section(store: FeatureStore) -> DashboardSection:
+    """Deployed models with lineage and headline metrics."""
+    lines = []
+    for name in store.models.model_names():
+        record = store.models.get(name)
+        metric_text = ", ".join(
+            f"{k}={v:.3f}" for k, v in sorted(record.metrics.items())
+        ) or "no metrics"
+        lines.append(
+            f"{name} v{record.version}: feature_set={record.feature_set} "
+            f"({metric_text})"
+        )
+    if not lines:
+        lines = ["no models registered"]
+    return DashboardSection("models", tuple(lines))
+
+
+def render_dashboard(
+    store: FeatureStore,
+    log: AlertLog,
+    embeddings: EmbeddingStore | None = None,
+    now: float | None = None,
+) -> str:
+    """Render the full status pane as one string."""
+    sections = [
+        alert_section(log),
+        freshness_section(store, now=now),
+    ]
+    if embeddings is not None:
+        sections.append(embedding_section(embeddings, store))
+    sections.append(model_section(store))
+    return "\n\n".join(section.render() for section in sections)

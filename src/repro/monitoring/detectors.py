@@ -1,0 +1,186 @@
+"""Statistical drift and outlier detectors.
+
+Each drift detector compares a *reference* sample or distribution (what the
+model trained on) against a *current* window (what serving sees) and returns
+a :class:`DriftResult` with a score, the decision threshold and the verdict.
+Standard industry thresholds are the defaults (PSI 0.2, KS p-value 0.01).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import MonitoringError
+
+
+@dataclass(frozen=True)
+class DriftResult:
+    """Outcome of a drift check."""
+
+    metric: str
+    score: float
+    threshold: float
+    drifted: bool
+    detail: str = ""
+
+
+def _clean(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    return values[~np.isnan(values)]
+
+
+def population_stability_index(
+    reference: np.ndarray, current: np.ndarray, bins: int = 10
+) -> float:
+    """PSI between two numeric samples using reference-quantile bins.
+
+    PSI < 0.1 is conventionally "no shift", 0.1-0.2 "moderate", > 0.2
+    "significant". Bins are derived from reference quantiles so each holds
+    ~equal reference mass; empty bins are Laplace-smoothed.
+    """
+    ref = _clean(reference)
+    cur = _clean(current)
+    if len(ref) < bins or len(cur) == 0:
+        raise MonitoringError(
+            f"need >= {bins} reference and >= 1 current values "
+            f"(got {len(ref)}, {len(cur)})"
+        )
+    edges = np.quantile(ref, np.linspace(0, 1, bins + 1))
+    edges[0], edges[-1] = -np.inf, np.inf
+    edges = np.unique(edges)
+    ref_counts, __ = np.histogram(ref, bins=edges)
+    cur_counts, __ = np.histogram(cur, bins=edges)
+    ref_p = (ref_counts + 1) / (ref_counts.sum() + len(ref_counts))
+    cur_p = (cur_counts + 1) / (cur_counts.sum() + len(cur_counts))
+    return float(np.sum((cur_p - ref_p) * np.log(cur_p / ref_p)))
+
+
+def psi_drift(
+    reference: np.ndarray,
+    current: np.ndarray,
+    threshold: float = 0.2,
+    bins: int = 10,
+) -> DriftResult:
+    """PSI drift check with the conventional 0.2 alarm threshold."""
+    score = population_stability_index(reference, current, bins=bins)
+    return DriftResult(
+        metric="psi",
+        score=score,
+        threshold=threshold,
+        drifted=score > threshold,
+        detail=f"bins={bins}",
+    )
+
+
+def ks_drift(
+    reference: np.ndarray, current: np.ndarray, alpha: float = 0.01
+) -> DriftResult:
+    """Two-sample Kolmogorov-Smirnov drift check.
+
+    Drift is declared when the p-value falls below ``alpha``. The *score*
+    reported is the KS statistic (sup-distance between empirical CDFs).
+    """
+    ref = _clean(reference)
+    cur = _clean(current)
+    if len(ref) < 2 or len(cur) < 2:
+        raise MonitoringError("KS test needs >= 2 values on each side")
+    result = stats.ks_2samp(ref, cur)
+    return DriftResult(
+        metric="ks",
+        score=float(result.statistic),
+        threshold=alpha,
+        drifted=bool(result.pvalue < alpha),
+        detail=f"pvalue={result.pvalue:.3g}",
+    )
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """KL(p || q) in nats between two histograms (Laplace-smoothed).
+
+    Inputs are count or probability vectors over the same bins.
+    """
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise MonitoringError(f"histogram shape mismatch: {p.shape} vs {q.shape}")
+    p = (p + 1e-9) / (p.sum() + 1e-9 * len(p))
+    q = (q + 1e-9) / (q.sum() + 1e-9 * len(q))
+    return float(np.sum(p * np.log(p / q)))
+
+
+def chi_square_drift(
+    reference_counts: np.ndarray,
+    current_counts: np.ndarray,
+    alpha: float = 0.01,
+) -> DriftResult:
+    """Two-sample chi-square test over per-category counts.
+
+    ``reference_counts`` and ``current_counts`` are counts over the same
+    category coding. A contingency-table test is used (rather than a
+    goodness-of-fit test against the reference rates) because the reference
+    proportions are themselves estimates — treating them as exact inflates
+    the statistic and produces false alarms. Counts are Laplace-smoothed so
+    brand-new category codes still register instead of dividing by zero.
+    """
+    ref = np.asarray(reference_counts, dtype=float)
+    cur = np.asarray(current_counts, dtype=float)
+    if ref.shape != cur.shape:
+        raise MonitoringError(f"count shape mismatch: {ref.shape} vs {cur.shape}")
+    if cur.sum() == 0 or ref.sum() == 0:
+        raise MonitoringError("cannot test drift with empty counts")
+    table = np.vstack([ref, cur]) + 0.5
+    statistic, pvalue, dof, __ = stats.chi2_contingency(table)
+    statistic = float(statistic)
+    pvalue = float(pvalue)
+    return DriftResult(
+        metric="chi_square",
+        score=statistic,
+        threshold=alpha,
+        drifted=pvalue < alpha,
+        detail=f"pvalue={pvalue:.3g} dof={dof}",
+    )
+
+
+def zscore_outliers(
+    reference: np.ndarray, current: np.ndarray, z_threshold: float = 4.0
+) -> np.ndarray:
+    """Mask of current values more than ``z_threshold`` reference-sigmas out.
+
+    NaNs are never flagged (they are the null-count monitor's job).
+    """
+    ref = _clean(reference)
+    if len(ref) < 2:
+        raise MonitoringError("need >= 2 reference values for z-score outliers")
+    mean = ref.mean()
+    std = ref.std()
+    if std == 0:
+        std = 1e-12
+    current = np.asarray(current, dtype=float)
+    with np.errstate(invalid="ignore"):
+        mask = np.abs(current - mean) / std > z_threshold
+    return np.where(np.isnan(current), False, mask)
+
+
+def mad_outliers(
+    reference: np.ndarray, current: np.ndarray, threshold: float = 5.0
+) -> np.ndarray:
+    """Robust outlier mask using the median absolute deviation.
+
+    Uses the usual 1.4826 consistency constant so ``threshold`` is in
+    sigma-equivalents; robust to the reference itself containing outliers,
+    which is why production monitors prefer it to plain z-scores.
+    """
+    ref = _clean(reference)
+    if len(ref) < 2:
+        raise MonitoringError("need >= 2 reference values for MAD outliers")
+    median = np.median(ref)
+    mad = np.median(np.abs(ref - median)) * 1.4826
+    if mad == 0:
+        mad = 1e-12
+    current = np.asarray(current, dtype=float)
+    with np.errstate(invalid="ignore"):
+        mask = np.abs(current - median) / mad > threshold
+    return np.where(np.isnan(current), False, mask)

@@ -1,0 +1,138 @@
+"""Embedding-aware drift monitoring.
+
+Paper section 3.1: "With embeddings, standard metrics and tools for managing
+tabular features are no longer adequate as embeddings are derived data. For
+example, embeddings are often compared by dot product similarity, and
+existing FS metrics such as null value count do not capture drifts or
+changes in embeddings with respect to this metric."
+
+:class:`EmbeddingDriftMonitor` implements the embedding-native checks —
+neighbourhood overlap, aligned semantic displacement, and norm-distribution
+shift — while :func:`null_count_monitor_misses_embedding_drift` demonstrates
+the quoted failure mode: a tabular null-count monitor stays silent on a
+drifted embedding (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.embeddings.metrics import neighborhood_jaccard, semantic_displacement
+from repro.errors import MonitoringError
+from repro.monitoring.monitor import Alert, AlertLog
+from repro.quality.metrics import null_fraction
+
+
+@dataclass(frozen=True)
+class EmbeddingDriftReport:
+    """Outcome of one embedding drift check."""
+
+    neighborhood_jaccard: float
+    mean_displacement: float
+    max_displacement: float
+    norm_shift: float
+    drifted: bool
+    drifted_rows: np.ndarray
+
+    def summary(self) -> str:
+        return (
+            f"jaccard={self.neighborhood_jaccard:.3f} "
+            f"mean_disp={self.mean_displacement:.3f} "
+            f"norm_shift={self.norm_shift:.3f} drifted={self.drifted}"
+        )
+
+
+class EmbeddingDriftMonitor:
+    """Compares a candidate embedding version against a frozen reference.
+
+    Three signals, any of which flags drift:
+
+    * mean k-NN **Jaccard overlap** below ``jaccard_threshold`` — the
+      neighbourhood structure (what dot-product consumers actually use)
+      changed;
+    * mean **aligned cosine displacement** above ``displacement_threshold``
+      — rows moved even after removing any global rotation;
+    * relative **norm shift** above ``norm_shift_threshold`` — a rescaling
+      that silently changes every dot product downstream.
+    """
+
+    def __init__(
+        self,
+        reference: EmbeddingMatrix,
+        log: AlertLog | None = None,
+        name: str = "embedding",
+        k: int = 10,
+        jaccard_threshold: float = 0.5,
+        displacement_threshold: float = 0.2,
+        norm_shift_threshold: float = 0.25,
+    ) -> None:
+        if reference.n < k + 1:
+            raise MonitoringError(
+                f"reference must have more than k={k} rows (has {reference.n})"
+            )
+        self.reference = reference
+        self.log = log
+        self.name = name
+        self.k = k
+        self.jaccard_threshold = jaccard_threshold
+        self.displacement_threshold = displacement_threshold
+        self.norm_shift_threshold = norm_shift_threshold
+
+    def check(
+        self, candidate: EmbeddingMatrix, timestamp: float = 0.0
+    ) -> EmbeddingDriftReport:
+        """Evaluate a candidate version; fire an alert if drifted."""
+        jaccard = neighborhood_jaccard(self.reference, candidate, k=self.k)
+        displacement = semantic_displacement(self.reference, candidate, align=True)
+
+        ref_norm = float(np.linalg.norm(self.reference.vectors, axis=1).mean())
+        cand_norm = float(np.linalg.norm(candidate.vectors, axis=1).mean())
+        norm_shift = abs(cand_norm - ref_norm) / max(ref_norm, 1e-12)
+
+        drifted = (
+            jaccard < self.jaccard_threshold
+            or float(displacement.mean()) > self.displacement_threshold
+            or norm_shift > self.norm_shift_threshold
+        )
+        report = EmbeddingDriftReport(
+            neighborhood_jaccard=jaccard,
+            mean_displacement=float(displacement.mean()),
+            max_displacement=float(displacement.max()),
+            norm_shift=norm_shift,
+            drifted=drifted,
+            drifted_rows=np.flatnonzero(
+                displacement > self.displacement_threshold
+            ),
+        )
+        if drifted and self.log is not None:
+            self.log.fire(
+                Alert(
+                    timestamp=timestamp,
+                    column=self.name,
+                    kind="embedding",
+                    message=report.summary(),
+                    score=1.0 - jaccard,
+                )
+            )
+        return report
+
+
+def null_count_monitor_misses_embedding_drift(
+    reference: EmbeddingMatrix,
+    candidate: EmbeddingMatrix,
+    null_rate_threshold: float = 0.01,
+) -> bool:
+    """True when the *tabular* null-count check would NOT flag the candidate.
+
+    The tabular monitor only looks at NULL rates of the stored vectors. An
+    embedding can be arbitrarily rotated, rescaled or partially retrained
+    without producing a single NULL, so this check returning ``True`` while
+    :class:`EmbeddingDriftMonitor` flags drift is the paper's point,
+    reproduced.
+    """
+    ref_nulls = null_fraction(reference.vectors.ravel())
+    cand_nulls = null_fraction(candidate.vectors.ravel())
+    return abs(cand_nulls - ref_nulls) <= null_rate_threshold

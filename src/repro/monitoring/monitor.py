@@ -1,0 +1,189 @@
+"""Windowed feature monitors and the alert log.
+
+A :class:`FeatureMonitor` holds a frozen reference sample per column and
+evaluates sliding windows of new values against it — the "near real-time
+outlier and input drift detection" of paper section 2.2.3. Fired alerts go
+to an :class:`AlertLog`, which monitoring benchmarks score against injected
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MonitoringError
+from repro.monitoring.detectors import (
+    DriftResult,
+    ks_drift,
+    psi_drift,
+    zscore_outliers,
+)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A monitoring alert."""
+
+    timestamp: float
+    column: str
+    kind: str  # "drift" | "null_rate" | "outlier" | "freshness" | "embedding"
+    message: str
+    score: float
+
+
+@dataclass
+class AlertLog:
+    """Append-only alert sink."""
+
+    alerts: list[Alert] = field(default_factory=list)
+
+    def fire(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+    def for_column(self, column: str) -> list[Alert]:
+        return [a for a in self.alerts if a.column == column]
+
+    def of_kind(self, kind: str) -> list[Alert]:
+        return [a for a in self.alerts if a.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Thresholds for a :class:`FeatureMonitor`."""
+
+    psi_threshold: float = 0.2
+    ks_alpha: float = 0.01
+    null_rate_threshold: float = 0.10
+    outlier_z: float = 4.0
+    outlier_rate_threshold: float = 0.01
+    use_ks: bool = True
+
+
+class FeatureMonitor:
+    """Checks windows of one numeric column against a frozen reference.
+
+    Each :meth:`observe` call evaluates one window and fires zero or more
+    alerts: distribution drift (PSI and optionally KS), a null-rate breach,
+    and an excess-outlier-rate breach.
+    """
+
+    def __init__(
+        self,
+        column: str,
+        reference: np.ndarray,
+        log: AlertLog,
+        config: MonitorConfig = MonitorConfig(),
+    ) -> None:
+        reference = np.asarray(reference, dtype=float)
+        finite = reference[~np.isnan(reference)]
+        if len(finite) < 20:
+            raise MonitoringError(
+                f"monitor for {column!r} needs >= 20 non-null reference values"
+            )
+        self.column = column
+        self.reference = reference
+        self.reference_null_rate = float(np.isnan(reference).mean())
+        self.log = log
+        self.config = config
+        self.windows_observed = 0
+
+    def observe(self, window: np.ndarray, timestamp: float) -> list[Alert]:
+        """Evaluate one serving window; fire and return any alerts."""
+        window = np.asarray(window, dtype=float)
+        if len(window) == 0:
+            raise MonitoringError("cannot observe an empty window")
+        fired: list[Alert] = []
+
+        null_rate = float(np.isnan(window).mean())
+        if null_rate - self.reference_null_rate > self.config.null_rate_threshold:
+            fired.append(
+                Alert(
+                    timestamp=timestamp,
+                    column=self.column,
+                    kind="null_rate",
+                    message=(
+                        f"null rate {null_rate:.2%} vs reference "
+                        f"{self.reference_null_rate:.2%}"
+                    ),
+                    score=null_rate - self.reference_null_rate,
+                )
+            )
+
+        finite = window[~np.isnan(window)]
+        if len(finite) >= 10:
+            drift_results: list[DriftResult] = [
+                psi_drift(self.reference, finite, threshold=self.config.psi_threshold)
+            ]
+            if self.config.use_ks:
+                drift_results.append(
+                    ks_drift(self.reference, finite, alpha=self.config.ks_alpha)
+                )
+            for result in drift_results:
+                if result.drifted:
+                    fired.append(
+                        Alert(
+                            timestamp=timestamp,
+                            column=self.column,
+                            kind="drift",
+                            message=f"{result.metric} score {result.score:.3f} ({result.detail})",
+                            score=result.score,
+                        )
+                    )
+
+            outliers = zscore_outliers(self.reference, finite, self.config.outlier_z)
+            rate = float(outliers.mean())
+            if rate > self.config.outlier_rate_threshold:
+                fired.append(
+                    Alert(
+                        timestamp=timestamp,
+                        column=self.column,
+                        kind="outlier",
+                        message=f"outlier rate {rate:.2%} at z>{self.config.outlier_z}",
+                        score=rate,
+                    )
+                )
+
+        for alert in fired:
+            self.log.fire(alert)
+        self.windows_observed += 1
+        return fired
+
+
+class FreshnessMonitor:
+    """Alerts when a feature's staleness exceeds its cadence budget.
+
+    The paper's "feature freshness" metric operationalized: a feature whose
+    newest materialized value is older than ``max_staleness`` means the
+    orchestrated update cadence is being missed.
+    """
+
+    def __init__(self, view_name: str, max_staleness: float, log: AlertLog) -> None:
+        if max_staleness <= 0:
+            raise MonitoringError(f"max_staleness must be positive ({max_staleness=})")
+        self.view_name = view_name
+        self.max_staleness = max_staleness
+        self.log = log
+
+    def observe(self, last_event_time: float | None, now: float) -> Alert | None:
+        """Check the newest materialization time against the budget."""
+        staleness = (
+            float("inf") if last_event_time is None else now - last_event_time
+        )
+        if staleness <= self.max_staleness:
+            return None
+        alert = Alert(
+            timestamp=now,
+            column=self.view_name,
+            kind="freshness",
+            message=(
+                f"stale by {staleness:.0f}s (budget {self.max_staleness:.0f}s)"
+            ),
+            score=staleness,
+        )
+        self.log.fire(alert)
+        return alert

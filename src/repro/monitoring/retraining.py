@@ -1,0 +1,99 @@
+"""Retraining policy: when should a deployed model be refreshed?
+
+Paper section 2.2.2: "As data changes over time and updates occur at
+different intervals, models can become stale if not given the most
+up-to-date features." The policy layer turns monitoring signals into a
+retrain decision instead of leaving operators to eyeball alert streams.
+
+A :class:`RetrainingPolicy` consumes the alert log plus elapsed time and
+recommends one of ``{"none", "refresh_features", "retrain"}``:
+
+* sustained **drift** alerts on the model's input features => retrain
+  (the world changed; fresher features alone will not fix the fit);
+* **freshness** alerts without drift => refresh features / fix the
+  pipeline (the model is fine, its inputs are late);
+* a maximum model age acts as a backstop even when monitoring is quiet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.monitoring.monitor import AlertLog
+
+
+@dataclass(frozen=True)
+class RetrainDecision:
+    """The policy's recommendation and its evidence."""
+
+    action: str  # "none" | "refresh_features" | "retrain"
+    reason: str
+    drift_alerts: int
+    freshness_alerts: int
+    model_age: float
+
+
+class RetrainingPolicy:
+    """Rule-based retraining recommendation from monitoring signals."""
+
+    def __init__(
+        self,
+        watched_columns: set[str],
+        drift_alert_threshold: int = 3,
+        freshness_alert_threshold: int = 1,
+        max_model_age: float | None = None,
+        window: float = 86400.0,
+    ) -> None:
+        if not watched_columns:
+            raise ValidationError("policy needs at least one watched column")
+        if drift_alert_threshold < 1 or freshness_alert_threshold < 1:
+            raise ValidationError("alert thresholds must be >= 1")
+        if max_model_age is not None and max_model_age <= 0:
+            raise ValidationError(f"max_model_age must be positive ({max_model_age=})")
+        if window <= 0:
+            raise ValidationError(f"window must be positive ({window=})")
+        self.watched_columns = set(watched_columns)
+        self.drift_alert_threshold = drift_alert_threshold
+        self.freshness_alert_threshold = freshness_alert_threshold
+        self.max_model_age = max_model_age
+        self.window = window
+
+    def decide(
+        self, log: AlertLog, now: float, model_trained_at: float
+    ) -> RetrainDecision:
+        """Recommend an action given the alert log and the model's age."""
+        if model_trained_at > now:
+            raise ValidationError("model_trained_at is in the future")
+        recent = [
+            a
+            for a in log.alerts
+            if a.timestamp > now - self.window and a.column in self.watched_columns
+        ]
+        drift = sum(1 for a in recent if a.kind in ("drift", "embedding"))
+        freshness = sum(1 for a in recent if a.kind == "freshness")
+        age = now - model_trained_at
+
+        if drift >= self.drift_alert_threshold:
+            action, reason = "retrain", (
+                f"{drift} drift alerts on watched features within "
+                f"{self.window:.0f}s"
+            )
+        elif freshness >= self.freshness_alert_threshold:
+            action, reason = "refresh_features", (
+                f"{freshness} freshness alerts: inputs are late, model is fine"
+            )
+        elif self.max_model_age is not None and age > self.max_model_age:
+            action, reason = "retrain", (
+                f"model age {age:.0f}s exceeds backstop "
+                f"{self.max_model_age:.0f}s"
+            )
+        else:
+            action, reason = "none", "monitoring quiet and model fresh"
+        return RetrainDecision(
+            action=action,
+            reason=reason,
+            drift_alerts=drift,
+            freshness_alerts=freshness,
+            model_age=age,
+        )

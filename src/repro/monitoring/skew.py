@@ -1,0 +1,115 @@
+"""Training/serving skew detection.
+
+Paper section 2.2.3 names "training-deployment data skew" as a critical
+model metric. Skew is measured per feature by comparing the profile of the
+data the model trained on against the profile of what serving currently
+sees: numeric columns via PSI over the training histogram's bins,
+categorical columns via chi-square over category rates, and null-rate
+deltas for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MonitoringError
+from repro.monitoring.detectors import DriftResult, chi_square_drift, kl_divergence
+from repro.quality.profile import ColumnProfile, TableProfile, histogram_on_edges
+
+
+@dataclass(frozen=True)
+class ColumnSkew:
+    """Skew verdict for one feature column."""
+
+    column: str
+    drift: DriftResult
+    null_rate_delta: float
+    skewed: bool
+
+
+@dataclass(frozen=True)
+class SkewReport:
+    """Per-column skew across a feature set, plus the overall verdict."""
+
+    columns: dict[str, ColumnSkew]
+
+    @property
+    def skewed_columns(self) -> list[str]:
+        return sorted(name for name, s in self.columns.items() if s.skewed)
+
+    @property
+    def any_skew(self) -> bool:
+        return bool(self.skewed_columns)
+
+    def worst(self) -> ColumnSkew | None:
+        """The column whose drift score is largest (None if empty)."""
+        if not self.columns:
+            return None
+        return max(self.columns.values(), key=lambda s: s.drift.score)
+
+
+def _numeric_skew(
+    reference: ColumnProfile,
+    current_values: np.ndarray,
+    kl_threshold: float,
+) -> DriftResult:
+    if reference.bin_edges is None:
+        raise MonitoringError(f"column {reference.name!r} profile lacks bin edges")
+    current_hist = histogram_on_edges(current_values, reference.bin_edges)
+    score = kl_divergence(current_hist, reference.histogram)
+    return DriftResult(
+        metric="kl",
+        score=score,
+        threshold=kl_threshold,
+        drifted=score > kl_threshold,
+    )
+
+
+def training_serving_skew(
+    training_profile: TableProfile,
+    serving_values: dict[str, np.ndarray],
+    kl_threshold: float = 0.1,
+    null_delta_threshold: float = 0.05,
+    chi_alpha: float = 0.01,
+) -> SkewReport:
+    """Compare serving windows against the training profile column-by-column.
+
+    ``serving_values`` maps column name to the raw serving window (NaN/-1 as
+    NULL). A column is *skewed* when its distribution drifts or its null
+    rate moves by more than ``null_delta_threshold``.
+    """
+    report: dict[str, ColumnSkew] = {}
+    for name, values in serving_values.items():
+        reference = training_profile.column(name)
+        if reference.kind == "numeric":
+            drift = _numeric_skew(reference, values, kl_threshold)
+            current_nulls = float(np.isnan(values).mean()) if len(values) else 0.0
+        else:
+            finite = values[values >= 0]
+            counts = np.bincount(finite, minlength=len(reference.histogram)).astype(float)
+            if len(counts) > len(reference.histogram):
+                # New category codes appeared: fold the reference forward
+                # with zero expected mass so chi-square flags them.
+                padded = np.zeros(len(counts))
+                padded[: len(reference.histogram)] = reference.histogram
+                drift = chi_square_drift(
+                    padded * max(1.0, reference.row_count), counts, alpha=chi_alpha
+                )
+            else:
+                drift = chi_square_drift(
+                    reference.histogram * max(1.0, reference.row_count),
+                    counts,
+                    alpha=chi_alpha,
+                )
+            current_nulls = float((values < 0).mean()) if len(values) else 0.0
+
+        null_delta = current_nulls - reference.null_fraction
+        report[name] = ColumnSkew(
+            column=name,
+            drift=drift,
+            null_rate_delta=null_delta,
+            skewed=drift.drifted or abs(null_delta) > null_delta_threshold,
+        )
+    return SkewReport(columns=report)

@@ -1,0 +1,126 @@
+"""NED models over candidate features.
+
+A :class:`NedModel` is a linear scorer over a chosen subset of the candidate
+features; per mention it predicts the argmax-scoring candidate. The three
+standard configurations of experiment E1:
+
+* ``("log_prior",)`` — the popularity baseline.
+* ``("log_prior", "cooccurrence")`` — self-supervised embeddings only.
+* all four features — the structured (Bootleg-style) model with entity
+  types and KG relations.
+
+Training is a softmax ranking objective over each mention's candidate set
+(list-wise cross-entropy), fitted by full-batch gradient descent — the
+correct objective for pick-one-of-k disambiguation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError, ValidationError
+from repro.ned.features import FEATURE_NAMES, CandidateFeaturizer, FeaturizedMention
+
+
+@dataclass
+class NedModel:
+    """Linear candidate scorer over a feature subset."""
+
+    feature_subset: tuple[str, ...]
+    weights: np.ndarray | None = None
+    bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.feature_subset) - set(FEATURE_NAMES)
+        if unknown:
+            raise ValidationError(
+                f"unknown features {sorted(unknown)}; allowed {FEATURE_NAMES}"
+            )
+        if not self.feature_subset:
+            raise ValidationError("feature subset must be non-empty")
+        self._columns = [FEATURE_NAMES.index(f) for f in self.feature_subset]
+
+    def _project(self, features: np.ndarray) -> np.ndarray:
+        return features[:, self._columns]
+
+    def scores(self, featurized: FeaturizedMention) -> np.ndarray:
+        if self.weights is None:
+            raise TrainingError("NED model not fitted")
+        return self._project(featurized.features) @ self.weights + self.bias
+
+    def predict(self, featurized: FeaturizedMention) -> int:
+        """The predicted entity id for one mention."""
+        best = int(np.argmax(self.scores(featurized)))
+        return featurized.mention.candidates[best]
+
+    def predict_all(self, featurized: list[FeaturizedMention]) -> np.ndarray:
+        return np.array([self.predict(f) for f in featurized], dtype=np.int64)
+
+    def fit(
+        self,
+        featurized: list[FeaturizedMention],
+        learning_rate: float = 0.5,
+        epochs: int = 300,
+        l2: float = 1e-4,
+    ) -> "NedModel":
+        """List-wise softmax ranking over each mention's candidates."""
+        if not featurized:
+            raise TrainingError("cannot fit on zero mentions")
+        matrices = [self._project(f.features) for f in featurized]
+        true_rows = []
+        for f in featurized:
+            try:
+                true_rows.append(f.mention.candidates.index(f.mention.true_entity))
+            except ValueError as exc:
+                raise TrainingError(
+                    f"mention {f.mention.mention_id}: true entity not in candidates"
+                ) from exc
+
+        d = matrices[0].shape[1]
+        # Standardize features across all candidates for stable optimization.
+        stacked = np.vstack(matrices)
+        mean = stacked.mean(axis=0)
+        std = stacked.std(axis=0)
+        std[std == 0] = 1.0
+
+        # Pad candidate lists to a common width so each epoch is one batched
+        # einsum instead of a Python loop over mentions.
+        n = len(matrices)
+        max_candidates = max(len(m) for m in matrices)
+        tensor = np.zeros((n, max_candidates, d))
+        valid = np.zeros((n, max_candidates), dtype=bool)
+        for i, matrix in enumerate(matrices):
+            tensor[i, : len(matrix)] = (matrix - mean) / std
+            valid[i, : len(matrix)] = True
+        true_index = np.array(true_rows)
+        x_true = tensor[np.arange(n), true_index]  # (n, d)
+
+        weights = np.zeros(d)
+        for __ in range(epochs):
+            logits = tensor @ weights  # (n, max_c)
+            logits[~valid] = -np.inf
+            logits -= logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            grad = (
+                np.einsum("nc,ncd->d", probs, tensor) - x_true.sum(axis=0)
+            ) / n + l2 * weights
+            weights -= learning_rate * grad
+
+        # Fold the standardization back into the stored weights/bias.
+        self.weights = weights / std
+        self.bias = float(-(mean / std) @ weights)
+        return self
+
+
+def train_ned_model(
+    featurizer: CandidateFeaturizer,
+    train_featurized: list[FeaturizedMention],
+    feature_subset: tuple[str, ...],
+    epochs: int = 300,
+) -> NedModel:
+    """Convenience constructor: build and fit a model on featurized mentions."""
+    model = NedModel(feature_subset=feature_subset)
+    return model.fit(train_featurized, epochs=epochs)

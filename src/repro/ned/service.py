@@ -1,0 +1,184 @@
+"""A deployable NED product wired into the embedding ecosystem.
+
+The paper's motivating deployment (section 1) is "an industrial
+self-supervised entity disambiguation system" whose embeddings feed many
+products. :class:`DisambiguationService` is that product shape, composed
+from the library's parts:
+
+* the entity/token embeddings are **pulled from the
+  :class:`~repro.core.embedding_store.EmbeddingStore>** under pinned,
+  compatibility-checked versions — an embedding update cannot silently
+  reach the scorer (experiment E9's guarantee, in product form);
+* predictions are **logged to the offline store**, so the monitoring layer
+  can compute error slices and the patch loop can close;
+* :meth:`upgrade_embeddings` re-pins to a newer compatible version (e.g.
+  after a patch is registered and marked compatible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.embedding_store import EmbeddingStore
+from repro.datagen.kb import KnowledgeBase, Mention, MentionVocabulary
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import ServingError, ValidationError
+from repro.ned.features import CandidateFeaturizer, TypeClassifier
+from repro.ned.models import NedModel
+from repro.storage.offline import OfflineStore, TableSchema
+
+
+@dataclass(frozen=True)
+class Disambiguation:
+    """One served prediction."""
+
+    mention_id: int
+    predicted_entity: int
+    score: float
+    candidates: tuple[int, ...]
+
+
+class DisambiguationService:
+    """Serves NED predictions from store-managed embeddings."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        vocabulary: MentionVocabulary,
+        embedding_store: EmbeddingStore,
+        entity_embedding_name: str,
+        token_embedding_name: str,
+        model: NedModel,
+        type_classifier: TypeClassifier,
+        offline: OfflineStore | None = None,
+        log_table: str = "ned_predictions",
+    ) -> None:
+        self.kb = kb
+        self.vocabulary = vocabulary
+        self.embedding_store = embedding_store
+        self.entity_embedding_name = entity_embedding_name
+        self.token_embedding_name = token_embedding_name
+        self.model = model
+        self.type_classifier = type_classifier
+        self.pinned_entity_version = embedding_store.latest_version(
+            entity_embedding_name
+        )
+        self.pinned_token_version = embedding_store.latest_version(
+            token_embedding_name
+        )
+        self.offline = offline
+        self.log_table = log_table
+        if offline is not None and not offline.has_table(log_table):
+            offline.create_table(
+                log_table,
+                TableSchema(
+                    columns={"predicted": "int", "score": "float", "alias": "int"}
+                ),
+            )
+        self._featurizer: CandidateFeaturizer | None = None
+
+    def _build_featurizer(self) -> CandidateFeaturizer:
+        if self._featurizer is None:
+            entity = self.embedding_store.vectors_for_model(
+                self.entity_embedding_name,
+                self.pinned_entity_version,
+                np.arange(self.kb.n_entities),
+                serve_version=self.pinned_entity_version,
+            )
+            tokens = self.embedding_store.vectors_for_model(
+                self.token_embedding_name,
+                self.pinned_token_version,
+                np.arange(self.vocabulary.size),
+                serve_version=self.pinned_token_version,
+            )
+            self._featurizer = CandidateFeaturizer(
+                self.kb,
+                self.vocabulary,
+                EmbeddingMatrix(vectors=entity),
+                EmbeddingMatrix(vectors=tokens),
+                self.type_classifier,
+            )
+        return self._featurizer
+
+    def disambiguate(
+        self, mention: Mention, timestamp: float = 0.0
+    ) -> Disambiguation:
+        """Serve one prediction (and log it when an offline store is wired)."""
+        featurized = self._build_featurizer().featurize(mention)
+        scores = self.model.scores(featurized)
+        best = int(np.argmax(scores))
+        result = Disambiguation(
+            mention_id=mention.mention_id,
+            predicted_entity=mention.candidates[best],
+            score=float(scores[best]),
+            candidates=mention.candidates,
+        )
+        if self.offline is not None:
+            self.offline.table(self.log_table).append(
+                [
+                    {
+                        "entity_id": mention.true_entity,
+                        "timestamp": timestamp,
+                        "predicted": result.predicted_entity,
+                        "score": result.score,
+                        "alias": mention.alias_id,
+                    }
+                ]
+            )
+        return result
+
+    def disambiguate_batch(
+        self, mentions: list[Mention], timestamp: float = 0.0
+    ) -> list[Disambiguation]:
+        return [self.disambiguate(m, timestamp) for m in mentions]
+
+    def upgrade_embeddings(
+        self, entity_version: int | None = None, token_version: int | None = None
+    ) -> tuple[int, int]:
+        """Re-pin to newer versions — only if the store marks them compatible.
+
+        Passing ``None`` targets the latest version of each name. Raises
+        :class:`~repro.errors.CompatibilityError` (from the store) when the
+        target is not compatible with the current pin; on success the
+        featurizer cache is invalidated so the next request serves the new
+        vectors.
+        """
+        target_entity = (
+            self.embedding_store.latest_version(self.entity_embedding_name)
+            if entity_version is None
+            else entity_version
+        )
+        target_token = (
+            self.embedding_store.latest_version(self.token_embedding_name)
+            if token_version is None
+            else token_version
+        )
+        # Probe compatibility through the store's serving path (zero rows).
+        self.embedding_store.vectors_for_model(
+            self.entity_embedding_name,
+            self.pinned_entity_version,
+            np.array([], dtype=np.int64),
+            serve_version=target_entity,
+        )
+        self.embedding_store.vectors_for_model(
+            self.token_embedding_name,
+            self.pinned_token_version,
+            np.array([], dtype=np.int64),
+            serve_version=target_token,
+        )
+        self.pinned_entity_version = target_entity
+        self.pinned_token_version = target_token
+        self._featurizer = None
+        return target_entity, target_token
+
+    def prediction_accuracy(self) -> float:
+        """Accuracy over the logged predictions (truth = logged entity_id)."""
+        if self.offline is None:
+            raise ServingError("service has no offline log to score")
+        rows = list(self.offline.table(self.log_table).scan())
+        if not rows:
+            raise ValidationError("no predictions logged yet")
+        correct = sum(1 for r in rows if r["predicted"] == r["entity_id"])
+        return correct / len(rows)

@@ -1,0 +1,55 @@
+"""Fine-grained monitoring and model patching.
+
+Paper section 3.1.3: the embedding ecosystem needs "tools to find meaningful
+subpopulations of errors" and ways to "correct that error in the underlying
+embedding [so that] all downstream systems using those embeddings will be
+patched, which maintains product consistency". The techniques it cites —
+slice finding, weak supervision (Snorkel), data augmentation, slice-based
+learning — are implemented here:
+
+* :mod:`repro.patching.slicing` — slice discovery over metadata columns with
+  significance testing (Robustness-Gym / SliceFinder style).
+* :mod:`repro.patching.report` — subpopulation performance reports across
+  models.
+* :mod:`repro.patching.weak_supervision` — labeling functions, majority
+  vote, and an EM-trained generative label model.
+* :mod:`repro.patching.augmentation` — slice-targeted data augmentation.
+* :mod:`repro.patching.patcher` — embedding patching through structured
+  data, with propagation to every downstream consumer.
+"""
+
+from repro.patching.augmentation import augment_slice, oversample_slice
+from repro.patching.outcome import (
+    OutcomeEstimate,
+    PatchDecision,
+    PatchOutcomePredictor,
+    choose_propagation,
+)
+from repro.patching.patcher import EmbeddingPatcher, PatchOutcome
+from repro.patching.report import SubpopulationReport, build_report
+from repro.patching.slice_experts import SliceExpertModel
+from repro.patching.slicing import DiscoveredSlice, SliceFinder
+from repro.patching.weak_supervision import (
+    LabelingFunction,
+    LabelModel,
+    majority_vote,
+)
+
+__all__ = [
+    "DiscoveredSlice",
+    "EmbeddingPatcher",
+    "LabelModel",
+    "LabelingFunction",
+    "OutcomeEstimate",
+    "PatchDecision",
+    "PatchOutcome",
+    "PatchOutcomePredictor",
+    "SliceExpertModel",
+    "SliceFinder",
+    "SubpopulationReport",
+    "augment_slice",
+    "build_report",
+    "choose_propagation",
+    "majority_vote",
+    "oversample_slice",
+]

@@ -1,0 +1,77 @@
+"""Slice-targeted data augmentation.
+
+The paper (section 3.1.3, citing Orr et al. and model patching) lists data
+augmentation as a technique for "correct[ing] underperforming
+sub-populations of data". Two primitives:
+
+* :func:`oversample_slice` — replicate slice rows to rebalance training.
+* :func:`augment_slice` — replicate with Gaussian feature jitter, the
+  classic augmentation that also smooths the local decision boundary.
+
+Both return index arrays plus materialized (features, labels) so callers can
+concatenate onto the original training set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _check_inputs(
+    features: np.ndarray, labels: np.ndarray, mask: np.ndarray, factor: float
+) -> None:
+    if len(features) != len(labels) or len(labels) != len(mask):
+        raise ValidationError("features, labels and mask must have equal length")
+    if not mask.any():
+        raise ValidationError("slice mask selects no rows")
+    if factor <= 0:
+        raise ValidationError(f"factor must be positive ({factor=})")
+
+
+def oversample_slice(
+    features: np.ndarray,
+    labels: np.ndarray,
+    mask: np.ndarray,
+    factor: float = 2.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``factor * slice_size`` extra rows (with replacement) from a slice.
+
+    Returns the extra ``(features, labels)`` to append.
+    """
+    _check_inputs(features, labels, mask, factor)
+    rng = np.random.default_rng(seed)
+    indices = np.flatnonzero(mask)
+    n_extra = int(round(factor * len(indices)))
+    chosen = rng.choice(indices, size=n_extra, replace=True)
+    return features[chosen].copy(), labels[chosen].copy()
+
+
+def augment_slice(
+    features: np.ndarray,
+    labels: np.ndarray,
+    mask: np.ndarray,
+    factor: float = 2.0,
+    noise_scale: float = 0.1,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Oversample a slice with Gaussian jitter on the features.
+
+    The jitter scale is relative to each feature's standard deviation over
+    the slice, so augmentation respects the slice's local geometry.
+    """
+    _check_inputs(features, labels, mask, factor)
+    if noise_scale < 0:
+        raise ValidationError(f"noise_scale must be non-negative ({noise_scale=})")
+    rng = np.random.default_rng(seed)
+    indices = np.flatnonzero(mask)
+    n_extra = int(round(factor * len(indices)))
+    chosen = rng.choice(indices, size=n_extra, replace=True)
+
+    base = features[chosen].astype(float)
+    scale = features[indices].std(axis=0)
+    scale[scale == 0] = 1e-12
+    jitter = rng.normal(0.0, noise_scale, size=base.shape) * scale
+    return base + jitter, labels[chosen].copy()

@@ -1,0 +1,172 @@
+"""Predicting patch outcomes before shipping them.
+
+Paper section 4 (future directions): "How can you predict if an
+augmentation strategy will have the desired result? If an embedding gets
+patched, what is the optimal way to propagate that patch downstream?"
+
+Two tools:
+
+* :class:`PatchOutcomePredictor` — rehearses a candidate patch on held-out
+  labelled data *before* it is registered: it measures the slice and
+  off-slice accuracy deltas the patch would cause for each downstream
+  model, and recommends shipping only when the slice improves and the rest
+  does not regress.
+* :func:`choose_propagation` — given rehearsal results per consumer,
+  recommends a per-model propagation action (``serve`` the patched version
+  directly, ``retrain`` the model against it first, or ``hold``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class OutcomeEstimate:
+    """Rehearsed effect of a candidate patch on one downstream model."""
+
+    model_name: str
+    slice_before: float
+    slice_after: float
+    rest_before: float
+    rest_after: float
+
+    @property
+    def slice_gain(self) -> float:
+        return self.slice_after - self.slice_before
+
+    @property
+    def rest_regression(self) -> float:
+        """How much the off-slice accuracy drops (positive = worse)."""
+        return self.rest_before - self.rest_after
+
+
+@dataclass(frozen=True)
+class PatchDecision:
+    """Ship/hold verdict for one patch across all rehearsed consumers."""
+
+    ship: bool
+    estimates: tuple[OutcomeEstimate, ...]
+    reason: str
+
+
+class PatchOutcomePredictor:
+    """Rehearses embedding patches against held-out evaluation sets.
+
+    Each registered consumer contributes a fixed model plus an evaluation
+    set of ``(entity_ids, labels)``; :meth:`rehearse` measures what swapping
+    the embedding would do to each, with no side effects.
+    """
+
+    def __init__(
+        self,
+        min_slice_gain: float = 0.02,
+        max_rest_regression: float = 0.01,
+    ) -> None:
+        if min_slice_gain < 0:
+            raise ValidationError(f"min_slice_gain must be >= 0 ({min_slice_gain=})")
+        if max_rest_regression < 0:
+            raise ValidationError(
+                f"max_rest_regression must be >= 0 ({max_rest_regression=})"
+            )
+        self.min_slice_gain = min_slice_gain
+        self.max_rest_regression = max_rest_regression
+        self._consumers: list[tuple[str, object, np.ndarray, np.ndarray]] = []
+
+    def add_consumer(
+        self,
+        name: str,
+        model: object,
+        entity_ids: np.ndarray,
+        labels: np.ndarray,
+    ) -> None:
+        """Register a downstream model with its held-out evaluation set."""
+        entity_ids = np.asarray(entity_ids, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(entity_ids) != len(labels) or len(labels) == 0:
+            raise ValidationError("evaluation set must be non-empty and aligned")
+        if not hasattr(model, "predict"):
+            raise ValidationError(f"consumer {name!r} model lacks .predict")
+        self._consumers.append((name, model, entity_ids, labels))
+
+    def rehearse(
+        self,
+        current: EmbeddingMatrix,
+        candidate: EmbeddingMatrix,
+        patched_entities: np.ndarray,
+    ) -> PatchDecision:
+        """Estimate the patch's effect on every consumer; decide ship/hold.
+
+        Ships only if **every** consumer's slice accuracy improves by at
+        least ``min_slice_gain`` and no consumer's off-slice accuracy drops
+        by more than ``max_rest_regression``.
+        """
+        if not self._consumers:
+            raise ValidationError("no consumers registered to rehearse against")
+        if current.n != candidate.n:
+            raise ValidationError("current/candidate row-count mismatch")
+        patched = set(np.asarray(patched_entities, dtype=np.int64).tolist())
+        if not patched:
+            raise ValidationError("patched_entities is empty")
+
+        estimates = []
+        for name, model, entity_ids, labels in self._consumers:
+            in_slice = np.array([int(e) in patched for e in entity_ids])
+            before = model.predict(current.vectors[entity_ids]) == labels  # type: ignore[attr-defined]
+            after = model.predict(candidate.vectors[entity_ids]) == labels  # type: ignore[attr-defined]
+            estimates.append(
+                OutcomeEstimate(
+                    model_name=name,
+                    slice_before=float(before[in_slice].mean()) if in_slice.any() else float("nan"),
+                    slice_after=float(after[in_slice].mean()) if in_slice.any() else float("nan"),
+                    rest_before=float(before[~in_slice].mean()) if (~in_slice).any() else float("nan"),
+                    rest_after=float(after[~in_slice].mean()) if (~in_slice).any() else float("nan"),
+                )
+            )
+
+        failing = [
+            e.model_name
+            for e in estimates
+            if not np.isnan(e.slice_gain) and e.slice_gain < self.min_slice_gain
+        ]
+        regressing = [
+            e.model_name
+            for e in estimates
+            if not np.isnan(e.rest_regression)
+            and e.rest_regression > self.max_rest_regression
+        ]
+        if failing:
+            reason = f"insufficient slice gain for: {', '.join(sorted(failing))}"
+        elif regressing:
+            reason = f"off-slice regression for: {', '.join(sorted(regressing))}"
+        else:
+            reason = "all consumers improve on the slice without regression"
+        return PatchDecision(
+            ship=not failing and not regressing,
+            estimates=tuple(estimates),
+            reason=reason,
+        )
+
+
+def choose_propagation(estimate: OutcomeEstimate) -> str:
+    """Per-consumer propagation policy for a shipped patch.
+
+    * ``serve`` — the fixed model already benefits: swap the served
+      embedding, no retraining needed.
+    * ``retrain`` — the slice improves little or the rest regresses with
+      the fixed model: retrain this consumer against the patched embedding
+      before cutting over.
+    * ``hold`` — the patch hurts the slice for this consumer; investigate.
+    """
+    if np.isnan(estimate.slice_gain):
+        return "serve"  # consumer never touches the patched rows
+    if estimate.slice_gain < 0:
+        return "hold"
+    if estimate.slice_gain > 0.01 and estimate.rest_regression <= 0.01:
+        return "serve"
+    return "retrain"

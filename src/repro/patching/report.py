@@ -1,0 +1,108 @@
+"""Subpopulation performance reports (Robustness-Gym style).
+
+Paper section 3.1.3: "Goel et al. focuses on allowing users to define custom
+sub-population functions to explore performance across different models."
+:func:`build_report` evaluates any number of models over any number of named
+slice functions and produces one comparable table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.models.metrics import accuracy
+
+SliceFn = Callable[[dict[str, np.ndarray]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SubpopulationReport:
+    """Accuracy per (model, slice): ``cells[model][slice] = (acc, support)``."""
+
+    cells: dict[str, dict[str, tuple[float, int]]]
+    slice_names: tuple[str, ...]
+    model_names: tuple[str, ...]
+
+    def accuracy_of(self, model: str, slice_name: str) -> float:
+        return self.cells[model][slice_name][0]
+
+    def worst_slice(self, model: str) -> tuple[str, float]:
+        """The named slice where a model is weakest (excluding 'overall')."""
+        rows = {
+            name: value
+            for name, (value, __) in self.cells[model].items()
+            if name != "overall"
+        }
+        if not rows:
+            raise ValidationError("report has no slices beyond 'overall'")
+        name = min(rows, key=rows.get)  # type: ignore[arg-type]
+        return name, rows[name]
+
+    def gap(self, model: str) -> float:
+        """Overall accuracy minus worst-slice accuracy."""
+        __, worst = self.worst_slice(model)
+        return self.accuracy_of(model, "overall") - worst
+
+    def to_text(self) -> str:
+        """A fixed-width table for logs and benchmark output."""
+        width = max(len(s) for s in self.slice_names + ("overall",)) + 2
+        header = "slice".ljust(width) + "".join(
+            name.rjust(14) for name in self.model_names
+        )
+        lines = [header]
+        for slice_name in ("overall",) + self.slice_names:
+            row = slice_name.ljust(width)
+            for model in self.model_names:
+                value, support = self.cells[model][slice_name]
+                row += f"{value:10.3f} ({support})".rjust(14)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def build_report(
+    predictions: dict[str, np.ndarray],
+    labels: np.ndarray,
+    metadata: dict[str, np.ndarray],
+    slice_functions: dict[str, SliceFn],
+    min_support: int = 1,
+) -> SubpopulationReport:
+    """Evaluate every model on every user-defined subpopulation.
+
+    ``slice_functions`` map the metadata dict to boolean masks; an
+    ``overall`` row (all examples) is always included.
+    """
+    if not predictions:
+        raise ValidationError("need at least one model's predictions")
+    labels = np.asarray(labels)
+    masks: dict[str, np.ndarray] = {"overall": np.ones(len(labels), dtype=bool)}
+    for name, fn in slice_functions.items():
+        mask = np.asarray(fn(metadata), dtype=bool)
+        if mask.shape != labels.shape:
+            raise ValidationError(f"slice {name!r} returned a bad mask shape")
+        if mask.sum() >= min_support:
+            masks[name] = mask
+
+    cells: dict[str, dict[str, tuple[float, int]]] = {}
+    for model_name, model_preds in predictions.items():
+        model_preds = np.asarray(model_preds)
+        if model_preds.shape != labels.shape:
+            raise ValidationError(f"model {model_name!r} prediction shape mismatch")
+        row: dict[str, tuple[float, int]] = {}
+        for slice_name, mask in masks.items():
+            support = int(mask.sum())
+            row[slice_name] = (
+                accuracy(labels[mask], model_preds[mask]) if support else float("nan"),
+                support,
+            )
+        cells[model_name] = row
+
+    slice_names = tuple(name for name in masks if name != "overall")
+    return SubpopulationReport(
+        cells=cells,
+        slice_names=slice_names,
+        model_names=tuple(predictions),
+    )

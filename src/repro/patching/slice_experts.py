@@ -1,0 +1,159 @@
+"""Slice-based learning: per-slice expert heads over a shared backbone.
+
+Paper section 3.1.3 cites slice-based learning (Chen et al.) as one of the
+data-management techniques for "correct[ing] underperforming
+sub-populations". The programming model: a shared backbone classifier plus
+one *expert* per declared slice, trained only on that slice's examples;
+at inference each example's prediction blends the backbone with the experts
+whose slices it belongs to, weighted by each expert's measured advantage on
+held-out slice data.
+
+This corrects a slice *in the model* (complementary to correcting it *in
+the embedding*, :mod:`repro.patching.patcher`): useful when the feature
+representation is fine but the decision boundary inside the slice differs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError, ValidationError
+from repro.models.linear import LogisticRegression
+
+
+@dataclass
+class _Expert:
+    model: LogisticRegression
+    weight: float
+    support: int
+
+
+def _default_factory() -> LogisticRegression:
+    return LogisticRegression(epochs=150)
+
+
+class SliceExpertModel:
+    """A backbone classifier plus membership-gated slice experts.
+
+    ``slices`` are named boolean masks over the training rows; the same
+    named masks (over inference rows) must be supplied to predict. Experts
+    whose slice has fewer than ``min_slice_size`` training rows, or whose
+    held-out advantage over the backbone is not positive, are dropped — a
+    useless expert must never hurt the global model.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], LogisticRegression] | None = None,
+        min_slice_size: int = 50,
+        validation_fraction: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValidationError(
+                f"validation_fraction must be in (0, 1) ({validation_fraction=})"
+            )
+        if min_slice_size < 2:
+            raise ValidationError(f"min_slice_size must be >= 2 ({min_slice_size=})")
+        self._factory = model_factory or _default_factory
+        self.min_slice_size = min_slice_size
+        self.validation_fraction = validation_fraction
+        self.seed = seed
+        self.backbone: LogisticRegression | None = None
+        self.experts: dict[str, _Expert] = {}
+        self.n_classes: int = 0
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        slices: dict[str, np.ndarray],
+    ) -> "SliceExpertModel":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) != len(labels):
+            raise ValidationError("features/labels length mismatch")
+        rng = np.random.default_rng(self.seed)
+
+        self.backbone = self._factory().fit(features, labels)
+        self.n_classes = self.backbone.n_classes
+        self.experts = {}
+
+        for name, mask in slices.items():
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != labels.shape:
+                raise ValidationError(f"slice {name!r} mask shape mismatch")
+            indices = np.flatnonzero(mask)
+            if len(indices) < self.min_slice_size:
+                continue
+            # Held-out split inside the slice to measure the expert's edge.
+            shuffled = rng.permutation(indices)
+            cut = max(1, int(len(shuffled) * (1.0 - self.validation_fraction)))
+            train_idx, valid_idx = shuffled[:cut], shuffled[cut:]
+            if len(valid_idx) == 0 or len(np.unique(labels[train_idx])) < 2:
+                continue
+            expert = self._factory().fit(features[train_idx], labels[train_idx])
+            if expert.n_classes != self.n_classes:
+                continue  # slice lacks some classes; blending would misalign
+            backbone_acc = float(
+                np.mean(self.backbone.predict(features[valid_idx]) == labels[valid_idx])
+            )
+            expert_acc = float(
+                np.mean(expert.predict(features[valid_idx]) == labels[valid_idx])
+            )
+            advantage = expert_acc - backbone_acc
+            if advantage <= 0:
+                continue
+            self.experts[name] = _Expert(
+                model=expert,
+                weight=advantage,
+                support=len(indices),
+            )
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.backbone is None:
+            raise TrainingError("slice expert model not fitted")
+
+    def predict_proba(
+        self, features: np.ndarray, slices: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Blend backbone and applicable experts per example.
+
+        Each example's distribution is the convex combination of the
+        backbone (weight 1) and every expert whose slice contains it
+        (weight = held-out advantage), renormalized.
+        """
+        self._check_fitted()
+        features = np.asarray(features, dtype=float)
+        probs = self.backbone.predict_proba(features)
+        weights = np.ones(len(features))
+
+        for name, expert in self.experts.items():
+            if name not in slices:
+                continue
+            mask = np.asarray(slices[name], dtype=bool)
+            if mask.shape != (len(features),):
+                raise ValidationError(f"slice {name!r} inference mask shape mismatch")
+            if not mask.any():
+                continue
+            expert_probs = expert.model.predict_proba(features[mask])
+            probs[mask] = probs[mask] + expert.weight * expert_probs
+            weights[mask] += expert.weight
+
+        return probs / weights[:, None]
+
+    def predict(
+        self, features: np.ndarray, slices: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        return self.predict_proba(features, slices).argmax(axis=1)
+
+    def active_experts(self) -> dict[str, tuple[float, int]]:
+        """Kept experts: ``name -> (held-out advantage, slice support)``."""
+        return {
+            name: (expert.weight, expert.support)
+            for name, expert in self.experts.items()
+        }

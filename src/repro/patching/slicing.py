@@ -1,0 +1,165 @@
+"""Slice discovery: find metadata subpopulations with elevated error rates.
+
+Given per-example correctness of a model and integer-coded metadata columns,
+the finder enumerates candidate slices — single predicates ``column=value``
+and depth-2 conjunctions — and keeps those whose error rate is significantly
+above the global rate (one-sided binomial test with Bonferroni correction)
+and whose effect size (error-rate lift) clears a threshold.
+
+This is the laptop-scale core of what SliceFinder and Robustness Gym's
+subpopulation discovery do (paper section 3.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DiscoveredSlice:
+    """One significant underperforming subpopulation."""
+
+    name: str
+    predicates: tuple[tuple[str, int], ...]
+    mask: np.ndarray
+    support: int
+    error_rate: float
+    base_error_rate: float
+    p_value: float
+
+    @property
+    def lift(self) -> float:
+        """Error rate relative to the base rate (1.0 = no elevation)."""
+        if self.base_error_rate == 0:
+            return float("inf") if self.error_rate > 0 else 1.0
+        return self.error_rate / self.base_error_rate
+
+
+class SliceFinder:
+    """Enumerates and tests metadata slices for elevated error."""
+
+    def __init__(
+        self,
+        min_support: int = 30,
+        max_depth: int = 2,
+        alpha: float = 0.05,
+        min_lift: float = 1.5,
+    ) -> None:
+        if min_support < 1:
+            raise ValidationError(f"min_support must be >= 1 ({min_support=})")
+        if max_depth not in (1, 2):
+            raise ValidationError(f"max_depth must be 1 or 2 ({max_depth=})")
+        if not 0 < alpha < 1:
+            raise ValidationError(f"alpha must be in (0, 1) ({alpha=})")
+        if min_lift < 1.0:
+            raise ValidationError(f"min_lift must be >= 1 ({min_lift=})")
+        self.min_support = min_support
+        self.max_depth = max_depth
+        self.alpha = alpha
+        self.min_lift = min_lift
+
+    def _candidate_masks(
+        self, metadata: dict[str, np.ndarray]
+    ) -> list[tuple[tuple[tuple[str, int], ...], np.ndarray]]:
+        single: list[tuple[tuple[str, int], np.ndarray]] = []
+        for column in sorted(metadata):
+            values = metadata[column]
+            for value in np.unique(values[values >= 0]).tolist():
+                mask = values == value
+                if mask.sum() >= self.min_support:
+                    single.append(((column, int(value)), mask))
+
+        candidates: list[tuple[tuple[tuple[str, int], ...], np.ndarray]] = [
+            ((predicate,), mask) for predicate, mask in single
+        ]
+        if self.max_depth >= 2:
+            for (pred_a, mask_a), (pred_b, mask_b) in combinations(single, 2):
+                if pred_a[0] == pred_b[0]:
+                    continue  # same column: conjunction is empty
+                mask = mask_a & mask_b
+                if mask.sum() >= self.min_support:
+                    candidates.append(((pred_a, pred_b), mask))
+        return candidates
+
+    def find(
+        self,
+        metadata: dict[str, np.ndarray],
+        errors: np.ndarray,
+    ) -> list[DiscoveredSlice]:
+        """Return significant slices, worst (highest lift) first.
+
+        ``errors`` is a boolean array: True where the model was wrong.
+        """
+        errors = np.asarray(errors, dtype=bool)
+        n = len(errors)
+        if n == 0:
+            raise ValidationError("cannot find slices with zero examples")
+        for column, values in metadata.items():
+            if len(values) != n:
+                raise ValidationError(f"metadata {column!r} length mismatch")
+
+        base_rate = float(errors.mean())
+        candidates = self._candidate_masks(metadata)
+        if not candidates:
+            return []
+        corrected_alpha = self.alpha / len(candidates)
+
+        discovered: list[DiscoveredSlice] = []
+        for predicates, mask in candidates:
+            support = int(mask.sum())
+            slice_errors = int(errors[mask].sum())
+            rate = slice_errors / support
+            if base_rate > 0 and rate / base_rate < self.min_lift:
+                continue
+            if base_rate == 0 and rate == 0:
+                continue
+            # One-sided binomial: P(X >= slice_errors | base_rate).
+            p_value = float(stats.binom.sf(slice_errors - 1, support, base_rate))
+            if p_value > corrected_alpha:
+                continue
+            name = " & ".join(f"{c}={v}" for c, v in predicates)
+            discovered.append(
+                DiscoveredSlice(
+                    name=name,
+                    predicates=predicates,
+                    mask=mask,
+                    support=support,
+                    error_rate=rate,
+                    base_error_rate=base_rate,
+                    p_value=p_value,
+                )
+            )
+
+        discovered.sort(key=lambda s: (-s.lift, s.p_value))
+        return self._deduplicate(discovered)
+
+    @staticmethod
+    def _deduplicate(slices: list[DiscoveredSlice]) -> list[DiscoveredSlice]:
+        """Drop conjunctions that add nothing over a significant parent.
+
+        A depth-2 slice survives only if its error rate meaningfully exceeds
+        every significant single-predicate slice it refines — otherwise the
+        single-predicate explanation is the actionable one.
+        """
+        singles = {
+            s.predicates[0]: s for s in slices if len(s.predicates) == 1
+        }
+        kept: list[DiscoveredSlice] = []
+        for candidate in slices:
+            if len(candidate.predicates) == 1:
+                kept.append(candidate)
+                continue
+            redundant = any(
+                predicate in singles
+                and candidate.error_rate <= singles[predicate].error_rate * 1.05
+                for predicate in candidate.predicates
+            )
+            if not redundant:
+                kept.append(candidate)
+        return kept

@@ -1,0 +1,173 @@
+"""Weak supervision: labeling functions and a generative label model.
+
+Snorkel-style programmatic labeling (paper section 3.1.3 cites it as a
+data-management technique for correcting underperforming subpopulations):
+users write noisy :class:`LabelingFunction`s that vote or abstain on each
+example; the :class:`LabelModel` learns each function's accuracy without any
+ground truth (EM under a conditional-independence model) and outputs
+probabilistic labels that beat naive majority vote.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError, ValidationError
+
+ABSTAIN = -1
+
+
+@dataclass(frozen=True)
+class LabelingFunction:
+    """A named weak labeler: maps one example to a class id or ABSTAIN."""
+
+    name: str
+    fn: Callable[[object], int]
+
+    def apply(self, examples: list[object]) -> np.ndarray:
+        return np.array([int(self.fn(x)) for x in examples], dtype=np.int64)
+
+
+def apply_labeling_functions(
+    functions: list[LabelingFunction], examples: list[object]
+) -> np.ndarray:
+    """Label matrix ``(n_examples, n_functions)`` with ABSTAIN = -1."""
+    if not functions:
+        raise ValidationError("need at least one labeling function")
+    return np.stack([f.apply(examples) for f in functions], axis=1)
+
+
+def majority_vote(
+    label_matrix: np.ndarray, n_classes: int, seed: int = 0
+) -> np.ndarray:
+    """Per-example majority vote over non-abstaining functions.
+
+    Ties and all-abstain rows are broken uniformly at random (seeded).
+    """
+    if n_classes < 2:
+        raise ValidationError(f"n_classes must be >= 2 ({n_classes=})")
+    rng = np.random.default_rng(seed)
+    n = len(label_matrix)
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        votes = label_matrix[i]
+        votes = votes[votes != ABSTAIN]
+        if len(votes) == 0:
+            out[i] = rng.integers(0, n_classes)
+            continue
+        counts = np.bincount(votes, minlength=n_classes)
+        winners = np.flatnonzero(counts == counts.max())
+        out[i] = int(rng.choice(winners)) if len(winners) > 1 else int(winners[0])
+    return out
+
+
+class LabelModel:
+    """Generative model over labeling functions, trained with EM.
+
+    Model: a latent true label ``y ~ Categorical(pi)``; each function j,
+    when it does not abstain, outputs ``y`` with probability ``accuracy_j``
+    and a uniformly random wrong class otherwise, independently across
+    functions given ``y``. EM alternates posterior inference over ``y`` with
+    accuracy/prior re-estimation. High-accuracy functions earn more weight
+    than majority vote gives them — the source of the label model's edge.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        n_iterations: int = 50,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if n_classes < 2:
+            raise ValidationError(f"n_classes must be >= 2 ({n_classes=})")
+        if n_iterations < 1:
+            raise ValidationError(f"n_iterations must be >= 1 ({n_iterations=})")
+        self.n_classes = n_classes
+        self.n_iterations = n_iterations
+        self.tolerance = tolerance
+        self.accuracies: np.ndarray | None = None
+        self.class_prior: np.ndarray | None = None
+
+    def fit(self, label_matrix: np.ndarray) -> "LabelModel":
+        label_matrix = np.asarray(label_matrix, dtype=np.int64)
+        if label_matrix.ndim != 2:
+            raise ValidationError(f"label matrix must be 2-D, got {label_matrix.shape}")
+        n, m = label_matrix.shape
+        if n == 0 or m == 0:
+            raise TrainingError("empty label matrix")
+        if label_matrix.max() >= self.n_classes:
+            raise ValidationError("label matrix contains class ids >= n_classes")
+
+        voted = label_matrix != ABSTAIN
+        accuracies = np.full(m, 0.7)
+        prior = np.full(self.n_classes, 1.0 / self.n_classes)
+        wrong_mass = self.n_classes - 1
+
+        previous = -np.inf
+        for __ in range(self.n_iterations):
+            # E-step: log P(y=c | votes) per example.
+            log_post = np.log(prior + 1e-12)[None, :].repeat(n, axis=0)
+            for j in range(m):
+                rows = voted[:, j]
+                votes = label_matrix[rows, j]
+                acc = np.clip(accuracies[j], 1e-4, 1 - 1e-4)
+                log_hit = np.log(acc)
+                log_miss = np.log((1.0 - acc) / wrong_mass)
+                contribution = np.full((int(rows.sum()), self.n_classes), log_miss)
+                contribution[np.arange(len(votes)), votes] = log_hit
+                log_post[rows] += contribution
+            shift = log_post.max(axis=1, keepdims=True)
+            posterior = np.exp(log_post - shift)
+            posterior /= posterior.sum(axis=1, keepdims=True)
+
+            log_likelihood = float((shift.squeeze(1) + np.log(
+                np.exp(log_post - shift).sum(axis=1)
+            )).sum())
+
+            # M-step.
+            prior = posterior.mean(axis=0)
+            for j in range(m):
+                rows = voted[:, j]
+                if not rows.any():
+                    continue
+                votes = label_matrix[rows, j]
+                agreement = posterior[rows, votes].sum()
+                accuracies[j] = float(
+                    np.clip(agreement / rows.sum(), 1e-4, 1 - 1e-4)
+                )
+
+            if abs(log_likelihood - previous) < self.tolerance:
+                break
+            previous = log_likelihood
+
+        self.accuracies = accuracies
+        self.class_prior = prior
+        return self
+
+    def predict_proba(self, label_matrix: np.ndarray) -> np.ndarray:
+        """Posterior ``P(y | votes)`` per example, ``(n, n_classes)``."""
+        if self.accuracies is None or self.class_prior is None:
+            raise TrainingError("label model not fitted")
+        label_matrix = np.asarray(label_matrix, dtype=np.int64)
+        n, m = label_matrix.shape
+        wrong_mass = self.n_classes - 1
+        log_post = np.log(self.class_prior + 1e-12)[None, :].repeat(n, axis=0)
+        for j in range(m):
+            rows = label_matrix[:, j] != ABSTAIN
+            votes = label_matrix[rows, j]
+            acc = float(np.clip(self.accuracies[j], 1e-4, 1 - 1e-4))
+            contribution = np.full(
+                (int(rows.sum()), self.n_classes), np.log((1 - acc) / wrong_mass)
+            )
+            contribution[np.arange(len(votes)), votes] = np.log(acc)
+            log_post[rows] += contribution
+        log_post -= log_post.max(axis=1, keepdims=True)
+        posterior = np.exp(log_post)
+        posterior /= posterior.sum(axis=1, keepdims=True)
+        return posterior
+
+    def predict(self, label_matrix: np.ndarray) -> np.ndarray:
+        return self.predict_proba(label_matrix).argmax(axis=1)

@@ -1,0 +1,20 @@
+"""Pipeline orchestration: Figure 1 of the paper as executable code.
+
+* :mod:`repro.pipeline.dag` — a typed stage DAG (ingest -> featurize ->
+  train -> deploy -> monitor -> patch) with topological execution and
+  per-stage results.
+* :mod:`repro.pipeline.scheduler` — the cadence loop: advances a simulated
+  clock, re-materializes feature views that are due, runs freshness and
+  drift monitors, and collects alerts.
+"""
+
+from repro.pipeline.dag import Pipeline, Stage, StageResult
+from repro.pipeline.scheduler import CadenceScheduler, TickReport
+
+__all__ = [
+    "CadenceScheduler",
+    "Pipeline",
+    "Stage",
+    "StageResult",
+    "TickReport",
+]

@@ -1,0 +1,123 @@
+"""Stage DAG execution.
+
+A :class:`Pipeline` is a set of named :class:`Stage`s with dependencies.
+Stages communicate through a shared context dict: each stage function
+receives the context and returns a dict of outputs merged back into it.
+Execution is topological (networkx); cycles and missing dependencies are
+definition errors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import PipelineError, ValidationError
+
+StageFn = Callable[[dict[str, object]], dict[str, object] | None]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage."""
+
+    name: str
+    fn: StageFn
+    depends_on: tuple[str, ...] = ()
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Outcome of one stage execution."""
+
+    stage: str
+    status: str  # "ok" | "failed" | "skipped"
+    outputs: tuple[str, ...] = ()
+    error: str | None = None
+
+
+@dataclass
+class Pipeline:
+    """A DAG of stages executed over a shared context."""
+
+    stages: list[Stage] = field(default_factory=list)
+
+    def add(self, stage: Stage) -> "Pipeline":
+        if any(s.name == stage.name for s in self.stages):
+            raise ValidationError(f"duplicate stage name {stage.name!r}")
+        self.stages.append(stage)
+        return self
+
+    def add_stage(
+        self,
+        name: str,
+        fn: StageFn,
+        depends_on: tuple[str, ...] = (),
+        description: str = "",
+    ) -> "Pipeline":
+        """Convenience wrapper around :meth:`add`."""
+        return self.add(Stage(name=name, fn=fn, depends_on=depends_on, description=description))
+
+    def _graph(self) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        names = {s.name for s in self.stages}
+        for stage in self.stages:
+            graph.add_node(stage.name)
+            for dependency in stage.depends_on:
+                if dependency not in names:
+                    raise ValidationError(
+                        f"stage {stage.name!r} depends on unknown stage {dependency!r}"
+                    )
+                graph.add_edge(dependency, stage.name)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ValidationError(f"pipeline has a cycle: {nx.find_cycle(graph)}")
+        return graph
+
+    def execution_order(self) -> list[str]:
+        """Deterministic topological order (lexicographic tie-break)."""
+        graph = self._graph()
+        return list(nx.lexicographical_topological_sort(graph))
+
+    def run(
+        self,
+        context: dict[str, object] | None = None,
+        stop_on_failure: bool = True,
+    ) -> tuple[dict[str, object], list[StageResult]]:
+        """Execute all stages; return the final context and per-stage results.
+
+        With ``stop_on_failure=False``, stages whose dependencies failed are
+        reported as ``skipped`` and execution continues elsewhere.
+        """
+        context = dict(context or {})
+        by_name = {s.name: s for s in self.stages}
+        results: list[StageResult] = []
+        failed: set[str] = set()
+
+        for name in self.execution_order():
+            stage = by_name[name]
+            if any(d in failed for d in stage.depends_on):
+                failed.add(name)  # transitively failed
+                results.append(StageResult(stage=name, status="skipped"))
+                continue
+            try:
+                outputs = stage.fn(context) or {}
+            except Exception as exc:  # noqa: BLE001 - stage errors are data
+                if stop_on_failure:
+                    raise PipelineError(f"stage {name!r} failed: {exc}") from exc
+                failed.add(name)
+                results.append(
+                    StageResult(stage=name, status="failed", error=str(exc))
+                )
+                continue
+            if not isinstance(outputs, dict):
+                raise PipelineError(
+                    f"stage {name!r} returned {type(outputs).__name__}, expected dict"
+                )
+            context.update(outputs)
+            results.append(
+                StageResult(stage=name, status="ok", outputs=tuple(sorted(outputs)))
+            )
+        return context, results

@@ -1,0 +1,42 @@
+"""Feature quality metrics.
+
+Paper section 2.2.2: "FSs must support feature quality metrics to support
+the detection and mitigation of feature errors. For example, FSs measure
+feature freshness, null counts, and mutual information across features."
+
+* :mod:`repro.quality.metrics` — the individual metric functions.
+* :mod:`repro.quality.profile` — column profiles and profile comparison
+  (the inputs to training/serving skew checks).
+"""
+
+from repro.quality.feature_selection import (
+    SelectionResult,
+    exclude_offending_features,
+    rank_features_by_relevance,
+    select_features_mrmr,
+)
+from repro.quality.metrics import (
+    categorical_entropy,
+    distribution_summary,
+    freshness_seconds,
+    mutual_information,
+    null_count,
+    null_fraction,
+)
+from repro.quality.profile import ColumnProfile, TableProfile, profile_table
+
+__all__ = [
+    "ColumnProfile",
+    "SelectionResult",
+    "TableProfile",
+    "categorical_entropy",
+    "distribution_summary",
+    "exclude_offending_features",
+    "freshness_seconds",
+    "mutual_information",
+    "null_count",
+    "null_fraction",
+    "profile_table",
+    "rank_features_by_relevance",
+    "select_features_mrmr",
+]

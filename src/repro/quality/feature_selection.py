@@ -1,0 +1,126 @@
+"""Feature-set selection and repair.
+
+Paper section 2.2.3: "Once an error is discovered, engineers can use the FS
+metrics to detect the offending set of features and select a more optimal
+feature set for serving (or retraining)." Two tools built on the store's
+own quality metrics:
+
+* :func:`select_features_mrmr` — greedy maximum-relevance /
+  minimum-redundancy selection using the store's mutual-information metric
+  (relevance = MI with the label, redundancy = MI with already-selected
+  features).
+* :func:`exclude_offending_features` — given a training/serving skew
+  report, return the feature subset that is still trustworthy at serving
+  time, so a model can be retrained without the drifted inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.monitoring.skew import SkewReport
+from repro.quality.metrics import mutual_information
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Ranked feature selection with per-step scores."""
+
+    selected: tuple[int, ...]
+    relevance: dict[int, float]
+    scores: tuple[float, ...]
+
+    def names(self, feature_names: list[str]) -> list[str]:
+        return [feature_names[i] for i in self.selected]
+
+
+def rank_features_by_relevance(
+    features: np.ndarray, labels: np.ndarray, bins: int = 10
+) -> dict[int, float]:
+    """Mutual information of every feature column with the label."""
+    if features.ndim != 2 or len(features) != len(labels):
+        raise ValidationError(
+            f"bad shapes: features {features.shape}, labels {np.shape(labels)}"
+        )
+    labels = np.asarray(labels, dtype=np.int64)
+    return {
+        j: mutual_information(features[:, j], labels, bins=bins)
+        for j in range(features.shape[1])
+    }
+
+
+def select_features_mrmr(
+    features: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    bins: int = 10,
+    redundancy_weight: float = 1.0,
+) -> SelectionResult:
+    """Greedy mRMR: maximize MI(feature, label) − mean MI(feature, selected).
+
+    Picks ``k`` columns. The first pick is the most label-relevant feature;
+    each later pick trades relevance against redundancy with the already
+    selected set, so near-duplicate features are not selected twice.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1 ({k=})")
+    if redundancy_weight < 0:
+        raise ValidationError(f"redundancy_weight must be >= 0 ({redundancy_weight=})")
+    relevance = rank_features_by_relevance(features, labels, bins=bins)
+    n_features = features.shape[1]
+    k = min(k, n_features)
+
+    selected: list[int] = []
+    scores: list[float] = []
+    remaining = set(range(n_features))
+    pairwise: dict[tuple[int, int], float] = {}
+
+    def redundancy(candidate: int) -> float:
+        if not selected:
+            return 0.0
+        total = 0.0
+        for chosen in selected:
+            key = (min(candidate, chosen), max(candidate, chosen))
+            if key not in pairwise:
+                pairwise[key] = mutual_information(
+                    features[:, key[0]], features[:, key[1]], bins=bins
+                )
+            total += pairwise[key]
+        return total / len(selected)
+
+    for __ in range(k):
+        best, best_score = None, -np.inf
+        for candidate in sorted(remaining):
+            score = relevance[candidate] - redundancy_weight * redundancy(candidate)
+            if score > best_score:
+                best, best_score = candidate, score
+        assert best is not None
+        selected.append(best)
+        scores.append(best_score)
+        remaining.discard(best)
+
+    return SelectionResult(
+        selected=tuple(selected), relevance=relevance, scores=tuple(scores)
+    )
+
+
+def exclude_offending_features(
+    feature_names: list[str], skew_report: SkewReport
+) -> tuple[list[str], list[str]]:
+    """Split features into ``(trustworthy, offending)`` using a skew report.
+
+    Features absent from the report are considered trustworthy (they were
+    not monitored, or serving produced no window for them).
+    """
+    offending = set(skew_report.skewed_columns)
+    keep = [name for name in feature_names if name not in offending]
+    dropped = [name for name in feature_names if name in offending]
+    if not keep:
+        raise ValidationError(
+            "every feature is skewed; retraining needs at least one "
+            "trustworthy input"
+        )
+    return keep, dropped

@@ -1,0 +1,151 @@
+"""Individual feature quality metrics.
+
+Conventions: numeric columns are float arrays with ``NaN`` as NULL;
+categorical columns are integer arrays with ``-1`` as NULL (matching
+:mod:`repro.datagen.tabular` and the offline store's ``column_array``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.storage.offline import OfflineTable
+
+
+def _null_mask(values: np.ndarray) -> np.ndarray:
+    if values.dtype.kind == "f":
+        return np.isnan(values)
+    if values.dtype.kind in "iu":
+        return values == -1
+    return np.array([v is None for v in values])
+
+
+def null_count(values: np.ndarray) -> int:
+    """Number of NULL entries in a column."""
+    return int(_null_mask(values).sum())
+
+
+def null_fraction(values: np.ndarray) -> float:
+    """Fraction of NULL entries (0.0 for an empty column)."""
+    if len(values) == 0:
+        return 0.0
+    return float(_null_mask(values).mean())
+
+
+def freshness_seconds(
+    table: OfflineTable, now: float, entity_ids: list[int] | None = None
+) -> dict[int, float]:
+    """Per-entity feature freshness: seconds since each entity's last event.
+
+    Entities with no events are omitted. This is the "feature freshness"
+    metric the paper names; the monitoring layer alerts when it exceeds the
+    view's cadence by a configured factor.
+    """
+    entities = entity_ids if entity_ids is not None else table.entity_ids()
+    out: dict[int, float] = {}
+    for entity_id in entities:
+        latest = table.latest_before(entity_id, now)
+        if latest is not None:
+            out[entity_id] = now - float(latest["timestamp"])  # type: ignore[arg-type]
+    return out
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Moment and quantile summary of a numeric column (NULLs excluded)."""
+
+    count: int
+    null_fraction: float
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+
+def distribution_summary(values: np.ndarray) -> DistributionSummary:
+    """Summarize a numeric column. Raises if no non-NULL values exist."""
+    finite = values[~_null_mask(values)].astype(float)
+    if len(finite) == 0:
+        raise ValidationError("cannot summarize a column with no non-null values")
+    q25, q50, q75 = np.quantile(finite, [0.25, 0.5, 0.75])
+    return DistributionSummary(
+        count=int(len(finite)),
+        null_fraction=null_fraction(values),
+        mean=float(finite.mean()),
+        std=float(finite.std()),
+        minimum=float(finite.min()),
+        p25=float(q25),
+        median=float(q50),
+        p75=float(q75),
+        maximum=float(finite.max()),
+    )
+
+
+def _discretize(values: np.ndarray, bins: int) -> np.ndarray:
+    """Quantile-bin a numeric column into integer codes (NULLs -> -1)."""
+    mask = _null_mask(values)
+    codes = np.full(len(values), -1, dtype=np.int64)
+    finite = values[~mask].astype(float)
+    if len(finite) == 0:
+        return codes
+    edges = np.quantile(finite, np.linspace(0, 1, bins + 1)[1:-1])
+    codes[~mask] = np.digitize(finite, np.unique(edges))
+    return codes
+
+
+def mutual_information(
+    x: np.ndarray, y: np.ndarray, bins: int = 10
+) -> float:
+    """Mutual information (nats) between two columns.
+
+    Numeric columns are quantile-binned into ``bins`` codes first;
+    categorical (integer) columns are used as-is. Rows where either value is
+    NULL are dropped. Returns 0.0 when fewer than 2 joint observations
+    remain.
+
+    The paper lists "mutual information across features" as a core feature
+    quality metric: near-zero MI against the label flags dead features, and
+    near-maximal MI between two features flags redundancy.
+    """
+    if len(x) != len(y):
+        raise ValidationError(f"length mismatch: {len(x)} vs {len(y)}")
+    if bins < 2:
+        raise ValidationError(f"bins must be >= 2 ({bins=})")
+
+    cx = _discretize(x, bins) if x.dtype.kind == "f" else x.astype(np.int64)
+    cy = _discretize(y, bins) if y.dtype.kind == "f" else y.astype(np.int64)
+    keep = (cx >= 0) & (cy >= 0)
+    cx, cy = cx[keep], cy[keep]
+    if len(cx) < 2:
+        return 0.0
+
+    x_codes, cx = np.unique(cx, return_inverse=True)
+    y_codes, cy = np.unique(cy, return_inverse=True)
+    joint = np.zeros((len(x_codes), len(y_codes)))
+    np.add.at(joint, (cx, cy), 1.0)
+    joint /= joint.sum()
+    px = joint.sum(axis=1, keepdims=True)
+    py = joint.sum(axis=0, keepdims=True)
+    nonzero = joint > 0
+    mi = float(np.sum(joint[nonzero] * np.log(joint[nonzero] / (px @ py)[nonzero])))
+    return max(0.0, mi)
+
+
+def categorical_entropy(values: np.ndarray) -> float:
+    """Shannon entropy (nats) of a categorical column, NULLs excluded.
+
+    A collapse in entropy (all rows suddenly one category) is a common
+    upstream failure signature.
+    """
+    finite = values[values >= 0]
+    if len(finite) == 0:
+        return 0.0
+    counts = np.bincount(finite)
+    probs = counts[counts > 0] / len(finite)
+    return float(-(probs * np.log(probs)).sum())

@@ -1,0 +1,134 @@
+"""Column and table profiles.
+
+A *profile* is the statistical snapshot the monitoring layer compares
+against: the training-serving skew check (paper section 2.2.3) is "profile
+of the data the model trained on" vs "profile of what serving sees now".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.quality.metrics import (
+    DistributionSummary,
+    categorical_entropy,
+    distribution_summary,
+    null_fraction,
+)
+from repro.storage.offline import OfflineTable
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Profile of one column: summary stats plus a normalized histogram.
+
+    For numeric columns the histogram is over ``bin_edges``; for categorical
+    columns it is over category codes (``bin_edges`` is None).
+    """
+
+    name: str
+    kind: str  # "numeric" | "categorical"
+    row_count: int
+    null_fraction: float
+    summary: DistributionSummary | None
+    histogram: np.ndarray
+    bin_edges: np.ndarray | None
+    entropy: float | None = None
+
+
+def profile_numeric(name: str, values: np.ndarray, bins: int = 20) -> ColumnProfile:
+    """Profile a numeric column (NaN = NULL)."""
+    finite = values[~np.isnan(values)]
+    if len(finite) == 0:
+        raise ValidationError(f"column {name!r} has no non-null values to profile")
+    edges = np.histogram_bin_edges(finite, bins=bins)
+    counts, __ = np.histogram(finite, bins=edges)
+    histogram = counts / counts.sum()
+    return ColumnProfile(
+        name=name,
+        kind="numeric",
+        row_count=len(values),
+        null_fraction=null_fraction(values),
+        summary=distribution_summary(values),
+        histogram=histogram,
+        bin_edges=edges,
+    )
+
+
+def profile_categorical(
+    name: str, values: np.ndarray, cardinality: int | None = None
+) -> ColumnProfile:
+    """Profile a categorical column (-1 = NULL)."""
+    finite = values[values >= 0]
+    if len(finite) == 0:
+        raise ValidationError(f"column {name!r} has no non-null values to profile")
+    size = cardinality if cardinality is not None else int(finite.max()) + 1
+    counts = np.bincount(finite, minlength=size).astype(float)
+    return ColumnProfile(
+        name=name,
+        kind="categorical",
+        row_count=len(values),
+        null_fraction=null_fraction(values),
+        summary=None,
+        histogram=counts / counts.sum(),
+        bin_edges=None,
+        entropy=categorical_entropy(values),
+    )
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Profiles for a set of columns captured over one time window."""
+
+    columns: dict[str, ColumnProfile]
+    start: float | None = None
+    end: float | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnProfile:
+        if name not in self.columns:
+            raise KeyError(f"profile has no column {name!r}; have {sorted(self.columns)}")
+        return self.columns[name]
+
+
+def profile_table(
+    table: OfflineTable,
+    start: float | None = None,
+    end: float | None = None,
+    bins: int = 20,
+) -> TableProfile:
+    """Profile every declared column of an offline table over a time range.
+
+    Column kinds come from the table schema: ``float`` -> numeric,
+    ``int`` -> categorical; ``string`` columns are skipped (profile them via
+    an explicit integer coding if needed).
+    """
+    profiles: dict[str, ColumnProfile] = {}
+    for name, kind in table.schema.columns.items():
+        if kind == "string":
+            continue
+        values = table.column_array(name, start=start, end=end)
+        if len(values) == 0:
+            continue
+        if kind == "float":
+            profiles[name] = profile_numeric(name, values, bins=bins)
+        else:
+            profiles[name] = profile_categorical(name, values)
+    return TableProfile(columns=profiles, start=start, end=end)
+
+
+def histogram_on_edges(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Re-bin a numeric column onto an existing profile's edges.
+
+    Values outside the reference range are clamped into the end bins, so the
+    comparison still accounts for mass that drifted out of range.
+    """
+    finite = values[~np.isnan(values)]
+    if len(finite) == 0:
+        raise ValidationError("no non-null values to histogram")
+    clipped = np.clip(finite, edges[0], edges[-1])
+    counts, __ = np.histogram(clipped, bins=edges)
+    return counts / counts.sum()

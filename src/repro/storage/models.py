@@ -1,0 +1,147 @@
+"""Model store: versioned model artifacts with provenance.
+
+Paper section 2.2.2: "Once a model is trained, relevant parameters and
+artifacts need to be stored for provenance and reproducibility. ... some FSs
+do support model management by integrating a separate model store
+[ModelKB, ModelDB]." This module is that integrated store: each record keeps
+the model object, its hyperparameters, evaluation metrics, and — crucially
+for the embedding-ecosystem experiments — the *feature-set and embedding
+versions it was trained against*, so the serving path can detect
+embedding/model version mismatches (experiment E9).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, WallClock
+from repro.errors import NotRegisteredError, ProvenanceError
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One immutable model version."""
+
+    name: str
+    version: int
+    model: object
+    hyperparameters: dict[str, object] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    feature_set: str | None = None
+    embedding_versions: dict[str, int] = field(default_factory=dict)
+    created_at: float = 0.0
+    tags: tuple[str, ...] = ()
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:v{self.version}"
+
+
+class ModelStore:
+    """Append-only registry of :class:`ModelRecord` versions."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock or WallClock()
+        self._records: dict[str, list[ModelRecord]] = {}
+
+    def register(
+        self,
+        name: str,
+        model: object,
+        hyperparameters: dict[str, object] | None = None,
+        metrics: dict[str, float] | None = None,
+        feature_set: str | None = None,
+        embedding_versions: dict[str, int] | None = None,
+        tags: tuple[str, ...] = (),
+    ) -> ModelRecord:
+        """Store a new version of ``name``; versions start at 1.
+
+        The model object is deep-copied so later in-place mutation of the
+        live model cannot silently alter the stored artifact.
+        """
+        versions = self._records.setdefault(name, [])
+        record = ModelRecord(
+            name=name,
+            version=len(versions) + 1,
+            model=copy.deepcopy(model),
+            hyperparameters=dict(hyperparameters or {}),
+            metrics=dict(metrics or {}),
+            feature_set=feature_set,
+            embedding_versions=dict(embedding_versions or {}),
+            created_at=self._clock.now(),
+            tags=tuple(tags),
+        )
+        versions.append(record)
+        return record
+
+    def get(self, name: str, version: int | None = None) -> ModelRecord:
+        """Fetch a version (latest when ``version`` is None)."""
+        versions = self._records.get(name)
+        if not versions:
+            raise NotRegisteredError(
+                f"no model named {name!r}; have {sorted(self._records)}"
+            )
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise NotRegisteredError(
+                f"model {name!r} has versions 1..{len(versions)}, not {version}"
+            )
+        return versions[version - 1]
+
+    def latest_version(self, name: str) -> int:
+        return self.get(name).version
+
+    def model_names(self) -> list[str]:
+        return sorted(self._records)
+
+    def versions(self, name: str) -> list[ModelRecord]:
+        if name not in self._records:
+            raise NotRegisteredError(f"no model named {name!r}")
+        return list(self._records[name])
+
+    def record_metrics(
+        self, name: str, version: int, metrics: dict[str, float]
+    ) -> ModelRecord:
+        """Attach (merge) evaluation metrics onto an existing version."""
+        record = self.get(name, version)
+        merged = {**record.metrics, **metrics}
+        updated = ModelRecord(
+            name=record.name,
+            version=record.version,
+            model=record.model,
+            hyperparameters=record.hyperparameters,
+            metrics=merged,
+            feature_set=record.feature_set,
+            embedding_versions=record.embedding_versions,
+            created_at=record.created_at,
+            tags=record.tags,
+        )
+        self._records[name][version - 1] = updated
+        return updated
+
+    def compare(
+        self, name: str, version_a: int, version_b: int, metric: str
+    ) -> float:
+        """Return ``metrics[metric]`` of b minus a (positive = b better)."""
+        a = self.get(name, version_a)
+        b = self.get(name, version_b)
+        if metric not in a.metrics or metric not in b.metrics:
+            raise ProvenanceError(
+                f"metric {metric!r} missing on {a.key} or {b.key}"
+            )
+        return b.metrics[metric] - a.metrics[metric]
+
+    def consumers_of_embedding(self, embedding_name: str) -> list[ModelRecord]:
+        """Latest model versions whose lineage pins ``embedding_name``.
+
+        This answers the paper's section 3.1.3 question — which downstream
+        models are affected by a quality issue in a given embedding?
+        """
+        out: list[ModelRecord] = []
+        for versions in self._records.values():
+            latest = versions[-1]
+            if embedding_name in latest.embedding_versions:
+                out.append(latest)
+        return sorted(out, key=lambda r: r.name)

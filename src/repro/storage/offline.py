@@ -1,0 +1,319 @@
+"""Offline store: append-only, date-partitioned event tables.
+
+This is the SQL-warehouse half of the feature store's dual datastore (paper
+section 2.2.2). Tables are partitioned on date ("FSs support this workflow
+by partitioning features on date") and support the two access paths the
+store needs:
+
+* **range scans** over partitions for batch materialization and metrics, and
+* **as-of lookups** — the latest value per entity at or before a timestamp —
+  which are the building block of point-in-time-correct training joins.
+
+Rows are plain dicts validated against a :class:`TableSchema`. ``None``
+encodes NULL for any column type.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clock import SECONDS_PER_DAY, partition_key
+from repro.errors import (
+    AlreadyRegisteredError,
+    NotRegisteredError,
+    PartitionNotFoundError,
+    SchemaMismatchError,
+    ValidationError,
+)
+
+_ALLOWED_TYPES = {"float", "int", "string"}
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Column names and types for an offline table.
+
+    ``entity_id`` (int) and ``timestamp`` (float) columns are implicit and
+    must not be redeclared. ``columns`` maps name -> one of
+    ``{"float", "int", "string"}``.
+    """
+
+    columns: dict[str, str]
+
+    def __post_init__(self) -> None:
+        for name, kind in self.columns.items():
+            if name in ("entity_id", "timestamp"):
+                raise ValidationError(f"column {name!r} is implicit, do not declare it")
+            if kind not in _ALLOWED_TYPES:
+                raise ValidationError(
+                    f"column {name!r} has unknown type {kind!r}; "
+                    f"allowed: {sorted(_ALLOWED_TYPES)}"
+                )
+
+    def validate_row(self, row: dict[str, object]) -> None:
+        """Raise :class:`SchemaMismatchError` unless ``row`` fits the schema."""
+        if "entity_id" not in row or "timestamp" not in row:
+            raise SchemaMismatchError(
+                f"row must carry entity_id and timestamp, got keys {sorted(row)}"
+            )
+        for name, kind in self.columns.items():
+            if name not in row:
+                raise SchemaMismatchError(f"row missing column {name!r}")
+            value = row[name]
+            if value is None:
+                continue
+            if kind == "float" and not isinstance(value, (int, float)):
+                raise SchemaMismatchError(f"column {name!r} expects float, got {value!r}")
+            if kind == "int" and not isinstance(value, (int, np.integer)):
+                raise SchemaMismatchError(f"column {name!r} expects int, got {value!r}")
+            if kind == "string" and not isinstance(value, str):
+                raise SchemaMismatchError(f"column {name!r} expects str, got {value!r}")
+        extras = set(row) - set(self.columns) - {"entity_id", "timestamp"}
+        if extras:
+            raise SchemaMismatchError(f"row has undeclared columns {sorted(extras)}")
+
+
+@dataclass
+class _Partition:
+    """One date partition: rows plus a timestamp-sorted order."""
+
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def append(self, row: dict[str, object]) -> None:
+        self.rows.append(row)
+
+    def sorted_rows(self) -> list[dict[str, object]]:
+        return sorted(self.rows, key=lambda r: r["timestamp"])
+
+
+class OfflineTable:
+    """A single append-only event table.
+
+    Maintains a per-entity ``(timestamp, row)`` index kept sorted on insert,
+    so as-of lookups are O(log n) per entity even when events arrive out of
+    order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        partition_granularity: float = SECONDS_PER_DAY,
+    ) -> None:
+        if partition_granularity <= 0:
+            raise ValidationError("partition_granularity must be positive")
+        self.name = name
+        self.schema = schema
+        self.partition_granularity = partition_granularity
+        self._partitions: dict[int, _Partition] = {}
+        self._by_entity: dict[int, list[tuple[float, int]]] = {}
+        self._rows: list[dict[str, object]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def partitions(self) -> list[int]:
+        """Sorted partition keys that currently hold data."""
+        return sorted(self._partitions)
+
+    def append(self, rows: Iterable[dict[str, object]]) -> int:
+        """Validate and append rows; return the number appended."""
+        count = 0
+        for row in rows:
+            self.schema.validate_row(row)
+            stored = dict(row)
+            row_index = len(self._rows)
+            self._rows.append(stored)
+            key = partition_key(float(stored["timestamp"]), self.partition_granularity)
+            self._partitions.setdefault(key, _Partition()).append(stored)
+            entity = int(stored["entity_id"])  # type: ignore[arg-type]
+            insort(
+                self._by_entity.setdefault(entity, []),
+                (float(stored["timestamp"]), row_index),  # type: ignore[arg-type]
+            )
+            count += 1
+        return count
+
+    def scan(
+        self,
+        start: float | None = None,
+        end: float | None = None,
+        entity_ids: set[int] | None = None,
+    ) -> Iterator[dict[str, object]]:
+        """Yield rows with ``start <= timestamp < end``, in time order.
+
+        Only partitions overlapping the range are touched.
+        """
+        for key in self.partitions:
+            part_start = key * self.partition_granularity
+            part_end = part_start + self.partition_granularity
+            if start is not None and part_end <= start:
+                continue
+            if end is not None and part_start >= end:
+                continue
+            for row in self._partitions[key].sorted_rows():
+                ts = float(row["timestamp"])  # type: ignore[arg-type]
+                if start is not None and ts < start:
+                    continue
+                if end is not None and ts >= end:
+                    continue
+                if entity_ids is not None and int(row["entity_id"]) not in entity_ids:  # type: ignore[arg-type]
+                    continue
+                yield row
+
+    def read_partition(self, key: int) -> list[dict[str, object]]:
+        """All rows of one partition, time-sorted."""
+        if key not in self._partitions:
+            raise PartitionNotFoundError(
+                f"table {self.name!r} has no partition {key}; have {self.partitions}"
+            )
+        return self._partitions[key].sorted_rows()
+
+    def latest_before(
+        self, entity_id: int, timestamp: float
+    ) -> dict[str, object] | None:
+        """Latest row for ``entity_id`` with ``row.timestamp <= timestamp``.
+
+        This is the point-in-time lookup: training joins must never see
+        feature values from the future. Among rows sharing the maximal
+        timestamp, the most recently appended one wins (upsert semantics).
+        """
+        index = self._by_entity.get(entity_id)
+        if not index:
+            return None
+        # Find rightmost event with ts <= timestamp. Use +inf row index as
+        # tiebreaker so events exactly at `timestamp` are included.
+        position = bisect_right(index, (timestamp, float("inf")))
+        if position == 0:
+            return None
+        __, row_index = index[position - 1]
+        return self._rows[row_index]
+
+    def events_between(
+        self, entity_id: int, start: float, end: float
+    ) -> list[dict[str, object]]:
+        """Time-sorted events for one entity with ``start < timestamp <= end``.
+
+        The interval is open at the start and closed at the end, matching the
+        trailing-window semantics of feature aggregations evaluated *as of*
+        ``end``.
+        """
+        index = self._by_entity.get(entity_id)
+        if not index:
+            return []
+        lo = bisect_right(index, (start, float("inf")))
+        hi = bisect_right(index, (end, float("inf")))
+        return [self._rows[row_index] for __, row_index in index[lo:hi]]
+
+    def column_array(
+        self,
+        column: str,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> np.ndarray:
+        """A column as a numpy array over a time range (NULL -> NaN for
+        float, -1 for int; string columns return an object array)."""
+        if column not in self.schema.columns and column not in ("entity_id", "timestamp"):
+            raise KeyError(f"table {self.name!r} has no column {column!r}")
+        values = [row.get(column) for row in self.scan(start, end)]
+        kind = self.schema.columns.get(column, "float" if column == "timestamp" else "int")
+        if kind == "float":
+            return np.array(
+                [np.nan if v is None else float(v) for v in values], dtype=float
+            )
+        if kind == "int":
+            return np.array([-1 if v is None else int(v) for v in values], dtype=np.int64)
+        return np.array(values, dtype=object)
+
+    def truncate_before(self, timestamp: float) -> int:
+        """Drop all whole partitions that end at or before ``timestamp``.
+
+        Retention for append-only event tables: only *complete* partitions
+        older than the cutoff are removed (rows in a partition that straddles
+        the cutoff are kept), so as-of reads at or after ``timestamp``
+        are unaffected. Returns the number of rows dropped.
+        """
+        doomed_keys = [
+            key
+            for key in self._partitions
+            if (key + 1) * self.partition_granularity <= timestamp
+        ]
+        if not doomed_keys:
+            return 0
+        doomed_rows = {
+            id(row)
+            for key in doomed_keys
+            for row in self._partitions[key].rows
+        }
+        for key in doomed_keys:
+            del self._partitions[key]
+
+        dropped = 0
+        survivors: list[dict[str, object]] = []
+        old_index_of: dict[int, int] = {}
+        for index, row in enumerate(self._rows):
+            if id(row) in doomed_rows:
+                dropped += 1
+                continue
+            old_index_of[index] = len(survivors)
+            survivors.append(row)
+        self._rows = survivors
+        rebuilt: dict[int, list[tuple[float, int]]] = {}
+        for entity, pairs in self._by_entity.items():
+            kept = [
+                (ts, old_index_of[row_index])
+                for ts, row_index in pairs
+                if row_index in old_index_of
+            ]
+            if kept:
+                rebuilt[entity] = kept
+        self._by_entity = rebuilt
+        return dropped
+
+    def entity_ids(self) -> list[int]:
+        """All distinct entity ids seen so far, sorted."""
+        return sorted(self._by_entity)
+
+    def last_event_time(self) -> float | None:
+        """Timestamp of the newest row, or None if the table is empty."""
+        if not self._rows:
+            return None
+        return max(float(r["timestamp"]) for r in self._rows)  # type: ignore[arg-type]
+
+
+class OfflineStore:
+    """A namespace of :class:`OfflineTable` objects."""
+
+    def __init__(self, partition_granularity: float = SECONDS_PER_DAY) -> None:
+        self._tables: dict[str, OfflineTable] = {}
+        self._partition_granularity = partition_granularity
+
+    def create_table(self, name: str, schema: TableSchema) -> OfflineTable:
+        if name in self._tables:
+            raise AlreadyRegisteredError(f"offline table {name!r} already exists")
+        table = OfflineTable(name, schema, self._partition_granularity)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> OfflineTable:
+        if name not in self._tables:
+            raise NotRegisteredError(
+                f"no offline table {name!r}; have {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise NotRegisteredError(f"no offline table {name!r}")
+        del self._tables[name]

@@ -1,0 +1,163 @@
+"""Online store: low-latency in-memory feature serving.
+
+The serving half of the dual datastore (paper section 2.2.2): deployed
+models read the *latest* feature vector per entity with O(1) lookups, and
+every value carries its event time so freshness (TTL) contracts can be
+enforced — "models can become stale if not given the most up-to-date
+features".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.clock import Clock, WallClock
+from repro.errors import NotRegisteredError, ServingError, StaleFeatureError
+
+
+class FreshnessPolicy(enum.Enum):
+    """What to do when a key's value is older than the namespace TTL."""
+
+    SERVE_ANYWAY = "serve_anyway"
+    RETURN_NONE = "return_none"
+    RAISE = "raise"
+
+
+@dataclass(frozen=True)
+class OnlineValue:
+    """A stored feature vector with its event- and write-times."""
+
+    values: dict[str, object]
+    event_time: float
+    write_time: float
+
+
+@dataclass
+class _Namespace:
+    ttl: float | None
+    data: dict[int, OnlineValue]
+
+
+class OnlineStore:
+    """Dict-backed KV store: ``(namespace, entity_id) -> feature dict``.
+
+    Namespaces correspond to feature views; each has an optional TTL.
+    Reads and writes are counted so benchmarks can report op volumes.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock or WallClock()
+        self._namespaces: dict[str, _Namespace] = {}
+        self.read_count = 0
+        self.write_count = 0
+
+    def create_namespace(self, name: str, ttl: float | None = None) -> None:
+        """Create (or reconfigure the TTL of) a namespace."""
+        if ttl is not None and ttl <= 0:
+            raise ServingError(f"ttl must be positive or None ({ttl=})")
+        existing = self._namespaces.get(name)
+        if existing is not None:
+            existing.ttl = ttl
+        else:
+            self._namespaces[name] = _Namespace(ttl=ttl, data={})
+
+    def namespaces(self) -> list[str]:
+        return sorted(self._namespaces)
+
+    def _namespace(self, name: str) -> _Namespace:
+        if name not in self._namespaces:
+            raise NotRegisteredError(
+                f"no online namespace {name!r}; have {sorted(self._namespaces)}"
+            )
+        return self._namespaces[name]
+
+    def write(
+        self,
+        namespace: str,
+        entity_id: int,
+        values: dict[str, object],
+        event_time: float,
+    ) -> None:
+        """Upsert the feature dict for an entity.
+
+        Writes carrying an *older* event time than the stored value are
+        dropped (last-event-time-wins), which makes backfills and
+        out-of-order stream delivery safe.
+        """
+        ns = self._namespace(namespace)
+        current = ns.data.get(entity_id)
+        if current is not None and current.event_time > event_time:
+            return
+        ns.data[entity_id] = OnlineValue(
+            values=dict(values),
+            event_time=event_time,
+            write_time=self._clock.now(),
+        )
+        self.write_count += 1
+
+    def read(
+        self,
+        namespace: str,
+        entity_id: int,
+        policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
+    ) -> dict[str, object] | None:
+        """Read the latest feature dict for an entity, honouring freshness.
+
+        Returns ``None`` when the key is absent, or when the value is stale
+        and the policy is ``RETURN_NONE``.
+        """
+        self.read_count += 1
+        ns = self._namespace(namespace)
+        stored = ns.data.get(entity_id)
+        if stored is None:
+            return None
+        if ns.ttl is not None:
+            age = self._clock.now() - stored.event_time
+            if age > ns.ttl:
+                if policy is FreshnessPolicy.RAISE:
+                    raise StaleFeatureError(
+                        f"{namespace!r}/{entity_id}: value age {age:.1f}s exceeds "
+                        f"ttl {ns.ttl:.1f}s"
+                    )
+                if policy is FreshnessPolicy.RETURN_NONE:
+                    return None
+        return dict(stored.values)
+
+    def read_many(
+        self,
+        namespace: str,
+        entity_ids: list[int],
+        policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
+    ) -> list[dict[str, object] | None]:
+        """Batch read preserving input order."""
+        return [self.read(namespace, e, policy) for e in entity_ids]
+
+    def event_time(self, namespace: str, entity_id: int) -> float | None:
+        """Event time of the stored value, or None if absent."""
+        stored = self._namespace(namespace).data.get(entity_id)
+        return None if stored is None else stored.event_time
+
+    def staleness(self, namespace: str, entity_id: int) -> float | None:
+        """Seconds since the stored value's event time (None if absent)."""
+        stored = self._namespace(namespace).data.get(entity_id)
+        if stored is None:
+            return None
+        return self._clock.now() - stored.event_time
+
+    def entity_ids(self, namespace: str) -> list[int]:
+        return sorted(self._namespace(namespace).data)
+
+    def size(self, namespace: str) -> int:
+        return len(self._namespace(namespace).data)
+
+    def expire(self, namespace: str) -> int:
+        """Evict all entries older than the namespace TTL; return count."""
+        ns = self._namespace(namespace)
+        if ns.ttl is None:
+            return 0
+        now = self._clock.now()
+        stale = [k for k, v in ns.data.items() if now - v.event_time > ns.ttl]
+        for key in stale:
+            del ns.data[key]
+        return len(stale)

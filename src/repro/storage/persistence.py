@@ -1,0 +1,187 @@
+"""Durable persistence for stores.
+
+Paper section 2.2.2: model and embedding artifacts "need to be stored for
+provenance and reproducibility". In-memory stores are enough for
+experiments; this module adds directory-backed snapshots so a registry
+outlives the process:
+
+* :func:`save_embedding_store` / :func:`load_embedding_store` — every
+  version's matrix as ``.npy`` plus a JSON manifest with provenance,
+  metrics, tags and compatibility marks.
+* :func:`save_model_store` / :func:`load_model_store` — model objects via
+  pickle (they are plain numpy-parameter containers) plus a JSON manifest.
+
+Layout under the target directory::
+
+    embeddings/<name>/v<k>.npy      one matrix per version
+    embeddings/manifest.json        provenance + metrics + compatibility
+    models/<name>_v<k>.pkl          pickled model objects
+    models/manifest.json            hyperparameters, metrics, lineage
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.clock import Clock
+from repro.core.embedding_store import EmbeddingStore, Provenance
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import StorageError
+from repro.storage.models import ModelRecord, ModelStore
+
+
+def save_embedding_store(store: EmbeddingStore, directory: str | Path) -> Path:
+    """Snapshot every version of every embedding to ``directory``."""
+    root = Path(directory) / "embeddings"
+    root.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, object] = {"names": {}, "compatible": sorted(
+        [list(item) for item in store._compatible]
+    )}
+    for name in store.names():
+        entries = []
+        name_dir = root / name
+        name_dir.mkdir(exist_ok=True)
+        for record in store.versions(name):
+            matrix_path = name_dir / f"v{record.version}.npy"
+            np.save(matrix_path, record.embedding.vectors)
+            entries.append(
+                {
+                    "version": record.version,
+                    "created_at": record.created_at,
+                    "metrics": record.metrics,
+                    "tags": list(record.tags),
+                    "provenance": {
+                        "trainer": record.provenance.trainer,
+                        "config": record.provenance.config,
+                        "data_snapshot": record.provenance.data_snapshot,
+                        "seed": record.provenance.seed,
+                        "parent_version": record.provenance.parent_version,
+                    },
+                }
+            )
+        manifest["names"][name] = entries  # type: ignore[index]
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def load_embedding_store(
+    directory: str | Path, clock: Clock | None = None
+) -> EmbeddingStore:
+    """Rebuild an :class:`EmbeddingStore` from a snapshot directory.
+
+    Versions are re-registered in order; stored metrics, timestamps and
+    compatibility marks are restored verbatim (re-deriving metrics would be
+    wasted work and could differ if defaults changed).
+    """
+    root = Path(directory) / "embeddings"
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise StorageError(f"no embedding snapshot at {root}")
+    manifest = json.loads(manifest_path.read_text())
+
+    from repro.core.embedding_store import EmbeddingVersion
+
+    store = EmbeddingStore(clock=clock)
+    for name, entries in manifest["names"].items():
+        for entry in sorted(entries, key=lambda e: e["version"]):
+            vectors = np.load(root / name / f"v{entry['version']}.npy")
+            p = entry["provenance"]
+            # Restore the recorded state directly rather than re-registering:
+            # register() would recompute the O(n^2) quality metrics only for
+            # them to be overwritten by the stored values.
+            restored = EmbeddingVersion(
+                name=name,
+                version=entry["version"],
+                embedding=EmbeddingMatrix(vectors=vectors),
+                provenance=Provenance(
+                    trainer=p["trainer"],
+                    config=p["config"],
+                    data_snapshot=p["data_snapshot"],
+                    seed=p["seed"],
+                    parent_version=p["parent_version"],
+                ),
+                created_at=entry["created_at"],
+                metrics=entry["metrics"],
+                tags=tuple(entry["tags"]),
+            )
+            store._versions.setdefault(name, []).append(restored)
+    for name, model_version, serve_version in manifest.get("compatible", []):
+        store.mark_compatible(name, model_version, serve_version)
+    return store
+
+
+def save_model_store(store: ModelStore, directory: str | Path) -> Path:
+    """Snapshot every model version to ``directory``."""
+    root = Path(directory) / "models"
+    root.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, list[dict[str, object]]] = {}
+    for name in store.model_names():
+        entries = []
+        for record in store.versions(name):
+            artifact = root / f"{name}_v{record.version}.pkl"
+            with open(artifact, "wb") as handle:
+                pickle.dump(record.model, handle)
+            entries.append(
+                {
+                    "version": record.version,
+                    "hyperparameters": record.hyperparameters,
+                    "metrics": record.metrics,
+                    "feature_set": record.feature_set,
+                    "embedding_versions": record.embedding_versions,
+                    "created_at": record.created_at,
+                    "tags": list(record.tags),
+                }
+            )
+        manifest[name] = entries
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def load_model_store(
+    directory: str | Path, clock: Clock | None = None
+) -> ModelStore:
+    """Rebuild a :class:`ModelStore` from a snapshot directory.
+
+    Only load snapshots you wrote yourself: model artifacts are pickled.
+    """
+    root = Path(directory) / "models"
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise StorageError(f"no model snapshot at {root}")
+    manifest = json.loads(manifest_path.read_text())
+
+    store = ModelStore(clock=clock)
+    for name, entries in manifest.items():
+        for entry in sorted(entries, key=lambda e: e["version"]):
+            artifact = root / f"{name}_v{entry['version']}.pkl"
+            with open(artifact, "rb") as handle:
+                model = pickle.load(handle)
+            store.register(
+                name,
+                model,
+                hyperparameters=entry["hyperparameters"],
+                metrics=entry["metrics"],
+                feature_set=entry["feature_set"],
+                embedding_versions={
+                    k: int(v) for k, v in entry["embedding_versions"].items()
+                },
+                tags=tuple(entry["tags"]),
+            )
+            # Restore the original creation timestamp.
+            record = store.get(name, entry["version"])
+            store._records[name][entry["version"] - 1] = ModelRecord(
+                name=record.name,
+                version=record.version,
+                model=record.model,
+                hyperparameters=record.hyperparameters,
+                metrics=record.metrics,
+                feature_set=record.feature_set,
+                embedding_versions=record.embedding_versions,
+                created_at=entry["created_at"],
+                tags=record.tags,
+            )
+    return store

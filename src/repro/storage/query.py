@@ -1,0 +1,180 @@
+"""A small declarative query layer over offline tables.
+
+Paper section 2.2.1: users author features as "a definition SQL query".
+This module provides the warehouse-side query shape that definition relies
+on, without a SQL parser: a fluent builder with time-range pushdown (only
+overlapping partitions are scanned), column predicates, projections, and
+per-entity aggregation.
+
+    >>> q = (Query(table)
+    ...      .between(day1, day2)
+    ...      .where("city", "==", 3)
+    ...      .where("fare", ">", 10.0))
+    >>> q.count()
+    >>> q.aggregate("fare", "mean")
+    >>> q.group_by_entity("fare", "sum")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.storage.offline import OfflineTable
+
+_OPERATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+_AGGREGATES = {
+    "mean": np.mean,
+    "sum": np.sum,
+    "min": np.min,
+    "max": np.max,
+    "count": len,
+    "std": np.std,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One column filter. NULL values never satisfy a comparison."""
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS and self.op != "not_null":
+            raise ValidationError(
+                f"unknown operator {self.op!r}; allowed "
+                f"{sorted(_OPERATORS) + ['not_null']}"
+            )
+
+    def matches(self, row: dict[str, object]) -> bool:
+        value = row.get(self.column)
+        if self.op == "not_null":
+            return value is not None
+        if value is None:
+            return False
+        return bool(_OPERATORS[self.op](value, self.value))
+
+
+@dataclass
+class Query:
+    """Immutable-ish fluent query over one offline table.
+
+    Builder methods return ``self`` for chaining; a query can be executed
+    multiple times (it re-scans the table, so it sees new appends).
+    """
+
+    table: OfflineTable
+    _predicates: list[Predicate] = field(default_factory=list)
+    _start: float | None = None
+    _end: float | None = None
+    _columns: tuple[str, ...] | None = None
+    _limit: int | None = None
+
+    def _known_columns(self) -> set[str]:
+        return set(self.table.schema.columns) | {"entity_id", "timestamp"}
+
+    def where(self, column: str, op: str, value: object = None) -> "Query":
+        """Add a predicate; comparisons against NULL are always false."""
+        if column not in self._known_columns():
+            raise ValidationError(
+                f"table {self.table.name!r} has no column {column!r}"
+            )
+        self._predicates.append(Predicate(column=column, op=op, value=value))
+        return self
+
+    def between(self, start: float | None, end: float | None) -> "Query":
+        """Restrict to ``start <= timestamp < end`` (partition pushdown)."""
+        self._start = start
+        self._end = end
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        unknown = set(columns) - self._known_columns()
+        if unknown:
+            raise ValidationError(f"unknown columns {sorted(unknown)}")
+        self._columns = columns
+        return self
+
+    def limit(self, n: int) -> "Query":
+        if n < 0:
+            raise ValidationError(f"limit must be >= 0 ({n=})")
+        self._limit = n
+        return self
+
+    # -- execution -----------------------------------------------------------
+
+    def _matching(self) -> Iterator[dict[str, object]]:
+        emitted = 0
+        for row in self.table.scan(start=self._start, end=self._end):
+            if all(p.matches(row) for p in self._predicates):
+                yield row
+                emitted += 1
+                if self._limit is not None and emitted >= self._limit:
+                    return
+
+    def rows(self) -> list[dict[str, object]]:
+        """Materialize matching rows (projected if ``select`` was used)."""
+        out = []
+        for row in self._matching():
+            if self._columns is None:
+                out.append(dict(row))
+            else:
+                out.append({c: row.get(c) for c in self._columns})
+        return out
+
+    def count(self) -> int:
+        return sum(1 for __ in self._matching())
+
+    def values(self, column: str) -> np.ndarray:
+        """Non-NULL values of one column across matching rows."""
+        if column not in self._known_columns():
+            raise ValidationError(f"unknown column {column!r}")
+        collected = [
+            row[column] for row in self._matching() if row.get(column) is not None
+        ]
+        return np.asarray(collected, dtype=float)
+
+    def aggregate(self, column: str, agg: str) -> float | None:
+        """Scalar aggregate over matching non-NULL values.
+
+        ``None`` when nothing matches (``count`` returns 0.0 instead).
+        """
+        if agg not in _AGGREGATES:
+            raise ValidationError(
+                f"unknown aggregate {agg!r}; allowed {sorted(_AGGREGATES)}"
+            )
+        values = self.values(column)
+        if len(values) == 0:
+            return 0.0 if agg == "count" else None
+        return float(_AGGREGATES[agg](values))
+
+    def group_by_entity(self, column: str, agg: str) -> dict[int, float]:
+        """Per-entity aggregate of one column over matching rows."""
+        if agg not in _AGGREGATES:
+            raise ValidationError(
+                f"unknown aggregate {agg!r}; allowed {sorted(_AGGREGATES)}"
+            )
+        grouped: dict[int, list[float]] = {}
+        for row in self._matching():
+            value = row.get(column)
+            if value is None:
+                continue
+            grouped.setdefault(int(row["entity_id"]), []).append(float(value))  # type: ignore[arg-type]
+        return {
+            entity: float(_AGGREGATES[agg](np.asarray(values)))
+            for entity, values in grouped.items()
+        }

@@ -1,0 +1,52 @@
+"""Compatibility-mark semantics: directional, non-transitive, explicit."""
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.core.embedding_store import EmbeddingStore, Provenance
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import CompatibilityError, NotRegisteredError
+
+
+@pytest.fixture
+def store():
+    s = EmbeddingStore(clock=SimClock())
+    rng = np.random.default_rng(0)
+    for version in range(3):
+        s.register(
+            "emb",
+            EmbeddingMatrix(vectors=rng.normal(size=(20, 4))),
+            Provenance(trainer="t", parent_version=version or None),
+        )
+    return s
+
+
+class TestCompatibilitySemantics:
+    def test_marks_are_directional(self, store):
+        store.mark_compatible("emb", 1, 2)
+        assert store.is_compatible("emb", 1, 2)
+        # v2-pinned models may NOT consume v1 just because v1-pinned ones
+        # may consume v2 (alignment maps one way).
+        assert not store.is_compatible("emb", 2, 1)
+        with pytest.raises(CompatibilityError):
+            store.vectors_for_model("emb", 2, np.array([0]), serve_version=1)
+
+    def test_marks_are_not_transitive(self, store):
+        store.mark_compatible("emb", 1, 2)
+        store.mark_compatible("emb", 2, 3)
+        # 1->2 and 2->3 do NOT imply 1->3: each hop may be a different
+        # alignment, and composing them is the caller's explicit decision.
+        assert not store.is_compatible("emb", 1, 3)
+        with pytest.raises(CompatibilityError):
+            store.vectors_for_model("emb", 1, np.array([0]))  # latest = 3
+
+    def test_identity_always_compatible(self, store):
+        for version in (1, 2, 3):
+            assert store.is_compatible("emb", version, version)
+
+    def test_marking_unknown_versions_rejected(self, store):
+        with pytest.raises(NotRegisteredError):
+            store.mark_compatible("emb", 1, 99)
+        with pytest.raises(NotRegisteredError):
+            store.mark_compatible("ghost", 1, 1)

@@ -1,0 +1,78 @@
+"""Tests for EmbeddingStore.search_filtered and analogy queries."""
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.core.embedding_store import EmbeddingStore, Provenance
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def store():
+    s = EmbeddingStore(clock=SimClock())
+    # A structured embedding: two clusters plus an exact analogy geometry.
+    vectors = np.zeros((8, 4))
+    vectors[0] = [1, 0, 0, 0]      # king-ish
+    vectors[1] = [1, 1, 0, 0]      # queen-ish = king + gender
+    vectors[2] = [0, 0, 1, 0]      # man-ish
+    vectors[3] = [0, 1, 1, 0]      # woman-ish = man + gender
+    vectors[4] = [0.9, 0.05, 0, 0]
+    vectors[5] = [0.8, 0.1, 0, 0]
+    vectors[6] = [0, 0, 0.9, 0.05]
+    vectors[7] = [0, 0.05, 0.9, 0]
+    s.register("words", EmbeddingMatrix(vectors), Provenance(trainer="manual"))
+    return s
+
+
+class TestSearchFiltered:
+    def test_restricts_to_allowed_ids(self, store):
+        query = np.array([1.0, 0.0, 0.0, 0.0])
+        result = store.search_filtered(
+            "words", query, allowed_ids=np.array([2, 3, 6, 7]), k=2
+        )
+        assert set(result.ids.tolist()) <= {2, 3, 6, 7}
+
+    def test_matches_unfiltered_when_all_allowed(self, store):
+        query = np.array([1.0, 0.0, 0.0, 0.0])
+        filtered = store.search_filtered(
+            "words", query, allowed_ids=np.arange(8), k=3
+        )
+        unfiltered = store.search("words", query, k=3)
+        np.testing.assert_array_equal(filtered.ids, unfiltered.ids)
+
+    def test_scores_descending(self, store):
+        result = store.search_filtered(
+            "words", np.array([1.0, 0.5, 0, 0]), allowed_ids=np.arange(8), k=5
+        )
+        assert (np.diff(result.scores) <= 1e-12).all()
+
+    def test_k_clamped(self, store):
+        result = store.search_filtered(
+            "words", np.ones(4), allowed_ids=np.array([0, 1]), k=10
+        )
+        assert len(result) == 2
+
+    def test_validation(self, store):
+        with pytest.raises(ValidationError):
+            store.search_filtered("words", np.ones(4), np.array([], dtype=np.int64))
+        with pytest.raises(ValidationError):
+            store.search_filtered("words", np.ones(4), np.array([99]))
+
+
+class TestAnalogy:
+    def test_king_queen_analogy(self, store):
+        # man : woman :: king : ? -> queen (id 1)
+        result = store.analogy("words", positive=[3, 0], negative=[2], k=1)
+        assert result.ids[0] == 1
+
+    def test_inputs_excluded(self, store):
+        result = store.analogy("words", positive=[0], negative=[], k=7)
+        assert 0 not in result.ids
+
+    def test_validation(self, store):
+        with pytest.raises(ValidationError):
+            store.analogy("words", positive=[], negative=[1])
+        with pytest.raises(ValidationError):
+            store.analogy("words", positive=[99], negative=[])

@@ -1,0 +1,77 @@
+"""Tests for EmbeddingStore.select_version."""
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.core.embedding_store import EmbeddingStore, Provenance
+from repro.embeddings.base import EmbeddingMatrix
+from repro.embeddings.compression import pca_compress, uniform_quantize
+
+
+@pytest.fixture
+def store_with_variants():
+    """v1 = good base; v2..v4 = increasingly degraded variants."""
+    rng = np.random.default_rng(0)
+    base = EmbeddingMatrix(vectors=rng.normal(size=(60, 16)))
+    store = EmbeddingStore(clock=SimClock())
+    store.register("emb", base, Provenance(trainer="base"))
+    store.register("emb", pca_compress(base, rank=8).embedding,
+                   Provenance(trainer="pca8", parent_version=1))
+    store.register("emb", pca_compress(base, rank=2).embedding,
+                   Provenance(trainer="pca2", parent_version=1))
+    store.register("emb", uniform_quantize(base, bits=1).embedding,
+                   Provenance(trainer="quant1", parent_version=1))
+    return store, base
+
+
+def fidelity_score(base):
+    """Evaluation = negative reconstruction error vs the true base."""
+
+    def evaluate(embedding):
+        return -float(np.linalg.norm(embedding.vectors - base.vectors))
+
+    return evaluate
+
+
+class TestSelectVersion:
+    def test_full_evaluation_picks_best(self, store_with_variants):
+        store, base = store_with_variants
+        best, scores = store.select_version("emb", fidelity_score(base))
+        assert best.version == 1
+        assert set(scores) == {1, 2, 3, 4}
+
+    def test_scores_reported_for_evaluated_versions(self, store_with_variants):
+        store, base = store_with_variants
+        __, scores = store.select_version("emb", fidelity_score(base))
+        assert scores[1] > scores[3]  # base beats rank-2 PCA
+
+    def test_eos_screening_reduces_evaluations(self, store_with_variants):
+        store, base = store_with_variants
+        calls = []
+
+        def counting_evaluate(embedding):
+            calls.append(1)
+            return fidelity_score(base)(embedding)
+
+        best, scores = store.select_version(
+            "emb",
+            counting_evaluate,
+            screen_with_eos=True,
+            eos_reference_version=1,
+            eos_keep=2,
+        )
+        assert len(calls) == 2
+        assert len(scores) == 2
+        # Screening keeps the base (EOS 1.0 against itself).
+        assert best.version == 1
+
+    def test_screening_noop_when_few_versions(self):
+        store = EmbeddingStore(clock=SimClock())
+        rng = np.random.default_rng(1)
+        store.register("e", EmbeddingMatrix(vectors=rng.normal(size=(10, 4))),
+                       Provenance(trainer="a"))
+        __, scores = store.select_version(
+            "e", lambda emb: 1.0, screen_with_eos=True, eos_keep=3
+        )
+        assert len(scores) == 1

@@ -1,0 +1,54 @@
+"""Tests for ClassificationTask.clean_labels."""
+
+import numpy as np
+
+from repro.datagen.tasks import (
+    SlicedTaskConfig,
+    generate_entity_task,
+    generate_sliced_task,
+)
+
+
+class TestCleanLabels:
+    def test_sliced_task_records_clean_labels(self):
+        task = generate_sliced_task(
+            SlicedTaskConfig(n_rows=5000, base_noise=0.05), seed=0
+        )
+        assert task.clean_labels is not None
+        flipped = (task.labels != task.clean_labels).mean()
+        assert 0.0 < flipped < 0.3
+
+    def test_slice_noise_concentrated_where_planted(self):
+        task = generate_sliced_task(
+            SlicedTaskConfig(
+                n_rows=20_000, base_noise=0.02, planted=(("city", 2, 0.4),)
+            ),
+            seed=0,
+        )
+        mask = task.planted_slices[0].mask
+        flips_in = (task.labels[mask] != task.clean_labels[mask]).mean()
+        flips_out = (task.labels[~mask] != task.clean_labels[~mask]).mean()
+        assert flips_in > 5 * flips_out
+
+    def test_entity_task_clean_labels(self):
+        attrs = np.array([0, 1, 2] * 10)
+        task = generate_entity_task(
+            3000, attrs, n_classes=3, label_noise=0.2, seed=0
+        )
+        np.testing.assert_array_equal(
+            task.clean_labels, attrs[task.entity_ids]
+        )
+        assert (task.labels != task.clean_labels).mean() > 0.1
+
+    def test_split_propagates_clean_labels(self):
+        task = generate_sliced_task(SlicedTaskConfig(n_rows=200), seed=0)
+        train, test = task.split(0.5, seed=0)
+        assert train.clean_labels is not None
+        assert len(train.clean_labels) == len(train)
+        assert len(test.clean_labels) == len(test)
+
+    def test_subset_alignment(self):
+        task = generate_sliced_task(SlicedTaskConfig(n_rows=100), seed=0)
+        mask = np.arange(100) % 2 == 0
+        sub = task.subset(mask)
+        np.testing.assert_array_equal(sub.clean_labels, task.clean_labels[mask])

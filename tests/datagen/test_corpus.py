@@ -1,0 +1,85 @@
+"""Tests for repro.datagen.corpus."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.errors import ValidationError
+
+
+class TestGenerateCorpus:
+    def test_shapes(self):
+        cfg = CorpusConfig(vocab_size=100, n_topics=5, n_sentences=50, sentence_length=8)
+        corpus = generate_corpus(cfg, seed=0)
+        assert len(corpus.sentences) == 50
+        assert all(len(s) == 8 for s in corpus.sentences)
+        assert corpus.vocab_size == 100
+        assert corpus.n_topics == 5
+        assert len(corpus.sentence_topics) == 50
+
+    def test_deterministic(self):
+        cfg = CorpusConfig(vocab_size=50, n_sentences=20)
+        a = generate_corpus(cfg, seed=5)
+        b = generate_corpus(cfg, seed=5)
+        np.testing.assert_array_equal(a.tokens(), b.tokens())
+
+    def test_word_ids_in_vocab(self):
+        corpus = generate_corpus(CorpusConfig(vocab_size=30, n_sentences=40), seed=0)
+        tokens = corpus.tokens()
+        assert tokens.min() >= 0
+        assert tokens.max() < 30
+
+    def test_topic_purity_dominates_sentences(self):
+        cfg = CorpusConfig(
+            vocab_size=200, n_topics=4, n_sentences=200, topic_purity=0.95
+        )
+        corpus = generate_corpus(cfg, seed=0)
+        on_topic = 0
+        total = 0
+        for sentence, topic in zip(corpus.sentences, corpus.sentence_topics):
+            on_topic += int((corpus.word_topics[sentence] == topic).sum())
+            total += len(sentence)
+        assert on_topic / total > 0.85
+
+    def test_frequency_is_skewed(self):
+        cfg = CorpusConfig(vocab_size=500, n_sentences=2000, zipf_exponent=1.1)
+        corpus = generate_corpus(cfg, seed=0)
+        freqs = np.sort(corpus.word_frequencies)[::-1]
+        # Head word should be far more frequent than the median word.
+        assert freqs[0] > 10 * max(1, np.median(freqs))
+
+    def test_word_frequencies_sum_to_token_count(self):
+        cfg = CorpusConfig(vocab_size=100, n_sentences=30, sentence_length=7)
+        corpus = generate_corpus(cfg, seed=0)
+        assert corpus.word_frequencies.sum() == 30 * 7
+
+    def test_frequency_deciles_partition_vocab(self):
+        corpus = generate_corpus(CorpusConfig(vocab_size=200, n_sentences=500), seed=0)
+        deciles = corpus.frequency_deciles()
+        assert deciles.shape == (200,)
+        assert set(np.unique(deciles)) == set(range(10))
+        # Each decile holds ~vocab/10 words.
+        counts = np.bincount(deciles, minlength=10)
+        assert counts.min() >= 15
+
+    def test_deciles_ordered_by_frequency(self):
+        corpus = generate_corpus(CorpusConfig(vocab_size=300, n_sentences=1000), seed=1)
+        deciles = corpus.frequency_deciles()
+        mean_low = corpus.word_frequencies[deciles == 0].mean()
+        mean_high = corpus.word_frequencies[deciles == 9].mean()
+        assert mean_high > mean_low
+
+    def test_topics_are_frequency_balanced(self):
+        cfg = CorpusConfig(vocab_size=100, n_topics=10)
+        corpus = generate_corpus(cfg, seed=0)
+        # Round-robin assignment: each topic owns exactly 10 words.
+        counts = np.bincount(corpus.word_topics, minlength=10)
+        assert (counts == 10).all()
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_corpus(CorpusConfig(vocab_size=5, n_topics=10))
+        with pytest.raises(ValidationError):
+            generate_corpus(CorpusConfig(topic_purity=0.0))
+        with pytest.raises(ValidationError):
+            generate_corpus(CorpusConfig(n_sentences=0))

@@ -1,0 +1,120 @@
+"""Tests for repro.datagen.drift."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.drift import (
+    CategoricalShift,
+    MeanShift,
+    NullBurst,
+    VarianceShift,
+    inject,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMeanShift:
+    def test_shifts_only_window(self, rng):
+        values = np.zeros(100)
+        out, mask = MeanShift(delta=5.0, start_fraction=0.5).apply(values, rng)
+        assert (out[:50] == 0.0).all()
+        assert (out[50:] == 5.0).all()
+        assert mask.sum() == 50
+
+    def test_input_not_mutated(self, rng):
+        values = np.zeros(10)
+        MeanShift(delta=1.0).apply(values, rng)
+        assert (values == 0.0).all()
+
+    def test_invalid_window_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            MeanShift(delta=1.0, start_fraction=0.8, end_fraction=0.2).apply(
+                np.zeros(10), rng
+            )
+
+
+class TestVarianceShift:
+    def test_scales_window_spread(self, rng):
+        values = np.random.default_rng(1).normal(10.0, 1.0, size=2000)
+        out, mask = VarianceShift(factor=3.0, start_fraction=0.5).apply(values, rng)
+        assert np.std(out[mask]) > 2.0 * np.std(values[mask])
+        np.testing.assert_allclose(out[~mask], values[~mask])
+
+    def test_preserves_window_mean(self, rng):
+        values = np.random.default_rng(1).normal(10.0, 1.0, size=5000)
+        out, mask = VarianceShift(factor=2.0).apply(values, rng)
+        assert abs(np.mean(out[mask]) - np.mean(values[mask])) < 0.1
+
+    def test_rejects_nonpositive_factor(self, rng):
+        with pytest.raises(ValidationError):
+            VarianceShift(factor=0.0).apply(np.zeros(10), rng)
+
+    def test_handles_all_nan_window(self, rng):
+        values = np.full(10, np.nan)
+        out, __ = VarianceShift(factor=2.0).apply(values, rng)
+        assert np.isnan(out).all()
+
+
+class TestNullBurst:
+    def test_nulls_confined_to_window(self, rng):
+        values = np.ones(1000)
+        out, mask = NullBurst(rate=0.5, start_fraction=0.5).apply(values, rng)
+        assert not np.isnan(out[:500]).any()
+        assert np.isnan(out[mask]).all()
+        assert 150 < mask.sum() < 350  # ~0.5 * 500
+
+    def test_full_rate_nulls_entire_window(self, rng):
+        values = np.ones(100)
+        out, mask = NullBurst(rate=1.0, start_fraction=0.2, end_fraction=0.4).apply(
+            values, rng
+        )
+        assert mask.sum() == 20
+        assert np.isnan(out[20:40]).all()
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValidationError):
+            NullBurst(rate=0.0).apply(np.ones(10), rng)
+
+
+class TestCategoricalShift:
+    def test_remaps_to_new_category(self, rng):
+        values = np.zeros(200, dtype=np.int64)
+        out, mask = CategoricalShift(new_category=9, rate=1.0).apply(values, rng)
+        assert (out[mask] == 9).all()
+        assert (out[~mask] == 0).all()
+        assert mask.sum() == 100
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValidationError):
+            CategoricalShift(new_category=1, rate=2.0).apply(
+                np.zeros(10, dtype=np.int64), rng
+            )
+
+
+class TestInject:
+    def test_composes_injectors(self):
+        values = np.zeros(100)
+        out, corrupted = inject(
+            values,
+            [
+                MeanShift(delta=1.0, start_fraction=0.0, end_fraction=0.3),
+                NullBurst(rate=1.0, start_fraction=0.7, end_fraction=1.0),
+            ],
+            seed=0,
+        )
+        assert (out[:30] == 1.0).all()
+        assert np.isnan(out[70:]).all()
+        assert corrupted[:30].all()
+        assert corrupted[70:].all()
+        assert not corrupted[30:70].any()
+
+    def test_deterministic(self):
+        values = np.ones(500)
+        a, __ = inject(values, [NullBurst(rate=0.3)], seed=42)
+        b, __ = inject(values, [NullBurst(rate=0.3)], seed=42)
+        np.testing.assert_array_equal(np.isnan(a), np.isnan(b))

@@ -1,0 +1,165 @@
+"""Tests for repro.datagen.kb."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.kb import (
+    KBConfig,
+    MentionConfig,
+    generate_kb,
+    generate_mentions,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return generate_kb(KBConfig(n_entities=500, n_types=10, n_aliases=100), seed=0)
+
+
+class TestGenerateKB:
+    def test_entity_count(self, kb):
+        assert len(kb) == 500
+        assert kb.n_entities == 500
+
+    def test_popularity_is_normalized_and_zipfian(self, kb):
+        assert abs(kb.popularity.sum() - 1.0) < 1e-9
+        assert kb.popularity[0] > 50 * kb.popularity[-1]
+
+    def test_types_in_range(self, kb):
+        assert kb.types.min() >= 0
+        assert kb.types.max() < 10
+
+    def test_every_alias_has_candidates(self, kb):
+        for alias in range(100):
+            candidates = kb.candidates(alias)
+            assert len(candidates) == 5  # 500 entities / 100 aliases
+            assert all(0 <= c < 500 for c in candidates)
+
+    def test_candidate_sets_span_popularity_spectrum(self, kb):
+        # Round-robin dealing: alias 0 gets entities 0, 100, 200, 300, 400.
+        assert kb.candidates(0) == [0, 100, 200, 300, 400]
+
+    def test_unknown_alias_raises(self, kb):
+        with pytest.raises(KeyError):
+            kb.candidates(9999)
+
+    def test_graph_degree_near_target(self):
+        kb2 = generate_kb(KBConfig(n_entities=1000, avg_degree=6.0, n_aliases=200), seed=1)
+        degrees = [d for __, d in kb2.graph.degree()]
+        assert 4.0 < np.mean(degrees) < 7.0
+
+    def test_graph_has_type_affinity(self):
+        kb2 = generate_kb(
+            KBConfig(n_entities=1000, n_types=20, n_aliases=200, type_affinity=0.8),
+            seed=2,
+        )
+        same = sum(1 for u, v in kb2.graph.edges() if kb2.types[u] == kb2.types[v])
+        frac = same / kb2.graph.number_of_edges()
+        assert frac > 0.5  # random baseline would be ~1/20
+
+    def test_tail_entities_are_low_popularity(self, kb):
+        tail = kb.tail_entities(quantile=0.2)
+        assert len(tail) > 0
+        head_pop = kb.popularity.max()
+        assert kb.popularity[tail].max() < head_pop
+
+    def test_deterministic(self):
+        cfg = KBConfig(n_entities=200, n_aliases=50)
+        a = generate_kb(cfg, seed=3)
+        b = generate_kb(cfg, seed=3)
+        np.testing.assert_array_equal(a.types, b.types)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_kb(KBConfig(n_entities=10, n_aliases=20))
+        with pytest.raises(ValidationError):
+            generate_kb(KBConfig(n_types=1))
+        with pytest.raises(ValidationError):
+            generate_kb(KBConfig(avg_degree=0))
+
+
+class TestGenerateMentions:
+    def test_mention_count_and_shapes(self, kb):
+        sample = generate_mentions(kb, MentionConfig(n_mentions=200, context_length=10), seed=0)
+        assert len(sample.mentions) == 200
+        assert all(len(m.context) == 10 for m in sample.mentions)
+
+    def test_true_entity_always_in_candidates(self, kb):
+        sample = generate_mentions(kb, MentionConfig(n_mentions=500), seed=0)
+        assert all(m.true_entity in m.candidates for m in sample.mentions)
+
+    def test_popular_entities_mentioned_more(self, kb):
+        sample = generate_mentions(kb, MentionConfig(n_mentions=5000), seed=0)
+        counts = np.bincount(
+            [m.true_entity for m in sample.mentions], minlength=kb.n_entities
+        )
+        top_half = counts[: kb.n_entities // 2].sum()
+        bottom_half = counts[kb.n_entities // 2 :].sum()
+        assert top_half > 3 * bottom_half
+
+    def test_context_tokens_within_vocabulary(self, kb):
+        sample = generate_mentions(kb, MentionConfig(n_mentions=300), seed=0)
+        vocab = sample.vocabulary
+        for m in sample.mentions:
+            assert m.context.min() >= 0
+            assert m.context.max() < vocab.size
+
+    def test_entity_tokens_match_true_entity(self, kb):
+        cfg = MentionConfig(
+            n_mentions=300,
+            entity_token_rate=1.0,
+            type_token_rate=0.0,
+            relation_token_rate=0.0,
+        )
+        sample = generate_mentions(kb, cfg, seed=0)
+        for m in sample.mentions:
+            assert (m.context == m.true_entity).all()
+
+    def test_type_tokens_match_entity_type(self, kb):
+        cfg = MentionConfig(
+            n_mentions=300,
+            entity_token_rate=0.0,
+            type_token_rate=1.0,
+            relation_token_rate=0.0,
+        )
+        sample = generate_mentions(kb, cfg, seed=0)
+        offset = sample.vocabulary.type_offset
+        for m in sample.mentions:
+            expected = offset + kb.entity(m.true_entity).type_id
+            assert (m.context == expected).all()
+
+    def test_relation_tokens_are_neighbors(self, kb):
+        cfg = MentionConfig(
+            n_mentions=300,
+            entity_token_rate=0.0,
+            type_token_rate=0.0,
+            relation_token_rate=1.0,
+        )
+        sample = generate_mentions(kb, cfg, seed=0)
+        offset = sample.vocabulary.relation_offset
+        noise_offset = sample.vocabulary.noise_offset
+        for m in sample.mentions:
+            neighbors = kb.neighbors(m.true_entity)
+            for token in m.context:
+                if token >= noise_offset:
+                    continue  # entity had no neighbours -> noise fallback
+                assert int(token) - offset in neighbors
+
+    def test_split_partitions_mentions(self, kb):
+        sample = generate_mentions(kb, MentionConfig(n_mentions=100), seed=0)
+        train, dev = sample.split(train_fraction=0.8, seed=1)
+        assert len(train) == 80
+        assert len(dev) == 20
+        ids = {m.mention_id for m in train} | {m.mention_id for m in dev}
+        assert len(ids) == 100
+
+    def test_rate_sum_validation(self, kb):
+        with pytest.raises(ValidationError):
+            generate_mentions(
+                kb,
+                MentionConfig(
+                    entity_token_rate=0.5, type_token_rate=0.5, relation_token_rate=0.5
+                ),
+            )

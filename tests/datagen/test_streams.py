@@ -1,0 +1,96 @@
+"""Tests for repro.datagen.streams."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.streams import EventStream, StreamConfig, StreamEvent, generate_stream
+from repro.errors import ValidationError
+
+
+class TestGenerateStream:
+    def test_event_count_near_expected(self):
+        cfg = StreamConfig(duration=1000.0, rate_per_second=5.0)
+        stream = generate_stream(cfg, seed=0)
+        assert 4000 < len(stream) < 6000
+
+    def test_events_sorted_by_time(self):
+        stream = generate_stream(StreamConfig(duration=100.0), seed=0)
+        ts = stream.timestamps()
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_timestamps_within_horizon(self):
+        cfg = StreamConfig(duration=50.0, start_time=1000.0)
+        stream = generate_stream(cfg, seed=1)
+        ts = stream.timestamps()
+        assert ts.min() >= 1000.0
+        assert ts.max() < 1050.0
+
+    def test_deterministic(self):
+        a = generate_stream(StreamConfig(duration=100.0), seed=9)
+        b = generate_stream(StreamConfig(duration=100.0), seed=9)
+        np.testing.assert_array_equal(a.values(), b.values())
+
+    def test_regime_change_shifts_mean(self):
+        cfg = StreamConfig(
+            duration=2000.0,
+            rate_per_second=5.0,
+            mean=0.0,
+            std=1.0,
+            regime_changes={1000.0: (10.0, 1.0)},
+        )
+        stream = generate_stream(cfg, seed=0)
+        before = [e.value for e in stream.between(0.0, 1000.0)]
+        after = [e.value for e in stream.between(1000.0, 2000.0)]
+        assert abs(np.mean(before)) < 0.5
+        assert abs(np.mean(after) - 10.0) < 0.5
+
+    def test_multiple_regimes_apply_in_order(self):
+        cfg = StreamConfig(
+            duration=3000.0,
+            rate_per_second=3.0,
+            mean=0.0,
+            regime_changes={1000.0: (5.0, 1.0), 2000.0: (-5.0, 1.0)},
+        )
+        stream = generate_stream(cfg, seed=0)
+        mid = np.mean([e.value for e in stream.between(1000.0, 2000.0)])
+        late = np.mean([e.value for e in stream.between(2000.0, 3000.0)])
+        assert abs(mid - 5.0) < 1.0
+        assert abs(late + 5.0) < 1.0
+
+    def test_entity_ids_in_range(self):
+        cfg = StreamConfig(duration=100.0, n_entities=7)
+        stream = generate_stream(cfg, seed=0)
+        assert all(0 <= e.entity_id < 7 for e in stream)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_stream(StreamConfig(duration=0.0))
+        with pytest.raises(ValidationError):
+            generate_stream(StreamConfig(rate_per_second=-1.0))
+        with pytest.raises(ValidationError):
+            generate_stream(StreamConfig(n_entities=0))
+
+
+class TestEventStream:
+    def test_between_half_open(self):
+        events = [
+            StreamEvent(timestamp=t, entity_id=0, value=0.0) for t in (1.0, 2.0, 3.0)
+        ]
+        stream = EventStream(events)
+        selected = stream.between(1.0, 3.0)
+        assert [e.timestamp for e in selected] == [1.0, 2.0]
+
+    def test_constructor_sorts_events(self):
+        events = [
+            StreamEvent(timestamp=3.0, entity_id=0, value=0.0),
+            StreamEvent(timestamp=1.0, entity_id=0, value=0.0),
+        ]
+        stream = EventStream(events)
+        assert [e.timestamp for e in stream] == [1.0, 3.0]
+
+    def test_len_and_events_copy(self):
+        stream = EventStream([StreamEvent(1.0, 0, 0.0)])
+        assert len(stream) == 1
+        copied = stream.events
+        copied.append(StreamEvent(2.0, 0, 0.0))
+        assert len(stream) == 1

@@ -1,0 +1,98 @@
+"""Tests for repro.embeddings.base."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def emb():
+    # Four well-separated directions in 2-D.
+    return EmbeddingMatrix(
+        vectors=np.array(
+            [[1.0, 0.0], [0.9, 0.1], [0.0, 1.0], [-1.0, 0.0], [0.1, 0.9]]
+        )
+    )
+
+
+class TestEmbeddingMatrix:
+    def test_shape_properties(self, emb):
+        assert emb.n == 5
+        assert emb.dim == 2
+        assert len(emb) == 5
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            EmbeddingMatrix(vectors=np.zeros(3))
+        with pytest.raises(ValidationError):
+            EmbeddingMatrix(vectors=np.array([[np.nan, 1.0]]))
+
+    def test_normalized_unit_rows(self, emb):
+        norms = np.linalg.norm(emb.normalized(), axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+    def test_normalized_zero_rows_stay_zero(self):
+        emb = EmbeddingMatrix(vectors=np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert (emb.normalized()[0] == 0.0).all()
+
+    def test_cosine_similarity(self, emb):
+        assert emb.cosine_similarity(0, 0) == pytest.approx(1.0)
+        assert emb.cosine_similarity(0, 2) == pytest.approx(0.0)
+        assert emb.cosine_similarity(0, 3) == pytest.approx(-1.0)
+
+    def test_cosine_zero_vector(self):
+        emb = EmbeddingMatrix(vectors=np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert emb.cosine_similarity(0, 1) == 0.0
+
+    def test_similarity_to_query(self, emb):
+        sims = emb.similarity_to(np.array([1.0, 0.0]))
+        assert sims[0] == pytest.approx(1.0)
+        assert sims[3] == pytest.approx(-1.0)
+
+    def test_nearest_neighbors_ordering(self, emb):
+        neighbors = emb.nearest_neighbors(0, k=2)
+        assert neighbors[0] == 1  # closest direction to [1, 0]
+        assert 0 not in neighbors  # self excluded
+
+    def test_nearest_neighbors_include_self(self, emb):
+        neighbors = emb.nearest_neighbors(0, k=1, exclude_self=False)
+        assert neighbors[0] == 0
+
+    def test_nearest_neighbors_batch_shape(self, emb):
+        got = emb.nearest_neighbors_batch(np.array([0, 2]), k=3)
+        assert got.shape == (2, 3)
+
+    def test_k_clamped(self, emb):
+        got = emb.nearest_neighbors(0, k=100)
+        assert len(got) == 4  # n - self
+
+    def test_k_must_be_positive(self, emb):
+        with pytest.raises(ValidationError):
+            emb.nearest_neighbors(0, k=0)
+
+    def test_subset(self, emb):
+        sub = emb.subset(np.array([0, 2]))
+        assert sub.n == 2
+        np.testing.assert_array_equal(sub.vectors[1], emb.vectors[2])
+
+    def test_memory_bytes(self, emb):
+        assert emb.memory_bytes() == 5 * 2 * 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=5, max_value=30), st.integers(min_value=0, max_value=99))
+    def test_property_knn_matches_bruteforce(self, n, seed):
+        rng = np.random.default_rng(seed)
+        emb = EmbeddingMatrix(vectors=rng.normal(size=(n, 4)))
+        k = 3
+        fast = emb.nearest_neighbors(0, k=k)
+        normalized = emb.normalized()
+        sims = normalized @ normalized[0]
+        sims[0] = -np.inf
+        brute = np.argsort(-sims)[:k]
+        # Sets must agree (order may differ on exact ties, which are
+        # measure-zero for continuous draws).
+        assert set(fast.tolist()) == set(brute.tolist())

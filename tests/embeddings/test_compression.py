@@ -1,0 +1,144 @@
+"""Tests for repro.embeddings.compression."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.embeddings.compression import (
+    kmeans_codebook_compress,
+    pca_compress,
+    uniform_quantize,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def emb():
+    rng = np.random.default_rng(0)
+    return EmbeddingMatrix(vectors=rng.normal(size=(200, 16)))
+
+
+class TestUniformQuantize:
+    def test_high_bits_near_lossless(self, emb):
+        result = uniform_quantize(emb, bits=16)
+        error = np.abs(result.embedding.vectors - emb.vectors).max()
+        assert error < 1e-3
+
+    def test_low_bits_lossy_but_bounded(self, emb):
+        result = uniform_quantize(emb, bits=2)
+        spread = emb.vectors.max() - emb.vectors.min()
+        error = np.abs(result.embedding.vectors - emb.vectors).max()
+        assert error <= spread / 3 + 1e-9  # half a quantization step
+        assert error > 0.1  # genuinely lossy
+
+    def test_error_monotone_in_bits(self, emb):
+        errors = [
+            np.abs(uniform_quantize(emb, bits=b).embedding.vectors - emb.vectors).mean()
+            for b in (1, 2, 4, 8)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_compression_ratio(self, emb):
+        result = uniform_quantize(emb, bits=8)
+        assert 7.0 < result.compression_ratio < 8.1  # 64-bit floats -> 8 bits
+
+    def test_one_bit_two_levels(self, emb):
+        result = uniform_quantize(emb, bits=1)
+        assert len(np.unique(result.embedding.vectors)) <= 2
+
+    def test_constant_matrix(self):
+        emb = EmbeddingMatrix(vectors=np.full((5, 3), 2.0))
+        result = uniform_quantize(emb, bits=4)
+        np.testing.assert_allclose(result.embedding.vectors, 2.0)
+
+    def test_invalid_bits(self, emb):
+        with pytest.raises(ValidationError):
+            uniform_quantize(emb, bits=0)
+        with pytest.raises(ValidationError):
+            uniform_quantize(emb, bits=32)
+
+
+class TestPcaCompress:
+    def test_full_rank_lossless(self, emb):
+        result = pca_compress(emb, rank=16)
+        np.testing.assert_allclose(result.embedding.vectors, emb.vectors, atol=1e-8)
+
+    def test_low_rank_lossy(self, emb):
+        result = pca_compress(emb, rank=2)
+        assert not np.allclose(result.embedding.vectors, emb.vectors, atol=0.1)
+
+    def test_reconstruction_error_monotone_in_rank(self, emb):
+        errors = [
+            np.linalg.norm(pca_compress(emb, rank=r).embedding.vectors - emb.vectors)
+            for r in (2, 4, 8, 16)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_preserves_shape(self, emb):
+        result = pca_compress(emb, rank=4)
+        assert result.embedding.vectors.shape == emb.vectors.shape
+
+    def test_low_rank_structure_recovered_exactly(self):
+        rng = np.random.default_rng(1)
+        low_rank = rng.normal(size=(100, 3)) @ rng.normal(size=(3, 16))
+        emb = EmbeddingMatrix(vectors=low_rank)
+        result = pca_compress(emb, rank=3)
+        np.testing.assert_allclose(result.embedding.vectors, low_rank, atol=1e-8)
+
+    def test_invalid_rank(self, emb):
+        with pytest.raises(ValidationError):
+            pca_compress(emb, rank=0)
+        with pytest.raises(ValidationError):
+            pca_compress(emb, rank=17)
+
+
+class TestKmeansCodebook:
+    def test_rows_snap_to_centroids(self, emb):
+        result = kmeans_codebook_compress(emb, n_codes=8, seed=0)
+        unique_rows = np.unique(result.embedding.vectors, axis=0)
+        assert len(unique_rows) <= 8
+
+    def test_n_codes_equal_rows_lossless(self):
+        rng = np.random.default_rng(0)
+        emb = EmbeddingMatrix(vectors=rng.normal(size=(10, 4)))
+        result = kmeans_codebook_compress(emb, n_codes=10, n_iterations=50, seed=0)
+        # Every row can claim its own centroid.
+        error = np.linalg.norm(result.embedding.vectors - emb.vectors)
+        assert error < 1.0
+
+    def test_deterministic(self, emb):
+        a = kmeans_codebook_compress(emb, n_codes=8, seed=5)
+        b = kmeans_codebook_compress(emb, n_codes=8, seed=5)
+        np.testing.assert_allclose(a.embedding.vectors, b.embedding.vectors)
+
+    def test_distortion_decreases_with_codes(self, emb):
+        errors = [
+            np.linalg.norm(
+                kmeans_codebook_compress(emb, n_codes=k, seed=0).embedding.vectors
+                - emb.vectors
+            )
+            for k in (2, 8, 32, 128)
+        ]
+        assert errors[0] > errors[-1]
+
+    def test_memory_accounting(self, emb):
+        result = kmeans_codebook_compress(emb, n_codes=16, seed=0)
+        assert result.compressed_bytes < result.original_bytes
+        assert result.compression_ratio > 1.0
+
+    def test_clustered_data_recovered(self):
+        rng = np.random.default_rng(2)
+        centers = rng.normal(size=(4, 8)) * 10
+        points = centers[rng.integers(0, 4, size=200)] + rng.normal(
+            scale=0.01, size=(200, 8)
+        )
+        emb = EmbeddingMatrix(vectors=points)
+        result = kmeans_codebook_compress(emb, n_codes=4, seed=0)
+        error = np.abs(result.embedding.vectors - points).max()
+        assert error < 0.1
+
+    def test_invalid_params(self, emb):
+        with pytest.raises(ValidationError):
+            kmeans_codebook_compress(emb, n_codes=0)
+        with pytest.raises(ValidationError):
+            kmeans_codebook_compress(emb, n_codes=4, n_iterations=0)

@@ -1,0 +1,166 @@
+"""Tests for repro.embeddings.metrics."""
+
+import numpy as np
+import pytest
+from scipy.stats import ortho_group
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.embeddings.compression import pca_compress, uniform_quantize
+from repro.embeddings.metrics import (
+    align_procrustes,
+    downstream_instability,
+    eigenspace_overlap_score,
+    knn_overlap,
+    neighborhood_jaccard,
+    semantic_displacement,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def emb():
+    rng = np.random.default_rng(0)
+    return EmbeddingMatrix(vectors=rng.normal(size=(100, 8)))
+
+
+def rotate(emb, seed=0):
+    rotation = ortho_group.rvs(emb.dim, random_state=seed)
+    return EmbeddingMatrix(vectors=emb.vectors @ rotation)
+
+
+class TestKnnOverlap:
+    def test_identical_embeddings_full_overlap(self, emb):
+        np.testing.assert_allclose(knn_overlap(emb, emb, k=10), 1.0)
+
+    def test_rotation_invariant(self, emb):
+        np.testing.assert_allclose(knn_overlap(emb, rotate(emb), k=10), 1.0)
+
+    def test_unrelated_embeddings_low_overlap(self, emb):
+        rng = np.random.default_rng(99)
+        other = EmbeddingMatrix(vectors=rng.normal(size=(100, 8)))
+        assert knn_overlap(emb, other, k=10).mean() < 0.3
+
+    def test_subset_of_indices(self, emb):
+        got = knn_overlap(emb, emb, k=5, indices=np.array([0, 3, 7]))
+        assert got.shape == (3,)
+
+    def test_mismatched_vocab_raises(self, emb):
+        other = EmbeddingMatrix(vectors=np.zeros((5, 8)))
+        with pytest.raises(ValidationError):
+            knn_overlap(emb, other)
+
+    def test_k_validation(self, emb):
+        with pytest.raises(ValidationError):
+            knn_overlap(emb, emb, k=0)
+
+
+class TestEigenspaceOverlap:
+    def test_self_overlap_is_one(self, emb):
+        assert eigenspace_overlap_score(emb, emb) == pytest.approx(1.0)
+
+    def test_rotation_preserves_overlap(self, emb):
+        assert eigenspace_overlap_score(emb, rotate(emb)) == pytest.approx(1.0)
+
+    def test_orthogonal_subspaces_zero(self):
+        a = np.zeros((10, 2))
+        b = np.zeros((10, 2))
+        a[:5, 0] = 1.0
+        a[5:, 1] = 1.0
+        b[:5, 1] = 0.0
+        # Build b orthogonal to a's column space in R^10.
+        b = np.zeros((10, 2))
+        b[0, 0] = 1.0
+        b[0, 0] = 0.0
+        b[1, 0] = 1.0
+        b[2, 1] = 1.0
+        a = np.zeros((10, 2))
+        a[3, 0] = 1.0
+        a[4, 1] = 1.0
+        score = eigenspace_overlap_score(EmbeddingMatrix(a), EmbeddingMatrix(b))
+        assert score == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_compression_quality(self, emb):
+        scores = [
+            eigenspace_overlap_score(emb, pca_compress(emb, rank=r).embedding)
+            for r in (1, 4, 8)
+        ]
+        assert scores[0] < scores[1] <= scores[2] + 1e-9
+
+    def test_heavy_quantization_lowers_score(self, emb):
+        light = eigenspace_overlap_score(emb, uniform_quantize(emb, 8).embedding)
+        heavy = eigenspace_overlap_score(emb, uniform_quantize(emb, 1).embedding)
+        assert heavy < light
+
+    def test_bounded(self, emb):
+        score = eigenspace_overlap_score(emb, uniform_quantize(emb, 1).embedding)
+        assert 0.0 <= score <= 1.0
+
+
+class TestDownstreamInstability:
+    def test_identical_predictions_zero(self):
+        p = np.array([0, 1, 1, 0])
+        assert downstream_instability(p, p) == 0.0
+
+    def test_all_different_one(self):
+        assert downstream_instability(np.zeros(4), np.ones(4)) == 1.0
+
+    def test_fraction(self):
+        a = np.array([0, 0, 0, 0])
+        b = np.array([0, 0, 1, 1])
+        assert downstream_instability(a, b) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            downstream_instability(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValidationError):
+            downstream_instability(np.zeros(0), np.zeros(0))
+
+
+class TestProcrustes:
+    def test_recovers_rotation_exactly(self, emb):
+        rotated = rotate(emb, seed=7)
+        aligned = align_procrustes(rotated, emb)
+        np.testing.assert_allclose(aligned.vectors, emb.vectors, atol=1e-8)
+
+    def test_dim_mismatch_raises(self, emb):
+        other = EmbeddingMatrix(vectors=np.zeros((100, 4)))
+        with pytest.raises(ValidationError):
+            align_procrustes(emb, other)
+
+
+class TestSemanticDisplacement:
+    def test_rotation_yields_zero_displacement(self, emb):
+        disp = semantic_displacement(rotate(emb, seed=3), emb)
+        np.testing.assert_allclose(disp, 0.0, atol=1e-8)
+
+    def test_without_alignment_rotation_shows_displacement(self, emb):
+        disp = semantic_displacement(rotate(emb, seed=3), emb, align=False)
+        assert disp.mean() > 0.1
+
+    def test_single_moved_row_localized(self, emb):
+        moved = emb.vectors.copy()
+        moved[17] = -moved[17]  # flip one vector
+        disp = semantic_displacement(EmbeddingMatrix(moved), emb)
+        assert disp[17] > 1.5
+        others = np.delete(disp, 17)
+        assert others.mean() < 0.05
+
+    def test_range(self, emb):
+        rng = np.random.default_rng(5)
+        other = EmbeddingMatrix(vectors=rng.normal(size=emb.vectors.shape))
+        disp = semantic_displacement(emb, other)
+        assert (disp >= -1e-9).all()
+        assert (disp <= 2.0 + 1e-9).all()
+
+
+class TestNeighborhoodJaccard:
+    def test_identical_is_one(self, emb):
+        assert neighborhood_jaccard(emb, emb, k=10) == pytest.approx(1.0)
+
+    def test_rotation_invariant(self, emb):
+        assert neighborhood_jaccard(emb, rotate(emb), k=10) == pytest.approx(1.0)
+
+    def test_unrelated_low(self, emb):
+        rng = np.random.default_rng(42)
+        other = EmbeddingMatrix(vectors=rng.normal(size=emb.vectors.shape))
+        assert neighborhood_jaccard(emb, other, k=10) < 0.25

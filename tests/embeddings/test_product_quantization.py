@@ -1,0 +1,76 @@
+"""Tests for product quantization."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.embeddings.compression import (
+    kmeans_codebook_compress,
+    product_quantize,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def emb():
+    rng = np.random.default_rng(0)
+    return EmbeddingMatrix(vectors=rng.normal(size=(300, 16)))
+
+
+class TestProductQuantize:
+    def test_shape_preserved(self, emb):
+        result = product_quantize(emb, n_subvectors=4, n_codes=8, seed=0)
+        assert result.embedding.vectors.shape == emb.vectors.shape
+
+    def test_beats_whole_vector_vq_at_same_code_budget(self, emb):
+        """The PQ selling point: m codebooks of k codes act like k^m codes."""
+        pq = product_quantize(emb, n_subvectors=4, n_codes=16, seed=0)
+        vq = kmeans_codebook_compress(emb, n_codes=16, seed=0)
+        pq_error = np.linalg.norm(pq.embedding.vectors - emb.vectors)
+        vq_error = np.linalg.norm(vq.embedding.vectors - emb.vectors)
+        assert pq_error < vq_error * 0.8
+
+    def test_distortion_decreases_with_codes(self, emb):
+        errors = [
+            np.linalg.norm(
+                product_quantize(emb, n_subvectors=4, n_codes=k, seed=0)
+                .embedding.vectors
+                - emb.vectors
+            )
+            for k in (2, 8, 32)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_distortion_decreases_with_subvectors(self, emb):
+        errors = [
+            np.linalg.norm(
+                product_quantize(emb, n_subvectors=m, n_codes=8, seed=0)
+                .embedding.vectors
+                - emb.vectors
+            )
+            for m in (1, 2, 8)
+        ]
+        assert errors[0] > errors[-1]
+
+    def test_single_subvector_equals_vq(self, emb):
+        pq = product_quantize(emb, n_subvectors=1, n_codes=8, seed=0)
+        vq = kmeans_codebook_compress(emb, n_codes=8, seed=0)
+        np.testing.assert_allclose(pq.embedding.vectors, vq.embedding.vectors)
+
+    def test_memory_accounting(self, emb):
+        result = product_quantize(emb, n_subvectors=4, n_codes=16, seed=0)
+        assert result.compressed_bytes < result.original_bytes
+        assert result.compression_ratio > 1.0
+
+    def test_deterministic(self, emb):
+        a = product_quantize(emb, n_subvectors=2, n_codes=4, seed=3)
+        b = product_quantize(emb, n_subvectors=2, n_codes=4, seed=3)
+        np.testing.assert_allclose(a.embedding.vectors, b.embedding.vectors)
+
+    def test_validation(self, emb):
+        with pytest.raises(ValidationError):
+            product_quantize(emb, n_subvectors=0)
+        with pytest.raises(ValidationError):
+            product_quantize(emb, n_subvectors=5)  # 16 % 5 != 0
+        with pytest.raises(ValidationError):
+            product_quantize(emb, n_codes=0)

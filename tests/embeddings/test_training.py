@@ -1,0 +1,178 @@
+"""Tests for repro.embeddings.training."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.kb import KBConfig, MentionConfig, generate_kb, generate_mentions
+from repro.embeddings.training import (
+    PpmiSvdConfig,
+    SgnsConfig,
+    _skipgram_pairs,
+    ppmi_matrix,
+    train_entity_embeddings,
+    train_ppmi_svd,
+    train_sgns,
+)
+from repro.errors import TrainingError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(
+        CorpusConfig(vocab_size=300, n_topics=6, n_sentences=1200, sentence_length=10),
+        seed=0,
+    )
+
+
+def topic_coherence(embedding, corpus, sample=150, seed=0):
+    """Fraction of nearest neighbours sharing the query word's topic."""
+    rng = np.random.default_rng(seed)
+    queries = rng.choice(corpus.vocab_size, size=sample, replace=False)
+    neighbors = embedding.nearest_neighbors_batch(queries, k=5)
+    same = corpus.word_topics[neighbors] == corpus.word_topics[queries][:, None]
+    return same.mean()
+
+
+class TestSkipgramPairs:
+    def test_pair_extraction(self):
+        pairs = _skipgram_pairs([np.array([1, 2, 3])], window=1)
+        centers, contexts = pairs
+        got = set(zip(centers.tolist(), contexts.tolist()))
+        assert got == {(1, 2), (2, 1), (2, 3), (3, 2)}
+
+    def test_window_two(self):
+        centers, contexts = _skipgram_pairs([np.array([1, 2, 3])], window=2)
+        got = set(zip(centers.tolist(), contexts.tolist()))
+        assert (1, 3) in got and (3, 1) in got
+
+    def test_too_short_raises(self):
+        with pytest.raises(TrainingError):
+            _skipgram_pairs([np.array([1])], window=2)
+
+
+class TestSGNS:
+    def test_output_shape(self, corpus):
+        emb = train_sgns(corpus, SgnsConfig(dim=16, epochs=1), seed=0)
+        assert emb.n == corpus.vocab_size
+        assert emb.dim == 16
+
+    def test_deterministic_given_seed(self, corpus):
+        cfg = SgnsConfig(dim=8, epochs=1)
+        a = train_sgns(corpus, cfg, seed=3)
+        b = train_sgns(corpus, cfg, seed=3)
+        np.testing.assert_allclose(a.vectors, b.vectors)
+
+    def test_seeds_differ(self, corpus):
+        cfg = SgnsConfig(dim=8, epochs=1)
+        a = train_sgns(corpus, cfg, seed=1)
+        b = train_sgns(corpus, cfg, seed=2)
+        assert not np.allclose(a.vectors, b.vectors)
+
+    def test_learns_topic_structure(self, corpus):
+        emb = train_sgns(corpus, SgnsConfig(dim=32, epochs=3), seed=0)
+        coherence = topic_coherence(emb, corpus)
+        # Random baseline is 1/6 ≈ 0.17; trained embeddings far exceed it.
+        assert coherence > 0.5
+
+    def test_invalid_config(self, corpus):
+        with pytest.raises(ValidationError):
+            train_sgns(corpus, SgnsConfig(dim=0))
+        with pytest.raises(ValidationError):
+            train_sgns(corpus, SgnsConfig(learning_rate=0.0))
+
+
+class TestPpmiSvd:
+    def test_output_shape(self, corpus):
+        emb = train_ppmi_svd(corpus, PpmiSvdConfig(dim=16))
+        assert emb.n == corpus.vocab_size
+        assert emb.dim == 16
+
+    def test_deterministic(self, corpus):
+        a = train_ppmi_svd(corpus, PpmiSvdConfig(dim=16))
+        b = train_ppmi_svd(corpus, PpmiSvdConfig(dim=16))
+        np.testing.assert_allclose(a.vectors, b.vectors)
+
+    def test_learns_topic_structure(self, corpus):
+        emb = train_ppmi_svd(corpus, PpmiSvdConfig(dim=32))
+        assert topic_coherence(emb, corpus) > 0.5
+
+    def test_dim_larger_than_rank_padded(self):
+        tiny = generate_corpus(
+            CorpusConfig(vocab_size=10, n_topics=2, n_sentences=20, sentence_length=5),
+            seed=0,
+        )
+        emb = train_ppmi_svd(tiny, PpmiSvdConfig(dim=64))
+        assert emb.dim == 64
+
+    def test_ppmi_nonnegative(self):
+        counts = np.array([[4.0, 1.0], [1.0, 4.0]])
+        ppmi = ppmi_matrix(counts)
+        assert (ppmi >= 0).all()
+
+    def test_ppmi_empty_raises(self):
+        with pytest.raises(TrainingError):
+            ppmi_matrix(np.zeros((3, 3)))
+
+    def test_invalid_config(self, corpus):
+        with pytest.raises(ValidationError):
+            train_ppmi_svd(corpus, PpmiSvdConfig(dim=-1))
+        with pytest.raises(ValidationError):
+            train_ppmi_svd(corpus, PpmiSvdConfig(eigen_weight=2.0))
+
+
+class TestEntityEmbeddings:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        kb = generate_kb(KBConfig(n_entities=300, n_types=8, n_aliases=60), seed=0)
+        mentions = generate_mentions(kb, MentionConfig(n_mentions=3000), seed=0)
+        return kb, mentions
+
+    def test_shapes(self, sample):
+        kb, mentions = sample
+        entity_emb, token_emb = train_entity_embeddings(
+            mentions.mentions, kb.n_entities, mentions.vocabulary.size, dim=16
+        )
+        assert entity_emb.n == kb.n_entities
+        assert token_emb.n == mentions.vocabulary.size
+        assert entity_emb.dim == token_emb.dim == 16
+
+    def test_scores_favor_true_entity_for_popular_entities(self, sample):
+        kb, mentions = sample
+        entity_emb, token_emb = train_entity_embeddings(
+            mentions.mentions, kb.n_entities, mentions.vocabulary.size, dim=32
+        )
+        correct = 0
+        total = 0
+        for mention in mentions.mentions[:200]:
+            if mention.true_entity > 20:  # popular head entities only
+                continue
+            context_vec = token_emb.vectors[mention.context].sum(axis=0)
+            scores = [entity_emb.vectors[c] @ context_vec for c in mention.candidates]
+            predicted = mention.candidates[int(np.argmax(scores))]
+            correct += predicted == mention.true_entity
+            total += 1
+        assert total > 0
+        assert correct / total > 0.8
+
+    def test_unseen_entities_have_tiny_vectors(self, sample):
+        kb, mentions = sample
+        entity_emb, __ = train_entity_embeddings(
+            mentions.mentions, kb.n_entities, mentions.vocabulary.size, dim=16
+        )
+        seen = {m.true_entity for m in mentions.mentions}
+        unseen = [e for e in range(kb.n_entities) if e not in seen]
+        if unseen:
+            norms_unseen = np.linalg.norm(entity_emb.vectors[unseen], axis=1)
+            norms_seen = np.linalg.norm(entity_emb.vectors[sorted(seen)], axis=1)
+            assert norms_unseen.mean() < norms_seen.mean()
+
+    def test_no_mentions_raises(self, sample):
+        kb, mentions = sample
+        with pytest.raises(TrainingError):
+            train_entity_embeddings([], kb.n_entities, mentions.vocabulary.size)
+
+    def test_invalid_sizes(self, sample):
+        __, mentions = sample
+        with pytest.raises(ValidationError):
+            train_entity_embeddings(mentions.mentions, 0, 10)

@@ -1,0 +1,97 @@
+"""Tests for incremental VectorIndex.add()."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.index import (
+    BruteForceIndex,
+    HNSWIndex,
+    IVFFlatIndex,
+    LSHIndex,
+    recall_at_k,
+)
+
+
+def all_indexes():
+    return [
+        BruteForceIndex(),
+        LSHIndex(n_tables=8, n_bits=10, seed=0),
+        IVFFlatIndex(n_cells=16, n_probes=4, seed=0),
+        HNSWIndex(m=8, ef_construction=64, ef_search=64, seed=0),
+    ]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(500, 16)), rng.normal(size=(100, 16))
+
+
+class TestIncrementalAdd:
+    @pytest.mark.parametrize("index", all_indexes(), ids=lambda i: type(i).__name__)
+    def test_ids_assigned_contiguously(self, index, data):
+        initial, added = data
+        index.build(initial)
+        ids = index.add(added)
+        np.testing.assert_array_equal(ids, np.arange(500, 600))
+        assert index.size == 600
+
+    @pytest.mark.parametrize("index", all_indexes(), ids=lambda i: type(i).__name__)
+    def test_added_vectors_findable(self, index, data):
+        initial, added = data
+        index.build(initial)
+        index.add(added)
+        # Query with each added vector: it must come back as its own top hit.
+        hits = 0
+        for offset in range(0, 100, 10):
+            result = index.query(added[offset], k=1)
+            hits += int(result.ids[0] == 500 + offset)
+        assert hits >= 9  # allow one approximate miss
+
+    @pytest.mark.parametrize("index", all_indexes(), ids=lambda i: type(i).__name__)
+    def test_original_vectors_still_findable(self, index, data):
+        initial, added = data
+        index.build(initial)
+        index.add(added)
+        result = index.query(initial[7], k=1)
+        assert result.ids[0] == 7
+
+    def test_incremental_recall_close_to_rebuild(self, data):
+        initial, added = data
+        rng = np.random.default_rng(1)
+        queries = rng.normal(size=(20, 16))
+
+        exact = BruteForceIndex()
+        exact.build(np.vstack([initial, added]))
+
+        incremental = HNSWIndex(m=8, ef_construction=64, ef_search=64, seed=0)
+        incremental.build(initial)
+        incremental.add(added)
+
+        recalls = [
+            recall_at_k(incremental.query(q, 10), exact.query(q, 10), 10)
+            for q in queries
+        ]
+        assert np.mean(recalls) > 0.8
+
+    def test_add_before_build_raises(self):
+        with pytest.raises(ValidationError):
+            BruteForceIndex().add(np.zeros((1, 4)))
+
+    def test_dim_mismatch_rejected(self, data):
+        initial, __ = data
+        index = BruteForceIndex()
+        index.build(initial)
+        with pytest.raises(ValidationError):
+            index.add(np.zeros((2, 3)))
+
+    def test_multiple_adds(self, data):
+        initial, added = data
+        index = LSHIndex(n_tables=8, n_bits=10, seed=0)
+        index.build(initial)
+        index.add(added[:50])
+        ids = index.add(added[50:])
+        np.testing.assert_array_equal(ids, np.arange(550, 600))
+        result = index.query(added[75], k=1)
+        assert result.ids[0] == 575

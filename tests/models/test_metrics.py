@@ -1,0 +1,112 @@
+"""Tests for repro.models.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.models.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+    slice_accuracies,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            accuracy(np.array([0]), np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_entries(self):
+        cm = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]))
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_explicit_n_classes(self):
+        cm = confusion_matrix(np.array([0]), np.array([0]), n_classes=3)
+        assert cm.shape == (3, 3)
+
+    def test_total_equals_n(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, size=100)
+        y_pred = rng.integers(0, 4, size=100)
+        assert confusion_matrix(y_true, y_pred).sum() == 100
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        p, r, f = precision_recall_f1(np.array([1, 0, 1]), np.array([1, 0, 1]))
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_known_values(self):
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0])
+        p, r, f = precision_recall_f1(y_true, y_pred)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        p, r, f = precision_recall_f1(np.array([1, 1]), np.array([0, 0]))
+        assert (p, r, f) == (0.0, 0.0, 0.0)
+
+    def test_no_positive_truth(self):
+        p, r, f = precision_recall_f1(np.array([0, 0]), np.array([1, 0]))
+        assert r == 0.0
+
+
+class TestF1Score:
+    def test_binary_default(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.array([1, 0, 0, 0])
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_macro_averages_classes(self):
+        y_true = np.array([0, 0, 1, 2])
+        y_pred = np.array([0, 0, 1, 1])
+        macro = f1_score(y_true, y_pred, average="macro")
+        per_class = [
+            precision_recall_f1(y_true, y_pred, positive_class=c)[2] for c in (0, 1, 2)
+        ]
+        assert macro == pytest.approx(np.mean(per_class))
+
+    def test_micro_is_accuracy(self):
+        y_true = np.array([0, 1, 2, 2])
+        y_pred = np.array([0, 1, 0, 2])
+        assert f1_score(y_true, y_pred, average="micro") == accuracy(y_true, y_pred)
+
+    def test_unknown_average(self):
+        with pytest.raises(ValidationError):
+            f1_score(np.array([0]), np.array([0]), average="weighted")
+
+
+class TestSliceAccuracies:
+    def test_per_slice_values(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.array([1, 0, 0, 1])
+        slices = {
+            "first_half": np.array([True, True, False, False]),
+            "second_half": np.array([False, False, True, True]),
+        }
+        got = slice_accuracies(y_true, y_pred, slices)
+        assert got["first_half"] == (0.5, 2)
+        assert got["second_half"] == (0.5, 2)
+
+    def test_min_size_filters(self):
+        y_true = np.array([1, 0])
+        y_pred = np.array([1, 0])
+        slices = {"tiny": np.array([True, False])}
+        assert slice_accuracies(y_true, y_pred, slices, min_size=2) == {}
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValidationError):
+            slice_accuracies(
+                np.array([1, 0]), np.array([1, 0]), {"bad": np.array([True])}
+            )

@@ -1,0 +1,129 @@
+"""Tests for repro.monitoring.dashboard."""
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.core import (
+    ColumnRef,
+    EmbeddingStore,
+    Feature,
+    FeatureSetSpec,
+    FeatureStore,
+    FeatureView,
+    Provenance,
+)
+from repro.embeddings.base import EmbeddingMatrix
+from repro.monitoring.dashboard import (
+    alert_section,
+    embedding_section,
+    freshness_section,
+    model_section,
+    render_dashboard,
+)
+from repro.monitoring.monitor import Alert, AlertLog
+from repro.storage import TableSchema
+
+
+@pytest.fixture
+def store():
+    fs = FeatureStore(clock=SimClock(start=0.0))
+    fs.create_source_table("raw", TableSchema(columns={"v": "float"}))
+    fs.register_entity("e")
+    fs.publish_view(
+        FeatureView(
+            name="view",
+            source_table="raw",
+            entity="e",
+            features=(Feature("v", "float", ColumnRef("v")),),
+            cadence=100.0,
+        )
+    )
+    return fs
+
+
+class TestAlertSection:
+    def test_empty_log(self):
+        section = alert_section(AlertLog())
+        assert "no alerts" in section.render()
+
+    def test_counts_and_recent(self):
+        log = AlertLog()
+        log.fire(Alert(1.0, "a", "drift", "m1", 1.0))
+        log.fire(Alert(2.0, "b", "drift", "m2", 1.0))
+        log.fire(Alert(3.0, "c", "null_rate", "m3", 1.0))
+        text = alert_section(log, max_recent=2).render()
+        assert "drift=2" in text
+        assert "null_rate=1" in text
+        assert "m3" in text  # most recent shown
+        assert "m1" not in text  # truncated by max_recent
+
+
+class TestFreshnessSection:
+    def test_never_materialized_flagged(self, store):
+        text = freshness_section(store).render()
+        assert "NEVER MATERIALIZED" in text
+
+    def test_fresh_view_ok(self, store):
+        store.ingest("raw", [{"entity_id": 1, "timestamp": 0.0, "v": 1.0}])
+        store.materialize("view", as_of=0.0)
+        store.clock.advance(50.0)
+        text = freshness_section(store).render()
+        assert "[ok]" in text
+
+    def test_stale_view_flagged(self, store):
+        store.ingest("raw", [{"entity_id": 1, "timestamp": 0.0, "v": 1.0}])
+        store.materialize("view", as_of=0.0)
+        store.clock.advance(500.0)
+        text = freshness_section(store).render()
+        assert "[STALE]" in text
+
+
+class TestEmbeddingSection:
+    def test_consumer_pin_status(self, store):
+        embeddings = EmbeddingStore(clock=store.clock)
+        rng = np.random.default_rng(0)
+        emb = EmbeddingMatrix(vectors=rng.normal(size=(30, 4)))
+        embeddings.register("emb", emb, Provenance(trainer="t"))
+        store.create_feature_set(FeatureSetSpec(name="fs", features=("view:v",)))
+        store.register_model(
+            "consumer", model=None, feature_set="fs",
+            embedding_versions={"emb": 1},
+        )
+        embeddings.register(
+            "emb", EmbeddingMatrix(vectors=rng.normal(size=(30, 4))),
+            Provenance(trainer="t", parent_version=1),
+        )
+        text = embedding_section(embeddings, store).render()
+        assert "emb: v2" in text
+        assert "pinned to v1" in text
+        assert "BLOCKED" in text
+        embeddings.mark_compatible("emb", 1, 2)
+        text = embedding_section(embeddings, store).render()
+        assert "compatible" in text
+
+
+class TestRenderDashboard:
+    def test_full_render(self, store):
+        store.ingest("raw", [{"entity_id": 1, "timestamp": 0.0, "v": 1.0}])
+        store.materialize("view", as_of=0.0)
+        store.create_feature_set(FeatureSetSpec(name="fs", features=("view:v",)))
+        store.register_model("m", model=None, feature_set="fs",
+                             metrics={"acc": 0.91})
+        log = AlertLog()
+        log.fire(Alert(1.0, "raw.v", "drift", "psi high", 0.5))
+        embeddings = EmbeddingStore(clock=store.clock)
+        embeddings.register(
+            "emb", EmbeddingMatrix(vectors=np.zeros((5, 2)) + 1.0),
+            Provenance(trainer="t"),
+        )
+        text = render_dashboard(store, log, embeddings)
+        for expected in ("alerts", "feature freshness", "embeddings",
+                         "models", "m v1", "acc=0.910", "emb: v1"):
+            assert expected in text
+
+    def test_empty_world(self):
+        fs = FeatureStore(clock=SimClock())
+        text = render_dashboard(fs, AlertLog())
+        assert "no feature views published" in text
+        assert "no models registered" in text

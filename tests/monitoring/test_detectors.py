@@ -1,0 +1,139 @@
+"""Tests for repro.monitoring.detectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.detectors import (
+    chi_square_drift,
+    kl_divergence,
+    ks_drift,
+    mad_outliers,
+    population_stability_index,
+    psi_drift,
+    zscore_outliers,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestPSI:
+    def test_same_distribution_low_psi(self, rng):
+        ref = rng.normal(size=5000)
+        cur = rng.normal(size=5000)
+        assert population_stability_index(ref, cur) < 0.05
+
+    def test_shifted_distribution_high_psi(self, rng):
+        ref = rng.normal(size=5000)
+        cur = rng.normal(loc=2.0, size=5000)
+        assert population_stability_index(ref, cur) > 0.5
+
+    def test_variance_change_detected(self, rng):
+        ref = rng.normal(size=5000)
+        cur = rng.normal(scale=3.0, size=5000)
+        assert population_stability_index(ref, cur) > 0.2
+
+    def test_nans_ignored(self, rng):
+        ref = rng.normal(size=1000)
+        cur = np.concatenate([rng.normal(size=500), [np.nan] * 100])
+        score = population_stability_index(ref, cur)
+        assert score < 0.1
+
+    def test_psi_drift_verdict(self, rng):
+        ref = rng.normal(size=2000)
+        result = psi_drift(ref, rng.normal(loc=3.0, size=2000))
+        assert result.drifted
+        result = psi_drift(ref, rng.normal(size=2000))
+        assert not result.drifted
+
+    def test_too_few_values(self):
+        with pytest.raises(MonitoringError):
+            population_stability_index(np.ones(3), np.ones(10))
+
+
+class TestKS:
+    def test_same_distribution_not_drifted(self, rng):
+        result = ks_drift(rng.normal(size=2000), rng.normal(size=2000))
+        assert not result.drifted
+
+    def test_shift_drifted(self, rng):
+        result = ks_drift(rng.normal(size=2000), rng.normal(loc=0.5, size=2000))
+        assert result.drifted
+        assert result.score > 0.1
+
+    def test_needs_two_values(self):
+        with pytest.raises(MonitoringError):
+            ks_drift(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestKL:
+    def test_identical_histograms_zero(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-6)
+
+    def test_different_histograms_positive(self):
+        assert kl_divergence(np.array([0.9, 0.1]), np.array([0.1, 0.9])) > 1.0
+
+    def test_zero_bins_smoothed(self):
+        assert np.isfinite(kl_divergence(np.array([1.0, 0.0]), np.array([0.0, 1.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MonitoringError):
+            kl_divergence(np.ones(2), np.ones(3))
+
+
+class TestChiSquare:
+    def test_matching_rates_not_drifted(self, rng):
+        ref = np.array([1000.0, 2000.0, 3000.0])
+        cur = np.array([100.0, 210.0, 290.0])
+        assert not chi_square_drift(ref, cur).drifted
+
+    def test_category_collapse_drifted(self):
+        ref = np.array([1000.0, 1000.0, 1000.0])
+        cur = np.array([600.0, 0.0, 0.0])
+        assert chi_square_drift(ref, cur).drifted
+
+    def test_new_category_drifted(self):
+        ref = np.array([1000.0, 1000.0, 0.0])
+        cur = np.array([500.0, 500.0, 500.0])
+        assert chi_square_drift(ref, cur).drifted
+
+    def test_empty_counts_raise(self):
+        with pytest.raises(MonitoringError):
+            chi_square_drift(np.zeros(3), np.ones(3))
+        with pytest.raises(MonitoringError):
+            chi_square_drift(np.ones(2), np.ones(3))
+
+
+class TestOutliers:
+    def test_zscore_flags_extremes(self, rng):
+        ref = rng.normal(size=1000)
+        cur = np.array([0.0, 100.0, -50.0])
+        mask = zscore_outliers(ref, cur)
+        np.testing.assert_array_equal(mask, [False, True, True])
+
+    def test_zscore_never_flags_nan(self, rng):
+        mask = zscore_outliers(rng.normal(size=100), np.array([np.nan, 0.0]))
+        np.testing.assert_array_equal(mask, [False, False])
+
+    def test_zscore_constant_reference(self):
+        mask = zscore_outliers(np.ones(100), np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_mad_robust_to_contaminated_reference(self, rng):
+        # 10% of the reference is wildly corrupted; MAD stays calibrated.
+        ref = np.concatenate([rng.normal(size=900), rng.normal(loc=1000, size=100)])
+        cur = np.array([0.0, 20.0])
+        mask = mad_outliers(ref, cur)
+        np.testing.assert_array_equal(mask, [False, True])
+        # z-score, in contrast, is blown up by the contamination.
+        assert not zscore_outliers(ref, cur)[1]
+
+    def test_mad_needs_reference(self):
+        with pytest.raises(MonitoringError):
+            mad_outliers(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(MonitoringError):
+            zscore_outliers(np.array([1.0]), np.array([1.0]))

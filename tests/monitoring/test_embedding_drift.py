@@ -1,0 +1,101 @@
+"""Tests for repro.monitoring.embedding_drift."""
+
+import numpy as np
+import pytest
+from scipy.stats import ortho_group
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import MonitoringError
+from repro.monitoring.embedding_drift import (
+    EmbeddingDriftMonitor,
+    null_count_monitor_misses_embedding_drift,
+)
+from repro.monitoring.monitor import AlertLog
+
+
+@pytest.fixture
+def reference():
+    rng = np.random.default_rng(0)
+    return EmbeddingMatrix(vectors=rng.normal(size=(120, 12)))
+
+
+class TestEmbeddingDriftMonitor:
+    def test_identical_version_clean(self, reference):
+        monitor = EmbeddingDriftMonitor(reference)
+        report = monitor.check(reference)
+        assert not report.drifted
+        assert report.neighborhood_jaccard == pytest.approx(1.0)
+        assert report.mean_displacement == pytest.approx(0.0, abs=1e-8)
+
+    def test_pure_rotation_clean(self, reference):
+        rotation = ortho_group.rvs(reference.dim, random_state=1)
+        rotated = EmbeddingMatrix(vectors=reference.vectors @ rotation)
+        report = EmbeddingDriftMonitor(reference).check(rotated)
+        assert not report.drifted
+
+    def test_full_retrain_detected(self, reference):
+        rng = np.random.default_rng(9)
+        new = EmbeddingMatrix(vectors=rng.normal(size=reference.vectors.shape))
+        report = EmbeddingDriftMonitor(reference).check(new)
+        assert report.drifted
+        assert report.neighborhood_jaccard < 0.5
+
+    def test_partial_retrain_identifies_rows(self, reference):
+        rng = np.random.default_rng(3)
+        vectors = reference.vectors.copy()
+        changed = np.arange(0, 30)
+        vectors[changed] = rng.normal(size=(30, reference.dim)) * 2.0
+        report = EmbeddingDriftMonitor(reference).check(EmbeddingMatrix(vectors))
+        # Most flagged rows should be genuinely changed ones.
+        flagged = set(report.drifted_rows.tolist())
+        assert flagged
+        precision = len(flagged & set(changed.tolist())) / len(flagged)
+        assert precision > 0.7
+
+    def test_rescaling_detected_via_norm_shift(self, reference):
+        scaled = EmbeddingMatrix(vectors=reference.vectors * 3.0)
+        report = EmbeddingDriftMonitor(reference).check(scaled)
+        assert report.norm_shift == pytest.approx(2.0)
+        assert report.drifted
+
+    def test_alert_fired_to_log(self, reference):
+        log = AlertLog()
+        monitor = EmbeddingDriftMonitor(reference, log=log, name="driver_emb")
+        rng = np.random.default_rng(5)
+        monitor.check(
+            EmbeddingMatrix(vectors=rng.normal(size=reference.vectors.shape)),
+            timestamp=42.0,
+        )
+        assert len(log.of_kind("embedding")) == 1
+        assert log.alerts[0].column == "driver_emb"
+        assert log.alerts[0].timestamp == 42.0
+
+    def test_no_alert_when_clean(self, reference):
+        log = AlertLog()
+        EmbeddingDriftMonitor(reference, log=log).check(reference)
+        assert len(log) == 0
+
+    def test_reference_too_small(self):
+        with pytest.raises(MonitoringError):
+            EmbeddingDriftMonitor(
+                EmbeddingMatrix(vectors=np.zeros((5, 3))), k=10
+            )
+
+
+class TestNullCountBaseline:
+    def test_null_monitor_misses_rotation(self, reference):
+        rotation = ortho_group.rvs(reference.dim, random_state=1)
+        rotated = EmbeddingMatrix(vectors=reference.vectors @ rotation)
+        assert null_count_monitor_misses_embedding_drift(reference, rotated)
+
+    def test_null_monitor_misses_full_retrain(self, reference):
+        """The paper's central embedding-monitoring claim (section 3.1)."""
+        rng = np.random.default_rng(9)
+        retrained = EmbeddingMatrix(vectors=rng.normal(size=reference.vectors.shape))
+        # Tabular metric: silent. Embedding metric: alarms.
+        assert null_count_monitor_misses_embedding_drift(reference, retrained)
+        assert EmbeddingDriftMonitor(reference).check(retrained).drifted
+
+    def test_null_monitor_misses_rescaling(self, reference):
+        scaled = EmbeddingMatrix(vectors=reference.vectors * 100.0)
+        assert null_count_monitor_misses_embedding_drift(reference, scaled)

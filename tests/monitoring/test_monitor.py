@@ -1,0 +1,162 @@
+"""Tests for repro.monitoring.monitor and repro.monitoring.skew."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.monitor import (
+    Alert,
+    AlertLog,
+    FeatureMonitor,
+    FreshnessMonitor,
+    MonitorConfig,
+)
+from repro.monitoring.skew import training_serving_skew
+from repro.quality.profile import TableProfile, profile_categorical, profile_numeric
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def log():
+    return AlertLog()
+
+
+class TestAlertLog:
+    def test_filtering(self, log):
+        log.fire(Alert(0.0, "a", "drift", "m", 1.0))
+        log.fire(Alert(1.0, "b", "null_rate", "m", 1.0))
+        assert len(log) == 2
+        assert len(log.for_column("a")) == 1
+        assert len(log.of_kind("null_rate")) == 1
+
+
+class TestFeatureMonitor:
+    def test_clean_window_no_alerts(self, rng, log):
+        monitor = FeatureMonitor("x", rng.normal(size=2000), log)
+        fired = monitor.observe(rng.normal(size=500), timestamp=1.0)
+        assert fired == []
+        assert len(log) == 0
+
+    def test_mean_shift_fires_drift(self, rng, log):
+        monitor = FeatureMonitor("x", rng.normal(size=2000), log)
+        fired = monitor.observe(rng.normal(loc=3.0, size=500), timestamp=1.0)
+        assert any(a.kind == "drift" for a in fired)
+
+    def test_null_burst_fires_null_alert(self, rng, log):
+        monitor = FeatureMonitor("x", rng.normal(size=2000), log)
+        window = rng.normal(size=500)
+        window[:200] = np.nan
+        fired = monitor.observe(window, timestamp=1.0)
+        assert any(a.kind == "null_rate" for a in fired)
+
+    def test_outlier_rate_fires(self, rng, log):
+        monitor = FeatureMonitor("x", rng.normal(size=2000), log)
+        window = rng.normal(size=500)
+        window[:25] = 50.0  # 5% extreme outliers
+        fired = monitor.observe(window, timestamp=1.0)
+        assert any(a.kind == "outlier" for a in fired)
+
+    def test_alerts_accumulate_in_log(self, rng, log):
+        monitor = FeatureMonitor("x", rng.normal(size=2000), log)
+        monitor.observe(rng.normal(loc=5.0, size=500), timestamp=1.0)
+        monitor.observe(rng.normal(loc=5.0, size=500), timestamp=2.0)
+        assert len(log.for_column("x")) >= 2
+        assert monitor.windows_observed == 2
+
+    def test_small_reference_rejected(self, log):
+        with pytest.raises(MonitoringError):
+            FeatureMonitor("x", np.ones(5), log)
+
+    def test_empty_window_rejected(self, rng, log):
+        monitor = FeatureMonitor("x", rng.normal(size=100), log)
+        with pytest.raises(MonitoringError):
+            monitor.observe(np.array([]), timestamp=0.0)
+
+    def test_ks_can_be_disabled(self, rng, log):
+        config = MonitorConfig(use_ks=False)
+        monitor = FeatureMonitor("x", rng.normal(size=2000), log, config)
+        # Tiny shift: KS on large samples would flag it, PSI won't.
+        fired = monitor.observe(rng.normal(loc=0.05, size=1000), timestamp=1.0)
+        assert fired == []
+
+
+class TestFreshnessMonitor:
+    def test_fresh_value_silent(self, log):
+        monitor = FreshnessMonitor("view", max_staleness=100.0, log=log)
+        assert monitor.observe(last_event_time=50.0, now=100.0) is None
+        assert len(log) == 0
+
+    def test_stale_value_fires(self, log):
+        monitor = FreshnessMonitor("view", max_staleness=100.0, log=log)
+        alert = monitor.observe(last_event_time=0.0, now=500.0)
+        assert alert is not None
+        assert alert.kind == "freshness"
+        assert len(log) == 1
+
+    def test_never_materialized_fires(self, log):
+        monitor = FreshnessMonitor("view", max_staleness=100.0, log=log)
+        assert monitor.observe(last_event_time=None, now=0.0) is not None
+
+    def test_invalid_budget(self, log):
+        with pytest.raises(MonitoringError):
+            FreshnessMonitor("view", max_staleness=0.0, log=log)
+
+
+class TestTrainingServingSkew:
+    def make_profile(self, rng):
+        return TableProfile(
+            columns={
+                "x": profile_numeric("x", rng.normal(size=5000)),
+                "c": profile_categorical(
+                    "c", rng.integers(0, 4, size=5000).astype(np.int64), cardinality=4
+                ),
+            }
+        )
+
+    def test_no_skew_on_matching_serving(self, rng):
+        profile = self.make_profile(rng)
+        report = training_serving_skew(
+            profile,
+            {
+                "x": rng.normal(size=2000),
+                "c": rng.integers(0, 4, size=2000).astype(np.int64),
+            },
+        )
+        assert not report.any_skew
+
+    def test_numeric_shift_detected(self, rng):
+        profile = self.make_profile(rng)
+        report = training_serving_skew(
+            profile, {"x": rng.normal(loc=2.0, size=2000)}
+        )
+        assert report.skewed_columns == ["x"]
+        assert report.worst().column == "x"
+
+    def test_categorical_shift_detected(self, rng):
+        profile = self.make_profile(rng)
+        report = training_serving_skew(
+            profile, {"c": np.zeros(2000, dtype=np.int64)}
+        )
+        assert "c" in report.skewed_columns
+
+    def test_new_category_detected(self, rng):
+        profile = self.make_profile(rng)
+        serving = np.full(1000, 7, dtype=np.int64)  # unseen code
+        report = training_serving_skew(profile, {"c": serving})
+        assert "c" in report.skewed_columns
+
+    def test_null_rate_jump_detected(self, rng):
+        profile = self.make_profile(rng)
+        serving = rng.normal(size=2000)
+        serving[:600] = np.nan
+        report = training_serving_skew(profile, {"x": serving})
+        assert "x" in report.skewed_columns
+
+    def test_empty_report(self):
+        report = training_serving_skew(TableProfile(columns={}), {})
+        assert not report.any_skew
+        assert report.worst() is None

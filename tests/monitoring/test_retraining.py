@@ -1,0 +1,99 @@
+"""Tests for repro.monitoring.retraining."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.monitoring.monitor import Alert, AlertLog
+from repro.monitoring.retraining import RetrainingPolicy
+
+
+def alert(ts, column="fare", kind="drift"):
+    return Alert(timestamp=ts, column=column, kind=kind, message="", score=1.0)
+
+
+@pytest.fixture
+def policy():
+    return RetrainingPolicy(
+        watched_columns={"fare"},
+        drift_alert_threshold=3,
+        freshness_alert_threshold=2,
+        max_model_age=1_000_000.0,
+    )
+
+
+class TestRetrainingPolicy:
+    def test_quiet_monitoring_no_action(self, policy):
+        decision = policy.decide(AlertLog(), now=1000.0, model_trained_at=0.0)
+        assert decision.action == "none"
+        assert decision.model_age == 1000.0
+
+    def test_sustained_drift_retrains(self, policy):
+        log = AlertLog()
+        for ts in (100.0, 200.0, 300.0):
+            log.fire(alert(ts))
+        decision = policy.decide(log, now=1000.0, model_trained_at=0.0)
+        assert decision.action == "retrain"
+        assert decision.drift_alerts == 3
+
+    def test_below_threshold_drift_ignored(self, policy):
+        log = AlertLog()
+        log.fire(alert(100.0))
+        log.fire(alert(200.0))
+        decision = policy.decide(log, now=1000.0, model_trained_at=0.0)
+        assert decision.action == "none"
+
+    def test_embedding_alerts_count_as_drift(self, policy):
+        log = AlertLog()
+        for ts in (100.0, 200.0, 300.0):
+            log.fire(alert(ts, kind="embedding"))
+        decision = policy.decide(log, now=1000.0, model_trained_at=0.0)
+        assert decision.action == "retrain"
+
+    def test_freshness_triggers_refresh_not_retrain(self, policy):
+        log = AlertLog()
+        log.fire(alert(100.0, kind="freshness"))
+        log.fire(alert(200.0, kind="freshness"))
+        decision = policy.decide(log, now=1000.0, model_trained_at=0.0)
+        assert decision.action == "refresh_features"
+        assert decision.freshness_alerts == 2
+
+    def test_drift_outranks_freshness(self, policy):
+        log = AlertLog()
+        for ts in (1.0, 2.0, 3.0):
+            log.fire(alert(ts))
+        for ts in (4.0, 5.0):
+            log.fire(alert(ts, kind="freshness"))
+        assert policy.decide(log, 10.0, 0.0).action == "retrain"
+
+    def test_unwatched_columns_ignored(self, policy):
+        log = AlertLog()
+        for ts in (1.0, 2.0, 3.0):
+            log.fire(alert(ts, column="other"))
+        assert policy.decide(log, 10.0, 0.0).action == "none"
+
+    def test_old_alerts_outside_window_ignored(self):
+        policy = RetrainingPolicy(watched_columns={"fare"}, window=100.0)
+        log = AlertLog()
+        for ts in (1.0, 2.0, 3.0):
+            log.fire(alert(ts))
+        decision = policy.decide(log, now=1000.0, model_trained_at=0.0)
+        assert decision.action == "none"
+
+    def test_age_backstop(self):
+        policy = RetrainingPolicy(watched_columns={"fare"}, max_model_age=500.0)
+        decision = policy.decide(AlertLog(), now=1000.0, model_trained_at=0.0)
+        assert decision.action == "retrain"
+        assert "age" in decision.reason
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetrainingPolicy(watched_columns=set())
+        with pytest.raises(ValidationError):
+            RetrainingPolicy(watched_columns={"x"}, drift_alert_threshold=0)
+        with pytest.raises(ValidationError):
+            RetrainingPolicy(watched_columns={"x"}, max_model_age=0.0)
+        with pytest.raises(ValidationError):
+            RetrainingPolicy(watched_columns={"x"}, window=-1.0)
+        policy = RetrainingPolicy(watched_columns={"x"})
+        with pytest.raises(ValidationError):
+            policy.decide(AlertLog(), now=0.0, model_trained_at=1.0)

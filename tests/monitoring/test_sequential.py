@@ -1,0 +1,103 @@
+"""Tests for repro.monitoring.sequential."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.sequential import CusumDetector, PageHinkley
+
+
+@pytest.fixture
+def reference():
+    return np.random.default_rng(0).normal(10.0, 2.0, size=1000)
+
+
+def shifted_stream(reference_rng_seed=1, n_before=500, n_after=500, shift=3.0):
+    rng = np.random.default_rng(reference_rng_seed)
+    before = rng.normal(10.0, 2.0, size=n_before)
+    after = rng.normal(10.0 + shift * 2.0, 2.0, size=n_after)
+    return np.concatenate([before, after]), n_before
+
+
+@pytest.mark.parametrize("detector_cls", [PageHinkley, CusumDetector])
+class TestSequentialDetectors:
+    def test_no_false_alarm_on_stationary_stream(self, detector_cls, reference):
+        detector = detector_cls(reference)
+        stream = np.random.default_rng(2).normal(10.0, 2.0, size=2000)
+        assert detector.process(stream) is None
+        assert not detector.fired
+
+    def test_detects_large_shift_quickly(self, detector_cls, reference):
+        detector = detector_cls(reference)
+        stream, change_point = shifted_stream(shift=3.0)
+        fired_at = detector.process(stream)
+        assert fired_at is not None
+        delay = fired_at - change_point
+        assert 0 < delay < 50
+
+    def test_detects_downward_shift(self, detector_cls, reference):
+        detector = detector_cls(reference)
+        rng = np.random.default_rng(3)
+        stream = np.concatenate(
+            [rng.normal(10.0, 2.0, size=300), rng.normal(2.0, 2.0, size=300)]
+        )
+        fired_at = detector.process(stream)
+        assert fired_at is not None
+        assert fired_at > 300
+
+    def test_nan_values_skipped(self, detector_cls, reference):
+        detector = detector_cls(reference)
+        assert not detector.update(float("nan"))
+        assert detector.n_observed == 0
+
+    def test_fires_once_until_reset(self, detector_cls, reference):
+        detector = detector_cls(reference)
+        stream, __ = shifted_stream(shift=5.0)
+        first = detector.process(stream)
+        assert first is not None
+        # Further updates are ignored after firing.
+        assert not detector.update(1e6)
+        detector.reset()
+        assert not detector.fired
+        assert detector.process(stream) is not None
+
+    def test_small_reference_rejected(self, detector_cls):
+        with pytest.raises(MonitoringError):
+            detector_cls(np.ones(3))
+
+
+class TestDetectorSpecifics:
+    def test_page_hinkley_invalid_params(self, reference):
+        with pytest.raises(MonitoringError):
+            PageHinkley(reference, threshold=0.0)
+        with pytest.raises(MonitoringError):
+            PageHinkley(reference, delta=-1.0)
+
+    def test_cusum_invalid_params(self, reference):
+        with pytest.raises(MonitoringError):
+            CusumDetector(reference, h=0.0)
+        with pytest.raises(MonitoringError):
+            CusumDetector(reference, k=-0.1)
+
+    def test_cusum_slack_trades_sensitivity(self, reference):
+        """Higher slack k -> slower detection of a modest shift."""
+        stream, change_point = shifted_stream(shift=1.0)
+        tight = CusumDetector(reference, k=0.25, h=5.0)
+        loose = CusumDetector(reference, k=1.5, h=5.0)
+        tight_at = tight.process(stream)
+        loose_at = loose.process(stream)
+        assert tight_at is not None
+        assert loose_at is None or loose_at >= tight_at
+
+    def test_small_sustained_shift_eventually_detected(self, reference):
+        """Windowed tests need the shift to dominate a window; sequential
+        detectors accumulate evidence and catch subtle sustained shifts."""
+        rng = np.random.default_rng(5)
+        stream = np.concatenate(
+            [rng.normal(10.0, 2.0, size=300),
+             rng.normal(11.0, 2.0, size=2000)]  # only 0.5 sigma
+        )
+        detector = PageHinkley(reference)
+        fired_at = detector.process(stream)
+        assert fired_at is not None
+        assert fired_at > 300

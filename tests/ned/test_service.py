@@ -1,0 +1,141 @@
+"""Tests for repro.ned.service."""
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.core.embedding_store import EmbeddingStore, Provenance
+from repro.datagen.kb import KBConfig, MentionConfig, generate_kb, generate_mentions
+from repro.embeddings.training import train_entity_embeddings
+from repro.errors import CompatibilityError, ServingError, ValidationError
+from repro.ned.features import FEATURE_NAMES, CandidateFeaturizer, TypeClassifier
+from repro.ned.models import NedModel
+from repro.ned.service import DisambiguationService
+from repro.storage.offline import OfflineStore
+
+
+@pytest.fixture(scope="module")
+def world():
+    kb = generate_kb(KBConfig(n_entities=300, n_types=8, n_aliases=60), seed=0)
+    sample = generate_mentions(kb, MentionConfig(n_mentions=2000), seed=0)
+    train, dev = sample.split(0.8, seed=1)
+    entity_emb, token_emb = train_entity_embeddings(
+        train, kb.n_entities, sample.vocabulary.size, dim=32
+    )
+    type_clf = TypeClassifier(sample.vocabulary).fit(train, kb)
+    featurizer = CandidateFeaturizer(
+        kb, sample.vocabulary, entity_emb, token_emb, type_clf
+    )
+    model = NedModel(feature_subset=FEATURE_NAMES).fit(
+        featurizer.featurize_all(train)
+    )
+
+    store = EmbeddingStore(clock=SimClock())
+    store.register("entities", entity_emb, Provenance(trainer="ppmi_svd"))
+    store.register("tokens", token_emb, Provenance(trainer="ppmi_svd"))
+    return kb, sample, train, dev, model, type_clf, store, entity_emb, token_emb
+
+
+@pytest.fixture
+def service(world):
+    kb, sample, train, dev, model, type_clf, store, *_ = world
+    return DisambiguationService(
+        kb=kb,
+        vocabulary=sample.vocabulary,
+        embedding_store=store,
+        entity_embedding_name="entities",
+        token_embedding_name="tokens",
+        model=model,
+        type_classifier=type_clf,
+        offline=OfflineStore(),
+    )
+
+
+class TestServing:
+    def test_predictions_match_direct_model(self, world, service):
+        kb, sample, train, dev, model, type_clf, store, entity_emb, token_emb = world
+        featurizer = CandidateFeaturizer(
+            kb, sample.vocabulary, entity_emb, token_emb, type_clf
+        )
+        for mention in dev[:30]:
+            direct = model.predict(featurizer.featurize(mention))
+            served = service.disambiguate(mention)
+            assert served.predicted_entity == direct
+            assert served.predicted_entity in mention.candidates
+
+    def test_batch_accuracy_reasonable(self, world, service):
+        *_, dev, model, type_clf, store, entity_emb, token_emb = (
+            world[2], world[3], world[4], world[5], world[6], world[7], world[8],
+        )
+        results = service.disambiguate_batch(world[3][:300])
+        truth = [m.true_entity for m in world[3][:300]]
+        accuracy = np.mean([r.predicted_entity == t for r, t in zip(results, truth)])
+        assert accuracy > 0.8
+
+    def test_predictions_logged(self, world, service):
+        dev = world[3]
+        service.disambiguate_batch(dev[:50], timestamp=10.0)
+        assert len(service.offline.table("ned_predictions")) == 50
+        accuracy = service.prediction_accuracy()
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_accuracy_without_log_raises(self, world):
+        kb, sample, train, dev, model, type_clf, store, *_ = world
+        naked = DisambiguationService(
+            kb=kb, vocabulary=sample.vocabulary, embedding_store=store,
+            entity_embedding_name="entities", token_embedding_name="tokens",
+            model=model, type_classifier=type_clf,
+        )
+        with pytest.raises(ServingError):
+            naked.prediction_accuracy()
+        with pytest.raises(ValidationError):
+            service_with_log = DisambiguationService(
+                kb=kb, vocabulary=sample.vocabulary, embedding_store=store,
+                entity_embedding_name="entities", token_embedding_name="tokens",
+                model=model, type_classifier=type_clf, offline=OfflineStore(),
+            )
+            service_with_log.prediction_accuracy()
+
+
+class TestUpgrades:
+    def test_incompatible_upgrade_blocked(self, world, service):
+        kb, sample, *_ , store, entity_emb, token_emb = (
+            world[0], world[1], world[6], world[7], world[8]
+        )
+        store = world[6]
+        rng = np.random.default_rng(9)
+        from repro.embeddings.base import EmbeddingMatrix
+
+        store.register(
+            "entities",
+            EmbeddingMatrix(vectors=rng.normal(size=world[7].vectors.shape)),
+            Provenance(trainer="retrain", parent_version=1),
+        )
+        with pytest.raises(CompatibilityError):
+            service.upgrade_embeddings()
+        # Pin unchanged, serving still works.
+        assert service.pinned_entity_version == 1
+        service.disambiguate(world[3][0])
+
+    def test_compatible_upgrade_repins(self, world, service):
+        store = world[6]
+        from repro.embeddings.base import EmbeddingMatrix
+
+        # Register a compatible version (identical vectors) and mark it
+        # against the service's CURRENT pin (the store is module-scoped, so
+        # earlier tests may have registered other versions).
+        pinned = service.pinned_entity_version
+        record = store.register(
+            "entities",
+            EmbeddingMatrix(vectors=world[7].vectors.copy()),
+            Provenance(trainer="patch", parent_version=pinned),
+        )
+        store.mark_compatible("entities", pinned, record.version)
+        entity_v, token_v = service.upgrade_embeddings(
+            entity_version=record.version, token_version=1
+        )
+        assert entity_v == record.version
+        assert service.pinned_entity_version == record.version
+        # Serving proceeds with the new pin.
+        result = service.disambiguate(world[3][1])
+        assert result.predicted_entity in world[3][1].candidates

@@ -1,0 +1,134 @@
+"""Tests for repro.patching.outcome."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import ValidationError
+from repro.models.linear import LogisticRegression
+from repro.patching.outcome import (
+    OutcomeEstimate,
+    PatchOutcomePredictor,
+    choose_propagation,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """An embedding whose tail rows are garbage, plus a trained consumer."""
+    rng = np.random.default_rng(0)
+    n, dim, k = 300, 16, 4
+    types = rng.integers(0, k, size=n)
+    type_directions = rng.normal(size=(k, dim)) * 3.0
+    clean = type_directions[types] + rng.normal(size=(n, dim)) * 0.3
+    broken = clean.copy()
+    tail = np.arange(200, 300)
+    broken[tail] = rng.normal(size=(100, dim)) * 0.01  # uninformative rows
+
+    eval_entities = rng.integers(0, n, size=1500)
+    labels = types[eval_entities]
+    train_entities = rng.integers(0, 200, size=1500)  # head only
+    model = LogisticRegression(epochs=150).fit(
+        clean[train_entities], types[train_entities]
+    )
+    return (
+        EmbeddingMatrix(broken),
+        EmbeddingMatrix(clean),
+        tail,
+        model,
+        eval_entities,
+        labels,
+    )
+
+
+class TestPatchOutcomePredictor:
+    def test_good_patch_ships(self, world):
+        broken, clean, tail, model, entities, labels = world
+        predictor = PatchOutcomePredictor()
+        predictor.add_consumer("segment", model, entities, labels)
+        decision = predictor.rehearse(broken, clean, tail)
+        assert decision.ship
+        [estimate] = decision.estimates
+        assert estimate.slice_gain > 0.2
+        assert estimate.rest_regression < 0.01
+
+    def test_harmful_patch_held(self, world):
+        broken, clean, tail, model, entities, labels = world
+        rng = np.random.default_rng(5)
+        harmful = clean.vectors.copy()
+        harmful[tail] = rng.normal(size=(len(tail), clean.dim)) * 5.0
+        predictor = PatchOutcomePredictor()
+        predictor.add_consumer("segment", model, entities, labels)
+        decision = predictor.rehearse(broken, EmbeddingMatrix(harmful), tail)
+        assert not decision.ship
+        assert "slice gain" in decision.reason
+
+    def test_regression_patch_held(self, world):
+        broken, clean, tail, model, entities, labels = world
+        rng = np.random.default_rng(6)
+        regressing = clean.vectors.copy()
+        head = np.arange(0, 200)
+        regressing[head] = rng.normal(size=(len(head), clean.dim))  # break head
+        predictor = PatchOutcomePredictor(max_rest_regression=0.01)
+        predictor.add_consumer("segment", model, entities, labels)
+        decision = predictor.rehearse(broken, EmbeddingMatrix(regressing), tail)
+        assert not decision.ship
+
+    def test_multiple_consumers_all_must_pass(self, world):
+        broken, clean, tail, model, entities, labels = world
+        predictor = PatchOutcomePredictor()
+        predictor.add_consumer("a", model, entities, labels)
+        # Second consumer with shuffled labels: the patch cannot help it.
+        rng = np.random.default_rng(7)
+        predictor.add_consumer("b", model, entities, rng.permutation(labels))
+        decision = predictor.rehearse(broken, clean, tail)
+        assert not decision.ship
+        assert "b" in decision.reason
+
+    def test_validation(self, world):
+        broken, clean, tail, model, entities, labels = world
+        predictor = PatchOutcomePredictor()
+        with pytest.raises(ValidationError):
+            predictor.rehearse(broken, clean, tail)  # no consumers
+        predictor.add_consumer("a", model, entities, labels)
+        with pytest.raises(ValidationError):
+            predictor.rehearse(broken, clean, np.array([], dtype=np.int64))
+        with pytest.raises(ValidationError):
+            predictor.add_consumer("bad", model, entities[:3], labels[:2])
+        with pytest.raises(ValidationError):
+            predictor.add_consumer("bad", object(), entities, labels)
+        with pytest.raises(ValidationError):
+            PatchOutcomePredictor(min_slice_gain=-1.0)
+
+
+class TestChoosePropagation:
+    def make(self, slice_gain, rest_regression, slice_before=0.5):
+        return OutcomeEstimate(
+            model_name="m",
+            slice_before=slice_before,
+            slice_after=slice_before + slice_gain,
+            rest_before=0.9,
+            rest_after=0.9 - rest_regression,
+        )
+
+    def test_clear_win_serves(self):
+        assert choose_propagation(self.make(0.2, 0.0)) == "serve"
+
+    def test_negative_gain_holds(self):
+        assert choose_propagation(self.make(-0.1, 0.0)) == "hold"
+
+    def test_marginal_gain_retrains(self):
+        assert choose_propagation(self.make(0.005, 0.0)) == "retrain"
+
+    def test_regression_retrains(self):
+        assert choose_propagation(self.make(0.2, 0.05)) == "retrain"
+
+    def test_untouched_consumer_serves(self):
+        estimate = OutcomeEstimate(
+            model_name="m",
+            slice_before=float("nan"),
+            slice_after=float("nan"),
+            rest_before=0.9,
+            rest_after=0.9,
+        )
+        assert choose_propagation(estimate) == "serve"

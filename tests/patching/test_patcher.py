@@ -1,0 +1,262 @@
+"""Tests for repro.patching.patcher, augmentation and report."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.kb import KBConfig, MentionConfig, generate_kb, generate_mentions
+from repro.datagen.tasks import generate_entity_task
+from repro.embeddings.base import EmbeddingMatrix
+from repro.embeddings.training import train_entity_embeddings
+from repro.errors import ValidationError
+from repro.models.linear import LogisticRegression
+from repro.ned.evaluation import tail_entity_ids
+from repro.patching.augmentation import augment_slice, oversample_slice
+from repro.patching.patcher import EmbeddingPatcher
+from repro.patching.report import build_report
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    kb = generate_kb(KBConfig(n_entities=400, n_types=8, n_aliases=80), seed=0)
+    sample = generate_mentions(kb, MentionConfig(n_mentions=2500), seed=0)
+    train_mentions, __ = sample.split(0.9, seed=1)
+    entity_emb, token_emb = train_entity_embeddings(
+        train_mentions, kb.n_entities, sample.vocabulary.size, dim=32
+    )
+    tails = tail_entity_ids(train_mentions, kb.n_entities, tail_threshold=2)
+    patcher = EmbeddingPatcher(kb, sample.vocabulary, token_emb)
+    return kb, sample, entity_emb, token_emb, tails, patcher
+
+
+class TestStructuralImputation:
+    def test_only_target_rows_change(self, ecosystem):
+        __, __, entity_emb, __, tails, patcher = ecosystem
+        outcome = patcher.impute_from_structure(entity_emb, tails[:10])
+        unchanged = np.setdiff1d(np.arange(entity_emb.n), tails[:10])
+        np.testing.assert_array_equal(
+            outcome.embedding.vectors[unchanged], entity_emb.vectors[unchanged]
+        )
+        assert not np.allclose(
+            outcome.embedding.vectors[tails[:10]], entity_emb.vectors[tails[:10]]
+        )
+
+    def test_patched_norms_healthy(self, ecosystem):
+        __, __, entity_emb, __, tails, patcher = ecosystem
+        outcome = patcher.impute_from_structure(entity_emb, tails)
+        healthy = np.median(
+            np.linalg.norm(
+                entity_emb.vectors[np.setdiff1d(np.arange(entity_emb.n), tails)],
+                axis=1,
+            )
+        )
+        patched_norms = np.linalg.norm(outcome.embedding.vectors[tails], axis=1)
+        assert np.allclose(patched_norms, healthy, rtol=1e-6)
+        assert outcome.mean_norm_after > outcome.mean_norm_before
+
+    def test_fixed_downstream_model_improves_on_tail(self, ecosystem):
+        """The paper's consistency claim: patch the embedding once, a model
+        trained on the OLD embedding improves at serve time."""
+        kb, __, entity_emb, __, tails, patcher = ecosystem
+        task = generate_entity_task(
+            4000, kb.types, n_classes=kb.n_types, label_noise=0.02, seed=1
+        )
+        train, test = task.split(0.7, seed=0)
+        model = LogisticRegression(epochs=200).fit(
+            entity_emb.vectors[train.entity_ids], train.labels
+        )
+        tail_mask = np.isin(test.entity_ids, tails)
+        assert tail_mask.sum() > 30
+
+        before = np.mean(
+            model.predict(entity_emb.vectors[test.entity_ids])[tail_mask]
+            == test.labels[tail_mask]
+        )
+        patched = patcher.impute_from_structure(entity_emb, tails).embedding
+        after = np.mean(
+            model.predict(patched.vectors[test.entity_ids])[tail_mask]
+            == test.labels[tail_mask]
+        )
+        assert after - before > 0.1
+
+    def test_patch_benefits_all_downstream_models(self, ecosystem):
+        kb, __, entity_emb, __, tails, patcher = ecosystem
+        patched = patcher.impute_from_structure(entity_emb, tails).embedding
+        improvements = []
+        for seed, attribute in [(1, kb.types), (2, kb.types % 2)]:
+            task = generate_entity_task(
+                4000,
+                attribute,
+                n_classes=int(attribute.max()) + 1,
+                label_noise=0.02,
+                seed=seed,
+            )
+            train, test = task.split(0.7, seed=0)
+            model = LogisticRegression(epochs=200).fit(
+                entity_emb.vectors[train.entity_ids], train.labels
+            )
+            tail_mask = np.isin(test.entity_ids, tails)
+            before = np.mean(
+                model.predict(entity_emb.vectors[test.entity_ids])[tail_mask]
+                == test.labels[tail_mask]
+            )
+            after = np.mean(
+                model.predict(patched.vectors[test.entity_ids])[tail_mask]
+                == test.labels[tail_mask]
+            )
+            improvements.append(after - before)
+        assert all(delta > 0.05 for delta in improvements)
+
+    def test_validation(self, ecosystem):
+        __, __, entity_emb, __, __, patcher = ecosystem
+        with pytest.raises(ValidationError):
+            patcher.impute_from_structure(entity_emb, np.array([], dtype=np.int64))
+        with pytest.raises(ValidationError):
+            patcher.impute_from_structure(entity_emb, np.array([99999]))
+        small = EmbeddingMatrix(vectors=np.zeros((3, 32)))
+        with pytest.raises(ValidationError):
+            patcher.impute_from_structure(small, np.array([0]))
+
+
+class TestMentionPatching:
+    def test_synthetic_mentions_are_structured(self, ecosystem):
+        kb, sample, __, __, tails, patcher = ecosystem
+        mentions = patcher.generate_structured_mentions(tails[:5], n_per_entity=4)
+        assert len(mentions) == 20
+        vocab = sample.vocabulary
+        for m in mentions:
+            # Only type or relation tokens appear.
+            assert (
+                (m.context >= vocab.type_offset) & (m.context < vocab.noise_offset)
+            ).all()
+
+    def test_patch_with_mentions_improves_tail(self, ecosystem):
+        kb, __, entity_emb, __, tails, patcher = ecosystem
+        task = generate_entity_task(
+            4000, kb.types, n_classes=kb.n_types, label_noise=0.02, seed=1
+        )
+        train, test = task.split(0.7, seed=0)
+        model = LogisticRegression(epochs=200).fit(
+            entity_emb.vectors[train.entity_ids], train.labels
+        )
+        tail_mask = np.isin(test.entity_ids, tails)
+        synthetic = patcher.generate_structured_mentions(tails, n_per_entity=10)
+        patched = patcher.patch_with_mentions(entity_emb, synthetic).embedding
+        before = np.mean(
+            model.predict(entity_emb.vectors[test.entity_ids])[tail_mask]
+            == test.labels[tail_mask]
+        )
+        after = np.mean(
+            model.predict(patched.vectors[test.entity_ids])[tail_mask]
+            == test.labels[tail_mask]
+        )
+        assert after > before
+
+    def test_empty_mentions_rejected(self, ecosystem):
+        __, __, entity_emb, __, __, patcher = ecosystem
+        with pytest.raises(ValidationError):
+            patcher.patch_with_mentions(entity_emb, [])
+
+    def test_generate_validation(self, ecosystem):
+        __, __, __, __, tails, patcher = ecosystem
+        with pytest.raises(ValidationError):
+            patcher.generate_structured_mentions(tails[:2], n_per_entity=0)
+        with pytest.raises(ValidationError):
+            patcher.generate_structured_mentions(tails[:2], type_rate=2.0)
+
+
+class TestAugmentation:
+    def test_oversample_counts(self):
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        y = np.arange(10)
+        mask = np.zeros(10, dtype=bool)
+        mask[:4] = True
+        extra_X, extra_y = oversample_slice(X, y, mask, factor=2.0, seed=0)
+        assert len(extra_X) == 8
+        # All sampled rows come from the slice.
+        assert set(extra_y.tolist()) <= {0, 1, 2, 3}
+
+    def test_augment_jitters_features(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = np.zeros(100, dtype=np.int64)
+        mask = np.ones(100, dtype=bool)
+        extra_X, extra_y = augment_slice(X, y, mask, factor=1.0, noise_scale=0.5, seed=0)
+        assert len(extra_X) == 100
+        # Jittered rows are near but not identical to originals.
+        assert not any((extra_X == X[i]).all() for i in range(5))
+
+    def test_zero_noise_is_oversampling(self):
+        X = np.ones((10, 2))
+        y = np.zeros(10, dtype=np.int64)
+        mask = np.ones(10, dtype=bool)
+        extra_X, __ = augment_slice(X, y, mask, noise_scale=0.0, seed=0)
+        np.testing.assert_allclose(extra_X, 1.0)
+
+    def test_validation(self):
+        X = np.ones((4, 2))
+        y = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ValidationError):
+            oversample_slice(X, y, np.zeros(4, dtype=bool))
+        with pytest.raises(ValidationError):
+            oversample_slice(X, y, np.ones(4, dtype=bool), factor=0.0)
+        with pytest.raises(ValidationError):
+            augment_slice(X, y, np.ones(4, dtype=bool), noise_scale=-1.0)
+        with pytest.raises(ValidationError):
+            oversample_slice(X, y[:2], np.ones(4, dtype=bool))
+
+
+class TestSubpopulationReport:
+    def test_report_structure(self):
+        labels = np.array([0, 1, 0, 1])
+        predictions = {
+            "good": np.array([0, 1, 0, 1]),
+            "bad": np.array([1, 0, 1, 0]),
+        }
+        metadata = {"g": np.array([0, 0, 1, 1])}
+        report = build_report(
+            predictions,
+            labels,
+            metadata,
+            {"group0": lambda m: m["g"] == 0},
+        )
+        assert report.accuracy_of("good", "overall") == 1.0
+        assert report.accuracy_of("bad", "group0") == 0.0
+        assert report.cells["good"]["group0"][1] == 2
+
+    def test_worst_slice_and_gap(self):
+        labels = np.array([0, 0, 0, 0])
+        predictions = {"m": np.array([0, 0, 1, 1])}
+        metadata = {"g": np.array([0, 0, 1, 1])}
+        report = build_report(
+            predictions,
+            labels,
+            metadata,
+            {
+                "g0": lambda m: m["g"] == 0,
+                "g1": lambda m: m["g"] == 1,
+            },
+        )
+        name, acc = report.worst_slice("m")
+        assert name == "g1"
+        assert acc == 0.0
+        assert report.gap("m") == 0.5
+
+    def test_to_text_contains_all_cells(self):
+        labels = np.array([0, 1])
+        report = build_report(
+            {"m": np.array([0, 1])},
+            labels,
+            {},
+            {},
+        )
+        text = report.to_text()
+        assert "overall" in text
+        assert "m" in text
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            build_report({}, np.array([0]), {}, {})
+        with pytest.raises(ValidationError):
+            build_report(
+                {"m": np.array([0, 1])}, np.array([0]), {}, {}
+            )

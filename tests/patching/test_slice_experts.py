@@ -1,0 +1,109 @@
+"""Tests for repro.patching.slice_experts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError, ValidationError
+from repro.models.linear import LogisticRegression
+from repro.patching.slice_experts import SliceExpertModel
+
+
+def make_slice_task(n=4000, seed=0):
+    """Binary task whose decision boundary FLIPS inside one slice.
+
+    A single global linear model cannot fit both regions; a slice expert
+    can. Ground truth: y = x0 > 0 outside the slice, y = x0 < 0 inside.
+    """
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    in_slice = rng.random(n) < 0.25
+    y = (X[:, 0] > 0).astype(np.int64)
+    y[in_slice] = (X[in_slice, 0] < 0).astype(np.int64)
+    return X, y, in_slice
+
+
+class TestSliceExpertModel:
+    def test_expert_fixes_flipped_slice(self):
+        X, y, in_slice = make_slice_task()
+        cut = 3000
+        slices_train = {"flipped": in_slice[:cut]}
+        slices_test = {"flipped": in_slice[cut:]}
+
+        baseline = LogisticRegression(epochs=150).fit(X[:cut], y[:cut])
+        base_slice_acc = np.mean(
+            baseline.predict(X[cut:])[slices_test["flipped"]]
+            == y[cut:][slices_test["flipped"]]
+        )
+
+        model = SliceExpertModel(seed=0).fit(X[:cut], y[:cut], slices_train)
+        predictions = model.predict(X[cut:], slices_test)
+        expert_slice_acc = np.mean(
+            predictions[slices_test["flipped"]] == y[cut:][slices_test["flipped"]]
+        )
+        off_slice_acc = np.mean(
+            predictions[~slices_test["flipped"]] == y[cut:][~slices_test["flipped"]]
+        )
+
+        assert "flipped" in model.active_experts()
+        assert expert_slice_acc > base_slice_acc + 0.2
+        assert off_slice_acc > 0.85
+
+    def test_useless_expert_dropped(self):
+        # Uniform task: the slice is not special, expert adds nothing.
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(2000, 4))
+        y = (X[:, 0] > 0).astype(np.int64)
+        slices = {"random": rng.random(2000) < 0.3}
+        model = SliceExpertModel(seed=0).fit(X, y, slices)
+        assert model.active_experts() == {}
+
+    def test_dropped_expert_never_hurts(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(2000, 4))
+        y = (X[:, 0] > 0).astype(np.int64)
+        slices = {"random": rng.random(2000) < 0.3}
+        model = SliceExpertModel(seed=0).fit(X, y, slices)
+        baseline = LogisticRegression(epochs=150).fit(X, y)
+        np.testing.assert_array_equal(
+            model.predict(X, slices), baseline.predict(X)
+        )
+
+    def test_small_slice_skipped(self):
+        X, y, in_slice = make_slice_task(n=400)
+        tiny = np.zeros(400, dtype=bool)
+        tiny[:10] = True
+        model = SliceExpertModel(min_slice_size=50, seed=0).fit(
+            X, y, {"tiny": tiny}
+        )
+        assert "tiny" not in model.active_experts()
+
+    def test_missing_inference_slice_falls_back_to_backbone(self):
+        X, y, in_slice = make_slice_task()
+        model = SliceExpertModel(seed=0).fit(X, y, {"flipped": in_slice})
+        # Without the mask at inference, behave exactly like the backbone.
+        predictions = model.predict(X[:100], {})
+        backbone = model.backbone.predict(X[:100])
+        np.testing.assert_array_equal(predictions, backbone)
+
+    def test_proba_normalized(self):
+        X, y, in_slice = make_slice_task()
+        model = SliceExpertModel(seed=0).fit(X, y, {"flipped": in_slice})
+        probs = model.predict_proba(X[:200], {"flipped": in_slice[:200]})
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            SliceExpertModel().predict(np.zeros((1, 2)), {})
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SliceExpertModel(validation_fraction=0.0)
+        with pytest.raises(ValidationError):
+            SliceExpertModel(min_slice_size=1)
+        X, y, in_slice = make_slice_task(n=200)
+        with pytest.raises(ValidationError):
+            SliceExpertModel().fit(X, y, {"bad": in_slice[:10]})
+        model = SliceExpertModel(seed=0).fit(X, y, {"flipped": in_slice})
+        if model.active_experts():
+            with pytest.raises(ValidationError):
+                model.predict(X, {"flipped": in_slice[:5]})

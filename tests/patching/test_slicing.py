@@ -1,0 +1,104 @@
+"""Tests for repro.patching.slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.patching.slicing import SliceFinder
+
+
+def planted_setup(n=6000, slice_rate=0.4, base_rate=0.05, seed=0):
+    """Errors elevated on city==2; uniform elsewhere."""
+    rng = np.random.default_rng(seed)
+    metadata = {
+        "city": rng.integers(0, 5, size=n).astype(np.int64),
+        "device": rng.integers(0, 3, size=n).astype(np.int64),
+    }
+    errors = rng.random(n) < base_rate
+    target = metadata["city"] == 2
+    errors |= target & (rng.random(n) < slice_rate)
+    return metadata, errors
+
+
+class TestSliceFinder:
+    def test_recovers_planted_slice(self):
+        metadata, errors = planted_setup()
+        found = SliceFinder().find(metadata, errors)
+        assert found
+        assert found[0].predicates[0] == ("city", 2) or any(
+            ("city", 2) in s.predicates for s in found[:2]
+        )
+
+    def test_no_false_positives_on_uniform_errors(self):
+        rng = np.random.default_rng(1)
+        metadata = {
+            "city": rng.integers(0, 5, size=5000).astype(np.int64),
+            "device": rng.integers(0, 3, size=5000).astype(np.int64),
+        }
+        errors = rng.random(5000) < 0.1
+        found = SliceFinder().find(metadata, errors)
+        assert found == []
+
+    def test_depth_two_conjunction_found(self):
+        rng = np.random.default_rng(2)
+        n = 12000
+        metadata = {
+            "city": rng.integers(0, 4, size=n).astype(np.int64),
+            "device": rng.integers(0, 3, size=n).astype(np.int64),
+        }
+        errors = rng.random(n) < 0.03
+        target = (metadata["city"] == 1) & (metadata["device"] == 2)
+        errors |= target & (rng.random(n) < 0.5)
+        found = SliceFinder(min_support=20).find(metadata, errors)
+        names = [s.name for s in found]
+        assert any("city=1" in n and "device=2" in n for n in names)
+
+    def test_conjunction_suppressed_when_parent_explains(self):
+        # All errors explained by city=2 alone; city=2 & device=X adds nothing.
+        metadata, errors = planted_setup(n=10000, slice_rate=0.5)
+        found = SliceFinder().find(metadata, errors)
+        top_names = [s.name for s in found]
+        parent_rank = top_names.index(
+            next(n for n in top_names if n == "city=2")
+        )
+        # The bare predicate must be present and ranked at/above conjunctions.
+        for s in found:
+            if len(s.predicates) == 2 and ("city", 2) in s.predicates:
+                assert s.error_rate > found[parent_rank].error_rate * 1.05
+
+    def test_min_support_respected(self):
+        metadata, errors = planted_setup(n=200)
+        found = SliceFinder(min_support=50).find(metadata, errors)
+        assert all(s.support >= 50 for s in found)
+
+    def test_slice_statistics_consistent(self):
+        metadata, errors = planted_setup()
+        for s in SliceFinder().find(metadata, errors):
+            assert s.support == int(s.mask.sum())
+            assert s.error_rate == pytest.approx(errors[s.mask].mean())
+            assert s.lift >= 1.5
+            assert 0 <= s.p_value <= 1
+
+    def test_null_metadata_values_ignored(self):
+        metadata, errors = planted_setup()
+        metadata["city"][:100] = -1
+        found = SliceFinder().find(metadata, errors)
+        assert all(
+            value >= 0 for s in found for __, value in s.predicates
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SliceFinder(min_support=0)
+        with pytest.raises(ValidationError):
+            SliceFinder(max_depth=3)
+        with pytest.raises(ValidationError):
+            SliceFinder(alpha=1.5)
+        with pytest.raises(ValidationError):
+            SliceFinder(min_lift=0.5)
+        with pytest.raises(ValidationError):
+            SliceFinder().find({}, np.array([], dtype=bool))
+        with pytest.raises(ValidationError):
+            SliceFinder().find(
+                {"m": np.zeros(3, dtype=np.int64)}, np.zeros(4, dtype=bool)
+            )

@@ -1,0 +1,129 @@
+"""Tests for repro.patching.weak_supervision."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError, ValidationError
+from repro.patching.weak_supervision import (
+    ABSTAIN,
+    LabelModel,
+    LabelingFunction,
+    apply_labeling_functions,
+    majority_vote,
+)
+
+
+def synthetic_votes(
+    n=3000,
+    n_classes=2,
+    accuracies=(0.9, 0.85, 0.6, 0.55, 0.55),
+    coverage=0.8,
+    seed=0,
+):
+    """Simulated labeling functions with known accuracies."""
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, n_classes, size=n)
+    matrix = np.full((n, len(accuracies)), ABSTAIN, dtype=np.int64)
+    for j, acc in enumerate(accuracies):
+        votes = rng.random(n) < coverage
+        correct = rng.random(n) < acc
+        wrong = (truth + rng.integers(1, n_classes, size=n)) % n_classes
+        matrix[votes & correct, j] = truth[votes & correct]
+        matrix[votes & ~correct, j] = wrong[votes & ~correct]
+    return matrix, truth
+
+
+class TestLabelingFunctions:
+    def test_apply_builds_matrix(self):
+        lfs = [
+            LabelingFunction("positive", lambda x: 1 if x > 0 else 0),
+            LabelingFunction("abstainer", lambda x: ABSTAIN),
+        ]
+        matrix = apply_labeling_functions(lfs, [1.0, -1.0])
+        np.testing.assert_array_equal(matrix, [[1, ABSTAIN], [0, ABSTAIN]])
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(ValidationError):
+            apply_labeling_functions([], [1])
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        matrix = np.array([[1, 1, 0], [0, 0, 1]])
+        np.testing.assert_array_equal(majority_vote(matrix, 2), [1, 0])
+
+    def test_abstains_ignored(self):
+        matrix = np.array([[ABSTAIN, 1, ABSTAIN]])
+        assert majority_vote(matrix, 2)[0] == 1
+
+    def test_all_abstain_random_but_valid(self):
+        matrix = np.full((10, 3), ABSTAIN)
+        votes = majority_vote(matrix, 4, seed=0)
+        assert ((votes >= 0) & (votes < 4)).all()
+
+    def test_deterministic_given_seed(self):
+        matrix = np.array([[0, 1]] * 20)  # all ties
+        a = majority_vote(matrix, 2, seed=3)
+        b = majority_vote(matrix, 2, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_n_classes_validated(self):
+        with pytest.raises(ValidationError):
+            majority_vote(np.array([[0]]), 1)
+
+
+class TestLabelModel:
+    def test_recovers_accuracies(self):
+        matrix, truth = synthetic_votes()
+        model = LabelModel(n_classes=2).fit(matrix)
+        # High-accuracy functions should be scored above low-accuracy ones.
+        assert model.accuracies[0] > model.accuracies[2]
+        assert model.accuracies[0] > 0.8
+        assert model.accuracies[3] < 0.7
+
+    def test_beats_majority_vote(self):
+        """The Snorkel claim (E12): the label model outperforms majority vote
+        when function accuracies are heterogeneous."""
+        matrix, truth = synthetic_votes(
+            accuracies=(0.95, 0.9, 0.55, 0.55, 0.55, 0.55, 0.55), seed=1
+        )
+        model = LabelModel(n_classes=2).fit(matrix)
+        lm_acc = np.mean(model.predict(matrix) == truth)
+        mv_acc = np.mean(majority_vote(matrix, 2, seed=0) == truth)
+        assert lm_acc > mv_acc
+
+    def test_probabilistic_output_normalized(self):
+        matrix, __ = synthetic_votes()
+        model = LabelModel(n_classes=2).fit(matrix)
+        probs = model.predict_proba(matrix)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_multiclass(self):
+        matrix, truth = synthetic_votes(
+            n_classes=4, accuracies=(0.9, 0.8, 0.7, 0.6), seed=2
+        )
+        model = LabelModel(n_classes=4).fit(matrix)
+        assert np.mean(model.predict(matrix) == truth) > 0.75
+
+    def test_handles_all_abstain_rows(self):
+        matrix, __ = synthetic_votes(coverage=0.5)
+        model = LabelModel(n_classes=2).fit(matrix)
+        probs = model.predict_proba(np.full((3, matrix.shape[1]), ABSTAIN))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            LabelModel(n_classes=2).predict(np.array([[0]]))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LabelModel(n_classes=1)
+        with pytest.raises(ValidationError):
+            LabelModel(n_classes=2, n_iterations=0)
+        with pytest.raises(ValidationError):
+            LabelModel(n_classes=2).fit(np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            LabelModel(n_classes=2).fit(np.array([[5]]))
+        with pytest.raises(TrainingError):
+            LabelModel(n_classes=2).fit(np.zeros((0, 2), dtype=np.int64))

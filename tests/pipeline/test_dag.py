@@ -1,0 +1,97 @@
+"""Tests for repro.pipeline.dag."""
+
+import pytest
+
+from repro.errors import PipelineError, ValidationError
+from repro.pipeline.dag import Pipeline, Stage
+
+
+def make_pipeline():
+    pipeline = Pipeline()
+    pipeline.add_stage("ingest", lambda ctx: {"rows": 10})
+    pipeline.add_stage(
+        "featurize", lambda ctx: {"features": ctx["rows"] * 2}, depends_on=("ingest",)
+    )
+    pipeline.add_stage(
+        "train", lambda ctx: {"model": f"m({ctx['features']})"}, depends_on=("featurize",)
+    )
+    return pipeline
+
+
+class TestPipeline:
+    def test_runs_in_dependency_order(self):
+        context, results = make_pipeline().run()
+        assert context["model"] == "m(20)"
+        assert [r.stage for r in results] == ["ingest", "featurize", "train"]
+        assert all(r.status == "ok" for r in results)
+
+    def test_execution_order_deterministic(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("b", lambda ctx: None)
+        pipeline.add_stage("a", lambda ctx: None)
+        pipeline.add_stage("c", lambda ctx: None, depends_on=("a", "b"))
+        assert pipeline.execution_order() == ["a", "b", "c"]
+
+    def test_initial_context_passed_through(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("s", lambda ctx: {"out": ctx["seed"] + 1})
+        context, __ = pipeline.run({"seed": 41})
+        assert context["out"] == 42
+
+    def test_stage_returning_none_is_ok(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("noop", lambda ctx: None)
+        __, results = pipeline.run()
+        assert results[0].status == "ok"
+
+    def test_duplicate_stage_rejected(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("s", lambda ctx: None)
+        with pytest.raises(ValidationError):
+            pipeline.add_stage("s", lambda ctx: None)
+
+    def test_unknown_dependency_rejected(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("s", lambda ctx: None, depends_on=("ghost",))
+        with pytest.raises(ValidationError):
+            pipeline.run()
+
+    def test_cycle_rejected(self):
+        pipeline = Pipeline()
+        pipeline.add(Stage("a", lambda ctx: None, depends_on=("b",)))
+        pipeline.add(Stage("b", lambda ctx: None, depends_on=("a",)))
+        with pytest.raises(ValidationError):
+            pipeline.run()
+
+    def test_failure_raises_by_default(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("boom", lambda ctx: 1 / 0)
+        with pytest.raises(PipelineError):
+            pipeline.run()
+
+    def test_failure_skips_dependents_when_continuing(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("boom", lambda ctx: 1 / 0)
+        pipeline.add_stage("after", lambda ctx: {"x": 1}, depends_on=("boom",))
+        pipeline.add_stage("independent", lambda ctx: {"y": 2})
+        context, results = pipeline.run(stop_on_failure=False)
+        by_name = {r.stage: r for r in results}
+        assert by_name["boom"].status == "failed"
+        assert by_name["after"].status == "skipped"
+        assert by_name["independent"].status == "ok"
+        assert context["y"] == 2
+        assert "x" not in context
+
+    def test_transitive_skip(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("boom", lambda ctx: 1 / 0)
+        pipeline.add_stage("mid", lambda ctx: None, depends_on=("boom",))
+        pipeline.add_stage("leaf", lambda ctx: None, depends_on=("mid",))
+        __, results = pipeline.run(stop_on_failure=False)
+        assert [r.status for r in results] == ["failed", "skipped", "skipped"]
+
+    def test_non_dict_output_rejected(self):
+        pipeline = Pipeline()
+        pipeline.add_stage("bad", lambda ctx: [1, 2])
+        with pytest.raises(PipelineError):
+            pipeline.run()

@@ -1,0 +1,110 @@
+"""Tests for repro.quality.feature_selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.monitoring.skew import training_serving_skew
+from repro.quality.feature_selection import (
+    exclude_offending_features,
+    rank_features_by_relevance,
+    select_features_mrmr,
+)
+from repro.quality.profile import TableProfile, profile_numeric
+
+
+@pytest.fixture(scope="module")
+def task():
+    """Features: x0 strong signal, x1 = copy of x0 (redundant), x2 weak
+    signal, x3 pure noise."""
+    rng = np.random.default_rng(0)
+    n = 4000
+    labels = rng.integers(0, 2, size=n)
+    x0 = labels * 2.0 + rng.normal(size=n) * 0.5
+    x1 = x0 + rng.normal(size=n) * 0.05
+    x2 = labels * 0.8 + rng.normal(size=n)
+    x3 = rng.normal(size=n)
+    return np.column_stack([x0, x1, x2, x3]), labels
+
+
+class TestRelevanceRanking:
+    def test_signal_outranks_noise(self, task):
+        features, labels = task
+        relevance = rank_features_by_relevance(features, labels)
+        assert relevance[0] > relevance[2] > relevance[3]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            rank_features_by_relevance(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestMrmr:
+    def test_first_pick_is_most_relevant(self, task):
+        features, labels = task
+        result = select_features_mrmr(features, labels, k=1)
+        assert result.selected[0] in (0, 1)  # x0 or its near-copy
+
+    def test_redundant_copy_deprioritized(self, task):
+        features, labels = task
+        result = select_features_mrmr(features, labels, k=2)
+        # Second pick should be the weak-but-independent x2, not the copy.
+        assert set(result.selected) == {result.selected[0], 2}
+
+    def test_zero_redundancy_weight_picks_by_relevance(self, task):
+        features, labels = task
+        result = select_features_mrmr(features, labels, k=2, redundancy_weight=0.0)
+        assert set(result.selected) == {0, 1}
+
+    def test_k_clamped(self, task):
+        features, labels = task
+        result = select_features_mrmr(features, labels, k=100)
+        assert len(result.selected) == 4
+        assert len(set(result.selected)) == 4
+
+    def test_names_helper(self, task):
+        features, labels = task
+        result = select_features_mrmr(features, labels, k=2)
+        names = result.names(["a", "b", "c", "d"])
+        assert len(names) == 2
+
+    def test_validation(self, task):
+        features, labels = task
+        with pytest.raises(ValidationError):
+            select_features_mrmr(features, labels, k=0)
+        with pytest.raises(ValidationError):
+            select_features_mrmr(features, labels, k=2, redundancy_weight=-1.0)
+
+
+class TestExcludeOffending:
+    def make_report(self, rng, drifted):
+        profile = TableProfile(
+            columns={
+                "a": profile_numeric("a", rng.normal(size=2000)),
+                "b": profile_numeric("b", rng.normal(size=2000)),
+            }
+        )
+        serving = {
+            "a": rng.normal(loc=3.0 if drifted else 0.0, size=1000),
+            "b": rng.normal(size=1000),
+        }
+        return training_serving_skew(profile, serving)
+
+    def test_drops_skewed_features(self):
+        rng = np.random.default_rng(0)
+        report = self.make_report(rng, drifted=True)
+        keep, dropped = exclude_offending_features(["a", "b"], report)
+        assert keep == ["b"]
+        assert dropped == ["a"]
+
+    def test_keeps_everything_when_clean(self):
+        rng = np.random.default_rng(1)
+        report = self.make_report(rng, drifted=False)
+        keep, dropped = exclude_offending_features(["a", "b"], report)
+        assert keep == ["a", "b"]
+        assert dropped == []
+
+    def test_all_skewed_raises(self):
+        rng = np.random.default_rng(2)
+        report = self.make_report(rng, drifted=True)
+        with pytest.raises(ValidationError):
+            exclude_offending_features(["a"], report)

@@ -1,0 +1,138 @@
+"""Tests for repro.quality.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.quality.metrics import (
+    categorical_entropy,
+    distribution_summary,
+    freshness_seconds,
+    mutual_information,
+    null_count,
+    null_fraction,
+)
+from repro.storage.offline import OfflineTable, TableSchema
+
+
+class TestNullMetrics:
+    def test_float_nulls(self):
+        values = np.array([1.0, np.nan, 3.0, np.nan])
+        assert null_count(values) == 2
+        assert null_fraction(values) == 0.5
+
+    def test_int_nulls(self):
+        values = np.array([0, -1, 2, -1, -1], dtype=np.int64)
+        assert null_count(values) == 3
+        assert null_fraction(values) == 0.6
+
+    def test_empty_column(self):
+        assert null_fraction(np.array([], dtype=float)) == 0.0
+        assert null_count(np.array([], dtype=float)) == 0
+
+    def test_object_column(self):
+        values = np.array([None, "a", None], dtype=object)
+        assert null_count(values) == 2
+
+
+class TestFreshness:
+    def test_per_entity_freshness(self):
+        table = OfflineTable("t", TableSchema(columns={"v": "float"}))
+        table.append(
+            [
+                {"entity_id": 1, "timestamp": 10.0, "v": 1.0},
+                {"entity_id": 1, "timestamp": 50.0, "v": 2.0},
+                {"entity_id": 2, "timestamp": 30.0, "v": 3.0},
+            ]
+        )
+        fresh = freshness_seconds(table, now=100.0)
+        assert fresh == {1: 50.0, 2: 70.0}
+
+    def test_entity_subset(self):
+        table = OfflineTable("t", TableSchema(columns={}))
+        table.append([{"entity_id": 1, "timestamp": 0.0}])
+        fresh = freshness_seconds(table, now=10.0, entity_ids=[1, 99])
+        assert fresh == {1: 10.0}
+
+
+class TestDistributionSummary:
+    def test_summary_values(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, np.nan])
+        s = distribution_summary(values)
+        assert s.count == 4
+        assert s.null_fraction == 0.2
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+
+    def test_all_null_raises(self):
+        with pytest.raises(ValidationError):
+            distribution_summary(np.array([np.nan, np.nan]))
+
+
+class TestMutualInformation:
+    def test_identical_columns_have_high_mi(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        mi_self = mutual_information(x, x)
+        mi_indep = mutual_information(x, rng.normal(size=5000))
+        assert mi_self > 1.5
+        assert mi_indep < 0.05
+        assert mi_self > 10 * max(mi_indep, 1e-6)
+
+    def test_correlated_features(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        y = x + rng.normal(scale=0.3, size=5000)
+        assert mutual_information(x, y) > 0.5
+
+    def test_categorical_inputs_used_directly(self):
+        x = np.array([0, 0, 1, 1] * 500, dtype=np.int64)
+        y = x.copy()
+        mi = mutual_information(x, y)
+        assert mi == pytest.approx(np.log(2), rel=0.01)
+
+    def test_nulls_dropped(self):
+        x = np.array([0, 1, -1, 0, 1] * 100, dtype=np.int64)
+        y = np.array([0, 1, 1, 0, 1] * 100, dtype=np.int64)
+        mi = mutual_information(x, y)
+        assert mi == pytest.approx(np.log(2), rel=0.05)
+
+    def test_too_few_rows_returns_zero(self):
+        x = np.array([np.nan, np.nan, 1.0])
+        y = np.array([1.0, 2.0, np.nan])
+        assert mutual_information(x, y) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            mutual_information(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValidationError):
+            mutual_information(np.zeros(3), np.zeros(3), bins=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=10, max_value=200), st.integers(min_value=0, max_value=100))
+    def test_property_mi_nonnegative(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n)
+        y = rng.normal(size=n)
+        assert mutual_information(x, y) >= 0.0
+
+
+class TestCategoricalEntropy:
+    def test_uniform_entropy(self):
+        values = np.array([0, 1, 2, 3] * 100, dtype=np.int64)
+        assert categorical_entropy(values) == pytest.approx(np.log(4))
+
+    def test_collapsed_column_zero_entropy(self):
+        values = np.zeros(100, dtype=np.int64)
+        assert categorical_entropy(values) == 0.0
+
+    def test_nulls_excluded(self):
+        values = np.array([0, 1, -1, -1] * 50, dtype=np.int64)
+        assert categorical_entropy(values) == pytest.approx(np.log(2))
+
+    def test_empty(self):
+        assert categorical_entropy(np.array([-1, -1], dtype=np.int64)) == 0.0

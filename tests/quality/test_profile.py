@@ -1,0 +1,101 @@
+"""Tests for repro.quality.profile."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.quality.profile import (
+    histogram_on_edges,
+    profile_categorical,
+    profile_numeric,
+    profile_table,
+)
+from repro.storage.offline import OfflineTable, TableSchema
+
+
+class TestProfileNumeric:
+    def test_histogram_normalized(self):
+        values = np.random.default_rng(0).normal(size=1000)
+        p = profile_numeric("x", values, bins=15)
+        assert p.kind == "numeric"
+        assert len(p.histogram) == 15
+        assert p.histogram.sum() == pytest.approx(1.0)
+        assert p.summary is not None
+
+    def test_null_fraction_recorded(self):
+        values = np.array([1.0, np.nan, 3.0, np.nan])
+        p = profile_numeric("x", values)
+        assert p.null_fraction == 0.5
+        assert p.row_count == 4
+
+    def test_all_null_raises(self):
+        with pytest.raises(ValidationError):
+            profile_numeric("x", np.array([np.nan]))
+
+
+class TestProfileCategorical:
+    def test_histogram_over_codes(self):
+        values = np.array([0, 0, 1, 2], dtype=np.int64)
+        p = profile_categorical("c", values, cardinality=4)
+        np.testing.assert_allclose(p.histogram, [0.5, 0.25, 0.25, 0.0])
+        assert p.entropy is not None
+
+    def test_cardinality_inferred(self):
+        values = np.array([0, 3], dtype=np.int64)
+        p = profile_categorical("c", values)
+        assert len(p.histogram) == 4
+
+    def test_all_null_raises(self):
+        with pytest.raises(ValidationError):
+            profile_categorical("c", np.array([-1], dtype=np.int64))
+
+
+class TestProfileTable:
+    def test_profiles_declared_columns(self):
+        table = OfflineTable(
+            "t", TableSchema(columns={"x": "float", "c": "int", "s": "string"})
+        )
+        table.append(
+            [
+                {"entity_id": 1, "timestamp": float(i), "x": float(i), "c": i % 3, "s": "a"}
+                for i in range(50)
+            ]
+        )
+        profile = profile_table(table)
+        assert set(profile.columns) == {"x", "c"}  # strings skipped
+        assert profile.column("x").kind == "numeric"
+        assert profile.column("c").kind == "categorical"
+
+    def test_time_window(self):
+        table = OfflineTable("t", TableSchema(columns={"x": "float"}))
+        table.append(
+            [{"entity_id": 1, "timestamp": float(i), "x": float(i)} for i in range(100)]
+        )
+        profile = profile_table(table, start=0.0, end=50.0)
+        assert profile.column("x").summary.maximum == 49.0
+
+    def test_missing_column_lookup(self):
+        table = OfflineTable("t", TableSchema(columns={"x": "float"}))
+        table.append([{"entity_id": 1, "timestamp": 0.0, "x": 1.0}])
+        profile = profile_table(table)
+        with pytest.raises(KeyError):
+            profile.column("nope")
+
+
+class TestHistogramOnEdges:
+    def test_rebins_on_reference_edges(self):
+        reference = np.random.default_rng(0).normal(size=1000)
+        p = profile_numeric("x", reference, bins=10)
+        hist = histogram_on_edges(reference, p.bin_edges)
+        np.testing.assert_allclose(hist, p.histogram, atol=1e-12)
+
+    def test_out_of_range_mass_clamped(self):
+        p = profile_numeric("x", np.linspace(0, 1, 100), bins=5)
+        shifted = np.full(50, 10.0)  # all beyond the reference max
+        hist = histogram_on_edges(shifted, p.bin_edges)
+        assert hist[-1] == 1.0
+
+    def test_empty_raises(self):
+        p = profile_numeric("x", np.linspace(0, 1, 100), bins=5)
+        with pytest.raises(ValidationError):
+            histogram_on_edges(np.array([np.nan]), p.bin_edges)

@@ -1,0 +1,108 @@
+"""Tests for repro.storage.models."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import NotRegisteredError, ProvenanceError
+from repro.storage.models import ModelStore
+
+
+@pytest.fixture
+def store():
+    return ModelStore(clock=SimClock(start=100.0))
+
+
+class TestModelStore:
+    def test_register_assigns_incrementing_versions(self, store):
+        a = store.register("clf", model={"w": [1.0]})
+        b = store.register("clf", model={"w": [2.0]})
+        assert a.version == 1
+        assert b.version == 2
+        assert a.key == "clf:v1"
+
+    def test_get_latest_and_specific(self, store):
+        store.register("clf", model="m1")
+        store.register("clf", model="m2")
+        assert store.get("clf").model == "m2"
+        assert store.get("clf", version=1).model == "m1"
+
+    def test_get_missing_model_raises(self, store):
+        with pytest.raises(NotRegisteredError):
+            store.get("nope")
+
+    def test_get_missing_version_raises(self, store):
+        store.register("clf", model="m1")
+        with pytest.raises(NotRegisteredError):
+            store.get("clf", version=2)
+        with pytest.raises(NotRegisteredError):
+            store.get("clf", version=0)
+
+    def test_model_is_deep_copied(self, store):
+        live = {"w": [1.0]}
+        store.register("clf", model=live)
+        live["w"][0] = 999.0
+        assert store.get("clf").model == {"w": [1.0]}
+
+    def test_created_at_from_clock(self, store):
+        record = store.register("clf", model=None)
+        assert record.created_at == 100.0
+
+    def test_lineage_recorded(self, store):
+        record = store.register(
+            "clf",
+            model=None,
+            feature_set="rides_v2",
+            embedding_versions={"driver_emb": 3},
+            hyperparameters={"lr": 0.1},
+            tags=("prod",),
+        )
+        assert record.feature_set == "rides_v2"
+        assert record.embedding_versions == {"driver_emb": 3}
+        assert record.hyperparameters == {"lr": 0.1}
+        assert record.tags == ("prod",)
+
+    def test_record_metrics_merges(self, store):
+        store.register("clf", model=None, metrics={"acc": 0.8})
+        updated = store.record_metrics("clf", 1, {"f1": 0.7})
+        assert updated.metrics == {"acc": 0.8, "f1": 0.7}
+        assert store.get("clf", 1).metrics == {"acc": 0.8, "f1": 0.7}
+
+    def test_compare_versions(self, store):
+        store.register("clf", model=None, metrics={"acc": 0.8})
+        store.register("clf", model=None, metrics={"acc": 0.9})
+        assert store.compare("clf", 1, 2, "acc") == pytest.approx(0.1)
+
+    def test_compare_missing_metric_raises(self, store):
+        store.register("clf", model=None, metrics={"acc": 0.8})
+        store.register("clf", model=None)
+        with pytest.raises(ProvenanceError):
+            store.compare("clf", 1, 2, "acc")
+
+    def test_consumers_of_embedding(self, store):
+        store.register("a", model=None, embedding_versions={"emb": 1})
+        store.register("b", model=None, embedding_versions={"other": 1})
+        store.register("c", model=None, embedding_versions={"emb": 2})
+        consumers = store.consumers_of_embedding("emb")
+        assert [r.name for r in consumers] == ["a", "c"]
+
+    def test_consumers_uses_latest_version_lineage(self, store):
+        store.register("a", model=None, embedding_versions={"emb": 1})
+        store.register("a", model=None, embedding_versions={})  # v2 dropped it
+        assert store.consumers_of_embedding("emb") == []
+
+    def test_versions_listing(self, store):
+        store.register("clf", model="m1")
+        store.register("clf", model="m2")
+        assert [r.version for r in store.versions("clf")] == [1, 2]
+        with pytest.raises(NotRegisteredError):
+            store.versions("nope")
+
+    def test_model_names_sorted(self, store):
+        store.register("b", model=None)
+        store.register("a", model=None)
+        assert store.model_names() == ["a", "b"]
+
+    def test_latest_version(self, store):
+        store.register("clf", model=None)
+        store.register("clf", model=None)
+        assert store.latest_version("clf") == 2

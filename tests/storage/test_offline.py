@@ -1,0 +1,221 @@
+"""Tests for repro.storage.offline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    AlreadyRegisteredError,
+    NotRegisteredError,
+    PartitionNotFoundError,
+    SchemaMismatchError,
+    ValidationError,
+)
+from repro.storage.offline import OfflineStore, OfflineTable, TableSchema
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(columns={"fare": "float", "city": "int", "note": "string"})
+    return OfflineTable("rides", schema)
+
+
+def row(entity=1, ts=0.0, fare=10.0, city=0, note="ok"):
+    return {
+        "entity_id": entity,
+        "timestamp": ts,
+        "fare": fare,
+        "city": city,
+        "note": note,
+    }
+
+
+class TestTableSchema:
+    def test_rejects_implicit_columns(self):
+        with pytest.raises(ValidationError):
+            TableSchema(columns={"timestamp": "float"})
+        with pytest.raises(ValidationError):
+            TableSchema(columns={"entity_id": "int"})
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValidationError):
+            TableSchema(columns={"x": "blob"})
+
+    def test_validate_row_accepts_none(self):
+        schema = TableSchema(columns={"x": "float"})
+        schema.validate_row({"entity_id": 1, "timestamp": 0.0, "x": None})
+
+    def test_validate_row_rejects_missing_column(self):
+        schema = TableSchema(columns={"x": "float"})
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_row({"entity_id": 1, "timestamp": 0.0})
+
+    def test_validate_row_rejects_extra_column(self):
+        schema = TableSchema(columns={"x": "float"})
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_row({"entity_id": 1, "timestamp": 0.0, "x": 1.0, "y": 2.0})
+
+    def test_validate_row_rejects_wrong_type(self):
+        schema = TableSchema(columns={"x": "float", "c": "int", "s": "string"})
+        base = {"entity_id": 1, "timestamp": 0.0, "x": 1.0, "c": 2, "s": "a"}
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_row({**base, "x": "oops"})
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_row({**base, "c": 1.5})
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_row({**base, "s": 3})
+
+    def test_validate_row_requires_keys(self):
+        schema = TableSchema(columns={})
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_row({"entity_id": 1})
+
+
+class TestOfflineTable:
+    def test_append_and_len(self, table):
+        assert table.append([row(), row(ts=1.0)]) == 2
+        assert len(table) == 2
+
+    def test_append_validates(self, table):
+        with pytest.raises(SchemaMismatchError):
+            table.append([{"entity_id": 1, "timestamp": 0.0}])
+
+    def test_partitions_assigned_by_day(self, table):
+        table.append([row(ts=0.0), row(ts=DAY + 1), row(ts=2 * DAY + 5)])
+        assert table.partitions == [0, 1, 2]
+
+    def test_scan_time_order(self, table):
+        table.append([row(ts=5.0), row(ts=1.0), row(ts=3.0)])
+        assert [r["timestamp"] for r in table.scan()] == [1.0, 3.0, 5.0]
+
+    def test_scan_range_half_open(self, table):
+        table.append([row(ts=t) for t in (0.0, 1.0, 2.0, 3.0)])
+        got = [r["timestamp"] for r in table.scan(start=1.0, end=3.0)]
+        assert got == [1.0, 2.0]
+
+    def test_scan_skips_unrelated_partitions(self, table):
+        table.append([row(ts=0.0), row(ts=5 * DAY)])
+        got = list(table.scan(start=4 * DAY, end=6 * DAY))
+        assert len(got) == 1
+
+    def test_scan_entity_filter(self, table):
+        table.append([row(entity=1, ts=0.0), row(entity=2, ts=1.0)])
+        got = list(table.scan(entity_ids={2}))
+        assert [r["entity_id"] for r in got] == [2]
+
+    def test_read_partition(self, table):
+        table.append([row(ts=2.0), row(ts=1.0)])
+        part = table.read_partition(0)
+        assert [r["timestamp"] for r in part] == [1.0, 2.0]
+
+    def test_read_missing_partition_raises(self, table):
+        with pytest.raises(PartitionNotFoundError):
+            table.read_partition(99)
+
+    def test_latest_before_basic(self, table):
+        table.append([row(ts=1.0, fare=1.0), row(ts=5.0, fare=5.0)])
+        assert table.latest_before(1, 3.0)["fare"] == 1.0
+        assert table.latest_before(1, 5.0)["fare"] == 5.0  # inclusive
+        assert table.latest_before(1, 10.0)["fare"] == 5.0
+
+    def test_latest_before_none_when_too_early(self, table):
+        table.append([row(ts=5.0)])
+        assert table.latest_before(1, 4.9) is None
+
+    def test_latest_before_unknown_entity(self, table):
+        assert table.latest_before(42, 100.0) is None
+
+    def test_latest_before_out_of_order_appends(self, table):
+        table.append([row(ts=10.0, fare=10.0)])
+        table.append([row(ts=5.0, fare=5.0)])  # late arrival
+        assert table.latest_before(1, 7.0)["fare"] == 5.0
+        assert table.latest_before(1, 12.0)["fare"] == 10.0
+
+    def test_column_array_float_nulls(self, table):
+        table.append([row(ts=0.0, fare=None), row(ts=1.0, fare=2.0)])
+        arr = table.column_array("fare")
+        assert np.isnan(arr[0])
+        assert arr[1] == 2.0
+
+    def test_column_array_int_nulls(self, table):
+        table.append([row(ts=0.0, city=None), row(ts=1.0, city=4)])
+        arr = table.column_array("city")
+        assert arr[0] == -1
+        assert arr[1] == 4
+
+    def test_column_array_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column_array("missing")
+
+    def test_entity_ids_sorted(self, table):
+        table.append([row(entity=5), row(entity=1, ts=1.0), row(entity=3, ts=2.0)])
+        assert table.entity_ids() == [1, 3, 5]
+
+    def test_last_event_time(self, table):
+        assert table.last_event_time() is None
+        table.append([row(ts=4.0), row(ts=9.0)])
+        assert table.last_event_time() == 9.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=0, max_value=10 * DAY, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0, max_value=10 * DAY, allow_nan=False),
+    )
+    def test_property_latest_before_never_leaks_future(self, events, query_ts):
+        """Point-in-time invariant: as-of lookups never return future rows."""
+        schema = TableSchema(columns={"v": "float"})
+        table = OfflineTable("t", schema)
+        table.append(
+            [
+                {"entity_id": e, "timestamp": ts, "v": float(i)}
+                for i, (e, ts) in enumerate(events)
+            ]
+        )
+        for entity in {e for e, __ in events}:
+            got = table.latest_before(entity, query_ts)
+            eligible = [(ts, i) for i, (e, ts) in enumerate(events)
+                        if e == entity and ts <= query_ts]
+            if not eligible:
+                assert got is None
+            else:
+                assert got is not None
+                assert float(got["timestamp"]) <= query_ts
+                best_ts, best_i = max(eligible)
+                assert float(got["timestamp"]) == best_ts
+
+
+class TestOfflineStore:
+    def test_create_and_get(self):
+        store = OfflineStore()
+        t = store.create_table("a", TableSchema(columns={}))
+        assert store.table("a") is t
+        assert store.has_table("a")
+        assert store.table_names() == ["a"]
+
+    def test_duplicate_rejected(self):
+        store = OfflineStore()
+        store.create_table("a", TableSchema(columns={}))
+        with pytest.raises(AlreadyRegisteredError):
+            store.create_table("a", TableSchema(columns={}))
+
+    def test_missing_table_raises(self):
+        with pytest.raises(NotRegisteredError):
+            OfflineStore().table("nope")
+
+    def test_drop_table(self):
+        store = OfflineStore()
+        store.create_table("a", TableSchema(columns={}))
+        store.drop_table("a")
+        assert not store.has_table("a")
+        with pytest.raises(NotRegisteredError):
+            store.drop_table("a")

@@ -1,0 +1,130 @@
+"""Tests for repro.storage.online."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import NotRegisteredError, ServingError, StaleFeatureError
+from repro.storage.online import FreshnessPolicy, OnlineStore
+
+
+@pytest.fixture
+def clock():
+    return SimClock(start=0.0)
+
+
+@pytest.fixture
+def store(clock):
+    s = OnlineStore(clock=clock)
+    s.create_namespace("rides", ttl=100.0)
+    return s
+
+
+class TestOnlineStoreBasics:
+    def test_write_then_read(self, store):
+        store.write("rides", 1, {"fare": 10.0}, event_time=0.0)
+        assert store.read("rides", 1) == {"fare": 10.0}
+
+    def test_read_missing_returns_none(self, store):
+        assert store.read("rides", 999) is None
+
+    def test_unknown_namespace_raises(self, store):
+        with pytest.raises(NotRegisteredError):
+            store.read("nope", 1)
+        with pytest.raises(NotRegisteredError):
+            store.write("nope", 1, {}, 0.0)
+
+    def test_upsert_overwrites(self, store):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        store.write("rides", 1, {"fare": 2.0}, event_time=1.0)
+        assert store.read("rides", 1) == {"fare": 2.0}
+
+    def test_out_of_order_write_dropped(self, store):
+        store.write("rides", 1, {"fare": 2.0}, event_time=10.0)
+        store.write("rides", 1, {"fare": 1.0}, event_time=5.0)  # late
+        assert store.read("rides", 1) == {"fare": 2.0}
+
+    def test_returned_dict_is_a_copy(self, store):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        got = store.read("rides", 1)
+        got["fare"] = 999.0
+        assert store.read("rides", 1) == {"fare": 1.0}
+
+    def test_read_many_preserves_order(self, store):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        store.write("rides", 3, {"fare": 3.0}, event_time=0.0)
+        got = store.read_many("rides", [3, 2, 1])
+        assert got == [{"fare": 3.0}, None, {"fare": 1.0}]
+
+    def test_counters(self, store):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        store.read("rides", 1)
+        store.read("rides", 2)
+        assert store.write_count == 1
+        assert store.read_count == 2
+
+    def test_entity_ids_and_size(self, store):
+        store.write("rides", 2, {}, 0.0)
+        store.write("rides", 1, {}, 0.0)
+        assert store.entity_ids("rides") == [1, 2]
+        assert store.size("rides") == 2
+
+    def test_namespace_reconfigure_keeps_data(self, store):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        store.create_namespace("rides", ttl=5.0)
+        assert store.read("rides", 1) == {"fare": 1.0}
+
+    def test_invalid_ttl(self, store):
+        with pytest.raises(ServingError):
+            store.create_namespace("bad", ttl=0.0)
+
+
+class TestFreshness:
+    def test_fresh_value_served_under_all_policies(self, store, clock):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        clock.advance(50.0)
+        for policy in FreshnessPolicy:
+            assert store.read("rides", 1, policy) == {"fare": 1.0}
+
+    def test_stale_serve_anyway(self, store, clock):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        clock.advance(500.0)
+        assert store.read("rides", 1, FreshnessPolicy.SERVE_ANYWAY) == {"fare": 1.0}
+
+    def test_stale_return_none(self, store, clock):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        clock.advance(500.0)
+        assert store.read("rides", 1, FreshnessPolicy.RETURN_NONE) is None
+
+    def test_stale_raise(self, store, clock):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        clock.advance(500.0)
+        with pytest.raises(StaleFeatureError):
+            store.read("rides", 1, FreshnessPolicy.RAISE)
+
+    def test_no_ttl_never_stale(self, clock):
+        store = OnlineStore(clock=clock)
+        store.create_namespace("open")
+        store.write("open", 1, {"x": 1.0}, event_time=0.0)
+        clock.advance(1e9)
+        assert store.read("open", 1, FreshnessPolicy.RAISE) == {"x": 1.0}
+
+    def test_staleness_and_event_time(self, store, clock):
+        store.write("rides", 1, {}, event_time=10.0)
+        clock.advance(30.0)
+        assert store.event_time("rides", 1) == 10.0
+        assert store.staleness("rides", 1) == 20.0
+        assert store.staleness("rides", 2) is None
+
+    def test_expire_evicts_only_stale(self, store, clock):
+        store.write("rides", 1, {}, event_time=0.0)
+        clock.advance(150.0)
+        store.write("rides", 2, {}, event_time=150.0)
+        assert store.expire("rides") == 1
+        assert store.entity_ids("rides") == [2]
+
+    def test_expire_without_ttl_is_noop(self, clock):
+        store = OnlineStore(clock=clock)
+        store.create_namespace("open")
+        store.write("open", 1, {}, event_time=0.0)
+        clock.advance(1e9)
+        assert store.expire("open") == 0

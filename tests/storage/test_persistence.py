@@ -1,0 +1,127 @@
+"""Tests for repro.storage.persistence."""
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.core.embedding_store import EmbeddingStore, Provenance
+from repro.embeddings.base import EmbeddingMatrix
+from repro.errors import StorageError
+from repro.storage.models import ModelStore
+from repro.storage.persistence import (
+    load_embedding_store,
+    load_model_store,
+    save_embedding_store,
+    save_model_store,
+)
+
+
+@pytest.fixture
+def populated_embedding_store():
+    store = EmbeddingStore(clock=SimClock(start=10.0))
+    rng = np.random.default_rng(0)
+    base = EmbeddingMatrix(vectors=rng.normal(size=(40, 8)))
+    store.register("words", base, Provenance(trainer="sgns", config={"dim": 8}, seed=1))
+    store.register(
+        "words",
+        EmbeddingMatrix(vectors=rng.normal(size=(40, 8))),
+        Provenance(trainer="sgns", seed=2, parent_version=1),
+        tags=("retrain",),
+    )
+    store.mark_compatible("words", 1, 2)
+    store.register(
+        "items", EmbeddingMatrix(vectors=rng.normal(size=(10, 4))),
+        Provenance(trainer="ppmi_svd"),
+    )
+    return store
+
+
+class TestEmbeddingPersistence:
+    def test_round_trip_vectors(self, populated_embedding_store, tmp_path):
+        save_embedding_store(populated_embedding_store, tmp_path)
+        loaded = load_embedding_store(tmp_path)
+        assert loaded.names() == ["items", "words"]
+        for name in loaded.names():
+            for original, restored in zip(
+                populated_embedding_store.versions(name), loaded.versions(name)
+            ):
+                np.testing.assert_array_equal(
+                    original.embedding.vectors, restored.embedding.vectors
+                )
+
+    def test_round_trip_metadata(self, populated_embedding_store, tmp_path):
+        save_embedding_store(populated_embedding_store, tmp_path)
+        loaded = load_embedding_store(tmp_path)
+        original = populated_embedding_store.get("words", 2)
+        restored = loaded.get("words", 2)
+        assert restored.provenance == original.provenance
+        assert restored.metrics == original.metrics
+        assert restored.tags == ("retrain",)
+        assert restored.created_at == original.created_at
+
+    def test_compatibility_marks_restored(self, populated_embedding_store, tmp_path):
+        save_embedding_store(populated_embedding_store, tmp_path)
+        loaded = load_embedding_store(tmp_path)
+        assert loaded.is_compatible("words", 1, 2)
+        assert not loaded.is_compatible("words", 2, 1)
+
+    def test_loaded_store_accepts_new_versions(
+        self, populated_embedding_store, tmp_path
+    ):
+        save_embedding_store(populated_embedding_store, tmp_path)
+        loaded = load_embedding_store(tmp_path)
+        record = loaded.register(
+            "words",
+            EmbeddingMatrix(vectors=np.zeros((40, 8))),
+            Provenance(trainer="patch", parent_version=2),
+        )
+        assert record.version == 3
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_embedding_store(tmp_path / "nope")
+
+
+class TestModelPersistence:
+    def test_round_trip(self, tmp_path):
+        store = ModelStore(clock=SimClock(start=5.0))
+        store.register(
+            "clf",
+            model={"weights": np.arange(3).tolist()},
+            hyperparameters={"lr": 0.1},
+            metrics={"acc": 0.9},
+            feature_set="fs",
+            embedding_versions={"emb": 2},
+            tags=("prod",),
+        )
+        store.register("clf", model={"weights": [9]})
+        save_model_store(store, tmp_path)
+        loaded = load_model_store(tmp_path)
+
+        record = loaded.get("clf", 1)
+        assert record.model == {"weights": [0, 1, 2]}
+        assert record.hyperparameters == {"lr": 0.1}
+        assert record.metrics == {"acc": 0.9}
+        assert record.feature_set == "fs"
+        assert record.embedding_versions == {"emb": 2}
+        assert record.tags == ("prod",)
+        assert record.created_at == 5.0
+        assert loaded.latest_version("clf") == 2
+
+    def test_trained_model_survives(self, tmp_path):
+        from repro.models import LogisticRegression
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(np.int64)
+        model = LogisticRegression(epochs=100).fit(X, y)
+        store = ModelStore()
+        store.register("m", model)
+        save_model_store(store, tmp_path)
+        loaded = load_model_store(tmp_path)
+        restored = loaded.get("m").model
+        np.testing.assert_array_equal(restored.predict(X), model.predict(X))
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_model_store(tmp_path / "nope")

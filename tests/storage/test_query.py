@@ -1,0 +1,125 @@
+"""Tests for repro.storage.query."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.offline import OfflineTable, TableSchema
+from repro.storage.query import Query
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def table():
+    t = OfflineTable(
+        "rides", TableSchema(columns={"fare": "float", "city": "int"})
+    )
+    t.append(
+        [
+            {"entity_id": 1, "timestamp": 0.1 * DAY, "fare": 10.0, "city": 0},
+            {"entity_id": 1, "timestamp": 0.2 * DAY, "fare": 20.0, "city": 1},
+            {"entity_id": 2, "timestamp": 1.1 * DAY, "fare": 30.0, "city": 0},
+            {"entity_id": 2, "timestamp": 1.2 * DAY, "fare": None, "city": 1},
+            {"entity_id": 3, "timestamp": 2.5 * DAY, "fare": 50.0, "city": None},
+        ]
+    )
+    return t
+
+
+class TestPredicates:
+    def test_equality(self, table):
+        assert Query(table).where("city", "==", 0).count() == 2
+
+    def test_comparison(self, table):
+        assert Query(table).where("fare", ">", 15.0).count() == 3
+        assert Query(table).where("fare", "<=", 20.0).count() == 2
+
+    def test_in(self, table):
+        assert Query(table).where("city", "in", (0, 1)).count() == 4
+
+    def test_not_null(self, table):
+        assert Query(table).where("fare", "not_null").count() == 4
+        assert Query(table).where("city", "not_null").count() == 4
+
+    def test_null_never_matches_comparisons(self, table):
+        # Row 4 has fare=None: excluded even by != comparisons.
+        assert Query(table).where("fare", "!=", 10.0).count() == 3
+
+    def test_conjunction(self, table):
+        count = (
+            Query(table).where("city", "==", 0).where("fare", ">", 15.0).count()
+        )
+        assert count == 1
+
+    def test_entity_and_timestamp_filterable(self, table):
+        assert Query(table).where("entity_id", "==", 2).count() == 2
+        assert Query(table).where("timestamp", ">=", 1.0 * DAY).count() == 3
+
+    def test_unknown_column_or_op_rejected(self, table):
+        with pytest.raises(ValidationError):
+            Query(table).where("nope", "==", 1)
+        with pytest.raises(ValidationError):
+            Query(table).where("fare", "~~", 1)
+
+
+class TestTimeRangeAndProjection:
+    def test_between_half_open(self, table):
+        assert Query(table).between(0.2 * DAY, 1.2 * DAY).count() == 2
+
+    def test_select_projects(self, table):
+        rows = Query(table).select("fare").limit(1).rows()
+        assert rows == [{"fare": 10.0}]
+
+    def test_select_unknown_rejected(self, table):
+        with pytest.raises(ValidationError):
+            Query(table).select("ghost")
+
+    def test_limit(self, table):
+        assert len(Query(table).limit(2).rows()) == 2
+        with pytest.raises(ValidationError):
+            Query(table).limit(-1)
+
+    def test_rows_are_copies(self, table):
+        rows = Query(table).rows()
+        rows[0]["fare"] = 999.0
+        assert Query(table).rows()[0]["fare"] == 10.0
+
+    def test_query_sees_new_appends(self, table):
+        q = Query(table).where("city", "==", 0)
+        before = q.count()
+        table.append(
+            [{"entity_id": 9, "timestamp": 3.0 * DAY, "fare": 1.0, "city": 0}]
+        )
+        assert q.count() == before + 1
+
+
+class TestAggregation:
+    def test_scalar_aggregates(self, table):
+        q = Query(table)
+        assert q.aggregate("fare", "sum") == 110.0
+        assert q.aggregate("fare", "mean") == pytest.approx(27.5)
+        assert q.aggregate("fare", "min") == 10.0
+        assert q.aggregate("fare", "max") == 50.0
+        assert q.aggregate("fare", "count") == 4.0  # NULL excluded
+
+    def test_empty_aggregate(self, table):
+        q = Query(table).where("fare", ">", 1000.0)
+        assert q.aggregate("fare", "mean") is None
+        assert q.aggregate("fare", "count") == 0.0
+
+    def test_unknown_aggregate(self, table):
+        with pytest.raises(ValidationError):
+            Query(table).aggregate("fare", "median")
+
+    def test_group_by_entity(self, table):
+        grouped = Query(table).group_by_entity("fare", "sum")
+        assert grouped == {1: 30.0, 2: 30.0, 3: 50.0}
+
+    def test_group_by_with_filter(self, table):
+        grouped = Query(table).where("city", "==", 0).group_by_entity("fare", "mean")
+        assert grouped == {1: 10.0, 2: 30.0}
+
+    def test_values_skips_nulls(self, table):
+        values = Query(table).where("entity_id", "==", 2).values("fare")
+        np.testing.assert_array_equal(values, [30.0])

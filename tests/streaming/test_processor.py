@@ -1,0 +1,135 @@
+"""Tests for repro.streaming.processor."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.datagen.streams import StreamConfig, StreamEvent, generate_stream
+from repro.errors import ValidationError
+from repro.storage.offline import OfflineStore
+from repro.storage.online import OnlineStore
+from repro.streaming.processor import StreamFeature, StreamProcessor
+from repro.streaming.windows import EwmaAggregator, SlidingWindowAggregator
+
+
+def ev(ts, value, entity=1):
+    return StreamEvent(timestamp=ts, entity_id=entity, value=value)
+
+
+@pytest.fixture
+def stores():
+    clock = SimClock()
+    return OnlineStore(clock=clock), OfflineStore()
+
+
+def make_processor(online, offline, emit_interval=60.0):
+    return StreamProcessor(
+        features=[
+            StreamFeature("mean_5m", SlidingWindowAggregator("mean", 300.0)),
+            StreamFeature("ewma", EwmaAggregator(half_life=120.0)),
+        ],
+        online=online,
+        offline=offline,
+        namespace="stream_fx",
+        log_table="stream_fx_log",
+        emit_interval=emit_interval,
+    )
+
+
+class TestStreamProcessor:
+    def test_provisions_storage(self, stores):
+        online, offline = stores
+        make_processor(online, offline)
+        assert "stream_fx" in online.namespaces()
+        assert offline.has_table("stream_fx_log")
+
+    def test_processes_and_emits(self, stores):
+        online, offline = stores
+        processor = make_processor(online, offline, emit_interval=10.0)
+        events = [ev(1.0, 2.0), ev(5.0, 4.0), ev(15.0, 6.0), ev(25.0, 8.0)]
+        stats = processor.process(events)
+        assert stats.events_processed == 4
+        # Emits at 11 (first interval), 21, and final at 25.
+        assert stats.emits == 3
+        got = online.read("stream_fx", 1)
+        assert got is not None
+        assert got["mean_5m"] == pytest.approx(5.0)
+
+    def test_offline_log_grows_with_emits(self, stores):
+        online, offline = stores
+        processor = make_processor(online, offline, emit_interval=10.0)
+        processor.process([ev(0.0, 1.0), ev(30.0, 2.0)])
+        table = offline.table("stream_fx_log")
+        assert len(table) >= 2
+        # Logged rows carry both features.
+        row = next(table.scan())
+        assert "mean_5m" in row
+        assert "ewma" in row
+
+    def test_online_and_offline_agree_at_final_emit(self, stores):
+        online, offline = stores
+        processor = make_processor(online, offline, emit_interval=1000.0)
+        processor.process([ev(1.0, 10.0), ev(2.0, 20.0)])
+        served = online.read("stream_fx", 1)
+        logged = list(offline.table("stream_fx_log").scan())[-1]
+        assert served["mean_5m"] == logged["mean_5m"]
+        assert served["ewma"] == logged["ewma"]
+
+    def test_multiple_entities(self, stores):
+        online, offline = stores
+        processor = make_processor(online, offline, emit_interval=10.0)
+        processor.process([ev(1.0, 1.0, entity=1), ev(2.0, 9.0, entity=2)])
+        assert online.read("stream_fx", 1)["mean_5m"] == 1.0
+        assert online.read("stream_fx", 2)["mean_5m"] == 9.0
+
+    def test_empty_stream(self, stores):
+        online, offline = stores
+        processor = make_processor(online, offline)
+        stats = processor.process([])
+        assert stats.events_processed == 0
+        assert stats.emits == 0
+
+    def test_incremental_process_calls(self, stores):
+        online, offline = stores
+        processor = make_processor(online, offline, emit_interval=10.0)
+        processor.process([ev(1.0, 2.0)])
+        processor.process([ev(50.0, 4.0)])
+        got = online.read("stream_fx", 1)
+        assert got["mean_5m"] == pytest.approx(3.0)
+
+    def test_works_with_generated_stream(self, stores):
+        online, offline = stores
+        processor = make_processor(online, offline, emit_interval=300.0)
+        stream = generate_stream(
+            StreamConfig(duration=1800.0, rate_per_second=1.0, n_entities=5, mean=10.0),
+            seed=0,
+        )
+        stats = processor.process(stream)
+        assert stats.events_processed == len(stream)
+        for entity in range(5):
+            got = online.read("stream_fx", entity)
+            assert got is not None
+            assert abs(got["ewma"] - 10.0) < 5.0
+
+    def test_validation(self, stores):
+        online, offline = stores
+        with pytest.raises(ValidationError):
+            StreamProcessor(
+                features=[],
+                online=online,
+                offline=offline,
+                namespace="x",
+                log_table="y",
+            )
+        with pytest.raises(ValidationError):
+            StreamProcessor(
+                features=[
+                    StreamFeature("a", EwmaAggregator(1.0)),
+                    StreamFeature("a", EwmaAggregator(1.0)),
+                ],
+                online=online,
+                offline=offline,
+                namespace="x",
+                log_table="y",
+            )
+        with pytest.raises(ValidationError):
+            make_processor(online, offline, emit_interval=0.0)

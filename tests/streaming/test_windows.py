@@ -1,0 +1,136 @@
+"""Tests for repro.streaming.windows."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.streams import StreamEvent
+from repro.errors import ValidationError
+from repro.streaming.windows import (
+    EwmaAggregator,
+    SlidingWindowAggregator,
+    TumblingWindowAggregator,
+)
+
+
+def ev(ts, value, entity=1):
+    return StreamEvent(timestamp=ts, entity_id=entity, value=value)
+
+
+class TestTumblingWindow:
+    def test_reports_last_closed_window(self):
+        agg = TumblingWindowAggregator("mean", width=10.0)
+        for event in [ev(1.0, 2.0), ev(5.0, 4.0), ev(12.0, 100.0)]:
+            agg.update(event)
+        # now=15: window [10,20) still open; last closed is [0,10) -> mean 3.
+        assert agg.value(1, now=15.0) == 3.0
+
+    def test_open_window_not_reported_by_value(self):
+        agg = TumblingWindowAggregator("sum", width=10.0)
+        agg.update(ev(5.0, 7.0))
+        assert agg.value(1, now=6.0) is None  # window [0,10) still open
+        assert agg.value(1, now=10.0) == 7.0  # now closed
+
+    def test_open_window_value(self):
+        agg = TumblingWindowAggregator("sum", width=10.0)
+        agg.update(ev(5.0, 7.0))
+        assert agg.open_window_value(1, now=6.0) == 7.0
+        assert agg.open_window_value(1, now=25.0) is None
+
+    def test_unknown_entity(self):
+        agg = TumblingWindowAggregator("mean", width=10.0)
+        assert agg.value(42, now=100.0) is None
+
+    def test_skipped_windows_report_latest_closed(self):
+        agg = TumblingWindowAggregator("sum", width=10.0)
+        agg.update(ev(5.0, 1.0))
+        agg.update(ev(35.0, 9.0))
+        # now=100: latest closed window with data is [30,40).
+        assert agg.value(1, now=100.0) == 9.0
+
+    def test_entities_isolated(self):
+        agg = TumblingWindowAggregator("sum", width=10.0)
+        agg.update(ev(1.0, 1.0, entity=1))
+        agg.update(ev(1.0, 100.0, entity=2))
+        assert agg.value(1, now=10.0) == 1.0
+        assert agg.value(2, now=10.0) == 100.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            TumblingWindowAggregator("median", width=10.0)
+        with pytest.raises(ValidationError):
+            TumblingWindowAggregator("mean", width=0.0)
+
+    @pytest.mark.parametrize(
+        "agg_name,expected", [("min", 1.0), ("max", 3.0), ("count", 3.0)]
+    )
+    def test_aggregations(self, agg_name, expected):
+        agg = TumblingWindowAggregator(agg_name, width=10.0)
+        for value in (2.0, 1.0, 3.0):
+            agg.update(ev(5.0, value))
+        assert agg.value(1, now=10.0) == expected
+
+
+class TestSlidingWindow:
+    def test_trailing_window(self):
+        agg = SlidingWindowAggregator("mean", width=10.0)
+        agg.update(ev(0.0, 100.0))
+        agg.update(ev(8.0, 2.0))
+        agg.update(ev(9.0, 4.0))
+        # now=15: (5, 15] contains ts=8 and ts=9 only.
+        assert agg.value(1, now=15.0) == 3.0
+
+    def test_all_evicted_gives_none_or_zero_count(self):
+        mean_agg = SlidingWindowAggregator("mean", width=10.0)
+        count_agg = SlidingWindowAggregator("count", width=10.0)
+        for agg in (mean_agg, count_agg):
+            agg.update(ev(0.0, 5.0))
+        assert mean_agg.value(1, now=100.0) is None
+        assert count_agg.value(1, now=100.0) == 0.0
+
+    def test_unknown_entity(self):
+        assert SlidingWindowAggregator("mean", width=1.0).value(5, now=0.0) is None
+
+    def test_eviction_bounds_memory(self):
+        agg = SlidingWindowAggregator("count", width=5.0)
+        for i in range(1000):
+            agg.update(ev(float(i), 1.0))
+        assert len(agg._events[1]) <= 6
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            SlidingWindowAggregator("mean", width=-1.0)
+        with pytest.raises(ValidationError):
+            SlidingWindowAggregator("p99", width=1.0)
+
+
+class TestEwma:
+    def test_first_event_sets_state(self):
+        agg = EwmaAggregator(half_life=10.0)
+        agg.update(ev(0.0, 5.0))
+        assert agg.value(1, now=0.0) == 5.0
+
+    def test_half_life_blending(self):
+        agg = EwmaAggregator(half_life=10.0)
+        agg.update(ev(0.0, 0.0))
+        agg.update(ev(10.0, 10.0))  # exactly one half-life later
+        # decay=0.5: 0.5*0 + 0.5*10 = 5.
+        assert agg.value(1, now=10.0) == pytest.approx(5.0)
+
+    def test_converges_to_constant_input(self):
+        agg = EwmaAggregator(half_life=1.0)
+        for i in range(100):
+            agg.update(ev(float(i), 7.0))
+        assert agg.value(1, now=100.0) == pytest.approx(7.0)
+
+    def test_rapid_events_change_little(self):
+        agg = EwmaAggregator(half_life=100.0)
+        agg.update(ev(0.0, 0.0))
+        agg.update(ev(0.001, 100.0))  # nearly simultaneous
+        assert agg.value(1, now=1.0) < 1.0
+
+    def test_unknown_entity(self):
+        assert EwmaAggregator(half_life=1.0).value(3, now=0.0) is None
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValidationError):
+            EwmaAggregator(half_life=0.0)

@@ -1,0 +1,83 @@
+"""Tests for repro.clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clock import (
+    SECONDS_PER_DAY,
+    SimClock,
+    WallClock,
+    partition_key,
+    partition_start,
+)
+
+
+class TestSimClock:
+    def test_starts_at_configured_time(self):
+        assert SimClock(start=42.0).now() == 42.0
+
+    def test_default_start_is_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        assert clock.now() == 10.0
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+
+    def test_advance_returns_new_time(self):
+        assert SimClock(5.0).advance(5.0) == 10.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(7.0)
+        clock.advance(0.0)
+        assert clock.now() == 7.0
+
+    def test_advance_to_absolute(self):
+        clock = SimClock(10.0)
+        clock.advance_to(100.0)
+        assert clock.now() == 100.0
+
+    def test_advance_to_rejects_past(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+
+class TestWallClock:
+    def test_is_monotone_nondecreasing(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestPartitionKey:
+    def test_epoch_is_partition_zero(self):
+        assert partition_key(0.0) == 0
+
+    def test_day_boundaries(self):
+        assert partition_key(SECONDS_PER_DAY - 0.001) == 0
+        assert partition_key(SECONDS_PER_DAY) == 1
+
+    def test_custom_granularity(self):
+        assert partition_key(3599.0, granularity=3600.0) == 0
+        assert partition_key(3600.0, granularity=3600.0) == 1
+
+    def test_rejects_nonpositive_granularity(self):
+        with pytest.raises(ValueError):
+            partition_key(0.0, granularity=0.0)
+
+    def test_partition_start_inverts_key(self):
+        assert partition_start(3) == 3 * SECONDS_PER_DAY
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_timestamp_falls_inside_its_partition(self, ts):
+        key = partition_key(ts)
+        assert partition_start(key) <= ts < partition_start(key + 1)

@@ -1,0 +1,45 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are the library's public contract in narrative form; a refactor
+that breaks one must fail CI. Each test imports the example module and
+executes its ``main()`` with output captured.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "stream_monitoring",
+    "entity_disambiguation",
+    "embedding_lifecycle",
+    "model_patching",
+    "operations",
+]
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) >= 3  # each example narrates its run
+
+
+def test_examples_directory_is_covered():
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

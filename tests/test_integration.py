@@ -1,0 +1,226 @@
+"""Whole-system integration test: the Figure-1 loop with assertions.
+
+Covers the cross-package seams no unit test touches: raw events flow
+through cadence-scheduled materialization into point-in-time training sets;
+a self-supervised embedding is registered, consumed, monitored, found
+deficient on a slice, patched, rehearsed, and upgraded in a deployed
+service; the dashboard reflects every step.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ColumnRef,
+    EmbeddingStore,
+    Feature,
+    FeatureSetSpec,
+    FeatureStore,
+    FeatureView,
+    Provenance,
+    SimClock,
+    TableSchema,
+    WindowAggregate,
+)
+from repro.datagen import (
+    KBConfig,
+    MentionConfig,
+    RideEventConfig,
+    generate_entity_task,
+    generate_kb,
+    generate_mentions,
+    generate_ride_events,
+)
+from repro.embeddings import train_entity_embeddings
+from repro.models import LogisticRegression, MeanImputer
+from repro.monitoring import render_dashboard
+from repro.monitoring.retraining import RetrainingPolicy
+from repro.ned import tail_entity_ids
+from repro.patching import EmbeddingPatcher, PatchOutcomePredictor, SliceFinder
+from repro.pipeline import CadenceScheduler
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """Build one full deployment; individual tests assert on its parts."""
+    clock = SimClock(start=0.0)
+    store = FeatureStore(clock=clock)
+    store.create_source_table(
+        "rides",
+        TableSchema(columns={"trip_km": "float", "fare": "float",
+                             "rating": "float", "wait_minutes": "float",
+                             "city": "int", "vehicle_type": "int"}),
+    )
+    store.register_entity("driver")
+    events = generate_ride_events(
+        RideEventConfig(n_events=15_000, n_entities=400, n_days=3), seed=0
+    )
+    store.ingest("rides", events.rows())
+    store.publish_view(
+        FeatureView(
+            name="stats",
+            source_table="rides",
+            entity="driver",
+            features=(
+                Feature("last_fare", "float", ColumnRef("fare")),
+                Feature("rides_24h", "float", WindowAggregate("fare", "count", 86400.0)),
+            ),
+            cadence=6 * 3600.0,
+        )
+    )
+    scheduler = CadenceScheduler(store, tick_seconds=6 * 3600.0)
+    fare = events.numeric["fare"]
+    # Fares are lognormal-heavy-tailed: calibrate the monitor accordingly
+    # (tighter KS alpha, looser outlier-rate threshold) so a healthy stream
+    # stays alert-free.
+    from repro.monitoring import MonitorConfig
+
+    scheduler.watch_column(
+        "rides", "fare", fare[~np.isnan(fare)][:2000],
+        config=MonitorConfig(ks_alpha=1e-4, outlier_rate_threshold=0.03),
+    )
+    tick_reports = scheduler.run(12)
+
+    store.create_feature_set(
+        FeatureSetSpec(name="fs", features=("stats:last_fare", "stats:rides_24h"))
+    )
+
+    kb = generate_kb(KBConfig(n_entities=400, n_types=8, n_aliases=80), seed=0)
+    sample = generate_mentions(kb, MentionConfig(n_mentions=2500), seed=0)
+    mentions, __ = sample.split(0.9, seed=1)
+    entity_emb, token_emb = train_entity_embeddings(
+        mentions, kb.n_entities, sample.vocabulary.size, dim=32
+    )
+    embeddings = EmbeddingStore(clock=clock)
+    embeddings.register(
+        "driver_entities", entity_emb,
+        Provenance(trainer="ppmi_svd", data_snapshot="mentions@d3", seed=0),
+    )
+
+    task = generate_entity_task(4000, kb.types, n_classes=kb.n_types, seed=1)
+    train, test = task.split(0.7, seed=0)
+    segment_model = LogisticRegression(epochs=200).fit(
+        embeddings.vectors_for_model("driver_entities", 1, train.entity_ids),
+        train.labels,
+    )
+    store.register_model(
+        "segment", segment_model, feature_set="fs",
+        embedding_versions={"driver_entities": 1},
+        metrics={"accuracy": float(np.mean(
+            segment_model.predict(entity_emb.vectors[test.entity_ids])
+            == test.labels
+        ))},
+    )
+    return {
+        "clock": clock, "store": store, "scheduler": scheduler,
+        "tick_reports": tick_reports, "events": events,
+        "kb": kb, "sample": sample, "mentions": mentions,
+        "entity_emb": entity_emb, "token_emb": token_emb,
+        "embeddings": embeddings, "segment_model": segment_model,
+        "task_test": test,
+    }
+
+
+class TestFeatureSide:
+    def test_cadence_materialized_all_ticks(self, deployment):
+        reports = deployment["tick_reports"]
+        assert sum(len(r.materialized_views) for r in reports) == 12
+
+    def test_training_set_has_point_in_time_features(self, deployment):
+        store = deployment["store"]
+        rng = np.random.default_rng(0)
+        labels = [
+            (int(e), float(t), 1.0)
+            for e, t in zip(rng.integers(0, 400, size=300),
+                            rng.uniform(86400.0, 3 * 86400.0, size=300))
+        ]
+        training = store.build_training_set(labels, "fs")
+        present = ~np.isnan(training.features).all(axis=1)
+        assert present.mean() > 0.8
+        imputed = MeanImputer().fit_transform(training.features)
+        assert np.isfinite(imputed).all()
+
+    def test_no_spurious_alerts_on_healthy_stream(self, deployment):
+        log = deployment["scheduler"].alert_log
+        assert len(log.of_kind("drift")) == 0
+        assert len(log.of_kind("freshness")) == 0
+
+    def test_retraining_policy_quiet(self, deployment):
+        policy = RetrainingPolicy(watched_columns={"rides.fare"})
+        decision = policy.decide(
+            deployment["scheduler"].alert_log,
+            now=deployment["clock"].now(),
+            model_trained_at=0.0,
+        )
+        assert decision.action == "none"
+
+
+class TestEmbeddingSide:
+    def test_lineage_answers_consumers(self, deployment):
+        store = deployment["store"]
+        consumers = store.models.consumers_of_embedding("driver_entities")
+        assert [r.name for r in consumers] == ["segment"]
+        assert store.registry.downstream_models(
+            ("embedding", "driver_entities")
+        ) == ["segment"]
+
+    def test_slice_finder_surfaces_tail(self, deployment):
+        model = deployment["segment_model"]
+        test = deployment["task_test"]
+        emb = deployment["entity_emb"]
+        kb = deployment["kb"]
+        errors = model.predict(emb.vectors[test.entity_ids]) != test.labels
+        quartile = np.minimum(test.entity_ids * 4 // kb.n_entities, 3)
+        found = SliceFinder(min_support=30).find(
+            {"quartile": quartile.astype(np.int64)}, errors
+        )
+        assert found
+        assert found[0].predicates[0][1] >= 2
+
+    def test_patch_rehearsal_ships_and_upgrade_serves(self, deployment):
+        kb = deployment["kb"]
+        sample = deployment["sample"]
+        mentions = deployment["mentions"]
+        emb = deployment["entity_emb"]
+        embeddings = deployment["embeddings"]
+        model = deployment["segment_model"]
+        test = deployment["task_test"]
+
+        tails = tail_entity_ids(mentions, kb.n_entities, tail_threshold=2)
+        patcher = EmbeddingPatcher(kb, sample.vocabulary, deployment["token_emb"])
+        patched = patcher.impute_from_structure(emb, tails)
+
+        predictor = PatchOutcomePredictor()
+        predictor.add_consumer("segment", model, test.entity_ids, test.labels)
+        decision = predictor.rehearse(emb, patched.embedding, tails)
+        assert decision.ship
+
+        record = embeddings.register(
+            "driver_entities", patched.embedding,
+            Provenance(trainer="structural_patch", parent_version=1),
+            tags=("patched",),
+        )
+        embeddings.mark_compatible("driver_entities", 1, record.version)
+        served = embeddings.vectors_for_model(
+            "driver_entities", 1, test.entity_ids, serve_version=record.version
+        )
+        tail_mask = np.isin(test.entity_ids, tails)
+        before = np.mean(
+            model.predict(emb.vectors[test.entity_ids])[tail_mask]
+            == test.labels[tail_mask]
+        )
+        after = np.mean(
+            model.predict(served)[tail_mask] == test.labels[tail_mask]
+        )
+        assert after > before + 0.1
+
+    def test_dashboard_reflects_everything(self, deployment):
+        text = render_dashboard(
+            deployment["store"],
+            deployment["scheduler"].alert_log,
+            deployment["embeddings"],
+        )
+        assert "stats v1" in text
+        assert "driver_entities" in text
+        assert "segment v1" in text
+        assert "accuracy=" in text

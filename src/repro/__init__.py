@@ -45,6 +45,7 @@ from repro.errors import (
     StaleFeatureError,
     ValidationError,
 )
+from repro.serving import GatewayConfig, ServingGateway
 from repro.storage import (
     FreshnessPolicy,
     ModelStore,
@@ -68,6 +69,7 @@ __all__ = [
     "FeatureStore",
     "FeatureView",
     "FreshnessPolicy",
+    "GatewayConfig",
     "MaterializationResult",
     "ModelStore",
     "OfflineStore",
@@ -75,6 +77,7 @@ __all__ = [
     "Provenance",
     "ReproError",
     "RowTransform",
+    "ServingGateway",
     "SimClock",
     "StaleFeatureError",
     "TableSchema",

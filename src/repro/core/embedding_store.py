@@ -24,6 +24,7 @@ The store provides:
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -89,14 +90,24 @@ class EmbeddingVersion:
 
 
 class EmbeddingStore:
-    """Versioned, provenance-tracked embedding registry with serving."""
+    """Versioned, provenance-tracked embedding registry with serving.
+
+    Thread safety: registration, compatibility mutation, lazy index builds
+    and the serve-count bookkeeping are guarded by an internal
+    :class:`threading.RLock`, so the serving gateway's worker pool can
+    call :meth:`search` / :meth:`vectors_for_model` concurrently with
+    registrations without corrupting the version lists or building the
+    same index twice.
+    """
 
     def __init__(self, clock: Clock | None = None, quality_knn_k: int = 10) -> None:
         self._clock = clock or WallClock()
         self._versions: dict[str, list[EmbeddingVersion]] = {}
         self._indexes: dict[tuple[str, int, str], VectorIndex] = {}
         self._compatible: set[tuple[str, int, int]] = set()
+        self._lock = threading.RLock()
         self.quality_knn_k = quality_knn_k
+        self.read_count = 0  # serving-side reads (search + vectors_for_model)
 
     # -- registration --------------------------------------------------------
 
@@ -113,38 +124,43 @@ class EmbeddingStore:
         dimension may change across versions (retraining at a new dim), in
         which case cross-version metrics are skipped.
         """
-        versions = self._versions.setdefault(name, [])
-        if versions and versions[-1].embedding.n != embedding.n:
-            raise ValidationError(
-                f"embedding {name!r}: row count {embedding.n} != existing "
-                f"{versions[-1].embedding.n}; versions must share a vocabulary"
-            )
-        metrics: dict[str, float] = {
-            "n": float(embedding.n),
-            "dim": float(embedding.dim),
-            "mean_norm": float(np.linalg.norm(embedding.vectors, axis=1).mean()),
-        }
-        if versions:
-            previous = versions[-1].embedding
-            if previous.n > self.quality_knn_k:
-                metrics["knn_jaccard_vs_previous"] = neighborhood_jaccard(
-                    previous, embedding, k=self.quality_knn_k
+        with self._lock:
+            versions = self._versions.setdefault(name, [])
+            if versions and versions[-1].embedding.n != embedding.n:
+                raise ValidationError(
+                    f"embedding {name!r}: row count {embedding.n} != existing "
+                    f"{versions[-1].embedding.n}; versions must share a vocabulary"
                 )
-            if previous.dim == embedding.dim:
-                displacement = semantic_displacement(previous, embedding)
-                metrics["mean_displacement_vs_previous"] = float(displacement.mean())
-                metrics["max_displacement_vs_previous"] = float(displacement.max())
+            metrics: dict[str, float] = {
+                "n": float(embedding.n),
+                "dim": float(embedding.dim),
+                "mean_norm": float(np.linalg.norm(embedding.vectors, axis=1).mean()),
+            }
+            if versions:
+                previous = versions[-1].embedding
+                if previous.n > self.quality_knn_k:
+                    metrics["knn_jaccard_vs_previous"] = neighborhood_jaccard(
+                        previous, embedding, k=self.quality_knn_k
+                    )
+                if previous.dim == embedding.dim:
+                    displacement = semantic_displacement(previous, embedding)
+                    metrics["mean_displacement_vs_previous"] = float(
+                        displacement.mean()
+                    )
+                    metrics["max_displacement_vs_previous"] = float(
+                        displacement.max()
+                    )
 
-        record = EmbeddingVersion(
-            name=name,
-            version=len(versions) + 1,
-            embedding=embedding,
-            provenance=provenance,
-            created_at=self._clock.now(),
-            metrics=metrics,
-            tags=tuple(tags),
-        )
-        versions.append(record)
+            record = EmbeddingVersion(
+                name=name,
+                version=len(versions) + 1,
+                embedding=embedding,
+                provenance=provenance,
+                created_at=self._clock.now(),
+                metrics=metrics,
+                tags=tuple(tags),
+            )
+            versions.append(record)
         logger.info(
             "registered embedding %s (trainer=%s, n=%d, dim=%d)",
             record.key, provenance.trainer, embedding.n, embedding.dim,
@@ -152,29 +168,33 @@ class EmbeddingStore:
         return record
 
     def get(self, name: str, version: int | None = None) -> EmbeddingVersion:
-        versions = self._versions.get(name)
-        if not versions:
-            raise NotRegisteredError(
-                f"no embedding {name!r}; have {sorted(self._versions)}"
-            )
-        if version is None:
-            return versions[-1]
-        if not 1 <= version <= len(versions):
-            raise NotRegisteredError(
-                f"embedding {name!r} has versions 1..{len(versions)}, not {version}"
-            )
-        return versions[version - 1]
+        with self._lock:
+            versions = self._versions.get(name)
+            if not versions:
+                raise NotRegisteredError(
+                    f"no embedding {name!r}; have {sorted(self._versions)}"
+                )
+            if version is None:
+                return versions[-1]
+            if not 1 <= version <= len(versions):
+                raise NotRegisteredError(
+                    f"embedding {name!r} has versions 1..{len(versions)}, "
+                    f"not {version}"
+                )
+            return versions[version - 1]
 
     def latest_version(self, name: str) -> int:
         return self.get(name).version
 
     def names(self) -> list[str]:
-        return sorted(self._versions)
+        with self._lock:
+            return sorted(self._versions)
 
     def versions(self, name: str) -> list[EmbeddingVersion]:
-        if name not in self._versions:
-            raise NotRegisteredError(f"no embedding {name!r}")
-        return list(self._versions[name])
+        with self._lock:
+            if name not in self._versions:
+                raise NotRegisteredError(f"no embedding {name!r}")
+            return list(self._versions[name])
 
     def provenance_chain(self, name: str, version: int) -> list[EmbeddingVersion]:
         """Follow parent_version links back to the root, newest first."""
@@ -203,11 +223,15 @@ class EmbeddingStore:
             )
         record = self.get(name, version)
         cache_key = (name, record.version, index_kind)
-        index = self._indexes.get(cache_key)
-        if index is None:
-            index = _INDEX_FACTORIES[index_kind]()
-            index.build(record.embedding.vectors)
-            self._indexes[cache_key] = index
+        with self._lock:
+            self.read_count += 1
+            index = self._indexes.get(cache_key)
+            if index is None:
+                # Built under the lock so concurrent first queries on the
+                # same version cannot race to build (and clobber) the index.
+                index = _INDEX_FACTORIES[index_kind]()
+                index.build(record.embedding.vectors)
+                self._indexes[cache_key] = index
         return index.query(np.asarray(query, dtype=float), k)
 
     def search_filtered(
@@ -281,14 +305,16 @@ class EmbeddingStore:
         """Declare that vectors of ``serve_version`` may feed models pinned
         to ``model_version`` (e.g. after Procrustes alignment or a verified
         no-op retrain)."""
-        self.get(name, model_version)
-        self.get(name, serve_version)
-        self._compatible.add((name, model_version, serve_version))
+        with self._lock:
+            self.get(name, model_version)
+            self.get(name, serve_version)
+            self._compatible.add((name, model_version, serve_version))
 
     def is_compatible(self, name: str, model_version: int, serve_version: int) -> bool:
         if model_version == serve_version:
             return True
-        return (name, model_version, serve_version) in self._compatible
+        with self._lock:
+            return (name, model_version, serve_version) in self._compatible
 
     def vectors_for_model(
         self,
@@ -307,6 +333,8 @@ class EmbeddingStore:
         bypasses the check, reproducing the paper's failure mode on purpose.
         """
         serve = self.get(name, serve_version)
+        with self._lock:
+            self.read_count += 1
         if not override and not self.is_compatible(name, pinned_version, serve.version):
             raise CompatibilityError(
                 f"model pinned to {name}:v{pinned_version} cannot consume "

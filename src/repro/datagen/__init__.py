@@ -42,6 +42,12 @@ from repro.datagen.tasks import (
     generate_entity_task,
     generate_sliced_task,
 )
+from repro.datagen.workloads import (
+    ZipfianWorkloadConfig,
+    generate_zipfian_keys,
+    theoretical_hit_rate,
+    zipf_probabilities,
+)
 
 __all__ = [
     "CategoricalShift",
@@ -62,6 +68,7 @@ __all__ = [
     "SyntheticCorpus",
     "TabularDataset",
     "VarianceShift",
+    "ZipfianWorkloadConfig",
     "generate_corpus",
     "generate_entity_task",
     "generate_kb",
@@ -70,4 +77,7 @@ __all__ = [
     "generate_sliced_task",
     "generate_stream",
     "generate_tabular",
+    "generate_zipfian_keys",
+    "theoretical_hit_rate",
+    "zipf_probabilities",
 ]

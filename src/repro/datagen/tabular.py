@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.clock import SECONDS_PER_DAY
+from repro.datagen.workloads import zipf_probabilities
 from repro.errors import ValidationError
 
 
@@ -124,10 +125,8 @@ class RideEventConfig:
 
 
 def _zipf_probabilities(n: int, skew: float) -> np.ndarray:
-    """Zipfian probability vector over ``n`` items with exponent ``skew``."""
-    ranks = np.arange(1, n + 1, dtype=float)
-    weights = ranks**-skew
-    return weights / weights.sum()
+    """Zipfian probability vector (shared with :mod:`repro.datagen.workloads`)."""
+    return zipf_probabilities(n, skew)
 
 
 def generate_ride_events(

@@ -1,0 +1,85 @@
+"""Serving workload generation: Zipfian request key streams.
+
+Online feature traffic is not uniform — a small head of entities
+(power users, popular products, trending items) receives most requests,
+following the same Zipfian structure the paper's industrial substrate
+exhibits (tail entities in NED, busy drivers in ride events). A serving
+tier's cache economics depend entirely on that skew, so the gateway
+benchmarks and the closed-loop load generator draw their keys from the
+generators here.
+
+Deterministic: all draws come from a seeded ``numpy`` generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def zipf_probabilities(n: int, skew: float) -> np.ndarray:
+    """Zipfian probability vector over ``n`` ranked items.
+
+    ``p(rank) ∝ rank**-skew`` for ranks 1..n; ``skew=0`` is uniform,
+    ``skew=1.0`` is the classic web-traffic shape.
+    """
+    if n <= 0:
+        raise ValidationError(f"n must be positive ({n=})")
+    if skew < 0:
+        raise ValidationError(f"skew must be >= 0 ({skew=})")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-skew
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class ZipfianWorkloadConfig:
+    """Parameters for :func:`generate_zipfian_keys`.
+
+    ``shuffle_ranks`` breaks the rank==key-id identity: popular keys are
+    scattered across the id space (as in real traffic) instead of being
+    the lowest ids, which keeps caches honest — no accidental locality.
+    """
+
+    n_keys: int = 1000
+    n_requests: int = 10_000
+    skew: float = 1.0
+    shuffle_ranks: bool = True
+
+    def validate(self) -> None:
+        if self.n_keys <= 0:
+            raise ValidationError(f"n_keys must be positive ({self.n_keys=})")
+        if self.n_requests <= 0:
+            raise ValidationError(
+                f"n_requests must be positive ({self.n_requests=})"
+            )
+        if self.skew < 0:
+            raise ValidationError(f"skew must be >= 0 ({self.skew=})")
+
+
+def generate_zipfian_keys(
+    config: ZipfianWorkloadConfig = ZipfianWorkloadConfig(),
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Draw ``n_requests`` key ids in [0, n_keys) with Zipfian popularity."""
+    config.validate()
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    probs = zipf_probabilities(config.n_keys, config.skew)
+    ranks = rng.choice(config.n_keys, size=config.n_requests, p=probs)
+    if not config.shuffle_ranks:
+        return ranks.astype(np.int64)
+    permutation = rng.permutation(config.n_keys)
+    return permutation[ranks].astype(np.int64)
+
+
+def theoretical_hit_rate(n_keys: int, skew: float, cache_size: int) -> float:
+    """Upper-bound hit rate of a perfect cache holding the ``cache_size``
+    most popular of ``n_keys`` Zipfian keys — the planning number that
+    says how large the gateway cache must be for a target hit rate."""
+    if cache_size <= 0:
+        return 0.0
+    probs = zipf_probabilities(n_keys, skew)
+    return float(probs[: min(cache_size, n_keys)].sum())

@@ -67,6 +67,24 @@ class ServingError(ReproError):
     """An online serving request could not be satisfied."""
 
 
+class DeadlineExceededError(ServingError):
+    """A serving request exhausted its per-request latency budget.
+
+    Raised by the serving gateway when a lookup (including retries and
+    queue wait) cannot complete within the caller's deadline and the
+    degradation policy is ``RAISE``.
+    """
+
+
+class TransientStoreError(StorageError):
+    """A transient, retryable backing-store failure (timeout, blip).
+
+    The fault-injection wrapper raises this to simulate network timeouts
+    and intermittent store errors; the gateway's retry-with-backoff loop
+    treats it as retryable.
+    """
+
+
 class TrainingError(ReproError):
     """A model or embedding training run failed."""
 

@@ -15,7 +15,11 @@ in the system."
   drifts or changes in embeddings").
 """
 
-from repro.monitoring.dashboard import DashboardSection, render_dashboard
+from repro.monitoring.dashboard import (
+    DashboardSection,
+    render_dashboard,
+    serving_section,
+)
 from repro.monitoring.detectors import (
     DriftResult,
     chi_square_drift,
@@ -65,6 +69,7 @@ __all__ = [
     "population_stability_index",
     "psi_drift",
     "render_dashboard",
+    "serving_section",
     "training_serving_skew",
     "zscore_outliers",
 ]

@@ -8,16 +8,23 @@ status report combining the four health surfaces an on-call engineer needs:
 * feature freshness per view against its cadence budget,
 * embedding version status (latest version, quality-vs-previous metrics,
   which models are pinned behind),
-* deployed-model inventory with lineage.
+* deployed-model inventory with lineage,
+* serving-tier health (per-endpoint p50/p95/p99 latency, QPS, cache
+  hit-rate, queue pressure, error/degraded counts) when a
+  :class:`~repro.serving.gateway.ServingGateway` is attached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.embedding_store import EmbeddingStore
 from repro.core.feature_store import FeatureStore
 from repro.monitoring.monitor import AlertLog
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.serving.gateway import ServingGateway
 
 
 @dataclass(frozen=True)
@@ -117,11 +124,54 @@ def model_section(store: FeatureStore) -> DashboardSection:
     return DashboardSection("models", tuple(lines))
 
 
+def serving_section(gateway: "ServingGateway") -> DashboardSection:
+    """Serving-tier health: latency percentiles, QPS, caching, pressure.
+
+    The gateway's own histograms are the source of truth (the "SLO
+    monitoring" surface a managed serving tier exports); this section
+    renders one line per endpoint plus the cache/batch/queue summary.
+    """
+    snapshot = gateway.snapshot()
+    lines = []
+    endpoints: dict[str, dict[str, float]] = snapshot["endpoints"]  # type: ignore[assignment]
+    for name, stats in sorted(endpoints.items()):
+        lines.append(
+            f"{name}: n={stats['requests']:.0f} qps={stats['qps']:,.0f} "
+            f"p50={stats['p50_s'] * 1e3:.2f}ms p95={stats['p95_s'] * 1e3:.2f}ms "
+            f"p99={stats['p99_s'] * 1e3:.2f}ms err={stats['errors']:.0f} "
+            f"degraded={stats['degraded']:.0f} stale_served={stats['stale_served']:.0f}"
+        )
+    cache = snapshot.get("cache")
+    if cache is not None:
+        lines.append(
+            f"cache: hit_rate={cache.hit_rate:.2f} "
+            f"(hits={cache.hits} stale={cache.stale_hits} misses={cache.misses}) "
+            f"hot={cache.hot_size} keys (hot_hits={cache.hot_hits}) "
+            f"evictions={cache.evictions} invalidations={cache.invalidations}"
+        )
+    batch = snapshot.get("batch")
+    if batch is not None:
+        lines.append(
+            f"batching: {batch['batches']} batches, "
+            f"mean size {batch['mean_batch_size']:.1f}"
+        )
+    lines.append(
+        f"pressure: inflight={snapshot['inflight']} "
+        f"(peak {snapshot['inflight_peak']}) "
+        f"queue_depth={snapshot['queue_depth']} "
+        f"(peak {snapshot['queue_depth_peak']})"
+    )
+    if not endpoints:
+        lines = ["no requests served"] + lines[-1:]
+    return DashboardSection("serving", tuple(lines))
+
+
 def render_dashboard(
     store: FeatureStore,
     log: AlertLog,
     embeddings: EmbeddingStore | None = None,
     now: float | None = None,
+    gateway: "ServingGateway | None" = None,
 ) -> str:
     """Render the full status pane as one string."""
     sections = [
@@ -131,4 +181,6 @@ def render_dashboard(
     if embeddings is not None:
         sections.append(embedding_section(embeddings, store))
     sections.append(model_section(store))
+    if gateway is not None:
+        sections.append(serving_section(gateway))
     return "\n\n".join(section.render() for section in sections)

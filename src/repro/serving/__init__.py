@@ -1,0 +1,56 @@
+"""Online serving tier: the concurrent gateway over both stores.
+
+The paper's product surface (§2.2.2, §3) is low-latency serving of
+features *and* embeddings to deployed models. This package is that tier:
+
+* :mod:`repro.serving.gateway` — the :class:`ServingGateway` request API
+  (``get_features`` / ``get_embeddings`` / ``nearest_neighbors`` / fused
+  ``enrich``) with deadlines, retries and graceful degradation;
+* :mod:`repro.serving.cache` — read-through LRU+TTL cache with a
+  Zipfian-aware hot-key tier and write-path invalidation;
+* :mod:`repro.serving.batcher` — micro-batching of concurrent point
+  lookups into batched store reads;
+* :mod:`repro.serving.faults` — fault-injecting store wrapper (latency,
+  timeouts, transient errors) the robustness machinery is tested against;
+* :mod:`repro.serving.metrics` — latency histograms, counters, gauges;
+* :mod:`repro.serving.loadgen` — closed-loop Zipfian load generation.
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import (
+    CacheEntry,
+    CacheStats,
+    LookupStatus,
+    ReadThroughCache,
+)
+from repro.serving.faults import FaultInjectingOnlineStore, FaultPolicy
+from repro.serving.gateway import EnrichResult, GatewayConfig, ServingGateway
+from repro.serving.loadgen import LoadConfig, LoadReport, run_closed_loop
+from repro.serving.metrics import (
+    Counter,
+    EndpointMetrics,
+    Gauge,
+    LatencyHistogram,
+    ServingMetrics,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "Counter",
+    "EndpointMetrics",
+    "EnrichResult",
+    "FaultInjectingOnlineStore",
+    "FaultPolicy",
+    "Gauge",
+    "GatewayConfig",
+    "LatencyHistogram",
+    "LoadConfig",
+    "LoadReport",
+    "LookupStatus",
+    "MicroBatcher",
+    "ReadThroughCache",
+    "ServingGateway",
+    "ServingMetrics",
+    "run_closed_loop",
+]

@@ -1,0 +1,238 @@
+"""Read-through serving cache: LRU + TTL + a Zipfian-aware hot-key tier.
+
+Online feature traffic is heavily skewed ("power users" dominate request
+logs the same way Zipfian entities dominate the ride workload in
+:mod:`repro.datagen.tabular`), so a small cache in front of the store
+absorbs most reads. Two design points follow from skew:
+
+* **LRU tier** — bounded ``OrderedDict``; recency approximates frequency
+  well enough for the warm middle of the distribution.
+* **Hot tier** — keys whose access count crosses a promotion threshold
+  move into a separate bounded dict that LRU churn can never evict: a
+  burst of one-off cold keys (a scan, a crawler) cannot wash the head of
+  the Zipf distribution out of the cache.
+
+Entries are TTL-aware: a lookup distinguishes *hit* (present and fresh),
+*stale* (present but older than ``ttl``) and *miss*. Stale entries are
+kept — the gateway serves them as graceful degradation when the backing
+store times out (``FreshnessPolicy.SERVE_ANYWAY``).
+
+Invalidation is push-based: the gateway registers a write listener on the
+:class:`~repro.storage.online.OnlineStore`, so any writer that lands a new
+value (materializer, stream processor, backfill) evicts the cached copy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Hashable
+
+from repro.errors import ValidationError
+
+CacheKey = Hashable
+
+
+class LookupStatus(Enum):
+    HIT = "hit"
+    STALE = "stale"
+    MISS = "miss"
+
+
+@dataclass
+class CacheEntry:
+    """One cached value with its bookkeeping."""
+
+    value: object
+    stored_at: float
+    accesses: int = 0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    hits: int
+    stale_hits: int
+    misses: int
+    hot_hits: int
+    evictions: int
+    invalidations: int
+    promotions: int
+    size: int
+    hot_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.stale_hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ReadThroughCache:
+    """Thread-safe LRU+TTL cache with a frequency-promoted hot tier.
+
+    ``ttl`` bounds how long an entry may be served as *fresh*; ``None``
+    disables expiry. ``hot_capacity=0`` disables the hot tier entirely.
+    A key is promoted once it accumulates ``hot_promote_hits`` lookups;
+    when the hot tier is full the least-accessed hot key is demoted back
+    to the LRU tier, so the hot set tracks the true head over time.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl: float | None = None,
+        hot_capacity: int = 0,
+        hot_promote_hits: int = 8,
+        now: Callable[[], float] | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValidationError(f"capacity must be positive ({capacity=})")
+        if ttl is not None and ttl <= 0:
+            raise ValidationError(f"ttl must be positive or None ({ttl=})")
+        if hot_capacity < 0:
+            raise ValidationError(f"hot_capacity must be >= 0 ({hot_capacity=})")
+        if hot_promote_hits < 1:
+            raise ValidationError(
+                f"hot_promote_hits must be >= 1 ({hot_promote_hits=})"
+            )
+        self.capacity = capacity
+        self.ttl = ttl
+        self.hot_capacity = hot_capacity
+        self.hot_promote_hits = hot_promote_hits
+        self._now = now or time.monotonic
+        self._lru: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+        self._hot: dict[CacheKey, CacheEntry] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._stale_hits = 0
+        self._misses = 0
+        self._hot_hits = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._promotions = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, key: CacheKey) -> tuple[LookupStatus, CacheEntry | None]:
+        """Classify a key as hit / stale / miss; return the entry if present.
+
+        A *stale* entry is returned (not dropped) so the caller can use it
+        for serve-stale degradation; it still counts as a miss for
+        hit-rate purposes because the read-through path must refresh it.
+        """
+        with self._lock:
+            entry = self._hot.get(key)
+            in_hot = entry is not None
+            if entry is None:
+                entry = self._lru.get(key)
+                if entry is not None:
+                    self._lru.move_to_end(key)
+            if entry is None:
+                self._misses += 1
+                return LookupStatus.MISS, None
+            entry.accesses += 1
+            if self.ttl is not None and self._now() - entry.stored_at > self.ttl:
+                self._stale_hits += 1
+                return LookupStatus.STALE, entry
+            self._hits += 1
+            if in_hot:
+                self._hot_hits += 1
+            else:
+                self._maybe_promote(key, entry)
+            return LookupStatus.HIT, entry
+
+    def _maybe_promote(self, key: CacheKey, entry: CacheEntry) -> None:
+        # Caller holds the lock.
+        if self.hot_capacity == 0 or entry.accesses < self.hot_promote_hits:
+            return
+        if len(self._hot) >= self.hot_capacity:
+            coldest = min(self._hot, key=lambda k: self._hot[k].accesses)
+            if self._hot[coldest].accesses >= entry.accesses:
+                return  # the incumbent head is hotter; keep it
+            demoted = self._hot.pop(coldest)
+            self._store_lru(coldest, demoted)
+        self._lru.pop(key, None)
+        self._hot[key] = entry
+        self._promotions += 1
+
+    # -- write path -----------------------------------------------------------
+
+    def put(self, key: CacheKey, value: object) -> None:
+        """Insert or refresh a value (resets its TTL clock)."""
+        with self._lock:
+            stored_at = self._now()
+            hot_entry = self._hot.get(key)
+            if hot_entry is not None:
+                hot_entry.value = value
+                hot_entry.stored_at = stored_at
+                return
+            existing = self._lru.get(key)
+            if existing is not None:
+                existing.value = value
+                existing.stored_at = stored_at
+                self._lru.move_to_end(key)
+                return
+            self._store_lru(key, CacheEntry(value=value, stored_at=stored_at))
+
+    def _store_lru(self, key: CacheKey, entry: CacheEntry) -> None:
+        # Caller holds the lock.
+        self._lru[key] = entry
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self._evictions += 1
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop a key from both tiers; returns whether anything was dropped."""
+        with self._lock:
+            dropped = self._hot.pop(key, None) is not None
+            dropped = (self._lru.pop(key, None) is not None) or dropped
+            if dropped:
+                self._invalidations += 1
+            return dropped
+
+    def invalidate_where(self, predicate: Callable[[CacheKey], bool]) -> int:
+        """Drop every key matching ``predicate`` (e.g. a whole namespace)."""
+        with self._lock:
+            doomed = [k for k in self._hot if predicate(k)]
+            doomed += [k for k in self._lru if predicate(k)]
+            for key in doomed:
+                self._hot.pop(key, None)
+                self._lru.pop(key, None)
+            self._invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._lru.clear()
+            self._hot.clear()
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru) + len(self._hot)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._lru or key in self._hot
+
+    def hot_keys(self) -> list[CacheKey]:
+        with self._lock:
+            return list(self._hot)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                stale_hits=self._stale_hits,
+                misses=self._misses,
+                hot_hits=self._hot_hits,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                promotions=self._promotions,
+                size=len(self._lru) + len(self._hot),
+                hot_size=len(self._hot),
+            )

@@ -1,0 +1,120 @@
+"""Fault injection for the online store: latency, timeouts, blips.
+
+The in-process :class:`~repro.storage.online.OnlineStore` is a stand-in
+for a remote serving tier (Redis, Cassandra, DynamoDB — paper §2.2.2's
+"in-memory DBMS"). Real remote tiers have two properties the plain dict
+lacks and the gateway must be engineered against:
+
+* **a per-call network round trip** — simulated as ``base_latency_s``
+  per store call plus ``per_key_latency_s`` per key. Note the shape: a
+  batched ``read_many`` of 64 keys pays the round trip *once*, which is
+  exactly the economics that make micro-batching win.
+* **transient failures** — with probability ``timeout_rate`` a call
+  times out and with ``error_rate`` it fails fast; both raise
+  :class:`~repro.errors.TransientStoreError` so the gateway's
+  retry/degradation machinery engages.
+
+Fault decisions come from a seeded private RNG, so tests are
+deterministic; counters record what was injected for assertions.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import TransientStoreError, ValidationError
+from repro.serving.metrics import Counter
+from repro.storage.online import FreshnessPolicy, OnlineStore
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """What the wrapper injects, and how often."""
+
+    timeout_rate: float = 0.0
+    error_rate: float = 0.0
+    base_latency_s: float = 0.0
+    per_key_latency_s: float = 0.0
+    timeout_latency_s: float = 0.0  # time burned before a timeout surfaces
+    seed: int | None = None
+
+    def validate(self) -> None:
+        for name in ("timeout_rate", "error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1] ({rate=})")
+        for name in ("base_latency_s", "per_key_latency_s", "timeout_latency_s"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValidationError(f"{name} must be >= 0 ({value=})")
+
+
+class FaultInjectingOnlineStore:
+    """Wrap an :class:`OnlineStore`, injecting faults on the read path.
+
+    Everything not intercepted (writes, namespace admin, counters) is
+    delegated to the wrapped store untouched, so the wrapper is a drop-in
+    replacement anywhere an ``OnlineStore`` is expected.
+    """
+
+    def __init__(self, store: OnlineStore, policy: FaultPolicy) -> None:
+        policy.validate()
+        self._store = store
+        self.policy = policy
+        self._rng = random.Random(policy.seed)
+        self._rng_lock = threading.Lock()
+        self.injected_timeouts = Counter()
+        self.injected_errors = Counter()
+        self.calls = Counter()
+
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+    @property
+    def wrapped(self) -> OnlineStore:
+        return self._store
+
+    def _roll(self) -> float:
+        with self._rng_lock:
+            return self._rng.random()
+
+    def _simulate(self, n_keys: int) -> None:
+        self.calls.inc()
+        policy = self.policy
+        latency = policy.base_latency_s + policy.per_key_latency_s * n_keys
+        if latency > 0:
+            time.sleep(latency)
+        roll = self._roll()
+        if roll < policy.timeout_rate:
+            self.injected_timeouts.inc()
+            if policy.timeout_latency_s > 0:
+                time.sleep(policy.timeout_latency_s)
+            raise TransientStoreError(
+                f"injected timeout (rate={policy.timeout_rate})"
+            )
+        if roll < policy.timeout_rate + policy.error_rate:
+            self.injected_errors.inc()
+            raise TransientStoreError(f"injected error (rate={policy.error_rate})")
+
+    # -- intercepted read path ------------------------------------------------
+
+    def read(
+        self,
+        namespace: str,
+        entity_id: int,
+        policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
+    ) -> dict[str, object] | None:
+        self._simulate(n_keys=1)
+        return self._store.read(namespace, entity_id, policy)
+
+    def read_many(
+        self,
+        namespace: str,
+        entity_ids: list[int],
+        policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
+    ) -> list[dict[str, object] | None]:
+        self._simulate(n_keys=len(entity_ids))
+        return self._store.read_many(namespace, entity_ids, policy)

@@ -1,0 +1,133 @@
+"""Closed-loop load generation for the serving gateway.
+
+A *closed-loop* generator models ``n_clients`` synchronous callers (the
+deployed model replicas of paper §2.2.2): each client issues its next
+request only after the previous one returns, so offered load adapts to
+observed latency exactly the way a fleet of blocking RPC clients does.
+Keys are drawn from a Zipfian popularity distribution
+(:func:`repro.datagen.workloads.generate_zipfian_keys`) — the skew that
+makes the gateway's hot-key cache tier earn its keep.
+
+Latencies are measured per request with ``time.perf_counter`` and merged
+across clients into exact (non-bucketed) percentiles, so benchmark
+numbers are independent of the gateway's own histogram resolution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.workloads import ZipfianWorkloadConfig, generate_zipfian_keys
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Shape of one closed-loop run."""
+
+    n_clients: int = 4
+    requests_per_client: int = 200
+    n_keys: int = 1000
+    zipf_skew: float = 1.0
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.n_clients < 1:
+            raise ValidationError(f"n_clients must be >= 1 ({self.n_clients=})")
+        if self.requests_per_client < 1:
+            raise ValidationError(
+                f"requests_per_client must be >= 1 ({self.requests_per_client=})"
+            )
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Merged results of a closed-loop run."""
+
+    total_requests: int
+    errors: int
+    duration_s: float
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    def row(self, label: str) -> list[object]:
+        """A table row for the benchmark report fixture."""
+        return [
+            label,
+            f"{self.qps:,.0f}",
+            self.p50_ms,
+            self.p99_ms,
+            self.errors,
+        ]
+
+
+def run_closed_loop(
+    request_fn: Callable[[int], object],
+    config: LoadConfig,
+) -> LoadReport:
+    """Drive ``request_fn(key)`` from ``n_clients`` threads; merge stats.
+
+    ``request_fn`` is typically a bound gateway endpoint, e.g.
+    ``lambda key: gateway.get_features("ns", key)``. Exceptions are
+    counted as errors, not propagated — a load test should survive the
+    fault-injection runs it is pointed at.
+    """
+    config.validate()
+    per_client_latencies: list[list[float]] = [[] for _ in range(config.n_clients)]
+    per_client_errors = [0] * config.n_clients
+    key_streams = [
+        generate_zipfian_keys(
+            ZipfianWorkloadConfig(
+                n_keys=config.n_keys,
+                n_requests=config.requests_per_client,
+                skew=config.zipf_skew,
+            ),
+            seed=config.seed + client,
+        )
+        for client in range(config.n_clients)
+    ]
+    barrier = threading.Barrier(config.n_clients + 1)
+
+    def client_loop(client: int) -> None:
+        latencies = per_client_latencies[client]
+        barrier.wait()
+        for key in key_streams[client]:
+            start = time.perf_counter()
+            try:
+                request_fn(int(key))
+            except Exception:  # noqa: BLE001 - counted, see docstring
+                per_client_errors[client] += 1
+            latencies.append(time.perf_counter() - start)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(client,), daemon=True)
+        for client in range(config.n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    merged = np.array([lat for client in per_client_latencies for lat in client])
+    total = len(merged)
+    return LoadReport(
+        total_requests=total,
+        errors=sum(per_client_errors),
+        duration_s=duration,
+        qps=total / duration if duration > 0 else 0.0,
+        p50_ms=float(np.percentile(merged, 50)) * 1e3,
+        p95_ms=float(np.percentile(merged, 95)) * 1e3,
+        p99_ms=float(np.percentile(merged, 99)) * 1e3,
+        mean_ms=float(merged.mean()) * 1e3,
+    )

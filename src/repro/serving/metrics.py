@@ -1,0 +1,228 @@
+"""Serving observability primitives: counters, gauges, latency histograms.
+
+Paper section 2.2.3 argues that operational metrics are what "allow users
+to be informed of potential 'gremlins' in the system"; an online serving
+tier is the component where those gremlins cost real traffic, so the
+gateway records per-endpoint latency distributions (p50/p95/p99), request
+and error rates, cache effectiveness and queue pressure.
+
+Everything here is thread-safe and allocation-light: histograms are
+log-bucketed fixed arrays (record() is O(1), no per-sample storage), and
+counters/gauges are plain ints behind a lock. Latencies are measured in
+*wall* seconds (``time.monotonic``) — unlike event-time freshness, tail
+latency is a property of the real machine, not the simulated clock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+#: Histogram bucket geometry: bucket ``i`` holds samples in
+#: ``[_BASE * _GROWTH**i, _BASE * _GROWTH**(i+1))`` seconds.
+_BASE = 1e-6  # 1 microsecond
+_GROWTH = math.sqrt(2.0)
+_N_BUCKETS = 64  # covers 1us .. ~4.3e3 s
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A thread-safe up/down gauge tracking an instantaneous quantity.
+
+    Tracks the high-water mark too, so a snapshot taken after the storm
+    still shows how deep the queue got.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._peak = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+            self._peak = max(self._peak, self._value)
+
+    def dec(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+            self._peak = max(self._peak, value)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    @property
+    def peak(self) -> int:
+        with self._lock:
+            return self._peak
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with percentile estimation.
+
+    ``record()`` is O(1); ``percentile()`` walks the cumulative counts and
+    returns the geometric midpoint of the bucket containing the requested
+    rank (the classic Prometheus-style estimate — exact to within one
+    bucket width, ~±19% with sqrt(2) growth).
+    """
+
+    def __init__(self) -> None:
+        self._counts = [0] * _N_BUCKETS
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+
+    @staticmethod
+    def _bucket_index(seconds: float) -> int:
+        if seconds < _BASE:
+            return 0
+        index = int(math.log(seconds / _BASE) / math.log(_GROWTH))
+        return min(index, _N_BUCKETS - 1)
+
+    @staticmethod
+    def _bucket_midpoint(index: int) -> float:
+        low = _BASE * _GROWTH**index
+        return low * math.sqrt(_GROWTH)  # geometric midpoint of [low, low*G)
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValidationError(f"latency cannot be negative ({seconds=})")
+        index = self._bucket_index(seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total_seconds += seconds
+
+    def percentile(self, p: float) -> float:
+        """Estimated latency (seconds) at percentile ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValidationError(f"percentile must be in [0, 100] ({p=})")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = max(1, math.ceil(self.count * p / 100.0))
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    return self._bucket_midpoint(index)
+            return self._bucket_midpoint(_N_BUCKETS - 1)
+
+    def mean(self) -> float:
+        with self._lock:
+            return self.total_seconds / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """count / mean / p50 / p95 / p99 in one locked-per-call bundle."""
+        return {
+            "count": float(self.count),
+            "mean_s": self.mean(),
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+        }
+
+
+@dataclass
+class EndpointMetrics:
+    """All per-endpoint serving metrics."""
+
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    requests: Counter = field(default_factory=Counter)
+    errors: Counter = field(default_factory=Counter)
+    degraded: Counter = field(default_factory=Counter)
+    stale_served: Counter = field(default_factory=Counter)
+    retries: Counter = field(default_factory=Counter)
+    cache_hits: Counter = field(default_factory=Counter)
+    cache_misses: Counter = field(default_factory=Counter)
+
+    def hit_rate(self) -> float:
+        hits, misses = self.cache_hits.value, self.cache_misses.value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self, elapsed_s: float) -> dict[str, float]:
+        latency = self.latency.summary()
+        requests = self.requests.value
+        return {
+            "requests": float(requests),
+            "qps": requests / elapsed_s if elapsed_s > 0 else 0.0,
+            "errors": float(self.errors.value),
+            "degraded": float(self.degraded.value),
+            "stale_served": float(self.stale_served.value),
+            "retries": float(self.retries.value),
+            "cache_hits": float(self.cache_hits.value),
+            "cache_misses": float(self.cache_misses.value),
+            "cache_hit_rate": self.hit_rate(),
+            **latency,
+        }
+
+
+class ServingMetrics:
+    """Registry of per-endpoint metrics plus gateway-wide gauges."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, EndpointMetrics] = {}
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.inflight = Gauge()
+        self.queue_depth = Gauge()
+
+    def endpoint(self, name: str) -> EndpointMetrics:
+        with self._lock:
+            metrics = self._endpoints.get(name)
+            if metrics is None:
+                metrics = self._endpoints[name] = EndpointMetrics()
+            return metrics
+
+    def endpoints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._endpoints)
+
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def reset_window(self) -> None:
+        """Restart the QPS window (keeps histograms and counters)."""
+        self._started = time.monotonic()
+
+    def snapshot(self) -> dict[str, object]:
+        """One nested dict with every endpoint plus gateway-wide gauges."""
+        elapsed = self.elapsed_s()
+        return {
+            "elapsed_s": elapsed,
+            "inflight": self.inflight.value,
+            "inflight_peak": self.inflight.peak,
+            "queue_depth": self.queue_depth.value,
+            "queue_depth_peak": self.queue_depth.peak,
+            "endpoints": {
+                name: self.endpoint(name).snapshot(elapsed)
+                for name in self.endpoints()
+            },
+        }

@@ -5,11 +5,22 @@ models read the *latest* feature vector per entity with O(1) lookups, and
 every value carries its event time so freshness (TTL) contracts can be
 enforced — "models can become stale if not given the most up-to-date
 features".
+
+Thread safety
+-------------
+All public methods are safe to call concurrently: an internal
+:class:`threading.RLock` guards namespace mutation, value upserts and the
+read/write bookkeeping counters, so a multi-threaded serving tier (see
+:mod:`repro.serving`) cannot corrupt state or lose counter increments.
+Write listeners (used by the gateway cache for write-path invalidation)
+are invoked *outside* the lock so a slow listener never blocks readers.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.clock import Clock, WallClock
@@ -39,38 +50,80 @@ class _Namespace:
     data: dict[int, OnlineValue]
 
 
+WriteListener = Callable[[str, int], None]
+"""Callback ``(namespace, entity_id)`` invoked after a successful write."""
+
+
 class OnlineStore:
     """Dict-backed KV store: ``(namespace, entity_id) -> feature dict``.
 
     Namespaces correspond to feature views; each has an optional TTL.
     Reads and writes are counted so benchmarks can report op volumes.
+    All operations are thread-safe (see module docstring).
     """
 
     def __init__(self, clock: Clock | None = None) -> None:
         self._clock = clock or WallClock()
         self._namespaces: dict[str, _Namespace] = {}
+        self._lock = threading.RLock()
+        self._write_listeners: list[WriteListener] = []
         self.read_count = 0
         self.write_count = 0
 
     def create_namespace(self, name: str, ttl: float | None = None) -> None:
-        """Create (or reconfigure the TTL of) a namespace."""
+        """Create (or reconfigure the TTL of) a namespace.
+
+        TTL-reconfigure semantics: the TTL is a property of the *namespace*,
+        evaluated lazily on every :meth:`read` / :meth:`expire` against the
+        stored value's event time. Reconfiguring therefore applies the new
+        TTL to **all** entries, including ones written before the change —
+        a live entry whose age exceeds a newly tightened TTL becomes stale
+        immediately (no grandfathering under the TTL it was written under),
+        and a loosened TTL instantly revives entries the old TTL would have
+        rejected. ``ttl=None`` disables freshness enforcement entirely.
+        """
         if ttl is not None and ttl <= 0:
             raise ServingError(f"ttl must be positive or None ({ttl=})")
-        existing = self._namespaces.get(name)
-        if existing is not None:
-            existing.ttl = ttl
-        else:
-            self._namespaces[name] = _Namespace(ttl=ttl, data={})
+        with self._lock:
+            existing = self._namespaces.get(name)
+            if existing is not None:
+                existing.ttl = ttl
+            else:
+                self._namespaces[name] = _Namespace(ttl=ttl, data={})
 
     def namespaces(self) -> list[str]:
-        return sorted(self._namespaces)
+        with self._lock:
+            return sorted(self._namespaces)
+
+    def ttl(self, name: str) -> float | None:
+        """The namespace's current TTL (None = no freshness enforcement)."""
+        with self._lock:
+            return self._namespace(name).ttl
 
     def _namespace(self, name: str) -> _Namespace:
+        # Callers hold self._lock.
         if name not in self._namespaces:
             raise NotRegisteredError(
                 f"no online namespace {name!r}; have {sorted(self._namespaces)}"
             )
         return self._namespaces[name]
+
+    # -- write-path hooks ----------------------------------------------------
+
+    def add_write_listener(self, listener: WriteListener) -> None:
+        """Register a callback fired after every *accepted* write.
+
+        The serving gateway uses this for write-path cache invalidation:
+        any writer (materializer, stream processor, backfill) that lands a
+        new value automatically invalidates the gateway's cached copy.
+        Dropped writes (older event time than stored) do not fire.
+        """
+        with self._lock:
+            self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: WriteListener) -> None:
+        with self._lock:
+            self._write_listeners.remove(listener)
 
     def write(
         self,
@@ -85,16 +138,20 @@ class OnlineStore:
         dropped (last-event-time-wins), which makes backfills and
         out-of-order stream delivery safe.
         """
-        ns = self._namespace(namespace)
-        current = ns.data.get(entity_id)
-        if current is not None and current.event_time > event_time:
-            return
-        ns.data[entity_id] = OnlineValue(
-            values=dict(values),
-            event_time=event_time,
-            write_time=self._clock.now(),
-        )
-        self.write_count += 1
+        with self._lock:
+            ns = self._namespace(namespace)
+            current = ns.data.get(entity_id)
+            if current is not None and current.event_time > event_time:
+                return
+            ns.data[entity_id] = OnlineValue(
+                values=dict(values),
+                event_time=event_time,
+                write_time=self._clock.now(),
+            )
+            self.write_count += 1
+            listeners = list(self._write_listeners)
+        for listener in listeners:  # outside the lock: see module docstring
+            listener(namespace, entity_id)
 
     def read(
         self,
@@ -107,7 +164,16 @@ class OnlineStore:
         Returns ``None`` when the key is absent, or when the value is stale
         and the policy is ``RETURN_NONE``.
         """
-        self.read_count += 1
+        with self._lock:
+            self.read_count += 1
+            return self._read_locked(namespace, entity_id, policy)
+
+    def _read_locked(
+        self,
+        namespace: str,
+        entity_id: int,
+        policy: FreshnessPolicy,
+    ) -> dict[str, object] | None:
         ns = self._namespace(namespace)
         stored = ns.data.get(entity_id)
         if stored is None:
@@ -130,34 +196,52 @@ class OnlineStore:
         entity_ids: list[int],
         policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
     ) -> list[dict[str, object] | None]:
-        """Batch read preserving input order."""
-        return [self.read(namespace, e, policy) for e in entity_ids]
+        """Batch read preserving input order.
+
+        Takes the store lock once for the whole batch — this is the
+        amortization the serving gateway's micro-batcher exploits.
+        """
+        with self._lock:
+            self.read_count += len(entity_ids)
+            return [
+                self._read_locked(namespace, e, policy) for e in entity_ids
+            ]
 
     def event_time(self, namespace: str, entity_id: int) -> float | None:
         """Event time of the stored value, or None if absent."""
-        stored = self._namespace(namespace).data.get(entity_id)
-        return None if stored is None else stored.event_time
+        with self._lock:
+            stored = self._namespace(namespace).data.get(entity_id)
+            return None if stored is None else stored.event_time
 
     def staleness(self, namespace: str, entity_id: int) -> float | None:
         """Seconds since the stored value's event time (None if absent)."""
-        stored = self._namespace(namespace).data.get(entity_id)
-        if stored is None:
-            return None
-        return self._clock.now() - stored.event_time
+        with self._lock:
+            stored = self._namespace(namespace).data.get(entity_id)
+            if stored is None:
+                return None
+            return self._clock.now() - stored.event_time
 
     def entity_ids(self, namespace: str) -> list[int]:
-        return sorted(self._namespace(namespace).data)
+        with self._lock:
+            return sorted(self._namespace(namespace).data)
 
     def size(self, namespace: str) -> int:
-        return len(self._namespace(namespace).data)
+        with self._lock:
+            return len(self._namespace(namespace).data)
 
     def expire(self, namespace: str) -> int:
-        """Evict all entries older than the namespace TTL; return count."""
-        ns = self._namespace(namespace)
-        if ns.ttl is None:
-            return 0
-        now = self._clock.now()
-        stale = [k for k, v in ns.data.items() if now - v.event_time > ns.ttl]
-        for key in stale:
-            del ns.data[key]
-        return len(stale)
+        """Evict all entries older than the namespace TTL; return count.
+
+        Uses the namespace's *current* TTL — after a reconfigure, entries
+        written under a looser TTL are evaluated (and evicted) under the
+        new one, consistent with :meth:`create_namespace` semantics.
+        """
+        with self._lock:
+            ns = self._namespace(namespace)
+            if ns.ttl is None:
+                return 0
+            now = self._clock.now()
+            stale = [k for k, v in ns.data.items() if now - v.event_time > ns.ttl]
+            for key in stale:
+                del ns.data[key]
+            return len(stale)

@@ -1,0 +1,162 @@
+"""Tests for repro.serving.batcher (micro-batch coalescing)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import TransientStoreError, ValidationError
+from repro.serving.batcher import MicroBatcher
+from repro.storage.online import FreshnessPolicy, OnlineStore
+
+
+class CountingStore:
+    """Wraps an OnlineStore, counting read_many calls and batch sizes."""
+
+    def __init__(self, store):
+        self.store = store
+        self.calls = 0
+        self.batch_sizes = []
+        self._lock = threading.Lock()
+
+    def read_many(self, namespace, entity_ids, policy):
+        with self._lock:
+            self.calls += 1
+            self.batch_sizes.append(len(entity_ids))
+        return self.store.read_many(namespace, entity_ids, policy)
+
+
+@pytest.fixture
+def store():
+    online = OnlineStore(clock=SimClock(0.0))
+    online.create_namespace("ns")
+    for i in range(100):
+        online.write("ns", i, {"v": float(i)}, event_time=0.0)
+    return online
+
+
+def test_single_submit_resolves(store):
+    batcher = MicroBatcher(store.read_many, max_wait_s=0.0)
+    try:
+        future = batcher.submit("ns", 7)
+        assert future.result(timeout=2.0) == {"v": 7.0}
+    finally:
+        batcher.stop()
+
+
+def test_missing_key_resolves_to_none(store):
+    batcher = MicroBatcher(store.read_many, max_wait_s=0.0)
+    try:
+        assert batcher.submit("ns", 999).result(timeout=2.0) is None
+    finally:
+        batcher.stop()
+
+
+def test_concurrent_callers_are_coalesced(store):
+    counting = CountingStore(store)
+    # One slow worker + a generous window forces coalescing.
+    batcher = MicroBatcher(
+        counting.read_many, max_batch_size=64, max_wait_s=0.05, n_workers=1
+    )
+    results = {}
+    errors = []
+
+    def caller(i):
+        try:
+            results[i] = batcher.submit("ns", i).result(timeout=5.0)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    try:
+        threads = [threading.Thread(target=caller, args=(i,)) for i in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        batcher.stop()
+
+    assert not errors
+    assert results == {i: {"v": float(i)} for i in range(32)}
+    # 32 concurrent requests must NOT have issued 32 store calls.
+    assert counting.calls < 32
+    assert max(counting.batch_sizes) > 1
+    assert batcher.mean_batch_size() > 1.0
+
+
+def test_groups_by_namespace(store):
+    store.create_namespace("other")
+    store.write("other", 1, {"w": 1.0}, event_time=0.0)
+    counting = CountingStore(store)
+    batcher = MicroBatcher(counting.read_many, max_wait_s=0.05, n_workers=1)
+    try:
+        futures = [
+            batcher.submit("ns", 1),
+            batcher.submit("other", 1),
+            batcher.submit("ns", 2),
+        ]
+        values = [f.result(timeout=5.0) for f in futures]
+    finally:
+        batcher.stop()
+    assert values == [{"v": 1.0}, {"w": 1.0}, {"v": 2.0}]
+
+
+def test_store_exception_propagates_to_every_caller(store):
+    def failing_read_many(namespace, entity_ids, policy):
+        raise TransientStoreError("boom")
+
+    batcher = MicroBatcher(failing_read_many, max_wait_s=0.01, n_workers=1)
+    try:
+        futures = [batcher.submit("ns", i) for i in range(4)]
+        for future in futures:
+            with pytest.raises(TransientStoreError):
+                future.result(timeout=5.0)
+    finally:
+        batcher.stop()
+
+
+def test_stop_rejects_new_work(store):
+    batcher = MicroBatcher(store.read_many)
+    batcher.stop()
+    with pytest.raises(ValidationError):
+        batcher.submit("ns", 1)
+    batcher.stop()  # idempotent
+
+
+def test_respects_max_batch_size(store):
+    counting = CountingStore(store)
+    batcher = MicroBatcher(
+        counting.read_many, max_batch_size=4, max_wait_s=0.05, n_workers=1
+    )
+    try:
+        futures = [batcher.submit("ns", i) for i in range(16)]
+        for future in futures:
+            future.result(timeout=5.0)
+    finally:
+        batcher.stop()
+    assert max(counting.batch_sizes) <= 4
+
+
+def test_queue_depth_reports_backlog(store):
+    release = threading.Event()
+
+    def blocking_read_many(namespace, entity_ids, policy):
+        release.wait(timeout=5.0)
+        return store.read_many(namespace, entity_ids, policy)
+
+    batcher = MicroBatcher(
+        blocking_read_many, max_batch_size=1, max_wait_s=0.0, n_workers=1
+    )
+    try:
+        first = batcher.submit("ns", 1)  # occupies the only worker
+        time.sleep(0.02)
+        backlog = [batcher.submit("ns", i) for i in range(2, 6)]
+        assert batcher.queue_depth() >= 1
+        release.set()
+        assert first.result(timeout=5.0) == {"v": 1.0}
+        for future in backlog:
+            future.result(timeout=5.0)
+    finally:
+        release.set()
+        batcher.stop()

@@ -1,0 +1,158 @@
+"""Tests for repro.serving.cache (LRU + TTL + hot tier + invalidation)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serving.cache import LookupStatus, ReadThroughCache
+
+
+class FakeTime:
+    """Controllable monotonic clock for TTL tests."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def now():
+    return FakeTime()
+
+
+class TestLruBasics:
+    def test_miss_then_hit(self):
+        cache = ReadThroughCache(capacity=4)
+        status, entry = cache.lookup("a")
+        assert status is LookupStatus.MISS and entry is None
+        cache.put("a", 1)
+        status, entry = cache.lookup("a")
+        assert status is LookupStatus.HIT
+        assert entry.value == 1
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ReadThroughCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.lookup("a")  # refresh a's recency
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_existing_value(self):
+        cache = ReadThroughCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        __, entry = cache.lookup("a")
+        assert entry.value == 2
+        assert len(cache) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValidationError):
+            ReadThroughCache(capacity=0)
+        with pytest.raises(ValidationError):
+            ReadThroughCache(capacity=4, ttl=-1.0)
+
+
+class TestTtl:
+    def test_fresh_then_stale(self, now):
+        cache = ReadThroughCache(capacity=4, ttl=10.0, now=now)
+        cache.put("a", 1)
+        now.t = 5.0
+        status, __ = cache.lookup("a")
+        assert status is LookupStatus.HIT
+        now.t = 11.0
+        status, entry = cache.lookup("a")
+        assert status is LookupStatus.STALE
+        assert entry.value == 1  # stale entry kept for degradation
+
+    def test_put_resets_ttl_clock(self, now):
+        cache = ReadThroughCache(capacity=4, ttl=10.0, now=now)
+        cache.put("a", 1)
+        now.t = 8.0
+        cache.put("a", 2)
+        now.t = 15.0  # 7s after refresh, 15s after first put
+        status, entry = cache.lookup("a")
+        assert status is LookupStatus.HIT
+        assert entry.value == 2
+
+    def test_stale_counts_against_hit_rate(self, now):
+        cache = ReadThroughCache(capacity=4, ttl=1.0, now=now)
+        cache.put("a", 1)
+        cache.lookup("a")
+        now.t = 2.0
+        cache.lookup("a")
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.stale_hits == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+
+class TestHotTier:
+    def test_promotion_after_threshold(self):
+        cache = ReadThroughCache(capacity=4, hot_capacity=2, hot_promote_hits=3)
+        cache.put("hot", 1)
+        for __ in range(3):
+            cache.lookup("hot")
+        assert cache.hot_keys() == ["hot"]
+        assert cache.stats().promotions == 1
+
+    def test_hot_keys_survive_lru_churn(self):
+        cache = ReadThroughCache(capacity=2, hot_capacity=1, hot_promote_hits=2)
+        cache.put("head", 1)
+        cache.lookup("head")
+        cache.lookup("head")  # promoted out of the LRU dict
+        for i in range(10):  # cold scan would wash a plain LRU
+            cache.put(f"cold-{i}", i)
+        status, entry = cache.lookup("head")
+        assert status is LookupStatus.HIT
+        assert entry.value == 1
+        assert cache.stats().hot_hits >= 1
+
+    def test_hot_tier_bounded_and_demotes_coldest(self):
+        cache = ReadThroughCache(capacity=8, hot_capacity=1, hot_promote_hits=2)
+        cache.put("warm", 1)
+        cache.put("hot", 2)
+        cache.lookup("warm")
+        cache.lookup("warm")  # promoted first
+        for __ in range(5):
+            cache.lookup("hot")  # hotter; displaces warm
+        assert cache.hot_keys() == ["hot"]
+        assert "warm" in cache  # demoted back to LRU, not dropped
+
+    def test_disabled_hot_tier(self):
+        cache = ReadThroughCache(capacity=4, hot_capacity=0)
+        cache.put("a", 1)
+        for __ in range(100):
+            cache.lookup("a")
+        assert cache.hot_keys() == []
+
+
+class TestInvalidation:
+    def test_invalidate_drops_both_tiers(self):
+        cache = ReadThroughCache(capacity=4, hot_capacity=2, hot_promote_hits=1)
+        cache.put("a", 1)
+        cache.lookup("a")  # promotes at threshold 1
+        assert cache.invalidate("a") is True
+        status, __ = cache.lookup("a")
+        assert status is LookupStatus.MISS
+        assert cache.invalidate("a") is False
+
+    def test_invalidate_where_prefix(self):
+        cache = ReadThroughCache(capacity=8)
+        cache.put(("ns1", 1), "x")
+        cache.put(("ns1", 2), "y")
+        cache.put(("ns2", 1), "z")
+        dropped = cache.invalidate_where(lambda key: key[0] == "ns1")
+        assert dropped == 2
+        assert ("ns2", 1) in cache
+        assert ("ns1", 1) not in cache
+
+    def test_clear(self):
+        cache = ReadThroughCache(capacity=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0

@@ -128,3 +128,43 @@ class TestFreshness:
         store.write("open", 1, {}, event_time=0.0)
         clock.advance(1e9)
         assert store.expire("open") == 0
+
+
+class TestTtlReconfigure:
+    """TTL reconfiguration re-evaluates live entries — no grandfathering."""
+
+    def test_tightened_ttl_applies_to_preexisting_entries(self, store, clock):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        clock.advance(50.0)  # fresh under the original ttl=100
+        assert store.read("rides", 1, FreshnessPolicy.RETURN_NONE) == {"fare": 1.0}
+        store.create_namespace("rides", ttl=10.0)  # tighten
+        # The 50s-old entry is stale under the new TTL immediately.
+        assert store.read("rides", 1, FreshnessPolicy.RETURN_NONE) is None
+        with pytest.raises(StaleFeatureError):
+            store.read("rides", 1, FreshnessPolicy.RAISE)
+
+    def test_loosened_ttl_revives_stale_entries(self, store, clock):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        clock.advance(500.0)  # stale under ttl=100
+        assert store.read("rides", 1, FreshnessPolicy.RETURN_NONE) is None
+        store.create_namespace("rides", ttl=1000.0)  # loosen
+        assert store.read("rides", 1, FreshnessPolicy.RETURN_NONE) == {"fare": 1.0}
+
+    def test_clearing_ttl_disables_enforcement(self, store, clock):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        clock.advance(1e6)
+        store.create_namespace("rides", ttl=None)
+        assert store.read("rides", 1, FreshnessPolicy.RAISE) == {"fare": 1.0}
+        assert store.expire("rides") == 0
+
+    def test_expire_uses_current_ttl(self, store, clock):
+        store.write("rides", 1, {"fare": 1.0}, event_time=0.0)
+        clock.advance(50.0)
+        assert store.expire("rides") == 0  # fresh under ttl=100
+        store.create_namespace("rides", ttl=10.0)
+        assert store.expire("rides") == 1  # stale under the new ttl
+
+    def test_ttl_accessor_tracks_reconfiguration(self, store):
+        assert store.ttl("rides") == 100.0
+        store.create_namespace("rides", ttl=7.0)
+        assert store.ttl("rides") == 7.0

@@ -20,6 +20,7 @@ EXAMPLES = [
     "embedding_lifecycle",
     "model_patching",
     "operations",
+    "serving_gateway",
 ]
 
 

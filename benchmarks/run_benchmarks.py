@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Benchmark runner for the repro suite.
+
+Two modes:
+
+* ``--smoke`` — run the A4 columnar-engine bench in-process at the small
+  size (fast, no pytest) and write the perf-trajectory document to
+  ``benchmarks/results/BENCH_columnar_join.json``. This is the CI target:
+  cheap enough for every run, and it keeps the tracked JSON fresh.
+* default — delegate to pytest over the whole ``benchmarks/`` tree
+  (``--benchmark-disable`` unless pytest-benchmark timing is wanted).
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --smoke
+    python benchmarks/run_benchmarks.py                 # full pytest suite
+    python benchmarks/run_benchmarks.py -k a4           # filtered pytest run
+
+``src/`` is put on ``sys.path`` automatically, so no PYTHONPATH gymnastics
+are needed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+SRC_DIR = REPO_ROOT / "src"
+
+
+def _ensure_paths() -> None:
+    for path in (str(SRC_DIR), str(BENCH_DIR)):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def run_smoke(sizes: list[int], out: pathlib.Path | None) -> int:
+    _ensure_paths()
+    import bench_a4_columnar_join as a4
+
+    results = a4.run_suite(sizes)
+    path = a4.write_json(results, out or a4.RESULTS_PATH)
+    print(f"wrote {path}")
+    for size, case in results["sizes"].items():
+        pit = case["build_training_set"]
+        print(
+            f"  {size:>9} events: PIT join row {pit['row_s']:.3f}s -> "
+            f"columnar {pit['columnar_s']:.4f}s ({pit['speedup']}x), "
+            f"scan {case['scan_full_table']['speedup']}x, "
+            f"count {case['query_count_2_predicates']['speedup']}x, "
+            f"parity={'ok' if pit['parity_nan_equal'] else 'FAIL'}"
+        )
+        if not pit["parity_nan_equal"]:
+            return 1
+    return 0
+
+
+def run_pytest(extra: list[str]) -> int:
+    cmd = [sys.executable, "-m", "pytest", str(BENCH_DIR), "-q", *extra]
+    env_path = str(SRC_DIR)
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        env_path + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else env_path
+    )
+    return subprocess.call(cmd, env=env)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the A4 columnar bench at the small size and write "
+        "BENCH_columnar_join.json",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[10_000],
+        help="event counts for --smoke (default: 10000)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="override the JSON output path for --smoke",
+    )
+    args, extra = parser.parse_known_args(argv)
+    if args.smoke:
+        return run_smoke(args.sizes, args.out)
+    return run_pytest(extra)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

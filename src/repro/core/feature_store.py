@@ -206,31 +206,46 @@ class FeatureStore:
             default=None,
         )
 
-        candidates = entity_ids if entity_ids is not None else source.entity_ids()
-        written = 0
-        for entity_id in candidates:
-            latest = source.latest_before(entity_id, as_of)
-            if latest is None:
+        candidates = (
+            list(entity_ids) if entity_ids is not None else source.entity_ids()
+        )
+        # Batched as-of resolution: one index probe pass for *all* candidate
+        # entities instead of N separate latest_before/events_between calls.
+        latest_idx = source.latest_before_index_batch(
+            np.asarray(candidates, dtype=np.int64),
+            np.full(len(candidates), as_of, dtype=np.float64),
+        )
+        if max_window is not None:
+            windows = source.events_between_batch(
+                candidates, as_of - max_window, as_of
+            )
+        out_rows: list[dict[str, object]] = []
+        out_values: list[tuple[int, dict[str, object]]] = []
+        for i, entity_id in enumerate(candidates):
+            row_index = int(latest_idx[i])
+            if row_index < 0:
                 continue
             if max_window is not None:
-                events = source.events_between(entity_id, as_of - max_window, as_of)
                 # An empty window means the latest event predates it;
                 # ColumnRef/RowTransform still need that latest event, and
                 # WindowAggregate correctly sees nothing in range.
-                if not events:
-                    events = [latest]
+                events = windows[i] or [source.row_at(row_index)]
             else:
-                events = [latest]
+                events = [source.row_at(row_index)]
 
             values: dict[str, object] = {}
             for feature in view.features:
                 values[feature.name] = feature.transform.evaluate(events, as_of)
 
-            target.append(
-                [{"entity_id": entity_id, "timestamp": as_of, **values}]
-            )
+            out_rows.append({"entity_id": entity_id, "timestamp": as_of, **values})
+            out_values.append((entity_id, values))
+
+        # One bulk append to the materialized table, then the online writes.
+        if out_rows:
+            target.append(out_rows)
+        for entity_id, values in out_values:
             self.online.write(view.online_namespace, entity_id, values, event_time=as_of)
-            written += 1
+        written = len(out_rows)
 
         result = MaterializationResult(
             view=view.name, version=view.version, as_of=as_of, entities_written=written
@@ -322,25 +337,62 @@ class FeatureStore:
         self,
         entity_events: list[tuple[int, float]],
         feature_set: str,
+        engine: str = "columnar",
     ) -> list[dict[str, object]]:
         """Point-in-time join: feature values as each event's timestamp saw them.
 
         For every ``(entity_id, timestamp)`` pair, each selected feature is
         read from the *latest materialized row at or before* the timestamp —
         never from the future.
+
+        ``engine`` selects the execution path: ``"columnar"`` (default)
+        resolves all probes against a view's table with one batched as-of
+        kernel call and gathers feature values per column; ``"row"`` is the
+        original per-pair loop, kept for parity testing and benchmarking.
+        Both return identical results.
         """
         resolved = self.registry.resolve_feature_set(feature_set)
         tables = {
             view.name: self.offline.table(view.materialized_table)
             for view, __ in resolved
         }
-        out: list[dict[str, object]] = []
-        for entity_id, timestamp in entity_events:
-            row: dict[str, object] = {"entity_id": entity_id, "timestamp": timestamp}
-            for view, feature_name in resolved:
-                hit = tables[view.name].latest_before(entity_id, timestamp)
-                key = f"{view.name}@{view.version}:{feature_name}"
-                row[key] = None if hit is None else hit.get(feature_name)
+        if engine == "row":
+            out: list[dict[str, object]] = []
+            for entity_id, timestamp in entity_events:
+                row: dict[str, object] = {"entity_id": entity_id, "timestamp": timestamp}
+                for view, feature_name in resolved:
+                    hit = tables[view.name].latest_before(entity_id, timestamp)
+                    key = f"{view.name}@{view.version}:{feature_name}"
+                    row[key] = None if hit is None else hit.get(feature_name)
+                out.append(row)
+            return out
+        if engine != "columnar":
+            raise ValidationError(f"unknown engine {engine!r}; use 'columnar' or 'row'")
+
+        n = len(entity_events)
+        entity_arr = np.fromiter((e for e, __ in entity_events), np.int64, count=n)
+        ts_arr = np.fromiter((t for __, t in entity_events), np.float64, count=n)
+        # One batched as-of kernel per *view* (all its features share the hit
+        # row), then a value gather per feature column.
+        hit_indices: dict[tuple[str, int], np.ndarray] = {}
+        columns: list[tuple[str, list[object]]] = []
+        for view, feature_name in resolved:
+            view_key = (view.name, view.version)
+            indices = hit_indices.get(view_key)
+            if indices is None:
+                indices = tables[view.name].latest_before_index_batch(
+                    entity_arr, ts_arr
+                )
+                hit_indices[view_key] = indices
+            qualified = f"{view.name}@{view.version}:{feature_name}"
+            columns.append(
+                (qualified, tables[view.name].gather_values(feature_name, indices))
+            )
+        out = []
+        for i, (entity_id, timestamp) in enumerate(entity_events):
+            row = {"entity_id": entity_id, "timestamp": timestamp}
+            for qualified, values in columns:
+                row[qualified] = values[i]
             out.append(row)
         return out
 
@@ -348,11 +400,21 @@ class FeatureStore:
         self,
         labels: list[tuple[int, float, float]],
         feature_set: str,
+        engine: str = "columnar",
     ) -> TrainingSet:
         """Join labels ``(entity_id, timestamp, label)`` against history.
 
         Non-numeric features are rejected — training matrices are float.
+
+        With the default ``engine="columnar"`` the matrix is assembled
+        column-by-column: one batched as-of kernel call per view resolves
+        every label's hit row, and each feature column is a direct numpy
+        gather (NaN where a feature had no value at the label's timestamp).
+        ``engine="row"`` is the original per-cell loop, kept for parity
+        tests and the A4 benchmark; both produce NaN-identical matrices.
         """
+        if engine not in ("columnar", "row"):
+            raise ValidationError(f"unknown engine {engine!r}; use 'columnar' or 'row'")
         resolved = self.registry.resolve_feature_set(feature_set)
         for view, feature_name in resolved:
             dtype = view.feature(feature_name).dtype
@@ -365,16 +427,30 @@ class FeatureStore:
             f"{view.name}@{view.version}:{feature_name}"
             for view, feature_name in resolved
         )
-        joined = self.get_historical_features(
-            [(e, t) for e, t, __ in labels], feature_set
-        )
         n = len(labels)
-        matrix = np.full((n, len(names)), np.nan)
-        for i, row in enumerate(joined):
-            for j, name in enumerate(names):
-                value = row[name]
-                if value is not None:
-                    matrix[i, j] = float(value)  # type: ignore[arg-type]
+        if engine == "row":
+            joined = self.get_historical_features(
+                [(e, t) for e, t, __ in labels], feature_set, engine="row"
+            )
+            matrix = np.full((n, len(names)), np.nan)
+            for i, row in enumerate(joined):
+                for j, name in enumerate(names):
+                    value = row[name]
+                    if value is not None:
+                        matrix[i, j] = float(value)  # type: ignore[arg-type]
+        else:
+            entity_arr = np.fromiter((e for e, __, __ in labels), np.int64, count=n)
+            ts_arr = np.fromiter((t for __, t, __ in labels), np.float64, count=n)
+            matrix = np.full((n, len(names)), np.nan)
+            hit_indices: dict[tuple[str, int], np.ndarray] = {}
+            for j, (view, feature_name) in enumerate(resolved):
+                table = self.offline.table(view.materialized_table)
+                view_key = (view.name, view.version)
+                indices = hit_indices.get(view_key)
+                if indices is None:
+                    indices = table.latest_before_index_batch(entity_arr, ts_arr)
+                    hit_indices[view_key] = indices
+                matrix[:, j] = table.gather_float(feature_name, indices)
         return TrainingSet(
             features=matrix,
             labels=np.array([label for __, __, label in labels]),

@@ -11,13 +11,37 @@ store needs:
 
 Rows are plain dicts validated against a :class:`TableSchema`. ``None``
 encodes NULL for any column type.
+
+Execution model (the columnar engine)
+-------------------------------------
+The *row-level API* (dict in, dict out) is the contract; the *execution
+path* underneath is columnar, the way a warehouse would run it:
+
+* each :class:`_Partition` lazily materializes a :class:`ColumnFrame` — a
+  time-sorted columnar image of its rows (numpy value arrays plus null
+  masks), invalidated by a dirty flag on append instead of re-sorting
+  O(n log n) on every ``scan``;
+* the per-entity as-of index is a pair of parallel numpy arrays
+  ``(timestamps, row_indices)`` sorted by ``(timestamp, insertion order)``,
+  rebuilt lazily, so a lookup is one ``np.searchsorted``;
+* batched kernels (:meth:`OfflineTable.latest_before_batch`,
+  :meth:`OfflineTable.events_between_batch`) group queries by entity and
+  resolve each group with a single vectorized ``searchsorted`` — the
+  substrate of the vectorized point-in-time join in
+  :mod:`repro.core.feature_store`;
+* table-level column caches back :meth:`OfflineTable.gather_float`, a
+  direct column gather by row index that assembles training-matrix columns
+  without touching row dicts.
+
+Semantics are bit-for-bit those of the original row-at-a-time engine: the
+parity suite (``tests/storage/test_columnar_parity.py``) holds both paths
+to identical results.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
-from collections.abc import Iterable, Iterator
-from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -54,6 +78,17 @@ class TableSchema:
                     f"allowed: {sorted(_ALLOWED_TYPES)}"
                 )
 
+    def column_kind(self, name: str) -> str:
+        """Type of a column, including the implicit ones.
+
+        Raises ``KeyError`` for unknown columns.
+        """
+        if name == "entity_id":
+            return "int"
+        if name == "timestamp":
+            return "float"
+        return self.columns[name]
+
     def validate_row(self, row: dict[str, object]) -> None:
         """Raise :class:`SchemaMismatchError` unless ``row`` fits the schema."""
         if "entity_id" not in row or "timestamp" not in row:
@@ -77,25 +112,177 @@ class TableSchema:
             raise SchemaMismatchError(f"row has undeclared columns {sorted(extras)}")
 
 
-@dataclass
-class _Partition:
-    """One date partition: rows plus a timestamp-sorted order."""
+class ColumnFrame:
+    """A time-sorted, columnar image of one partition's rows.
 
-    rows: list[dict[str, object]] = field(default_factory=list)
+    ``rows`` holds the *same* dict objects the table stores, ordered by
+    ``(timestamp, insertion order)`` — the order ``scan`` yields. Column
+    arrays are materialized lazily per column and cached; ``null_mask``
+    distinguishes SQL NULL (``None``) from an actual NaN payload.
+
+    Encoding per column kind:
+
+    * ``float`` — float64 values with ``np.nan`` at NULL positions,
+    * ``int`` — int64 values with ``0`` at NULL positions (masked),
+    * ``string`` — object array with ``None`` at NULL positions.
+    """
+
+    __slots__ = ("rows", "timestamps", "entity_ids", "_schema", "_columns")
+
+    def __init__(
+        self,
+        rows_sorted: list[dict[str, object]],
+        timestamps_sorted: np.ndarray,
+        schema: TableSchema,
+    ) -> None:
+        self.rows = rows_sorted
+        self.timestamps = timestamps_sorted
+        self.entity_ids = np.fromiter(
+            (int(r["entity_id"]) for r in rows_sorted),  # type: ignore[arg-type]
+            dtype=np.int64,
+            count=len(rows_sorted),
+        )
+        self._schema = schema
+        self._columns: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, null_mask)`` for one column, in frame (time) order."""
+        if name == "timestamp":
+            return self.timestamps, np.zeros(len(self.rows), dtype=bool)
+        if name == "entity_id":
+            return self.entity_ids, np.zeros(len(self.rows), dtype=bool)
+        cached = self._columns.get(name)
+        if cached is not None:
+            return cached
+        kind = self._schema.column_kind(name)
+        built = _encode_column(
+            [row.get(name) for row in self.rows], kind
+        )
+        self._columns[name] = built
+        return built
+
+    def time_slice(self, start: float | None, end: float | None) -> tuple[int, int]:
+        """Index bounds ``[lo, hi)`` of rows with ``start <= ts < end``."""
+        lo = 0 if start is None else int(
+            np.searchsorted(self.timestamps, start, side="left")
+        )
+        hi = len(self.rows) if end is None else int(
+            np.searchsorted(self.timestamps, end, side="left")
+        )
+        return lo, max(lo, hi)
+
+
+def _encode_column(
+    raw: list[object], kind: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode python values into ``(values, null_mask)`` arrays."""
+    n = len(raw)
+    null = np.fromiter((v is None for v in raw), dtype=bool, count=n)
+    if kind == "float":
+        values = np.fromiter(
+            (np.nan if v is None else float(v) for v in raw),  # type: ignore[arg-type]
+            dtype=np.float64,
+            count=n,
+        )
+    elif kind == "int":
+        values = np.fromiter(
+            (0 if v is None else int(v) for v in raw),  # type: ignore[arg-type]
+            dtype=np.int64,
+            count=n,
+        )
+    else:
+        values = np.array(raw, dtype=object)
+    return values, null
+
+
+class _Partition:
+    """One date partition: rows plus a cached, lazily-sorted columnar frame.
+
+    The frame (and therefore the sort) is recomputed only when the dirty
+    flag says an append happened since the last build — previously every
+    ``scan``/``read_partition`` re-sorted the partition O(n log n).
+    """
+
+    __slots__ = ("rows", "_schema", "_frame", "_dirty")
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.rows: list[dict[str, object]] = []
+        self._schema = schema
+        self._frame: ColumnFrame | None = None
+        self._dirty = False
 
     def append(self, row: dict[str, object]) -> None:
         self.rows.append(row)
+        self._dirty = True
+
+    def frame(self) -> ColumnFrame:
+        """The partition's time-sorted columnar frame (cached)."""
+        if self._frame is None or self._dirty:
+            timestamps = np.fromiter(
+                (float(r["timestamp"]) for r in self.rows),  # type: ignore[arg-type]
+                dtype=np.float64,
+                count=len(self.rows),
+            )
+            order = np.argsort(timestamps, kind="stable")
+            rows_sorted = [self.rows[i] for i in order]
+            self._frame = ColumnFrame(rows_sorted, timestamps[order], self._schema)
+            self._dirty = False
+        return self._frame
 
     def sorted_rows(self) -> list[dict[str, object]]:
-        return sorted(self.rows, key=lambda r: r["timestamp"])
+        return list(self.frame().rows)
+
+
+class _EntityIndex:
+    """Per-entity as-of index: parallel ``(timestamps, row_indices)`` arrays.
+
+    Appends go to plain python lists (O(1)); the numpy arrays — sorted by
+    ``(timestamp, insertion order)`` so the *latest appended* row wins among
+    equal timestamps — are rebuilt lazily on first lookup after a write.
+    """
+
+    __slots__ = ("_ts", "_rows", "_sorted_ts", "_sorted_rows", "_dirty")
+
+    def __init__(self) -> None:
+        self._ts: list[float] = []
+        self._rows: list[int] = []
+        self._sorted_ts: np.ndarray | None = None
+        self._sorted_rows: np.ndarray | None = None
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def add(self, timestamp: float, row_index: int) -> None:
+        self._ts.append(timestamp)
+        self._rows.append(row_index)
+        self._dirty = True
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(timestamps, row_indices)`` sorted by (timestamp, insertion)."""
+        if self._sorted_ts is None or self._dirty:
+            ts = np.asarray(self._ts, dtype=np.float64)
+            rows = np.asarray(self._rows, dtype=np.int64)
+            # Stable sort on timestamps == sort by (ts, insertion order),
+            # because row indices are appended in increasing order.
+            order = np.argsort(ts, kind="stable")
+            self._sorted_ts = ts[order]
+            self._sorted_rows = rows[order]
+            self._dirty = False
+        return self._sorted_ts, self._sorted_rows  # type: ignore[return-value]
 
 
 class OfflineTable:
     """A single append-only event table.
 
-    Maintains a per-entity ``(timestamp, row)`` index kept sorted on insert,
-    so as-of lookups are O(log n) per entity even when events arrive out of
-    order.
+    Maintains a per-entity ``(timestamps, row_indices)`` as-of index (numpy,
+    lazily sorted) so as-of lookups are one ``searchsorted`` per entity even
+    when events arrive out of order, plus batched kernels that resolve many
+    ``(entity, timestamp)`` probes with one ``searchsorted`` per distinct
+    entity.
     """
 
     def __init__(
@@ -110,8 +297,13 @@ class OfflineTable:
         self.schema = schema
         self.partition_granularity = partition_granularity
         self._partitions: dict[int, _Partition] = {}
-        self._by_entity: dict[int, list[tuple[float, int]]] = {}
+        self._by_entity: dict[int, _EntityIndex] = {}
         self._rows: list[dict[str, object]] = []
+        self._max_event_time: float | None = None
+        # Table-level column cache over all rows in append order, keyed by
+        # column name; valid only while the row count matches.
+        self._column_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._column_cache_rows = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -121,6 +313,8 @@ class OfflineTable:
         """Sorted partition keys that currently hold data."""
         return sorted(self._partitions)
 
+    # -- writes ---------------------------------------------------------------
+
     def append(self, rows: Iterable[dict[str, object]]) -> int:
         """Validate and append rows; return the number appended."""
         count = 0
@@ -129,15 +323,23 @@ class OfflineTable:
             stored = dict(row)
             row_index = len(self._rows)
             self._rows.append(stored)
-            key = partition_key(float(stored["timestamp"]), self.partition_granularity)
-            self._partitions.setdefault(key, _Partition()).append(stored)
+            timestamp = float(stored["timestamp"])  # type: ignore[arg-type]
+            key = partition_key(timestamp, self.partition_granularity)
+            partition = self._partitions.get(key)
+            if partition is None:
+                partition = self._partitions[key] = _Partition(self.schema)
+            partition.append(stored)
             entity = int(stored["entity_id"])  # type: ignore[arg-type]
-            insort(
-                self._by_entity.setdefault(entity, []),
-                (float(stored["timestamp"]), row_index),  # type: ignore[arg-type]
-            )
+            index = self._by_entity.get(entity)
+            if index is None:
+                index = self._by_entity[entity] = _EntityIndex()
+            index.add(timestamp, row_index)
+            if self._max_event_time is None or timestamp > self._max_event_time:
+                self._max_event_time = timestamp
             count += 1
         return count
+
+    # -- scans ----------------------------------------------------------------
 
     def scan(
         self,
@@ -147,7 +349,29 @@ class OfflineTable:
     ) -> Iterator[dict[str, object]]:
         """Yield rows with ``start <= timestamp < end``, in time order.
 
-        Only partitions overlapping the range are touched.
+        Only partitions overlapping the range are touched; within a
+        partition the range bounds are found by binary search on the cached
+        sorted frame instead of filtering row by row.
+        """
+        for frame, lo, hi in self.scan_frames(start, end):
+            if entity_ids is None:
+                yield from frame.rows[lo:hi]
+            else:
+                hits = np.flatnonzero(
+                    np.isin(frame.entity_ids[lo:hi], list(entity_ids))
+                )
+                for offset in hits:
+                    yield frame.rows[lo + int(offset)]
+
+    def scan_frames(
+        self, start: float | None = None, end: float | None = None
+    ) -> Iterator[tuple[ColumnFrame, int, int]]:
+        """Columnar scan: yield ``(frame, lo, hi)`` per overlapping partition.
+
+        ``frame.rows[lo:hi]`` (equivalently any column array sliced the same
+        way) are exactly the rows ``scan(start, end)`` would yield for that
+        partition, in the same order. This is the pushdown surface the
+        vectorized query layer executes on.
         """
         for key in self.partitions:
             part_start = key * self.partition_granularity
@@ -156,15 +380,10 @@ class OfflineTable:
                 continue
             if end is not None and part_start >= end:
                 continue
-            for row in self._partitions[key].sorted_rows():
-                ts = float(row["timestamp"])  # type: ignore[arg-type]
-                if start is not None and ts < start:
-                    continue
-                if end is not None and ts >= end:
-                    continue
-                if entity_ids is not None and int(row["entity_id"]) not in entity_ids:  # type: ignore[arg-type]
-                    continue
-                yield row
+            frame = self._partitions[key].frame()
+            lo, hi = frame.time_slice(start, end)
+            if lo < hi:
+                yield frame, lo, hi
 
     def read_partition(self, key: int) -> list[dict[str, object]]:
         """All rows of one partition, time-sorted."""
@@ -173,6 +392,8 @@ class OfflineTable:
                 f"table {self.name!r} has no partition {key}; have {self.partitions}"
             )
         return self._partitions[key].sorted_rows()
+
+    # -- as-of lookups ---------------------------------------------------------
 
     def latest_before(
         self, entity_id: int, timestamp: float
@@ -184,15 +405,13 @@ class OfflineTable:
         timestamp, the most recently appended one wins (upsert semantics).
         """
         index = self._by_entity.get(entity_id)
-        if not index:
+        if index is None or len(index) == 0:
             return None
-        # Find rightmost event with ts <= timestamp. Use +inf row index as
-        # tiebreaker so events exactly at `timestamp` are included.
-        position = bisect_right(index, (timestamp, float("inf")))
+        ts, rows = index.arrays()
+        position = int(np.searchsorted(ts, timestamp, side="right"))
         if position == 0:
             return None
-        __, row_index = index[position - 1]
-        return self._rows[row_index]
+        return self._rows[int(rows[position - 1])]
 
     def events_between(
         self, entity_id: int, start: float, end: float
@@ -204,11 +423,172 @@ class OfflineTable:
         ``end``.
         """
         index = self._by_entity.get(entity_id)
-        if not index:
+        if index is None or len(index) == 0:
             return []
-        lo = bisect_right(index, (start, float("inf")))
-        hi = bisect_right(index, (end, float("inf")))
-        return [self._rows[row_index] for __, row_index in index[lo:hi]]
+        ts, rows = index.arrays()
+        lo = int(np.searchsorted(ts, start, side="right"))
+        hi = int(np.searchsorted(ts, end, side="right"))
+        return [self._rows[int(i)] for i in rows[lo:hi]]
+
+    # -- batched as-of kernels -------------------------------------------------
+
+    def latest_before_index_batch(
+        self,
+        entity_ids: Sequence[int] | np.ndarray,
+        timestamps: Sequence[float] | np.ndarray,
+    ) -> np.ndarray:
+        """Row indices of :meth:`latest_before` for many probes at once.
+
+        Probes are grouped by entity and each group is resolved with a
+        single vectorized ``np.searchsorted`` against that entity's as-of
+        index. Returns an int64 array aligned with the inputs; ``-1`` marks
+        probes with no eligible row. Use :meth:`row_at`/:meth:`gather_float`
+        /:meth:`gather_values` to dereference.
+        """
+        eids = np.asarray(entity_ids, dtype=np.int64)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if eids.shape != ts.shape:
+            raise ValidationError(
+                f"entity_ids and timestamps must align "
+                f"({eids.shape} vs {ts.shape})"
+            )
+        out = np.full(eids.shape, -1, dtype=np.int64)
+        if eids.size == 0:
+            return out
+        order = np.argsort(eids, kind="stable")
+        sorted_eids = eids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_eids)) + 1
+        for group in np.split(order, boundaries):
+            index = self._by_entity.get(int(eids[group[0]]))
+            if index is None or len(index) == 0:
+                continue
+            idx_ts, idx_rows = index.arrays()
+            positions = np.searchsorted(idx_ts, ts[group], side="right")
+            hit = positions > 0
+            out[group[hit]] = idx_rows[positions[hit] - 1]
+        return out
+
+    def latest_before_batch(
+        self,
+        entity_ids: Sequence[int] | np.ndarray,
+        timestamps: Sequence[float] | np.ndarray,
+    ) -> list[dict[str, object] | None]:
+        """Batched :meth:`latest_before`: one result per ``(entity, ts)`` probe."""
+        indices = self.latest_before_index_batch(entity_ids, timestamps)
+        return [None if i < 0 else self._rows[int(i)] for i in indices]
+
+    def events_between_index_batch(
+        self,
+        entity_ids: Sequence[int] | np.ndarray,
+        starts: float | Sequence[float] | np.ndarray,
+        ends: float | Sequence[float] | np.ndarray,
+    ) -> list[np.ndarray]:
+        """Row-index windows of :meth:`events_between` for many probes.
+
+        ``starts``/``ends`` may be scalars (broadcast) or arrays aligned with
+        ``entity_ids``. Each result is an int64 array of row indices in
+        time order; one vectorized ``searchsorted`` pair per distinct entity.
+        """
+        eids = np.asarray(entity_ids, dtype=np.int64)
+        lo_ts = np.broadcast_to(
+            np.asarray(starts, dtype=np.float64), eids.shape
+        )
+        hi_ts = np.broadcast_to(np.asarray(ends, dtype=np.float64), eids.shape)
+        empty = np.empty(0, dtype=np.int64)
+        out: list[np.ndarray] = [empty] * eids.size
+        if eids.size == 0:
+            return out
+        order = np.argsort(eids, kind="stable")
+        boundaries = np.flatnonzero(np.diff(eids[order])) + 1
+        for group in np.split(order, boundaries):
+            index = self._by_entity.get(int(eids[group[0]]))
+            if index is None or len(index) == 0:
+                continue
+            idx_ts, idx_rows = index.arrays()
+            lo = np.searchsorted(idx_ts, lo_ts[group], side="right")
+            hi = np.searchsorted(idx_ts, hi_ts[group], side="right")
+            for probe, probe_lo, probe_hi in zip(group, lo, hi):
+                if probe_lo < probe_hi:
+                    out[int(probe)] = idx_rows[probe_lo:probe_hi]
+        return out
+
+    def events_between_batch(
+        self,
+        entity_ids: Sequence[int] | np.ndarray,
+        starts: float | Sequence[float] | np.ndarray,
+        ends: float | Sequence[float] | np.ndarray,
+    ) -> list[list[dict[str, object]]]:
+        """Batched :meth:`events_between` over many ``(entity, window)`` probes."""
+        windows = self.events_between_index_batch(entity_ids, starts, ends)
+        return [
+            [self._rows[int(i)] for i in window] for window in windows
+        ]
+
+    # -- row / column gathers --------------------------------------------------
+
+    def row_at(self, row_index: int) -> dict[str, object]:
+        """The stored row dict at a batch-kernel row index."""
+        return self._rows[row_index]
+
+    def gather_values(
+        self, column: str, row_indices: np.ndarray
+    ) -> list[object]:
+        """Column values at the given row indices (``None`` where ``-1``).
+
+        Returns the exact stored python objects, preserving the row path's
+        value identity for mixed-type consumers.
+        """
+        if column not in self.schema.columns and column not in (
+            "entity_id", "timestamp",
+        ):
+            raise KeyError(f"table {self.name!r} has no column {column!r}")
+        rows = self._rows
+        return [
+            None if i < 0 else rows[int(i)].get(column) for i in row_indices
+        ]
+
+    def gather_float(self, column: str, row_indices: np.ndarray) -> np.ndarray:
+        """Float column gather by row index: NaN where ``-1`` or NULL.
+
+        The vectorized training-join kernel: one fancy-index per feature
+        column instead of a per-cell ``float(row.get(...))`` loop. Rejects
+        string columns (training matrices are numeric).
+        """
+        kind = self.schema.column_kind(column)  # KeyError on unknown
+        if kind == "string":
+            raise ValidationError(
+                f"column {column!r} of table {self.name!r} is a string column; "
+                "gather_float requires a numeric column"
+            )
+        indices = np.asarray(row_indices, dtype=np.int64)
+        out = np.full(indices.shape, np.nan, dtype=np.float64)
+        valid = indices >= 0
+        if not valid.any():
+            return out
+        values, null = self._column_data(column)
+        taken = indices[valid]
+        gathered = values[taken].astype(np.float64, copy=True)
+        gathered[null[taken]] = np.nan
+        out[valid] = gathered
+        return out
+
+    def _column_data(self, column: str) -> tuple[np.ndarray, np.ndarray]:
+        """Table-level ``(values, null_mask)`` over all rows in append order.
+
+        Cached; invalidated whenever the row count changes (append or
+        truncate), so batch kernels that probe a quiescent table pay the
+        O(n) encode once.
+        """
+        if self._column_cache_rows != len(self._rows):
+            self._column_cache.clear()
+            self._column_cache_rows = len(self._rows)
+        cached = self._column_cache.get(column)
+        if cached is not None:
+            return cached
+        kind = self.schema.column_kind(column)
+        built = _encode_column([row.get(column) for row in self._rows], kind)
+        self._column_cache[column] = built
+        return built
 
     def column_array(
         self,
@@ -220,15 +600,28 @@ class OfflineTable:
         float, -1 for int; string columns return an object array)."""
         if column not in self.schema.columns and column not in ("entity_id", "timestamp"):
             raise KeyError(f"table {self.name!r} has no column {column!r}")
-        values = [row.get(column) for row in self.scan(start, end)]
         kind = self.schema.columns.get(column, "float" if column == "timestamp" else "int")
-        if kind == "float":
-            return np.array(
-                [np.nan if v is None else float(v) for v in values], dtype=float
-            )
-        if kind == "int":
-            return np.array([-1 if v is None else int(v) for v in values], dtype=np.int64)
-        return np.array(values, dtype=object)
+        pieces: list[np.ndarray] = []
+        for frame, lo, hi in self.scan_frames(start, end):
+            values, null = frame.column(column)
+            chunk = values[lo:hi]
+            if kind == "float":
+                pieces.append(chunk.astype(np.float64, copy=True))
+            elif kind == "int":
+                piece = chunk.astype(np.int64, copy=True)
+                piece[null[lo:hi]] = -1
+                pieces.append(piece)
+            else:
+                pieces.append(chunk.copy())
+        if not pieces:
+            if kind == "float":
+                return np.array([], dtype=float)
+            if kind == "int":
+                return np.array([], dtype=np.int64)
+            return np.array([], dtype=object)
+        return np.concatenate(pieces)
+
+    # -- retention -------------------------------------------------------------
 
     def truncate_before(self, timestamp: float) -> int:
         """Drop all whole partitions that end at or before ``timestamp``.
@@ -255,35 +648,45 @@ class OfflineTable:
 
         dropped = 0
         survivors: list[dict[str, object]] = []
-        old_index_of: dict[int, int] = {}
-        for index, row in enumerate(self._rows):
+        for row in self._rows:
             if id(row) in doomed_rows:
                 dropped += 1
-                continue
-            old_index_of[index] = len(survivors)
-            survivors.append(row)
+            else:
+                survivors.append(row)
         self._rows = survivors
-        rebuilt: dict[int, list[tuple[float, int]]] = {}
-        for entity, pairs in self._by_entity.items():
-            kept = [
-                (ts, old_index_of[row_index])
-                for ts, row_index in pairs
-                if row_index in old_index_of
-            ]
-            if kept:
-                rebuilt[entity] = kept
+        # Rebuild entity indexes from scratch in (new) append order —
+        # insertion-order ties keep the same relative order as before the
+        # truncate, so upsert semantics are preserved.
+        rebuilt: dict[int, _EntityIndex] = {}
+        max_ts: float | None = None
+        for row_index, row in enumerate(survivors):
+            entity = int(row["entity_id"])  # type: ignore[arg-type]
+            ts = float(row["timestamp"])  # type: ignore[arg-type]
+            index = rebuilt.get(entity)
+            if index is None:
+                index = rebuilt[entity] = _EntityIndex()
+            index.add(ts, row_index)
+            if max_ts is None or ts > max_ts:
+                max_ts = ts
         self._by_entity = rebuilt
+        self._max_event_time = max_ts
+        self._column_cache.clear()
+        self._column_cache_rows = len(survivors)
         return dropped
+
+    # -- metadata --------------------------------------------------------------
 
     def entity_ids(self) -> list[int]:
         """All distinct entity ids seen so far, sorted."""
         return sorted(self._by_entity)
 
     def last_event_time(self) -> float | None:
-        """Timestamp of the newest row, or None if the table is empty."""
-        if not self._rows:
-            return None
-        return max(float(r["timestamp"]) for r in self._rows)  # type: ignore[arg-type]
+        """Timestamp of the newest row, or None if the table is empty.
+
+        O(1): a running max is maintained by :meth:`append` and recomputed
+        only by :meth:`truncate_before`.
+        """
+        return self._max_event_time
 
 
 class OfflineStore:

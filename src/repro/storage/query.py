@@ -13,6 +13,14 @@ per-entity aggregation.
     >>> q.count()
     >>> q.aggregate("fare", "mean")
     >>> q.group_by_entity("fare", "sum")
+
+Execution is **vectorized**: predicates compile to numpy boolean masks over
+the offline table's per-partition column frames (NULL-mask semantics
+preserved — NULL never satisfies a comparison, including ``!=``), and
+``count``/``values``/``aggregate``/``group_by_entity`` run on arrays. The
+engine falls back to the row-at-a-time path only where numpy gains nothing:
+``in``/ordering predicates on string columns, and ``limit`` queries (which
+stop early). Both paths are held to identical results by the parity suite.
 """
 
 from __future__ import annotations
@@ -35,6 +43,11 @@ _OPERATORS = {
     "in": lambda a, b: a in b,
 }
 
+# Ops that cannot be vectorized on string/object columns: `in` would fall
+# back to element-wise python anyway, and ordering comparisons explode on
+# None payloads inside object arrays.
+_STRING_ROW_PATH_OPS = {"in", "<", "<=", ">", ">="}
+
 _AGGREGATES = {
     "mean": np.mean,
     "sum": np.sum,
@@ -43,6 +56,8 @@ _AGGREGATES = {
     "count": len,
     "std": np.std,
 }
+
+_VALUE_DTYPES = {"float": np.float64, "int": np.int64, "string": object}
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,24 @@ class Predicate:
         if value is None:
             return False
         return bool(_OPERATORS[self.op](value, self.value))
+
+    def mask(self, values: np.ndarray, null: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`matches` over a column slice.
+
+        ``values``/``null`` are a column frame slice; NULL positions are
+        masked out for every operator except ``not_null``.
+        """
+        if self.op == "not_null":
+            return ~null
+        if self.op == "in":
+            hit = np.isin(values, np.asarray(list(self.value)))  # type: ignore[arg-type]
+        else:
+            with np.errstate(invalid="ignore"):
+                hit = _OPERATORS[self.op](values, self.value)
+        hit = np.asarray(hit, dtype=bool)
+        if hit.shape != values.shape:  # incomparable scalar -> numpy collapses
+            hit = np.full(values.shape, bool(hit), dtype=bool)
+        return hit & ~null
 
 
 @dataclass
@@ -115,7 +148,38 @@ class Query:
         self._limit = n
         return self
 
-    # -- execution -----------------------------------------------------------
+    # -- execution planning ---------------------------------------------------
+
+    def _vectorizable(self) -> bool:
+        """True when every predicate compiles to a numpy mask.
+
+        ``limit`` queries stay on the row path: they stop scanning early,
+        which the streaming row iterator already does optimally.
+        """
+        if self._limit is not None:
+            return False
+        for predicate in self._predicates:
+            kind = self.table.schema.column_kind(predicate.column)
+            if kind == "string" and predicate.op in _STRING_ROW_PATH_OPS:
+                return False
+        return True
+
+    def _frame_masks(self) -> Iterator[tuple[object, int, int, np.ndarray]]:
+        """Yield ``(frame, lo, hi, mask)`` per overlapping partition.
+
+        ``mask`` is boolean over the ``[lo, hi)`` time slice, the conjunction
+        of all compiled predicates.
+        """
+        for frame, lo, hi in self.table.scan_frames(self._start, self._end):
+            mask = np.ones(hi - lo, dtype=bool)
+            for predicate in self._predicates:
+                if not mask.any():
+                    break
+                values, null = frame.column(predicate.column)
+                mask &= predicate.mask(values[lo:hi], null[lo:hi])
+            yield frame, lo, hi, mask
+
+    # -- row-path execution (fallback + parity reference) ----------------------
 
     def _matching(self) -> Iterator[dict[str, object]]:
         emitted = 0
@@ -125,6 +189,30 @@ class Query:
                 emitted += 1
                 if self._limit is not None and emitted >= self._limit:
                     return
+
+    def _count_rowpath(self) -> int:
+        return sum(1 for __ in self._matching())
+
+    def _values_rowpath(self, column: str) -> np.ndarray:
+        collected = [
+            row[column] for row in self._matching() if row.get(column) is not None
+        ]
+        dtype = _VALUE_DTYPES[self.table.schema.column_kind(column)]
+        return np.asarray(collected, dtype=dtype)
+
+    def _group_by_entity_rowpath(self, column: str, agg: str) -> dict[int, float]:
+        grouped: dict[int, list[float]] = {}
+        for row in self._matching():
+            value = row.get(column)
+            if value is None:
+                continue
+            grouped.setdefault(int(row["entity_id"]), []).append(float(value))  # type: ignore[arg-type]
+        return {
+            entity: float(_AGGREGATES[agg](np.asarray(values)))
+            for entity, values in grouped.items()
+        }
+
+    # -- public execution ------------------------------------------------------
 
     def rows(self) -> list[dict[str, object]]:
         """Materialize matching rows (projected if ``select`` was used)."""
@@ -137,25 +225,48 @@ class Query:
         return out
 
     def count(self) -> int:
-        return sum(1 for __ in self._matching())
+        if not self._vectorizable():
+            return self._count_rowpath()
+        return sum(int(mask.sum()) for __, __, __, mask in self._frame_masks())
 
     def values(self, column: str) -> np.ndarray:
-        """Non-NULL values of one column across matching rows."""
+        """Non-NULL values of one column across matching rows.
+
+        The array dtype follows the column: float64 for float columns,
+        int64 for int columns (and ``entity_id``), object for strings.
+        """
         if column not in self._known_columns():
             raise ValidationError(f"unknown column {column!r}")
-        collected = [
-            row[column] for row in self._matching() if row.get(column) is not None
-        ]
-        return np.asarray(collected, dtype=float)
+        if not self._vectorizable():
+            return self._values_rowpath(column)
+        kind = self.table.schema.column_kind(column)
+        pieces: list[np.ndarray] = []
+        for frame, lo, hi, mask in self._frame_masks():
+            values, null = frame.column(column)
+            keep = mask & ~null[lo:hi]
+            if keep.any():
+                pieces.append(values[lo:hi][keep])
+        if not pieces:
+            return np.array([], dtype=_VALUE_DTYPES[kind])
+        return np.concatenate(pieces)
 
     def aggregate(self, column: str, agg: str) -> float | None:
         """Scalar aggregate over matching non-NULL values.
 
         ``None`` when nothing matches (``count`` returns 0.0 instead).
+        String columns are rejected with :class:`ValidationError` — scalar
+        aggregates are numeric.
         """
         if agg not in _AGGREGATES:
             raise ValidationError(
                 f"unknown aggregate {agg!r}; allowed {sorted(_AGGREGATES)}"
+            )
+        if column in self._known_columns() and (
+            self.table.schema.column_kind(column) == "string"
+        ):
+            raise ValidationError(
+                f"cannot aggregate string column {column!r}; aggregates "
+                "require a numeric column (use count() or rows() instead)"
             )
         values = self.values(column)
         if len(values) == 0:
@@ -163,18 +274,44 @@ class Query:
         return float(_AGGREGATES[agg](values))
 
     def group_by_entity(self, column: str, agg: str) -> dict[int, float]:
-        """Per-entity aggregate of one column over matching rows."""
+        """Per-entity aggregate of one column over matching rows.
+
+        String columns are rejected with :class:`ValidationError`.
+        """
         if agg not in _AGGREGATES:
             raise ValidationError(
                 f"unknown aggregate {agg!r}; allowed {sorted(_AGGREGATES)}"
             )
-        grouped: dict[int, list[float]] = {}
-        for row in self._matching():
-            value = row.get(column)
-            if value is None:
+        if column in self._known_columns() and (
+            self.table.schema.column_kind(column) == "string"
+        ):
+            raise ValidationError(
+                f"cannot aggregate string column {column!r}; aggregates "
+                "require a numeric column"
+            )
+        if not self._vectorizable():
+            return self._group_by_entity_rowpath(column, agg)
+        # Accumulate per-entity value chunks across partitions, then apply
+        # the aggregate once per entity over the concatenated array.
+        chunks: dict[int, list[np.ndarray]] = {}
+        for frame, lo, hi, mask in self._frame_masks():
+            values, null = frame.column(column)
+            keep = mask & ~null[lo:hi]
+            if not keep.any():
                 continue
-            grouped.setdefault(int(row["entity_id"]), []).append(float(value))  # type: ignore[arg-type]
+            entities = frame.entity_ids[lo:hi][keep]
+            kept = values[lo:hi][keep].astype(np.float64, copy=False)
+            order = np.argsort(entities, kind="stable")
+            sorted_entities = entities[order]
+            sorted_values = kept[order]
+            boundaries = np.flatnonzero(np.diff(sorted_entities)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(sorted_entities)]))
+            for s, e in zip(starts, ends):
+                chunks.setdefault(int(sorted_entities[s]), []).append(
+                    sorted_values[s:e]
+                )
         return {
-            entity: float(_AGGREGATES[agg](np.asarray(values)))
-            for entity, values in grouped.items()
+            entity: float(_AGGREGATES[agg](np.concatenate(parts)))
+            for entity, parts in chunks.items()
         }

@@ -159,6 +159,72 @@ class TestOfflineTable:
         table.append([row(ts=4.0), row(ts=9.0)])
         assert table.last_event_time() == 9.0
 
+    def test_last_event_time_is_running_max(self, table):
+        """Satellite regression: O(1) running max, not an O(n) scan."""
+        table.append([row(ts=9.0)])
+        table.append([row(ts=4.0)])  # late arrival must not lower the max
+        assert table.last_event_time() == 9.0
+        table.append([row(ts=11.0)])
+        assert table.last_event_time() == 11.0
+        # The running max must not be recomputed via the rows on read.
+        table._rows = []  # whitebox: reads must come from the cached max
+        assert table.last_event_time() == 11.0
+
+    def test_last_event_time_recomputed_after_truncate(self, table):
+        table.append([row(ts=5.0), row(ts=DAY + 3.0)])
+        assert table.last_event_time() == DAY + 3.0
+        table.truncate_before(DAY)  # drops partition 0 only
+        assert table.last_event_time() == DAY + 3.0
+        table.truncate_before(3 * DAY)  # drops everything
+        assert table.last_event_time() is None
+
+    def test_sorted_rows_cached_until_append(self, table):
+        """Satellite regression: scan no longer re-sorts per call."""
+        table.append([row(ts=5.0), row(ts=1.0)])
+        partition = table._partitions[0]
+        first = partition.frame()
+        assert partition.frame() is first  # cached between reads
+        assert [r["timestamp"] for r in table.scan()] == [1.0, 5.0]
+        table.append([row(ts=3.0)])  # dirty-flag invalidation
+        second = partition.frame()
+        assert second is not first
+        assert [r["timestamp"] for r in table.scan()] == [1.0, 3.0, 5.0]
+
+    def test_read_partition_returns_fresh_list(self, table):
+        table.append([row(ts=2.0), row(ts=1.0)])
+        first = table.read_partition(0)
+        first.append({"corrupted": True})
+        assert [r["timestamp"] for r in table.read_partition(0)] == [1.0, 2.0]
+
+    def test_sorted_rows_stable_for_duplicate_timestamps(self, table):
+        table.append([row(ts=1.0, fare=1.0), row(ts=1.0, fare=2.0),
+                      row(ts=1.0, fare=3.0)])
+        assert [r["fare"] for r in table.read_partition(0)] == [1.0, 2.0, 3.0]
+
+    def test_latest_before_batch_matches_single(self, table):
+        table.append([row(entity=1, ts=1.0, fare=1.0),
+                      row(entity=1, ts=5.0, fare=5.0),
+                      row(entity=2, ts=3.0, fare=3.0)])
+        got = table.latest_before_batch([1, 1, 2, 7], [0.5, 6.0, 3.0, 100.0])
+        assert got[0] is None
+        assert got[1]["fare"] == 5.0
+        assert got[2]["fare"] == 3.0
+        assert got[3] is None
+
+    def test_latest_before_batch_shape_mismatch(self, table):
+        with pytest.raises(ValidationError):
+            table.latest_before_index_batch([1, 2], [0.0])
+
+    def test_gather_float_nulls_and_misses(self, table):
+        table.append([row(ts=1.0, fare=None), row(ts=2.0, fare=7.0)])
+        indices = np.array([0, 1, -1])
+        got = table.gather_float("fare", indices)
+        assert np.isnan(got[0]) and got[1] == 7.0 and np.isnan(got[2])
+        with pytest.raises(ValidationError):
+            table.gather_float("note", indices)  # string column
+        with pytest.raises(KeyError):
+            table.gather_float("ghost", indices)
+
     @settings(max_examples=30, deadline=None)
     @given(
         st.lists(

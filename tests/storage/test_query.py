@@ -123,3 +123,75 @@ class TestAggregation:
     def test_values_skips_nulls(self, table):
         values = Query(table).where("entity_id", "==", 2).values("fare")
         np.testing.assert_array_equal(values, [30.0])
+
+
+class TestValueDtypes:
+    """Satellite regression: values() no longer forces dtype=float."""
+
+    @pytest.fixture
+    def typed(self):
+        t = OfflineTable(
+            "typed", TableSchema(columns={"fare": "float", "city": "int",
+                                          "note": "string"})
+        )
+        t.append(
+            [
+                {"entity_id": 1, "timestamp": 1.0, "fare": 10.0, "city": 3,
+                 "note": "a"},
+                {"entity_id": 2, "timestamp": 2.0, "fare": None, "city": None,
+                 "note": None},
+                {"entity_id": 2, "timestamp": 3.0, "fare": 20.0, "city": 5,
+                 "note": "b"},
+            ]
+        )
+        return t
+
+    def test_float_column_dtype(self, typed):
+        values = Query(typed).values("fare")
+        assert values.dtype == np.float64
+        np.testing.assert_array_equal(values, [10.0, 20.0])
+
+    def test_int_column_dtype(self, typed):
+        values = Query(typed).values("city")
+        assert values.dtype == np.int64
+        np.testing.assert_array_equal(values, [3, 5])
+        assert Query(typed).values("entity_id").dtype == np.int64
+
+    def test_string_column_returns_objects(self, typed):
+        values = Query(typed).values("note")
+        assert values.dtype == object
+        assert list(values) == ["a", "b"]
+
+    def test_string_values_on_row_path_too(self, typed):
+        values = Query(typed).limit(2).values("note")  # limit -> row path
+        assert values.dtype == object
+        assert list(values) == ["a"]  # row 2 has note NULL
+
+    def test_empty_results_keep_dtype(self, typed):
+        q = Query(typed).where("fare", ">", 1e9)
+        assert q.values("fare").dtype == np.float64
+        assert q.values("city").dtype == np.int64
+        assert q.values("note").dtype == object
+
+    def test_aggregate_string_column_rejected(self, typed):
+        with pytest.raises(ValidationError, match="string column"):
+            Query(typed).aggregate("note", "mean")
+        with pytest.raises(ValidationError, match="string column"):
+            Query(typed).aggregate("note", "count")
+
+    def test_group_by_string_column_rejected(self, typed):
+        with pytest.raises(ValidationError, match="string column"):
+            Query(typed).group_by_entity("note", "sum")
+
+    def test_int_aggregate_still_numeric(self, typed):
+        assert Query(typed).aggregate("city", "sum") == 8.0
+
+    def test_string_equality_predicate_vectorized(self, typed):
+        q = Query(typed).where("note", "==", "a")
+        assert q._vectorizable()
+        assert q.count() == 1
+
+    def test_string_ordering_predicate_falls_back(self, typed):
+        q = Query(typed).where("note", ">=", "b")
+        assert not q._vectorizable()
+        assert q.count() == 1

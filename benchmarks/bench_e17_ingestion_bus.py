@@ -1,0 +1,236 @@
+"""E17 — ingestion bus: durability cost, end-to-end freshness, replay.
+
+The ingest plane of the feature store (paper §2.2.3: streaming
+materialization and the freshness/staleness trade-off) runs through
+``repro.bus``: a partitioned, CRC-framed segment log with checkpointed
+consumer groups and idempotent sinks. The knob that prices durability is
+the fsync policy, and this bench measures exactly what it costs:
+
+* **throughput** — events/s through ``Producer.send`` + durable flush for
+  ``fsync=none`` (OS page cache only), ``fsync=group`` (group commit every
+  N records), and ``fsync=per_record`` (one ``fsync(2)`` per append);
+* **end-to-end freshness** — the ``event_time → online write_time`` lag
+  distribution (p50/p99) with a producer and a consumer+sink interleaved
+  on wall-clock time, per policy;
+* **replay** — wall-clock to rebuild the online store from offset 0 (the
+  backfill story), plus a parity check that the replayed store matches
+  the live-consumed one.
+
+Results are written to ``benchmarks/results/BENCH_ingestion_bus.json``.
+Acceptance: group-commit throughput ≥5x per-record fsync, and replay is
+parity-exact.
+
+Run the pytest bench, or the CLI smoke target::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e17_ingestion_bus.py -q
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.bus.consumer import Consumer
+from repro.bus.log import BusRecord, FsyncConfig, FsyncPolicy, SegmentLog
+from repro.bus.metrics import BusMetrics
+from repro.bus.producer import Producer
+from repro.bus.sinks import OnlineStoreSink, replay
+from repro.clock import WallClock
+from repro.datagen.streams import StreamConfig, generate_stream
+from repro.storage.online import OnlineStore
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_ingestion_bus.json"
+
+N_PARTITIONS = 4
+NAMESPACE = "bus_bench"
+DEFAULT_EVENTS = 3_000
+FULL_EVENTS = 30_000
+
+POLICIES = {
+    "none": FsyncConfig(policy=FsyncPolicy.NONE),
+    "group": FsyncConfig(policy=FsyncPolicy.GROUP, group_records=64),
+    "per_record": FsyncConfig(policy=FsyncPolicy.PER_RECORD),
+}
+
+
+def _make_events(n_events: int, seed: int = 0):
+    """Synthetic event payloads; timestamps are re-stamped at send time."""
+    duration = max(1.0, n_events / 10.0)
+    stream = generate_stream(
+        StreamConfig(
+            duration=duration,
+            rate_per_second=10.0,
+            n_entities=max(20, n_events // 50),
+            mean=10.0,
+        ),
+        seed=seed,
+    )
+    return list(stream)[:n_events]
+
+
+def _throughput(events, fsync: FsyncConfig, root: pathlib.Path) -> dict:
+    """Pure produce throughput: every event durable per the policy."""
+    with SegmentLog(root, n_partitions=N_PARTITIONS, fsync=fsync) as log:
+        t0 = time.perf_counter()
+        with Producer(log, batch_records=64) as producer:
+            for event in events:
+                producer.send(
+                    BusRecord(
+                        entity_id=event.entity_id,
+                        timestamp=event.timestamp,
+                        value=event.value,
+                    )
+                )
+        produce_s = time.perf_counter() - t0
+        assert log.total_records() == len(events)
+    return {
+        "produce_s": round(produce_s, 4),
+        "produce_events_s": int(len(events) / produce_s) if produce_s else None,
+    }
+
+
+def _freshness(events, fsync: FsyncConfig, root: pathlib.Path, chunk: int = 100) -> dict:
+    """Interleaved produce/consume on wall-clock time.
+
+    The producer re-stamps each record's ``timestamp`` with ``time.time()``
+    at send; the sink records ``write_time - event_time`` when the value
+    lands in the online store — so p50/p99 include the policy's flush and
+    fsync latency, exactly what a staleness SLO would see.
+    """
+    metrics = BusMetrics()
+    online = OnlineStore(clock=WallClock())
+    with SegmentLog(root, n_partitions=N_PARTITIONS, fsync=fsync) as log:
+        producer = Producer(log, batch_records=32, metrics=metrics)
+        consumer = Consumer(log, group="bench", metrics=metrics)
+        sink = OnlineStoreSink(online, NAMESPACE, metrics=metrics)
+        t0 = time.perf_counter()
+        for start in range(0, len(events), chunk):
+            for event in events[start : start + chunk]:
+                producer.send(
+                    BusRecord(
+                        entity_id=event.entity_id,
+                        timestamp=time.time(),  # event time = send time
+                        value=event.value,
+                    )
+                )
+            producer.flush(sync=True)  # durability ack per policy
+            while True:
+                batch = consumer.poll(512)
+                if not batch:
+                    break
+                sink.apply_batch(batch)
+            consumer.commit()
+        elapsed = time.perf_counter() - t0
+        assert consumer.total_lag() == 0
+    histogram = metrics.freshness(NAMESPACE)
+    return {
+        "consume_events_s": int(len(events) / elapsed) if elapsed else None,
+        "e2e_p50_ms": round(histogram.percentile(50) * 1e3, 3),
+        "e2e_p99_ms": round(histogram.percentile(99) * 1e3, 3),
+        "applied": metrics.applied.value,
+    }
+
+
+def _replay_case(events, root: pathlib.Path) -> dict:
+    """Backfill: rebuild a fresh online store from offset 0, check parity."""
+    fsync = FsyncConfig(policy=FsyncPolicy.NONE)
+    with SegmentLog(root, n_partitions=N_PARTITIONS, fsync=fsync) as log:
+        with Producer(log, batch_records=256) as producer:
+            producer.send_many(events)
+
+        # Live consumption (the state replay must reproduce).
+        live = OnlineStore(clock=WallClock())
+        live_sink = OnlineStoreSink(live, NAMESPACE)
+        consumer = Consumer(log, group="live")
+        while True:
+            batch = consumer.poll(1024)
+            if not batch:
+                break
+            live_sink.apply_batch(batch)
+
+        replayed = OnlineStore(clock=WallClock())
+        t0 = time.perf_counter()
+        total = replay(log, OnlineStoreSink(replayed, NAMESPACE))
+        replay_s = time.perf_counter() - t0
+
+    parity = live.entity_ids(NAMESPACE) == replayed.entity_ids(NAMESPACE) and all(
+        live.read(NAMESPACE, e) == replayed.read(NAMESPACE, e)
+        and live.event_time(NAMESPACE, e) == replayed.event_time(NAMESPACE, e)
+        for e in live.entity_ids(NAMESPACE)
+    )
+    return {
+        "events": total,
+        "replay_s": round(replay_s, 4),
+        "replay_events_s": int(total / replay_s) if replay_s else None,
+        "parity": bool(parity),
+    }
+
+
+def run_suite(n_events: int = DEFAULT_EVENTS, seed: int = 0) -> dict:
+    events = _make_events(n_events, seed)
+    policies: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-bus-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        for name, fsync in POLICIES.items():
+            policies[name] = {
+                **_throughput(events, fsync, tmp_path / f"tp-{name}"),
+                **_freshness(events, fsync, tmp_path / f"fresh-{name}"),
+            }
+        replay_result = _replay_case(events, tmp_path / "replay")
+    group = policies["group"]["produce_events_s"]
+    per_record = policies["per_record"]["produce_events_s"]
+    return {
+        "bench": "e17_ingestion_bus",
+        "n_events": n_events,
+        "n_partitions": N_PARTITIONS,
+        "policies": policies,
+        "replay": replay_result,
+        "group_vs_per_record_speedup": (
+            round(group / per_record, 2) if per_record else None
+        ),
+    }
+
+
+def write_json(results: dict, path: pathlib.Path = RESULTS_PATH) -> pathlib.Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+# -- pytest entry point -------------------------------------------------------
+
+
+def test_e17_ingestion_bus(report):
+    n_events = FULL_EVENTS if os.environ.get("REPRO_BENCH_FULL") else DEFAULT_EVENTS
+    results = run_suite(n_events)
+    write_json(results)
+
+    report.line("E17: ingestion bus — durability cost and freshness")
+    report.line(f"(written to {RESULTS_PATH.relative_to(RESULTS_PATH.parents[2])})")
+    header = ["fsync", "produce ev/s", "consume ev/s", "e2e p50 ms", "e2e p99 ms"]
+    rows = [
+        [name,
+         case["produce_events_s"],
+         case["consume_events_s"],
+         case["e2e_p50_ms"],
+         case["e2e_p99_ms"]]
+        for name, case in results["policies"].items()
+    ]
+    report.table(header, rows, width=13)
+    rep = results["replay"]
+    report.line(
+        f"replay: {rep['events']} events in {rep['replay_s']}s "
+        f"({rep['replay_events_s']} ev/s), parity={'ok' if rep['parity'] else 'FAIL'}"
+    )
+    report.line(
+        "group-commit vs per-record fsync: "
+        f"{results['group_vs_per_record_speedup']}x"
+    )
+
+    assert rep["parity"]
+    # Acceptance: group commit amortizes fsync ≥5x over per-record.
+    assert results["group_vs_per_record_speedup"] >= 5.0, results

@@ -3,16 +3,19 @@
 
 Two modes:
 
-* ``--smoke`` — run the A4 columnar-engine bench in-process at the small
-  size (fast, no pytest) and write the perf-trajectory document to
-  ``benchmarks/results/BENCH_columnar_join.json``. This is the CI target:
-  cheap enough for every run, and it keeps the tracked JSON fresh.
+* ``--smoke`` — run the perf-trajectory benches in-process at small sizes
+  (fast, no pytest) and refresh their tracked JSON documents:
+  ``BENCH_columnar_join.json`` (A4 columnar engine) and
+  ``BENCH_ingestion_bus.json`` (E17 ingestion bus). This is the CI
+  target: cheap enough for every run. ``--targets columnar bus`` selects
+  a subset (default: both).
 * default — delegate to pytest over the whole ``benchmarks/`` tree
   (``--benchmark-disable`` unless pytest-benchmark timing is wanted).
 
 Usage::
 
     python benchmarks/run_benchmarks.py --smoke
+    python benchmarks/run_benchmarks.py --smoke --targets bus
     python benchmarks/run_benchmarks.py                 # full pytest suite
     python benchmarks/run_benchmarks.py -k a4           # filtered pytest run
 
@@ -39,8 +42,7 @@ def _ensure_paths() -> None:
             sys.path.insert(0, path)
 
 
-def run_smoke(sizes: list[int], out: pathlib.Path | None) -> int:
-    _ensure_paths()
+def _smoke_columnar(sizes: list[int], out: pathlib.Path | None) -> int:
     import bench_a4_columnar_join as a4
 
     results = a4.run_suite(sizes)
@@ -58,6 +60,47 @@ def run_smoke(sizes: list[int], out: pathlib.Path | None) -> int:
         if not pit["parity_nan_equal"]:
             return 1
     return 0
+
+
+def _smoke_bus(n_events: int) -> int:
+    import bench_e17_ingestion_bus as e17
+
+    results = e17.run_suite(n_events)
+    path = e17.write_json(results)
+    print(f"wrote {path}")
+    for name, case in results["policies"].items():
+        print(
+            f"  fsync={name:<10} produce {case['produce_events_s']:>7} ev/s, "
+            f"e2e p50 {case['e2e_p50_ms']:.2f}ms p99 {case['e2e_p99_ms']:.2f}ms"
+        )
+    rep = results["replay"]
+    print(
+        f"  replay {rep['events']} events in {rep['replay_s']}s "
+        f"({rep['replay_events_s']} ev/s), "
+        f"parity={'ok' if rep['parity'] else 'FAIL'}; "
+        f"group vs per-record fsync {results['group_vs_per_record_speedup']}x"
+    )
+    if not rep["parity"]:
+        return 1
+    if results["group_vs_per_record_speedup"] < 5.0:
+        print("  FAIL: group commit under the 5x acceptance bar")
+        return 1
+    return 0
+
+
+def run_smoke(
+    sizes: list[int],
+    out: pathlib.Path | None,
+    targets: list[str],
+    bus_events: int,
+) -> int:
+    _ensure_paths()
+    status = 0
+    if "columnar" in targets:
+        status = _smoke_columnar(sizes, out) or status
+    if "bus" in targets:
+        status = _smoke_bus(bus_events) or status
+    return status
 
 
 def run_pytest(extra: list[str]) -> int:
@@ -79,25 +122,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run the A4 columnar bench at the small size and write "
-        "BENCH_columnar_join.json",
+        help="run the trajectory benches (A4 columnar, E17 bus) at small "
+        "sizes and refresh their tracked JSON documents",
+    )
+    parser.add_argument(
+        "--targets",
+        nargs="+",
+        choices=["columnar", "bus"],
+        default=["columnar", "bus"],
+        help="which smoke benches to run (default: both)",
     )
     parser.add_argument(
         "--sizes",
         type=int,
         nargs="+",
         default=[10_000],
-        help="event counts for --smoke (default: 10000)",
+        help="event counts for the columnar smoke (default: 10000)",
+    )
+    parser.add_argument(
+        "--bus-events",
+        type=int,
+        default=3_000,
+        help="event count for the bus smoke (default: 3000)",
     )
     parser.add_argument(
         "--out",
         type=pathlib.Path,
         default=None,
-        help="override the JSON output path for --smoke",
+        help="override the columnar JSON output path for --smoke",
     )
     args, extra = parser.parse_known_args(argv)
     if args.smoke:
-        return run_smoke(args.sizes, args.out)
+        return run_smoke(args.sizes, args.out, args.targets, args.bus_events)
     return run_pytest(extra)
 
 

@@ -21,6 +21,14 @@ See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the
 paper-reproduction map.
 """
 
+from repro.bus import (
+    BusRecord,
+    Consumer,
+    FsyncConfig,
+    FsyncPolicy,
+    Producer,
+    SegmentLog,
+)
 from repro.clock import SimClock, WallClock
 from repro.core import (
     ColumnRef,
@@ -57,8 +65,10 @@ from repro.storage import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BusRecord",
     "ColumnRef",
     "CompatibilityError",
+    "Consumer",
     "EmbeddingMatrix",
     "EmbeddingStore",
     "EmbeddingVersion",
@@ -69,12 +79,16 @@ __all__ = [
     "FeatureStore",
     "FeatureView",
     "FreshnessPolicy",
+    "FsyncConfig",
+    "FsyncPolicy",
     "GatewayConfig",
     "MaterializationResult",
     "ModelStore",
     "OfflineStore",
     "OnlineStore",
+    "Producer",
     "Provenance",
+    "SegmentLog",
     "ReproError",
     "RowTransform",
     "ServingGateway",

@@ -1,0 +1,73 @@
+"""The durable feature ingestion bus (the write plane).
+
+Paper §2.2.1: the feature store "orchestrates the updates to the features
+based on the user-defined cadence" — and stale features silently degrade
+models. The synchronous :class:`~repro.streaming.StreamProcessor` realizes
+that path in-process with no durability: a crash loses every in-flight
+event, and backfills cannot re-derive online state. Production platforms
+put a replayable log between producers and the dual store; this package is
+that log and everything around it:
+
+* :mod:`repro.bus.log` — partitioned append-only segment log on disk
+  (CRC32-framed records, size-based segment rotation, configurable fsync
+  policy, crash-recovery open that truncates torn tail writes);
+* :mod:`repro.bus.producer` — batching producer with entity-hash routing
+  (per-entity order preserved) and bounded-bytes backpressure;
+* :mod:`repro.bus.consumer` — consumer groups with per-partition offsets
+  checkpointed via atomic rename (at-least-once delivery) and a dedupe
+  window that makes sinks effectively idempotent across crash/restart;
+* :mod:`repro.bus.sinks` — online/offline/aggregating sinks plus
+  :func:`~repro.bus.sinks.replay` for log-driven backfills;
+* :mod:`repro.bus.metrics` — produce/consume throughput, consumer lag and
+  per-namespace end-to-end freshness lag, rendered into the operator
+  dashboard by :func:`repro.monitoring.dashboard.bus_section`.
+
+PR 1 built the read plane (serving gateway), PR 2 the batch plane
+(columnar offline engine); this is the ingest plane.
+"""
+
+from repro.bus.consumer import (
+    CheckpointStore,
+    Consumer,
+    ConsumedRecord,
+    DedupeWindow,
+)
+from repro.bus.log import (
+    BusRecord,
+    FsyncConfig,
+    FsyncPolicy,
+    SegmentLog,
+    decode_payload,
+    encode_record,
+)
+from repro.bus.metrics import BusMetrics
+from repro.bus.producer import OverflowPolicy, Producer, ProducerStats
+from repro.bus.sinks import (
+    AggregatingSink,
+    OfflineStoreSink,
+    OnlineStoreSink,
+    Sink,
+    replay,
+)
+
+__all__ = [
+    "AggregatingSink",
+    "BusMetrics",
+    "BusRecord",
+    "CheckpointStore",
+    "ConsumedRecord",
+    "Consumer",
+    "DedupeWindow",
+    "FsyncConfig",
+    "FsyncPolicy",
+    "OfflineStoreSink",
+    "OnlineStoreSink",
+    "OverflowPolicy",
+    "Producer",
+    "ProducerStats",
+    "SegmentLog",
+    "Sink",
+    "decode_payload",
+    "encode_record",
+    "replay",
+]

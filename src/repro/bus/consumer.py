@@ -1,0 +1,240 @@
+"""Checkpointed consumer groups: at-least-once delivery, exactly-once effects.
+
+The read edge of the ingestion bus. A :class:`Consumer` belongs to a
+*group* and owns one cursor per partition. ``poll`` advances the in-memory
+cursor; ``commit`` persists it — so the delivery contract is
+**at-least-once**: a crash between processing and commit replays the
+uncommitted suffix on restart.
+
+Checkpoints are one tiny JSON file per ``(group, partition)`` written via
+the atomic-rename idiom (write tmp, fsync, ``os.replace``) — a checkpoint
+is either the old offset or the new one, never a torn intermediate.
+
+:class:`DedupeWindow` turns at-least-once delivery into effectively-once
+*application*: sinks consult it keyed on ``(partition, offset)`` before
+applying a record, so the replayed suffix after a crash is recognized and
+skipped instead of double-written into the online store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.bus.log import BusRecord, SegmentLog
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.bus.metrics import BusMetrics
+
+_CHECKPOINT_DIRNAME = "checkpoints"
+
+
+@dataclass(frozen=True)
+class ConsumedRecord:
+    """A record plus its coordinates — the dedupe/checkpoint identity."""
+
+    partition: int
+    offset: int
+    record: BusRecord
+
+
+class CheckpointStore:
+    """Per-``(group, partition)`` committed offsets, atomically persisted.
+
+    The stored value is the *next offset to read* (i.e. one past the last
+    processed record), matching the usual consumer-group convention.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, group: str, partition: int) -> Path:
+        return self.directory / group / f"partition-{partition:04d}.json"
+
+    def load(self, group: str, partition: int) -> int:
+        """Committed next-offset, or 0 if this group never committed."""
+        path = self._path(group, partition)
+        try:
+            return int(json.loads(path.read_text())["next_offset"])
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, ValueError):
+            return 0
+
+    def commit(self, group: str, partition: int, next_offset: int) -> None:
+        """Atomically persist ``next_offset`` (tmp + fsync + rename)."""
+        if next_offset < 0:
+            raise ValidationError(f"next_offset must be >= 0 ({next_offset=})")
+        path = self._path(group, partition)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w") as handle:
+            json.dump({"next_offset": next_offset}, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def groups(self) -> list[str]:
+        return sorted(p.name for p in self.directory.iterdir() if p.is_dir())
+
+
+class Consumer:
+    """One member of a consumer group reading every partition of a log.
+
+    (Laptop-scale simplification: there is no broker-side partition
+    assignment — a group is one consumer owning all partitions. The
+    checkpoint format is per-partition, so a sharded assignment layer
+    could be added without migrating state.)
+    """
+
+    def __init__(
+        self,
+        log: SegmentLog,
+        group: str = "default",
+        checkpoints: CheckpointStore | None = None,
+        metrics: "BusMetrics | None" = None,
+    ) -> None:
+        if not group:
+            raise ValidationError("consumer group name cannot be empty")
+        self.log = log
+        self.group = group
+        self.checkpoints = checkpoints or CheckpointStore(
+            log.directory / _CHECKPOINT_DIRNAME
+        )
+        self.metrics = metrics
+        # Resume from the last commit; clamp to the durable end so a
+        # checkpoint that outlived torn (never-acknowledged) records cannot
+        # strand the cursor past the recovered log.
+        self._positions = [
+            min(self.checkpoints.load(group, p), log.end_offset(p))
+            for p in range(log.n_partitions)
+        ]
+        self._round_robin = 0
+
+    # -- cursors -------------------------------------------------------------
+
+    def position(self, partition: int) -> int:
+        return self._positions[partition]
+
+    def committed(self, partition: int) -> int:
+        return self.checkpoints.load(self.group, partition)
+
+    def seek(self, partition: int, offset: int) -> None:
+        if offset < 0:
+            raise ValidationError(f"offset must be >= 0 ({offset=})")
+        self._positions[partition] = offset
+
+    def seek_to_beginning(self) -> None:
+        """Rewind every partition to offset 0 (the replay/backfill entry)."""
+        self._positions = [0] * self.log.n_partitions
+
+    def lag(self) -> dict[int, int]:
+        """Per-partition records between the cursor and the log end."""
+        lags = {
+            p: self.log.end_offset(p) - self._positions[p]
+            for p in range(self.log.n_partitions)
+        }
+        if self.metrics is not None:
+            for partition, value in lags.items():
+                self.metrics.set_lag(partition, value)
+        return lags
+
+    def total_lag(self) -> int:
+        return sum(self.lag().values())
+
+    # -- delivery ------------------------------------------------------------
+
+    def poll(self, max_records: int = 512) -> list[ConsumedRecord]:
+        """Up to ``max_records`` records across partitions, cursor-ordered.
+
+        Partitions are visited round-robin starting at a rotating index so
+        a hot partition cannot starve the others. Within a partition,
+        records arrive in offset order — the per-entity ordering guarantee.
+        """
+        if max_records <= 0:
+            return []
+        out: list[ConsumedRecord] = []
+        n = self.log.n_partitions
+        start = self._round_robin
+        self._round_robin = (self._round_robin + 1) % n
+        for step in range(n):
+            if len(out) >= max_records:
+                break
+            partition = (start + step) % n
+            batch = self.log.read(
+                partition, self._positions[partition], max_records - len(out)
+            )
+            if not batch:
+                continue
+            for offset, record in batch:
+                out.append(ConsumedRecord(partition, offset, record))
+            self._positions[partition] = batch[-1][0] + 1
+        if self.metrics is not None and out:
+            self.metrics.consumed.inc(len(out))
+        return out
+
+    def commit(self) -> dict[int, int]:
+        """Persist every partition cursor; return the committed offsets."""
+        committed = {}
+        for partition in range(self.log.n_partitions):
+            self.checkpoints.commit(
+                self.group, partition, self._positions[partition]
+            )
+            committed[partition] = self._positions[partition]
+        if self.metrics is not None:
+            self.metrics.commits.inc()
+        return committed
+
+
+class DedupeWindow:
+    """Tracks applied ``(partition, offset)`` pairs to suppress redelivery.
+
+    Per-partition delivery is in offset order, so the common case is a
+    watermark: everything at or below ``applied[p]`` has been applied. A
+    bounded out-of-order set absorbs gaps (e.g. a sink that applies
+    filtered subsets); when the set outgrows ``window`` the oldest entries
+    are folded into the watermark — the window is the redelivery horizon.
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        if window <= 0:
+            raise ValidationError(f"window must be positive ({window=})")
+        self.window = window
+        self._watermarks: dict[int, int] = {}
+        self._ahead: dict[int, set[int]] = {}
+        self.duplicates_seen = 0
+
+    def seen(self, partition: int, offset: int) -> bool:
+        """True if this record was already applied (a duplicate delivery)."""
+        duplicate = offset <= self._watermarks.get(partition, -1) or offset in self._ahead.get(
+            partition, ()
+        )
+        if duplicate:
+            self.duplicates_seen += 1
+        return duplicate
+
+    def mark(self, partition: int, offset: int) -> None:
+        """Record that ``(partition, offset)`` has been applied."""
+        watermark = self._watermarks.get(partition, -1)
+        if offset <= watermark:
+            return
+        ahead = self._ahead.setdefault(partition, set())
+        ahead.add(offset)
+        # Advance the watermark over any now-contiguous prefix.
+        while watermark + 1 in ahead:
+            watermark += 1
+            ahead.discard(watermark)
+        self._watermarks[partition] = watermark
+        # Bound memory: fold the oldest out-of-order entries into the
+        # watermark once the set exceeds the window.
+        while len(ahead) > self.window:
+            smallest = min(ahead)
+            ahead.discard(smallest)
+            self._watermarks[partition] = max(self._watermarks[partition], smallest)
+
+    def filter_new(self, batch: list[ConsumedRecord]) -> list[ConsumedRecord]:
+        """The sub-batch not yet applied (does *not* mark them)."""
+        return [c for c in batch if not self.seen(c.partition, c.offset)]

@@ -1,0 +1,461 @@
+"""The durable core of the ingestion bus: a partitioned segment log.
+
+Production feature platforms put a replayable log (Kafka, Kinesis, event
+hubs) between event producers and the dual store — the paper's streaming
+path (§2.2.1) assumes exactly this substrate when it says the FS
+"orchestrates the updates to the features based on the user-defined
+cadence". This module is that substrate at laptop scale:
+
+* **Partitions** — ``n_partitions`` independent append-only logs; a stable
+  hash of ``entity_id`` picks the partition, so *per-entity* order is
+  total even though partitions are independent.
+* **Segments** — each partition is a directory of fixed-prefix files named
+  by their base offset (``00000000000000000000.seg``); the active tail
+  segment rotates once it exceeds ``segment_bytes``, which bounds both
+  recovery-scan time and the unit of retention.
+* **Framing** — every record is ``[u32 length][u32 crc32][payload]``
+  (little-endian); the CRC covers the payload, so a torn write is
+  detectable at the exact record boundary.
+* **Fsync policy** — durability is a knob, as in every real log:
+  ``PER_RECORD`` fsyncs on each append, ``GROUP`` commits every N records
+  or T seconds (whichever first), ``NONE`` leaves flushing to the OS.
+  The E17 bench (``bench_e17_ingestion_bus.py``) measures the cost curve.
+* **Crash recovery** — :class:`SegmentLog` opens by scanning the *tail*
+  segment of each partition, keeping the longest prefix of CRC-valid
+  frames and truncating whatever a crash tore mid-write. Interior
+  segments were sealed by rotation and are never re-scanned.
+
+Offsets are per-partition, dense, and 0-based: the pair
+``(partition, offset)`` names a record for consumers, checkpoints and the
+dedupe window.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import BusError, ValidationError
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_FIXED = struct.Struct("<qqdd")  # sequence, entity_id, timestamp, value
+_MAX_PAYLOAD = 1 << 26  # 64 MiB: anything larger is framing corruption
+
+_SEGMENT_SUFFIX = ".seg"
+_META_FILE = "meta.json"
+
+
+class FsyncPolicy(enum.Enum):
+    """When appended records become durable."""
+
+    NONE = "none"  # OS page cache decides; fastest, weakest
+    GROUP = "group"  # group commit: every N records or T seconds
+    PER_RECORD = "per_record"  # fsync each append; strongest, slowest
+
+
+@dataclass(frozen=True)
+class FsyncConfig:
+    """Durability knobs for a :class:`SegmentLog`.
+
+    ``group_records`` / ``group_interval_s`` only matter under
+    ``FsyncPolicy.GROUP``: a commit happens when either bound is hit.
+    """
+
+    policy: FsyncPolicy = FsyncPolicy.GROUP
+    group_records: int = 256
+    group_interval_s: float = 0.05
+
+    def validate(self) -> None:
+        if self.group_records <= 0:
+            raise ValidationError(
+                f"group_records must be positive ({self.group_records=})"
+            )
+        if self.group_interval_s <= 0:
+            raise ValidationError(
+                f"group_interval_s must be positive ({self.group_interval_s=})"
+            )
+
+
+@dataclass(frozen=True)
+class BusRecord:
+    """One event on the bus.
+
+    ``sequence`` is a producer-assigned monotonic stamp used to make
+    cross-partition merges deterministic (equal-timestamp events replay in
+    production order); it is carried on the wire but has no meaning to the
+    log itself.
+    """
+
+    entity_id: int
+    timestamp: float  # event time, seconds
+    value: float
+    attributes: dict[str, float] = field(default_factory=dict)
+    sequence: int = 0
+
+
+def encode_record(record: BusRecord) -> bytes:
+    """Serialize ``record`` to one framed ``[len][crc][payload]`` blob."""
+    attrs = (
+        json.dumps(record.attributes, sort_keys=True, separators=(",", ":")).encode()
+        if record.attributes
+        else b""
+    )
+    payload = (
+        _FIXED.pack(
+            record.sequence, record.entity_id, record.timestamp, record.value
+        )
+        + attrs
+    )
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> BusRecord:
+    """Inverse of :func:`encode_record`'s payload half."""
+    sequence, entity_id, timestamp, value = _FIXED.unpack_from(payload)
+    tail = payload[_FIXED.size :]
+    attributes = json.loads(tail) if tail else {}
+    return BusRecord(
+        entity_id=entity_id,
+        timestamp=timestamp,
+        value=value,
+        attributes=attributes,
+        sequence=sequence,
+    )
+
+
+def record_size(record: BusRecord) -> int:
+    """On-disk bytes of one framed record (used for backpressure accounting)."""
+    return len(encode_record(record))
+
+
+def _scan_frames(data: bytes, max_records: int | None = None) -> tuple[int, int]:
+    """Return ``(n_valid_records, valid_byte_length)`` of a segment image.
+
+    Stops at the first frame that is short, oversized, or fails its CRC —
+    the definition of a torn/corrupt suffix.
+    """
+    pos = 0
+    count = 0
+    size = len(data)
+    while max_records is None or count < max_records:
+        if pos + _FRAME.size > size:
+            break
+        length, crc = _FRAME.unpack_from(data, pos)
+        if length <= 0 or length > _MAX_PAYLOAD or pos + _FRAME.size + length > size:
+            break
+        payload = data[pos + _FRAME.size : pos + _FRAME.size + length]
+        if zlib.crc32(payload) != crc:
+            break
+        pos += _FRAME.size + length
+        count += 1
+    return count, pos
+
+
+class _PartitionLog:
+    """One partition: a directory of segments plus the open tail."""
+
+    def __init__(self, directory: Path, segment_bytes: int, fsync: FsyncConfig) -> None:
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._bases: list[int] = []  # sorted segment base offsets
+        self._tail: object | None = None  # open file object (append mode)
+        self._tail_base = 0
+        self._tail_records = 0
+        self._tail_bytes = 0
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+        self.truncated_bytes = 0  # torn bytes discarded at recovery
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._recover()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _segment_path(self, base: int) -> Path:
+        return self.directory / f"{base:020d}{_SEGMENT_SUFFIX}"
+
+    def _recover(self) -> None:
+        bases = sorted(
+            int(p.stem) for p in self.directory.glob(f"*{_SEGMENT_SUFFIX}")
+        )
+        if not bases:
+            self._bases = [0]
+            self._tail_base = 0
+            self._tail_records = 0
+            self._tail_bytes = 0
+            self._tail = open(self._segment_path(0), "ab")
+            return
+        self._bases = bases
+        tail_base = bases[-1]
+        path = self._segment_path(tail_base)
+        data = path.read_bytes()
+        count, valid = _scan_frames(data)
+        if valid < len(data):
+            # A crash tore the final write(s): truncate to the last frame
+            # whose CRC survives. Nothing past `valid` was ever durable.
+            self.truncated_bytes = len(data) - valid
+            with open(path, "r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._tail_base = tail_base
+        self._tail_records = count
+        self._tail_bytes = valid
+        self._tail = open(path, "ab")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._tail is not None:
+                self._tail.flush()
+                self._tail.close()
+                self._tail = None
+
+    # -- append path ---------------------------------------------------------
+
+    @property
+    def end_offset(self) -> int:
+        """The offset the *next* appended record will receive."""
+        with self._lock:
+            return self._tail_base + self._tail_records
+
+    def append_many(self, records: list[BusRecord]) -> list[int]:
+        """Append records in order; return their assigned offsets."""
+        if not records:
+            return []
+        offsets: list[int] = []
+        with self._lock:
+            if self._tail is None:
+                raise BusError(f"partition log {self.directory} is closed")
+            per_record = self.fsync.policy is FsyncPolicy.PER_RECORD
+            for record in records:
+                frame = encode_record(record)
+                if (
+                    self._tail_bytes
+                    and self._tail_bytes + len(frame) > self.segment_bytes
+                ):
+                    self._rotate_locked()
+                self._tail.write(frame)
+                self._tail_bytes += len(frame)
+                offsets.append(self._tail_base + self._tail_records)
+                self._tail_records += 1
+                self._unsynced += 1
+                if per_record:
+                    self._sync_locked()
+            # Flush on every append batch so concurrent readers (and the
+            # recovery scan) always see complete frames; fsync stays policy-
+            # gated — flushing is ~2us, fsync is the expensive barrier.
+            self._tail.flush()
+            if self.fsync.policy is FsyncPolicy.GROUP and (
+                self._unsynced >= self.fsync.group_records
+                or time.monotonic() - self._last_sync >= self.fsync.group_interval_s
+            ):
+                self._sync_locked()
+        return offsets
+
+    def _rotate_locked(self) -> None:
+        # Seal the old tail durably: rotation is the promise that interior
+        # segments never need a recovery scan.
+        self._tail.flush()
+        os.fsync(self._tail.fileno())
+        self._tail.close()
+        new_base = self._tail_base + self._tail_records
+        self._bases.append(new_base)
+        self._tail_base = new_base
+        self._tail_records = 0
+        self._tail_bytes = 0
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+        self._tail = open(self._segment_path(new_base), "ab")
+
+    def _sync_locked(self) -> None:
+        self._tail.flush()
+        os.fsync(self._tail.fileno())
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+
+    def flush(self, sync: bool = False) -> None:
+        with self._lock:
+            if self._tail is None:
+                return
+            self._tail.flush()
+            if sync:
+                self._sync_locked()
+
+    # -- read path -----------------------------------------------------------
+
+    def read(self, start_offset: int, max_records: int) -> list[tuple[int, BusRecord]]:
+        """Records ``[start_offset, ...)``, at most ``max_records`` of them.
+
+        Returns ``(offset, record)`` pairs in offset order. Reading past the
+        end returns an empty list (the consumer's "caught up" signal).
+        """
+        if start_offset < 0:
+            raise ValidationError(f"offset must be >= 0 ({start_offset=})")
+        if max_records <= 0:
+            return []
+        with self._lock:
+            if self._tail is not None:
+                self._tail.flush()
+            bases = list(self._bases)
+            end = self._tail_base + self._tail_records
+        if start_offset >= end:
+            return []
+        out: list[tuple[int, BusRecord]] = []
+        index = max(0, bisect_right(bases, start_offset) - 1)
+        for base in bases[index:]:
+            if len(out) >= max_records:
+                break
+            data = self._segment_path(base).read_bytes()
+            pos = 0
+            offset = base
+            size = len(data)
+            while len(out) < max_records and offset < end:
+                if pos + _FRAME.size > size:
+                    break
+                length, crc = _FRAME.unpack_from(data, pos)
+                if (
+                    length <= 0
+                    or length > _MAX_PAYLOAD
+                    or pos + _FRAME.size + length > size
+                ):
+                    break
+                payload = data[pos + _FRAME.size : pos + _FRAME.size + length]
+                if zlib.crc32(payload) != crc:
+                    break
+                if offset >= start_offset:
+                    out.append((offset, decode_payload(payload)))
+                pos += _FRAME.size + length
+                offset += 1
+        return out
+
+
+class SegmentLog:
+    """The partitioned, durable event log behind the ingestion bus.
+
+    Layout under ``directory``::
+
+        meta.json                       n_partitions (guards reopen)
+        partition-0000/<base>.seg       segments, named by base offset
+        partition-0001/...
+        checkpoints/<group>/...         consumer checkpoints (see consumer.py)
+
+    Opening an existing directory *is* crash recovery: each partition's tail
+    segment is scanned and torn suffixes are truncated. Reopening with a
+    different ``n_partitions`` raises (the entity→partition hash would no
+    longer route to history).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n_partitions: int = 4,
+        segment_bytes: int = 4 * 1024 * 1024,
+        fsync: FsyncConfig | None = None,
+    ) -> None:
+        if n_partitions <= 0:
+            raise ValidationError(f"n_partitions must be positive ({n_partitions=})")
+        if segment_bytes <= 0:
+            raise ValidationError(f"segment_bytes must be positive ({segment_bytes=})")
+        self.fsync = fsync or FsyncConfig()
+        self.fsync.validate()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta_path = self.directory / _META_FILE
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            stored = int(meta["n_partitions"])
+            if stored != n_partitions:
+                raise BusError(
+                    f"log at {self.directory} has {stored} partitions; "
+                    f"cannot reopen with n_partitions={n_partitions} "
+                    "(entity routing would change)"
+                )
+        else:
+            meta_path.write_text(json.dumps({"n_partitions": n_partitions}))
+        self.n_partitions = n_partitions
+        self._partitions = [
+            _PartitionLog(
+                self.directory / f"partition-{p:04d}", segment_bytes, self.fsync
+            )
+            for p in range(n_partitions)
+        ]
+
+    @classmethod
+    def open(cls, directory: str | Path, **kwargs) -> "SegmentLog":
+        """Reopen an existing log, reading ``n_partitions`` from its meta."""
+        meta_path = Path(directory) / _META_FILE
+        if not meta_path.exists():
+            raise BusError(f"no ingestion log at {directory} (missing {_META_FILE})")
+        meta = json.loads(meta_path.read_text())
+        return cls(directory, n_partitions=int(meta["n_partitions"]), **kwargs)
+
+    # -- routing -------------------------------------------------------------
+
+    def partition_for(self, entity_id: int) -> int:
+        """Stable entity→partition hash (preserves per-entity order)."""
+        key = int(entity_id).to_bytes(8, "little", signed=True)
+        return zlib.crc32(key) % self.n_partitions
+
+    def _partition(self, partition: int) -> _PartitionLog:
+        if not 0 <= partition < self.n_partitions:
+            raise ValidationError(
+                f"partition {partition} out of range [0, {self.n_partitions})"
+            )
+        return self._partitions[partition]
+
+    # -- append / read -------------------------------------------------------
+
+    def append(self, partition: int, record: BusRecord) -> int:
+        """Append one record; return its offset."""
+        return self._partition(partition).append_many([record])[0]
+
+    def append_many(self, partition: int, records: list[BusRecord]) -> list[int]:
+        return self._partition(partition).append_many(records)
+
+    def read(
+        self, partition: int, start_offset: int, max_records: int = 512
+    ) -> list[tuple[int, BusRecord]]:
+        return self._partition(partition).read(start_offset, max_records)
+
+    def end_offset(self, partition: int) -> int:
+        return self._partition(partition).end_offset
+
+    def end_offsets(self) -> list[int]:
+        return [p.end_offset for p in self._partitions]
+
+    def total_records(self) -> int:
+        return sum(self.end_offsets())
+
+    def truncated_bytes(self) -> int:
+        """Torn bytes discarded by crash recovery at open (all partitions)."""
+        return sum(p.truncated_bytes for p in self._partitions)
+
+    # -- durability ----------------------------------------------------------
+
+    def flush(self, sync: bool = False) -> None:
+        """Flush all partitions; ``sync=True`` forces fsync regardless of policy."""
+        for p in self._partitions:
+            p.flush(sync=sync)
+
+    def sync(self) -> None:
+        """Explicit durability barrier: records appended so far survive a crash."""
+        self.flush(sync=True)
+
+    def close(self) -> None:
+        for p in self._partitions:
+            p.close()
+
+    def __enter__(self) -> "SegmentLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

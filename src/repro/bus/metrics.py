@@ -1,0 +1,130 @@
+"""Bus observability: throughput, consumer lag, end-to-end freshness.
+
+Paper §2.2.3: operational metrics are what "allow users to be informed of
+potential 'gremlins' in the system" — and on the ingest plane the gremlin
+that silently degrades models is *staleness*: events that sit in the log
+while the online store serves yesterday's aggregate. This module tracks
+the three surfaces an on-call engineer needs for the write path:
+
+* **throughput** — records/bytes produced and consumed, batches flushed,
+  backpressure events (the producer stalling is the first sign the bus is
+  undersized);
+* **consumer lag** — per-partition records between the durable log end and
+  each group's cursor (lag growing without bound = a sink that cannot keep
+  up);
+* **freshness lag** — the end-to-end ``event_time → online write_time``
+  distribution per namespace, recorded by the sinks at the moment a value
+  lands in the online store. This is the number the paper's staleness
+  argument is about, and it is mirrored into an attached
+  :class:`~repro.serving.metrics.ServingMetrics` so the serving tier's
+  snapshot (and the dashboard's serving section) surfaces it next to the
+  read-path latencies.
+
+Counters/histograms reuse the serving tier's thread-safe primitives.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.serving.metrics import Counter, Gauge, LatencyHistogram, ServingMetrics
+
+
+class BusMetrics:
+    """Registry of producer/consumer/sink metrics for one bus deployment."""
+
+    def __init__(self, serving: ServingMetrics | None = None) -> None:
+        # producer side
+        self.produced = Counter()
+        self.produced_bytes = Counter()
+        self.produce_batches = Counter()
+        self.backpressure_events = Counter()
+        # consumer side
+        self.consumed = Counter()
+        self.commits = Counter()
+        # sink side
+        self.applied = Counter()
+        self.duplicates_skipped = Counter()
+        self._lags: dict[int, Gauge] = {}
+        self._freshness: dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._serving = serving
+
+    # -- lag -----------------------------------------------------------------
+
+    def set_lag(self, partition: int, lag: int) -> None:
+        with self._lock:
+            gauge = self._lags.get(partition)
+            if gauge is None:
+                gauge = self._lags[partition] = Gauge()
+        gauge.set(lag)
+
+    def lag(self, partition: int) -> int:
+        with self._lock:
+            gauge = self._lags.get(partition)
+        return 0 if gauge is None else gauge.value
+
+    def lags(self) -> dict[int, int]:
+        with self._lock:
+            items = list(self._lags.items())
+        return {partition: gauge.value for partition, gauge in sorted(items)}
+
+    # -- freshness -----------------------------------------------------------
+
+    def freshness(self, namespace: str) -> LatencyHistogram:
+        """The per-namespace event_time→write_time lag histogram (lazy)."""
+        with self._lock:
+            histogram = self._freshness.get(namespace)
+            if histogram is None:
+                histogram = self._freshness[namespace] = LatencyHistogram()
+            return histogram
+
+    def freshness_namespaces(self) -> list[str]:
+        with self._lock:
+            return sorted(self._freshness)
+
+    def record_freshness(self, namespace: str, lag_s: float) -> None:
+        """Record one end-to-end freshness sample (clamped at 0).
+
+        Simulated clocks can legitimately sit behind event time; a negative
+        lag means "fresher than now" and is recorded as 0.
+        """
+        lag_s = max(0.0, lag_s)
+        self.freshness(namespace).record(lag_s)
+        if self._serving is not None:
+            self._serving.freshness(namespace).record(lag_s)
+
+    # -- snapshot ------------------------------------------------------------
+
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def reset_window(self) -> None:
+        """Restart the rate window (keeps counters and histograms)."""
+        self._started = time.monotonic()
+
+    def snapshot(self) -> dict[str, object]:
+        """One nested JSON-able dict with every bus metric."""
+        elapsed = self.elapsed_s()
+        produced = self.produced.value
+        consumed = self.consumed.value
+        return {
+            "elapsed_s": elapsed,
+            "produced": produced,
+            "produced_bytes": self.produced_bytes.value,
+            "produce_batches": self.produce_batches.value,
+            "produce_events_s": produced / elapsed if elapsed > 0 else 0.0,
+            "backpressure_events": self.backpressure_events.value,
+            "consumed": consumed,
+            "consume_events_s": consumed / elapsed if elapsed > 0 else 0.0,
+            "commits": self.commits.value,
+            "applied": self.applied.value,
+            "duplicates_skipped": self.duplicates_skipped.value,
+            "lag": {str(p): lag for p, lag in self.lags().items()},
+            "freshness": {
+                namespace: self.freshness(namespace).summary()
+                for namespace in self.freshness_namespaces()
+            },
+        }

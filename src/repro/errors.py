@@ -85,6 +85,30 @@ class TransientStoreError(StorageError):
     """
 
 
+class BusError(ReproError):
+    """A durable ingestion-bus operation failed (log, producer, consumer)."""
+
+
+class Backpressure(BusError):
+    """The producer's bounded in-flight buffer is full.
+
+    Raised by :class:`repro.bus.producer.Producer` when buffered-but-unflushed
+    bytes would exceed ``max_inflight_bytes`` and the overflow policy is
+    ``RAISE`` — the bus's signal to the caller to slow down instead of
+    letting memory grow without bound.
+    """
+
+
+class CorruptRecordError(BusError):
+    """A bus log record failed CRC32 / framing validation.
+
+    Torn tail writes are *not* reported through this error — crash-recovery
+    open silently truncates them (they were never acknowledged). This error
+    marks corruption found where it should be impossible, e.g. a damaged
+    interior segment.
+    """
+
+
 class TrainingError(ReproError):
     """A model or embedding training run failed."""
 

@@ -17,6 +17,7 @@ in the system."
 
 from repro.monitoring.dashboard import (
     DashboardSection,
+    bus_section,
     render_dashboard,
     serving_section,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "RetrainDecision",
     "RetrainingPolicy",
     "SkewReport",
+    "bus_section",
     "chi_square_drift",
     "kl_divergence",
     "ks_drift",

@@ -24,6 +24,8 @@ from repro.core.feature_store import FeatureStore
 from repro.monitoring.monitor import AlertLog
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.bus.consumer import Consumer
+    from repro.bus.metrics import BusMetrics
     from repro.serving.gateway import ServingGateway
 
 
@@ -163,7 +165,57 @@ def serving_section(gateway: "ServingGateway") -> DashboardSection:
     )
     if not endpoints:
         lines = ["no requests served"] + lines[-1:]
+    freshness = snapshot.get("freshness") or {}
+    for namespace, stats in sorted(freshness.items()):  # type: ignore[union-attr]
+        lines.append(
+            f"freshness {namespace}: n={stats['count']:.0f} "
+            f"p50={stats['p50_s']:.3f}s p99={stats['p99_s']:.3f}s "
+            f"(event_time -> online write)"
+        )
     return DashboardSection("serving", tuple(lines))
+
+
+def bus_section(
+    metrics: "BusMetrics", consumer: "Consumer | None" = None
+) -> DashboardSection:
+    """Ingest-plane health: throughput, consumer lag, end-to-end freshness.
+
+    The write-path counterpart of :func:`serving_section` — the numbers
+    that say whether the bus is keeping the online store fresh: produce
+    and consume rates, backpressure stalls, per-partition consumer lag
+    (live from ``consumer`` if given, else the last recorded gauges), and
+    the per-namespace ``event_time → online write_time`` distribution.
+    """
+    snapshot = metrics.snapshot()
+    lines = [
+        f"produced: {snapshot['produced']} records "
+        f"({snapshot['produce_events_s']:,.0f}/s, "
+        f"{snapshot['produced_bytes']} bytes, "
+        f"{snapshot['produce_batches']} batches, "
+        f"backpressure={snapshot['backpressure_events']})",
+        f"consumed: {snapshot['consumed']} records "
+        f"({snapshot['consume_events_s']:,.0f}/s, "
+        f"commits={snapshot['commits']}, applied={snapshot['applied']}, "
+        f"duplicates_skipped={snapshot['duplicates_skipped']})",
+    ]
+    lags = consumer.lag() if consumer is not None else {
+        int(p): lag for p, lag in snapshot["lag"].items()  # type: ignore[union-attr]
+    }
+    if lags:
+        total = sum(lags.values())
+        per_partition = " ".join(f"p{p}={lag}" for p, lag in sorted(lags.items()))
+        lines.append(f"consumer lag: total={total} ({per_partition})")
+    else:
+        lines.append("consumer lag: no consumers")
+    freshness: dict[str, dict[str, float]] = snapshot["freshness"]  # type: ignore[assignment]
+    for namespace, stats in sorted(freshness.items()):
+        lines.append(
+            f"freshness {namespace}: n={stats['count']:.0f} "
+            f"p50={stats['p50_s']:.3f}s p99={stats['p99_s']:.3f}s"
+        )
+    if not freshness:
+        lines.append("freshness: no sink writes yet")
+    return DashboardSection("ingestion bus", tuple(lines))
 
 
 def render_dashboard(
@@ -172,6 +224,8 @@ def render_dashboard(
     embeddings: EmbeddingStore | None = None,
     now: float | None = None,
     gateway: "ServingGateway | None" = None,
+    bus: "BusMetrics | None" = None,
+    bus_consumer: "Consumer | None" = None,
 ) -> str:
     """Render the full status pane as one string."""
     sections = [
@@ -183,4 +237,6 @@ def render_dashboard(
     sections.append(model_section(store))
     if gateway is not None:
         sections.append(serving_section(gateway))
+    if bus is not None:
+        sections.append(bus_section(bus, consumer=bus_consumer))
     return "\n\n".join(section.render() for section in sections)

@@ -189,10 +189,30 @@ class ServingMetrics:
 
     def __init__(self) -> None:
         self._endpoints: dict[str, EndpointMetrics] = {}
+        self._freshness: dict[str, LatencyHistogram] = {}
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self.inflight = Gauge()
         self.queue_depth = Gauge()
+
+    def freshness(self, namespace: str) -> LatencyHistogram:
+        """Per-namespace end-to-end freshness lag (event_time → write_time).
+
+        The write plane (the ingestion bus's online sinks, see
+        :mod:`repro.bus.metrics`) records into these histograms, so the
+        serving tier's snapshot shows how stale each namespace's values
+        were *when they landed* — the counterpart of the read-path
+        ``stale_served`` counter.
+        """
+        with self._lock:
+            histogram = self._freshness.get(namespace)
+            if histogram is None:
+                histogram = self._freshness[namespace] = LatencyHistogram()
+            return histogram
+
+    def freshness_namespaces(self) -> list[str]:
+        with self._lock:
+            return sorted(self._freshness)
 
     def endpoint(self, name: str) -> EndpointMetrics:
         with self._lock:
@@ -224,5 +244,9 @@ class ServingMetrics:
             "endpoints": {
                 name: self.endpoint(name).snapshot(elapsed)
                 for name in self.endpoints()
+            },
+            "freshness": {
+                namespace: self.freshness(namespace).summary()
+                for namespace in self.freshness_namespaces()
             },
         }

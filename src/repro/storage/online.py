@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.clock import Clock, WallClock
@@ -69,6 +69,11 @@ class OnlineStore:
         self._write_listeners: list[WriteListener] = []
         self.read_count = 0
         self.write_count = 0
+
+    @property
+    def clock(self) -> Clock:
+        """The store's time source (read-only; sinks use it for freshness lag)."""
+        return self._clock
 
     def create_namespace(self, name: str, ttl: float | None = None) -> None:
         """Create (or reconfigure the TTL of) a namespace.
@@ -152,6 +157,42 @@ class OnlineStore:
             listeners = list(self._write_listeners)
         for listener in listeners:  # outside the lock: see module docstring
             listener(namespace, entity_id)
+
+    def write_many(
+        self,
+        namespace: str,
+        rows: Sequence[tuple[int, dict[str, object], float]],
+    ) -> int:
+        """Bulk upsert: ``rows`` is ``(entity_id, values, event_time)`` tuples.
+
+        Takes the store lock **once** for the whole batch (the write-path
+        analogue of :meth:`read_many` — this is what the ingestion bus's
+        sinks and the stream processor's emit path amortize), applies the
+        same last-event-time-wins drop rule per row, and fires write
+        listeners *outside* the lock in write order, exactly as a sequence
+        of :meth:`write` calls would. Returns the number of accepted
+        (non-dropped) writes.
+        """
+        accepted: list[int] = []
+        with self._lock:
+            ns = self._namespace(namespace)
+            write_time = self._clock.now()
+            for entity_id, values, event_time in rows:
+                current = ns.data.get(entity_id)
+                if current is not None and current.event_time > event_time:
+                    continue
+                ns.data[entity_id] = OnlineValue(
+                    values=dict(values),
+                    event_time=event_time,
+                    write_time=write_time,
+                )
+                self.write_count += 1
+                accepted.append(entity_id)
+            listeners = list(self._write_listeners)
+        for entity_id in accepted:  # outside the lock: see module docstring
+            for listener in listeners:
+                listener(namespace, entity_id)
+        return len(accepted)
 
     def read(
         self,

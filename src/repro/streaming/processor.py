@@ -5,6 +5,17 @@ events flow through user-provided aggregators; on a configurable emit
 cadence the current aggregates are **persisted to the online store** and
 **logged to the offline store**, so batch training sets and online serving
 see the same feature values.
+
+Emit efficiency
+---------------
+An emit only writes entities that received at least one event since the
+previous emit (the *dirty set*) — re-writing every entity ever seen turns
+each emit into an O(all entities) scan and floods the stores with
+duplicate rows. Pass ``emit_all=True`` to restore the rewrite-everything
+behaviour; that is the right call when aggregates decay *between* events
+(e.g. a sliding window emptying out with no new traffic) and the online
+value must track the decay even for quiet entities. Skipped writes are
+reported in :attr:`ProcessorStats.skipped_writes`.
 """
 
 from __future__ import annotations
@@ -28,20 +39,29 @@ class StreamFeature:
 
 @dataclass(frozen=True)
 class ProcessorStats:
-    """Summary of a processing run."""
+    """Summary of a processing run.
+
+    ``skipped_writes`` counts entity-emits avoided by dirty tracking:
+    entities that were seen before but received no event during the emit
+    interval, and therefore were not re-written (always 0 under
+    ``emit_all=True``).
+    """
 
     events_processed: int
     emits: int
     online_writes: int
     offline_rows: int
+    skipped_writes: int = 0
 
 
 class StreamProcessor:
     """Applies aggregators to an event stream and persists the results.
 
-    Emission happens every ``emit_interval`` seconds of *event time*: for
-    every entity seen since the start, the current value of each feature is
-    written to the online namespace and appended to the offline log table.
+    Emission happens every ``emit_interval`` seconds of *event time*: the
+    current value of each feature is written to the online namespace (one
+    batched :meth:`~repro.storage.online.OnlineStore.write_many` per emit)
+    and appended to the offline log table — for the entities touched since
+    the last emit, or for every entity ever seen if ``emit_all=True``.
     """
 
     def __init__(
@@ -53,6 +73,7 @@ class StreamProcessor:
         log_table: str,
         emit_interval: float = 60.0,
         ttl: float | None = None,
+        emit_all: bool = False,
     ) -> None:
         if not features:
             raise ValidationError("processor needs at least one stream feature")
@@ -68,6 +89,7 @@ class StreamProcessor:
         self.namespace = namespace
         self.log_table = log_table
         self.emit_interval = emit_interval
+        self.emit_all = emit_all
 
         if namespace not in self.online.namespaces():
             self.online.create_namespace(namespace, ttl=ttl)
@@ -77,6 +99,7 @@ class StreamProcessor:
                 TableSchema(columns={f.name: "float" for f in self.features}),
             )
         self._seen_entities: set[int] = set()
+        self._dirty_entities: set[int] = set()
         self._next_emit: float | None = None
 
     def process(self, events: list[StreamEvent] | object) -> ProcessorStats:
@@ -89,41 +112,57 @@ class StreamProcessor:
         emits = 0
         online_writes = 0
         offline_rows = 0
+        skipped = 0
         last_ts: float | None = None
 
         for event in events:  # type: ignore[union-attr]
             if self._next_emit is None:
                 self._next_emit = event.timestamp + self.emit_interval
             while event.timestamp >= self._next_emit:
-                w, r = self._emit(self._next_emit)
+                w, r, s = self._emit(self._next_emit)
                 emits += 1
                 online_writes += w
                 offline_rows += r
+                skipped += s
                 self._next_emit += self.emit_interval
             for feature in self.features:
                 feature.aggregator.update(event)
             self._seen_entities.add(event.entity_id)
+            self._dirty_entities.add(event.entity_id)
             processed += 1
             last_ts = event.timestamp
 
         if last_ts is not None:
-            w, r = self._emit(last_ts)
+            w, r, s = self._emit(last_ts)
             emits += 1
             online_writes += w
             offline_rows += r
+            skipped += s
 
         return ProcessorStats(
             events_processed=processed,
             emits=emits,
             online_writes=online_writes,
             offline_rows=offline_rows,
+            skipped_writes=skipped,
         )
 
-    def _emit(self, now: float) -> tuple[int, int]:
-        """Write current aggregates for every seen entity; return (online, offline) counts."""
-        online_writes = 0
+    def _emit(self, now: float) -> tuple[int, int, int]:
+        """Write current aggregates for dirty (or all) entities.
+
+        Returns ``(online_writes, offline_rows, skipped_writes)``. The
+        online half goes through one batched ``write_many`` call — the
+        store lock is taken once per emit, not once per entity.
+        """
+        if self.emit_all:
+            entities = sorted(self._seen_entities)
+        else:
+            entities = sorted(self._dirty_entities)
+        skipped = len(self._seen_entities) - len(entities)
+
+        online_rows: list[tuple[int, dict[str, object], float]] = []
         rows: list[dict[str, object]] = []
-        for entity_id in sorted(self._seen_entities):
+        for entity_id in entities:
             values: dict[str, object] = {}
             any_value = False
             for feature in self.features:
@@ -132,9 +171,12 @@ class StreamProcessor:
                 any_value = any_value or value is not None
             if not any_value:
                 continue
-            self.online.write(self.namespace, entity_id, values, event_time=now)
-            online_writes += 1
+            online_rows.append((entity_id, values, now))
             rows.append({"entity_id": entity_id, "timestamp": now, **values})
+        online_writes = (
+            self.online.write_many(self.namespace, online_rows) if online_rows else 0
+        )
         if rows:
             self.offline.table(self.log_table).append(rows)
-        return online_writes, len(rows)
+        self._dirty_entities.clear()
+        return online_writes, len(rows), skipped

@@ -1,0 +1,133 @@
+"""Tests for repro.bus.producer: routing, batching, backpressure."""
+
+import pytest
+
+from repro.bus.log import BusRecord, SegmentLog
+from repro.bus.metrics import BusMetrics
+from repro.bus.producer import OverflowPolicy, Producer
+from repro.datagen.streams import StreamEvent
+from repro.errors import Backpressure, ValidationError
+
+
+def rec(entity=1, ts=0.0, value=1.0):
+    return BusRecord(entity_id=entity, timestamp=ts, value=value)
+
+
+@pytest.fixture
+def log(tmp_path):
+    with SegmentLog(tmp_path / "log", n_partitions=4) as segment_log:
+        yield segment_log
+
+
+class TestProducer:
+    def test_send_routes_by_entity_hash(self, log):
+        producer = Producer(log)
+        partitions = {producer.send(rec(entity=e)) for e in range(100)}
+        producer.flush()
+        assert partitions == {0, 1, 2, 3}  # 100 entities hit every partition
+        assert log.total_records() == 100
+
+    def test_per_entity_order_preserved(self, log):
+        producer = Producer(log, batch_records=7)
+        for i in range(50):
+            producer.send(rec(entity=3, ts=float(i), value=float(i)))
+            producer.send(rec(entity=8, ts=float(i), value=float(-i)))
+        producer.flush()
+        partition = log.partition_for(3)
+        values = [
+            r.value
+            for __, r in log.read(partition, 0, 1000)
+            if r.entity_id == 3
+        ]
+        assert values == [float(i) for i in range(50)]
+
+    def test_sequence_stamps_are_monotonic_in_send_order(self, log):
+        producer = Producer(log)
+        for i in range(30):
+            producer.send(rec(entity=i, ts=float(i)))
+        producer.flush()
+        records = []
+        for partition in range(log.n_partitions):
+            records.extend(r for __, r in log.read(partition, 0, 1000))
+        records.sort(key=lambda r: r.sequence)
+        assert [r.sequence for r in records] == list(range(30))
+        assert [r.timestamp for r in records] == [float(i) for i in range(30)]
+
+    def test_batch_flush_on_batch_records(self, log):
+        producer = Producer(log, batch_records=5)
+        entity = 0  # single entity -> single partition
+        for i in range(4):
+            producer.send(rec(entity=entity, value=float(i)))
+        partition = log.partition_for(entity)
+        assert log.end_offset(partition) == 0  # still buffered
+        producer.send(rec(entity=entity, value=4.0))
+        assert log.end_offset(partition) == 5  # auto-flushed
+
+    def test_accepts_stream_events(self, log):
+        producer = Producer(log)
+        event = StreamEvent(timestamp=2.0, entity_id=9, value=7.5)
+        producer.send(event)
+        producer.flush()
+        partition = log.partition_for(9)
+        ((__, record),) = log.read(partition, 0, 10)
+        assert (record.entity_id, record.timestamp, record.value) == (9, 2.0, 7.5)
+
+    def test_rejects_unknown_types(self, log):
+        with pytest.raises(ValidationError):
+            Producer(log).send({"entity_id": 1})
+
+    def test_backpressure_raise(self, log):
+        producer = Producer(
+            log,
+            batch_records=10_000,
+            max_inflight_bytes=200,
+            overflow=OverflowPolicy.RAISE,
+        )
+        with pytest.raises(Backpressure):
+            for __ in range(100):
+                producer.send(rec())
+        assert producer.stats.backpressure_hits == 1
+        assert producer.buffered_bytes <= 200
+
+    def test_backpressure_block_drains_inline(self, log):
+        metrics = BusMetrics()
+        producer = Producer(
+            log,
+            batch_records=10_000,
+            max_inflight_bytes=200,
+            overflow=OverflowPolicy.BLOCK,
+            metrics=metrics,
+        )
+        for __ in range(100):
+            producer.send(rec())
+        producer.flush()
+        assert log.total_records() == 100  # nothing lost, nothing raised
+        assert producer.stats.backpressure_hits > 0
+        assert metrics.backpressure_events.value == producer.stats.backpressure_hits
+
+    def test_stats_and_metrics(self, log):
+        metrics = BusMetrics()
+        producer = Producer(log, batch_records=8, metrics=metrics)
+        for i in range(20):
+            producer.send(rec(entity=i))
+        producer.flush(sync=True)
+        stats = producer.stats
+        assert stats.records_sent == 20
+        assert stats.batches_flushed >= 1
+        assert stats.bytes_sent > 0
+        assert metrics.produced.value == 20
+        assert metrics.produced_bytes.value == stats.bytes_sent
+        assert producer.buffered_bytes == 0
+
+    def test_context_manager_flushes(self, tmp_path):
+        with SegmentLog(tmp_path / "cm", n_partitions=2) as log:
+            with Producer(log, batch_records=1000) as producer:
+                producer.send(rec(entity=1))
+                producer.send(rec(entity=2))
+            assert log.total_records() == 2
+
+    def test_validation(self, log):
+        with pytest.raises(ValidationError):
+            Producer(log, batch_records=0)
+        with pytest.raises(ValidationError):
+            Producer(log, max_inflight_bytes=0)

@@ -1,0 +1,338 @@
+"""Sink tests: parity with the legacy processor, crash fault-injection,
+duplicate suppression, and replay-based backfill.
+
+These are the acceptance tests of the ingestion bus: zero
+acknowledged-record loss, zero duplicate online writes after recovery,
+and `replay()` from offset 0 reproducing the online state of a clean run
+byte-for-byte.
+"""
+
+import pytest
+
+from repro.bus.consumer import Consumer, ConsumedRecord, DedupeWindow
+from repro.bus.log import BusRecord, SegmentLog
+from repro.bus.metrics import BusMetrics
+from repro.bus.producer import Producer
+from repro.bus.sinks import AggregatingSink, OfflineStoreSink, OnlineStoreSink, replay
+from repro.clock import SimClock
+from repro.datagen.streams import StreamConfig, generate_stream
+from repro.storage.offline import OfflineStore
+from repro.storage.online import OnlineStore
+from repro.streaming.processor import StreamFeature, StreamProcessor
+from repro.streaming.windows import EwmaAggregator, SlidingWindowAggregator
+
+
+def make_features():
+    return [
+        StreamFeature("mean_5m", SlidingWindowAggregator("mean", 300.0)),
+        StreamFeature("ewma", EwmaAggregator(half_life=120.0)),
+    ]
+
+
+def make_stream(seed=0, duration=1800.0, rate=2.0, entities=20):
+    return generate_stream(
+        StreamConfig(
+            duration=duration, rate_per_second=rate, n_entities=entities, mean=10.0
+        ),
+        seed=seed,
+    )
+
+
+def fill_log(tmp_path, stream, n_partitions=4):
+    log = SegmentLog(tmp_path / "log", n_partitions=n_partitions, segment_bytes=16384)
+    with Producer(log, batch_records=128) as producer:
+        producer.send_many(stream)
+    return log
+
+
+def consumed(partition, offset, entity=1, ts=1.0, value=2.0):
+    return ConsumedRecord(
+        partition,
+        offset,
+        BusRecord(entity_id=entity, timestamp=ts, value=value),
+    )
+
+
+def assert_online_identical(a: OnlineStore, b: OnlineStore, namespace: str):
+    assert a.entity_ids(namespace) == b.entity_ids(namespace)
+    for entity in a.entity_ids(namespace):
+        assert a.read(namespace, entity) == b.read(namespace, entity)
+        assert a.event_time(namespace, entity) == b.event_time(namespace, entity)
+
+
+class TestOnlineStoreSink:
+    def test_writes_values_with_event_time(self):
+        online = OnlineStore(clock=SimClock(start=100.0))
+        sink = OnlineStoreSink(online, "raw")
+        applied = sink.apply_batch(
+            [consumed(0, 0, entity=1, ts=5.0, value=2.5),
+             consumed(0, 1, entity=2, ts=6.0, value=3.5)]
+        )
+        assert applied == 2
+        assert online.read("raw", 1) == {"value": 2.5}
+        assert online.event_time("raw", 2) == 6.0
+
+    def test_attributes_become_features(self):
+        online = OnlineStore(clock=SimClock())
+        sink = OnlineStoreSink(online, "raw")
+        record = ConsumedRecord(
+            0, 0, BusRecord(entity_id=1, timestamp=1.0, value=2.0,
+                            attributes={"surge": 1.4})
+        )
+        sink.apply_batch([record])
+        assert online.read("raw", 1) == {"value": 2.0, "surge": 1.4}
+
+    def test_duplicate_redelivery_causes_zero_duplicate_writes(self):
+        online = OnlineStore(clock=SimClock())
+        metrics = BusMetrics()
+        sink = OnlineStoreSink(online, "raw", metrics=metrics)
+        batch = [consumed(0, i, entity=i, ts=float(i)) for i in range(5)]
+        sink.apply_batch(batch)
+        writes_after_first = online.write_count
+        # Redelivery (crash-before-commit replays the batch).
+        assert sink.apply_batch(batch) == 0
+        assert sink.apply_batch(batch[2:]) == 0
+        assert online.write_count == writes_after_first == 5
+        assert metrics.duplicates_skipped.value == 8
+
+    def test_freshness_lag_recorded_per_namespace(self):
+        online = OnlineStore(clock=SimClock(start=50.0))
+        metrics = BusMetrics()
+        sink = OnlineStoreSink(online, "raw", metrics=metrics)
+        sink.apply_batch([consumed(0, 0, ts=10.0)])  # lag = 40s
+        histogram = metrics.freshness("raw")
+        assert histogram.count == 1
+        assert histogram.mean() == pytest.approx(40.0)
+
+    def test_freshness_mirrors_into_serving_metrics(self):
+        from repro.serving.metrics import ServingMetrics
+
+        serving = ServingMetrics()
+        online = OnlineStore(clock=SimClock(start=30.0))
+        metrics = BusMetrics(serving=serving)
+        sink = OnlineStoreSink(online, "driver_stats", metrics=metrics)
+        sink.apply_batch([consumed(0, 0, ts=10.0)])
+        assert serving.freshness_namespaces() == ["driver_stats"]
+        snapshot = serving.snapshot()
+        assert snapshot["freshness"]["driver_stats"]["count"] == 1.0
+
+
+class TestOfflineStoreSink:
+    def test_appends_rows(self):
+        offline = OfflineStore()
+        sink = OfflineStoreSink(offline, "raw_log")
+        sink.apply_batch([consumed(0, 0, entity=3, ts=5.0, value=1.25)])
+        rows = list(offline.table("raw_log").scan())
+        assert rows == [{"entity_id": 3, "timestamp": 5.0, "value": 1.25}]
+
+    def test_duplicates_not_appended(self):
+        offline = OfflineStore()
+        sink = OfflineStoreSink(offline, "raw_log")
+        batch = [consumed(0, i, ts=float(i + 1)) for i in range(4)]
+        sink.apply_batch(batch)
+        sink.apply_batch(batch)
+        assert len(offline.table("raw_log")) == 4
+
+
+class TestAggregatingSinkParity:
+    """The bus path must reproduce the legacy synchronous path exactly."""
+
+    @pytest.mark.parametrize("emit_all", [False, True])
+    def test_identical_stores_vs_legacy_processor(self, tmp_path, emit_all):
+        stream = make_stream(seed=3)
+        # Legacy: events straight through the processor.
+        legacy_online = OnlineStore(clock=SimClock())
+        legacy_offline = OfflineStore()
+        legacy = StreamProcessor(
+            make_features(), legacy_online, legacy_offline,
+            "fx", "fx_log", emit_interval=300.0, emit_all=emit_all,
+        )
+        legacy_stats = legacy.process(stream)
+
+        # Bus: produce -> durable log -> consumer group -> aggregating sink.
+        log = fill_log(tmp_path, stream)
+        bus_online = OnlineStore(clock=SimClock())
+        bus_offline = OfflineStore()
+        sink = AggregatingSink(
+            make_features(), bus_online, bus_offline,
+            "fx", "fx_log", emit_interval=300.0, emit_all=emit_all,
+        )
+        consumer = Consumer(log, group="agg")
+        while True:
+            batch = consumer.poll(512)
+            if not batch:
+                break
+            sink.apply_batch(batch)
+        consumer.commit()
+        bus_stats = sink.flush()
+        log.close()
+
+        assert bus_stats == legacy_stats
+        assert_online_identical(legacy_online, bus_online, "fx")
+        assert list(legacy_offline.table("fx_log").scan()) == list(
+            bus_offline.table("fx_log").scan()
+        )
+
+    def test_dirty_tracking_skips_quiet_entities(self, tmp_path):
+        # Low rate over many entities: most entities see no event inside a
+        # given 120s emit interval, so dirty tracking has something to skip.
+        stream = make_stream(seed=5, rate=1.0, entities=200)
+        online = OnlineStore(clock=SimClock())
+        processor = StreamProcessor(
+            make_features(), online, OfflineStore(), "fx", "fx_log",
+            emit_interval=120.0,
+        )
+        stats = processor.process(stream)
+        assert stats.skipped_writes > 0  # quiet entities were not re-written
+        emit_all_stats = StreamProcessor(
+            make_features(), OnlineStore(clock=SimClock()), OfflineStore(),
+            "fx", "fx_log", emit_interval=120.0, emit_all=True,
+        ).process(stream)
+        assert emit_all_stats.skipped_writes == 0
+        assert emit_all_stats.online_writes > stats.online_writes
+
+
+class TestCrashFaultInjection:
+    def test_mid_batch_crash_no_loss_no_duplicates(self, tmp_path):
+        """Process "crashes" after the sink applied a batch but before the
+        offset commit; the restarted consumer redelivers, the dedupe window
+        suppresses re-application: final state == clean run, write counts
+        show zero duplicate online writes."""
+        stream = make_stream(seed=7)
+        log = fill_log(tmp_path, stream)
+
+        # Clean reference run.
+        ref_online = OnlineStore(clock=SimClock())
+        ref_sink = OnlineStoreSink(ref_online, "raw")
+        replay(log, ref_sink)
+
+        # Crashy run: the online store and the sink (with its dedupe window)
+        # survive — they model the durable store — but the consumer dies
+        # with its uncommitted cursor.
+        online = OnlineStore(clock=SimClock())
+        sink = OnlineStoreSink(online, "raw")
+        consumer = Consumer(log, group="crashy")
+        sink.apply_batch(consumer.poll(200))  # delivered, applied...
+        consumer.commit()  # ...and committed
+        applied_batch = consumer.poll(200)
+        sink.apply_batch(applied_batch)  # applied but NOT committed -> crash!
+
+        reborn = Consumer(log, group="crashy")
+        redelivered = 0
+        while True:
+            batch = reborn.poll(512)
+            if not batch:
+                break
+            redelivered += sum(
+                1 for c in batch
+                if any(c.partition == a.partition and c.offset == a.offset
+                       for a in applied_batch)
+            )
+            sink.apply_batch(batch)
+            reborn.commit()
+        log.close()
+
+        assert redelivered == len(applied_batch) > 0  # at-least-once is real
+        # Zero loss, zero duplicates: every record written exactly once.
+        assert online.write_count == len(stream) == ref_online.write_count
+        assert_online_identical(ref_online, online, "raw")
+
+    def test_aggregating_sink_crash_before_commit(self, tmp_path):
+        """Same fault against the aggregating sink: redelivered records must
+        not be folded into the aggregators twice."""
+        stream = make_stream(seed=11)
+        log = fill_log(tmp_path, stream)
+
+        # Clean reference run.
+        ref_online = OnlineStore(clock=SimClock())
+        ref_offline = OfflineStore()
+        ref_sink = AggregatingSink(
+            make_features(), ref_online, ref_offline, "fx", "fx_log",
+            emit_interval=300.0,
+        )
+        replay(log, ref_sink)
+
+        online = OnlineStore(clock=SimClock())
+        offline = OfflineStore()
+        sink = AggregatingSink(
+            make_features(), online, offline, "fx", "fx_log",
+            emit_interval=300.0,
+        )
+        consumer = Consumer(log, group="agg-crashy")
+        sink.apply_batch(consumer.poll(300))
+        consumer.commit()
+        sink.apply_batch(consumer.poll(300))  # buffered, never committed
+
+        reborn = Consumer(log, group="agg-crashy")
+        while True:
+            batch = reborn.poll(512)
+            if not batch:
+                break
+            sink.apply_batch(batch)
+            reborn.commit()
+        stats = sink.flush()
+        log.close()
+
+        assert stats.events_processed == len(stream)  # each event folded once
+        assert_online_identical(ref_online, online, "fx")
+        assert list(ref_offline.table("fx_log").scan()) == list(
+            offline.table("fx_log").scan()
+        )
+
+
+class TestReplay:
+    def test_replay_reproduces_online_state_byte_identical(self, tmp_path):
+        stream = make_stream(seed=13)
+        log = fill_log(tmp_path, stream)
+
+        clean_online = OnlineStore(clock=SimClock())
+        clean_offline = OfflineStore()
+        clean = AggregatingSink(
+            make_features(), clean_online, clean_offline, "fx", "fx_log",
+            emit_interval=300.0,
+        )
+        consumer = Consumer(log, group="live")
+        while True:
+            batch = consumer.poll(512)
+            if not batch:
+                break
+            clean.apply_batch(batch)
+        clean.flush()
+
+        # The backfill story: fresh stores, fresh sink, offset 0.
+        replayed_online = OnlineStore(clock=SimClock())
+        replayed_offline = OfflineStore()
+        total = replay(
+            log,
+            AggregatingSink(
+                make_features(), replayed_online, replayed_offline,
+                "fx", "fx_log", emit_interval=300.0,
+            ),
+        )
+        log.close()
+
+        assert total == len(stream)
+        assert_online_identical(clean_online, replayed_online, "fx")
+        assert list(clean_offline.table("fx_log").scan()) == list(
+            replayed_offline.table("fx_log").scan()
+        )
+
+    def test_replay_multiple_sinks_and_raw_parity(self, tmp_path):
+        stream = make_stream(seed=17)
+        log = fill_log(tmp_path, stream)
+        online = OnlineStore(clock=SimClock())
+        offline = OfflineStore()
+        total = replay(
+            log,
+            [OnlineStoreSink(online, "raw"), OfflineStoreSink(offline, "raw_log")],
+        )
+        log.close()
+        assert total == len(stream)
+        assert len(offline.table("raw_log")) == len(stream)
+        # Online holds the latest value per entity (last-event-time-wins).
+        latest = {}
+        for event in stream:
+            latest[event.entity_id] = (event.value, event.timestamp)
+        for entity, (value, ts) in latest.items():
+            assert online.read("raw", entity) == {"value": value}
+            assert online.event_time("raw", entity) == ts

@@ -21,6 +21,7 @@ EXAMPLES = [
     "model_patching",
     "operations",
     "serving_gateway",
+    "ingestion_bus",
 ]
 
 

@@ -5,10 +5,11 @@ Two modes:
 
 * ``--smoke`` — run the perf-trajectory benches in-process at small sizes
   (fast, no pytest) and refresh their tracked JSON documents:
-  ``BENCH_columnar_join.json`` (A4 columnar engine) and
-  ``BENCH_ingestion_bus.json`` (E17 ingestion bus). This is the CI
-  target: cheap enough for every run. ``--targets columnar bus`` selects
-  a subset (default: both).
+  ``BENCH_columnar_join.json`` (A4 columnar engine),
+  ``BENCH_ingestion_bus.json`` (E17 ingestion bus), and
+  ``BENCH_vector_serving.json`` (E18 vector serving plane). This is the
+  CI target: cheap enough for every run. ``--targets columnar bus
+  vectors`` selects a subset (default: all).
 * default — delegate to pytest over the whole ``benchmarks/`` tree
   (``--benchmark-disable`` unless pytest-benchmark timing is wanted).
 
@@ -88,6 +89,41 @@ def _smoke_bus(n_events: int) -> int:
     return 0
 
 
+def _smoke_vectors() -> int:
+    import bench_e18_vector_serving as e18
+
+    results = e18.run_suite("smoke")
+    path = e18.write_json(results)
+    print(f"wrote {path}")
+    avail = results["availability"]
+    recall = results["recall"]
+    sharding = results["sharding"]
+    print(
+        f"  availability: {avail['queries_completed']} queries over "
+        f"{avail['compactions']} rebuild+swap cycles — "
+        f"failed={avail['queries_failed']} "
+        f"blocked={avail['queries_blocked_over_1s']}; "
+        f"freshness {avail['fresh_upserts_hit']}/"
+        f"{avail['fresh_upserts_queried']}"
+    )
+    print(
+        f"  recall@10 online {recall['recall_at_10_online']} "
+        f"({recall['recall_samples']} shadow samples, hnsw); "
+        f"work {recall['ann_vs_exact_work_reduction']}x less than exact, "
+        f"wall {recall['ann_vs_exact_wall_speedup']}x "
+        f"on {recall['cpu_count']} cpu"
+    )
+    print(
+        f"  scatter-gather: batching {sharding['batching_amortization_speedup']}x "
+        f"vs per-query; sharded batched "
+        f"{sharding['sharded_batched_speedup']}x vs 1 shard"
+    )
+    failures = e18.check_acceptance(results)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def run_smoke(
     sizes: list[int],
     out: pathlib.Path | None,
@@ -100,6 +136,8 @@ def run_smoke(
         status = _smoke_columnar(sizes, out) or status
     if "bus" in targets:
         status = _smoke_bus(bus_events) or status
+    if "vectors" in targets:
+        status = _smoke_vectors() or status
     return status
 
 
@@ -122,15 +160,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run the trajectory benches (A4 columnar, E17 bus) at small "
-        "sizes and refresh their tracked JSON documents",
+        help="run the trajectory benches (A4 columnar, E17 bus, E18 "
+        "vectors) at small sizes and refresh their tracked JSON documents",
     )
     parser.add_argument(
         "--targets",
         nargs="+",
-        choices=["columnar", "bus"],
-        default=["columnar", "bus"],
-        help="which smoke benches to run (default: both)",
+        choices=["columnar", "bus", "vectors"],
+        default=["columnar", "bus", "vectors"],
+        help="which smoke benches to run (default: all)",
     )
     parser.add_argument(
         "--sizes",

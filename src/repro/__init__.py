@@ -54,6 +54,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.serving import GatewayConfig, ServingGateway
+from repro.vecserve import VectorService, VectorUpsertSink
 from repro.storage import (
     FreshnessPolicy,
     ModelStore,
@@ -97,6 +98,8 @@ __all__ = [
     "TableSchema",
     "TrainingSet",
     "ValidationError",
+    "VectorService",
+    "VectorUpsertSink",
     "WallClock",
     "WindowAggregate",
     "__version__",

@@ -106,8 +106,38 @@ class EmbeddingStore:
         self._indexes: dict[tuple[str, int, str], VectorIndex] = {}
         self._compatible: set[tuple[str, int, int]] = set()
         self._lock = threading.RLock()
+        self._register_listeners: list = []
+        self._vector_service = None  # attached repro.vecserve.VectorService
         self.quality_knn_k = quality_knn_k
         self.read_count = 0  # serving-side reads (search + vectors_for_model)
+
+    # -- serving-plane attachment ---------------------------------------------
+
+    def add_register_listener(self, callback) -> None:
+        """Subscribe ``callback(EmbeddingVersion)`` to new registrations.
+
+        Listeners fire *after* the version is committed and outside the
+        store lock, so a listener may immediately read the store (e.g.
+        the vector service building a served index for the new version).
+        """
+        with self._lock:
+            self._register_listeners.append(callback)
+
+    def remove_register_listener(self, callback) -> None:
+        with self._lock:
+            if callback in self._register_listeners:
+                self._register_listeners.remove(callback)
+
+    def attach_vector_service(self, service) -> None:
+        """Route :meth:`search` through a ``repro.vecserve.VectorService``.
+
+        When the attached service serves the resolved ``(name, version)``
+        table, searches hit the sharded/monitored ANN plane instead of
+        the store's lazily built single index; versions the service does
+        not serve fall back to the legacy path. Pass ``None`` to detach.
+        """
+        with self._lock:
+            self._vector_service = service
 
     # -- registration --------------------------------------------------------
 
@@ -161,10 +191,13 @@ class EmbeddingStore:
                 tags=tuple(tags),
             )
             versions.append(record)
+            listeners = list(self._register_listeners)
         logger.info(
             "registered embedding %s (trainer=%s, n=%d, dim=%d)",
             record.key, provenance.trainer, embedding.n, embedding.dim,
         )
+        for listener in listeners:  # outside the lock: listeners may read back
+            listener(record)
         return record
 
     def get(self, name: str, version: int | None = None) -> EmbeddingVersion:
@@ -216,12 +249,25 @@ class EmbeddingStore:
         version: int | None = None,
         index_kind: str = "brute",
     ) -> SearchResult:
-        """k-NN over a stored version, with a lazily built per-version index."""
+        """k-NN over a stored version, with a lazily built per-version index.
+
+        When a vector service is attached (see
+        :meth:`attach_vector_service`) and serves this version, the query
+        routes through its sharded, delta-merged, recall-monitored plane
+        — ``index_kind`` then describes only the *fallback* path, the
+        service's own backend decides how the routed query is answered.
+        """
         if index_kind not in _INDEX_FACTORIES:
             raise ValidationError(
                 f"unknown index kind {index_kind!r}; allowed {sorted(_INDEX_FACTORIES)}"
             )
         record = self.get(name, version)
+        with self._lock:
+            service = self._vector_service
+        if service is not None and service.serves(name, record.version):
+            with self._lock:
+                self.read_count += 1
+            return service.search(name, query, k=k, version=record.version)
         cache_key = (name, record.version, index_kind)
         with self._lock:
             self.read_count += 1

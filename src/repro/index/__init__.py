@@ -15,7 +15,7 @@ candidate distance evaluations, so benchmarks can report work saved
 alongside recall.
 """
 
-from repro.index.base import SearchResult, VectorIndex, recall_at_k
+from repro.index.base import RWLock, SearchResult, VectorIndex, recall_at_k
 from repro.index.brute import BruteForceIndex
 from repro.index.hnsw import HNSWIndex
 from repro.index.ivf import IVFFlatIndex
@@ -26,6 +26,7 @@ __all__ = [
     "HNSWIndex",
     "IVFFlatIndex",
     "LSHIndex",
+    "RWLock",
     "SearchResult",
     "VectorIndex",
     "recall_at_k",

@@ -16,6 +16,31 @@ class BruteForceIndex(VectorIndex):
     def _add(self, normalized: np.ndarray, ids: np.ndarray) -> None:
         pass  # the appended matrix is already everything brute force needs
 
+    def _on_update(self, ids: np.ndarray) -> None:
+        pass  # overwritten rows are scored in place; nothing to rebuild
+
     def _query(self, normalized_query: np.ndarray, k: int) -> SearchResult:
         candidates = np.arange(self.size, dtype=np.int64)
         return self._rank_candidates(normalized_query, candidates, k)
+
+    def _query_batch(
+        self, normalized: np.ndarray, k: int
+    ) -> list[SearchResult]:
+        """One GIL-releasing matmul scores the whole batch at once."""
+        assert self._vectors is not None
+        scores = self._vectors @ normalized.T  # (n, q)
+        self.distance_evaluations += scores.size
+        k = min(k, self.size)
+        top = np.argpartition(-scores, kth=k - 1, axis=0)[:k]  # (k, q)
+        out = []
+        for column in range(scores.shape[1]):
+            rows = top[:, column]
+            column_scores = scores[rows, column]
+            order = np.argsort(-column_scores)
+            keep = rows[order]
+            out.append(
+                SearchResult(
+                    ids=keep.astype(np.int64), scores=column_scores[order]
+                )
+            )
+        return out

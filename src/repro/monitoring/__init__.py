@@ -20,6 +20,7 @@ from repro.monitoring.dashboard import (
     bus_section,
     render_dashboard,
     serving_section,
+    vector_section,
 )
 from repro.monitoring.detectors import (
     DriftResult,
@@ -73,5 +74,6 @@ __all__ = [
     "render_dashboard",
     "serving_section",
     "training_serving_skew",
+    "vector_section",
     "zscore_outliers",
 ]

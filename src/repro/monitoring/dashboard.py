@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.bus.consumer import Consumer
     from repro.bus.metrics import BusMetrics
     from repro.serving.gateway import ServingGateway
+    from repro.vecserve.service import VectorService
 
 
 @dataclass(frozen=True)
@@ -218,6 +219,50 @@ def bus_section(
     return DashboardSection("ingestion bus", tuple(lines))
 
 
+def vector_section(service: "VectorService") -> DashboardSection:
+    """Vector-plane health: per-table recall, latency, delta pressure.
+
+    One line per served ``(name, version)`` table with the numbers that
+    catch the two silent ANN failure modes — quality (sampled online
+    recall@k drifting down) and latency (partial results, shard misses)
+    — plus the write-side pressure gauges (delta rows/tombstones, age of
+    the oldest un-compacted mutation, blue/green generation).
+    """
+    snapshot = service.snapshot()
+    tables: dict[str, dict[str, object]] = snapshot["tables"]  # type: ignore[assignment]
+    lines = []
+    for key, stats in sorted(tables.items()):
+        recall = stats["recall_estimate"]
+        recall_text = (
+            "no samples" if recall is None
+            else f"recall@{stats['recall_k']}={recall:.3f}"
+        )
+        latency: dict[str, float] = stats["latency"]  # type: ignore[assignment]
+        latest = " [latest]" if stats["latest"] else ""
+        lines.append(
+            f"{key}{latest}: {stats['backend']} x{stats['n_shards']} "
+            f"gen={stats['generation']} rows={stats['snapshot_rows']} "
+            f"{recall_text}"
+        )
+        lines.append(
+            f"  queries: n={stats['queries']} "
+            f"p50={latency['p50_s'] * 1e3:.2f}ms "
+            f"p95={latency['p95_s'] * 1e3:.2f}ms "
+            f"partial={stats['partials']} misses={stats['shard_misses']} "
+            f"errors={stats['shard_errors']}"
+        )
+        lines.append(
+            f"  delta: rows={stats['delta_rows']} "
+            f"tombstones={stats['delta_tombstones']} "
+            f"staleness={stats['delta_staleness_s']:.3f}s "
+            f"(upserts={stats['upserts']} removes={stats['removes']} "
+            f"compactions={stats['compactions']})"
+        )
+    if not lines:
+        lines = ["no vector tables served"]
+    return DashboardSection("vector serving", tuple(lines))
+
+
 def render_dashboard(
     store: FeatureStore,
     log: AlertLog,
@@ -226,6 +271,7 @@ def render_dashboard(
     gateway: "ServingGateway | None" = None,
     bus: "BusMetrics | None" = None,
     bus_consumer: "Consumer | None" = None,
+    vectors: "VectorService | None" = None,
 ) -> str:
     """Render the full status pane as one string."""
     sections = [
@@ -239,4 +285,6 @@ def render_dashboard(
         sections.append(serving_section(gateway))
     if bus is not None:
         sections.append(bus_section(bus, consumer=bus_consumer))
+    if vectors is not None:
+        sections.append(vector_section(vectors))
     return "\n\n".join(section.render() for section in sections)

@@ -121,11 +121,13 @@ class ServingGateway:
         online,
         embeddings: EmbeddingStore | None = None,
         config: GatewayConfig | None = None,
+        vectors=None,
     ) -> None:
         self.config = config or GatewayConfig()
         self.config.validate()
         self.online = online
         self.embeddings = embeddings
+        self.vectors = vectors  # a repro.vecserve.VectorService, if attached
         self.metrics = ServingMetrics()
         self.cache: ReadThroughCache | None = (
             ReadThroughCache(
@@ -468,6 +470,56 @@ class ServingGateway:
             return self.embeddings.search(
                 name, query, k=k, version=version, index_kind=index_kind
             )
+
+    def search_neighbors(
+        self,
+        name: str,
+        query: np.ndarray,
+        k: int = 10,
+        version: int | None = None,
+        deadline_s: float | None = None,
+    ):
+        """Top-k over the live vector serving plane (``repro.vecserve``).
+
+        Unlike :meth:`nearest_neighbors` (a lazily indexed scan of a
+        sealed store version), this endpoint hits the attached
+        :class:`~repro.vecserve.service.VectorService`: sharded
+        scatter-gather, delta-fresh upserts, blue/green rebuilds and
+        sampled recall monitoring — and, when the service was built with
+        ``batch_queries=True``, concurrent callers coalesce into
+        micro-batched shard fan-outs. Returns a
+        :class:`~repro.vecserve.shards.ShardedSearchResult` whose
+        ``partial`` flag is the degradation signal (mirrored into the
+        endpoint's ``degraded`` counter).
+        """
+        with self._observe("search_neighbors") as metrics:
+            if self.vectors is None:
+                raise ValidationError("gateway was built without a VectorService")
+            result = self.vectors.search(
+                name, query, k=k, version=version, deadline_s=deadline_s
+            )
+            if getattr(result, "partial", False):
+                metrics.degraded.inc()
+            return result
+
+    def search_neighbors_batch(
+        self,
+        name: str,
+        queries: np.ndarray,
+        k: int = 10,
+        version: int | None = None,
+        deadline_s: float | None = None,
+    ):
+        """Explicitly batched :meth:`search_neighbors` (one fan-out)."""
+        with self._observe("search_neighbors") as metrics:
+            if self.vectors is None:
+                raise ValidationError("gateway was built without a VectorService")
+            results = self.vectors.search_batch(
+                name, queries, k=k, version=version, deadline_s=deadline_s
+            )
+            if any(getattr(r, "partial", False) for r in results):
+                metrics.degraded.inc()
+            return results
 
     def enrich(
         self,

@@ -1,0 +1,149 @@
+"""Bus sink: embedding upserts flow through the durable ingestion log.
+
+Production embedding pipelines do not call the vector service directly —
+new-entity vectors ride the same durable stream as feature events, so
+they are replayable, crash-safe, and effectively-once. This module wires
+the PR3 ingestion bus into the serving plane:
+
+* :func:`upsert_record` / :func:`tombstone_record` encode a vector (or a
+  deletion) into a :class:`~repro.bus.log.BusRecord` — dimensions land in
+  the record's float ``attributes`` (``v0``..``v{d-1}``), the ``value``
+  field carries the dimension (or ``-1`` for a tombstone), and
+  ``entity_id`` keys the partition so per-entity mutation order survives
+  the bus;
+* :class:`VectorUpsertSink` applies consumed batches to a
+  :class:`~repro.vecserve.service.VectorService` table through the same
+  :class:`~repro.bus.consumer.DedupeWindow` protocol as the store sinks,
+  so the at-least-once redelivery after a crash is recognized and each
+  mutation hits the delta exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.bus.consumer import ConsumedRecord, DedupeWindow
+from repro.bus.log import BusRecord
+from repro.bus.sinks import Sink
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.bus.metrics import BusMetrics
+    from repro.vecserve.service import VectorService
+
+_TOMBSTONE = -1.0
+
+
+def upsert_record(
+    entity_id: int, vector: np.ndarray, timestamp: float
+) -> BusRecord:
+    """Encode one vector upsert as a bus record."""
+    vector = np.asarray(vector, dtype=float).reshape(-1)
+    if len(vector) == 0:
+        raise ValidationError("cannot encode an empty vector")
+    return BusRecord(
+        entity_id=entity_id,
+        timestamp=timestamp,
+        value=float(len(vector)),
+        attributes={f"v{i}": float(x) for i, x in enumerate(vector)},
+    )
+
+
+def tombstone_record(entity_id: int, timestamp: float) -> BusRecord:
+    """Encode one vector deletion as a bus record."""
+    return BusRecord(
+        entity_id=entity_id, timestamp=timestamp, value=_TOMBSTONE
+    )
+
+
+def decode_record(record: BusRecord) -> tuple[int, np.ndarray | None]:
+    """``(entity_id, vector)`` for an upsert, ``(entity_id, None)`` for a
+    tombstone."""
+    if record.value == _TOMBSTONE:
+        return record.entity_id, None
+    dim = int(record.value)
+    if dim <= 0 or len(record.attributes) < dim:
+        raise ValidationError(
+            f"malformed vector record: dim={record.value}, "
+            f"{len(record.attributes)} attribute(s)"
+        )
+    vector = np.empty(dim, dtype=float)
+    try:
+        for i in range(dim):
+            vector[i] = record.attributes[f"v{i}"]
+    except KeyError as exc:
+        raise ValidationError(f"malformed vector record: missing {exc}") from exc
+    return record.entity_id, vector
+
+
+class VectorUpsertSink(Sink):
+    """Applies bus vector mutations to one served table, effectively once.
+
+    Per-entity order is total (the producer routes by ``entity_id``, so
+    an entity's upserts and tombstones share a partition and arrive in
+    offset order); the sink preserves arrival order *within* a batch by
+    flushing contiguous runs of upserts between tombstones.
+    """
+
+    def __init__(
+        self,
+        service: "VectorService",
+        name: str,
+        version: int | None = None,
+        dedupe: DedupeWindow | None = None,
+        metrics: "BusMetrics | None" = None,
+    ) -> None:
+        self.service = service
+        self.name = name
+        self.version = version
+        self.dedupe = dedupe or DedupeWindow()
+        self.metrics = metrics
+        self.applied_upserts = 0
+        self.applied_tombstones = 0
+
+    def _flush_upserts(
+        self, ids: list[int], vectors: list[np.ndarray]
+    ) -> None:
+        if not ids:
+            return
+        self.service.upsert(
+            self.name,
+            np.asarray(ids, dtype=np.int64),
+            np.stack(vectors),
+            version=self.version,
+        )
+        self.applied_upserts += len(ids)
+        ids.clear()
+        vectors.clear()
+
+    def apply_batch(self, batch: list[ConsumedRecord]) -> int:
+        fresh = self.dedupe.filter_new(batch)
+        if self.metrics is not None and len(batch) > len(fresh):
+            self.metrics.duplicates_skipped.inc(len(batch) - len(fresh))
+        if not fresh:
+            return 0
+        pending_ids: list[int] = []
+        pending_vectors: list[np.ndarray] = []
+        for consumed in fresh:
+            entity_id, vector = decode_record(consumed.record)
+            if vector is None:
+                # A tombstone is an ordering barrier for its entity:
+                # flush buffered upserts first so upsert->remove and
+                # remove->upsert sequences land in arrival order.
+                self._flush_upserts(pending_ids, pending_vectors)
+                self.service.remove(
+                    self.name,
+                    np.asarray([entity_id], dtype=np.int64),
+                    version=self.version,
+                )
+                self.applied_tombstones += 1
+            else:
+                pending_ids.append(entity_id)
+                pending_vectors.append(vector)
+            self.dedupe.mark(consumed.partition, consumed.offset)
+        self._flush_upserts(pending_ids, pending_vectors)
+        if self.metrics is not None:
+            self.metrics.applied.inc(len(fresh))
+        return len(fresh)

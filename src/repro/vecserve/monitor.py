@@ -1,0 +1,216 @@
+"""Online quality and latency telemetry for the vector serving plane.
+
+An ANN service can silently rot in two independent ways: *latency* (a
+shard falls behind, scatter-gather starts shedding it) and *quality*
+(churn degrades the graph/cells until recall drifts below the SLO while
+every query still "succeeds"). This module watches both:
+
+* :class:`VectorServeMetrics` — per-shard latency histograms, query /
+  partial-result / deadline-miss counters, delta-size and staleness
+  gauges, compaction stats and the current blue/green generation. When a
+  :class:`~repro.serving.metrics.ServingMetrics` registry is attached,
+  whole-query latencies and degradations are mirrored into a
+  ``vector_search:<name>`` endpoint so the one serving dashboard covers
+  vectors too.
+* :class:`RecallMonitor` — sampled shadow queries: with probability
+  ``sample_rate`` a served query is replayed against the exact
+  brute-force oracle over the *same live set* (sealed matrix + delta)
+  and the overlap becomes one recall@k observation in a sliding window.
+  The resulting estimate is an *online* recall number — measured on real
+  traffic against the current index state, not on a frozen eval set.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.index.base import SearchResult
+from repro.serving.metrics import Counter, Gauge, LatencyHistogram, ServingMetrics
+
+
+class VectorServeMetrics:
+    """All operational metrics for one served ``(name, version)`` table."""
+
+    def __init__(
+        self,
+        serving: ServingMetrics | None = None,
+        mirror_endpoint: str | None = None,
+    ) -> None:
+        self.queries = Counter()
+        self.batched_queries = Counter()
+        self.partials = Counter()  # queries answered with >=1 shard missing
+        self.shard_misses = Counter()  # individual shard deadline misses
+        self.shard_errors = Counter()  # individual shard failures (faults)
+        self.upserts = Counter()
+        self.removes = Counter()
+        self.compactions = Counter()
+        self.search_latency = LatencyHistogram()
+        self.delta_rows = Gauge()
+        self.delta_tombstones = Gauge()
+        self.generation = Gauge()
+        self.snapshot_rows = Gauge()
+        self._shard_latency: dict[int, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+        self._compaction_seconds = 0.0
+        self._staleness_s = 0.0  # age of the oldest un-compacted mutation
+        self._serving = serving
+        self._mirror_endpoint = mirror_endpoint
+
+    # -- recording ------------------------------------------------------------
+
+    def shard_latency(self, shard: int) -> LatencyHistogram:
+        with self._lock:
+            histogram = self._shard_latency.get(shard)
+            if histogram is None:
+                histogram = self._shard_latency[shard] = LatencyHistogram()
+            return histogram
+
+    def record_query(self, seconds: float, partial: bool, missed: int) -> None:
+        self.queries.inc()
+        self.search_latency.record(seconds)
+        if partial:
+            self.partials.inc()
+        if missed:
+            self.shard_misses.inc(missed)
+        if self._serving is not None and self._mirror_endpoint is not None:
+            endpoint = self._serving.endpoint(self._mirror_endpoint)
+            endpoint.requests.inc()
+            endpoint.latency.record(seconds)
+            if partial:
+                endpoint.degraded.inc()
+
+    def record_compaction(self, seconds: float, generation: int) -> None:
+        self.compactions.inc()
+        self.generation.set(generation)
+        with self._lock:
+            self._compaction_seconds += seconds
+
+    def set_staleness(self, seconds: float) -> None:
+        with self._lock:
+            self._staleness_s = max(0.0, seconds)
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def compaction_seconds(self) -> float:
+        with self._lock:
+            return self._compaction_seconds
+
+    @property
+    def staleness_s(self) -> float:
+        with self._lock:
+            return self._staleness_s
+
+    def shard_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._shard_latency)
+
+    def snapshot(self) -> dict[str, object]:
+        """One dict with every gauge/counter plus per-shard percentiles."""
+        return {
+            "queries": self.queries.value,
+            "batched_queries": self.batched_queries.value,
+            "partials": self.partials.value,
+            "shard_misses": self.shard_misses.value,
+            "shard_errors": self.shard_errors.value,
+            "upserts": self.upserts.value,
+            "removes": self.removes.value,
+            "compactions": self.compactions.value,
+            "compaction_seconds": round(self.compaction_seconds, 6),
+            "generation": self.generation.value,
+            "snapshot_rows": self.snapshot_rows.value,
+            "delta_rows": self.delta_rows.value,
+            "delta_tombstones": self.delta_tombstones.value,
+            "delta_staleness_s": round(self.staleness_s, 6),
+            "latency": self.search_latency.summary(),
+            "shards": {
+                shard: self.shard_latency(shard).summary()
+                for shard in self.shard_ids()
+            },
+        }
+
+
+class RecallMonitor:
+    """Sampled shadow-query recall@k estimation against an exact oracle.
+
+    ``oracle`` maps ``(normalized_query, k)`` to the exact
+    :class:`SearchResult` over the currently-live vector set (the sharded
+    index's brute-force scan path). Sampling decisions come from a seeded
+    private RNG so tests are deterministic; observations land in a
+    bounded sliding window, so the estimate tracks the *recent* quality
+    of the index rather than averaging over its whole lifetime.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        k: int = 10,
+        sample_rate: float = 0.05,
+        window: int = 256,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValidationError(
+                f"sample_rate must be in [0, 1] ({sample_rate=})"
+            )
+        if k <= 0:
+            raise ValidationError(f"k must be positive ({k=})")
+        if window <= 0:
+            raise ValidationError(f"window must be positive ({window=})")
+        self._oracle = oracle
+        self.k = k
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+        self.samples = Counter()
+
+    def maybe_observe(
+        self, normalized_query: np.ndarray, served: SearchResult
+    ) -> float | None:
+        """Shadow the query with probability ``sample_rate``.
+
+        Returns the recall observation when sampled, else ``None``.
+        """
+        if self.sample_rate <= 0.0:
+            return None
+        with self._lock:
+            sampled = self._rng.random() < self.sample_rate
+        if not sampled:
+            return None
+        return self.observe(normalized_query, served)
+
+    def observe(
+        self, normalized_query: np.ndarray, served: SearchResult
+    ) -> float:
+        """Unconditionally shadow one query and record its recall@k."""
+        exact = self._oracle(normalized_query, self.k)
+        if len(exact) == 0:
+            return 1.0  # empty index: nothing to recall
+        # Judge overlap at the depth the caller actually received: a k=2
+        # query shadowed against top-10 truth would cap recall at 0.2 no
+        # matter how good the index is.
+        k = min(self.k, len(exact), max(len(served), 1))
+        truth = set(exact.ids[:k].tolist())
+        found = set(served.ids[:k].tolist())
+        recall = len(found & truth) / len(truth)
+        with self._lock:
+            self._window.append(recall)
+        self.samples.inc()
+        return recall
+
+    def recall_estimate(self) -> float | None:
+        """Mean recall over the sliding window (``None`` before any sample)."""
+        with self._lock:
+            if not self._window:
+                return None
+            return sum(self._window) / len(self._window)
+
+    def window_size(self) -> int:
+        with self._lock:
+            return len(self._window)

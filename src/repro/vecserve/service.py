@@ -1,0 +1,566 @@
+"""The vector service: versioned, refreshable ANN serving as one façade.
+
+This is the piece the paper's §3–4 asks for and ``repro.index`` alone
+cannot provide: the path from ``EmbeddingStore.register()`` to a
+concurrent, monitored, *refreshable* similarity-search endpoint. A
+:class:`VectorService` keeps one :class:`~repro.vecserve.shards.ShardedVectorIndex`
+per served ``(embedding_name, version)`` table and offers:
+
+* **version routing** — ``search(name, ..., version=3)`` pins a table;
+  ``version=None`` follows the latest *enabled* version, so consumers get
+  re-indexed embeddings for free (the same latest-compatible philosophy
+  as ``vectors_for_model``);
+* **registration subscription** — after :meth:`auto_enable`, every new
+  version registered in the attached
+  :class:`~repro.core.embedding_store.EmbeddingStore` is built into a
+  served table the moment it lands;
+* **live freshness** — :meth:`upsert` / :meth:`remove` mutate the serving
+  plane immediately (delta-visible), with background or threshold-driven
+  compaction folding mutations into the next sealed generation;
+* **micro-batched queries** — with ``batch_queries=True`` concurrent
+  single-query callers are coalesced into one scatter-gather per shard
+  batch (:class:`VectorQueryBatcher`), the vector-plane analogue of the
+  gateway's feature micro-batcher;
+* **online monitoring** — every table carries
+  :class:`~repro.vecserve.monitor.VectorServeMetrics` and a sampled
+  :class:`~repro.vecserve.monitor.RecallMonitor`, mirrored into an
+  attached :class:`~repro.serving.metrics.ServingMetrics` registry and
+  rendered by :func:`repro.monitoring.dashboard.vector_section`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import NotRegisteredError, ValidationError
+from repro.index import (
+    BruteForceIndex,
+    HNSWIndex,
+    IVFFlatIndex,
+    LSHIndex,
+)
+from repro.serving.faults import FaultPolicy
+from repro.serving.metrics import Counter, ServingMetrics
+from repro.vecserve.monitor import RecallMonitor, VectorServeMetrics
+from repro.vecserve.shards import ShardedSearchResult, ShardedVectorIndex
+from repro.vecserve.snapshot import CompactionStats
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.core.embedding_store import EmbeddingStore, EmbeddingVersion
+
+BACKENDS = {
+    "brute": BruteForceIndex,
+    "lsh": LSHIndex,
+    "ivf": IVFFlatIndex,
+    "hnsw": HNSWIndex,
+}
+
+
+@dataclass
+class _ServedTable:
+    """One live table: the sharded index plus its quality monitor."""
+
+    name: str
+    version: int
+    backend: str
+    sharded: ShardedVectorIndex
+    recall: RecallMonitor
+
+
+@dataclass
+class _QueryRequest:
+    key: tuple[str, int]
+    k: int
+    query: np.ndarray
+    future: Future
+
+
+_STOP = object()
+
+
+class VectorQueryBatcher:
+    """Coalesce concurrent single-vector queries into shard-batched calls.
+
+    Same queue-and-drain shape as the feature
+    :class:`~repro.serving.batcher.MicroBatcher`: callers enqueue and
+    block on a future; a worker drains up to ``max_batch_size`` requests
+    (waiting ``max_wait_s`` for stragglers), groups them by
+    ``(table, k)`` and issues one
+    :meth:`~repro.vecserve.shards.ShardedVectorIndex.search_batch` per
+    group — paying the scatter fan-out once per batch instead of once
+    per query.
+    """
+
+    def __init__(
+        self,
+        run_batch,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.0005,
+        n_workers: int = 2,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValidationError(f"max_batch_size must be >= 1 ({max_batch_size=})")
+        if max_wait_s < 0:
+            raise ValidationError(f"max_wait_s must be >= 0 ({max_wait_s=})")
+        self._run_batch = run_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._queue: queue.Queue = queue.Queue()
+        self.batches = Counter()
+        self.batched_requests = Counter()
+        self._stopped = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"vecbatch-{i}", daemon=True
+            )
+            for i in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def submit(self, key: tuple[str, int], query: np.ndarray, k: int) -> Future:
+        if self._stopped:
+            raise ValidationError("query batcher is stopped")
+        future: Future = Future()
+        self._queue.put(_QueryRequest(key, k, query, future))
+        return future
+
+    def mean_batch_size(self) -> float:
+        batches = self.batches.value
+        return self.batched_requests.value / batches if batches else 0.0
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.put(_STOP)
+                return
+            batch = [item]
+            deadline = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                try:
+                    nxt = self._queue.get(
+                        block=remaining > 0, timeout=max(remaining, 0) or None
+                    )
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    self._queue.put(_STOP)
+                    break
+                batch.append(nxt)
+            self.batches.inc()
+            self.batched_requests.inc(len(batch))
+            self._execute(batch)
+
+    def _execute(self, batch: list[_QueryRequest]) -> None:
+        groups: dict[tuple[tuple[str, int], int], list[_QueryRequest]] = {}
+        for request in batch:
+            groups.setdefault((request.key, request.k), []).append(request)
+        for (key, k), requests in groups.items():
+            try:
+                results = self._run_batch(
+                    key, np.stack([r.query for r in requests]), k
+                )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+                for request in requests:
+                    if not request.future.cancelled():
+                        request.future.set_exception(exc)
+                continue
+            for request, result in zip(requests, results):
+                if not request.future.cancelled():
+                    request.future.set_result(result)
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+
+
+class VectorService:
+    """Sharded, versioned, monitored ANN serving over embedding tables.
+
+    Use as a context manager (or call :meth:`close`) to stop the worker
+    pool, the query batcher and any auto-compaction thread.
+    """
+
+    def __init__(
+        self,
+        embeddings: "EmbeddingStore | None" = None,
+        serving_metrics: ServingMetrics | None = None,
+        n_workers: int = 8,
+        batch_queries: bool = False,
+        max_batch_size: int = 32,
+        batch_wait_s: float = 0.0005,
+    ) -> None:
+        self.embeddings = embeddings
+        self.serving_metrics = serving_metrics
+        self._tables: dict[tuple[str, int], _ServedTable] = {}
+        self._latest: dict[str, int] = {}
+        self._auto: dict[str, dict] = {}
+        self._lock = threading.RLock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="vecserve"
+        )
+        self.batcher: VectorQueryBatcher | None = (
+            VectorQueryBatcher(
+                run_batch=self._run_batch,
+                max_batch_size=max_batch_size,
+                max_wait_s=batch_wait_s,
+            )
+            if batch_queries
+            else None
+        )
+        self._compaction_thread: threading.Thread | None = None
+        self._compaction_stop = threading.Event()
+        self._closed = False
+        if embeddings is not None:
+            embeddings.add_register_listener(self._on_register)
+            embeddings.attach_vector_service(self)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.stop_auto_compaction()
+        if self.batcher is not None:
+            self.batcher.stop()
+        if self.embeddings is not None:
+            self.embeddings.remove_register_listener(self._on_register)
+            self.embeddings.attach_vector_service(None)
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "VectorService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- table management -----------------------------------------------------
+
+    def serve_matrix(
+        self,
+        name: str,
+        version: int,
+        ids: np.ndarray,
+        vectors: np.ndarray,
+        backend: str = "hnsw",
+        n_shards: int = 4,
+        deadline_s: float | None = 0.25,
+        sample_rate: float = 0.05,
+        recall_k: int = 10,
+        fault_policy: FaultPolicy | None = None,
+        **backend_kwargs,
+    ) -> ShardedVectorIndex:
+        """Build and serve a table directly from ``(ids, vectors)``.
+
+        The store-independent entry: :meth:`enable` resolves a registered
+        embedding version and lands here.
+        """
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {backend!r}; allowed {sorted(BACKENDS)}"
+            )
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2 or len(vectors) == 0:
+            raise ValidationError(
+                f"serve_matrix expects a non-empty (n, d) matrix, "
+                f"got shape {vectors.shape}"
+            )
+        factory_cls = BACKENDS[backend]
+        metrics = VectorServeMetrics(
+            serving=self.serving_metrics,
+            mirror_endpoint=f"vector_search:{name}",
+        )
+        sharded = ShardedVectorIndex(
+            dim=vectors.shape[1],
+            factory=lambda: factory_cls(**backend_kwargs),
+            n_shards=n_shards,
+            executor=self._executor,
+            default_deadline_s=deadline_s,
+            fault_policy=fault_policy,
+            metrics=metrics,
+        )
+        sharded.bulk_load(ids, vectors)
+        recall = RecallMonitor(
+            oracle=sharded.search_exact,
+            k=recall_k,
+            sample_rate=sample_rate,
+        )
+        table = _ServedTable(
+            name=name,
+            version=version,
+            backend=backend,
+            sharded=sharded,
+            recall=recall,
+        )
+        with self._lock:
+            self._tables[(name, version)] = table
+            self._latest[name] = max(self._latest.get(name, 0), version)
+        return sharded
+
+    def enable(
+        self,
+        name: str,
+        version: int | None = None,
+        **options,
+    ) -> ShardedVectorIndex:
+        """Serve a registered embedding version (latest when ``None``)."""
+        if self.embeddings is None:
+            raise ValidationError(
+                "service was built without an EmbeddingStore; "
+                "use serve_matrix() instead"
+            )
+        record = self.embeddings.get(name, version)
+        with self._lock:
+            existing = self._tables.get((name, record.version))
+            if existing is not None:
+                return existing.sharded
+        return self.serve_matrix(
+            name,
+            record.version,
+            ids=np.arange(record.embedding.n, dtype=np.int64),
+            vectors=record.embedding.vectors,
+            **options,
+        )
+
+    def auto_enable(self, name: str, **options) -> None:
+        """Serve every future registration of ``name`` automatically
+        (and the current latest, if one exists)."""
+        with self._lock:
+            self._auto[name] = dict(options)
+        if self.embeddings is not None and name in self.embeddings.names():
+            self.enable(name, **options)
+
+    def _on_register(self, record: "EmbeddingVersion") -> None:
+        with self._lock:
+            options = self._auto.get(record.name)
+        if options is None:
+            return
+        self.serve_matrix(
+            record.name,
+            record.version,
+            ids=np.arange(record.embedding.n, dtype=np.int64),
+            vectors=record.embedding.vectors,
+            **options,
+        )
+
+    def disable(self, name: str, version: int) -> None:
+        """Stop serving one table (its shards keep no background threads)."""
+        with self._lock:
+            self._tables.pop((name, version), None)
+            remaining = [v for (n, v) in self._tables if n == name]
+            if remaining:
+                self._latest[name] = max(remaining)
+            else:
+                self._latest.pop(name, None)
+
+    def serves(self, name: str, version: int | None = None) -> bool:
+        with self._lock:
+            if version is None:
+                return name in self._latest
+            return (name, version) in self._tables
+
+    def served_tables(self) -> list[tuple[str, int]]:
+        with self._lock:
+            return sorted(self._tables)
+
+    def _resolve(self, name: str, version: int | None) -> _ServedTable:
+        with self._lock:
+            if version is None:
+                version = self._latest.get(name)
+                if version is None:
+                    raise NotRegisteredError(
+                        f"no served table for {name!r}; "
+                        f"have {self.served_tables()}"
+                    )
+            table = self._tables.get((name, version))
+            if table is None:
+                raise NotRegisteredError(
+                    f"no served table for {name!r} v{version}; "
+                    f"have {self.served_tables()}"
+                )
+            return table
+
+    def table(self, name: str, version: int | None = None) -> ShardedVectorIndex:
+        """The underlying sharded index (pinned or latest routing)."""
+        return self._resolve(name, version).sharded
+
+    def recall_monitor(self, name: str, version: int | None = None) -> RecallMonitor:
+        return self._resolve(name, version).recall
+
+    # -- query path -----------------------------------------------------------
+
+    def _run_batch(
+        self, key: tuple[str, int], queries: np.ndarray, k: int
+    ) -> list[ShardedSearchResult]:
+        table = self._resolve(*key)
+        results = table.sharded.search_batch(queries, k)
+        for query, result in zip(queries, results):
+            table.recall.maybe_observe(query, result)
+        return results
+
+    def search(
+        self,
+        name: str,
+        query: np.ndarray,
+        k: int = 10,
+        version: int | None = None,
+        deadline_s: float | None = None,
+    ) -> ShardedSearchResult:
+        """Top-k neighbours with pinned-version or latest routing.
+
+        With the query batcher enabled, concurrent callers coalesce into
+        shard-batched scatter-gathers; otherwise the query fans out
+        directly. Either way a sampled shadow query may feed the recall
+        monitor.
+        """
+        table = self._resolve(name, version)
+        if self.batcher is not None and deadline_s is None:
+            future = self.batcher.submit(
+                (table.name, table.version), np.asarray(query, dtype=float), k
+            )
+            return future.result()
+        result = table.sharded.search(query, k, deadline_s=deadline_s)
+        table.recall.maybe_observe(query, result)
+        return result
+
+    def search_batch(
+        self,
+        name: str,
+        queries: np.ndarray,
+        k: int = 10,
+        version: int | None = None,
+        deadline_s: float | None = None,
+    ) -> list[ShardedSearchResult]:
+        """Explicitly batched top-k (one fan-out for the whole batch)."""
+        table = self._resolve(name, version)
+        results = table.sharded.search_batch(queries, k, deadline_s=deadline_s)
+        for query, result in zip(np.asarray(queries, dtype=float), results):
+            table.recall.maybe_observe(query, result)
+        return results
+
+    def search_exact(
+        self,
+        name: str,
+        query: np.ndarray,
+        k: int = 10,
+        version: int | None = None,
+    ):
+        """The exact oracle over the live set (recall ground truth)."""
+        return self._resolve(name, version).sharded.search_exact(query, k)
+
+    # -- write path -----------------------------------------------------------
+
+    def upsert(
+        self,
+        name: str,
+        ids: np.ndarray,
+        vectors: np.ndarray,
+        version: int | None = None,
+    ) -> None:
+        """Insert/overwrite serving-plane vectors, visible immediately."""
+        self._resolve(name, version).sharded.upsert(ids, vectors)
+
+    def remove(
+        self, name: str, ids: np.ndarray, version: int | None = None
+    ) -> int:
+        """Tombstone serving-plane vectors, masked immediately."""
+        return self._resolve(name, version).sharded.remove(ids)
+
+    # -- compaction -----------------------------------------------------------
+
+    def compact(
+        self, name: str | None = None, version: int | None = None
+    ) -> dict[tuple[str, int], list[CompactionStats]]:
+        """Blue/green-compact one table (or all of them)."""
+        if name is not None:
+            table = self._resolve(name, version)
+            return {(table.name, table.version): table.sharded.compact()}
+        out = {}
+        for key in self.served_tables():
+            table = self._resolve(*key)
+            out[key] = table.sharded.compact()
+        return out
+
+    def maybe_compact(self, max_pending: int = 256) -> int:
+        """Compact every table whose delta outgrew ``max_pending``;
+        returns how many tables were compacted."""
+        compacted = 0
+        for key in self.served_tables():
+            with self._lock:
+                table = self._tables.get(key)
+            if table is None:
+                continue
+            if table.sharded.pending_mutations > max_pending:
+                table.sharded.compact()
+                compacted += 1
+        return compacted
+
+    def start_auto_compaction(
+        self, interval_s: float = 0.05, max_pending: int = 256
+    ) -> None:
+        """Background compaction loop (daemon thread): every
+        ``interval_s`` seconds, fold any delta larger than
+        ``max_pending`` into a new sealed generation."""
+        if interval_s <= 0:
+            raise ValidationError(f"interval_s must be positive ({interval_s=})")
+        if self._compaction_thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._compaction_stop.wait(interval_s):
+                self.maybe_compact(max_pending)
+
+        self._compaction_stop.clear()
+        self._compaction_thread = threading.Thread(
+            target=loop, name="vecserve-autocompact", daemon=True
+        )
+        self._compaction_thread.start()
+
+    def stop_auto_compaction(self) -> None:
+        if self._compaction_thread is None:
+            return
+        self._compaction_stop.set()
+        self._compaction_thread.join(timeout=2.0)
+        self._compaction_thread = None
+
+    # -- introspection --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Per-table operational + quality state (dashboard food)."""
+        tables = {}
+        for key in self.served_tables():
+            table = self._resolve(*key)
+            estimate = table.recall.recall_estimate()
+            tables[f"{table.name}:v{table.version}"] = {
+                "backend": table.backend,
+                "n_shards": table.sharded.n_shards,
+                "latest": self._latest.get(table.name) == table.version,
+                "recall_estimate": (
+                    None if estimate is None else round(estimate, 4)
+                ),
+                "recall_k": table.recall.k,
+                "recall_samples": table.recall.samples.value,
+                **table.sharded.metrics.snapshot(),
+            }
+        snap: dict[str, object] = {"tables": tables}
+        if self.batcher is not None:
+            snap["batch"] = {
+                "batches": self.batcher.batches.value,
+                "batched_requests": self.batcher.batched_requests.value,
+                "mean_batch_size": round(self.batcher.mean_batch_size(), 2),
+            }
+        return snap

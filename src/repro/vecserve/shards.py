@@ -1,0 +1,534 @@
+"""Hash-partitioned index shards with scatter-gather top-k search.
+
+One giant index serializes everything behind one structure: builds are
+monolithic, one hot lock covers all reads and writes, and a rebuild is an
+outage. Sharding by a stable hash of the external id fixes all three at
+once — shards build/compact independently, queries fan out across a
+thread pool (numpy releases the GIL in the scoring kernels, so the
+fan-out is real parallelism), and the top-k merge of per-shard top-ks is
+exact because every id lives on exactly one shard.
+
+Each :class:`VectorShard` pairs a sealed :class:`IndexSnapshot` (lock-free
+reads, see :mod:`repro.vecserve.snapshot`) with a live
+:class:`~repro.vecserve.delta.DeltaIndex`; a per-shard readers/writer
+lock makes the snapshot+delta *merge view* consistent — a reader never
+sees a swap or an upsert halfway through.
+
+Scatter-gather degrades instead of failing: a per-query deadline bounds
+the gather, shards that miss it (or raise — the per-shard fault injector
+reuses :class:`repro.serving.faults.FaultPolicy` to rehearse exactly
+that) are simply left out, and the merged result is marked ``partial``
+with the miss count, mirroring the serving gateway's
+stale-over-unavailable philosophy.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import zlib
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TransientStoreError, ValidationError
+from repro.index.base import RWLock, SearchResult
+from repro.serving.faults import FaultPolicy
+from repro.vecserve.delta import DeltaIndex
+from repro.vecserve.monitor import VectorServeMetrics
+from repro.vecserve.snapshot import (
+    CompactionStats,
+    IndexFactory,
+    SnapshotCell,
+    build_snapshot,
+    compact,
+)
+
+_EMPTY = SearchResult(
+    ids=np.empty(0, dtype=np.int64), scores=np.empty(0, dtype=float)
+)
+
+
+@dataclass(frozen=True)
+class ShardedSearchResult(SearchResult):
+    """A merged top-k plus how complete the scatter-gather was."""
+
+    partial: bool = False
+    shards_missed: int = 0
+
+
+def shard_for(external_id: int, n_shards: int) -> int:
+    """Stable id→shard hash (same crc32 idiom as the bus's partitioner)."""
+    key = int(external_id).to_bytes(8, "little", signed=True)
+    return zlib.crc32(key) % n_shards
+
+
+def _normalize_query(vector: np.ndarray, dim: int) -> np.ndarray:
+    vector = np.asarray(vector, dtype=float)
+    if vector.shape != (dim,):
+        raise ValidationError(f"query dim {vector.shape} != index dim ({dim},)")
+    norm = np.linalg.norm(vector)
+    return vector / norm if norm > 0 else vector
+
+
+def merge_topk(parts: list[SearchResult], k: int) -> SearchResult:
+    """Exact merge of disjoint per-shard top-ks (score-descending)."""
+    parts = [part for part in parts if len(part)]
+    if not parts:
+        return _EMPTY
+    ids = np.concatenate([part.ids for part in parts])
+    scores = np.concatenate([part.scores for part in parts])
+    order = np.argsort(-scores, kind="stable")[:k]
+    return SearchResult(ids=ids[order], scores=scores[order])
+
+
+class VectorShard:
+    """One partition: sealed snapshot + live delta behind an RW lock."""
+
+    def __init__(self, shard_id: int, dim: int) -> None:
+        self.shard_id = shard_id
+        self.dim = dim
+        self.cell = SnapshotCell()
+        self.delta = DeltaIndex(dim)
+        self._rw = RWLock()
+        self._compacting = threading.Lock()
+        self._first_pending_at: float | None = None
+
+    # -- write path -----------------------------------------------------------
+
+    def bulk_load(self, ids: np.ndarray, vectors: np.ndarray, factory: IndexFactory) -> None:
+        """Seal the initial generation for this shard's id subset."""
+        snapshot = build_snapshot(
+            ids, vectors, factory, self.cell.current().generation + 1
+        )
+        with self._rw.write_locked():
+            self.cell.swap(snapshot)
+
+    def upsert(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        with self._rw.write_locked():
+            self.delta.upsert(ids, vectors)
+            if self._first_pending_at is None:
+                self._first_pending_at = time.time()
+
+    def remove(self, ids: np.ndarray) -> int:
+        with self._rw.write_locked():
+            removed = self.delta.remove(ids)
+            if self._first_pending_at is None:
+                self._first_pending_at = time.time()
+            return removed
+
+    # -- read path ------------------------------------------------------------
+
+    def _merged(
+        self, normalized_query: np.ndarray, k: int, exact: bool
+    ) -> SearchResult:
+        with self._rw.read_locked():
+            snapshot = self.cell.current()
+            mask = self.delta.masked_ids()
+            fetch = min(k + len(mask), max(snapshot.size, 1))
+            base = (
+                snapshot.search_exact(normalized_query, fetch)
+                if exact
+                else snapshot.search(normalized_query, fetch)
+            )
+            if mask:
+                keep = [
+                    position
+                    for position, external in enumerate(base.ids.tolist())
+                    if external not in mask
+                ]
+                base = SearchResult(ids=base.ids[keep], scores=base.scores[keep])
+            fresh = self.delta.search(normalized_query, k)
+        return merge_topk([base, fresh], k)
+
+    def query(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        """Top-k over the live set: sealed snapshot ∪ delta, delta wins."""
+        return self._merged(normalized_query, k, exact=False)
+
+    def query_exact(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        """Exact top-k over the same live set (the recall oracle path)."""
+        return self._merged(normalized_query, k, exact=True)
+
+    def query_batch(
+        self, normalized_queries: np.ndarray, k: int
+    ) -> list[SearchResult]:
+        """Batched top-k over the live set: one consistent snapshot+delta
+        view for the whole batch, scored through the vectorized index
+        paths (one GIL-releasing matmul instead of q serialized scans)."""
+        with self._rw.read_locked():
+            snapshot = self.cell.current()
+            mask = self.delta.masked_ids()
+            fetch = min(k + len(mask), max(snapshot.size, 1))
+            base = snapshot.search_batch(normalized_queries, fetch)
+            if mask:
+                filtered = []
+                for result in base:
+                    keep = [
+                        position
+                        for position, external in enumerate(result.ids.tolist())
+                        if external not in mask
+                    ]
+                    if len(keep) != len(result.ids):
+                        result = SearchResult(
+                            ids=result.ids[keep], scores=result.scores[keep]
+                        )
+                    filtered.append(result)
+                base = filtered
+            fresh = self.delta.search_batch(normalized_queries, k)
+        return [
+            merge_topk([base_result, fresh_result], k)
+            for base_result, fresh_result in zip(base, fresh)
+        ]
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self, factory: IndexFactory) -> CompactionStats:
+        """One blue/green cycle; queries proceed throughout."""
+        with self._compacting:  # one builder per shard at a time
+            stats = compact(self.cell, self.delta, factory)
+            with self._rw.write_locked():
+                self._first_pending_at = (
+                    time.time() if self.pending_mutations else None
+                )
+            return stats
+
+    @property
+    def pending_mutations(self) -> int:
+        return self.delta.size + self.delta.tombstone_count
+
+    @property
+    def generation(self) -> int:
+        return self.cell.current().generation
+
+    @property
+    def snapshot_rows(self) -> int:
+        return self.cell.current().size
+
+    @property
+    def staleness_s(self) -> float:
+        first = self._first_pending_at
+        return 0.0 if first is None else max(0.0, time.time() - first)
+
+
+class ShardedVectorIndex:
+    """Scatter-gather top-k over hash-partitioned, independently
+    compactable shards.
+
+    ``factory`` builds one backend index per shard generation (so the
+    backend is uniform across shards but fresh per snapshot). The query
+    pool is shared with the owning service when ``executor`` is passed;
+    compactions deliberately run on the *caller's* thread so a rebuild
+    can never occupy the query workers and block traffic.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        factory: IndexFactory,
+        n_shards: int = 4,
+        executor: ThreadPoolExecutor | None = None,
+        n_workers: int | None = None,
+        default_deadline_s: float | None = 0.25,
+        fault_policy: FaultPolicy | None = None,
+        metrics: VectorServeMetrics | None = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValidationError(f"n_shards must be positive ({n_shards=})")
+        if dim <= 0:
+            raise ValidationError(f"dim must be positive ({dim=})")
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ValidationError(
+                f"default_deadline_s must be positive ({default_deadline_s=})"
+            )
+        if fault_policy is not None:
+            fault_policy.validate()
+        self.dim = dim
+        self.factory = factory
+        self.n_shards = n_shards
+        self.shards = [VectorShard(i, dim) for i in range(n_shards)]
+        self.default_deadline_s = default_deadline_s
+        self.metrics = metrics or VectorServeMetrics()
+        self.fault_policy = fault_policy
+        self._fault_rng = random.Random(
+            fault_policy.seed if fault_policy else None
+        )
+        self._fault_lock = threading.Lock()
+        self._owns_executor = executor is None
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=n_workers or min(8, max(2, n_shards)),
+            thread_name_prefix="vecshard",
+        )
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedVectorIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- routing --------------------------------------------------------------
+
+    def shard_for(self, external_id: int) -> int:
+        return shard_for(external_id, self.n_shards)
+
+    def _group(self, ids: np.ndarray) -> dict[int, np.ndarray]:
+        ids = np.asarray(ids, dtype=np.int64)
+        assignments = np.asarray([self.shard_for(i) for i in ids.tolist()])
+        return {
+            shard: np.flatnonzero(assignments == shard)
+            for shard in set(assignments.tolist())
+        }
+
+    # -- write path -----------------------------------------------------------
+
+    def bulk_load(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Partition and seal the initial generation on every shard."""
+        ids = np.asarray(ids, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=float)
+        if len(ids) != len(vectors):
+            raise ValidationError(
+                f"bulk_load got {len(ids)} ids for {len(vectors)} vectors"
+            )
+        if len(set(ids.tolist())) != len(ids):
+            raise ValidationError("bulk_load ids must be unique")
+        groups = self._group(ids)
+        futures = [
+            self._executor.submit(
+                self.shards[shard].bulk_load,
+                ids[positions],
+                vectors[positions],
+                self.factory,
+            )
+            for shard, positions in groups.items()
+        ]
+        done, __ = wait(futures, return_when=FIRST_EXCEPTION)
+        for future in done:
+            future.result()  # surface builder exceptions
+        self.refresh_gauges()
+
+    def upsert(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Route upserts to their shards' deltas (visible immediately)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=float)
+        for shard, positions in self._group(ids).items():
+            self.shards[shard].upsert(ids[positions], vectors[positions])
+        self.metrics.upserts.inc(len(ids))
+        self.refresh_gauges()
+
+    def remove(self, ids: np.ndarray) -> int:
+        """Tombstone external ids across shards; returns newly-dead count."""
+        ids = np.asarray(ids, dtype=np.int64)
+        removed = 0
+        for shard, positions in self._group(ids).items():
+            removed += self.shards[shard].remove(ids[positions])
+        self.metrics.removes.inc(len(ids))
+        self.refresh_gauges()
+        return removed
+
+    # -- read path ------------------------------------------------------------
+
+    def _inject_fault(self) -> None:
+        policy = self.fault_policy
+        if policy is None:
+            return
+        if policy.base_latency_s > 0 or policy.per_key_latency_s > 0:
+            time.sleep(policy.base_latency_s + policy.per_key_latency_s)
+        with self._fault_lock:
+            roll = self._fault_rng.random()
+        if roll < policy.timeout_rate:
+            if policy.timeout_latency_s > 0:
+                time.sleep(policy.timeout_latency_s)
+            raise TransientStoreError(
+                f"injected shard timeout (rate={policy.timeout_rate})"
+            )
+        if roll < policy.timeout_rate + policy.error_rate:
+            raise TransientStoreError(
+                f"injected shard error (rate={policy.error_rate})"
+            )
+
+    def _shard_query(
+        self, shard: VectorShard, normalized_query: np.ndarray, k: int
+    ) -> SearchResult:
+        start = time.monotonic()
+        self._inject_fault()
+        result = shard.query(normalized_query, k)
+        self.metrics.shard_latency(shard.shard_id).record(
+            time.monotonic() - start
+        )
+        return result
+
+    def _shard_query_batch(
+        self, shard: VectorShard, queries: np.ndarray, k: int
+    ) -> list[SearchResult]:
+        start = time.monotonic()
+        self._inject_fault()
+        results = shard.query_batch(queries, k)
+        self.metrics.shard_latency(shard.shard_id).record(
+            time.monotonic() - start
+        )
+        return results
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        deadline_s: float | None = None,
+    ) -> ShardedSearchResult:
+        """Scatter-gather top-k with deadline-bounded partial degradation."""
+        if k <= 0:
+            raise ValidationError(f"k must be positive ({k=})")
+        normalized = _normalize_query(query, self.dim)
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
+        start = time.monotonic()
+        futures = {
+            self._executor.submit(self._shard_query, shard, normalized, k): shard
+            for shard in self.shards
+        }
+        done, not_done = wait(futures, timeout=deadline)
+        parts: list[SearchResult] = []
+        missed = len(not_done)
+        for future in done:
+            try:
+                parts.append(future.result())
+            except TransientStoreError:
+                self.metrics.shard_errors.inc()
+                missed += 1
+        for future in not_done:
+            future.cancel()  # best effort; a running scan finishes unharvested
+        merged = merge_topk(parts, k)
+        elapsed = time.monotonic() - start
+        self.metrics.record_query(elapsed, partial=missed > 0, missed=missed)
+        return ShardedSearchResult(
+            ids=merged.ids,
+            scores=merged.scores,
+            partial=missed > 0,
+            shards_missed=missed,
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        deadline_s: float | None = None,
+    ) -> list[ShardedSearchResult]:
+        """Micro-batched scatter-gather: one fan-out for many queries.
+
+        The per-shard task answers *every* query in the batch, so the
+        scatter overhead (task submission, lock acquisition, future
+        bookkeeping) is paid once per shard instead of once per
+        shard×query. A shard missing the deadline marks the whole batch
+        partial — the same all-or-nothing grouping the feature
+        micro-batcher exhibits.
+        """
+        if k <= 0:
+            raise ValidationError(f"k must be positive ({k=})")
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValidationError(
+                f"search_batch expects (q, {self.dim}) queries, got {queries.shape}"
+            )
+        norms = np.linalg.norm(queries, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        normalized = queries / norms
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
+        start = time.monotonic()
+        futures = {
+            self._executor.submit(
+                self._shard_query_batch, shard, normalized, k
+            ): shard
+            for shard in self.shards
+        }
+        done, not_done = wait(futures, timeout=deadline)
+        per_shard: list[list[SearchResult]] = []
+        missed = len(not_done)
+        for future in done:
+            try:
+                per_shard.append(future.result())
+            except TransientStoreError:
+                self.metrics.shard_errors.inc()
+                missed += 1
+        for future in not_done:
+            future.cancel()
+        elapsed = time.monotonic() - start
+        out: list[ShardedSearchResult] = []
+        for position in range(len(normalized)):
+            merged = merge_topk(
+                [results[position] for results in per_shard], k
+            )
+            out.append(
+                ShardedSearchResult(
+                    ids=merged.ids,
+                    scores=merged.scores,
+                    partial=missed > 0,
+                    shards_missed=missed,
+                )
+            )
+        self.metrics.batched_queries.inc(len(normalized))
+        self.metrics.record_query(elapsed, partial=missed > 0, missed=missed)
+        return out
+
+    def search_exact(self, query: np.ndarray, k: int = 10) -> SearchResult:
+        """Exact top-k over the live set (sequential full scans; the
+        recall oracle — deliberately outside the deadline machinery)."""
+        normalized = _normalize_query(query, self.dim)
+        parts = [shard.query_exact(normalized, k) for shard in self.shards]
+        return merge_topk(parts, k)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self) -> list[CompactionStats]:
+        """Blue/green-compact every shard (on the caller's thread)."""
+        stats = []
+        for shard in self.shards:
+            shard_stats = shard.compact(self.factory)
+            self.metrics.record_compaction(
+                shard_stats.total_seconds, self.max_generation
+            )
+            stats.append(shard_stats)
+        self.refresh_gauges()
+        return stats
+
+    def compact_async(self) -> threading.Thread:
+        """Kick a compaction off on a dedicated background thread."""
+        thread = threading.Thread(
+            target=self.compact, name="vecserve-compact", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def refresh_gauges(self) -> None:
+        self.metrics.delta_rows.set(sum(s.delta.size for s in self.shards))
+        self.metrics.delta_tombstones.set(
+            sum(s.delta.tombstone_count for s in self.shards)
+        )
+        self.metrics.snapshot_rows.set(
+            sum(s.snapshot_rows for s in self.shards)
+        )
+        self.metrics.generation.set(self.max_generation)
+        pending = [
+            s.staleness_s for s in self.shards if s.pending_mutations
+        ]
+        self.metrics.set_staleness(max(pending) if pending else 0.0)
+
+    @property
+    def max_generation(self) -> int:
+        return max(shard.generation for shard in self.shards)
+
+    @property
+    def pending_mutations(self) -> int:
+        return sum(shard.pending_mutations for shard in self.shards)
+
+    @property
+    def snapshot_rows(self) -> int:
+        return sum(shard.snapshot_rows for shard in self.shards)

@@ -1,0 +1,243 @@
+"""Immutable index snapshots and the blue/green compaction cycle.
+
+The availability trick that makes the vector serving plane rebuildable
+under load is the classic blue/green swap: readers always query a
+*sealed* :class:`IndexSnapshot` — an index generation that will never
+mutate again, so snapshot reads need no coordination beyond grabbing the
+current reference — while a background builder composes the next
+generation (snapshot live rows minus tombstones, plus the frozen delta)
+off to the side. When the build finishes, :func:`compact` swaps the
+reference atomically and releases the folded delta entries. A query that
+started before the swap finishes on the old generation; one that starts
+after sees the new one; none ever blocks or fails because a rebuild is
+in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.index.base import SearchResult, VectorIndex
+from repro.vecserve.delta import DeltaFreeze, DeltaIndex
+
+IndexFactory = Callable[[], VectorIndex]
+
+_EMPTY_RESULT = SearchResult(
+    ids=np.empty(0, dtype=np.int64), scores=np.empty(0, dtype=float)
+)
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """One sealed generation: a built index plus its row→external-id map.
+
+    ``index`` is never mutated after sealing (the builder calls
+    ``build()`` exactly once, before the snapshot becomes visible), so
+    concurrent queries are safe without touching its write lock.
+    ``index`` is ``None`` only for the empty generation.
+    """
+
+    generation: int
+    index: VectorIndex | None
+    ids: np.ndarray  # internal row -> external id
+    created_at: float  # wall time the generation was sealed
+    build_seconds: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.ids)
+
+    @property
+    def vectors(self) -> np.ndarray | None:
+        """The sealed normalized matrix (oracle scans, next-gen rebuilds)."""
+        return None if self.index is None else self.index.matrix
+
+    def search(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        """Top-k over the sealed generation, in external ids."""
+        if self.index is None or self.size == 0:
+            return _EMPTY_RESULT
+        result = self.index.query(normalized_query, min(k, self.size))
+        return SearchResult(ids=self.ids[result.ids], scores=result.scores)
+
+    def search_batch(
+        self, normalized_queries: np.ndarray, k: int
+    ) -> list[SearchResult]:
+        """Batched top-k over the sealed generation, in external ids.
+
+        Delegates to the index's vectorized batch path (exact indexes
+        score the whole batch in one matmul), so a shard answers a
+        micro-batch with one lock-free pass instead of q serialized ones.
+        """
+        if self.index is None or self.size == 0:
+            return [_EMPTY_RESULT] * len(normalized_queries)
+        results = self.index.query_batch(
+            normalized_queries, min(k, self.size)
+        )
+        return [
+            SearchResult(ids=self.ids[result.ids], scores=result.scores)
+            for result in results
+        ]
+
+    def search_exact(self, normalized_query: np.ndarray, k: int) -> SearchResult:
+        """Exact top-k via a full scan of the sealed matrix (the oracle
+        path recall monitoring shadows sampled queries against)."""
+        matrix = self.vectors
+        if matrix is None or self.size == 0:
+            return _EMPTY_RESULT
+        scores = matrix @ normalized_query
+        k = min(k, len(scores))
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        order = np.argsort(-scores[top])
+        keep = top[order]
+        return SearchResult(ids=self.ids[keep], scores=scores[keep])
+
+
+def empty_snapshot(generation: int = 0) -> IndexSnapshot:
+    return IndexSnapshot(
+        generation=generation,
+        index=None,
+        ids=np.empty(0, dtype=np.int64),
+        created_at=time.time(),
+    )
+
+
+def build_snapshot(
+    ids: np.ndarray,
+    vectors: np.ndarray,
+    factory: IndexFactory,
+    generation: int,
+) -> IndexSnapshot:
+    """Seal a new generation from parallel ``(ids, vectors)`` arrays."""
+    ids = np.asarray(ids, dtype=np.int64)
+    vectors = np.asarray(vectors, dtype=float)
+    if len(ids) != len(vectors):
+        raise ValidationError(
+            f"snapshot got {len(ids)} ids for {len(vectors)} vectors"
+        )
+    if len(set(ids.tolist())) != len(ids):
+        raise ValidationError("snapshot ids must be unique")
+    if len(ids) == 0:
+        return empty_snapshot(generation)
+    start = time.perf_counter()
+    index = factory()
+    index.build(vectors)
+    return IndexSnapshot(
+        generation=generation,
+        index=index,
+        ids=ids,
+        created_at=time.time(),
+        build_seconds=time.perf_counter() - start,
+    )
+
+
+class SnapshotCell:
+    """The blue/green reference readers grab and compaction swaps.
+
+    Reads return the current sealed snapshot without blocking; ``swap``
+    replaces it atomically and counts generations. (A bare attribute read
+    is already atomic under the GIL — the lock documents intent and
+    guards the swap-count bookkeeping.)
+    """
+
+    def __init__(self, initial: IndexSnapshot | None = None) -> None:
+        self._lock = threading.Lock()
+        self._current = initial or empty_snapshot()
+        self.swaps = 0
+
+    def current(self) -> IndexSnapshot:
+        return self._current
+
+    def swap(self, snapshot: IndexSnapshot) -> IndexSnapshot:
+        """Install ``snapshot``; returns the generation it replaced."""
+        with self._lock:
+            previous = self._current
+            self._current = snapshot
+            self.swaps += 1
+            return previous
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one compaction cycle did."""
+
+    generation: int
+    base_rows: int  # live rows carried over from the old snapshot
+    folded_upserts: int  # delta rows folded into the new generation
+    dropped_tombstones: int  # rows the cycle physically removed
+    drained: int  # delta entries released after the swap
+    build_seconds: float
+    total_seconds: float
+
+
+def compose_live(
+    snapshot: IndexSnapshot, freeze: DeltaFreeze
+) -> tuple[np.ndarray, np.ndarray]:
+    """The next generation's contents: base rows minus masked, plus delta.
+
+    A snapshot row is *masked* when the freeze shadows it (re-upserted)
+    or kills it (tombstoned); the frozen delta rows are appended after
+    the survivors, so the (ids, vectors) pair stays parallel and unique.
+    """
+    masked = set(freeze.ids.tolist()) | set(freeze.tombstones)
+    base_vectors = snapshot.vectors
+    if snapshot.size and base_vectors is not None:
+        if masked:
+            keep = np.asarray(
+                [external not in masked for external in snapshot.ids.tolist()],
+                dtype=bool,
+            )
+            kept_ids = snapshot.ids[keep]
+            kept_vectors = base_vectors[keep]
+        else:
+            kept_ids = snapshot.ids
+            kept_vectors = base_vectors
+    else:
+        kept_ids = np.empty(0, dtype=np.int64)
+        kept_vectors = np.empty((0, freeze.vectors.shape[1] if freeze.size else 0))
+    if freeze.size == 0:
+        return kept_ids, kept_vectors
+    if len(kept_ids) == 0:
+        return freeze.ids, freeze.vectors
+    return (
+        np.concatenate([kept_ids, freeze.ids]),
+        np.vstack([kept_vectors, freeze.vectors]),
+    )
+
+
+def compact(
+    cell: SnapshotCell,
+    delta: DeltaIndex,
+    factory: IndexFactory,
+) -> CompactionStats:
+    """Run one blue/green cycle: freeze → build off to the side → swap.
+
+    Readers keep hitting the old generation for the entire build; the
+    swap is a pointer replacement plus a watermark-bounded delta release,
+    so the write-path pause is O(delta), never O(index).
+    """
+    start = time.perf_counter()
+    base = cell.current()
+    freeze = delta.freeze()
+    ids, vectors = compose_live(base, freeze)
+    next_generation = base.generation + 1
+    if len(ids) == 0:
+        snapshot = empty_snapshot(next_generation)
+    else:
+        snapshot = build_snapshot(ids, vectors, factory, next_generation)
+    cell.swap(snapshot)
+    drained = delta.release(freeze)
+    return CompactionStats(
+        generation=next_generation,
+        base_rows=int(len(ids) - freeze.size),
+        folded_upserts=int(freeze.size),
+        dropped_tombstones=len(freeze.tombstones),
+        drained=drained,
+        build_seconds=snapshot.build_seconds,
+        total_seconds=time.perf_counter() - start,
+    )

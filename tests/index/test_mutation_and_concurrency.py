@@ -1,0 +1,215 @@
+"""Index hardening: tombstones, in-place updates, and thread safety.
+
+The serving plane (``repro.vecserve``) hammers one index from a worker
+pool while mutations land; these tests pin the contracts that makes
+that safe: the readers/writer lock around ``build``/``add``/``update``/
+``remove`` vs ``query``, tombstone filtering with fetch widening, and
+the ``recall_at_k`` truncated-truth guard.
+"""
+
+import concurrent.futures
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.index import (
+    BruteForceIndex,
+    HNSWIndex,
+    IVFFlatIndex,
+    LSHIndex,
+    recall_at_k,
+)
+from repro.index.base import RWLock
+
+
+def all_indexes():
+    return [
+        BruteForceIndex(),
+        LSHIndex(n_tables=8, n_bits=10, seed=0),
+        IVFFlatIndex(n_cells=8, n_probes=4, seed=0),
+        HNSWIndex(m=8, ef_construction=64, ef_search=48, seed=0),
+    ]
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(300, 8))
+
+
+class TestRemove:
+    @pytest.mark.parametrize("index", all_indexes(), ids=lambda i: type(i).__name__)
+    def test_removed_rows_never_returned(self, index, vectors):
+        index.build(vectors)
+        top = index.query(vectors[4], k=1)
+        assert top.ids[0] == 4
+        assert index.remove(np.asarray([4])) == 1
+        assert index.live_size == len(vectors) - 1
+        result = index.query(vectors[4], k=len(vectors) - 1)
+        assert 4 not in result.ids.tolist()
+
+    def test_fetch_widening_keeps_k_live_results(self, vectors):
+        """Tombstoning the top hits must not shrink the result set: the
+        query widens its internal fetch so k live rows still surface."""
+        index = BruteForceIndex()
+        index.build(vectors)
+        top10 = index.query(vectors[0], k=10).ids
+        index.remove(top10[:5])
+        result = index.query(vectors[0], k=10)
+        assert len(result) == 10
+        assert not set(result.ids.tolist()) & set(top10[:5].tolist())
+
+    def test_double_remove_counts_zero(self, vectors):
+        index = BruteForceIndex()
+        index.build(vectors)
+        assert index.remove(np.asarray([1, 2])) == 2
+        assert index.remove(np.asarray([2, 3])) == 1
+
+    def test_out_of_range_rejected(self, vectors):
+        index = BruteForceIndex()
+        index.build(vectors)
+        with pytest.raises(ValidationError):
+            index.remove(np.asarray([len(vectors)]))
+        with pytest.raises(ValidationError):
+            index.remove(np.asarray([-1]))
+
+    def test_all_removed_raises(self):
+        index = BruteForceIndex()
+        index.build(np.eye(3))
+        index.remove(np.arange(3))
+        with pytest.raises(ValidationError):
+            index.query(np.ones(3), k=1)
+
+
+class TestUpdate:
+    @pytest.mark.parametrize("index", all_indexes(), ids=lambda i: type(i).__name__)
+    def test_overwrite_is_id_stable(self, index, vectors):
+        index.build(vectors)
+        replacement = -vectors[7]
+        index.update(np.asarray([7]), replacement[None])
+        assert index.query(replacement, k=1).ids[0] == 7
+        assert index.size == len(vectors)  # overwrite, not append
+
+    def test_update_resurrects_tombstone(self, vectors):
+        index = BruteForceIndex()
+        index.build(vectors)
+        index.remove(np.asarray([5]))
+        index.update(np.asarray([5]), vectors[5][None])
+        assert index.query(vectors[5], k=1).ids[0] == 5
+
+    def test_update_validation(self, vectors):
+        index = BruteForceIndex()
+        index.build(vectors)
+        with pytest.raises(ValidationError):
+            index.update(np.asarray([0]), np.zeros((1, 5)))  # wrong dim
+        with pytest.raises(ValidationError):
+            index.update(np.asarray([0, 1]), np.zeros((1, 8)))  # len mismatch
+        with pytest.raises(ValidationError):
+            index.update(np.asarray([999]), np.zeros((1, 8)))  # out of range
+
+
+class TestRecallGuard:
+    def test_truncated_truth_set_rejected(self, vectors):
+        index = BruteForceIndex()
+        index.build(vectors)
+        exact = index.query(vectors[0], k=5)
+        approximate = index.query(vectors[0], k=10)
+        with pytest.raises(ValidationError, match="inflate"):
+            recall_at_k(approximate, exact, k=10)
+        assert recall_at_k(approximate, exact, k=5) == 1.0
+
+
+class TestConcurrency:
+    def test_rwlock_excludes_writers_and_admits_readers(self):
+        lock = RWLock()
+        active = []
+        trace = []
+
+        def reader():
+            with lock.read_locked():
+                active.append("r")
+                trace.append(len(active))
+                active.pop()
+
+        def writer():
+            with lock.write_locked():
+                active.append("w")
+                assert active == ["w"]  # exclusive
+                active.pop()
+
+        threads = [
+            threading.Thread(target=reader if i % 3 else writer)
+            for i in range(30)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert trace  # readers did run
+
+    @pytest.mark.parametrize(
+        "index", all_indexes(), ids=lambda i: type(i).__name__
+    )
+    def test_hammered_add_and_query(self, index):
+        """The add/query race regression: a worker pool queries while
+        another thread appends. Every query must see a consistent matrix
+        (no partially-appended rows, no shape errors, ids within the size
+        visible at return time)."""
+        rng = np.random.default_rng(3)
+        index.build(rng.normal(size=(64, 8)))
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def hammer():
+            query_rng = np.random.default_rng(4)
+            while not stop.is_set():
+                try:
+                    result = index.query(query_rng.normal(size=8), k=5)
+                    assert len(result) == 5
+                    assert result.ids.max() < index.size
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        with concurrent.futures.ThreadPoolExecutor(4) as pool:
+            workers = [pool.submit(hammer) for _ in range(4)]
+            for _ in range(15):
+                index.add(rng.normal(size=(8, 8)))
+            stop.set()
+            for worker in workers:
+                worker.result()
+        assert not failures
+        assert index.size == 64 + 15 * 8
+
+    def test_hammered_remove_update_query(self):
+        """Mutators of every kind racing a query stream on one index."""
+        rng = np.random.default_rng(5)
+        index = BruteForceIndex()
+        index.build(rng.normal(size=(128, 8)))
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def hammer():
+            query_rng = np.random.default_rng(6)
+            while not stop.is_set():
+                try:
+                    index.query(query_rng.normal(size=8), k=3)
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        with concurrent.futures.ThreadPoolExecutor(3) as pool:
+            workers = [pool.submit(hammer) for _ in range(3)]
+            for i in range(40):
+                if i % 3 == 0:
+                    index.remove(np.asarray([i]))
+                else:
+                    index.update(
+                        np.asarray([i]), rng.normal(size=(1, 8))
+                    )
+            stop.set()
+            for worker in workers:
+                worker.result()
+        assert not failures

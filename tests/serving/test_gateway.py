@@ -376,3 +376,72 @@ class TestLifecycleAndSnapshot:
             ServingGateway(online, config=GatewayConfig(default_deadline_s=0.0))
         with pytest.raises(ValidationError):
             ServingGateway(online, config=GatewayConfig(max_retries=-1))
+
+
+class TestVectorServing:
+    """The gateway's vector-plane endpoints (repro.vecserve routing)."""
+
+    def _service(self, embeddings):
+        from repro.vecserve import VectorService
+
+        service = VectorService(embeddings=embeddings, n_workers=2)
+        service.enable("ent", backend="brute", n_shards=2, sample_rate=0.0)
+        return service
+
+    def test_search_neighbors_routes_through_service(self, online, embeddings):
+        service = self._service(embeddings)
+        try:
+            vectors = embeddings.get("ent").embedding.vectors
+            with ServingGateway(
+                online, embeddings, vectors=service
+            ) as gateway:
+                result = gateway.search_neighbors("ent", vectors[5], k=3)
+                assert result.ids[0] == 5
+                assert not result.partial
+                endpoint = gateway.metrics.endpoint("search_neighbors")
+                assert endpoint.requests.value == 1
+                assert endpoint.degraded.value == 0
+        finally:
+            service.close()
+
+    def test_search_neighbors_batch(self, online, embeddings):
+        service = self._service(embeddings)
+        try:
+            vectors = embeddings.get("ent").embedding.vectors
+            with ServingGateway(
+                online, embeddings, vectors=service
+            ) as gateway:
+                results = gateway.search_neighbors_batch(
+                    "ent", vectors[:4], k=2
+                )
+                assert [r.ids[0] for r in results] == [0, 1, 2, 3]
+        finally:
+            service.close()
+
+    def test_partial_results_count_as_degraded(self, online, embeddings):
+        from repro.vecserve import VectorService
+
+        service = VectorService(embeddings=embeddings, n_workers=2)
+        try:
+            service.enable(
+                "ent",
+                backend="brute",
+                n_shards=2,
+                sample_rate=0.0,
+                fault_policy=FaultPolicy(error_rate=1.0, seed=0),
+            )
+            vectors = embeddings.get("ent").embedding.vectors
+            with ServingGateway(
+                online, embeddings, vectors=service
+            ) as gateway:
+                result = gateway.search_neighbors("ent", vectors[0], k=3)
+                assert result.partial
+                endpoint = gateway.metrics.endpoint("search_neighbors")
+                assert endpoint.degraded.value == 1
+        finally:
+            service.close()
+
+    def test_without_service_raises(self, online, embeddings):
+        with make_gateway(online, embeddings) as gateway:
+            with pytest.raises(ValidationError):
+                gateway.search_neighbors("ent", np.zeros(DIM), k=3)

@@ -22,6 +22,7 @@ EXAMPLES = [
     "operations",
     "serving_gateway",
     "ingestion_bus",
+    "vector_serving",
 ]
 
 

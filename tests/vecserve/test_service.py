@@ -1,0 +1,222 @@
+"""Tests for repro.vecserve.service — routing, subscription, batching."""
+
+import concurrent.futures
+
+import numpy as np
+import pytest
+
+from repro.core.embedding_store import EmbeddingStore, Provenance
+from repro.embeddings import EmbeddingMatrix
+from repro.errors import NotRegisteredError, ValidationError
+from repro.vecserve import VectorService
+
+
+@pytest.fixture()
+def corpus():
+    rng = np.random.default_rng(0)
+    return np.arange(120, dtype=np.int64), rng.normal(size=(120, 8))
+
+
+def _serve(service, corpus, name="emb", version=1, **kwargs):
+    ids, vectors = corpus
+    kwargs.setdefault("backend", "brute")
+    kwargs.setdefault("n_shards", 2)
+    kwargs.setdefault("sample_rate", 0.0)
+    service.serve_matrix(name, version, ids, vectors, **kwargs)
+
+
+class TestRouting:
+    def test_pinned_and_latest_versions(self, corpus):
+        ids, vectors = corpus
+        with VectorService(n_workers=4) as service:
+            _serve(service, corpus, version=1)
+            shifted = np.roll(vectors, 1, axis=0)  # v2 permutes the rows
+            service.serve_matrix(
+                "emb", 2, ids, shifted,
+                backend="brute", n_shards=2, sample_rate=0.0,
+            )
+            pinned = service.search("emb", vectors[10], k=1, version=1)
+            latest = service.search("emb", vectors[10], k=1)
+            assert pinned.ids[0] == 10
+            assert latest.ids[0] == 11  # roll moved row 10 to id 11
+            assert service.served_tables() == [("emb", 1), ("emb", 2)]
+
+    def test_unknown_table_raises(self):
+        with VectorService(n_workers=2) as service:
+            with pytest.raises(NotRegisteredError):
+                service.search("ghost", np.zeros(4), k=1)
+
+    def test_disable_retargets_latest(self, corpus):
+        with VectorService(n_workers=2) as service:
+            _serve(service, corpus, version=1)
+            _serve(service, corpus, version=2)
+            service.disable("emb", 2)
+            assert service.serves("emb", 1)
+            assert not service.serves("emb", 2)
+            assert service.search("emb", corpus[1][3], k=1).ids[0] == 3
+            service.disable("emb", 1)
+            assert not service.serves("emb")
+
+    def test_unknown_backend_rejected(self, corpus):
+        ids, vectors = corpus
+        with VectorService(n_workers=2) as service:
+            with pytest.raises(ValidationError):
+                service.serve_matrix("emb", 1, ids, vectors, backend="faiss")
+
+
+class TestStoreSubscription:
+    def test_auto_enable_serves_future_registrations(self, corpus):
+        __, vectors = corpus
+        store = EmbeddingStore()
+        with VectorService(embeddings=store, n_workers=4) as service:
+            service.auto_enable(
+                "users", backend="brute", n_shards=2, sample_rate=0.0
+            )
+            store.register(
+                "users", EmbeddingMatrix(vectors), Provenance(trainer="t")
+            )
+            assert service.serves("users", 1)
+            store.register(
+                "users",
+                EmbeddingMatrix(np.roll(vectors, 1, axis=0)),
+                Provenance(trainer="t"),
+            )
+            assert service.serves("users", 2)
+            # latest routing follows the new registration automatically
+            assert service.search("users", vectors[10], k=1).ids[0] == 11
+
+    def test_enable_existing_version_and_idempotence(self, corpus):
+        __, vectors = corpus
+        store = EmbeddingStore()
+        with VectorService(embeddings=store, n_workers=4) as service:
+            store.register(
+                "users", EmbeddingMatrix(vectors), Provenance(trainer="t")
+            )
+            first = service.enable(
+                "users", backend="brute", n_shards=2, sample_rate=0.0
+            )
+            again = service.enable("users")
+            assert first is again  # second enable returns the live table
+
+    def test_store_search_routes_through_service(self, corpus):
+        """EmbeddingStore.search transparently uses the serving plane —
+        including its delta freshness, which the store-local index lacks."""
+        __, vectors = corpus
+        store = EmbeddingStore()
+        with VectorService(embeddings=store, n_workers=4) as service:
+            store.register(
+                "users", EmbeddingMatrix(vectors), Provenance(trainer="t")
+            )
+            service.enable(
+                "users", backend="brute", n_shards=2, sample_rate=0.0
+            )
+            routed = store.search("users", vectors[7], k=3)
+            assert routed.ids[0] == 7
+            # a serving-plane upsert is visible through the store façade
+            fresh = np.full(8, 0.9)
+            service.upsert("users", np.asarray([777], dtype=np.int64), fresh[None])
+            assert store.search("users", fresh, k=1).ids[0] == 777
+            # detaching restores the store-local fallback path
+            service.close()
+            fallback = store.search("users", vectors[7], k=3)
+            assert fallback.ids[0] == 7
+
+    def test_store_search_parity_with_fallback(self, corpus):
+        """Routed and store-local answers agree on the frozen corpus."""
+        __, vectors = corpus
+        store = EmbeddingStore()
+        store.register(
+            "users", EmbeddingMatrix(vectors), Provenance(trainer="t")
+        )
+        baseline = store.search("users", vectors[42], k=5)
+        with VectorService(embeddings=store, n_workers=4) as service:
+            service.enable(
+                "users", backend="brute", n_shards=3, sample_rate=0.0
+            )
+            routed = store.search("users", vectors[42], k=5)
+            assert routed.ids.tolist() == baseline.ids.tolist()
+            np.testing.assert_allclose(routed.scores, baseline.scores)
+
+
+class TestWritePathAndCompaction:
+    def test_maybe_compact_threshold(self, corpus):
+        with VectorService(n_workers=2) as service:
+            _serve(service, corpus)
+            rng = np.random.default_rng(5)
+            service.upsert(
+                "emb",
+                np.arange(1000, 1020, dtype=np.int64),
+                rng.normal(size=(20, 8)),
+            )
+            assert service.maybe_compact(max_pending=100) == 0
+            assert service.maybe_compact(max_pending=10) == 1
+            assert service.table("emb").pending_mutations == 0
+
+    def test_auto_compaction_thread(self, corpus):
+        import time
+
+        with VectorService(n_workers=2) as service:
+            _serve(service, corpus)
+            service.start_auto_compaction(interval_s=0.01, max_pending=5)
+            rng = np.random.default_rng(6)
+            service.upsert(
+                "emb",
+                np.arange(2000, 2020, dtype=np.int64),
+                rng.normal(size=(20, 8)),
+            )
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                if service.table("emb").pending_mutations == 0:
+                    break
+                time.sleep(0.01)
+            assert service.table("emb").pending_mutations == 0
+            assert service.table("emb").max_generation >= 2
+
+
+class TestQueryBatcher:
+    def test_concurrent_callers_coalesce(self, corpus):
+        ids, vectors = corpus
+        with VectorService(
+            n_workers=4, batch_queries=True, batch_wait_s=0.002
+        ) as service:
+            _serve(service, corpus)
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                futures = [
+                    pool.submit(service.search, "emb", vectors[i], 3)
+                    for i in range(40)
+                ]
+                results = [f.result() for f in futures]
+            for i, result in enumerate(results):
+                assert result.ids[0] == i
+            assert service.batcher is not None
+            assert service.batcher.batched_requests.value == 40
+            table = service.table("emb")
+            assert table.metrics.batched_queries.value == 40
+            snap = service.snapshot()
+            assert snap["batch"]["batched_requests"] == 40
+
+    def test_explicit_deadline_bypasses_batcher(self, corpus):
+        __, vectors = corpus
+        with VectorService(n_workers=4, batch_queries=True) as service:
+            _serve(service, corpus)
+            result = service.search("emb", vectors[3], k=1, deadline_s=1.0)
+            assert result.ids[0] == 3
+
+    def test_batcher_forwards_errors(self, corpus):
+        with VectorService(n_workers=2, batch_queries=True) as service:
+            _serve(service, corpus)
+            with pytest.raises(NotRegisteredError):
+                service.search("ghost", np.zeros(8), k=1)
+
+
+class TestSnapshotShape:
+    def test_snapshot_reports_quality_and_pressure(self, corpus):
+        with VectorService(n_workers=2) as service:
+            _serve(service, corpus, sample_rate=1.0)
+            service.search("emb", corpus[1][0], k=5)
+            stats = service.snapshot()["tables"]["emb:v1"]
+            assert stats["backend"] == "brute"
+            assert stats["latest"] is True
+            assert stats["recall_estimate"] == 1.0
+            assert stats["queries"] == 1
+            assert stats["snapshot_rows"] == 120

@@ -142,3 +142,98 @@ def test_micro_hnsw_query(benchmark):
     index.build(vectors)
     result = benchmark(index.query, vectors[0], 10)
     assert result.ids[0] == 0
+
+
+# -- telemetry overhead -------------------------------------------------------
+#
+# The unified runtime routes every plane's metrics through one
+# MetricsRegistry. The facades hold direct references to their primitives
+# (the registry lookup happens once, at construction), so the steady-state
+# cost is the primitive itself; the numbers below quantify what a facade
+# would pay if it looked its series up per call instead — the design
+# argument for caching the handle.
+
+_N_OPS = 200_000
+
+
+def _ns_per_op(fn, n=_N_OPS):
+    import time as _time
+
+    start = _time.perf_counter()
+    fn(n)
+    return (_time.perf_counter() - start) / n * 1e9
+
+
+def test_micro_metrics_overhead(report):
+    import json
+    import pathlib
+
+    from repro.runtime import Counter, LatencyHistogram, MetricsRegistry
+
+    registry = MetricsRegistry()
+    raw_counter = Counter()
+    cached = registry.counter("bench_ops_total", plane="serving")
+    histogram = registry.histogram("bench_latency_seconds")
+
+    def loop_raw(n):
+        inc = raw_counter.inc
+        for __ in range(n):
+            inc()
+
+    def loop_cached(n):
+        inc = cached.inc
+        for __ in range(n):
+            inc()
+
+    def loop_lookup(n):
+        counter = registry.counter
+        for __ in range(n):
+            counter("bench_ops_total", plane="serving").inc()
+
+    def loop_histogram(n):
+        record = histogram.record
+        for __ in range(n):
+            record(0.000123)
+
+    def loop_snapshot(n):
+        for __ in range(max(n // 1000, 1)):
+            registry.snapshot()
+
+    results = {
+        "raw_counter_inc_ns": _ns_per_op(loop_raw),
+        "registry_cached_inc_ns": _ns_per_op(loop_cached),
+        "registry_lookup_inc_ns": _ns_per_op(loop_lookup),
+        "histogram_record_ns": _ns_per_op(loop_histogram),
+        "registry_snapshot_us": _ns_per_op(loop_snapshot, n=max(_N_OPS // 1000, 1))
+        / 1000.0,
+        "n_ops": _N_OPS,
+    }
+
+    report.line("telemetry overhead (one op = one metric update)")
+    report.line()
+    report.table(
+        ["variant", "ns/op"],
+        [
+            ["raw Counter.inc", results["raw_counter_inc_ns"]],
+            ["registry-cached inc", results["registry_cached_inc_ns"]],
+            ["lookup-per-call inc", results["registry_lookup_inc_ns"]],
+            ["histogram record", results["histogram_record_ns"]],
+        ],
+        width=22,
+    )
+    report.line()
+    report.line(
+        f"registry.snapshot() with {len(registry)} series: "
+        f"{results['registry_snapshot_us']:.1f} us"
+    )
+
+    out = pathlib.Path(__file__).parent / "results" / "BENCH_telemetry_overhead.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    # The cached path must not regress to lookup-per-call territory: the
+    # registry indirection is construction-time only.
+    assert results["registry_cached_inc_ns"] < results["registry_lookup_inc_ns"]
+    # Histogram record is O(1) (log-bucket math, one lock): same order of
+    # magnitude as a counter bump, not a per-sample allocation.
+    assert results["histogram_record_ns"] < results["raw_counter_inc_ns"] * 40

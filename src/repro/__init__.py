@@ -53,6 +53,13 @@ from repro.errors import (
     StaleFeatureError,
     ValidationError,
 )
+from repro.runtime import (
+    MetricsRegistry,
+    PeriodicTask,
+    Service,
+    ServiceGroup,
+    ServiceState,
+)
 from repro.serving import GatewayConfig, ServingGateway
 from repro.vecserve import VectorService, VectorUpsertSink
 from repro.storage import (
@@ -84,14 +91,19 @@ __all__ = [
     "FsyncPolicy",
     "GatewayConfig",
     "MaterializationResult",
+    "MetricsRegistry",
     "ModelStore",
     "OfflineStore",
     "OnlineStore",
+    "PeriodicTask",
     "Producer",
     "Provenance",
     "SegmentLog",
     "ReproError",
     "RowTransform",
+    "Service",
+    "ServiceGroup",
+    "ServiceState",
     "ServingGateway",
     "SimClock",
     "StaleFeatureError",

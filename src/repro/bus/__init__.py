@@ -30,6 +30,7 @@ from repro.bus.consumer import (
     CheckpointStore,
     Consumer,
     ConsumedRecord,
+    ConsumerWorker,
     DedupeWindow,
 )
 from repro.bus.log import (
@@ -57,6 +58,7 @@ __all__ = [
     "CheckpointStore",
     "ConsumedRecord",
     "Consumer",
+    "ConsumerWorker",
     "DedupeWindow",
     "FsyncConfig",
     "FsyncPolicy",

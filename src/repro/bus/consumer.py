@@ -14,6 +14,13 @@ is either the old offset or the new one, never a torn intermediate.
 *application*: sinks consult it keyed on ``(partition, offset)`` before
 applying a record, so the replayed suffix after a crash is recognized and
 skipped instead of double-written into the online store.
+
+:class:`ConsumerWorker` is the background materializer: a
+:class:`repro.runtime.Service` owning one thread that drives the
+poll → apply-to-sinks → flush → commit cycle continuously, so the write
+path runs *concurrently* with serving instead of being hand-cranked by
+the caller. ``stop()`` drains the backlog, flushes every sink and commits
+before the thread exits — shutdown never strands acknowledged records.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from typing import TYPE_CHECKING
 
 from repro.bus.log import BusRecord, SegmentLog
 from repro.errors import ValidationError
+from repro.runtime import Counter, Service, await_condition
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.bus.metrics import BusMetrics
@@ -187,6 +195,111 @@ class Consumer:
         if self.metrics is not None:
             self.metrics.commits.inc()
         return committed
+
+
+class ConsumerWorker(Service):
+    """Background poll → apply → flush → commit pump over one consumer.
+
+    Owns the consumer exclusively once started (``Consumer`` is not
+    thread-safe; do not poll it from outside while the worker runs).
+    Sinks are anything exposing ``apply_batch(batch)`` and ``flush()``
+    (duck-typed to avoid importing :mod:`repro.bus.sinks` downward).
+
+    The cycle: ``poll(max_records)``; a non-empty batch is applied to
+    every sink in order; on the transition to idle (an empty poll after
+    applied work) the worker *settles* — flushes every sink, commits the
+    cursor, publishes consumer lag — then naps ``poll_interval_s``.
+    ``stop()`` performs one final drain + settle so every record in the
+    log at stop time is applied and committed before the thread exits.
+    """
+
+    def __init__(
+        self,
+        consumer: Consumer,
+        sinks: object,
+        poll_interval_s: float = 0.005,
+        max_records: int = 512,
+        name: str | None = None,
+    ) -> None:
+        if poll_interval_s <= 0:
+            raise ValidationError(
+                f"poll_interval_s must be positive ({poll_interval_s=})"
+            )
+        if max_records <= 0:
+            raise ValidationError(f"max_records must be positive ({max_records=})")
+        super().__init__(name=name or f"consumer-worker:{consumer.group}")
+        self.consumer = consumer
+        self.sinks = (
+            [sinks] if hasattr(sinks, "apply_batch") else list(sinks)  # type: ignore[arg-type]
+        )
+        self.poll_interval_s = poll_interval_s
+        self.max_records = max_records
+        self.records_pumped = Counter()
+        self.settles = Counter()
+        self._dirty = False
+
+    def _on_start(self) -> None:
+        self._spawn(self._loop, name=f"{self.name}-loop")
+
+    def _on_stop(self) -> None:
+        self._stop_event.set()
+        self._join_workers()
+        # The loop's own final drain handles the normal path; if the
+        # thread died abnormally, settle here so commit state is sane.
+        if self._dirty:
+            self._settle()
+
+    # -- pump ----------------------------------------------------------------
+
+    def _drain_once(self) -> int:
+        batch = self.consumer.poll(self.max_records)
+        if not batch:
+            return 0
+        for sink in self.sinks:
+            sink.apply_batch(batch)
+        self.records_pumped.inc(len(batch))
+        self._dirty = True
+        return len(batch)
+
+    def _settle(self) -> None:
+        """Flush buffered sink work, persist cursors, publish lag."""
+        for sink in self.sinks:
+            sink.flush()
+        self.consumer.commit()
+        self.consumer.lag()  # publishes per-partition lag gauges
+        self.settles.inc()
+        self._dirty = False
+
+    def _loop(self) -> None:
+        while not self._stop_event.is_set():
+            if self._drain_once() == 0:
+                if self._dirty:
+                    self._settle()
+                self._stop_event.wait(self.poll_interval_s)
+        # Orderly shutdown: drain whatever is already in the log, then
+        # flush + commit so acknowledged records are never stranded.
+        while self._drain_once():
+            pass
+        if self._dirty:
+            self._settle()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def caught_up(self) -> bool:
+        """True when the log is fully applied, flushed and committed."""
+        return not self._dirty and self.consumer.total_lag() == 0
+
+    def wait_until_caught_up(self, timeout_s: float = 5.0) -> bool:
+        """Block until :attr:`caught_up` (or the timeout elapses)."""
+        return await_condition(lambda: self.caught_up, timeout_s=timeout_s)
+
+    def health(self) -> dict[str, object]:
+        record = super().health()
+        record["records_pumped"] = self.records_pumped.value
+        record["settles"] = self.settles.value
+        record["caught_up"] = self.caught_up
+        return record
 
 
 class DedupeWindow:

@@ -15,37 +15,62 @@ the three surfaces an on-call engineer needs for the write path:
 * **freshness lag** — the end-to-end ``event_time → online write_time``
   distribution per namespace, recorded by the sinks at the moment a value
   lands in the online store. This is the number the paper's staleness
-  argument is about, and it is mirrored into an attached
-  :class:`~repro.serving.metrics.ServingMetrics` so the serving tier's
-  snapshot (and the dashboard's serving section) surfaces it next to the
-  read-path latencies.
+  argument is about, and it is mirrored into an attached serving-metrics
+  facade (duck-typed: anything with ``freshness(namespace).record``) so
+  the serving tier's snapshot — and the dashboard's serving section —
+  surfaces it next to the read-path latencies.
 
-Counters/histograms reuse the serving tier's thread-safe primitives.
+Every series is allocated through a
+:class:`~repro.runtime.telemetry.MetricsRegistry` (``bus_*`` namespace);
+pass a shared registry to merge the write path into the same
+Prometheus/JSON export as the serving and vector planes.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from typing import TYPE_CHECKING
 
-from repro.serving.metrics import Counter, Gauge, LatencyHistogram, ServingMetrics
+from repro.runtime.telemetry import Gauge, LatencyHistogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - type checkers only (no runtime import)
+    from repro.serving import ServingMetrics
 
 
 class BusMetrics:
-    """Registry of producer/consumer/sink metrics for one bus deployment."""
+    """Registry of producer/consumer/sink metrics for one bus deployment.
 
-    def __init__(self, serving: ServingMetrics | None = None) -> None:
+    ``registry`` defaults to a private
+    :class:`~repro.runtime.telemetry.MetricsRegistry` (full isolation, the
+    pre-runtime behaviour); hand the same registry to every plane and the
+    whole deployment exports through one endpoint. ``serving`` is the
+    optional read-tier facade whose freshness histograms are mirrored —
+    when both share one registry the mirrored series is literally the same
+    object.
+    """
+
+    def __init__(
+        self,
+        serving: "ServingMetrics | None" = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         # producer side
-        self.produced = Counter()
-        self.produced_bytes = Counter()
-        self.produce_batches = Counter()
-        self.backpressure_events = Counter()
+        self.produced = self.registry.counter("bus_produced_total")
+        self.produced_bytes = self.registry.counter("bus_produced_bytes_total")
+        self.produce_batches = self.registry.counter("bus_produce_batches_total")
+        self.backpressure_events = self.registry.counter(
+            "bus_backpressure_events_total"
+        )
         # consumer side
-        self.consumed = Counter()
-        self.commits = Counter()
+        self.consumed = self.registry.counter("bus_consumed_total")
+        self.commits = self.registry.counter("bus_commits_total")
         # sink side
-        self.applied = Counter()
-        self.duplicates_skipped = Counter()
+        self.applied = self.registry.counter("bus_applied_total")
+        self.duplicates_skipped = self.registry.counter(
+            "bus_duplicates_skipped_total"
+        )
         self._lags: dict[int, Gauge] = {}
         self._freshness: dict[str, LatencyHistogram] = {}
         self._lock = threading.Lock()
@@ -58,7 +83,9 @@ class BusMetrics:
         with self._lock:
             gauge = self._lags.get(partition)
             if gauge is None:
-                gauge = self._lags[partition] = Gauge()
+                gauge = self._lags[partition] = self.registry.gauge(
+                    "bus_consumer_lag", partition=partition
+                )
         gauge.set(lag)
 
     def lag(self, partition: int) -> int:
@@ -78,7 +105,9 @@ class BusMetrics:
         with self._lock:
             histogram = self._freshness.get(namespace)
             if histogram is None:
-                histogram = self._freshness[namespace] = LatencyHistogram()
+                histogram = self._freshness[namespace] = self.registry.histogram(
+                    "bus_freshness_lag_seconds", namespace=namespace
+                )
             return histogram
 
     def freshness_namespaces(self) -> list[str]:

@@ -33,7 +33,7 @@ from repro.bus.log import SegmentLog
 from repro.datagen.streams import StreamEvent
 from repro.storage.offline import OfflineStore, TableSchema
 from repro.storage.online import OnlineStore
-from repro.streaming.processor import ProcessorStats, StreamFeature, StreamProcessor
+from repro.streaming import ProcessorStats, StreamFeature, StreamProcessor
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.bus.metrics import BusMetrics

@@ -124,7 +124,7 @@ class FeatureStore:
         "persisted to the online store and logged to the offline store"
         (section 2.2.1), composed with the batch path.
         """
-        from repro.streaming.processor import StreamProcessor
+        from repro.streaming import StreamProcessor
 
         return StreamProcessor(
             features=features,

@@ -19,7 +19,9 @@ from repro.monitoring.dashboard import (
     DashboardSection,
     bus_section,
     render_dashboard,
+    services_section,
     serving_section,
+    telemetry_section,
     vector_section,
 )
 from repro.monitoring.detectors import (
@@ -72,7 +74,9 @@ __all__ = [
     "population_stability_index",
     "psi_drift",
     "render_dashboard",
+    "services_section",
     "serving_section",
+    "telemetry_section",
     "training_serving_skew",
     "vector_section",
     "zscore_outliers",

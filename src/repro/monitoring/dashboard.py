@@ -11,7 +11,13 @@ status report combining the four health surfaces an on-call engineer needs:
 * deployed-model inventory with lineage,
 * serving-tier health (per-endpoint p50/p95/p99 latency, QPS, cache
   hit-rate, queue pressure, error/degraded counts) when a
-  :class:`~repro.serving.gateway.ServingGateway` is attached.
+  :class:`~repro.serving.gateway.ServingGateway` is attached,
+* the shared :class:`~repro.runtime.telemetry.MetricsRegistry` — when the
+  planes share one registry, :func:`telemetry_section` renders every
+  registered series (the same data :meth:`~repro.runtime.telemetry.MetricsRegistry.to_prometheus`
+  and :meth:`~repro.runtime.telemetry.MetricsRegistry.to_json` export),
+* runtime service health (:func:`services_section`) — one line per
+  :class:`~repro.runtime.Service` in a running stack.
 """
 
 from __future__ import annotations
@@ -22,10 +28,17 @@ from typing import TYPE_CHECKING
 from repro.core.embedding_store import EmbeddingStore
 from repro.core.feature_store import FeatureStore
 from repro.monitoring.monitor import AlertLog
+from repro.runtime.telemetry import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.bus.consumer import Consumer
     from repro.bus.metrics import BusMetrics
+    from repro.runtime.lifecycle import Service
     from repro.serving.gateway import ServingGateway
     from repro.vecserve.service import VectorService
 
@@ -263,6 +276,89 @@ def vector_section(service: "VectorService") -> DashboardSection:
     return DashboardSection("vector serving", tuple(lines))
 
 
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def telemetry_section(
+    registry: MetricsRegistry, max_series_per_metric: int = 4
+) -> DashboardSection:
+    """Registry-driven view over every series the deployment registered.
+
+    This section is computed purely from
+    :meth:`~repro.runtime.telemetry.MetricsRegistry.collect` — the same
+    source of truth behind the Prometheus (``to_prometheus``) and JSON
+    (``to_json``) exporters — so a metric any plane registers appears
+    here with zero dashboard changes. One line per metric name with its
+    type and series count; up to ``max_series_per_metric`` labelled
+    series are itemized (counters/gauges by value, histograms by
+    ``n/p50/p99``).
+    """
+    by_name: dict[str, list[tuple[dict[str, str], object]]] = {}
+    for name, labels, metric in registry.collect():
+        by_name.setdefault(name, []).append((labels, metric))
+    lines: list[str] = []
+    for name in sorted(by_name):
+        series = sorted(
+            by_name[name], key=lambda item: tuple(sorted(item[0].items()))
+        )
+        kind = (
+            "counter"
+            if isinstance(series[0][1], Counter)
+            else "gauge"
+            if isinstance(series[0][1], Gauge)
+            else "histogram"
+        )
+        lines.append(f"{name} ({kind}, {len(series)} series)")
+        for labels, metric in series[:max_series_per_metric]:
+            label_text = _format_labels(labels) or "(no labels)"
+            if isinstance(metric, LatencyHistogram):
+                summary = metric.summary()
+                lines.append(
+                    f"  {label_text}: n={summary['count']:.0f} "
+                    f"p50={summary['p50_s']:.6f}s p99={summary['p99_s']:.6f}s"
+                )
+            elif isinstance(metric, Gauge):
+                lines.append(
+                    f"  {label_text}: {metric.value} (peak {metric.peak})"
+                )
+            else:
+                lines.append(f"  {label_text}: {metric.value}")
+        if len(series) > max_series_per_metric:
+            lines.append(f"  ... {len(series) - max_series_per_metric} more")
+    if not lines:
+        lines = ["no metrics registered"]
+    return DashboardSection("telemetry", tuple(lines))
+
+
+def services_section(root: "Service") -> DashboardSection:
+    """Runtime health: one line per service under ``root``.
+
+    ``root`` is any :class:`~repro.runtime.Service`; a
+    :class:`~repro.runtime.ServiceGroup` nests its members' health
+    records, which are flattened here in start order — the quickest
+    answer to "what exactly is still running?".
+    """
+    lines: list[str] = []
+
+    def walk(record: dict[str, object], depth: int) -> None:
+        threads = record.get("threads")
+        thread_text = f" threads={len(threads)}" if threads else ""  # type: ignore[arg-type]
+        marker = "ok" if record.get("healthy") else "DOWN"
+        lines.append(
+            f"{'  ' * depth}{record['name']}: {record['state']} "
+            f"[{marker}]{thread_text}"
+        )
+        for child in record.get("services", ()):  # type: ignore[union-attr]
+            walk(child, depth + 1)
+
+    walk(root.health(), 0)
+    return DashboardSection("services", tuple(lines))
+
+
 def render_dashboard(
     store: FeatureStore,
     log: AlertLog,
@@ -272,6 +368,8 @@ def render_dashboard(
     bus: "BusMetrics | None" = None,
     bus_consumer: "Consumer | None" = None,
     vectors: "VectorService | None" = None,
+    registry: MetricsRegistry | None = None,
+    services: "Service | None" = None,
 ) -> str:
     """Render the full status pane as one string."""
     sections = [
@@ -287,4 +385,8 @@ def render_dashboard(
         sections.append(bus_section(bus, consumer=bus_consumer))
     if vectors is not None:
         sections.append(vector_section(vectors))
+    if registry is not None:
+        sections.append(telemetry_section(registry))
+    if services is not None:
+        sections.append(services_section(services))
     return "\n\n".join(section.render() for section in sections)

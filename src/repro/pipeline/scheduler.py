@@ -19,9 +19,9 @@ import numpy as np
 from repro.core.embedding_store import EmbeddingStore
 from repro.core.feature_store import FeatureStore
 from repro.errors import ValidationError
-from repro.monitoring.embedding_drift import EmbeddingDriftMonitor
-from repro.monitoring.monitor import (
+from repro.monitoring import (
     AlertLog,
+    EmbeddingDriftMonitor,
     FeatureMonitor,
     FreshnessMonitor,
     MonitorConfig,

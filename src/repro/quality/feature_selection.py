@@ -17,12 +17,16 @@ own quality metrics:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.monitoring.skew import SkewReport
 from repro.quality.metrics import mutual_information
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a cycle:
+    # monitoring.skew itself imports repro.quality.profile)
+    from repro.monitoring import SkewReport
 
 
 @dataclass(frozen=True)

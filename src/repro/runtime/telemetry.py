@@ -1,0 +1,334 @@
+"""Process-wide telemetry: counters, gauges, histograms, one registry.
+
+Paper §2.2.3 argues that operational metrics are what "allow users to be
+informed of potential 'gremlins' in the system". Before this layer
+existed every plane (serving gateway, ingestion bus, vector service)
+hand-rolled its own metric plumbing on top of the serving tier's
+primitives — an upward-import tangle and three different snapshot
+formats. This module is the one substrate they all share now:
+
+* **primitives** — :class:`Counter`, :class:`Gauge`,
+  :class:`LatencyHistogram`: thread-safe, allocation-light (histograms
+  are log-bucketed fixed arrays; ``record()`` is O(1) with no per-sample
+  storage). Latencies are *wall* seconds (``time.monotonic``) — tail
+  latency is a property of the real machine, not the simulated clock.
+* **registry** — :class:`MetricsRegistry`: named, labelled, get-or-create
+  metric storage. Every facade (``ServingMetrics``, ``BusMetrics``,
+  ``VectorServeMetrics``) allocates its primitives *through* a registry,
+  so one registry handed to every plane yields one flat, exportable view
+  of the whole deployment.
+* **exporters** — :meth:`MetricsRegistry.snapshot` (nested JSON-able
+  dict) and :meth:`MetricsRegistry.to_prometheus` (Prometheus text
+  exposition format) cover every registered metric; the operator
+  dashboard's telemetry section renders straight from the registry.
+
+A process-wide default registry is available via :func:`get_registry`
+for applications that want exactly one pane; libraries and tests create
+private registries for isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+
+from repro.errors import ValidationError
+
+#: Histogram bucket geometry: bucket ``i`` holds samples in
+#: ``[_BASE * _GROWTH**i, _BASE * _GROWTH**(i+1))`` seconds.
+_BASE = 1e-6  # 1 microsecond
+_GROWTH = math.sqrt(2.0)
+_N_BUCKETS = 64  # covers 1us .. ~4.3e3 s
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A thread-safe up/down gauge tracking an instantaneous quantity.
+
+    Tracks the high-water mark too, so a snapshot taken after the storm
+    still shows how deep the queue got.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._peak = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+            self._peak = max(self._peak, self._value)
+
+    def dec(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+            self._peak = max(self._peak, value)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    @property
+    def peak(self) -> int:
+        with self._lock:
+            return self._peak
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with percentile estimation.
+
+    ``record()`` is O(1); ``percentile()`` walks the cumulative counts and
+    returns the geometric midpoint of the bucket containing the requested
+    rank (the classic Prometheus-style estimate — exact to within one
+    bucket width, ~±19% with sqrt(2) growth).
+    """
+
+    def __init__(self) -> None:
+        self._counts = [0] * _N_BUCKETS
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+
+    @staticmethod
+    def _bucket_index(seconds: float) -> int:
+        if seconds < _BASE:
+            return 0
+        index = int(math.log(seconds / _BASE) / math.log(_GROWTH))
+        return min(index, _N_BUCKETS - 1)
+
+    @staticmethod
+    def _bucket_midpoint(index: int) -> float:
+        low = _BASE * _GROWTH**index
+        return low * math.sqrt(_GROWTH)  # geometric midpoint of [low, low*G)
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValidationError(f"latency cannot be negative ({seconds=})")
+        index = self._bucket_index(seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total_seconds += seconds
+
+    def percentile(self, p: float) -> float:
+        """Estimated latency (seconds) at percentile ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValidationError(f"percentile must be in [0, 100] ({p=})")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = max(1, math.ceil(self.count * p / 100.0))
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    return self._bucket_midpoint(index)
+            return self._bucket_midpoint(_N_BUCKETS - 1)
+
+    def mean(self) -> float:
+        with self._lock:
+            return self.total_seconds / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """count / mean / p50 / p95 / p99 in one locked-per-call bundle."""
+        return {
+            "count": float(self.count),
+            "mean_s": self.mean(),
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+        }
+
+
+Metric = Counter | Gauge | LatencyHistogram
+
+_KINDS = {Counter: "counter", Gauge: "gauge", LatencyHistogram: "histogram"}
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_:")
+
+
+def _validate_name(name: str) -> None:
+    if not name or name[0].isdigit() or not set(name.lower()) <= _NAME_OK:
+        raise ValidationError(
+            f"metric name must be non-empty [a-zA-Z_:][a-zA-Z0-9_:]* ({name=})"
+        )
+
+
+class MetricsRegistry:
+    """Named, labelled, thread-safe get-or-create metric storage.
+
+    A metric's identity is ``(name, sorted(labels))``. Asking twice for
+    the same identity returns the *same* object (the Prometheus
+    convention), so two facades pointed at one registry genuinely share
+    series — the ingestion bus's per-namespace freshness histogram *is*
+    the serving tier's, no mirroring copies required. Asking for the same
+    name with a conflicting metric kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+
+    # -- get-or-create --------------------------------------------------------
+
+    def _get(self, kind: type, name: str, labels: dict[str, str]):
+        _validate_name(name)
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = kind()
+            elif not isinstance(metric, kind):
+                raise ValidationError(
+                    f"metric {name!r} already registered as "
+                    f"{_KINDS[type(metric)]}, requested {_KINDS[kind]}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> LatencyHistogram:
+        return self._get(LatencyHistogram, name, labels)
+
+    # -- introspection --------------------------------------------------------
+
+    def collect(self) -> list[tuple[str, dict[str, str], Metric]]:
+        """Every registered series, sorted by ``(name, labels)``."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return [(name, dict(labels), metric) for (name, labels), metric in items]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted({name for name, __ in self._metrics})
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    # -- exporters ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, list[dict[str, object]]]:
+        """One JSON-able dict: ``{name: [{labels, type, ...values}]}``.
+
+        Counters export ``value``; gauges ``value`` and ``peak``;
+        histograms the standard count/mean/p50/p95/p99 summary.
+        """
+        out: dict[str, list[dict[str, object]]] = {}
+        for name, labels, metric in self.collect():
+            entry: dict[str, object] = {
+                "labels": labels,
+                "type": _KINDS[type(metric)],
+            }
+            if isinstance(metric, Counter):
+                entry["value"] = metric.value
+            elif isinstance(metric, Gauge):
+                entry["value"] = metric.value
+                entry["peak"] = metric.peak
+            else:
+                entry.update(metric.summary())
+            out.setdefault(name, []).append(entry)
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The :meth:`snapshot` serialized (the HTTP ``/metrics.json`` body)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format covering every series.
+
+        Counters become ``name{labels} value`` with a ``# TYPE`` header;
+        gauges additionally export ``name_peak``; histograms export
+        ``name_count``, ``name_sum`` and p50/p95/p99 quantile series
+        (summary-style — the log-bucketed histogram's native read API).
+        """
+        lines: list[str] = []
+        typed: set[tuple[str, str]] = set()
+
+        def emit_type(name: str, kind: str) -> None:
+            if (name, kind) not in typed:
+                typed.add((name, kind))
+                lines.append(f"# TYPE {name} {kind}")
+
+        def fmt(name: str, labels: dict[str, str], value: float) -> str:
+            if labels:
+                body = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels.items())
+                )
+                return f"{name}{{{body}}} {value:g}"
+            return f"{name} {value:g}"
+
+        for name, labels, metric in self.collect():
+            if isinstance(metric, Counter):
+                emit_type(name, "counter")
+                lines.append(fmt(name, labels, metric.value))
+            elif isinstance(metric, Gauge):
+                emit_type(name, "gauge")
+                lines.append(fmt(name, labels, metric.value))
+                emit_type(f"{name}_peak", "gauge")
+                lines.append(fmt(f"{name}_peak", labels, metric.peak))
+            else:
+                emit_type(name, "summary")
+                summary = metric.summary()
+                for quantile, key in (
+                    ("0.5", "p50_s"),
+                    ("0.95", "p95_s"),
+                    ("0.99", "p99_s"),
+                ):
+                    lines.append(
+                        fmt(name, {**labels, "quantile": quantile}, summary[key])
+                    )
+                lines.append(fmt(f"{name}_count", labels, summary["count"]))
+                lines.append(
+                    fmt(f"{name}_sum", labels, metric.total_seconds)
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+_DEFAULT_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (lazy, shared, never reset)."""
+    return _DEFAULT_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default (returns the previous one; tests)."""
+    global _DEFAULT_REGISTRY
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT_REGISTRY
+        _DEFAULT_REGISTRY = registry
+        return previous

@@ -13,19 +13,24 @@ per-call overhead once *per batch*.
 
 Callers block on a :class:`concurrent.futures.Future`, which also gives
 the gateway its per-request deadline (``future.result(timeout=...)``).
+
+The batcher is a :class:`repro.runtime.Service`: the worker pool starts
+in the constructor (the historical contract), ``stop()``/``close()`` are
+idempotent and safe while requests are in flight (queued work drains
+before the workers exit), and the lifecycle state machine is shared with
+every other plane.
 """
 
 from __future__ import annotations
 
 import queue
-import threading
 import time
 from collections.abc import Callable
 from concurrent.futures import Future
 from dataclasses import dataclass
 
 from repro.errors import ValidationError
-from repro.serving.metrics import Counter
+from repro.runtime import Counter, LifecycleError, Service
 from repro.storage.online import FreshnessPolicy
 
 ReadManyFn = Callable[
@@ -44,13 +49,15 @@ class _Request:
 _STOP = object()
 
 
-class MicroBatcher:
+class MicroBatcher(Service):
     """Queue + bounded worker pool that batches point reads.
 
     ``read_many`` is the backing batched read (typically the online
     store's — or its fault-injecting wrapper's — ``read_many``). Workers
-    are daemon threads; call :meth:`stop` (or use the gateway as a context
-    manager) for an orderly shutdown.
+    are daemon threads owned by the service; call :meth:`stop` (or use
+    the gateway as a context manager) for an orderly shutdown. Requests
+    already queued when ``stop()`` lands are completed before the pool
+    exits — the stop sentinel enqueues *behind* them.
     """
 
     def __init__(
@@ -66,21 +73,23 @@ class MicroBatcher:
             raise ValidationError(f"max_wait_s must be >= 0 ({max_wait_s=})")
         if n_workers < 1:
             raise ValidationError(f"n_workers must be >= 1 ({n_workers=})")
+        super().__init__(name="microbatcher")
         self._read_many = read_many
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
+        self.n_workers = n_workers
         self._queue: queue.Queue = queue.Queue()
         self.batches = Counter()
         self.batched_requests = Counter()
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"microbatch-{i}", daemon=True
-            )
-            for i in range(n_workers)
-        ]
-        self._stopped = False
-        for worker in self._workers:
-            worker.start()
+        self.start()  # historical contract: constructed == running
+
+    def _on_start(self) -> None:
+        for i in range(self.n_workers):
+            self._spawn(self._worker_loop, name=f"microbatch-{i}")
+
+    def _on_stop(self) -> None:
+        self._queue.put(_STOP)
+        self._join_workers()
 
     # -- client side ----------------------------------------------------------
 
@@ -90,11 +99,18 @@ class MicroBatcher:
         entity_id: int,
         policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
     ) -> Future:
-        """Enqueue one point lookup; resolve via the returned future."""
-        if self._stopped:
-            raise ValidationError("batcher is stopped")
-        future: Future = Future()
-        self._queue.put(_Request(namespace, entity_id, policy, future))
+        """Enqueue one point lookup; resolve via the returned future.
+
+        The running-check and the enqueue happen under the lifecycle
+        lock: a request either lands ahead of the stop sentinel (and is
+        served during the drain) or is rejected — it can never slip in
+        behind the sentinel and strand its future forever.
+        """
+        with self._state_lock:
+            if not self.running:
+                raise LifecycleError("batcher is stopped")
+            future: Future = Future()
+            self._queue.put(_Request(namespace, entity_id, policy, future))
         return future
 
     def queue_depth(self) -> int:
@@ -103,6 +119,12 @@ class MicroBatcher:
     def mean_batch_size(self) -> float:
         batches = self.batches.value
         return self.batched_requests.value / batches if batches else 0.0
+
+    def health(self) -> dict[str, object]:
+        record = super().health()
+        record["queue_depth"] = self.queue_depth()
+        record["batches"] = self.batches.value
+        return record
 
     # -- worker side ----------------------------------------------------------
 
@@ -155,12 +177,3 @@ class MicroBatcher:
             for request, value in zip(requests, values):
                 if not request.future.cancelled():
                     request.future.set_result(value)
-
-    def stop(self) -> None:
-        """Stop accepting work and shut the worker pool down."""
-        if self._stopped:
-            return
-        self._stopped = True
-        self._queue.put(_STOP)
-        for worker in self._workers:
-            worker.join(timeout=2.0)

@@ -14,42 +14,21 @@ lacks and the gateway must be engineered against:
   :class:`~repro.errors.TransientStoreError` so the gateway's
   retry/degradation machinery engages.
 
-Fault decisions come from a seeded private RNG, so tests are
-deterministic; counters record what was injected for assertions.
+The policy dataclass and the seeded roll-and-raise engine now live in
+:mod:`repro.runtime.resilience` (they are shared with the vector plane's
+per-shard injector); ``FaultPolicy`` is re-exported here so existing
+``repro.serving.faults.FaultPolicy`` imports keep working.
 """
 
 from __future__ import annotations
 
-import random
-import threading
-import time
-from dataclasses import dataclass
-
-from repro.errors import TransientStoreError, ValidationError
-from repro.serving.metrics import Counter
+# Backward-compatible re-export: the canonical home is the runtime layer
+# (import from repro.runtime.resilience in new code).
+from repro.runtime.resilience import (  # noqa: F401 - re-exported shim
+    FaultInjector,
+    FaultPolicy,
+)
 from repro.storage.online import FreshnessPolicy, OnlineStore
-
-
-@dataclass(frozen=True)
-class FaultPolicy:
-    """What the wrapper injects, and how often."""
-
-    timeout_rate: float = 0.0
-    error_rate: float = 0.0
-    base_latency_s: float = 0.0
-    per_key_latency_s: float = 0.0
-    timeout_latency_s: float = 0.0  # time burned before a timeout surfaces
-    seed: int | None = None
-
-    def validate(self) -> None:
-        for name in ("timeout_rate", "error_rate"):
-            rate = getattr(self, name)
-            if not 0.0 <= rate <= 1.0:
-                raise ValidationError(f"{name} must be in [0, 1] ({rate=})")
-        for name in ("base_latency_s", "per_key_latency_s", "timeout_latency_s"):
-            value = getattr(self, name)
-            if value < 0:
-                raise ValidationError(f"{name} must be >= 0 ({value=})")
 
 
 class FaultInjectingOnlineStore:
@@ -61,43 +40,28 @@ class FaultInjectingOnlineStore:
     """
 
     def __init__(self, store: OnlineStore, policy: FaultPolicy) -> None:
-        policy.validate()
         self._store = store
-        self.policy = policy
-        self._rng = random.Random(policy.seed)
-        self._rng_lock = threading.Lock()
-        self.injected_timeouts = Counter()
-        self.injected_errors = Counter()
-        self.calls = Counter()
+        self._injector = FaultInjector(policy)
+        self.injected_timeouts = self._injector.injected_timeouts
+        self.injected_errors = self._injector.injected_errors
+        self.calls = self._injector.calls
 
     def __getattr__(self, name: str):
         return getattr(self._store, name)
 
     @property
+    def policy(self) -> FaultPolicy:
+        return self._injector.policy
+
+    @policy.setter
+    def policy(self, policy: FaultPolicy) -> None:
+        """Swap the live policy (tests flip a healthy store to 'dark')."""
+        policy.validate()
+        self._injector.policy = policy
+
+    @property
     def wrapped(self) -> OnlineStore:
         return self._store
-
-    def _roll(self) -> float:
-        with self._rng_lock:
-            return self._rng.random()
-
-    def _simulate(self, n_keys: int) -> None:
-        self.calls.inc()
-        policy = self.policy
-        latency = policy.base_latency_s + policy.per_key_latency_s * n_keys
-        if latency > 0:
-            time.sleep(latency)
-        roll = self._roll()
-        if roll < policy.timeout_rate:
-            self.injected_timeouts.inc()
-            if policy.timeout_latency_s > 0:
-                time.sleep(policy.timeout_latency_s)
-            raise TransientStoreError(
-                f"injected timeout (rate={policy.timeout_rate})"
-            )
-        if roll < policy.timeout_rate + policy.error_rate:
-            self.injected_errors.inc()
-            raise TransientStoreError(f"injected error (rate={policy.error_rate})")
 
     # -- intercepted read path ------------------------------------------------
 
@@ -107,7 +71,7 @@ class FaultInjectingOnlineStore:
         entity_id: int,
         policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
     ) -> dict[str, object] | None:
-        self._simulate(n_keys=1)
+        self._injector.inject(n_keys=1)
         return self._store.read(namespace, entity_id, policy)
 
     def read_many(
@@ -116,5 +80,5 @@ class FaultInjectingOnlineStore:
         entity_ids: list[int],
         policy: FreshnessPolicy = FreshnessPolicy.SERVE_ANYWAY,
     ) -> list[dict[str, object] | None]:
-        self._simulate(n_keys=len(entity_ids))
+        self._injector.inject(n_keys=len(entity_ids))
         return self._store.read_many(namespace, entity_ids, policy)

@@ -44,6 +44,7 @@ from repro.errors import (
     TransientStoreError,
     ValidationError,
 )
+from repro.runtime import Deadline, MetricsRegistry, RetryPolicy, Service
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import CacheEntry, LookupStatus, ReadThroughCache
 from repro.serving.metrics import EndpointMetrics, ServingMetrics
@@ -96,21 +97,29 @@ class EnrichResult:
 class _Attempt:
     """Mutable bookkeeping for one deadline-bounded request."""
 
-    deadline: float  # absolute, time.monotonic() scale
+    deadline: Deadline
     last_error: Exception | None = None
     attempts: int = 0
 
     def remaining(self) -> float:
-        return self.deadline - time.monotonic()
+        return self.deadline.remaining()
 
 
-class ServingGateway:
+class ServingGateway(Service):
     """Concurrent, cached, batched, observable serving over both stores.
 
     ``online`` may be a plain :class:`~repro.storage.online.OnlineStore`
     or its fault-injecting wrapper; anything exposing ``read`` /
-    ``read_many`` / ``write`` / ``add_write_listener`` works. Use as a
-    context manager (or call :meth:`close`) to stop the worker pool.
+    ``read_many`` / ``write`` / ``add_write_listener`` works. The
+    gateway is a :class:`repro.runtime.Service` — constructed running,
+    with idempotent thread-safe :meth:`stop`/:meth:`close`; use it as a
+    context manager (or in a
+    :class:`~repro.runtime.ServiceGroup`) for orderly shutdown.
+
+    ``registry`` threads a shared
+    :class:`~repro.runtime.telemetry.MetricsRegistry` into the gateway's
+    :class:`~repro.serving.metrics.ServingMetrics`, merging the serving
+    tier into one process-wide telemetry export.
     """
 
     _FEATURE = "feat"
@@ -122,13 +131,19 @@ class ServingGateway:
         embeddings: EmbeddingStore | None = None,
         config: GatewayConfig | None = None,
         vectors=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
+        super().__init__(name="gateway")
         self.config = config or GatewayConfig()
         self.config.validate()
         self.online = online
         self.embeddings = embeddings
         self.vectors = vectors  # a repro.vecserve.VectorService, if attached
-        self.metrics = ServingMetrics()
+        self.metrics = ServingMetrics(registry=registry)
+        self._retry_policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            backoff_s=self.config.retry_backoff_s,
+        )
         self.cache: ReadThroughCache | None = (
             ReadThroughCache(
                 capacity=self.config.cache_capacity,
@@ -139,38 +154,30 @@ class ServingGateway:
             if self.config.enable_cache
             else None
         )
-        self.batcher: MicroBatcher | None = (
-            MicroBatcher(
+        self.batcher: MicroBatcher | None = None
+        self._listening = False
+        self.start()  # historical contract: constructed == serving
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _on_start(self) -> None:
+        if self.config.enable_batching:
+            self.batcher = MicroBatcher(
                 read_many=self._upstream_read_many,
                 max_batch_size=self.config.max_batch_size,
                 max_wait_s=self.config.batch_wait_s,
                 n_workers=self.config.n_workers,
             )
-            if self.config.enable_batching
-            else None
-        )
-        self._listening = False
-        if hasattr(online, "add_write_listener"):
-            online.add_write_listener(self._on_store_write)
+        if hasattr(self.online, "add_write_listener"):
+            self.online.add_write_listener(self._on_store_write)
             self._listening = True
-        self._closed = False
 
-    # -- lifecycle ------------------------------------------------------------
-
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+    def _on_stop(self) -> None:
         if self.batcher is not None:
             self.batcher.stop()
         if self._listening and hasattr(self.online, "remove_write_listener"):
             self.online.remove_write_listener(self._on_store_write)
-
-    def __enter__(self) -> "ServingGateway":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+            self._listening = False
 
     # -- plumbing -------------------------------------------------------------
 
@@ -276,13 +283,12 @@ class ServingGateway:
                     return self.online.read(namespace, entity_id, policy)
             except TransientStoreError as exc:
                 state.last_error = exc
-                if state.attempts > self.config.max_retries:
+                if state.attempts > self._retry_policy.max_retries:
                     return _EXHAUSTED
                 metrics.retries.inc()
-                backoff = self.config.retry_backoff_s * (
-                    2 ** (state.attempts - 1)
+                state.deadline.sleep(
+                    self._retry_policy.backoff_for(state.attempts)
                 )
-                time.sleep(min(backoff, max(state.remaining(), 0.0)))
 
     # -- endpoints ------------------------------------------------------------
 
@@ -300,8 +306,7 @@ class ServingGateway:
         if fresh:
             return entry.value, False  # type: ignore[union-attr]
         state = _Attempt(
-            deadline=time.monotonic()
-            + (deadline_s or self.config.default_deadline_s)
+            deadline=Deadline.after(deadline_s or self.config.default_deadline_s)
         )
         value = self._read_with_retries(namespace, entity_id, policy, state, metrics)
         if value is _EXHAUSTED:
@@ -347,8 +352,9 @@ class ServingGateway:
             if not missing:
                 return out
             state = _Attempt(
-                deadline=time.monotonic()
-                + (deadline_s or self.config.default_deadline_s)
+                deadline=Deadline.after(
+                    deadline_s or self.config.default_deadline_s
+                )
             )
             missing_ids = [entity_ids[p] for p in missing]
             values = self._batch_read_with_retries(
@@ -377,11 +383,12 @@ class ServingGateway:
                 return self.online.read_many(namespace, entity_ids, policy)
             except TransientStoreError as exc:
                 state.last_error = exc
-                if state.attempts > self.config.max_retries:
+                if state.attempts > self._retry_policy.max_retries:
                     return _EXHAUSTED
                 metrics.retries.inc()
-                backoff = self.config.retry_backoff_s * (2 ** (state.attempts - 1))
-                time.sleep(min(backoff, max(state.remaining(), 0.0)))
+                state.deadline.sleep(
+                    self._retry_policy.backoff_for(state.attempts)
+                )
 
     def _serve_embeddings(
         self,

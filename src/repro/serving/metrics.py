@@ -1,4 +1,4 @@
-"""Serving observability primitives: counters, gauges, latency histograms.
+"""Serving observability: the gateway facade over the runtime registry.
 
 Paper section 2.2.3 argues that operational metrics are what "allow users
 to be informed of potential 'gremlins' in the system"; an online serving
@@ -6,147 +6,28 @@ tier is the component where those gremlins cost real traffic, so the
 gateway records per-endpoint latency distributions (p50/p95/p99), request
 and error rates, cache effectiveness and queue pressure.
 
-Everything here is thread-safe and allocation-light: histograms are
-log-bucketed fixed arrays (record() is O(1), no per-sample storage), and
-counters/gauges are plain ints behind a lock. Latencies are measured in
-*wall* seconds (``time.monotonic``) — unlike event-time freshness, tail
-latency is a property of the real machine, not the simulated clock.
+The thread-safe primitives (:class:`Counter`, :class:`Gauge`,
+:class:`LatencyHistogram`) now live in :mod:`repro.runtime.telemetry`
+and are re-exported here for backward compatibility. Every metric a
+:class:`ServingMetrics` facade exposes is allocated through a
+:class:`~repro.runtime.telemetry.MetricsRegistry` — hand the same
+registry to the bus and vector planes and the whole deployment exports
+through one Prometheus/JSON endpoint.
 """
 
 from __future__ import annotations
 
-import math
-import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ValidationError
-
-#: Histogram bucket geometry: bucket ``i`` holds samples in
-#: ``[_BASE * _GROWTH**i, _BASE * _GROWTH**(i+1))`` seconds.
-_BASE = 1e-6  # 1 microsecond
-_GROWTH = math.sqrt(2.0)
-_N_BUCKETS = 64  # covers 1us .. ~4.3e3 s
-
-
-class Counter:
-    """A monotonically increasing, thread-safe counter."""
-
-    def __init__(self) -> None:
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-class Gauge:
-    """A thread-safe up/down gauge tracking an instantaneous quantity.
-
-    Tracks the high-water mark too, so a snapshot taken after the storm
-    still shows how deep the queue got.
-    """
-
-    def __init__(self) -> None:
-        self._value = 0
-        self._peak = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value += amount
-            self._peak = max(self._peak, self._value)
-
-    def dec(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value -= amount
-
-    def set(self, value: int) -> None:
-        with self._lock:
-            self._value = value
-            self._peak = max(self._peak, value)
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-    @property
-    def peak(self) -> int:
-        with self._lock:
-            return self._peak
-
-
-class LatencyHistogram:
-    """Log-bucketed latency histogram with percentile estimation.
-
-    ``record()`` is O(1); ``percentile()`` walks the cumulative counts and
-    returns the geometric midpoint of the bucket containing the requested
-    rank (the classic Prometheus-style estimate — exact to within one
-    bucket width, ~±19% with sqrt(2) growth).
-    """
-
-    def __init__(self) -> None:
-        self._counts = [0] * _N_BUCKETS
-        self._lock = threading.Lock()
-        self.count = 0
-        self.total_seconds = 0.0
-
-    @staticmethod
-    def _bucket_index(seconds: float) -> int:
-        if seconds < _BASE:
-            return 0
-        index = int(math.log(seconds / _BASE) / math.log(_GROWTH))
-        return min(index, _N_BUCKETS - 1)
-
-    @staticmethod
-    def _bucket_midpoint(index: int) -> float:
-        low = _BASE * _GROWTH**index
-        return low * math.sqrt(_GROWTH)  # geometric midpoint of [low, low*G)
-
-    def record(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValidationError(f"latency cannot be negative ({seconds=})")
-        index = self._bucket_index(seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self.count += 1
-            self.total_seconds += seconds
-
-    def percentile(self, p: float) -> float:
-        """Estimated latency (seconds) at percentile ``p`` in [0, 100]."""
-        if not 0 <= p <= 100:
-            raise ValidationError(f"percentile must be in [0, 100] ({p=})")
-        with self._lock:
-            if self.count == 0:
-                return 0.0
-            rank = max(1, math.ceil(self.count * p / 100.0))
-            cumulative = 0
-            for index, bucket_count in enumerate(self._counts):
-                cumulative += bucket_count
-                if cumulative >= rank:
-                    return self._bucket_midpoint(index)
-            return self._bucket_midpoint(_N_BUCKETS - 1)
-
-    def mean(self) -> float:
-        with self._lock:
-            return self.total_seconds / self.count if self.count else 0.0
-
-    def summary(self) -> dict[str, float]:
-        """count / mean / p50 / p95 / p99 in one locked-per-call bundle."""
-        return {
-            "count": float(self.count),
-            "mean_s": self.mean(),
-            "p50_s": self.percentile(50),
-            "p95_s": self.percentile(95),
-            "p99_s": self.percentile(99),
-        }
+# Backward-compatible re-exports: the primitives' canonical home is the
+# runtime layer now (import them from repro.runtime.telemetry in new code).
+from repro.runtime.telemetry import (  # noqa: F401 - re-exported shims
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
 
 
 @dataclass
@@ -161,6 +42,23 @@ class EndpointMetrics:
     retries: Counter = field(default_factory=Counter)
     cache_hits: Counter = field(default_factory=Counter)
     cache_misses: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_registry(
+        cls, registry: MetricsRegistry, endpoint: str
+    ) -> "EndpointMetrics":
+        """Allocate every per-endpoint series through ``registry``."""
+        label = {"endpoint": endpoint}
+        return cls(
+            latency=registry.histogram("serving_latency_seconds", **label),
+            requests=registry.counter("serving_requests_total", **label),
+            errors=registry.counter("serving_errors_total", **label),
+            degraded=registry.counter("serving_degraded_total", **label),
+            stale_served=registry.counter("serving_stale_served_total", **label),
+            retries=registry.counter("serving_retries_total", **label),
+            cache_hits=registry.counter("serving_cache_hits_total", **label),
+            cache_misses=registry.counter("serving_cache_misses_total", **label),
+        )
 
     def hit_rate(self) -> float:
         hits, misses = self.cache_hits.value, self.cache_misses.value
@@ -185,15 +83,20 @@ class EndpointMetrics:
 
 
 class ServingMetrics:
-    """Registry of per-endpoint metrics plus gateway-wide gauges."""
+    """Per-endpoint metrics plus gateway-wide gauges, registry-backed.
 
-    def __init__(self) -> None:
+    ``registry`` defaults to a private
+    :class:`~repro.runtime.telemetry.MetricsRegistry` (full isolation,
+    the pre-runtime behaviour); pass a shared one to merge the serving
+    tier into a process-wide export.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._endpoints: dict[str, EndpointMetrics] = {}
-        self._freshness: dict[str, LatencyHistogram] = {}
-        self._lock = threading.Lock()
         self._started = time.monotonic()
-        self.inflight = Gauge()
-        self.queue_depth = Gauge()
+        self.inflight = self.registry.gauge("serving_inflight")
+        self.queue_depth = self.registry.gauge("serving_queue_depth")
 
     def freshness(self, namespace: str) -> LatencyHistogram:
         """Per-namespace end-to-end freshness lag (event_time → write_time).
@@ -202,28 +105,33 @@ class ServingMetrics:
         :mod:`repro.bus.metrics`) records into these histograms, so the
         serving tier's snapshot shows how stale each namespace's values
         were *when they landed* — the counterpart of the read-path
-        ``stale_served`` counter.
+        ``stale_served`` counter. When the bus shares this registry the
+        histogram object is literally the same series.
         """
-        with self._lock:
-            histogram = self._freshness.get(namespace)
-            if histogram is None:
-                histogram = self._freshness[namespace] = LatencyHistogram()
-            return histogram
+        return self.registry.histogram(
+            "serving_freshness_lag_seconds", namespace=namespace
+        )
 
     def freshness_namespaces(self) -> list[str]:
-        with self._lock:
-            return sorted(self._freshness)
+        return sorted(
+            labels["namespace"]
+            for name, labels, __ in self.registry.collect()
+            if name == "serving_freshness_lag_seconds"
+        )
 
     def endpoint(self, name: str) -> EndpointMetrics:
-        with self._lock:
-            metrics = self._endpoints.get(name)
-            if metrics is None:
-                metrics = self._endpoints[name] = EndpointMetrics()
-            return metrics
+        # dict access is atomic under the GIL; creation races produce the
+        # same registry-backed series either way, so last-write-wins on
+        # the facade cache is benign.
+        metrics = self._endpoints.get(name)
+        if metrics is None:
+            metrics = self._endpoints[name] = EndpointMetrics.from_registry(
+                self.registry, name
+            )
+        return metrics
 
     def endpoints(self) -> list[str]:
-        with self._lock:
-            return sorted(self._endpoints)
+        return sorted(self._endpoints)
 
     def elapsed_s(self) -> float:
         return time.monotonic() - self._started

@@ -10,7 +10,12 @@ features are persisted to the online store and logged to the offline store."
   aggregators to an event stream and fans results out to both stores.
 """
 
-from repro.streaming.processor import StreamFeature, StreamProcessor
+from repro.streaming.processor import (
+    ProcessorStats,
+    StreamFeature,
+    StreamProcessor,
+)
+from repro.streaming.pump import StreamPump
 from repro.streaming.windows import (
     EwmaAggregator,
     SlidingWindowAggregator,
@@ -20,9 +25,11 @@ from repro.streaming.windows import (
 
 __all__ = [
     "EwmaAggregator",
+    "ProcessorStats",
     "SlidingWindowAggregator",
     "StreamAggregator",
     "StreamFeature",
+    "StreamPump",
     "StreamProcessor",
     "TumblingWindowAggregator",
 ]

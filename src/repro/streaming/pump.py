@@ -1,0 +1,161 @@
+"""StreamPump: queue-fed background ingestion on the runtime kernel.
+
+The synchronous :class:`~repro.streaming.processor.StreamProcessor` is
+hand-cranked — the caller blocks while ``process()`` runs. Production
+ingestion decouples producers from the aggregation loop with a queue; the
+pump is that decoupling as a :class:`repro.runtime.Service`: producers
+:meth:`~StreamPump.submit` event batches and return immediately, one
+owned worker thread drains the queue in chunks and drives the processor.
+
+Semantics note: the processor issues a *final emit at the last event's
+timestamp of each ``process()`` call*, so chunked background processing
+can emit more often than one monolithic call on the same stream (extra
+emits at chunk boundaries). Aggregator **state** is identical — the online
+store's last-write-wins rule makes the end state the same; only the
+offline log may carry extra intermediate rows. Callers that need
+byte-identical offline logs should keep using the synchronous processor
+(or the bus's :class:`~repro.bus.sinks.AggregatingSink`, which buffers
+until an explicit flush).
+
+``stop()`` drains every batch already queued before the worker exits —
+submitted work is never dropped by shutdown.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.datagen.streams import StreamEvent
+from repro.errors import ValidationError
+from repro.runtime import Counter, Service, await_condition
+from repro.streaming.processor import ProcessorStats, StreamProcessor
+
+_STOP = object()
+
+
+class StreamPump(Service):
+    """Background ingestion: submit event batches, a worker processes them.
+
+    The pump owns the processor exclusively once started. Batches are
+    processed in submission order on a single worker thread (preserving
+    the event-time ordering contract as long as producers submit ordered
+    batches in order). Construct-then-:meth:`start` — or let a
+    :class:`~repro.runtime.ServiceGroup` start it.
+    """
+
+    def __init__(
+        self,
+        processor: StreamProcessor,
+        chunk_size: int = 1024,
+        name: str | None = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1 ({chunk_size=})")
+        super().__init__(name=name or f"stream-pump:{processor.namespace}")
+        self.processor = processor
+        self.chunk_size = chunk_size
+        self._queue: queue.Queue = queue.Queue()
+        self._stats_lock = threading.Lock()
+        self._stats = ProcessorStats(0, 0, 0, 0, 0)
+        self._pending = 0  # batches submitted but not yet fully processed
+        self.events_submitted = Counter()
+        self.batches_processed = Counter()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _on_start(self) -> None:
+        self._spawn(self._loop, name=f"{self.name}-loop")
+
+    def _on_stop(self) -> None:
+        self._queue.put(_STOP)  # behind any queued batches: they drain first
+        self._join_workers()
+
+    # -- producer side --------------------------------------------------------
+
+    def submit(self, events: list[StreamEvent]) -> int:
+        """Enqueue one event batch for background processing.
+
+        Check + enqueue happen under the lifecycle lock, so a batch
+        either precedes the stop sentinel (drained before the worker
+        exits) or is rejected — submitted work is never silently dropped
+        by a racing ``stop()``.
+        """
+        batch = list(events)
+        with self._state_lock:
+            self._check_running("submit events")
+            if batch:
+                with self._stats_lock:
+                    self._pending += 1  # before the put: `drained` never lies
+                self._queue.put(batch)
+                self.events_submitted.inc(len(batch))
+        return len(batch)
+
+    def depth(self) -> int:
+        """Batches queued but not yet picked up by the worker."""
+        return self._queue.qsize()
+
+    @property
+    def drained(self) -> bool:
+        """True when every submitted batch has been fully processed."""
+        with self._stats_lock:
+            return self._pending == 0
+
+    def wait_until_drained(self, timeout_s: float = 5.0) -> bool:
+        return await_condition(lambda: self.drained, timeout_s=timeout_s)
+
+    @property
+    def stats(self) -> ProcessorStats:
+        """Accumulated processor stats across every background chunk."""
+        with self._stats_lock:
+            return self._stats
+
+    def health(self) -> dict[str, object]:
+        record = super().health()
+        record["queue_depth"] = self.depth()
+        record["events_submitted"] = self.events_submitted.value
+        record["events_processed"] = self.stats.events_processed
+        return record
+
+    # -- worker side ----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            chunk: list[StreamEvent] = list(item)
+            n_batches = 1
+            stop_after = False
+            # Coalesce already-queued batches up to the chunk budget —
+            # fewer process() calls means fewer boundary emits.
+            while len(chunk) < self.chunk_size:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    stop_after = True
+                    break
+                chunk.extend(extra)
+                n_batches += 1
+            self._process(chunk, n_batches)
+            if stop_after:
+                return
+
+    def _process(self, chunk: list[StreamEvent], n_batches: int) -> None:
+        stats = self.processor.process(chunk) if chunk else None
+        self.batches_processed.inc()
+        with self._stats_lock:
+            if stats is not None:
+                self._stats = ProcessorStats(
+                    events_processed=self._stats.events_processed
+                    + stats.events_processed,
+                    emits=self._stats.emits + stats.emits,
+                    online_writes=self._stats.online_writes
+                    + stats.online_writes,
+                    offline_rows=self._stats.offline_rows + stats.offline_rows,
+                    skipped_writes=self._stats.skipped_writes
+                    + stats.skipped_writes,
+                )
+            self._pending -= n_batches

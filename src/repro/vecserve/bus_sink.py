@@ -24,9 +24,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.bus.consumer import ConsumedRecord, DedupeWindow
-from repro.bus.log import BusRecord
-from repro.bus.sinks import Sink
+from repro.bus import BusRecord, ConsumedRecord, DedupeWindow, Sink
 from repro.errors import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only

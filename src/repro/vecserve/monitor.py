@@ -7,8 +7,11 @@ every query still "succeeds"). This module watches both:
 
 * :class:`VectorServeMetrics` — per-shard latency histograms, query /
   partial-result / deadline-miss counters, delta-size and staleness
-  gauges, compaction stats and the current blue/green generation. When a
-  :class:`~repro.serving.metrics.ServingMetrics` registry is attached,
+  gauges, compaction stats and the current blue/green generation. Every
+  series is allocated through a
+  :class:`~repro.runtime.telemetry.MetricsRegistry` (``vecserve_*``
+  namespace, labelled by table); when a serving-metrics facade is
+  attached (duck-typed — anything exposing ``endpoint(name)``),
   whole-query latencies and degradations are mirrored into a
   ``vector_search:<name>`` endpoint so the one serving dashboard covers
   vectors too.
@@ -25,35 +28,68 @@ from __future__ import annotations
 import random
 import threading
 from collections import deque
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.index.base import SearchResult
-from repro.serving.metrics import Counter, Gauge, LatencyHistogram, ServingMetrics
+from repro.runtime.telemetry import Counter, LatencyHistogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - type checkers only (no runtime import)
+    from repro.serving import ServingMetrics
 
 
 class VectorServeMetrics:
-    """All operational metrics for one served ``(name, version)`` table."""
+    """All operational metrics for one served ``(name, version)`` table.
+
+    ``registry`` defaults to a private
+    :class:`~repro.runtime.telemetry.MetricsRegistry`; pass the owning
+    service's registry (plus a ``table`` label) to merge every served
+    table into one export. ``serving`` is the optional read-tier facade
+    the whole-query series are mirrored into.
+    """
 
     def __init__(
         self,
-        serving: ServingMetrics | None = None,
+        serving: "ServingMetrics | None" = None,
         mirror_endpoint: str | None = None,
+        registry: MetricsRegistry | None = None,
+        table: str | None = None,
     ) -> None:
-        self.queries = Counter()
-        self.batched_queries = Counter()
-        self.partials = Counter()  # queries answered with >=1 shard missing
-        self.shard_misses = Counter()  # individual shard deadline misses
-        self.shard_errors = Counter()  # individual shard failures (faults)
-        self.upserts = Counter()
-        self.removes = Counter()
-        self.compactions = Counter()
-        self.search_latency = LatencyHistogram()
-        self.delta_rows = Gauge()
-        self.delta_tombstones = Gauge()
-        self.generation = Gauge()
-        self.snapshot_rows = Gauge()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._label = {"table": table} if table is not None else {}
+        label = self._label
+        self.queries = self.registry.counter("vecserve_queries_total", **label)
+        self.batched_queries = self.registry.counter(
+            "vecserve_batched_queries_total", **label
+        )
+        # queries answered with >=1 shard missing
+        self.partials = self.registry.counter("vecserve_partials_total", **label)
+        # individual shard deadline misses
+        self.shard_misses = self.registry.counter(
+            "vecserve_shard_misses_total", **label
+        )
+        # individual shard failures (faults)
+        self.shard_errors = self.registry.counter(
+            "vecserve_shard_errors_total", **label
+        )
+        self.upserts = self.registry.counter("vecserve_upserts_total", **label)
+        self.removes = self.registry.counter("vecserve_removes_total", **label)
+        self.compactions = self.registry.counter(
+            "vecserve_compactions_total", **label
+        )
+        self.search_latency = self.registry.histogram(
+            "vecserve_search_latency_seconds", **label
+        )
+        self.delta_rows = self.registry.gauge("vecserve_delta_rows", **label)
+        self.delta_tombstones = self.registry.gauge(
+            "vecserve_delta_tombstones", **label
+        )
+        self.generation = self.registry.gauge("vecserve_generation", **label)
+        self.snapshot_rows = self.registry.gauge(
+            "vecserve_snapshot_rows", **label
+        )
         self._shard_latency: dict[int, LatencyHistogram] = {}
         self._lock = threading.Lock()
         self._compaction_seconds = 0.0
@@ -67,7 +103,11 @@ class VectorServeMetrics:
         with self._lock:
             histogram = self._shard_latency.get(shard)
             if histogram is None:
-                histogram = self._shard_latency[shard] = LatencyHistogram()
+                histogram = self._shard_latency[shard] = self.registry.histogram(
+                    "vecserve_shard_latency_seconds",
+                    shard=shard,
+                    **self._label,
+                )
             return histogram
 
     def record_query(self, seconds: float, partial: bool, missed: int) -> None:

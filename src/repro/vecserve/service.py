@@ -23,9 +23,15 @@ per served ``(embedding_name, version)`` table and offers:
   gateway's feature micro-batcher;
 * **online monitoring** — every table carries
   :class:`~repro.vecserve.monitor.VectorServeMetrics` and a sampled
-  :class:`~repro.vecserve.monitor.RecallMonitor`, mirrored into an
-  attached :class:`~repro.serving.metrics.ServingMetrics` registry and
-  rendered by :func:`repro.monitoring.dashboard.vector_section`.
+  :class:`~repro.vecserve.monitor.RecallMonitor`, registered in the
+  service's :class:`~repro.runtime.telemetry.MetricsRegistry`, optionally
+  mirrored into an attached serving-metrics facade and rendered by
+  :func:`repro.monitoring.dashboard.vector_section`.
+
+Both the service and its query batcher are
+:class:`repro.runtime.Service` instances: idempotent ``stop()``/
+``close()``, a shared state machine, and auto-compaction running on a
+:class:`repro.runtime.PeriodicTask` instead of a hand-rolled thread.
 """
 
 from __future__ import annotations
@@ -46,14 +52,20 @@ from repro.index import (
     IVFFlatIndex,
     LSHIndex,
 )
-from repro.serving.faults import FaultPolicy
-from repro.serving.metrics import Counter, ServingMetrics
+from repro.runtime import (
+    Counter,
+    MetricsRegistry,
+    PeriodicTask,
+    Service,
+)
+from repro.runtime.resilience import FaultPolicy
 from repro.vecserve.monitor import RecallMonitor, VectorServeMetrics
 from repro.vecserve.shards import ShardedSearchResult, ShardedVectorIndex
 from repro.vecserve.snapshot import CompactionStats
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.core.embedding_store import EmbeddingStore, EmbeddingVersion
+    from repro.serving import ServingMetrics
 
 BACKENDS = {
     "brute": BruteForceIndex,
@@ -85,7 +97,7 @@ class _QueryRequest:
 _STOP = object()
 
 
-class VectorQueryBatcher:
+class VectorQueryBatcher(Service):
     """Coalesce concurrent single-vector queries into shard-batched calls.
 
     Same queue-and-drain shape as the feature
@@ -95,7 +107,9 @@ class VectorQueryBatcher:
     ``(table, k)`` and issues one
     :meth:`~repro.vecserve.shards.ShardedVectorIndex.search_batch` per
     group — paying the scatter fan-out once per batch instead of once
-    per query.
+    per query. A :class:`repro.runtime.Service` with the historical
+    constructed-== -running contract; ``stop()``/``close()`` are
+    idempotent and drain queued queries before the workers exit.
     """
 
     def __init__(
@@ -109,32 +123,46 @@ class VectorQueryBatcher:
             raise ValidationError(f"max_batch_size must be >= 1 ({max_batch_size=})")
         if max_wait_s < 0:
             raise ValidationError(f"max_wait_s must be >= 0 ({max_wait_s=})")
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1 ({n_workers=})")
+        super().__init__(name="vector-query-batcher")
         self._run_batch = run_batch
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
+        self.n_workers = n_workers
         self._queue: queue.Queue = queue.Queue()
         self.batches = Counter()
         self.batched_requests = Counter()
-        self._stopped = False
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"vecbatch-{i}", daemon=True
-            )
-            for i in range(n_workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self.start()  # historical contract: constructed == running
+
+    def _on_start(self) -> None:
+        for i in range(self.n_workers):
+            self._spawn(self._worker_loop, name=f"vecbatch-{i}")
+
+    def _on_stop(self) -> None:
+        self._queue.put(_STOP)
+        self._join_workers()
 
     def submit(self, key: tuple[str, int], query: np.ndarray, k: int) -> Future:
-        if self._stopped:
-            raise ValidationError("query batcher is stopped")
-        future: Future = Future()
-        self._queue.put(_QueryRequest(key, k, query, future))
+        # Check + enqueue under the lifecycle lock: the request either
+        # precedes the stop sentinel (served during the drain) or is
+        # rejected — never stranded behind it with a forever-pending
+        # future.
+        with self._state_lock:
+            self._check_running("submit queries")
+            future: Future = Future()
+            self._queue.put(_QueryRequest(key, k, query, future))
         return future
 
     def mean_batch_size(self) -> float:
         batches = self.batches.value
         return self.batched_requests.value / batches if batches else 0.0
+
+    def health(self) -> dict[str, object]:
+        record = super().health()
+        record["queue_depth"] = self._queue.qsize()
+        record["batches"] = self.batches.value
+        return record
 
     def _worker_loop(self) -> None:
         while True:
@@ -178,75 +206,78 @@ class VectorQueryBatcher:
                 if not request.future.cancelled():
                     request.future.set_result(result)
 
-    def stop(self) -> None:
-        if self._stopped:
-            return
-        self._stopped = True
-        self._queue.put(_STOP)
-        for worker in self._workers:
-            worker.join(timeout=2.0)
 
-
-class VectorService:
+class VectorService(Service):
     """Sharded, versioned, monitored ANN serving over embedding tables.
 
-    Use as a context manager (or call :meth:`close`) to stop the worker
-    pool, the query batcher and any auto-compaction thread.
+    A :class:`repro.runtime.Service` (historical contract: constructed ==
+    running). Use as a context manager, call :meth:`close`/:meth:`stop`,
+    or hand it to a :class:`~repro.runtime.ServiceGroup` — shutdown stops
+    auto-compaction, drains the query batcher, detaches the embedding
+    store listeners and shuts the worker pool down, idempotently.
     """
 
     def __init__(
         self,
         embeddings: "EmbeddingStore | None" = None,
-        serving_metrics: ServingMetrics | None = None,
+        serving_metrics: "ServingMetrics | None" = None,
         n_workers: int = 8,
         batch_queries: bool = False,
         max_batch_size: int = 32,
         batch_wait_s: float = 0.0005,
+        registry: MetricsRegistry | None = None,
     ) -> None:
+        super().__init__(name="vecserve")
         self.embeddings = embeddings
         self.serving_metrics = serving_metrics
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._tables: dict[tuple[str, int], _ServedTable] = {}
         self._latest: dict[str, int] = {}
         self._auto: dict[str, dict] = {}
         self._lock = threading.RLock()
-        self._executor = ThreadPoolExecutor(
-            max_workers=n_workers, thread_name_prefix="vecserve"
-        )
-        self.batcher: VectorQueryBatcher | None = (
-            VectorQueryBatcher(
-                run_batch=self._run_batch,
-                max_batch_size=max_batch_size,
-                max_wait_s=batch_wait_s,
-            )
-            if batch_queries
-            else None
-        )
-        self._compaction_thread: threading.Thread | None = None
-        self._compaction_stop = threading.Event()
-        self._closed = False
-        if embeddings is not None:
-            embeddings.add_register_listener(self._on_register)
-            embeddings.attach_vector_service(self)
+        self._n_workers = n_workers
+        self._batch_queries = batch_queries
+        self._max_batch_size = max_batch_size
+        self._batch_wait_s = batch_wait_s
+        self._executor: ThreadPoolExecutor | None = None
+        self.batcher: VectorQueryBatcher | None = None
+        self._compaction_task: PeriodicTask | None = None
+        self.start()  # historical contract: constructed == running
 
     # -- lifecycle ------------------------------------------------------------
 
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+    def _on_start(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._n_workers, thread_name_prefix="vecserve"
+        )
+        if self._batch_queries:
+            self.batcher = VectorQueryBatcher(
+                run_batch=self._run_batch,
+                max_batch_size=self._max_batch_size,
+                max_wait_s=self._batch_wait_s,
+            )
+        if self.embeddings is not None:
+            self.embeddings.add_register_listener(self._on_register)
+            self.embeddings.attach_vector_service(self)
+
+    def _on_stop(self) -> None:
         self.stop_auto_compaction()
         if self.batcher is not None:
             self.batcher.stop()
         if self.embeddings is not None:
             self.embeddings.remove_register_listener(self._on_register)
             self.embeddings.attach_vector_service(None)
-        self._executor.shutdown(wait=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
 
-    def __enter__(self) -> "VectorService":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def health(self) -> dict[str, object]:
+        record = super().health()
+        record["tables"] = len(self.served_tables())
+        if self.batcher is not None:
+            record["batcher"] = self.batcher.health()
+        if self._compaction_task is not None:
+            record["auto_compaction"] = self._compaction_task.health()
+        return record
 
     # -- table management -----------------------------------------------------
 
@@ -283,6 +314,8 @@ class VectorService:
         metrics = VectorServeMetrics(
             serving=self.serving_metrics,
             mirror_endpoint=f"vector_search:{name}",
+            registry=self.registry,
+            table=f"{name}:v{version}",
         )
         sharded = ShardedVectorIndex(
             dim=vectors.shape[1],
@@ -427,6 +460,7 @@ class VectorService:
         directly. Either way a sampled shadow query may feed the recall
         monitor.
         """
+        self._check_running("serve queries")
         table = self._resolve(name, version)
         if self.batcher is not None and deadline_s is None:
             future = self.batcher.submit(
@@ -446,6 +480,7 @@ class VectorService:
         deadline_s: float | None = None,
     ) -> list[ShardedSearchResult]:
         """Explicitly batched top-k (one fan-out for the whole batch)."""
+        self._check_running("serve queries")
         table = self._resolve(name, version)
         results = table.sharded.search_batch(queries, k, deadline_s=deadline_s)
         for query, result in zip(np.asarray(queries, dtype=float), results):
@@ -512,30 +547,26 @@ class VectorService:
     def start_auto_compaction(
         self, interval_s: float = 0.05, max_pending: int = 256
     ) -> None:
-        """Background compaction loop (daemon thread): every
-        ``interval_s`` seconds, fold any delta larger than
-        ``max_pending`` into a new sealed generation."""
+        """Background compaction loop (a :class:`~repro.runtime.PeriodicTask`):
+        every ``interval_s`` seconds, fold any delta larger than
+        ``max_pending`` into a new sealed generation. Exceptions in one
+        pass are contained by the task; maintenance keeps ticking."""
         if interval_s <= 0:
             raise ValidationError(f"interval_s must be positive ({interval_s=})")
-        if self._compaction_thread is not None:
+        if self._compaction_task is not None:
             return
-
-        def loop() -> None:
-            while not self._compaction_stop.wait(interval_s):
-                self.maybe_compact(max_pending)
-
-        self._compaction_stop.clear()
-        self._compaction_thread = threading.Thread(
-            target=loop, name="vecserve-autocompact", daemon=True
+        self._compaction_task = PeriodicTask(
+            lambda: self.maybe_compact(max_pending),
+            interval_s=interval_s,
+            name="vecserve-autocompact",
         )
-        self._compaction_thread.start()
+        self._compaction_task.start()
 
     def stop_auto_compaction(self) -> None:
-        if self._compaction_thread is None:
+        if self._compaction_task is None:
             return
-        self._compaction_stop.set()
-        self._compaction_thread.join(timeout=2.0)
-        self._compaction_thread = None
+        self._compaction_task.stop()
+        self._compaction_task = None
 
     # -- introspection --------------------------------------------------------
 

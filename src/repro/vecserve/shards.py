@@ -15,16 +15,15 @@ lock makes the snapshot+delta *merge view* consistent — a reader never
 sees a swap or an upsert halfway through.
 
 Scatter-gather degrades instead of failing: a per-query deadline bounds
-the gather, shards that miss it (or raise — the per-shard fault injector
-reuses :class:`repro.serving.faults.FaultPolicy` to rehearse exactly
-that) are simply left out, and the merged result is marked ``partial``
-with the miss count, mirroring the serving gateway's
-stale-over-unavailable philosophy.
+the gather, shards that miss it (or raise — the per-shard
+:class:`~repro.runtime.resilience.FaultInjector` rehearses exactly that)
+are simply left out, and the merged result is marked ``partial`` with the
+miss count, mirroring the serving gateway's stale-over-unavailable
+philosophy.
 """
 
 from __future__ import annotations
 
-import random
 import threading
 import time
 import zlib
@@ -35,7 +34,7 @@ import numpy as np
 
 from repro.errors import TransientStoreError, ValidationError
 from repro.index.base import RWLock, SearchResult
-from repro.serving.faults import FaultPolicy
+from repro.runtime.resilience import FaultInjector, FaultPolicy
 from repro.vecserve.delta import DeltaIndex
 from repro.vecserve.monitor import VectorServeMetrics
 from repro.vecserve.snapshot import (
@@ -251,10 +250,9 @@ class ShardedVectorIndex:
         self.default_deadline_s = default_deadline_s
         self.metrics = metrics or VectorServeMetrics()
         self.fault_policy = fault_policy
-        self._fault_rng = random.Random(
-            fault_policy.seed if fault_policy else None
+        self._fault = (
+            FaultInjector(fault_policy) if fault_policy is not None else None
         )
-        self._fault_lock = threading.Lock()
         self._owns_executor = executor is None
         self._executor = executor or ThreadPoolExecutor(
             max_workers=n_workers or min(8, max(2, n_shards)),
@@ -339,23 +337,9 @@ class ShardedVectorIndex:
     # -- read path ------------------------------------------------------------
 
     def _inject_fault(self) -> None:
-        policy = self.fault_policy
-        if policy is None:
-            return
-        if policy.base_latency_s > 0 or policy.per_key_latency_s > 0:
-            time.sleep(policy.base_latency_s + policy.per_key_latency_s)
-        with self._fault_lock:
-            roll = self._fault_rng.random()
-        if roll < policy.timeout_rate:
-            if policy.timeout_latency_s > 0:
-                time.sleep(policy.timeout_latency_s)
-            raise TransientStoreError(
-                f"injected shard timeout (rate={policy.timeout_rate})"
-            )
-        if roll < policy.timeout_rate + policy.error_rate:
-            raise TransientStoreError(
-                f"injected shard error (rate={policy.error_rate})"
-            )
+        """One per-shard-call roll through the shared injector engine."""
+        if self._fault is not None:
+            self._fault.inject(n_keys=1)
 
     def _shard_query(
         self, shard: VectorShard, normalized_query: np.ndarray, k: int

@@ -1,0 +1,392 @@
+"""Tests for repro.runtime.lifecycle: the state machine under every plane.
+
+The contracts exercised here are exactly the ones the planes rely on:
+idempotent double-close, stop() racing in-flight work, ServiceGroup's
+forward-start / reverse-drain ordering with mid-start rollback, and
+PeriodicTask's exception containment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime import (
+    LifecycleError,
+    PeriodicTask,
+    Service,
+    ServiceGroup,
+    ServiceState,
+    await_condition,
+)
+from repro.runtime.lifecycle import _ServiceAdapter
+
+
+class Recorder(Service):
+    """A service that records its lifecycle hook invocations."""
+
+    def __init__(self, name: str, journal: list[str] | None = None) -> None:
+        super().__init__(name=name)
+        self.journal = journal if journal is not None else []
+        self.start_calls = 0
+        self.stop_calls = 0
+
+    def _on_start(self) -> None:
+        self.start_calls += 1
+        self.journal.append(f"start:{self.name}")
+
+    def _on_stop(self) -> None:
+        self.stop_calls += 1
+        self.journal.append(f"stop:{self.name}")
+        super()._on_stop()
+
+
+class ExplodingService(Service):
+    def _on_start(self) -> None:
+        raise RuntimeError("boom at startup")
+
+
+class TestServiceStateMachine:
+    def test_initial_state_is_new(self):
+        service = Recorder("s")
+        assert service.state is ServiceState.NEW
+        assert not service.running
+
+    def test_start_transitions_to_running(self):
+        service = Recorder("s")
+        assert service.start() is service  # fluent
+        assert service.state is ServiceState.RUNNING
+        assert service.running
+        service.stop()
+
+    def test_start_is_idempotent_while_running(self):
+        service = Recorder("s")
+        service.start()
+        service.start()
+        service.start()
+        assert service.start_calls == 1
+        service.stop()
+
+    def test_stop_is_idempotent_double_close(self):
+        """The satellite regression: double-close must be a no-op."""
+        service = Recorder("s")
+        service.start()
+        service.stop()
+        service.stop()
+        service.close()  # close is an alias of stop
+        assert service.stop_calls == 1
+        assert service.state is ServiceState.STOPPED
+
+    def test_stop_before_start_skips_on_stop(self):
+        service = Recorder("s")
+        service.stop()
+        assert service.stop_calls == 0
+        assert service.state is ServiceState.STOPPED
+
+    def test_no_restart_after_stop(self):
+        service = Recorder("s")
+        service.start()
+        service.stop()
+        with pytest.raises(LifecycleError, match="do not restart"):
+            service.start()
+
+    def test_failed_start_moves_to_failed(self):
+        service = ExplodingService(name="bad")
+        with pytest.raises(RuntimeError, match="boom"):
+            service.start()
+        assert service.state is ServiceState.FAILED
+        assert "boom" in service.health().get("failure", "")
+
+    def test_lifecycle_error_is_a_validation_error(self):
+        """Pre-runtime callers caught ValidationError on submit-after-stop."""
+        assert issubclass(LifecycleError, ValidationError)
+
+    def test_context_manager_starts_and_stops(self):
+        service = Recorder("s")
+        with service as entered:
+            assert entered is service
+            assert service.running
+        assert service.state is ServiceState.STOPPED
+
+    def test_check_running_guard(self):
+        service = Recorder("s")
+        with pytest.raises(LifecycleError, match="cannot submit work"):
+            service._check_running()
+        service.start()
+        service._check_running()  # no raise
+        service.stop()
+        with pytest.raises(LifecycleError, match="cannot accept frob"):
+            service._check_running("accept frob")
+
+
+class TestConcurrentStop:
+    def test_concurrent_stops_run_on_stop_once(self):
+        service = Recorder("s")
+        service.start()
+        barrier = threading.Barrier(8)
+
+        def stopper():
+            barrier.wait()
+            service.stop()
+
+        threads = [threading.Thread(target=stopper) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert service.stop_calls == 1
+        assert service.state is ServiceState.STOPPED
+
+    def test_stop_during_inflight_work_drains_first(self):
+        """stop() returning implies the worker has fully drained."""
+
+        class Inflight(Service):
+            def __init__(self):
+                super().__init__(name="inflight")
+                self.work_started = threading.Event()
+                self.drained = False
+
+            def _on_start(self):
+                self._spawn(self._work)
+
+            def _work(self):
+                self.work_started.set()
+                # Simulated in-flight request: runs until the stop signal,
+                # then a little longer (the drain window).
+                self._stop_event.wait(timeout=5.0)
+                time.sleep(0.02)
+                self.drained = True
+
+        service = Inflight()
+        service.start()
+        assert service.work_started.wait(timeout=2.0)
+        service.stop()
+        # stop() joined the worker: by the time it returns, the in-flight
+        # work has completed its drain, not been abandoned mid-air.
+        assert service.drained
+        assert all(not t.is_alive() for t in service._threads)
+
+    def test_spawned_threads_are_joined_on_stop(self):
+        class Spawner(Service):
+            def _on_start(self):
+                for __ in range(3):
+                    self._spawn(lambda: self._stop_event.wait(5.0))
+
+        service = Spawner(name="spawner")
+        service.start()
+        assert sum(t.is_alive() for t in service._threads) == 3
+        service.stop()
+        assert all(not t.is_alive() for t in service._threads)
+
+
+class TestHealth:
+    def test_health_record_shape(self):
+        service = Recorder("probe")
+        record = service.health()
+        assert record["name"] == "probe"
+        assert record["state"] == "new"
+        assert record["healthy"] is False
+        service.start()
+        record = service.health()
+        assert record["state"] == "running"
+        assert record["healthy"] is True
+        service.stop()
+        assert service.health()["healthy"] is False
+
+
+class TestPeriodicTask:
+    def test_runs_repeatedly_until_stopped(self):
+        hits = []
+        task = PeriodicTask(lambda: hits.append(1), interval_s=0.005)
+        task.start()
+        assert await_condition(lambda: len(hits) >= 3, timeout_s=2.0)
+        task.stop()
+        settled = len(hits)
+        time.sleep(0.03)
+        assert len(hits) == settled  # no ticks after stop
+
+    def test_exceptions_are_contained(self):
+        """One failed pass must not kill background maintenance forever."""
+
+        def flaky():
+            flaky.calls += 1
+            if flaky.calls == 1:
+                raise RuntimeError("first pass explodes")
+
+        flaky.calls = 0
+        task = PeriodicTask(flaky, interval_s=0.005, name="flaky-sweep")
+        task.start()
+        assert await_condition(lambda: flaky.calls >= 3, timeout_s=2.0)
+        task.stop()
+        assert task.errors == 1
+        assert isinstance(task.last_error, RuntimeError)
+        assert task.ticks >= 3
+
+    def test_health_includes_tick_counters(self):
+        task = PeriodicTask(lambda: None, interval_s=0.005)
+        task.start()
+        assert await_condition(lambda: task.ticks >= 1, timeout_s=2.0)
+        task.stop()
+        record = task.health()
+        assert record["ticks"] >= 1
+        assert record["errors"] == 0
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValidationError, match="interval_s"):
+            PeriodicTask(lambda: None, interval_s=0.0)
+
+
+class TestServiceAdapter:
+    def test_wraps_legacy_start_stop_object(self):
+        class Legacy:
+            def __init__(self):
+                self.log = []
+
+            def start(self):
+                self.log.append("start")
+
+            def stop(self):
+                self.log.append("stop")
+
+        legacy = Legacy()
+        adapter = _ServiceAdapter(legacy)
+        adapter.start()
+        adapter.stop()
+        assert legacy.log == ["start", "stop"]
+        assert adapter.name == "Legacy"
+
+    def test_prefers_stop_over_close_over_shutdown(self):
+        class CloserOnly:
+            def __init__(self):
+                self.closed = 0
+
+            def close(self):
+                self.closed += 1
+
+        closer = CloserOnly()
+        adapter = _ServiceAdapter(closer, name="closer")
+        adapter.start()  # no start() on wrapped: fine
+        adapter.stop()
+        assert closer.closed == 1
+
+
+class TestServiceGroup:
+    def test_starts_forward_stops_reverse(self):
+        """The acceptance-criterion ordering: bus → ... → vecserve up,
+        vecserve → ... → bus down."""
+        journal: list[str] = []
+        group = ServiceGroup(name="stack")
+        for name in ("bus", "stores", "gateway", "vecserve"):
+            group.add(Recorder(name, journal))
+        group.start()
+        assert journal == [
+            "start:bus",
+            "start:stores",
+            "start:gateway",
+            "start:vecserve",
+        ]
+        group.stop()
+        assert journal[4:] == [
+            "stop:vecserve",
+            "stop:gateway",
+            "stop:stores",
+            "stop:bus",
+        ]
+
+    def test_mid_start_failure_rolls_back_started_members(self):
+        """Later services never start; earlier ones are drained."""
+        journal: list[str] = []
+        group = ServiceGroup(name="stack")
+        first = group.add(Recorder("first", journal))
+        second = group.add(Recorder("second", journal))
+        group.add(ExplodingService(name="third"))
+        never = group.add(Recorder("never", journal))
+
+        with pytest.raises(RuntimeError, match="boom"):
+            group.start()
+
+        assert group.state is ServiceState.FAILED
+        # Rollback drained in reverse; the fourth service never started.
+        assert journal == [
+            "start:first",
+            "start:second",
+            "stop:second",
+            "stop:first",
+        ]
+        assert first.state is ServiceState.STOPPED
+        assert second.state is ServiceState.STOPPED
+        assert never.state is ServiceState.NEW
+
+    def test_one_bad_stop_does_not_block_the_drain(self):
+        class BadStopper(Recorder):
+            def _on_stop(self):
+                super()._on_stop()
+                raise RuntimeError("refuses to die")
+
+        journal: list[str] = []
+        group = ServiceGroup()
+        group.add(Recorder("a", journal))
+        group.add(BadStopper("bad", journal))
+        group.add(Recorder("c", journal))
+        group.start()
+        with pytest.raises(RuntimeError, match="refuses to die"):
+            group.stop()
+        # Every member was still drained despite the failure in the middle.
+        assert journal[3:] == ["stop:c", "stop:bad", "stop:a"]
+        assert group.state is ServiceState.STOPPED
+
+    def test_add_after_start_is_rejected(self):
+        group = ServiceGroup()
+        group.add(Recorder("a"))
+        group.start()
+        with pytest.raises(LifecycleError, match="after start"):
+            group.add(Recorder("b"))
+        group.stop()
+
+    def test_add_returns_original_object_for_fluent_wiring(self):
+        group = ServiceGroup()
+        service = Recorder("a")
+        assert group.add(service) is service
+
+        class Legacy:
+            def stop(self):
+                pass
+
+        legacy = Legacy()
+        assert group.add(legacy, name="legacy") is legacy
+        assert group.start_order() == ["a", "legacy"]
+
+    def test_health_aggregates_members(self):
+        group = ServiceGroup(name="stack")
+        a = group.add(Recorder("a"))
+        group.add(Recorder("b"))
+        group.start()
+        record = group.health()
+        assert record["healthy"] is True
+        assert [m["name"] for m in record["services"]] == ["a", "b"]
+        a.stop()  # degrade one member out-of-band
+        assert group.health()["healthy"] is False
+        group.stop()
+
+    def test_group_double_close_is_idempotent(self):
+        journal: list[str] = []
+        group = ServiceGroup()
+        group.add(Recorder("a", journal))
+        group.start()
+        group.stop()
+        group.stop()
+        group.close()
+        assert journal == ["start:a", "stop:a"]
+
+
+class TestAwaitCondition:
+    def test_true_immediately(self):
+        assert await_condition(lambda: True, timeout_s=0.1)
+
+    def test_times_out_on_false(self):
+        start = time.monotonic()
+        assert not await_condition(lambda: False, timeout_s=0.05)
+        assert time.monotonic() - start >= 0.05

@@ -1,0 +1,250 @@
+"""Tests for repro.runtime.resilience: faults, deadlines, retries.
+
+This is the machinery that used to live in ``repro.serving.faults`` and
+was imported upward by the vector plane; the tests pin the behaviors the
+two wrappers (store wrapper, shard fan-out) both depend on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    TransientStoreError,
+    ValidationError,
+)
+from repro.runtime import (
+    Deadline,
+    FaultInjector,
+    FaultPolicy,
+    RetryPolicy,
+    retry_call,
+)
+
+
+class TestFaultPolicy:
+    def test_defaults_are_benign(self):
+        policy = FaultPolicy()
+        policy.validate()
+        assert policy.timeout_rate == 0.0
+        assert policy.error_rate == 0.0
+
+    def test_validate_rejects_bad_rates(self):
+        with pytest.raises(ValidationError, match="timeout_rate"):
+            FaultPolicy(timeout_rate=1.5).validate()
+        with pytest.raises(ValidationError, match="error_rate"):
+            FaultPolicy(error_rate=-0.1).validate()
+        with pytest.raises(ValidationError, match="base_latency_s"):
+            FaultPolicy(base_latency_s=-1.0).validate()
+
+    def test_frozen(self):
+        policy = FaultPolicy(seed=7)
+        with pytest.raises(AttributeError):
+            policy.timeout_rate = 0.5
+
+
+class TestFaultInjector:
+    def test_benign_policy_never_raises(self):
+        injector = FaultInjector(FaultPolicy(seed=0))
+        for __ in range(100):
+            injector.inject()
+        assert injector.calls.value == 100
+        assert injector.injected_timeouts.value == 0
+        assert injector.injected_errors.value == 0
+
+    def test_constructor_validates_policy(self):
+        with pytest.raises(ValidationError):
+            FaultInjector(FaultPolicy(timeout_rate=2.0))
+
+    def test_seeded_rolls_are_deterministic(self):
+        a = FaultInjector(FaultPolicy(seed=42))
+        b = FaultInjector(FaultPolicy(seed=42))
+        assert [a.roll() for __ in range(20)] == [b.roll() for __ in range(20)]
+
+    def test_certain_timeout_raises_transient(self):
+        injector = FaultInjector(FaultPolicy(timeout_rate=1.0, seed=1))
+        with pytest.raises(TransientStoreError, match="injected timeout"):
+            injector.inject()
+        assert injector.injected_timeouts.value == 1
+
+    def test_certain_error_raises_transient(self):
+        injector = FaultInjector(FaultPolicy(error_rate=1.0, seed=1))
+        with pytest.raises(TransientStoreError, match="injected error"):
+            injector.inject()
+        assert injector.injected_errors.value == 1
+
+    def test_rates_roughly_respected(self):
+        injector = FaultInjector(
+            FaultPolicy(timeout_rate=0.3, error_rate=0.3, seed=123)
+        )
+        outcomes = {"ok": 0, "fault": 0}
+        for __ in range(500):
+            try:
+                injector.inject()
+                outcomes["ok"] += 1
+            except TransientStoreError:
+                outcomes["fault"] += 1
+        # 60% combined fault rate: allow a generous band.
+        assert 0.5 <= outcomes["fault"] / 500 <= 0.7
+        assert (
+            injector.injected_timeouts.value + injector.injected_errors.value
+            == outcomes["fault"]
+        )
+
+    def test_per_key_latency_scales_with_batch_width(self):
+        injector = FaultInjector(
+            FaultPolicy(base_latency_s=0.0, per_key_latency_s=0.002, seed=0)
+        )
+        start = time.monotonic()
+        injector.inject(n_keys=10)
+        assert time.monotonic() - start >= 0.015  # ~20ms requested
+
+    def test_policy_is_swappable_at_runtime(self):
+        """The store wrapper's tests mutate the policy mid-run."""
+        injector = FaultInjector(FaultPolicy(seed=0))
+        injector.inject()  # benign
+        injector.policy = FaultPolicy(error_rate=1.0)
+        with pytest.raises(TransientStoreError):
+            injector.inject()
+
+    def test_thread_safe_rolls(self):
+        injector = FaultInjector(FaultPolicy(seed=0))
+        rolls: list[float] = []
+        lock = threading.Lock()
+
+        def roller():
+            local = [injector.roll() for __ in range(200)]
+            with lock:
+                rolls.extend(local)
+
+        threads = [threading.Thread(target=roller) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(rolls) == 800
+        assert all(0.0 <= r < 1.0 for r in rolls)
+
+
+class TestDeadline:
+    def test_positive_budget_not_expired(self):
+        deadline = Deadline.after(10.0)
+        assert not deadline.expired
+        assert 9.0 < deadline.remaining() <= 10.0
+
+    def test_non_positive_budget_is_already_expired(self):
+        """Negative deadline means "fail fast", not a config error."""
+        assert Deadline.after(0.0).expired
+        assert Deadline.after(-1.0).expired
+        assert Deadline.after(-1.0).remaining() <= -1.0 + 0.01
+
+    def test_sleep_clamped_to_remaining(self):
+        deadline = Deadline.after(0.02)
+        start = time.monotonic()
+        deadline.sleep(5.0)  # must not actually sleep 5 seconds
+        assert time.monotonic() - start < 1.0
+
+    def test_sleep_on_expired_deadline_returns_immediately(self):
+        deadline = Deadline.after(-1.0)
+        start = time.monotonic()
+        deadline.sleep(5.0)
+        assert time.monotonic() - start < 0.1
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_s=0.01, multiplier=2.0, max_backoff_s=0.05, max_retries=10
+        )
+        assert policy.backoff_for(1) == pytest.approx(0.01)
+        assert policy.backoff_for(2) == pytest.approx(0.02)
+        assert policy.backoff_for(3) == pytest.approx(0.04)
+        assert policy.backoff_for(4) == pytest.approx(0.05)  # capped
+        assert policy.backoff_for(9) == pytest.approx(0.05)
+
+    def test_validate(self):
+        with pytest.raises(ValidationError, match="max_retries"):
+            RetryPolicy(max_retries=-1).validate()
+        with pytest.raises(ValidationError, match="multiplier"):
+            RetryPolicy(multiplier=0.5).validate()
+
+
+class TestRetryCall:
+    def test_success_first_try(self):
+        assert retry_call(lambda: 42) == 42
+
+    def test_retries_transient_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientStoreError("blip")
+            return "ok"
+
+        retried: list[BaseException] = []
+        result = retry_call(
+            flaky,
+            retry=RetryPolicy(max_retries=5, backoff_s=0.0),
+            on_retry=retried.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(retried) == 2
+
+    def test_exhausted_retries_reraise_last_error(self):
+        def always_fails():
+            raise TransientStoreError("down hard")
+
+        with pytest.raises(TransientStoreError, match="down hard"):
+            retry_call(
+                always_fails, retry=RetryPolicy(max_retries=2, backoff_s=0.0)
+            )
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_call(wrong_kind, retry=RetryPolicy(max_retries=5))
+        assert calls["n"] == 1
+
+    def test_expired_deadline_raises_deadline_exceeded(self):
+        def never_called():  # pragma: no cover - must not run
+            raise AssertionError("fn ran past an expired deadline")
+
+        with pytest.raises(DeadlineExceededError, match="0 attempt"):
+            retry_call(never_called, deadline=Deadline.after(-1.0))
+
+    def test_deadline_exhaustion_chains_last_failure(self):
+        def always_fails():
+            raise TransientStoreError("blip")
+
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            retry_call(
+                always_fails,
+                retry=RetryPolicy(max_retries=1000, backoff_s=0.002),
+                deadline=Deadline.after(0.02),
+            )
+        assert isinstance(excinfo.value.__cause__, TransientStoreError)
+
+    def test_custom_retry_on(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("socket reset")
+            return "ok"
+
+        policy = RetryPolicy(
+            max_retries=2, backoff_s=0.0, retry_on=(OSError,)
+        )
+        assert retry_call(flaky, retry=policy) == "ok"

@@ -1,0 +1,322 @@
+"""Tests for repro.runtime.telemetry: primitives, registry, exporters.
+
+The registry contract under test is the acceptance criterion of the
+runtime refactor: one registry shared by every plane's metrics facade
+yields one flat exportable view, and the Prometheus exporter covers
+*every* registered series.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_thread_safe_under_contention(self):
+        counter = Counter()
+
+        def hammer():
+            for __ in range(2000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 16000
+
+
+class TestGauge:
+    def test_inc_dec_set(self):
+        gauge = Gauge()
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 2
+        gauge.set(10)
+        assert gauge.value == 10
+
+    def test_peak_survives_the_storm(self):
+        gauge = Gauge()
+        gauge.inc(50)
+        gauge.dec(50)
+        assert gauge.value == 0
+        assert gauge.peak == 50  # snapshot after the storm still shows depth
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean() == 0.0
+        assert hist.percentile(99) == 0.0
+
+    def test_rejects_negative_latency(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValidationError, match="negative"):
+            hist.record(-0.001)
+
+    def test_percentile_bounds_validated(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValidationError, match="percentile"):
+            hist.percentile(101)
+        with pytest.raises(ValidationError, match="percentile"):
+            hist.percentile(-1)
+
+    def test_percentile_within_bucket_tolerance(self):
+        """Log-bucketed estimate: exact to within one sqrt(2) bucket."""
+        hist = LatencyHistogram()
+        for __ in range(100):
+            hist.record(0.010)  # 10ms
+        p50 = hist.percentile(50)
+        # One sqrt(2)-growth bucket is ±~41% worst case; the geometric
+        # midpoint keeps the error well inside [value/sqrt(2), value*sqrt(2)].
+        assert 0.010 / 1.5 <= p50 <= 0.010 * 1.5
+
+    def test_percentiles_order_and_mean(self):
+        hist = LatencyHistogram()
+        for __ in range(95):
+            hist.record(0.001)
+        for __ in range(5):
+            hist.record(0.100)
+        assert hist.percentile(50) < hist.percentile(99)
+        assert hist.percentile(99) > 0.05  # tail dominated by the slow 5%
+        expected_mean = (95 * 0.001 + 5 * 0.100) / 100
+        assert hist.mean() == pytest.approx(expected_mean)
+
+    def test_summary_keys(self):
+        hist = LatencyHistogram()
+        hist.record(0.002)
+        summary = hist.summary()
+        assert set(summary) == {"count", "mean_s", "p50_s", "p95_s", "p99_s"}
+        assert summary["count"] == 1.0
+
+    def test_sub_microsecond_clamps_to_first_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(1e-9)
+        assert hist.count == 2
+        assert hist.percentile(50) > 0.0  # bucket midpoint, never negative
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        """The Prometheus convention: same identity, same instance —
+        this is what makes two facades on one registry truly share."""
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", endpoint="read")
+        b = registry.counter("requests_total", endpoint="read")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_label_values_distinguish_series(self):
+        registry = MetricsRegistry()
+        read = registry.counter("requests_total", endpoint="read")
+        write = registry.counter("requests_total", endpoint="write")
+        assert read is not write
+        assert len(registry) == 2
+        assert registry.names() == ["requests_total"]
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("lag", partition="0", group="g")
+        b = registry.gauge("lag", group="g", partition="0")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("mixed_up")
+        with pytest.raises(ValidationError, match="already registered as counter"):
+            registry.gauge("mixed_up")
+        with pytest.raises(ValidationError, match="requested histogram"):
+            registry.histogram("mixed_up")
+
+    def test_name_validation(self):
+        registry = MetricsRegistry()
+        for bad in ("", "9starts_with_digit", "has space", "has-dash", "ünïcode"):
+            with pytest.raises(ValidationError, match="metric name"):
+                registry.counter(bad)
+        # Colons and underscores are legal Prometheus name characters.
+        registry.counter("repro:requests_total")
+
+    def test_collect_is_sorted_and_labelled(self):
+        registry = MetricsRegistry()
+        registry.counter("b_metric")
+        registry.counter("a_metric", shard="1")
+        registry.counter("a_metric", shard="0")
+        collected = registry.collect()
+        assert [(name, labels) for name, labels, __ in collected] == [
+            ("a_metric", {"shard": "0"}),
+            ("a_metric", {"shard": "1"}),
+            ("b_metric", {}),
+        ]
+
+    def test_non_string_label_values_coerced(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("lag", partition=0)
+        b = registry.gauge("lag", partition="0")
+        assert a is b
+
+
+class TestSnapshotExporter:
+    def test_snapshot_shape_per_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(3)
+        gauge = registry.gauge("depth")
+        gauge.inc(7)
+        gauge.dec(2)
+        registry.histogram("latency_seconds").record(0.004)
+
+        snap = registry.snapshot()
+        assert snap["hits_total"] == [
+            {"labels": {}, "type": "counter", "value": 3}
+        ]
+        assert snap["depth"] == [
+            {"labels": {}, "type": "gauge", "value": 5, "peak": 7}
+        ]
+        (hist_entry,) = snap["latency_seconds"]
+        assert hist_entry["type"] == "histogram"
+        assert hist_entry["count"] == 1.0
+        assert {"mean_s", "p50_s", "p95_s", "p99_s"} <= set(hist_entry)
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", plane="serving").inc()
+        parsed = json.loads(registry.to_json())
+        assert parsed["hits_total"][0]["labels"] == {"plane": "serving"}
+
+
+class TestPrometheusExporter:
+    def test_covers_every_registered_series(self):
+        """Acceptance criterion: nothing registered is missing from the
+        exposition, across all three kinds and labelled/unlabelled series."""
+        registry = MetricsRegistry()
+        registry.counter("bus_produced_total").inc(10)
+        registry.counter("serving_requests_total", endpoint="read").inc(2)
+        registry.counter("serving_requests_total", endpoint="write").inc(1)
+        registry.gauge("bus_consumer_lag", partition="0").set(4)
+        registry.histogram("serving_latency_seconds", endpoint="read").record(
+            0.003
+        )
+
+        text = registry.to_prometheus()
+        for name, labels, __ in registry.collect():
+            base = name if not labels else name + "{"
+            assert any(
+                line.startswith(base) for line in text.splitlines()
+            ), f"series {name}{labels} missing from exposition"
+
+    def test_counter_line_and_type_header(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", plane="bus").inc(5)
+        lines = registry.to_prometheus().splitlines()
+        assert "# TYPE hits_total counter" in lines
+        assert 'hits_total{plane="bus"} 5' in lines
+
+    def test_gauge_exports_peak_series(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.inc(9)
+        gauge.dec(9)
+        lines = registry.to_prometheus().splitlines()
+        assert "queue_depth 0" in lines
+        assert "queue_depth_peak 9" in lines
+        assert "# TYPE queue_depth_peak gauge" in lines
+
+    def test_histogram_exports_summary_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", endpoint="read")
+        hist.record(0.010)
+        hist.record(0.020)
+        text = registry.to_prometheus()
+        assert "# TYPE lat_seconds summary" in text
+        assert 'lat_seconds{endpoint="read",quantile="0.5"}' in text
+        assert 'lat_seconds{endpoint="read",quantile="0.99"}' in text
+        assert 'lat_seconds_count{endpoint="read"} 2' in text
+        assert 'lat_seconds_sum{endpoint="read"} 0.03' in text
+
+    def test_empty_registry_exports_empty_string(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_type_header_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", endpoint="a")
+        registry.counter("hits_total", endpoint="b")
+        lines = registry.to_prometheus().splitlines()
+        assert lines.count("# TYPE hits_total counter") == 1
+
+
+class TestDefaultRegistry:
+    def test_get_registry_is_stable(self):
+        assert get_registry() is get_registry()
+
+    def test_set_registry_swaps_and_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            restored = set_registry(previous)
+            assert restored is fresh
+        assert get_registry() is previous
+
+
+class TestSharedRegistryAcrossFacades:
+    def test_one_registry_one_pane(self):
+        """Three plane facades on one registry: a single flat export."""
+        from repro.bus import BusMetrics
+        from repro.serving import ServingMetrics
+        from repro.vecserve import VectorServeMetrics
+
+        registry = MetricsRegistry()
+        serving = ServingMetrics(registry=registry)
+        bus = BusMetrics(registry=registry)
+        vec = VectorServeMetrics(registry=registry)
+
+        read = serving.endpoint("read")
+        read.requests.inc()
+        read.latency.record(0.002)
+        bus.produced.inc(3)
+        bus.produced_bytes.inc(300)
+        vec.record_query(0.004, partial=False, missed=0)
+
+        names = registry.names()
+        assert any(name.startswith("serving_") for name in names)
+        assert any(name.startswith("bus_") for name in names)
+        assert any(name.startswith("vecserve_") for name in names)
+
+        # Every plane's series shows up in the single Prometheus pane.
+        text = registry.to_prometheus()
+        assert "bus_produced_total 3" in text
+        assert "vecserve_queries_total 1" in text
+
+    def test_private_registries_by_default(self):
+        """Facades without an explicit registry stay isolated (the
+        pre-refactor behavior tests rely on)."""
+        from repro.serving import ServingMetrics
+
+        a = ServingMetrics()
+        b = ServingMetrics()
+        a.endpoint("read").requests.inc()
+        assert b.endpoint("read").requests.value == 0

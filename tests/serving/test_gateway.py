@@ -445,3 +445,48 @@ class TestVectorServing:
         with make_gateway(online, embeddings) as gateway:
             with pytest.raises(ValidationError):
                 gateway.search_neighbors("ent", np.zeros(DIM), k=3)
+
+
+class TestStopDuringInflight:
+    """Runtime-kernel regression: close() racing live request threads."""
+
+    def test_close_while_clients_hammer_the_read_path(self, online):
+        from repro.runtime import LifecycleError, ServiceState
+
+        gateway = make_gateway(online, enable_cache=False)
+        unexpected: list[BaseException] = []
+        served = {"n": 0}
+        start_gate = threading.Event()
+
+        def client():
+            start_gate.wait()
+            i = 0
+            while True:
+                try:
+                    value = gateway.get_features("stats", i % N_ENTITIES)
+                    if value is not None:
+                        served["n"] += 1
+                except (LifecycleError, ValidationError):
+                    return  # draining: expected rejection
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    unexpected.append(exc)
+                    return
+                i += 1
+
+        clients = [threading.Thread(target=client) for __ in range(4)]
+        for thread in clients:
+            thread.start()
+        start_gate.set()
+        while served["n"] < 50:  # make sure the race is real
+            pass
+        gateway.close()
+        gateway.close()  # double-close stays a no-op under load
+        for thread in clients:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in clients)
+        assert unexpected == []
+        assert gateway.state is ServiceState.STOPPED
+        # Every worker the gateway (and its batcher) owned has exited.
+        assert all(not t.is_alive() for t in gateway._threads)
+        if gateway.batcher is not None:
+            assert all(not t.is_alive() for t in gateway.batcher._threads)

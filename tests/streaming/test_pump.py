@@ -1,0 +1,171 @@
+"""Tests for repro.streaming.pump: queue-fed ingestion on the runtime.
+
+Contracts: submit-then-drain never loses a batch, stop() drains queued
+work before the worker exits, end state matches the synchronous
+processor, and the Service lifecycle guards the producer path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.datagen.streams import StreamConfig, StreamEvent, generate_stream
+from repro.errors import ValidationError
+from repro.runtime import LifecycleError, ServiceState
+from repro.storage.offline import OfflineStore
+from repro.storage.online import OnlineStore
+from repro.streaming import StreamFeature, StreamProcessor, StreamPump
+from repro.streaming.windows import EwmaAggregator, SlidingWindowAggregator
+
+
+def make_processor(online, offline, namespace="stream_fx", emit_interval=60.0):
+    return StreamProcessor(
+        features=[
+            StreamFeature("mean_5m", SlidingWindowAggregator("mean", 300.0)),
+            StreamFeature("ewma", EwmaAggregator(half_life=120.0)),
+        ],
+        online=online,
+        offline=offline,
+        namespace=namespace,
+        log_table=f"{namespace}_log",
+        emit_interval=emit_interval,
+    )
+
+
+def make_stream(seed=0, duration=600.0, rate=2.0, entities=10):
+    return generate_stream(
+        StreamConfig(
+            duration=duration, rate_per_second=rate, n_entities=entities, mean=10.0
+        ),
+        seed=seed,
+    ).events
+
+
+@pytest.fixture
+def stores():
+    clock = SimClock()
+    return OnlineStore(clock=clock), OfflineStore()
+
+
+class TestStreamPumpLifecycle:
+    def test_submit_before_start_is_rejected(self, stores):
+        online, offline = stores
+        pump = StreamPump(make_processor(online, offline))
+        with pytest.raises(LifecycleError, match="submit events"):
+            pump.submit([StreamEvent(1.0, 1, 2.0)])
+
+    def test_submit_after_stop_is_rejected(self, stores):
+        online, offline = stores
+        pump = StreamPump(make_processor(online, offline))
+        pump.start()
+        pump.stop()
+        with pytest.raises(LifecycleError, match="stopped"):
+            pump.submit([StreamEvent(1.0, 1, 2.0)])
+
+    def test_double_close_is_idempotent(self, stores):
+        online, offline = stores
+        pump = StreamPump(make_processor(online, offline))
+        pump.start()
+        pump.stop()
+        pump.stop()
+        pump.close()
+        assert pump.state is ServiceState.STOPPED
+
+    def test_rejects_bad_chunk_size(self, stores):
+        online, offline = stores
+        with pytest.raises(ValidationError, match="chunk_size"):
+            StreamPump(make_processor(online, offline), chunk_size=0)
+
+    def test_context_manager(self, stores):
+        online, offline = stores
+        with StreamPump(make_processor(online, offline)) as pump:
+            assert pump.running
+        assert pump.state is ServiceState.STOPPED
+
+
+class TestStreamPumpProcessing:
+    def test_background_processing_reaches_online_store(self, stores):
+        online, offline = stores
+        pump = StreamPump(make_processor(online, offline, emit_interval=10.0))
+        pump.start()
+        pump.submit(
+            [
+                StreamEvent(1.0, 1, 2.0),
+                StreamEvent(5.0, 1, 4.0),
+                StreamEvent(15.0, 1, 6.0),
+            ]
+        )
+        assert pump.wait_until_drained(timeout_s=5.0)
+        pump.stop()
+        got = online.read("stream_fx", 1)
+        assert got is not None
+        assert got["mean_5m"] == pytest.approx(4.0)
+        assert pump.stats.events_processed == 3
+
+    def test_empty_submit_is_a_noop(self, stores):
+        online, offline = stores
+        pump = StreamPump(make_processor(online, offline))
+        pump.start()
+        assert pump.submit([]) == 0
+        assert pump.drained
+        pump.stop()
+        assert pump.events_submitted.value == 0
+
+    def test_stop_drains_queued_batches(self, stores):
+        """Shutdown must not drop submitted work."""
+        online, offline = stores
+        pump = StreamPump(
+            make_processor(online, offline, emit_interval=10.0), chunk_size=8
+        )
+        pump.start()
+        stream = make_stream()
+        total = 0
+        for i in range(0, len(stream), 25):
+            total += pump.submit(stream[i : i + 25])
+        pump.stop()  # no explicit wait: stop() itself must drain
+        assert pump.stats.events_processed == total
+        assert pump.drained
+        assert pump.depth() == 0
+
+    def test_end_state_matches_synchronous_processor(self, stores):
+        """Chunked background processing yields the same aggregator state
+        (last-write-wins online rows) as one monolithic process() call."""
+        online, offline = stores
+        sync_online = OnlineStore(clock=SimClock())
+        sync_offline = OfflineStore()
+        stream = make_stream(seed=3)
+
+        sync = make_processor(sync_online, sync_offline, emit_interval=30.0)
+        sync.process(stream)
+
+        pump = StreamPump(
+            make_processor(online, offline, emit_interval=30.0), chunk_size=64
+        )
+        pump.start()
+        for i in range(0, len(stream), 17):  # ragged batches
+            pump.submit(stream[i : i + 17])
+        assert pump.wait_until_drained(timeout_s=10.0)
+        pump.stop()
+
+        entities = sorted({e.entity_id for e in stream})
+        for entity in entities:
+            expected = sync_online.read("stream_fx", entity)
+            got = online.read("stream_fx", entity)
+            assert got is not None and expected is not None
+            for feature in ("mean_5m", "ewma"):
+                assert got[feature] == pytest.approx(expected[feature]), (
+                    f"entity {entity} feature {feature}"
+                )
+
+    def test_health_record(self, stores):
+        online, offline = stores
+        pump = StreamPump(make_processor(online, offline))
+        pump.start()
+        pump.submit([StreamEvent(1.0, 1, 2.0)])
+        assert pump.wait_until_drained()
+        record = pump.health()
+        assert record["healthy"] is True
+        assert record["events_submitted"] == 1
+        assert record["events_processed"] == 1
+        pump.stop()

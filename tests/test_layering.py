@@ -1,0 +1,67 @@
+"""Tier-1 wiring for the import-DAG lint (tools/check_layering.py).
+
+The lint is the executable form of the DESIGN.md layer diagram: the
+runtime kernel imports nothing above itself, and planes reach each other
+only through package roots. Running it from pytest keeps the DAG a hard
+invariant instead of a convention.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_layering", REPO_ROOT / "tools" / "check_layering.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_layering", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLayering:
+    def test_no_layering_violations(self):
+        checker = _load_checker()
+        violations = checker.run(SRC)
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_lint_detects_runtime_upward_import(self):
+        """The lint itself must catch a runtime → plane edge."""
+        checker = _load_checker()
+        edge = checker.ImportEdge(
+            importer="repro.runtime.telemetry",
+            imported="repro.serving.metrics",
+            lineno=1,
+        )
+        violations = checker.check_edges([edge])
+        assert len(violations) == 1
+        assert "repro.runtime" in violations[0].rule
+
+    def test_lint_detects_cross_plane_internal_import(self):
+        """The historical vecserve → serving.faults violation stays dead."""
+        checker = _load_checker()
+        edge = checker.ImportEdge(
+            importer="repro.vecserve.shards",
+            imported="repro.serving.faults",
+            lineno=1,
+        )
+        violations = checker.check_edges([edge])
+        assert len(violations) == 1
+        assert "package root" in violations[0].rule
+
+    def test_lint_allows_package_root_and_same_plane(self):
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.vecserve.bus_sink", "repro.bus", 1),
+            checker.ImportEdge("repro.bus.sinks", "repro.bus.consumer", 2),
+            checker.ImportEdge("repro.runtime.resilience", "repro.errors", 3),
+            checker.ImportEdge("repro.runtime.lifecycle", "threading", 4),
+        ]
+        assert checker.check_edges(edges) == []

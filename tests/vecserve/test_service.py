@@ -220,3 +220,71 @@ class TestSnapshotShape:
             assert stats["recall_estimate"] == 1.0
             assert stats["queries"] == 1
             assert stats["snapshot_rows"] == 120
+
+
+class TestServiceLifecycle:
+    """Runtime-kernel regressions: idempotent close, stop under load."""
+
+    def test_double_close_is_a_noop(self, corpus):
+        service = VectorService(n_workers=2)
+        _serve(service, corpus)
+        service.close()
+        service.close()
+        service.stop()
+        from repro.runtime import ServiceState
+
+        assert service.state is ServiceState.STOPPED
+
+    def test_query_after_close_raises_lifecycle_error(self, corpus):
+        from repro.runtime import LifecycleError
+
+        service = VectorService(n_workers=2)
+        _serve(service, corpus)
+        service.close()
+        with pytest.raises(LifecycleError):
+            service.search("emb", corpus[1][0], k=1)
+
+    def test_stop_during_inflight_queries(self, corpus):
+        """close() while a thread pool is mid-query must not deadlock or
+        leak; in-flight queries either complete or fail with the
+        lifecycle rejection, never anything else."""
+        import threading
+
+        service = VectorService(n_workers=4, batch_queries=True)
+        _serve(service, corpus)
+        unexpected: list[BaseException] = []
+        completed = {"n": 0}
+        start_gate = threading.Event()
+
+        def client():
+            from repro.runtime import LifecycleError
+
+            rng = np.random.default_rng(3)
+            start_gate.wait()
+            for __ in range(200):
+                try:
+                    service.search("emb", rng.normal(size=8), k=3)
+                    completed["n"] += 1
+                except LifecycleError:
+                    return
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    unexpected.append(exc)
+                    return
+
+        clients = [threading.Thread(target=client) for __ in range(4)]
+        for thread in clients:
+            thread.start()
+        start_gate.set()
+        service.close()  # pull the plug mid-flight
+        for thread in clients:
+            thread.join(timeout=5.0)
+        assert unexpected == []
+        assert not service.running
+
+    def test_health_reports_tables_and_batcher(self, corpus):
+        with VectorService(n_workers=2, batch_queries=True) as service:
+            _serve(service, corpus)
+            record = service.health()
+            assert record["healthy"] is True
+            assert record["tables"] == 1
+            assert record["batcher"]["name"] == "vector-query-batcher"

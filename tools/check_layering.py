@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Import-DAG lint: enforce the runtime-kernel layering rules.
+
+The unified runtime refactor gave the repo an explicit layer diagram
+(see DESIGN.md, "The runtime kernel"):
+
+    errors / clock                 (foundation)
+    runtime                        (lifecycle, telemetry, resilience)
+    storage / core / index / ...   (domain substrate)
+    serving | bus | vecserve | streaming | monitoring   (the planes)
+
+Two rules keep it a DAG:
+
+1. **The runtime imports nothing above it.** Modules under
+   ``repro.runtime`` may import only the stdlib, numpy, ``repro.errors``,
+   ``repro.clock`` and other ``repro.runtime`` modules. The kernel must
+   be loadable by any plane without dragging a plane in.
+2. **Planes never import each other's internals.** A module in plane A
+   may import plane B only through its package root
+   (``from repro.bus import Sink``), never a submodule
+   (``from repro.bus.sinks import Sink``) — the package root *is* the
+   plane's public API. (This is the rule that forbids the old
+   ``repro.vecserve → repro.serving.faults`` upward import; the shared
+   machinery lives in ``repro.runtime.resilience`` now.)
+
+``if TYPE_CHECKING:`` blocks are exempt — annotations may name
+cross-plane types without creating a runtime edge.
+
+Run: ``python tools/check_layering.py [--src PATH]``. Exit 0 when clean,
+1 with one line per violation otherwise. ``tests/test_layering.py`` runs
+the same check as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: packages whose submodules are private to the package ("planes")
+PLANES = ("serving", "bus", "vecserve", "streaming", "monitoring")
+
+#: top-level roots repro.runtime may import at runtime
+RUNTIME_ALLOWED_ROOTS = {
+    "repro.errors",
+    "repro.clock",
+    "repro.runtime",
+    "numpy",
+}
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One runtime import statement: importer module → imported module."""
+
+    importer: str  # dotted module name, e.g. repro.bus.sinks
+    imported: str  # dotted target, e.g. repro.streaming
+    lineno: int
+
+
+@dataclass(frozen=True)
+class Violation:
+    edge: ImportEdge
+    rule: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.edge.importer}:{self.edge.lineno}: "
+            f"imports {self.edge.imported} — {self.rule}"
+        )
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """Recognize ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect runtime import edges, skipping TYPE_CHECKING blocks."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.edges: list[ImportEdge] = []
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            # Annotations-only imports: not a runtime edge. Still walk
+            # the else branch (it executes at runtime).
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.edges.append(ImportEdge(self.module, alias.name, node.lineno))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:  # resolve relative imports against this module
+            parts = self.module.split(".")
+            base = parts[: len(parts) - node.level]
+            target = ".".join(base + ([node.module] if node.module else []))
+        else:
+            target = node.module or ""
+        if target:
+            self.edges.append(ImportEdge(self.module, target, node.lineno))
+
+
+def module_name(path: Path, src: Path) -> str:
+    relative = path.relative_to(src).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def collect_edges(src: Path) -> list[ImportEdge]:
+    edges: list[ImportEdge] = []
+    for path in sorted((src / "repro").rglob("*.py")):
+        name = module_name(path, src)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        collector = _ImportCollector(name)
+        collector.visit(tree)
+        edges.extend(collector.edges)
+    return edges
+
+
+def _plane_of(module: str) -> str | None:
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == "repro" and parts[1] in PLANES:
+        return parts[1]
+    return None
+
+
+def check_edges(edges: list[ImportEdge]) -> list[Violation]:
+    violations: list[Violation] = []
+    for edge in edges:
+        # Rule 1: the runtime kernel sits at the bottom of the DAG.
+        if edge.importer.startswith("repro.runtime"):
+            allowed = not edge.imported.startswith("repro") or any(
+                edge.imported == root or edge.imported.startswith(root + ".")
+                for root in RUNTIME_ALLOWED_ROOTS
+            )
+            if not allowed:
+                violations.append(
+                    Violation(
+                        edge,
+                        "repro.runtime may import only the stdlib, numpy, "
+                        "repro.errors and repro.clock",
+                    )
+                )
+                continue
+        # Rule 2: cross-plane imports only via the package root.
+        importer_plane = _plane_of(edge.importer)
+        imported_plane = _plane_of(edge.imported)
+        if (
+            imported_plane is not None
+            and imported_plane != importer_plane
+            and edge.imported != f"repro.{imported_plane}"
+        ):
+            violations.append(
+                Violation(
+                    edge,
+                    f"cross-plane import must go through the package root "
+                    f"repro.{imported_plane}",
+                )
+            )
+    return violations
+
+
+def run(src: Path) -> list[Violation]:
+    return check_edges(collect_edges(src))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--src",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "src",
+        help="source root containing the repro package (default: ../src)",
+    )
+    args = parser.parse_args(argv)
+    violations = run(args.src)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"\n{len(violations)} layering violation(s)")
+        return 1
+    print("layering: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

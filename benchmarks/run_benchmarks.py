@@ -6,10 +6,11 @@ Two modes:
 * ``--smoke`` — run the perf-trajectory benches in-process at small sizes
   (fast, no pytest) and refresh their tracked JSON documents:
   ``BENCH_columnar_join.json`` (A4 columnar engine),
-  ``BENCH_ingestion_bus.json`` (E17 ingestion bus), and
-  ``BENCH_vector_serving.json`` (E18 vector serving plane). This is the
+  ``BENCH_ingestion_bus.json`` (E17 ingestion bus),
+  ``BENCH_vector_serving.json`` (E18 vector serving plane), and
+  ``BENCH_compressed_vectors.json`` (E19 codec plane). This is the
   CI target: cheap enough for every run. ``--targets columnar bus
-  vectors`` selects a subset (default: all).
+  vectors codecs`` selects a subset (default: all).
 * default — delegate to pytest over the whole ``benchmarks/`` tree
   (``--benchmark-disable`` unless pytest-benchmark timing is wanted).
 
@@ -124,6 +125,40 @@ def _smoke_vectors() -> int:
     return 1 if failures else 0
 
 
+def _smoke_codecs() -> int:
+    import bench_e19_compressed_vectors as e19
+
+    results = e19.run_suite("smoke")
+    path = e19.write_json(results)
+    print(f"wrote {path}")
+    tradeoff = results["tradeoff"]
+    print(
+        f"  raw baseline {tradeoff['raw_bytes_per_vector']} B/vec "
+        f"({tradeoff['rows']} rows x {tradeoff['dim']}d, clustered)"
+    )
+    for label, case in tradeoff["codecs"].items():
+        print(
+            f"  {label:<5} {case['bytes_per_vector']:>6} B/vec "
+            f"({case['memory_reduction_vs_raw']}x smaller)  "
+            f"recall@10 offline={case['recall_at_10_offline']} "
+            f"online={case['recall_at_10_online']} "
+            f"(gap={case['online_offline_gap']})"
+        )
+    live = results["live_reencode"]
+    print(
+        f"  live re-encode: {live['queries_completed']} queries, "
+        f"failed={live['queries_failed']}; "
+        f"{live['bytes_per_vector_before']} → "
+        f"{live['bytes_per_vector_after']} B/vec "
+        f"({live['memory_reduction']}x); "
+        f"freshness {live['fresh_upserts_hit']}/{live['fresh_upserts_queried']}"
+    )
+    failures = e19.check_acceptance(results)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def run_smoke(
     sizes: list[int],
     out: pathlib.Path | None,
@@ -138,6 +173,8 @@ def run_smoke(
         status = _smoke_bus(bus_events) or status
     if "vectors" in targets:
         status = _smoke_vectors() or status
+    if "codecs" in targets:
+        status = _smoke_codecs() or status
     return status
 
 
@@ -161,13 +198,14 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="run the trajectory benches (A4 columnar, E17 bus, E18 "
-        "vectors) at small sizes and refresh their tracked JSON documents",
+        "vectors, E19 codecs) at small sizes and refresh their tracked "
+        "JSON documents",
     )
     parser.add_argument(
         "--targets",
         nargs="+",
-        choices=["columnar", "bus", "vectors"],
-        default=["columnar", "bus", "vectors"],
+        choices=["columnar", "bus", "vectors", "codecs"],
+        default=["columnar", "bus", "vectors", "codecs"],
         help="which smoke benches to run (default: all)",
     )
     parser.add_argument(

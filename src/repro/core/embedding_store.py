@@ -50,6 +50,7 @@ from repro.index import (
     SearchResult,
     VectorIndex,
 )
+from repro.runtime.telemetry import MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
@@ -100,7 +101,12 @@ class EmbeddingStore:
     same index twice.
     """
 
-    def __init__(self, clock: Clock | None = None, quality_knn_k: int = 10) -> None:
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        quality_knn_k: int = 10,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         self._clock = clock or WallClock()
         self._versions: dict[str, list[EmbeddingVersion]] = {}
         self._indexes: dict[tuple[str, int, str], VectorIndex] = {}
@@ -110,6 +116,10 @@ class EmbeddingStore:
         self._vector_service = None  # attached repro.vecserve.VectorService
         self.quality_knn_k = quality_knn_k
         self.read_count = 0  # serving-side reads (search + vectors_for_model)
+        # Optional telemetry: per-table resident bytes as a live gauge,
+        # so a compression win (or an accidental fp64 blow-up) shows in
+        # the metrics export, not just in a benchmark artifact.
+        self.registry = registry
 
     # -- serving-plane attachment ---------------------------------------------
 
@@ -192,6 +202,10 @@ class EmbeddingStore:
             )
             versions.append(record)
             listeners = list(self._register_listeners)
+            if self.registry is not None:
+                self.registry.gauge(
+                    "embedding_store_resident_bytes", table=name
+                ).set(sum(v.embedding.memory_bytes() for v in versions))
         logger.info(
             "registered embedding %s (trainer=%s, n=%d, dim=%d)",
             record.key, provenance.trainer, embedding.n, embedding.dim,
@@ -222,6 +236,22 @@ class EmbeddingStore:
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._versions)
+
+    def resident_bytes(self, name: str | None = None) -> int:
+        """Raw-matrix bytes held by one embedding name (all its versions)
+        or by the whole store — the number the
+        ``embedding_store_resident_bytes`` gauge tracks per table."""
+        with self._lock:
+            names = [name] if name is not None else sorted(self._versions)
+            total = 0
+            for key in names:
+                if key not in self._versions:
+                    raise NotRegisteredError(f"no embedding {key!r}")
+                total += sum(
+                    record.embedding.memory_bytes()
+                    for record in self._versions[key]
+                )
+            return total
 
     def versions(self, name: str) -> list[EmbeddingVersion]:
         with self._lock:

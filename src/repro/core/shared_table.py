@@ -1,0 +1,175 @@
+"""Feature-hashed shared embedding tables: unbounded vocab, fixed memory.
+
+The *Unified Embedding* production recipe (PAPERS.md) for web-scale
+sparse features: don't give every token its own row — hash the token
+(or its character n-grams) into a fixed-size table shared across all
+features, look up ``n_probes`` rows per token, and average them. Memory
+is set once at construction (``n_rows * dim`` floats, period) no matter
+how many distinct tokens ever arrive; collisions are the price, and
+multi-probe averaging is the mitigation — two tokens must collide on
+*every* probe (probability ~``(1/n_rows)^n_probes``) before their
+representations become identical.
+
+Hashing is salted :mod:`hashlib` blake2b, never Python's ``hash()`` —
+deterministic across processes and runs, so the same token always maps
+to the same rows and a materialized table can be rebuilt bit-identically.
+
+The table plugs into the rest of the repo at two points:
+
+* :meth:`accumulate` folds externally computed vectors into the shared
+  rows (``np.add.at`` scatter-accumulate, duplicate-probe safe) — the
+  "training" path;
+* :meth:`materialize` emits ``(stable int64 ids, averaged vectors)`` for
+  a token set — exactly the parallel arrays the ingestion bus and the
+  vector serving plane consume, so hashed features flow through the
+  existing bus → vecserve path unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _blake_int(payload: str) -> int:
+    """Deterministic 63-bit integer digest of a string."""
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def char_ngrams(text: str, n: int = 3) -> list[str]:
+    """Boundary-padded character n-grams (fastText-style ``<text>``)."""
+    if n <= 0:
+        raise ValidationError(f"n must be positive ({n=})")
+    padded = f"<{text}>"
+    if len(padded) <= n:
+        return [padded]
+    return [padded[i : i + n] for i in range(len(padded) - n + 1)]
+
+
+class SharedEmbeddingTable:
+    """A fixed-memory embedding table addressed by hashed tokens.
+
+    ``n_rows × dim`` float64 rows, seeded-Gaussian initialized so
+    untrained lookups already behave as random features (the classic
+    hashing trick). Each token reads/writes ``n_probes`` rows chosen by
+    salted hashes; reads average the probes, writes scatter into them.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        dim: int,
+        n_probes: int = 2,
+        seed: int = 0,
+        init_scale: float = 0.05,
+    ) -> None:
+        if n_rows <= 0:
+            raise ValidationError(f"n_rows must be positive ({n_rows=})")
+        if dim <= 0:
+            raise ValidationError(f"dim must be positive ({dim=})")
+        if not 1 <= n_probes <= n_rows:
+            raise ValidationError(
+                f"n_probes must be in [1, {n_rows}] ({n_probes=})"
+            )
+        self.n_rows = n_rows
+        self.dim = dim
+        self.n_probes = n_probes
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.table = (
+            rng.standard_normal((n_rows, dim)) * init_scale
+            if init_scale > 0
+            else np.zeros((n_rows, dim))
+        )
+        self.tokens_seen = 0  # accumulate() calls' token count (collisions and all)
+
+    # -- addressing -----------------------------------------------------------
+
+    def token_id(self, token: str) -> int:
+        """Stable int64 identity for ``token`` (bus keys, vecserve ids)."""
+        return _blake_int(f"id\x1f{self.seed}\x1f{token}")
+
+    def rows_for(self, token: str) -> np.ndarray:
+        """The ``n_probes`` table rows this token hashes to."""
+        return np.asarray(
+            [
+                _blake_int(f"probe{probe}\x1f{self.seed}\x1f{token}")
+                % self.n_rows
+                for probe in range(self.n_probes)
+            ],
+            dtype=np.int64,
+        )
+
+    # -- read path ------------------------------------------------------------
+
+    def vector(self, token: str) -> np.ndarray:
+        """Multi-probe average representation of one token."""
+        return self.table[self.rows_for(token)].mean(axis=0)
+
+    def vectors(self, tokens: list[str]) -> np.ndarray:
+        """Stacked multi-probe averages for a token list, ``(n, dim)``."""
+        if not tokens:
+            return np.empty((0, self.dim))
+        rows = np.stack([self.rows_for(token) for token in tokens])  # (n, p)
+        return self.table[rows].mean(axis=1)
+
+    def ngram_vector(self, text: str, n: int = 3) -> np.ndarray:
+        """Bag-of-n-grams embedding: mean over hashed char n-grams —
+        the "hash n-gram → row" recipe for out-of-vocabulary text."""
+        return self.vectors(char_ngrams(text, n)).mean(axis=0)
+
+    # -- write path -----------------------------------------------------------
+
+    def accumulate(
+        self, tokens: list[str], vectors: np.ndarray, weight: float = 1.0
+    ) -> None:
+        """Fold external vectors into the tokens' shared rows.
+
+        Each token's vector is scattered (``weight``-scaled, split across
+        its probes) into all its probe rows with ``np.add.at``, which
+        accumulates correctly even when probes collide within the batch —
+        the property a plain fancy-index ``+=`` silently lacks.
+        """
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2 or vectors.shape != (len(tokens), self.dim):
+            raise ValidationError(
+                f"accumulate expects ({len(tokens)}, {self.dim}) vectors, "
+                f"got {vectors.shape}"
+            )
+        if not tokens:
+            return
+        rows = np.stack([self.rows_for(token) for token in tokens])  # (n, p)
+        contribution = np.repeat(
+            vectors * (weight / self.n_probes), self.n_probes, axis=0
+        )
+        np.add.at(self.table, rows.reshape(-1), contribution)
+        self.tokens_seen += len(tokens)
+
+    # -- materialization ------------------------------------------------------
+
+    def materialize(self, tokens: list[str]) -> tuple[np.ndarray, np.ndarray]:
+        """``(stable ids, averaged vectors)`` for a token set — parallel
+        arrays ready for ``VectorService.serve_matrix`` / bus upserts.
+
+        Ids are :meth:`token_id` digests (collision-free for practical
+        vocabularies at 63 bits), so re-materializing after more
+        :meth:`accumulate` rounds upserts the *same* serving-plane ids
+        with fresher vectors.
+        """
+        ids = np.asarray(
+            [self.token_id(token) for token in tokens], dtype=np.int64
+        )
+        if len(set(ids.tolist())) != len(ids):
+            raise ValidationError("materialize tokens must be distinct")
+        return ids, self.vectors(tokens)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident bytes of the shared table (fixed at construction)."""
+        return int(self.table.nbytes)

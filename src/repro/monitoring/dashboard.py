@@ -239,7 +239,10 @@ def vector_section(service: "VectorService") -> DashboardSection:
     catch the two silent ANN failure modes — quality (sampled online
     recall@k drifting down) and latency (partial results, shard misses)
     — plus the write-side pressure gauges (delta rows/tombstones, age of
-    the oldest un-compacted mutation, blue/green generation).
+    the oldest un-compacted mutation, blue/green generation) and the
+    storage row: codec, bytes/vector, and recall attributed per
+    ``(generation, codec)`` context so a re-encode that degrades quality
+    points at itself.
     """
     snapshot = service.snapshot()
     tables: dict[str, dict[str, object]] = snapshot["tables"]  # type: ignore[assignment]
@@ -257,6 +260,20 @@ def vector_section(service: "VectorService") -> DashboardSection:
             f"gen={stats['generation']} rows={stats['snapshot_rows']} "
             f"{recall_text}"
         )
+        lines.append(
+            f"  storage: codec={stats['codec']} "
+            f"bytes/vec={stats['bytes_per_vector']} "
+            f"resident={stats['bytes_resident']}B"
+        )
+        by_codec: dict[str, float] = stats.get("recall_by_codec") or {}  # type: ignore[assignment]
+        if by_codec:
+            lines.append(
+                "  recall by codec: "
+                + " ".join(
+                    f"{label}={value:.3f}"
+                    for label, value in sorted(by_codec.items())
+                )
+            )
         lines.append(
             f"  queries: n={stats['queries']} "
             f"p50={latency['p50_s'] * 1e3:.2f}ms "

@@ -8,7 +8,9 @@ this package turns them into a production-shaped service:
 * :mod:`repro.vecserve.shards` — hash-partitioned shards, scatter-gather
   top-k with deadline-bounded partial degradation;
 * :mod:`repro.vecserve.snapshot` — immutable index generations with
-  blue/green atomic swaps (rebuilds never block or fail a query);
+  blue/green atomic swaps (rebuilds never block or fail a query), with
+  pluggable coded storage (:mod:`repro.codec` int8/PQ formats scanned
+  through ADC kernels) and format-versioned (de)serialization;
 * :mod:`repro.vecserve.delta` — an exact side-buffer absorbing live
   upserts and tombstones, merged at query time, drained by compaction;
 * :mod:`repro.vecserve.service` — the :class:`VectorService` façade:
@@ -36,17 +38,23 @@ from repro.vecserve.shards import (
     shard_for,
 )
 from repro.vecserve.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    CodecFactory,
     CompactionStats,
     IndexSnapshot,
     SnapshotCell,
     build_snapshot,
     compact,
     compose_live,
+    deserialize_snapshot,
     empty_snapshot,
+    serialize_snapshot,
 )
 
 __all__ = [
     "BACKENDS",
+    "SNAPSHOT_FORMAT_VERSION",
+    "CodecFactory",
     "CompactionStats",
     "DeltaFreeze",
     "DeltaIndex",
@@ -64,7 +72,9 @@ __all__ = [
     "compact",
     "compose_live",
     "decode_record",
+    "deserialize_snapshot",
     "empty_snapshot",
+    "serialize_snapshot",
     "merge_topk",
     "shard_for",
     "tombstone_record",

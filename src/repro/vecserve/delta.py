@@ -163,11 +163,37 @@ class DeltaIndex:
         with self._lock:
             return self._sequence
 
+    @property
+    def memory_bytes(self) -> int:
+        """Resident bytes of the float64 buffer (capacity, not just rows)."""
+        with self._lock:
+            return int(self._matrix.nbytes)
+
     def masked_ids(self) -> frozenset[int]:
         """External ids that must be filtered out of snapshot results:
         everything this delta shadows (upserted) or killed (tombstoned)."""
         with self._lock:
             return frozenset(self._row_of) | frozenset(self._tombstones)
+
+    def get_vectors(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch buffered rows by external id: ``(found_ids, vectors)``.
+
+        Ids with no buffered row (never upserted, or tombstoned) are
+        silently skipped — the caller re-ranks what it can and keeps its
+        original scores for the rest.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        with self._lock:
+            positions = [
+                (external, self._row_of[external])
+                for external in ids.tolist()
+                if external in self._row_of
+            ]
+            if not positions:
+                return np.empty(0, dtype=np.int64), np.empty((0, self.dim))
+            found = np.asarray([external for external, __ in positions], dtype=np.int64)
+            rows = self._matrix[[position for __, position in positions]].copy()
+        return found, rows
 
     def search(self, normalized_query: np.ndarray, k: int) -> SearchResult:
         """Exact top-k over the buffered rows (external ids)."""

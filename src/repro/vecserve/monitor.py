@@ -90,6 +90,14 @@ class VectorServeMetrics:
         self.snapshot_rows = self.registry.gauge(
             "vecserve_snapshot_rows", **label
         )
+        # resident bytes of the sealed generations (codes + codec state)
+        self.snapshot_bytes = self.registry.gauge(
+            "vecserve_snapshot_bytes", **label
+        )
+        # per-row bytes of the sealed storage format (8*dim when raw)
+        self.bytes_per_vector = self.registry.gauge(
+            "vecserve_bytes_per_vector", **label
+        )
         self._shard_latency: dict[int, LatencyHistogram] = {}
         self._lock = threading.Lock()
         self._compaction_seconds = 0.0
@@ -164,6 +172,8 @@ class VectorServeMetrics:
             "compaction_seconds": round(self.compaction_seconds, 6),
             "generation": self.generation.value,
             "snapshot_rows": self.snapshot_rows.value,
+            "snapshot_bytes": self.snapshot_bytes.value,
+            "bytes_per_vector": self.bytes_per_vector.value,
             "delta_rows": self.delta_rows.value,
             "delta_tombstones": self.delta_tombstones.value,
             "delta_staleness_s": round(self.staleness_s, 6),
@@ -193,6 +203,7 @@ class RecallMonitor:
         sample_rate: float = 0.05,
         window: int = 256,
         seed: int = 0,
+        context=None,
     ) -> None:
         if not 0.0 <= sample_rate <= 1.0:
             raise ValidationError(
@@ -208,6 +219,14 @@ class RecallMonitor:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._window: deque[float] = deque(maxlen=window)
+        # ``context`` (optional zero-arg callable, e.g. ``lambda:
+        # (index.max_generation, index.codec_kind)``) labels each
+        # observation with the serving state it was measured under, so a
+        # re-encode swap that degrades recall is attributable: recall
+        # keeps separate windows per (generation, codec) context.
+        self._context = context
+        self._window_size = window
+        self._by_context: dict[str, deque[float]] = {}
         self.samples = Counter()
 
     def maybe_observe(
@@ -239,10 +258,26 @@ class RecallMonitor:
         truth = set(exact.ids[:k].tolist())
         found = set(served.ids[:k].tolist())
         recall = len(found & truth) / len(truth)
+        label = self._context_label()
         with self._lock:
             self._window.append(recall)
+            if label is not None:
+                bucket = self._by_context.get(label)
+                if bucket is None:
+                    bucket = self._by_context[label] = deque(
+                        maxlen=self._window_size
+                    )
+                bucket.append(recall)
         self.samples.inc()
         return recall
+
+    def _context_label(self) -> str | None:
+        if self._context is None:
+            return None
+        value = self._context()
+        if isinstance(value, tuple):
+            return ":".join(str(part) for part in value)
+        return str(value)
 
     def recall_estimate(self) -> float | None:
         """Mean recall over the sliding window (``None`` before any sample)."""
@@ -250,6 +285,16 @@ class RecallMonitor:
             if not self._window:
                 return None
             return sum(self._window) / len(self._window)
+
+    def recall_by_context(self) -> dict[str, float]:
+        """Mean recall per context label (e.g. ``"gen:codec"``) — the
+        attribution view: did the number move when the format swapped?"""
+        with self._lock:
+            return {
+                label: sum(bucket) / len(bucket)
+                for label, bucket in sorted(self._by_context.items())
+                if bucket
+            }
 
     def window_size(self) -> int:
         with self._lock:

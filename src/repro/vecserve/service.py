@@ -293,12 +293,21 @@ class VectorService(Service):
         sample_rate: float = 0.05,
         recall_k: int = 10,
         fault_policy: FaultPolicy | None = None,
+        codec: str | None = None,
+        codec_options: dict | None = None,
+        keep_oracle: bool = False,
+        rerank_oversample: int = 1,
         **backend_kwargs,
     ) -> ShardedVectorIndex:
         """Build and serve a table directly from ``(ids, vectors)``.
 
         The store-independent entry: :meth:`enable` resolves a registered
-        embedding version and lands here.
+        embedding version and lands here. ``codec`` seals generations in
+        a compressed storage format (``"fp32"``/``"int8"``/``"pq"``);
+        ``keep_oracle=True`` adds the fp32 reserve that makes recall
+        monitoring measure true quantization loss and (with
+        ``rerank_oversample > 1``) enables exact re-ranking of ADC
+        candidates.
         """
         if backend not in BACKENDS:
             raise ValidationError(
@@ -325,12 +334,20 @@ class VectorService(Service):
             default_deadline_s=deadline_s,
             fault_policy=fault_policy,
             metrics=metrics,
+            codec=codec,
+            codec_options=codec_options,
+            keep_oracle=keep_oracle,
+            rerank_oversample=rerank_oversample,
         )
         sharded.bulk_load(ids, vectors)
         recall = RecallMonitor(
             oracle=sharded.search_exact,
             k=recall_k,
             sample_rate=sample_rate,
+            context=lambda: (
+                f"gen{sharded.max_generation}",
+                sharded.codec_kind,
+            ),
         )
         table = _ServedTable(
             name=name,
@@ -530,6 +547,26 @@ class VectorService(Service):
             out[key] = table.sharded.compact()
         return out
 
+    def reencode(
+        self,
+        name: str,
+        codec: str | None,
+        version: int | None = None,
+        codec_options: dict | None = None,
+    ) -> list[CompactionStats]:
+        """Live blue/green re-encode of one served table.
+
+        Switches the table's sealed-storage format (e.g. ``"fp32"`` →
+        ``"int8"`` → ``"pq"``; ``None`` back to raw) and compacts every
+        shard into it. Queries and upserts keep flowing throughout; the
+        recall monitor's context labels flip to the new
+        ``(generation, codec)`` so before/after quality is attributable
+        in the dashboard.
+        """
+        return self._resolve(name, version).sharded.reencode(
+            codec, codec_options
+        )
+
     def maybe_compact(self, max_pending: int = 256) -> int:
         """Compact every table whose delta outgrew ``max_pending``;
         returns how many tables were compacted."""
@@ -580,11 +617,18 @@ class VectorService(Service):
                 "backend": table.backend,
                 "n_shards": table.sharded.n_shards,
                 "latest": self._latest.get(table.name) == table.version,
+                "codec": table.sharded.codec_kind,
+                "bytes_per_vector": round(table.sharded.bytes_per_vector, 2),
+                "bytes_resident": table.sharded.bytes_resident,
                 "recall_estimate": (
                     None if estimate is None else round(estimate, 4)
                 ),
                 "recall_k": table.recall.k,
                 "recall_samples": table.recall.samples.value,
+                "recall_by_codec": {
+                    label: round(value, 4)
+                    for label, value in table.recall.recall_by_context().items()
+                },
                 **table.sharded.metrics.snapshot(),
             }
         snap: dict[str, object] = {"tables": tables}

@@ -32,12 +32,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.codec import make_codec
 from repro.errors import TransientStoreError, ValidationError
 from repro.index.base import RWLock, SearchResult
 from repro.runtime.resilience import FaultInjector, FaultPolicy
 from repro.vecserve.delta import DeltaIndex
 from repro.vecserve.monitor import VectorServeMetrics
 from repro.vecserve.snapshot import (
+    CodecFactory,
     CompactionStats,
     IndexFactory,
     SnapshotCell,
@@ -84,36 +86,60 @@ def merge_topk(parts: list[SearchResult], k: int) -> SearchResult:
 
 
 class VectorShard:
-    """One partition: sealed snapshot + live delta behind an RW lock."""
+    """One partition: sealed snapshot + live delta behind an RW lock.
 
-    def __init__(self, shard_id: int, dim: int) -> None:
+    With ``keep_oracle=True`` the shard also maintains an **fp32 oracle
+    reserve**: a full-precision copy of every live row (a
+    :class:`~repro.vecserve.delta.DeltaIndex` that is fed but never
+    drained). Coded snapshots need it for two jobs codes cannot do:
+    exact re-ranking of oversampled ADC candidates, and recall truth —
+    an ADC scan is exact *over the codes*, so only a float-precision
+    side store can measure what quantization actually lost.
+    """
+
+    def __init__(
+        self, shard_id: int, dim: int, keep_oracle: bool = False
+    ) -> None:
         self.shard_id = shard_id
         self.dim = dim
         self.cell = SnapshotCell()
         self.delta = DeltaIndex(dim)
+        self.oracle = DeltaIndex(dim) if keep_oracle else None
         self._rw = RWLock()
         self._compacting = threading.Lock()
         self._first_pending_at: float | None = None
 
     # -- write path -----------------------------------------------------------
 
-    def bulk_load(self, ids: np.ndarray, vectors: np.ndarray, factory: IndexFactory) -> None:
+    def bulk_load(
+        self,
+        ids: np.ndarray,
+        vectors: np.ndarray,
+        factory: IndexFactory,
+        codec: CodecFactory | None = None,
+    ) -> None:
         """Seal the initial generation for this shard's id subset."""
         snapshot = build_snapshot(
-            ids, vectors, factory, self.cell.current().generation + 1
+            ids, vectors, factory, self.cell.current().generation + 1, codec=codec
         )
         with self._rw.write_locked():
             self.cell.swap(snapshot)
+            if self.oracle is not None and len(ids):
+                self.oracle.upsert(ids, vectors)
 
     def upsert(self, ids: np.ndarray, vectors: np.ndarray) -> None:
         with self._rw.write_locked():
             self.delta.upsert(ids, vectors)
+            if self.oracle is not None:
+                self.oracle.upsert(ids, vectors)
             if self._first_pending_at is None:
                 self._first_pending_at = time.time()
 
     def remove(self, ids: np.ndarray) -> int:
         with self._rw.write_locked():
             removed = self.delta.remove(ids)
+            if self.oracle is not None:
+                self.oracle.remove(ids)
             if self._first_pending_at is None:
                 self._first_pending_at = time.time()
             return removed
@@ -142,24 +168,69 @@ class VectorShard:
             fresh = self.delta.search(normalized_query, k)
         return merge_topk([base, fresh], k)
 
-    def query(self, normalized_query: np.ndarray, k: int) -> SearchResult:
-        """Top-k over the live set: sealed snapshot ∪ delta, delta wins."""
+    def _rerank(
+        self, normalized_query: np.ndarray, candidates: SearchResult, k: int
+    ) -> SearchResult:
+        """Re-score oversampled ADC candidates against the fp32 reserve.
+
+        Candidates without a reserve row (shouldn't happen when the
+        oracle tracks every write, but cheap to tolerate) keep their ADC
+        scores.
+        """
+        if self.oracle is None or len(candidates) <= k:
+            return SearchResult(ids=candidates.ids[:k], scores=candidates.scores[:k])
+        found, rows = self.oracle.get_vectors(candidates.ids)
+        exact_of = dict(zip(found.tolist(), (rows @ normalized_query).tolist()))
+        scores = np.asarray(
+            [
+                exact_of.get(external, float(score))
+                for external, score in zip(
+                    candidates.ids.tolist(), candidates.scores.tolist()
+                )
+            ]
+        )
+        order = np.argsort(-scores, kind="stable")[:k]
+        return SearchResult(ids=candidates.ids[order], scores=scores[order])
+
+    def query(
+        self, normalized_query: np.ndarray, k: int, oversample: int = 1
+    ) -> SearchResult:
+        """Top-k over the live set: sealed snapshot ∪ delta, delta wins.
+
+        ``oversample > 1`` (with an oracle reserve) fetches ``k *
+        oversample`` ADC candidates and exact-re-ranks them down to k —
+        the standard recovery for quantization-induced rank inversions.
+        """
+        if oversample > 1 and self.oracle is not None:
+            candidates = self._merged(
+                normalized_query, k * oversample, exact=False
+            )
+            return self._rerank(normalized_query, candidates, k)
         return self._merged(normalized_query, k, exact=False)
 
     def query_exact(self, normalized_query: np.ndarray, k: int) -> SearchResult:
-        """Exact top-k over the same live set (the recall oracle path)."""
+        """Exact top-k over the same live set (the recall oracle path).
+
+        With an fp32 reserve this scans full-precision rows — true
+        ground truth even when the sealed generation is coded; without
+        one it scans the sealed matrix (decoded, for coded snapshots),
+        which measures scan correctness but not quantization loss.
+        """
+        if self.oracle is not None:
+            return self.oracle.search(normalized_query, k)
         return self._merged(normalized_query, k, exact=True)
 
     def query_batch(
-        self, normalized_queries: np.ndarray, k: int
+        self, normalized_queries: np.ndarray, k: int, oversample: int = 1
     ) -> list[SearchResult]:
         """Batched top-k over the live set: one consistent snapshot+delta
         view for the whole batch, scored through the vectorized index
         paths (one GIL-releasing matmul instead of q serialized scans)."""
+        fetch_k = k * oversample if (oversample > 1 and self.oracle is not None) else k
         with self._rw.read_locked():
             snapshot = self.cell.current()
             mask = self.delta.masked_ids()
-            fetch = min(k + len(mask), max(snapshot.size, 1))
+            fetch = min(fetch_k + len(mask), max(snapshot.size, 1))
             base = snapshot.search_batch(normalized_queries, fetch)
             if mask:
                 filtered = []
@@ -175,18 +246,28 @@ class VectorShard:
                         )
                     filtered.append(result)
                 base = filtered
-            fresh = self.delta.search_batch(normalized_queries, k)
-        return [
-            merge_topk([base_result, fresh_result], k)
+            fresh = self.delta.search_batch(normalized_queries, fetch_k)
+        merged = [
+            merge_topk([base_result, fresh_result], fetch_k)
             for base_result, fresh_result in zip(base, fresh)
+        ]
+        if fetch_k == k:
+            return merged
+        return [
+            self._rerank(query, candidates, k)
+            for query, candidates in zip(normalized_queries, merged)
         ]
 
     # -- maintenance ----------------------------------------------------------
 
-    def compact(self, factory: IndexFactory) -> CompactionStats:
-        """One blue/green cycle; queries proceed throughout."""
+    def compact(
+        self, factory: IndexFactory, codec: CodecFactory | None = None
+    ) -> CompactionStats:
+        """One blue/green cycle; queries proceed throughout. ``codec``
+        selects the next generation's storage format (a live re-encode
+        is just a compaction with a different sealer)."""
         with self._compacting:  # one builder per shard at a time
-            stats = compact(self.cell, self.delta, factory)
+            stats = compact(self.cell, self.delta, factory, codec=codec)
             with self._rw.write_locked():
                 self._first_pending_at = (
                     time.time() if self.pending_mutations else None
@@ -204,6 +285,14 @@ class VectorShard:
     @property
     def snapshot_rows(self) -> int:
         return self.cell.current().size
+
+    @property
+    def bytes_resident(self) -> int:
+        """Resident bytes: sealed rows + delta buffer + oracle reserve."""
+        total = self.cell.current().bytes_resident + self.delta.memory_bytes
+        if self.oracle is not None:
+            total += self.oracle.memory_bytes
+        return total
 
     @property
     def staleness_s(self) -> float:
@@ -232,6 +321,10 @@ class ShardedVectorIndex:
         default_deadline_s: float | None = 0.25,
         fault_policy: FaultPolicy | None = None,
         metrics: VectorServeMetrics | None = None,
+        codec: str | None = None,
+        codec_options: dict | None = None,
+        keep_oracle: bool = False,
+        rerank_oversample: int = 1,
     ) -> None:
         if n_shards <= 0:
             raise ValidationError(f"n_shards must be positive ({n_shards=})")
@@ -241,12 +334,29 @@ class ShardedVectorIndex:
             raise ValidationError(
                 f"default_deadline_s must be positive ({default_deadline_s=})"
             )
+        if rerank_oversample < 1:
+            raise ValidationError(
+                f"rerank_oversample must be >= 1 ({rerank_oversample=})"
+            )
+        if rerank_oversample > 1 and not keep_oracle:
+            raise ValidationError(
+                "rerank_oversample > 1 needs keep_oracle=True (exact "
+                "re-ranking reads the fp32 reserve)"
+            )
+        if codec is not None:
+            make_codec(codec, **(codec_options or {}))  # validate eagerly
         if fault_policy is not None:
             fault_policy.validate()
         self.dim = dim
         self.factory = factory
         self.n_shards = n_shards
-        self.shards = [VectorShard(i, dim) for i in range(n_shards)]
+        self.shards = [
+            VectorShard(i, dim, keep_oracle=keep_oracle) for i in range(n_shards)
+        ]
+        self.keep_oracle = keep_oracle
+        self.rerank_oversample = rerank_oversample
+        self._codec_spec = codec
+        self._codec_options = dict(codec_options or {})
         self.default_deadline_s = default_deadline_s
         self.metrics = metrics or VectorServeMetrics()
         self.fault_policy = fault_policy
@@ -275,6 +385,27 @@ class ShardedVectorIndex:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- codec ----------------------------------------------------------------
+
+    def _codec_factory(self) -> CodecFactory | None:
+        """A fresh-codec-per-generation factory for the current spec.
+
+        Each shard build trains its own instance (bulk loads run shards
+        in parallel on the executor), so codec state is never shared
+        across builders.
+        """
+        if self._codec_spec is None:
+            return None
+        spec, options = self._codec_spec, dict(self._codec_options)
+        return lambda: make_codec(spec, **options)
+
+    @property
+    def codec_kind(self) -> str:
+        """Storage format of the sealed generations: ``"raw"``, a codec
+        kind, or ``"mixed"`` mid-re-encode."""
+        kinds = {shard.cell.current().codec_kind for shard in self.shards}
+        return kinds.pop() if len(kinds) == 1 else "mixed"
+
     # -- routing --------------------------------------------------------------
 
     def shard_for(self, external_id: int) -> int:
@@ -301,12 +432,14 @@ class ShardedVectorIndex:
         if len(set(ids.tolist())) != len(ids):
             raise ValidationError("bulk_load ids must be unique")
         groups = self._group(ids)
+        codec = self._codec_factory()
         futures = [
             self._executor.submit(
                 self.shards[shard].bulk_load,
                 ids[positions],
                 vectors[positions],
                 self.factory,
+                codec,
             )
             for shard, positions in groups.items()
         ]
@@ -346,7 +479,9 @@ class ShardedVectorIndex:
     ) -> SearchResult:
         start = time.monotonic()
         self._inject_fault()
-        result = shard.query(normalized_query, k)
+        result = shard.query(
+            normalized_query, k, oversample=self.rerank_oversample
+        )
         self.metrics.shard_latency(shard.shard_id).record(
             time.monotonic() - start
         )
@@ -357,7 +492,9 @@ class ShardedVectorIndex:
     ) -> list[SearchResult]:
         start = time.monotonic()
         self._inject_fault()
-        results = shard.query_batch(queries, k)
+        results = shard.query_batch(
+            queries, k, oversample=self.rerank_oversample
+        )
         self.metrics.shard_latency(shard.shard_id).record(
             time.monotonic() - start
         )
@@ -474,14 +611,33 @@ class ShardedVectorIndex:
     def compact(self) -> list[CompactionStats]:
         """Blue/green-compact every shard (on the caller's thread)."""
         stats = []
+        codec = self._codec_factory()
         for shard in self.shards:
-            shard_stats = shard.compact(self.factory)
+            shard_stats = shard.compact(self.factory, codec=codec)
             self.metrics.record_compaction(
                 shard_stats.total_seconds, self.max_generation
             )
             stats.append(shard_stats)
         self.refresh_gauges()
         return stats
+
+    def reencode(
+        self, codec: str | None, codec_options: dict | None = None
+    ) -> list[CompactionStats]:
+        """Live blue/green re-encode: switch the storage format, reseal.
+
+        Sets the codec spec for all *future* generations and immediately
+        compacts every shard into the new format (``None`` re-encodes
+        back to raw float64 + backend index). Queries and upserts proceed
+        throughout — readers stay on the old generation until each
+        shard's swap, and the watermark drain guarantees no write is
+        lost to the rebuild race.
+        """
+        if codec is not None:
+            make_codec(codec, **(codec_options or {}))  # validate eagerly
+        self._codec_spec = codec
+        self._codec_options = dict(codec_options or {})
+        return self.compact()
 
     def compact_async(self) -> threading.Thread:
         """Kick a compaction off on a dedicated background thread."""
@@ -500,6 +656,8 @@ class ShardedVectorIndex:
             sum(s.snapshot_rows for s in self.shards)
         )
         self.metrics.generation.set(self.max_generation)
+        self.metrics.snapshot_bytes.set(self.snapshot_bytes)
+        self.metrics.bytes_per_vector.set(int(round(self.bytes_per_vector)))
         pending = [
             s.staleness_s for s in self.shards if s.pending_mutations
         ]
@@ -516,3 +674,37 @@ class ShardedVectorIndex:
     @property
     def snapshot_rows(self) -> int:
         return sum(shard.snapshot_rows for shard in self.shards)
+
+    @property
+    def snapshot_bytes(self) -> int:
+        """Resident bytes of the sealed generations across all shards
+        (coded rows + codec state, or the raw float64 matrices)."""
+        return sum(
+            shard.cell.current().bytes_resident for shard in self.shards
+        )
+
+    @property
+    def bytes_resident(self) -> int:
+        """Everything the table keeps in memory: sealed generations,
+        delta buffers, and the fp32 oracle reserve if kept."""
+        return sum(shard.bytes_resident for shard in self.shards)
+
+    @property
+    def bytes_per_vector(self) -> float:
+        """Per-row bytes of the sealed storage (row-weighted across
+        shards; codec state and id maps excluded — this is the number
+        the ≥4x compression acceptance gate is judged on)."""
+        rows = 0
+        total = 0.0
+        for shard in self.shards:
+            snapshot = shard.cell.current()
+            if snapshot.size == 0:
+                continue
+            per_row = (
+                snapshot.codec.bytes_per_vector
+                if snapshot.codec is not None
+                else 8.0 * self.dim
+            )
+            total += per_row * snapshot.size
+            rows += snapshot.size
+        return total / rows if rows else 0.0

@@ -22,11 +22,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.codec import (
+    CodedVectors,
+    VectorCodec,
+    adc_topk,
+    adc_topk_batch,
+    codec_from_state,
+    codec_to_state,
+    make_codec,
+)
 from repro.errors import ValidationError
-from repro.index.base import SearchResult, VectorIndex
+from repro.index.base import SearchResult, VectorIndex, _normalize_rows
 from repro.vecserve.delta import DeltaFreeze, DeltaIndex
 
 IndexFactory = Callable[[], VectorIndex]
+
+#: A fresh untrained codec per sealed generation (or ``None`` for raw
+#: float64 storage). Mirrors ``IndexFactory``: the builder trains/encodes
+#: a new instance per snapshot so generations never share mutable state.
+CodecFactory = Callable[[], VectorCodec]
+
+#: Current coded-snapshot payload layout. Version 2 introduced pluggable
+#: coded storage ("raw" float64 vs codec-compressed codes); version 1 was
+#: the implicit pre-codec pickle layout, which is no longer readable.
+SNAPSHOT_FORMAT_VERSION = 2
 
 _EMPTY_RESULT = SearchResult(
     ids=np.empty(0, dtype=np.int64), scores=np.empty(0, dtype=float)
@@ -35,12 +54,19 @@ _EMPTY_RESULT = SearchResult(
 
 @dataclass(frozen=True)
 class IndexSnapshot:
-    """One sealed generation: a built index plus its row→external-id map.
+    """One sealed generation: built index *or* coded rows + id map.
 
-    ``index`` is never mutated after sealing (the builder calls
-    ``build()`` exactly once, before the snapshot becomes visible), so
-    concurrent queries are safe without touching its write lock.
-    ``index`` is ``None`` only for the empty generation.
+    Storage comes in two sealed formats:
+
+    * **raw** — ``index`` holds a built backend index over the float64
+      normalized matrix (``codec``/``coded`` are ``None``);
+    * **coded** — ``codec``/``coded`` hold a trained
+      :class:`~repro.codec.VectorCodec` and its encoded rows; queries run
+      the codec's ADC kernels over the codes (``index`` is ``None``).
+
+    Either way nothing mutates after sealing, so concurrent queries are
+    safe without coordination. All three of ``index``/``codec``/``coded``
+    are ``None`` only for the empty generation.
     """
 
     generation: int
@@ -48,19 +74,50 @@ class IndexSnapshot:
     ids: np.ndarray  # internal row -> external id
     created_at: float  # wall time the generation was sealed
     build_seconds: float = 0.0
+    codec: VectorCodec | None = None  # trained codec for coded storage
+    coded: CodedVectors | None = None  # the encoded rows, parallel to ids
 
     @property
     def size(self) -> int:
         return len(self.ids)
 
     @property
+    def codec_kind(self) -> str:
+        """Storage format label: ``"raw"`` or the codec kind."""
+        return "raw" if self.codec is None else self.codec.kind
+
+    @property
+    def bytes_resident(self) -> int:
+        """Resident bytes of this generation: rows + codec state + id map."""
+        total = int(self.ids.nbytes)
+        if self.coded is not None and self.codec is not None:
+            total += self.coded.nbytes + self.codec.state_bytes
+        elif self.index is not None and self.index.matrix is not None:
+            total += int(self.index.matrix.nbytes)
+        return total
+
+    @property
     def vectors(self) -> np.ndarray | None:
-        """The sealed normalized matrix (oracle scans, next-gen rebuilds)."""
+        """The sealed normalized matrix (oracle scans, next-gen rebuilds).
+
+        Coded generations *decode* on access — a full float64
+        materialization, meant for the compaction/rebuild path, never the
+        per-query path.
+        """
+        if self.coded is not None and self.codec is not None:
+            return self.codec.decode(self.coded)
         return None if self.index is None else self.index.matrix
 
     def search(self, normalized_query: np.ndarray, k: int) -> SearchResult:
         """Top-k over the sealed generation, in external ids."""
-        if self.index is None or self.size == 0:
+        if self.size == 0:
+            return _EMPTY_RESULT
+        if self.coded is not None and self.codec is not None:
+            positions, scores = adc_topk(
+                self.codec, self.coded, normalized_query, min(k, self.size)
+            )
+            return SearchResult(ids=self.ids[positions], scores=scores)
+        if self.index is None:
             return _EMPTY_RESULT
         result = self.index.query(normalized_query, min(k, self.size))
         return SearchResult(ids=self.ids[result.ids], scores=result.scores)
@@ -71,10 +128,23 @@ class IndexSnapshot:
         """Batched top-k over the sealed generation, in external ids.
 
         Delegates to the index's vectorized batch path (exact indexes
-        score the whole batch in one matmul), so a shard answers a
-        micro-batch with one lock-free pass instead of q serialized ones.
+        score the whole batch in one matmul) or the codec's batched ADC
+        kernel, so a shard answers a micro-batch with one lock-free pass
+        instead of q serialized ones.
         """
-        if self.index is None or self.size == 0:
+        if self.size == 0:
+            return [_EMPTY_RESULT] * len(normalized_queries)
+        if self.coded is not None and self.codec is not None:
+            return [
+                SearchResult(ids=self.ids[positions], scores=scores)
+                for positions, scores in adc_topk_batch(
+                    self.codec,
+                    self.coded,
+                    normalized_queries,
+                    min(k, self.size),
+                )
+            ]
+        if self.index is None:
             return [_EMPTY_RESULT] * len(normalized_queries)
         results = self.index.query_batch(
             normalized_queries, min(k, self.size)
@@ -85,8 +155,15 @@ class IndexSnapshot:
         ]
 
     def search_exact(self, normalized_query: np.ndarray, k: int) -> SearchResult:
-        """Exact top-k via a full scan of the sealed matrix (the oracle
-        path recall monitoring shadows sampled queries against)."""
+        """Exact top-k via a full scan of the sealed rows.
+
+        For coded generations this is the full ADC scan — exact *with
+        respect to the codes*; quantization loss vs the original floats
+        is only visible against an fp32 oracle kept outside the snapshot
+        (see ``keep_oracle`` in :mod:`repro.vecserve.shards`).
+        """
+        if self.coded is not None and self.codec is not None:
+            return self.search(normalized_query, k)
         matrix = self.vectors
         if matrix is None or self.size == 0:
             return _EMPTY_RESULT
@@ -112,8 +189,16 @@ def build_snapshot(
     vectors: np.ndarray,
     factory: IndexFactory,
     generation: int,
+    codec: str | VectorCodec | CodecFactory | None = None,
 ) -> IndexSnapshot:
-    """Seal a new generation from parallel ``(ids, vectors)`` arrays."""
+    """Seal a new generation from parallel ``(ids, vectors)`` arrays.
+
+    With ``codec`` (a kind name, an untrained codec, or a factory), the
+    generation is sealed *coded*: rows are L2-normalized (matching the
+    backend indexes' cosine convention), the codec trains on them, and
+    only the codes + trained state are retained — ``factory`` is unused
+    on this path, since queries run ADC scans instead of a backend index.
+    """
     ids = np.asarray(ids, dtype=np.int64)
     vectors = np.asarray(vectors, dtype=float)
     if len(ids) != len(vectors):
@@ -125,6 +210,21 @@ def build_snapshot(
     if len(ids) == 0:
         return empty_snapshot(generation)
     start = time.perf_counter()
+    if codec is not None:
+        if callable(codec) and not isinstance(codec, VectorCodec):
+            codec = codec()  # CodecFactory: fresh instance per generation
+        built_codec = make_codec(codec)
+        normalized = _normalize_rows(vectors)
+        built_codec.train(normalized)
+        return IndexSnapshot(
+            generation=generation,
+            index=None,
+            ids=ids,
+            created_at=time.time(),
+            build_seconds=time.perf_counter() - start,
+            codec=built_codec,
+            coded=built_codec.encode(normalized),
+        )
     index = factory()
     index.build(vectors)
     return IndexSnapshot(
@@ -173,6 +273,7 @@ class CompactionStats:
     drained: int  # delta entries released after the swap
     build_seconds: float
     total_seconds: float
+    codec_kind: str = "raw"  # storage format the new generation sealed with
 
 
 def compose_live(
@@ -214,12 +315,19 @@ def compact(
     cell: SnapshotCell,
     delta: DeltaIndex,
     factory: IndexFactory,
+    codec: str | VectorCodec | CodecFactory | None = None,
 ) -> CompactionStats:
     """Run one blue/green cycle: freeze → build off to the side → swap.
 
     Readers keep hitting the old generation for the entire build; the
     swap is a pointer replacement plus a watermark-bounded delta release,
     so the write-path pause is O(delta), never O(index).
+
+    ``codec`` selects the storage format of the *next* generation, which
+    is how a live re-encode works: compose the live rows exactly as
+    usual (decoding the old generation if it was coded), seal them in
+    the new format, swap. The watermark-safe delta drain is untouched —
+    re-encoding is just compaction with a different sealer.
     """
     start = time.perf_counter()
     base = cell.current()
@@ -229,7 +337,9 @@ def compact(
     if len(ids) == 0:
         snapshot = empty_snapshot(next_generation)
     else:
-        snapshot = build_snapshot(ids, vectors, factory, next_generation)
+        snapshot = build_snapshot(
+            ids, vectors, factory, next_generation, codec=codec
+        )
     cell.swap(snapshot)
     drained = delta.release(freeze)
     return CompactionStats(
@@ -240,4 +350,100 @@ def compact(
         drained=drained,
         build_seconds=snapshot.build_seconds,
         total_seconds=time.perf_counter() - start,
+        codec_kind=snapshot.codec_kind,
+    )
+
+
+# -- serialization --------------------------------------------------------------
+
+
+def serialize_snapshot(snapshot: IndexSnapshot) -> dict[str, object]:
+    """Sealed generation → a plain, format-versioned payload dict.
+
+    The payload is pickle/npz-friendly (numpy arrays + scalars only) and
+    self-describing: ``format_version`` plus a ``storage`` tag of
+    ``"raw"`` (float64 matrix; the backend index is rebuilt on load) or
+    ``"coded"`` (codes + trained codec state; no index to rebuild).
+    """
+    payload: dict[str, object] = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "generation": snapshot.generation,
+        "ids": snapshot.ids.copy(),
+        "created_at": snapshot.created_at,
+        "build_seconds": snapshot.build_seconds,
+    }
+    if snapshot.coded is not None and snapshot.codec is not None:
+        payload["storage"] = "coded"
+        payload["codes"] = snapshot.coded.codes.copy()
+        payload["dim"] = snapshot.coded.dim
+        payload["codec"] = codec_to_state(snapshot.codec)
+    else:
+        payload["storage"] = "raw"
+        matrix = snapshot.vectors
+        payload["vectors"] = None if matrix is None else matrix.copy()
+    return payload
+
+
+def deserialize_snapshot(
+    payload: dict[str, object], factory: IndexFactory | None = None
+) -> IndexSnapshot:
+    """Payload dict → sealed generation, validating the format version.
+
+    An unknown (or missing) ``format_version`` raises a
+    :class:`~repro.errors.ValidationError` naming the supported version —
+    the explicit failure mode that lets coded formats evolve without old
+    readers exploding obscurely mid-query. ``factory`` is required only
+    for non-empty ``"raw"`` payloads (the index is rebuilt on load).
+    """
+    version = payload.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported snapshot format_version {version!r}; this build "
+            f"reads version {SNAPSHOT_FORMAT_VERSION} (re-seal the table "
+            f"with compact() to migrate)"
+        )
+    storage = payload.get("storage")
+    generation = int(payload["generation"])  # type: ignore[arg-type]
+    ids = np.asarray(payload["ids"], dtype=np.int64)
+    created_at = float(payload["created_at"])  # type: ignore[arg-type]
+    build_seconds = float(payload.get("build_seconds", 0.0))  # type: ignore[arg-type]
+    if storage == "coded":
+        codec = codec_from_state(payload["codec"])  # type: ignore[arg-type]
+        coded = CodedVectors(
+            kind=codec.kind,
+            codes=np.asarray(payload["codes"]),
+            dim=int(payload["dim"]),  # type: ignore[arg-type]
+        )
+        if coded.n != len(ids):
+            raise ValidationError(
+                f"snapshot payload has {coded.n} coded rows for {len(ids)} ids"
+            )
+        return IndexSnapshot(
+            generation=generation,
+            index=None,
+            ids=ids,
+            created_at=created_at,
+            build_seconds=build_seconds,
+            codec=codec,
+            coded=coded,
+        )
+    if storage == "raw":
+        vectors = payload.get("vectors")
+        if vectors is None or len(ids) == 0:
+            return empty_snapshot(generation)
+        if factory is None:
+            raise ValidationError(
+                "raw snapshot payloads need an IndexFactory to rebuild the "
+                "backend index"
+            )
+        rebuilt = build_snapshot(ids, np.asarray(vectors), factory, generation)
+        return IndexSnapshot(
+            generation=generation,
+            index=rebuilt.index,
+            ids=rebuilt.ids,
+            created_at=created_at,
+            build_seconds=build_seconds,
+        )
+    raise ValidationError(
+        f"unknown snapshot storage {storage!r}; expected 'raw' or 'coded'"
     )

@@ -1,0 +1,110 @@
+"""Cross-codec parity suite.
+
+For every codec, on both random and clustered corpora: take the ADC
+top-(k * oversample) candidates, re-rank them exactly against the
+original fp32 matrix, and assert the re-ranked top-k *contains* the
+exact fp32 top-k (ADC top-k ⊇ exact top-k after re-rank). This is the
+end-to-end guarantee the vecserve oracle re-rank path relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec import adc_topk, make_codec
+
+ALL_CODECS = [
+    ("fp32", {}, 1),
+    ("int8", {}, 4),
+    ("int8", {"mode": "meanscale"}, 4),
+    # coarse PQ codes cannot rank *within* a tight cluster, so its
+    # candidate pool must be wide enough to cover the whole blob
+    ("pq", {"n_subspaces": 8, "n_codes": 64}, 16),
+]
+
+K = 10
+N_QUERIES = 20
+
+
+def _random_corpus(n=1500, d=32, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, d))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    queries = rng.normal(size=(N_QUERIES, d))
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return vectors, queries
+
+
+def _clustered_corpus(n=1500, d=32, n_clusters=12, seed=0):
+    """Tight Gaussian blobs: the regime PQ codebooks are built for, and
+    the one where naive int8 ranges are widest."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_clusters, d))
+    assignments = rng.integers(0, n_clusters, size=n)
+    vectors = centers[assignments] + 0.15 * rng.normal(size=(n, d))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    # queries are perturbed corpus points: realistic near-duplicates
+    picks = rng.integers(0, n, size=N_QUERIES)
+    queries = vectors[picks] + 0.05 * rng.normal(size=(N_QUERIES, d))
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return vectors, queries
+
+
+def _exact_topk(vectors, query, k):
+    scores = vectors @ query
+    order = np.argsort(scores)[::-1][:k]
+    return set(order.tolist())
+
+
+def _reranked_topk(codec, coded, vectors, query, k, oversample):
+    positions, _ = adc_topk(codec, coded, query, k * oversample)
+    exact = vectors[positions] @ query
+    order = np.argsort(exact, kind="stable")[::-1][:k]
+    return set(positions[order].tolist())
+
+
+@pytest.mark.parametrize("corpus_name", ["random", "clustered"])
+@pytest.mark.parametrize("kind,kwargs,oversample", ALL_CODECS)
+class TestAdcRerankParity:
+    def _corpus(self, corpus_name):
+        if corpus_name == "random":
+            return _random_corpus()
+        return _clustered_corpus()
+
+    def test_reranked_topk_superset_of_exact(
+        self, corpus_name, kind, kwargs, oversample
+    ):
+        vectors, queries = self._corpus(corpus_name)
+        codec = make_codec(kind, **kwargs).train(vectors)
+        coded = codec.encode(vectors)
+        hits = total = 0
+        for query in queries:
+            truth = _exact_topk(vectors, query, K)
+            got = _reranked_topk(codec, coded, vectors, query, K, oversample)
+            hits += len(truth & got)
+            total += len(truth)
+        recall = hits / total
+        # fp32 must be perfect; lossy codecs with oversampled re-rank
+        # must clear the paper's serving bar
+        floor = 1.0 if kind == "fp32" else 0.95
+        assert recall >= floor, (
+            f"{kind}{kwargs} on {corpus_name}: recall@{K}={recall:.3f}"
+        )
+
+    def test_rerank_never_hurts_adc_only(
+        self, corpus_name, kind, kwargs, oversample
+    ):
+        """Exact re-rank of an oversampled candidate set can only improve
+        (or match) raw ADC recall."""
+        vectors, queries = self._corpus(corpus_name)
+        codec = make_codec(kind, **kwargs).train(vectors)
+        coded = codec.encode(vectors)
+        adc_hits = rerank_hits = 0
+        for query in queries:
+            truth = _exact_topk(vectors, query, K)
+            raw_positions, _ = adc_topk(codec, coded, query, K)
+            adc_hits += len(truth & set(raw_positions.tolist()))
+            got = _reranked_topk(codec, coded, vectors, query, K, oversample)
+            rerank_hits += len(truth & got)
+        assert rerank_hits >= adc_hits

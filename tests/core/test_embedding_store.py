@@ -189,3 +189,31 @@ class TestAlignAndRegister:
         assert aligned.provenance.trainer == "procrustes_alignment"
         assert aligned.provenance.parent_version == 2
         assert "aligned" in aligned.tags
+
+
+class TestResidentBytesGauge:
+    def test_resident_bytes_per_name_and_total(self, base_embedding):
+        store = EmbeddingStore(clock=SimClock(start=0.0))
+        store.register("words", base_embedding, prov())
+        store.register("words", base_embedding, prov(parent=1))
+        per_version = base_embedding.memory_bytes()
+        assert store.resident_bytes("words") == 2 * per_version
+        assert store.resident_bytes() == 2 * per_version
+        with pytest.raises(NotRegisteredError):
+            store.resident_bytes("ghost")
+
+    def test_gauge_tracks_registrations(self, base_embedding):
+        from repro.runtime.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = EmbeddingStore(clock=SimClock(start=0.0), registry=registry)
+        store.register("words", base_embedding, prov())
+        gauge = registry.gauge("embedding_store_resident_bytes", table="words")
+        assert gauge.value == base_embedding.memory_bytes()
+        store.register("words", base_embedding, prov(parent=1))
+        assert gauge.value == 2 * base_embedding.memory_bytes()
+
+    def test_no_registry_is_fine(self, base_embedding):
+        store = EmbeddingStore(clock=SimClock(start=0.0))
+        record = store.register("words", base_embedding, prov())
+        assert record.version == 1

@@ -1,0 +1,125 @@
+"""Tests for repro.core.shared_table — feature-hashed shared embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.core.shared_table import SharedEmbeddingTable, char_ngrams
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def table():
+    return SharedEmbeddingTable(n_rows=64, dim=8, n_probes=2, seed=0)
+
+
+class TestHashing:
+    def test_vectors_are_deterministic(self, table):
+        other = SharedEmbeddingTable(n_rows=64, dim=8, n_probes=2, seed=0)
+        tokens = ["alpha", "beta", "gamma"]
+        assert np.array_equal(table.vectors(tokens), other.vectors(tokens))
+        assert [table.token_id(t) for t in tokens] == [
+            other.token_id(t) for t in tokens
+        ]
+
+    def test_seed_changes_layout(self, table):
+        other = SharedEmbeddingTable(n_rows=64, dim=8, n_probes=2, seed=1)
+        assert not np.array_equal(
+            table.rows_for("alpha"), other.rows_for("alpha")
+        )
+
+    def test_rows_for_in_range_and_probe_count(self, table):
+        rows = table.rows_for("token")
+        assert rows.shape == (2,)
+        assert ((rows >= 0) & (rows < 64)).all()
+
+    def test_token_ids_are_stable_63_bit(self, table):
+        tid = table.token_id("hello")
+        assert 0 <= tid < 2**63
+        assert tid == table.token_id("hello")
+
+    def test_memory_is_fixed_regardless_of_vocabulary(self, table):
+        before = table.memory_bytes
+        table.accumulate(
+            [f"tok{i}" for i in range(500)],
+            np.zeros((500, 8)),
+        )
+        assert table.memory_bytes == before
+
+
+class TestVectors:
+    def test_vector_is_mean_of_probe_rows(self, table):
+        rows = table.rows_for("alpha")
+        expected = table.table[rows].mean(axis=0)
+        assert np.allclose(table.vector("alpha"), expected)
+
+    def test_vectors_shape(self, table):
+        out = table.vectors(["a", "b", "c"])
+        assert out.shape == (3, 8)
+
+    def test_ngram_vector_averages_ngrams(self, table):
+        grams = char_ngrams("cat", n=3)
+        expected = table.vectors(grams).mean(axis=0)
+        assert np.allclose(table.ngram_vector("cat", n=3), expected)
+
+    def test_char_ngrams_boundary_padded(self):
+        assert char_ngrams("ab", n=3) == ["<ab", "ab>"]
+
+
+class TestAccumulate:
+    def test_accumulate_shifts_vector(self, table):
+        before = table.vector("alpha").copy()
+        update = np.ones((1, 8))
+        table.accumulate(["alpha"], update)
+        after = table.vector("alpha")
+        assert not np.allclose(before, after)
+        assert (after > before).all()
+
+    def test_colliding_probes_accumulate_both_contributions(self):
+        """When both probes of a token land on the same row, the
+        np.add.at scatter must still apply every contribution — the
+        property a plain fancy-index += silently lacks."""
+        table = SharedEmbeddingTable(n_rows=2, dim=4, n_probes=2, seed=0)
+        token = next(
+            f"tok{i}"
+            for i in range(1000)
+            if len(set(table.rows_for(f"tok{i}").tolist())) == 1
+        )
+        row = table.rows_for(token)[0]
+        before = table.table[row].copy()
+        table.accumulate([token], np.ones((1, 4)), weight=1.0)
+        # two probes, each adding weight/n_probes = 0.5 → net +1.0
+        assert np.allclose(table.table[row], before + 1.0)
+
+    def test_accumulate_shape_mismatch_rejected(self, table):
+        with pytest.raises(ValidationError):
+            table.accumulate(["a", "b"], np.zeros((3, 8)))
+        with pytest.raises(ValidationError):
+            table.accumulate(["a"], np.zeros((1, 16)))
+
+
+class TestMaterialize:
+    def test_materialize_returns_stable_ids_and_vectors(self, table):
+        tokens = ["alpha", "beta", "gamma"]
+        ids, vectors = table.materialize(tokens)
+        assert ids.dtype == np.int64
+        assert vectors.shape == (3, 8)
+        assert np.array_equal(
+            ids, np.asarray([table.token_id(t) for t in tokens])
+        )
+        again_ids, again_vectors = table.materialize(tokens)
+        assert np.array_equal(ids, again_ids)
+        assert np.array_equal(vectors, again_vectors)
+
+    def test_materialize_duplicate_token_ids_rejected(self, table):
+        with pytest.raises(ValidationError):
+            table.materialize(["same", "same"])
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValidationError):
+            SharedEmbeddingTable(n_rows=0, dim=8)
+        with pytest.raises(ValidationError):
+            SharedEmbeddingTable(n_rows=8, dim=0)
+        with pytest.raises(ValidationError):
+            SharedEmbeddingTable(n_rows=8, dim=4, n_probes=0)

@@ -65,3 +65,28 @@ class TestLayering:
             checker.ImportEdge("repro.runtime.lifecycle", "threading", 4),
         ]
         assert checker.check_edges(edges) == []
+
+    def test_lint_detects_codec_upward_import(self):
+        """The codec plane must stay at the bottom of the DAG: an edge
+        into the index substrate (or any plane) is a violation."""
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.codec.adc", "repro.index.base", 1),
+            checker.ImportEdge("repro.codec.codecs", "repro.vecserve", 2),
+            checker.ImportEdge("repro.codec.codecs", "repro.runtime", 3),
+        ]
+        violations = checker.check_edges(edges)
+        assert len(violations) == 3
+        assert all("repro.codec" in v.rule for v in violations)
+
+    def test_lint_allows_codec_foundation_imports(self):
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.codec.codecs", "repro.errors", 1),
+            checker.ImportEdge("repro.codec.adc", "repro.codec.codecs", 2),
+            checker.ImportEdge("repro.codec.codecs", "numpy", 3),
+            checker.ImportEdge("repro.codec.codecs", "dataclasses", 4),
+            # vecserve may reach *down* into codec freely
+            checker.ImportEdge("repro.vecserve.snapshot", "repro.codec", 5),
+        ]
+        assert checker.check_edges(edges) == []

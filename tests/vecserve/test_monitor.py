@@ -140,3 +140,44 @@ class TestDashboardSection:
             )
         assert "vector serving" in pane
         assert "emb:v1" in pane
+
+
+class TestRecallContexts:
+    def test_recall_by_context_buckets(self):
+        truth = _result(1, 2)
+        contexts = iter([("gen1", "fp32"), ("gen1", "fp32"), ("gen2", "int8")])
+        monitor = RecallMonitor(
+            oracle=lambda q, k: truth, k=2, sample_rate=1.0,
+            context=lambda: next(contexts),
+        )
+        monitor.observe(np.zeros(2), _result(1, 2))  # gen1:fp32 → 1.0
+        monitor.observe(np.zeros(2), _result(8, 9))  # gen1:fp32 → 0.0
+        monitor.observe(np.zeros(2), _result(1, 9))  # gen2:int8 → 0.5
+        by_context = monitor.recall_by_context()
+        assert by_context == {"gen1:fp32": 0.5, "gen2:int8": 0.5}
+
+    def test_no_context_provider_means_empty(self):
+        monitor = RecallMonitor(
+            oracle=lambda q, k: _result(1), k=1, sample_rate=1.0
+        )
+        monitor.observe(np.zeros(2), _result(1))
+        assert monitor.recall_by_context() == {}
+
+    def test_codec_storage_row_rendered(self):
+        from repro.monitoring import vector_section
+        from repro.vecserve import VectorService
+
+        rng = np.random.default_rng(0)
+        with VectorService(n_workers=2) as service:
+            service.serve_matrix(
+                "emb", 1,
+                np.arange(40, dtype=np.int64), rng.normal(size=(40, 16)),
+                backend="brute", n_shards=2, sample_rate=1.0,
+                codec="int8", keep_oracle=True,
+            )
+            service.search("emb", rng.normal(size=16), k=5)
+            rendered = vector_section(service).render()
+        assert "codec=int8" in rendered
+        assert "bytes/vec=16" in rendered
+        assert "recall by codec:" in rendered
+        assert "gen1:int8=" in rendered

@@ -5,11 +5,11 @@ The unified runtime refactor gave the repo an explicit layer diagram
 (see DESIGN.md, "The runtime kernel"):
 
     errors / clock                 (foundation)
-    runtime                        (lifecycle, telemetry, resilience)
+    codec | runtime                (compression kernels; lifecycle, telemetry)
     storage / core / index / ...   (domain substrate)
     serving | bus | vecserve | streaming | monitoring   (the planes)
 
-Two rules keep it a DAG:
+Three rules keep it a DAG:
 
 1. **The runtime imports nothing above it.** Modules under
    ``repro.runtime`` may import only the stdlib, numpy, ``repro.errors``,
@@ -22,6 +22,11 @@ Two rules keep it a DAG:
    plane's public API. (This is the rule that forbids the old
    ``repro.vecserve → repro.serving.faults`` upward import; the shared
    machinery lives in ``repro.runtime.resilience`` now.)
+3. **The codec plane imports nothing above the foundation.** Modules
+   under ``repro.codec`` may import only the stdlib, numpy,
+   ``repro.errors`` and other ``repro.codec`` modules — so any layer
+   (vecserve snapshots, the embedding store, offline tooling) can use
+   the compression substrate without an upward edge.
 
 ``if TYPE_CHECKING:`` blocks are exempt — annotations may name
 cross-plane types without creating a runtime edge.
@@ -47,6 +52,14 @@ RUNTIME_ALLOWED_ROOTS = {
     "repro.errors",
     "repro.clock",
     "repro.runtime",
+    "numpy",
+}
+
+#: top-level roots repro.codec may import at runtime (rule 3: the codec
+#: plane sits at the bottom of the DAG, beside the runtime kernel)
+CODEC_ALLOWED_ROOTS = {
+    "repro.errors",
+    "repro.codec",
     "numpy",
 }
 
@@ -153,6 +166,21 @@ def check_edges(edges: list[ImportEdge]) -> list[Violation]:
                         edge,
                         "repro.runtime may import only the stdlib, numpy, "
                         "repro.errors and repro.clock",
+                    )
+                )
+                continue
+        # Rule 3: the codec plane sits at the bottom of the DAG.
+        if edge.importer.startswith("repro.codec"):
+            allowed = not edge.imported.startswith("repro") or any(
+                edge.imported == root or edge.imported.startswith(root + ".")
+                for root in CODEC_ALLOWED_ROOTS
+            )
+            if not allowed:
+                violations.append(
+                    Violation(
+                        edge,
+                        "repro.codec may import only the stdlib, numpy "
+                        "and repro.errors",
                     )
                 )
                 continue

@@ -1,0 +1,332 @@
+"""E20 (perf) — declarative pipeline compiler vs per-view naive scans.
+
+The feature-pipeline compiler (paper §2.2.1: declarative transformation
+DSLs compiled onto the store's scan kernels) exists to kill the "N views,
+N full scans" cost model that DAG-of-SQL feature platforms suffer from.
+This bench pits three execution tiers against each other on one event
+table with 8 registered views:
+
+* ``naive``    — per-view ``Plan.execute_rows``: a full row-at-a-time
+  scan per view, predicates applied row by row (the reference engine the
+  parity suite trusts).
+* ``compiled`` — per-view ``compile_plan(...).evaluate``: vectorized
+  kernels, predicate pushdown and projection pruning, but still one
+  physical scan per view.
+* ``fused``    — ``execute_fused``: all 8 views planned onto ONE shared
+  physical scan; columns decoded once, predicates become numpy masks over
+  the shared arrays.
+
+A separate case measures timestamp-predicate pushdown (partition pruning)
+on a recency-filtered view, and the as-of-join path (``evaluate_at`` vs
+``execute_rows_at``) on a probe batch.
+
+Parity is asserted for every tier before any timing is reported — the
+optimizer may change the work, never the answer.
+
+Results go to ``benchmarks/results/BENCH_pipeline_compiler.json``.
+Acceptance: fused is ≥4x the naive path at 8 views, with exact parity.
+
+Run the pytest bench, or the CLI smoke target::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e20_pipeline_compiler.py -q
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke --targets compiler
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.compiler import compile_plan, execute_fused, execute_fused_at, scan
+from repro.storage import TableSchema
+from repro.storage.offline import OfflineStore
+
+DAY = 86400.0
+SPAN = 30 * DAY
+AS_OF = 0.8 * SPAN
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_pipeline_compiler.json"
+)
+
+DEFAULT_EVENTS = 40_000
+FULL_EVENTS = 160_000
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    """Best wall-clock of ``repeats`` runs, plus the last return value."""
+    best = float("inf")
+    result = None
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def build_table(n_events: int, n_entities: int, seed: int = 0):
+    """A 30-partition trips table with NULLs and a string column."""
+    rng = np.random.default_rng(seed)
+    cities = ("nyc", "sf", "chi", None)
+    rows = []
+    for __ in range(n_events):
+        rows.append(
+            {
+                "entity_id": int(rng.integers(0, n_entities)),
+                "timestamp": float(rng.uniform(0.0, SPAN)),
+                "fare": (
+                    None if rng.random() < 0.03 else float(rng.uniform(1, 80))
+                ),
+                "distance": float(rng.uniform(0.1, 30.0)),
+                "tips": (
+                    None if rng.random() < 0.03 else int(rng.integers(0, 25))
+                ),
+                "city": cities[int(rng.integers(0, len(cities)))],
+            }
+        )
+    store = OfflineStore()
+    table = store.create_table(
+        "trips",
+        TableSchema(
+            columns={
+                "fare": "float",
+                "distance": "float",
+                "tips": "int",
+                "city": "string",
+            }
+        ),
+    )
+    table.append(rows)
+    return table
+
+
+def eight_views():
+    """Eight plan-backed views over the same table, all scan-fusable."""
+    return [
+        scan("trips").window("fare", "mean", 6 * 3600.0).latest("city"),
+        scan("trips").filter("fare", ">", 10.0).window("fare", "sum", DAY / 2),
+        scan("trips").window("tips", "count", DAY).latest("fare"),
+        scan("trips").filter("distance", "<=", 20.0).select("fare", "tips"),
+        scan("trips").derived(
+            "per_km", lambda f, d: f / d, inputs=("fare", "distance")
+        ),
+        scan("trips").filter("city", "==", "nyc").window("fare", "max", DAY),
+        scan("trips").window("distance", "std", 2 * DAY),
+        scan("trips").filter("tips", "not_null").window("tips", "mean", DAY),
+    ]
+
+
+def rows_equal(a, b) -> bool:
+    """None/NaN-aware equality of two result-row lists (order-sensitive)."""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if set(ra) != set(rb):
+            return False
+        for key in ra:
+            va, vb = ra[key], rb[key]
+            if va is None or vb is None:
+                if va is not vb:
+                    return False
+            elif isinstance(va, float) and isinstance(vb, float):
+                if va != vb and not (np.isnan(va) and np.isnan(vb)):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+def _speedup(slow: float, fast: float) -> float:
+    return round(slow / fast, 2) if fast > 0 else float("inf")
+
+
+def run_materialization_case(table, plans, repeats: int = 3) -> dict:
+    """naive vs compiled vs fused for an N-view materialization wave."""
+    naive_s, naive_rows = _best_of(
+        lambda: [p.execute_rows(table, AS_OF) for p in plans],
+        max(2, repeats - 1),  # the slow tier; keep total wall time sane
+    )
+    compiled_s, compiled_rows = _best_of(
+        lambda: [compile_plan(p, table).evaluate(AS_OF) for p in plans],
+        repeats,
+    )
+    fused_s, fused = _best_of(
+        lambda: execute_fused(plans, table, AS_OF), repeats
+    )
+    fused_rows, stats = fused
+
+    parity = all(
+        rows_equal(f, n) and rows_equal(c, n)
+        for f, c, n in zip(fused_rows, compiled_rows, naive_rows)
+    )
+    return {
+        "n_views": len(plans),
+        "naive_s": round(naive_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "fused_s": round(fused_s, 4),
+        "compiled_vs_naive": _speedup(naive_s, compiled_s),
+        "fused_vs_naive": _speedup(naive_s, fused_s),
+        "fused_vs_compiled": _speedup(compiled_s, fused_s),
+        "parity": parity,
+        "views_fused": stats["views_fused"],
+        "scans_saved": stats["scans_saved"],
+        "rows_scanned": stats["rows_scanned"],
+        "columns_decoded": stats["columns_decoded"],
+        "columns_pruned": stats["columns_pruned"],
+    }
+
+
+def run_pushdown_case(table, repeats: int = 3) -> dict:
+    """Timestamp-predicate pushdown: partition pruning on a recency view."""
+    # Recency view: only the trailing ~25% of partitions up to AS_OF are
+    # relevant, and pushdown should skip the rest without being asked.
+    plan = (
+        scan("trips")
+        .filter("timestamp", ">=", 0.6 * SPAN)
+        .window("fare", "mean", DAY)
+        .latest("fare")
+    )
+    naive_s, naive_rows = _best_of(
+        lambda: plan.execute_rows(table, AS_OF), max(2, repeats - 1)
+    )
+    compiled = compile_plan(plan, table)
+    pushed_s, pushed_rows = _best_of(lambda: compiled.evaluate(AS_OF), repeats)
+    stats = compiled.stats
+    return {
+        "pushed_vs_naive": _speedup(naive_s, pushed_s),
+        "parity": rows_equal(pushed_rows, naive_rows),
+        "rows_scanned": stats["rows_scanned"],
+        "rows_pruned": stats["rows_pruned"],
+        "pruned_fraction": round(
+            stats["rows_pruned"] / max(1, len(table)), 4
+        ),
+    }
+
+
+def run_asof_join_case(table, plans, n_probes: int, seed: int = 1,
+                       repeats: int = 3) -> dict:
+    """Fused as-of join (training-set shape) vs per-view row engine."""
+    rng = np.random.default_rng(seed)
+    n_entities = int(max(table.entity_ids(), default=0)) + 1
+    eids = [int(e) for e in rng.integers(0, n_entities, size=n_probes)]
+    ts = [float(t) for t in rng.uniform(0.0, SPAN, size=n_probes)]
+
+    subset = plans[:4]
+    naive_s, naive_rows = _best_of(
+        lambda: [p.execute_rows_at(table, eids, ts) for p in subset],
+        max(2, repeats - 1),
+    )
+    fused_s, fused = _best_of(
+        lambda: execute_fused_at(subset, table, eids, ts), repeats
+    )
+    fused_rows, stats = fused
+    parity = all(
+        rows_equal(f, n) for f, n in zip(fused_rows, naive_rows)
+    )
+    return {
+        "n_views": len(subset),
+        "n_probes": n_probes,
+        "naive_s": round(naive_s, 4),
+        "fused_s": round(fused_s, 4),
+        "fused_vs_naive": _speedup(naive_s, fused_s),
+        "parity": parity,
+        "scans_saved": stats["scans_saved"],
+    }
+
+
+def run_suite(n_events: int = DEFAULT_EVENTS, seed: int = 0,
+              repeats: int = 3) -> dict:
+    n_entities = max(50, n_events // 200)
+    table = build_table(n_events, n_entities, seed)
+    plans = eight_views()
+    return {
+        "bench": "e20_pipeline_compiler",
+        "unit": "seconds (best of %d)" % repeats,
+        "n_events": n_events,
+        "n_entities": n_entities,
+        "n_partitions": len(table.partitions),
+        "materialization": run_materialization_case(table, plans, repeats),
+        "pushdown": run_pushdown_case(table, repeats),
+        "asof_join": run_asof_join_case(
+            table, plans, n_probes=max(500, n_events // 20), repeats=repeats
+        ),
+    }
+
+
+def check_acceptance(results: dict) -> list[str]:
+    """Hard bars this bench must clear; empty list means accepted."""
+    failures: list[str] = []
+    mat = results["materialization"]
+    if not mat["parity"]:
+        failures.append("materialization parity broken (fused != naive)")
+    if mat["fused_vs_naive"] < 4.0:
+        failures.append(
+            "fused materialization under the 4x bar: "
+            f"{mat['fused_vs_naive']}x"
+        )
+    if mat["scans_saved"] != mat["n_views"] - 1:
+        failures.append(
+            f"expected {mat['n_views'] - 1} scans saved, "
+            f"got {mat['scans_saved']}"
+        )
+    if not results["pushdown"]["parity"]:
+        failures.append("pushdown parity broken")
+    if results["pushdown"]["rows_pruned"] == 0:
+        failures.append("timestamp pushdown pruned nothing")
+    if not results["asof_join"]["parity"]:
+        failures.append("as-of join parity broken")
+    return failures
+
+
+def write_json(results: dict, path: pathlib.Path = RESULTS_PATH) -> pathlib.Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+# -- pytest entry point -------------------------------------------------------
+
+
+def test_e20_pipeline_compiler(report):
+    n_events = (
+        FULL_EVENTS if os.environ.get("REPRO_BENCH_FULL") else DEFAULT_EVENTS
+    )
+    results = run_suite(n_events)
+    write_json(results)
+
+    mat = results["materialization"]
+    push = results["pushdown"]
+    asof = results["asof_join"]
+    report.line("E20: pipeline compiler — naive vs compiled vs fused")
+    report.line(f"(written to {RESULTS_PATH.relative_to(RESULTS_PATH.parents[2])})")
+    report.line(
+        f"{results['n_events']} events / {results['n_entities']} entities / "
+        f"{results['n_partitions']} partitions, {mat['n_views']} views"
+    )
+    report.table(
+        ["tier", "seconds", "vs naive"],
+        [
+            ["naive", mat["naive_s"], 1.0],
+            ["compiled", mat["compiled_s"], mat["compiled_vs_naive"]],
+            ["fused", mat["fused_s"], mat["fused_vs_naive"]],
+        ],
+    )
+    report.line(
+        f"fused: {mat['views_fused']} views on one scan "
+        f"({mat['scans_saved']} scans saved, "
+        f"{mat['columns_pruned']} columns pruned)"
+    )
+    report.line(
+        f"pushdown: {push['pruned_fraction']:.0%} of rows pruned, "
+        f"{push['pushed_vs_naive']}x vs naive"
+    )
+    report.line(
+        f"as-of join ({asof['n_probes']} probes, {asof['n_views']} views): "
+        f"{asof['fused_vs_naive']}x vs naive"
+    )
+
+    failures = check_acceptance(results)
+    assert failures == [], failures

@@ -7,10 +7,13 @@ Two modes:
   (fast, no pytest) and refresh their tracked JSON documents:
   ``BENCH_columnar_join.json`` (A4 columnar engine),
   ``BENCH_ingestion_bus.json`` (E17 ingestion bus),
-  ``BENCH_vector_serving.json`` (E18 vector serving plane), and
-  ``BENCH_compressed_vectors.json`` (E19 codec plane). This is the
+  ``BENCH_vector_serving.json`` (E18 vector serving plane),
+  ``BENCH_compressed_vectors.json`` (E19 codec plane), and
+  ``BENCH_pipeline_compiler.json`` (E20 pipeline compiler). This is the
   CI target: cheap enough for every run. ``--targets columnar bus
-  vectors codecs`` selects a subset (default: all).
+  vectors codecs compiler`` selects a subset (default: all). After the
+  selected benches refresh their JSON, the perf-trajectory gate
+  (``tools/check_trajectory.py``) re-checks every tracked document.
 * default — delegate to pytest over the whole ``benchmarks/`` tree
   (``--benchmark-disable`` unless pytest-benchmark timing is wanted).
 
@@ -159,6 +162,49 @@ def _smoke_codecs() -> int:
     return 1 if failures else 0
 
 
+def _smoke_compiler() -> int:
+    import bench_e20_pipeline_compiler as e20
+
+    results = e20.run_suite()
+    path = e20.write_json(results)
+    print(f"wrote {path}")
+    mat = results["materialization"]
+    print(
+        f"  {results['n_events']} events, {mat['n_views']} views: "
+        f"naive {mat['naive_s']:.3f}s -> compiled {mat['compiled_s']:.3f}s "
+        f"({mat['compiled_vs_naive']}x) -> fused {mat['fused_s']:.3f}s "
+        f"({mat['fused_vs_naive']}x), {mat['scans_saved']} scans saved, "
+        f"parity={'ok' if mat['parity'] else 'FAIL'}"
+    )
+    push = results["pushdown"]
+    print(
+        f"  pushdown: {push['pruned_fraction']:.0%} rows pruned, "
+        f"{push['pushed_vs_naive']}x vs naive; "
+        f"as-of join {results['asof_join']['fused_vs_naive']}x "
+        f"({results['asof_join']['n_probes']} probes)"
+    )
+    failures = e20.check_acceptance(results)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def _check_trajectory() -> int:
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_trajectory", REPO_ROOT / "tools" / "check_trajectory.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_trajectory", module)
+    spec.loader.exec_module(module)
+    failures = module.check()
+    print("trajectory gate:", "ok" if not failures else "FAIL")
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def run_smoke(
     sizes: list[int],
     out: pathlib.Path | None,
@@ -175,6 +221,9 @@ def run_smoke(
         status = _smoke_vectors() or status
     if "codecs" in targets:
         status = _smoke_codecs() or status
+    if "compiler" in targets:
+        status = _smoke_compiler() or status
+    status = _check_trajectory() or status
     return status
 
 
@@ -198,14 +247,14 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="run the trajectory benches (A4 columnar, E17 bus, E18 "
-        "vectors, E19 codecs) at small sizes and refresh their tracked "
-        "JSON documents",
+        "vectors, E19 codecs, E20 compiler) at small sizes and refresh "
+        "their tracked JSON documents",
     )
     parser.add_argument(
         "--targets",
         nargs="+",
-        choices=["columnar", "bus", "vectors", "codecs"],
-        default=["columnar", "bus", "vectors", "codecs"],
+        choices=["columnar", "bus", "vectors", "codecs", "compiler"],
+        default=["columnar", "bus", "vectors", "codecs", "compiler"],
         help="which smoke benches to run (default: all)",
     )
     parser.add_argument(

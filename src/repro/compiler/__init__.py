@@ -1,0 +1,60 @@
+"""The declarative feature-pipeline compiler.
+
+Feature definitions become data (:class:`Plan`), and an optimizing
+compiler — not the author — decides the physical execution: predicate
+pushdown into partition-pruned scan ranges, projection pruning down to
+the columns a plan actually reads, and shared-scan fusion so N views
+over the same table cost one physical scan instead of N.
+
+Layering: this package sits beside ``repro.core`` and above
+``repro.storage``; nothing below it imports it (core reaches plan
+behaviour through duck-typed methods on the plan object a view carries).
+
+Entry points::
+
+    from repro.compiler import scan
+
+    plan = (scan("trips")
+            .filter("fare", ">", 0.0)
+            .window("fare", "mean", 3600.0))
+    view = plan.to_view("trip_stats", entity="driver", schema=table.schema)
+    rows = plan.execute(table, as_of=now)          # compiled single plan
+    print(plan.compile(table).explain())           # logical + physical
+"""
+
+from repro.compiler.compile import CompiledPlan, compile_plan
+from repro.compiler.executor import (
+    execute_fused,
+    execute_fused_at,
+    explain_fused,
+)
+from repro.compiler.plan import (
+    Derived,
+    Latest,
+    Plan,
+    PlanFeature,
+    WindowAgg,
+    scan,
+)
+from repro.compiler.schema import (
+    FEATURE_DTYPES,
+    check_declared_dtype,
+    map_dtype,
+)
+
+__all__ = [
+    "CompiledPlan",
+    "Derived",
+    "FEATURE_DTYPES",
+    "Latest",
+    "Plan",
+    "PlanFeature",
+    "WindowAgg",
+    "check_declared_dtype",
+    "compile_plan",
+    "execute_fused",
+    "execute_fused_at",
+    "explain_fused",
+    "map_dtype",
+    "scan",
+]

@@ -1,0 +1,549 @@
+"""Lowering plans onto the columnar kernels.
+
+:func:`compile_plan` turns a logical :class:`~repro.compiler.plan.Plan`
+into a :class:`CompiledPlan` carrying a physical strategy:
+
+``asof-index``
+    No predicates: the plan is exactly the shape the batched as-of
+    kernels were built for — ``latest_before_index_batch`` for
+    latest/derived features, ``events_between_index_batch`` plus one
+    :meth:`~repro.storage.offline.OfflineTable.gather_numeric` per window
+    column. No scan at all.
+
+``shared-scan``
+    Predicates present: one :class:`~repro.storage.scan.SharedScan`
+    bounded by as-of (and any timestamp predicates pushed into the scan
+    range — pruned partitions are never decoded), a numpy mask per
+    residual predicate, and per-entity ``searchsorted`` sub-windows.
+
+``row-engine``
+    Ordering/membership predicates on string columns cannot become numpy
+    masks (``None`` payloads in object arrays explode); fall back to the
+    reference row engine, which is always correct.
+
+Projection pruning is implicit in all strategies: only columns named by
+the plan's features and predicates are ever gathered or decoded.
+
+All strategies are byte-identical to ``Plan.execute_rows`` /
+``Plan.execute_rows_at`` — enforced by the parity suite — because they
+feed the exact same float64 values, in the same order, to the exact same
+aggregation callables (:func:`repro.core.transforms.aggregate_fn`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.compiler.plan import Derived, Latest, Plan, WindowAgg, exclusive_end
+from repro.core.transforms import aggregate_fn
+from repro.errors import ValidationError
+from repro.storage.offline import OfflineTable
+from repro.storage.query import _STRING_ROW_PATH_OPS, Predicate
+from repro.storage.scan import SharedScan
+
+
+def _column_kind(table: OfflineTable, column: str) -> str:
+    if column == "timestamp":
+        return "float"
+    if column == "entity_id":
+        return "int"
+    return table.schema.column_kind(column)
+
+
+def _pushdown_time_bounds(
+    predicates: Sequence[Predicate],
+) -> tuple[float | None, float | None, tuple[Predicate, ...]]:
+    """Split timestamp range predicates into scan bounds.
+
+    ``ts >= v`` / ``ts > v`` / ``ts < v`` / ``ts <= v`` are *exactly*
+    expressible as a half-open ``[start, end)`` scan range, so they are
+    removed from the residual mask set entirely; pushing them down is
+    semantics-preserving because a pruned row could never have matched.
+    Other timestamp predicates (``==``, ``in``, ...) stay residual.
+    """
+    start: float | None = None
+    end: float | None = None
+    residual: list[Predicate] = []
+    for predicate in predicates:
+        if predicate.column != "timestamp" or predicate.op not in (
+            ">=", ">", "<", "<=",
+        ):
+            residual.append(predicate)
+            continue
+        value = float(predicate.value)  # type: ignore[arg-type]
+        if predicate.op == ">=":
+            bound = value
+            start = bound if start is None else max(start, bound)
+        elif predicate.op == ">":
+            bound = float(np.nextafter(value, np.inf))
+            start = bound if start is None else max(start, bound)
+        elif predicate.op == "<":
+            bound = value
+            end = bound if end is None else min(end, bound)
+        else:  # "<="
+            bound = float(np.nextafter(value, np.inf))
+            end = bound if end is None else min(end, bound)
+    return start, end, tuple(residual)
+
+
+def compile_plan(plan: Plan, table: OfflineTable) -> "CompiledPlan":
+    """Pick a physical strategy for ``plan`` over ``table``."""
+    bound = plan if plan.is_bound else plan.bind(table.schema)
+    if bound.source_table != table.name:
+        raise ValidationError(
+            f"plan reads table {bound.source_table!r} but was compiled "
+            f"against {table.name!r}"
+        )
+    start, end, residual = _pushdown_time_bounds(bound.predicates)
+    strategy = "shared-scan" if bound.predicates else "asof-index"
+    for predicate in residual:
+        if (
+            _column_kind(table, predicate.column) == "string"
+            and predicate.op in _STRING_ROW_PATH_OPS
+        ):
+            strategy = "row-engine"
+            break
+    return CompiledPlan(
+        plan=bound,
+        table=table,
+        strategy=strategy,
+        pushed_start=start,
+        pushed_end=end,
+        residual=residual,
+    )
+
+
+class CompiledPlan:
+    """A plan bound to a table with a chosen physical strategy.
+
+    ``evaluate`` produces the materialization shape (one row per entity
+    with at least one matching event); ``evaluate_at`` is the as-of join
+    (one row per probe, all-None when nothing matched). ``stats`` after a
+    call reports what the optimizer saved.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        table: OfflineTable,
+        strategy: str,
+        pushed_start: float | None,
+        pushed_end: float | None,
+        residual: tuple[Predicate, ...],
+    ) -> None:
+        self.plan = plan
+        self.table = table
+        self.strategy = strategy
+        self.pushed_start = pushed_start
+        self.pushed_end = pushed_end
+        self.residual = residual
+        self.stats: dict[str, int] = {}
+
+    # -- columns the physical plan actually touches -----------------------
+
+    def projected_columns(self) -> list[str]:
+        """Columns decoded/gathered, vs. everything the table stores."""
+        return sorted(self.plan.required_columns())
+
+    def pruned_columns(self) -> list[str]:
+        all_columns = set(self.table.schema.columns)
+        return sorted(all_columns - self.plan.required_columns())
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(
+        self, as_of: float, entity_ids: Sequence[int] | None = None
+    ) -> list[dict[str, object]]:
+        """One output row per candidate entity with >= 1 matching event."""
+        candidates = (
+            [int(e) for e in entity_ids]
+            if entity_ids is not None
+            else self.table.entity_ids()
+        )
+        if self.strategy == "row-engine":
+            self.stats = {
+                "rows_scanned": len(self.table),
+                "rows_pruned": 0,
+                "columns_decoded": 0,
+                "columns_pruned": 0,
+            }
+            return self.plan.execute_rows(
+                self.table, as_of, entity_ids=candidates
+            )
+        if self.strategy == "asof-index":
+            return self._evaluate_index(as_of, candidates)
+        return self._evaluate_scan(as_of, candidates)
+
+    def evaluate_at(
+        self,
+        entity_ids: Sequence[int] | np.ndarray,
+        timestamps: Sequence[float] | np.ndarray,
+    ) -> list[dict[str, object]]:
+        """As-of join: one output row per ``(entity, ts)`` probe."""
+        eids = [int(e) for e in entity_ids]
+        ts = [float(t) for t in timestamps]
+        if len(eids) != len(ts):
+            raise ValidationError(
+                f"entity_ids and timestamps must align ({len(eids)} vs {len(ts)})"
+            )
+        if self.strategy == "row-engine":
+            self.stats = {
+                "rows_scanned": len(self.table),
+                "rows_pruned": 0,
+                "columns_decoded": 0,
+                "columns_pruned": 0,
+            }
+            return self.plan.execute_rows_at(self.table, eids, ts)
+        if self.strategy == "asof-index":
+            return self._evaluate_index_at(eids, ts)
+        return self._evaluate_scan_at(eids, ts)
+
+    # -- asof-index strategy ----------------------------------------------
+
+    def _evaluate_index(
+        self, as_of: float, candidates: list[int]
+    ) -> list[dict[str, object]]:
+        probes = np.full(len(candidates), as_of, dtype=np.float64)
+        rows = self._index_rows(np.asarray(candidates, dtype=np.int64), probes)
+        out = [row for row in rows if row is not None]
+        self.stats = {
+            "rows_scanned": 0,
+            "rows_pruned": len(self.table),
+            "columns_decoded": len(self._window_columns()),
+            "columns_pruned": len(self.pruned_columns()),
+        }
+        return out
+
+    def _evaluate_index_at(
+        self, eids: list[int], ts: list[float]
+    ) -> list[dict[str, object]]:
+        rows = self._index_rows(
+            np.asarray(eids, dtype=np.int64),
+            np.asarray(ts, dtype=np.float64),
+            emit_misses=True,
+        )
+        self.stats = {
+            "rows_scanned": 0,
+            "rows_pruned": len(self.table),
+            "columns_decoded": len(self._window_columns()),
+            "columns_pruned": len(self.pruned_columns()),
+        }
+        return [row for row in rows if row is not None]
+
+    def _window_columns(self) -> list[str]:
+        return sorted(
+            {
+                f.op.column
+                for f in self.plan.features
+                if isinstance(f.op, WindowAgg)
+            }
+        )
+
+    def _index_rows(
+        self,
+        eids: np.ndarray,
+        ts: np.ndarray,
+        emit_misses: bool = False,
+    ) -> list[dict[str, object] | None]:
+        """Shared core of the index strategy.
+
+        Per probe: resolve the latest row index once, resolve each window
+        feature's event-index window once, gather each window column once
+        (flattened across probes), then assemble rows. ``emit_misses``
+        selects the as-of-join shape (all-None rows for empty probes).
+        """
+        table = self.table
+        latest_idx = table.latest_before_index_batch(eids, ts)
+        hit = latest_idx >= 0
+
+        window_features = [
+            (f.name, f.op)
+            for f in self.plan.features
+            if isinstance(f.op, WindowAgg)
+        ]
+        # window -> per-probe (values, null) slices, one flat gather per feature
+        window_values: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+        for name, op in window_features:
+            windows = table.events_between_index_batch(
+                eids, ts - op.window, ts
+            )
+            flat = (
+                np.concatenate(windows)
+                if windows
+                else np.empty(0, dtype=np.int64)
+            )
+            values, null = table.gather_numeric(op.column, flat)
+            offsets = np.concatenate(
+                ([0], np.cumsum([len(w) for w in windows]))
+            ).astype(np.int64)
+            window_values[name] = [
+                (values[offsets[i] : offsets[i + 1]], null[offsets[i] : offsets[i + 1]])
+                for i in range(len(windows))
+            ]
+
+        aggregates = {
+            name: aggregate_fn(op.agg) for name, op in window_features
+        }
+        out: list[dict[str, object] | None] = []
+        for probe in range(len(eids)):
+            if not hit[probe] and not emit_misses:
+                out.append(None)
+                continue
+            row_out: dict[str, object] = {
+                "entity_id": int(eids[probe]),
+                "timestamp": float(ts[probe]),
+            }
+            latest = (
+                table.row_at(int(latest_idx[probe])) if hit[probe] else None
+            )
+            for feature in self.plan.features:
+                op = feature.op
+                if isinstance(op, Latest):
+                    row_out[feature.name] = (
+                        latest.get(op.column) if latest is not None else None
+                    )
+                elif isinstance(op, Derived):
+                    if latest is None:
+                        row_out[feature.name] = None
+                    else:
+                        args = [latest.get(c) for c in op.inputs]
+                        row_out[feature.name] = (
+                            None if any(a is None for a in args) else op.fn(*args)
+                        )
+                else:  # WindowAgg
+                    if latest is None:
+                        # as-of-join miss: no visible events at all
+                        row_out[feature.name] = None
+                        continue
+                    values, null = window_values[feature.name][probe]
+                    valid = values[~null].astype(np.float64)
+                    if len(valid) == 0:
+                        row_out[feature.name] = (
+                            0.0 if op.agg == "count" else None
+                        )
+                    else:
+                        row_out[feature.name] = aggregates[feature.name](valid)
+            out.append(row_out)
+        return out
+
+    # -- shared-scan strategy ---------------------------------------------
+
+    def scan_bounds(self, horizon: float) -> tuple[float | None, float]:
+        """The physical scan range after pushdown, capped at the horizon."""
+        end = exclusive_end(horizon)
+        if self.pushed_end is not None:
+            end = min(end, self.pushed_end)
+        return self.pushed_start, end
+
+    def _build_scan(self, horizon: float) -> SharedScan:
+        start, end = self.scan_bounds(horizon)
+        return SharedScan(self.table, start=start, end=end)
+
+    def _evaluate_scan(
+        self, as_of: float, candidates: list[int]
+    ) -> list[dict[str, object]]:
+        scan = self._build_scan(as_of)
+        rows = evaluate_on_scan(self.plan, self.residual, scan, as_of, candidates)
+        self.stats = {
+            "rows_scanned": scan.rows_scanned,
+            "rows_pruned": scan.rows_pruned,
+            "columns_decoded": scan.columns_decoded,
+            "columns_pruned": len(self.pruned_columns()),
+        }
+        return rows
+
+    def _evaluate_scan_at(
+        self, eids: list[int], ts: list[float]
+    ) -> list[dict[str, object]]:
+        horizon = max(ts) if ts else 0.0
+        scan = self._build_scan(horizon)
+        rows = evaluate_on_scan_at(self.plan, self.residual, scan, eids, ts)
+        self.stats = {
+            "rows_scanned": scan.rows_scanned,
+            "rows_pruned": scan.rows_pruned,
+            "columns_decoded": scan.columns_decoded,
+            "columns_pruned": len(self.pruned_columns()),
+        }
+        return rows
+
+    # -- explain -----------------------------------------------------------
+
+    def explain(self) -> str:
+        """Logical plan plus the physical strategy underneath it."""
+        lines = [self.plan.explain(), f"Physical: strategy={self.strategy}"]
+        if self.strategy == "asof-index":
+            lines.append(
+                "  asof: latest_before_index_batch + "
+                "events_between_index_batch (no scan)"
+            )
+        elif self.strategy == "shared-scan":
+            start = "-inf" if self.pushed_start is None else f"{self.pushed_start:g}"
+            end = "as_of" if self.pushed_end is None else f"{self.pushed_end:g}"
+            lines.append(f"  scan: {self.table.name}[{start}, {end})")
+            for predicate in self.residual:
+                lines.append(
+                    f"  mask: {predicate.column} {predicate.op} "
+                    f"{predicate.value!r}"
+                )
+            pushed = len(self.plan.predicates) - len(self.residual)
+            if pushed:
+                lines.append(f"  pushdown: {pushed} timestamp predicate(s) -> scan range")
+        else:
+            lines.append("  fallback: string-ordering predicate forces the row engine")
+        lines.append(
+            f"  project: {', '.join(self.projected_columns()) or '(none)'}"
+            + (
+                f"  [pruned: {', '.join(self.pruned_columns())}]"
+                if self.pruned_columns()
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+
+# -- scan-based operators (also the fusion substrate) --------------------------
+
+
+def _residual_mask(
+    residual: Sequence[Predicate], scan: SharedScan
+) -> np.ndarray | None:
+    """AND of all residual predicate masks over the scanned rows."""
+    mask: np.ndarray | None = None
+    for predicate in residual:
+        values, null = scan.column(predicate.column)
+        hit = predicate.mask(values, null)
+        mask = hit if mask is None else (mask & hit)
+    return mask
+
+
+def _matching_positions(
+    scan: SharedScan, mask: np.ndarray | None, entity_id: int
+) -> np.ndarray:
+    """One entity's matching global scan positions, in time order."""
+    positions = scan.segment_of(entity_id)
+    if mask is None or len(positions) == 0:
+        return positions
+    return positions[mask[positions]]
+
+
+def _window_value(
+    op: WindowAgg,
+    seg_ts: np.ndarray,
+    seg_values: np.ndarray,
+    seg_null: np.ndarray,
+    as_of: float,
+) -> float | None:
+    """One window aggregate over an entity's matching segment arrays.
+
+    ``seg_*`` cover events with ``ts <= as_of``; the sub-window
+    ``as_of - window < ts <= as_of`` is two ``searchsorted`` calls.
+    """
+    lo = int(np.searchsorted(seg_ts, as_of - op.window, side="right"))
+    hi = int(np.searchsorted(seg_ts, as_of, side="right"))
+    values = seg_values[lo:hi]
+    null = seg_null[lo:hi]
+    valid = values[~null].astype(np.float64)
+    if len(valid) == 0:
+        return 0.0 if op.agg == "count" else None
+    return aggregate_fn(op.agg)(valid)
+
+
+def _evaluate_entity(
+    plan: Plan,
+    scan: SharedScan,
+    positions: np.ndarray,
+    as_of: float,
+    columns: dict[str, tuple[np.ndarray, np.ndarray]],
+) -> dict[str, object]:
+    """Feature values for one entity from its matching positions (non-empty)."""
+    seg_ts = scan.timestamps[positions]
+    hi = int(np.searchsorted(seg_ts, as_of, side="right"))
+    latest = scan.row_at(int(positions[hi - 1])) if hi > 0 else None
+    out: dict[str, object] = {}
+    for feature in plan.features:
+        op = feature.op
+        if isinstance(op, Latest):
+            out[feature.name] = latest.get(op.column) if latest else None
+        elif isinstance(op, Derived):
+            if latest is None:
+                out[feature.name] = None
+            else:
+                args = [latest.get(c) for c in op.inputs]
+                out[feature.name] = (
+                    None if any(a is None for a in args) else op.fn(*args)
+                )
+        else:  # WindowAgg
+            values, null = columns[op.column]
+            out[feature.name] = _window_value(
+                op, seg_ts[:hi], values[positions[:hi]], null[positions[:hi]], as_of
+            )
+    return out
+
+
+def evaluate_on_scan(
+    plan: Plan,
+    residual: Sequence[Predicate],
+    scan: SharedScan,
+    as_of: float,
+    candidates: Sequence[int],
+) -> list[dict[str, object]]:
+    """Materialization shape over a (possibly shared) scan.
+
+    The scan must already be bounded by ``ts <= as_of``; this is what lets
+    a fusion group hand the *same* scan to every member plan.
+    """
+    mask = _residual_mask(residual, scan)
+    columns = {
+        column: scan.column(column)
+        for column in _numeric_window_columns(plan)
+    }
+    out: list[dict[str, object]] = []
+    for entity in candidates:
+        positions = _matching_positions(scan, mask, int(entity))
+        if len(positions) == 0:
+            continue
+        values = _evaluate_entity(plan, scan, positions, as_of, columns)
+        out.append(
+            {"entity_id": int(entity), "timestamp": as_of, **values}
+        )
+    return out
+
+
+def evaluate_on_scan_at(
+    plan: Plan,
+    residual: Sequence[Predicate],
+    scan: SharedScan,
+    eids: Sequence[int],
+    ts: Sequence[float],
+) -> list[dict[str, object]]:
+    """As-of join shape over a (possibly shared) scan: a row per probe."""
+    mask = _residual_mask(residual, scan)
+    columns = {
+        column: scan.column(column)
+        for column in _numeric_window_columns(plan)
+    }
+    out: list[dict[str, object]] = []
+    for entity, t in zip(eids, ts):
+        positions = _matching_positions(scan, mask, int(entity))
+        seg_ts = scan.timestamps[positions]
+        hi = int(np.searchsorted(seg_ts, t, side="right"))
+        row_out: dict[str, object] = {
+            "entity_id": int(entity), "timestamp": float(t),
+        }
+        if hi == 0:
+            for feature in plan.features:
+                row_out[feature.name] = None
+        else:
+            row_out.update(
+                _evaluate_entity(plan, scan, positions[:hi], t, columns)
+            )
+        out.append(row_out)
+    return out
+
+
+def _numeric_window_columns(plan: Plan) -> set[str]:
+    return {
+        f.op.column for f in plan.features if isinstance(f.op, WindowAgg)
+    }

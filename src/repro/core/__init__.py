@@ -29,6 +29,8 @@ from repro.core.transforms import (
     RowTransform,
     Transformation,
     WindowAggregate,
+    aggregate_fn,
+    available_aggregations,
 )
 
 __all__ = [
@@ -48,5 +50,7 @@ __all__ = [
     "TrainingSet",
     "Transformation",
     "WindowAggregate",
+    "aggregate_fn",
+    "available_aggregations",
     "char_ngrams",
 ]

@@ -17,6 +17,7 @@ workflow the paper describes (section 2.2):
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 from dataclasses import dataclass, field
 
@@ -95,6 +96,7 @@ class FeatureStore:
         self.online = OnlineStore(clock=self.clock)
         self.models = ModelStore(clock=self.clock)
         self._runtimes: dict[tuple[str, int], _ViewRuntime] = {}
+        self._compiler_totals: dict[str, int] = {}
 
     # -- sources ------------------------------------------------------------
 
@@ -156,7 +158,10 @@ class FeatureStore:
         """Publish a feature view and provision its storage.
 
         Validates that the source table exists and declares every input
-        column the view's transformations read.
+        column the view's transformations read. Plan-backed views are
+        bound to the live source schema here, so the registry's
+        plan-vs-declared dtype validation runs against what this store
+        will actually compile.
         """
         source = self.offline.table(view.source_table)
         known = set(source.schema.columns) | {"entity_id", "timestamp"}
@@ -166,6 +171,8 @@ class FeatureStore:
                 f"view {view.name!r} reads columns {sorted(missing)} that source "
                 f"table {view.source_table!r} does not declare"
             )
+        if view.plan is not None and not getattr(view.plan, "is_bound", False):
+            view = dataclasses.replace(view, plan=view.plan.bind(source.schema))
         stamped = self.registry.publish_view(view)
         feature_columns = {f.name: f.dtype for f in stamped.features}
         self.offline.create_table(
@@ -178,6 +185,36 @@ class FeatureStore:
             stamped.name, stamped.version, len(stamped.features), stamped.cadence,
         )
         return stamped
+
+    def publish_plan(
+        self,
+        name: str,
+        plan,
+        entity: str,
+        cadence: float = 3600.0,
+        ttl: float | None = None,
+        owner: str = "",
+        description: str = "",
+        tags: tuple[str, ...] = (),
+    ) -> FeatureView:
+        """Publish a declarative plan (``repro.compiler``) as a feature view.
+
+        The plan is lowered to a view against the live source schema
+        (feature dtypes inferred by the compiler) and then goes through the
+        normal :meth:`publish_view` validation and provisioning.
+        """
+        source = self.offline.table(plan.source_table)
+        view = plan.to_view(
+            name,
+            entity=entity,
+            schema=source.schema,
+            cadence=cadence,
+            ttl=ttl,
+            owner=owner,
+            description=description,
+            tags=tags,
+        )
+        return self.publish_view(view)
 
     # -- materialization ------------------------------------------------------
 
@@ -195,10 +232,17 @@ class FeatureStore:
         point-in-time training joins key on.
         """
         view = self.registry.view(view_name, version)
-        runtime = self._runtimes[(view.name, view.version)]
         as_of = self.clock.now() if as_of is None else float(as_of)
         source = self.offline.table(view.source_table)
-        target = self.offline.table(view.materialized_table)
+
+        if view.plan is not None:
+            # Compiled route: the plan picks its physical strategy
+            # (asof-index / shared-scan / row-engine) and reports what the
+            # optimizer saved.
+            compiled = view.plan.compile(source)
+            rows = compiled.evaluate(as_of, entity_ids=entity_ids)
+            self._note_compiler_stats({"views_compiled": 1, **compiled.stats})
+            return self._commit_materialization(view, as_of, rows)
 
         max_window = max(
             (t.window for f in view.features for t in [f.transform]
@@ -220,7 +264,6 @@ class FeatureStore:
                 candidates, as_of - max_window, as_of
             )
         out_rows: list[dict[str, object]] = []
-        out_values: list[tuple[int, dict[str, object]]] = []
         for i, entity_id in enumerate(candidates):
             row_index = int(latest_idx[i])
             if row_index < 0:
@@ -238,25 +281,103 @@ class FeatureStore:
                 values[feature.name] = feature.transform.evaluate(events, as_of)
 
             out_rows.append({"entity_id": entity_id, "timestamp": as_of, **values})
-            out_values.append((entity_id, values))
 
-        # One bulk append to the materialized table, then the online writes.
-        if out_rows:
-            target.append(out_rows)
-        for entity_id, values in out_values:
-            self.online.write(view.online_namespace, entity_id, values, event_time=as_of)
-        written = len(out_rows)
+        return self._commit_materialization(view, as_of, out_rows)
 
+    def _commit_materialization(
+        self,
+        view: FeatureView,
+        as_of: float,
+        rows: list[dict[str, object]],
+    ) -> MaterializationResult:
+        """Write finished feature rows to both stores and record the run.
+
+        Shared tail of every materialization path (legacy transform loop,
+        compiled single plan, fused plan group): one bulk append to the
+        materialized table, per-entity online upserts, runtime bookkeeping.
+        """
+        runtime = self._runtimes[(view.name, view.version)]
+        target = self.offline.table(view.materialized_table)
+        if rows:
+            target.append(rows)
+        feature_names = view.feature_names
+        for row in rows:
+            values = {name: row[name] for name in feature_names}
+            self.online.write(
+                view.online_namespace, row["entity_id"], values, event_time=as_of
+            )
         result = MaterializationResult(
-            view=view.name, version=view.version, as_of=as_of, entities_written=written
+            view=view.name,
+            version=view.version,
+            as_of=as_of,
+            entities_written=len(rows),
         )
         runtime.last_materialized = as_of
         runtime.runs.append(result)
         logger.info(
             "materialized %s v%d as_of=%.0f: %d entities",
-            view.name, view.version, as_of, written,
+            view.name, view.version, as_of, len(rows),
         )
         return result
+
+    def materialize_many(
+        self,
+        view_names: list[str],
+        as_of: float | None = None,
+    ) -> list[MaterializationResult]:
+        """Materialize several views at once, fusing shared scans.
+
+        Plan-backed views reading the same source table become one fusion
+        group: a single physical scan feeds every member's operators
+        (``scans_saved`` grows by N-1 per group). Everything else — legacy
+        views and singleton plans — goes through :meth:`materialize`
+        individually. Results come back in input order and are identical
+        to per-view materialization.
+        """
+        as_of = self.clock.now() if as_of is None else float(as_of)
+        views = [self.registry.view(name) for name in view_names]
+        results: dict[int, MaterializationResult] = {}
+
+        groups: dict[str, list[int]] = {}
+        for position, view in enumerate(views):
+            if view.plan is not None:
+                groups.setdefault(view.source_table, []).append(position)
+
+        fused: set[int] = set()
+        for table_name, members in groups.items():
+            if len(members) < 2:
+                continue
+            source = self.offline.table(table_name)
+            plans = [views[position].plan for position in members]
+            rows_per_plan, stats = plans[0].materialize_group(
+                plans, source, as_of
+            )
+            self._note_compiler_stats(stats)
+            for position, rows in zip(members, rows_per_plan):
+                results[position] = self._commit_materialization(
+                    views[position], as_of, rows
+                )
+            fused.update(members)
+
+        for position, view in enumerate(views):
+            if position not in fused:
+                results[position] = self.materialize(
+                    view.name, as_of=as_of, version=view.version
+                )
+        return [results[position] for position in range(len(views))]
+
+    def _note_compiler_stats(self, delta: dict[str, int]) -> None:
+        for key, value in delta.items():
+            self._compiler_totals[key] = (
+                self._compiler_totals.get(key, 0) + int(value)
+            )
+
+    @property
+    def compiler_stats(self) -> dict[str, int]:
+        """Cumulative pipeline-compiler accounting (empty before any
+        compiled execution): views compiled, fusion groups, scans saved,
+        rows scanned vs. pruned, columns decoded vs. pruned."""
+        return dict(self._compiler_totals)
 
     def backfill(
         self,

@@ -53,6 +53,11 @@ class FeatureView:
         owner / description / tags: the "definitional metadata" the paper
             says users publish alongside the query.
         version: assigned by the registry at publish time.
+        plan: optional declarative plan (``repro.compiler``) this view was
+            lowered from. Core never imports the compiler; it only calls
+            duck-typed methods (``bind`` / ``validate_view`` /
+            ``required_columns`` / ``compile`` / ``materialize_group``) on
+            the object, keeping the layering one-directional.
     """
 
     name: str
@@ -65,6 +70,7 @@ class FeatureView:
     description: str = ""
     tags: tuple[str, ...] = ()
     version: int = 1
+    plan: object | None = None
 
     def __post_init__(self) -> None:
         if not self.features:
@@ -96,6 +102,12 @@ class FeatureView:
         out: set[str] = set()
         for feature in self.features:
             out.update(feature.transform.input_columns)
+        if self.plan is not None:
+            out.update(
+                column
+                for column in self.plan.required_columns()
+                if column not in ("entity_id", "timestamp")
+            )
         return out
 
     def feature(self, name: str) -> Feature:
@@ -117,6 +129,7 @@ class FeatureView:
             description=self.description,
             tags=self.tags,
             version=version,
+            plan=self.plan,
         )
 
 

@@ -67,6 +67,11 @@ class FeatureRegistry:
         Republishing a view whose name already exists creates a new version;
         prior versions stay readable so existing feature sets and models
         keep their pinned definitions.
+
+        Plan-backed views are schema-checked here: the declared feature
+        dtypes must agree with what the compiled plan will produce
+        (:class:`~repro.errors.ValidationError` otherwise — *before* a
+        version is allocated, so a bad publish leaves no trace).
         """
         if view.entity not in self._entities:
             raise NotRegisteredError(
@@ -74,6 +79,8 @@ class FeatureRegistry:
             )
         versions = self._views.setdefault(view.name, [])
         stamped = view.with_version(len(versions) + 1)
+        if stamped.plan is not None and getattr(stamped.plan, "is_bound", False):
+            stamped.plan.validate_view(stamped)
         versions.append(stamped)
 
         view_node = ("view", f"{stamped.name}:v{stamped.version}")
@@ -81,6 +88,10 @@ class FeatureRegistry:
         self._lineage.add_node(view_node)
         self._lineage.add_node(table_node)
         self._lineage.add_edge(table_node, view_node)
+        for column in sorted(stamped.input_columns()):
+            column_node = ("column", f"{stamped.source_table}.{column}")
+            self._lineage.add_edge(table_node, column_node)
+            self._lineage.add_edge(column_node, view_node)
         for feature in stamped.features:
             feature_node = ("feature", f"{stamped.name}:v{stamped.version}:{feature.name}")
             self._lineage.add_edge(view_node, feature_node)

@@ -146,3 +146,17 @@ class WindowAggregate(Transformation):
 def available_aggregations() -> list[str]:
     """Names of the supported window aggregation functions."""
     return sorted(_AGGREGATIONS)
+
+
+def aggregate_fn(name: str) -> Callable[[np.ndarray], float]:
+    """The aggregation callable behind ``name``.
+
+    The pipeline compiler's vectorized window operators apply *this exact
+    function* to column-gathered arrays so compiled output stays
+    byte-identical to :meth:`WindowAggregate.evaluate`.
+    """
+    if name not in _AGGREGATIONS:
+        raise ValidationError(
+            f"unknown aggregation {name!r}; allowed: {sorted(_AGGREGATIONS)}"
+        )
+    return _AGGREGATIONS[name]

@@ -18,6 +18,7 @@ in the system."
 from repro.monitoring.dashboard import (
     DashboardSection,
     bus_section,
+    compiler_section,
     render_dashboard,
     services_section,
     serving_section,
@@ -66,6 +67,7 @@ __all__ = [
     "RetrainingPolicy",
     "SkewReport",
     "bus_section",
+    "compiler_section",
     "chi_square_drift",
     "kl_divergence",
     "ks_drift",

@@ -123,6 +123,35 @@ def embedding_section(
     return DashboardSection("embeddings", tuple(lines))
 
 
+def compiler_section(store: FeatureStore) -> DashboardSection:
+    """Pipeline-compiler accounting: what the optimizer saved.
+
+    Reads :attr:`FeatureStore.compiler_stats` (cumulative since store
+    creation). The headline numbers are physical scans saved by
+    shared-scan fusion and rows/columns never touched thanks to
+    predicate pushdown and projection pruning.
+    """
+    stats = store.compiler_stats
+    if not stats:
+        return DashboardSection(
+            "pipeline compiler", ("no compiled plans executed",)
+        )
+    touched = stats.get("rows_scanned", 0)
+    pruned = stats.get("rows_pruned", 0)
+    total = touched + pruned
+    pruned_pct = (100.0 * pruned / total) if total else 0.0
+    lines = (
+        f"views compiled: {stats.get('views_compiled', 0)} "
+        f"(fused: {stats.get('views_fused', 0)} in "
+        f"{stats.get('fusion_groups', 0)} group(s))",
+        f"scans saved by fusion: {stats.get('scans_saved', 0)}",
+        f"rows scanned: {touched} (pruned: {pruned}, {pruned_pct:.0f}%)",
+        f"columns decoded: {stats.get('columns_decoded', 0)} "
+        f"(pruned: {stats.get('columns_pruned', 0)})",
+    )
+    return DashboardSection("pipeline compiler", lines)
+
+
 def model_section(store: FeatureStore) -> DashboardSection:
     """Deployed models with lineage and headline metrics."""
     lines = []
@@ -395,6 +424,8 @@ def render_dashboard(
     ]
     if embeddings is not None:
         sections.append(embedding_section(embeddings, store))
+    if store.compiler_stats:
+        sections.append(compiler_section(store))
     sections.append(model_section(store))
     if gateway is not None:
         sections.append(serving_section(gateway))

@@ -17,7 +17,8 @@ in pure Python/numpy:
 from repro.storage.models import ModelRecord, ModelStore
 from repro.storage.offline import OfflineStore, OfflineTable, TableSchema
 from repro.storage.online import FreshnessPolicy, OnlineStore
-from repro.storage.query import Query
+from repro.storage.query import Predicate, Query
+from repro.storage.scan import SharedScan
 
 __all__ = [
     "FreshnessPolicy",
@@ -26,7 +27,9 @@ __all__ = [
     "OfflineStore",
     "OfflineTable",
     "OnlineStore",
+    "Predicate",
     "Query",
+    "SharedScan",
     "TableSchema",
 ]
 

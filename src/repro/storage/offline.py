@@ -572,6 +572,33 @@ class OfflineTable:
         out[valid] = gathered
         return out
 
+    def gather_numeric(
+        self, column: str, row_indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, null_mask)`` of a numeric column at arbitrary row indices.
+
+        Unlike :meth:`gather_float` this keeps NULL separate from an actual
+        NaN payload, which window aggregates need (NULL is *skipped*, a NaN
+        payload participates). Rejects string columns. ``-1`` indices yield
+        a NULL-masked slot.
+        """
+        kind = self.schema.column_kind(column)  # KeyError on unknown
+        if kind == "string":
+            raise ValidationError(
+                f"column {column!r} of table {self.name!r} is a string column; "
+                "gather_numeric requires a numeric column"
+            )
+        indices = np.asarray(row_indices, dtype=np.int64)
+        values, null = self._column_data(column)
+        out = np.zeros(indices.shape, dtype=values.dtype)
+        out_null = np.ones(indices.shape, dtype=bool)
+        valid = indices >= 0
+        if valid.any():
+            taken = indices[valid]
+            out[valid] = values[taken]
+            out_null[valid] = null[taken]
+        return out, out_null
+
     def _column_data(self, column: str) -> tuple[np.ndarray, np.ndarray]:
         """Table-level ``(values, null_mask)`` over all rows in append order.
 

@@ -1,0 +1,145 @@
+"""Shared physical scans: one pass over a table, many consumers.
+
+The fusion substrate of the pipeline compiler (``repro.compiler``): when N
+feature views read the same ``(table, time range)``, the compiler builds a
+single :class:`SharedScan` and points every view's operators at it instead
+of running N scans. The scan
+
+* touches only partitions overlapping the range (partition pruning via
+  :meth:`OfflineTable.scan_frames` / :meth:`ColumnFrame.time_slice`),
+* decodes a column **once** on first request and serves the cached arrays
+  to every consumer (projection pruning happens upstream: consumers only
+  ask for columns they reference),
+* exposes a per-entity segment index (stable sort by entity, time order
+  preserved within each segment) so as-of and window operators are
+  ``searchsorted`` slices instead of per-row loops.
+
+Rows across partition frames concatenate into global ``(timestamp,
+insertion)`` order because partitions cover disjoint time ranges and each
+frame is already time-sorted — the same order :meth:`OfflineTable.scan`
+yields, which is what keeps fused execution byte-identical to per-view
+scans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.offline import ColumnFrame, OfflineTable
+
+
+class SharedScan:
+    """One physical pass over ``table`` rows with ``start <= ts < end``.
+
+    ``start``/``end`` may be ``None`` (unbounded). Column decodes and the
+    entity segment index are cached, so any number of consumers pay each
+    cost once. ``columns_decoded`` / ``rows_scanned`` / ``rows_pruned``
+    feed the compiler's optimizer accounting.
+    """
+
+    def __init__(
+        self,
+        table: OfflineTable,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> None:
+        self.table = table
+        self.start = start
+        self.end = end
+        self._slices: list[tuple[ColumnFrame, int, int]] = list(
+            table.scan_frames(start, end)
+        )
+        lengths = [hi - lo for __, lo, hi in self._slices]
+        self.rows_scanned = int(sum(lengths))
+        self.rows_pruned = len(table) - self.rows_scanned
+        self.partitions_scanned = len(self._slices)
+        # Global position p maps into slice k where offsets[k] <= p < offsets[k+1].
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(np.asarray(lengths, dtype=np.int64)))
+        )
+        if self._slices:
+            self.timestamps = np.concatenate(
+                [frame.timestamps[lo:hi] for frame, lo, hi in self._slices]
+            )
+            self.entity_ids = np.concatenate(
+                [frame.entity_ids[lo:hi] for frame, lo, hi in self._slices]
+            )
+        else:
+            self.timestamps = np.empty(0, dtype=np.float64)
+            self.entity_ids = np.empty(0, dtype=np.int64)
+        self._columns: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._segments: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return self.rows_scanned
+
+    @property
+    def columns_decoded(self) -> int:
+        """Distinct columns decoded so far (the projection actually paid for)."""
+        return len(self._columns)
+
+    def column(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, null_mask)`` of one column over the scanned rows.
+
+        Decoded once per column per scan, whatever the number of consumers.
+        ``timestamp`` / ``entity_id`` are served from the precomputed arrays.
+        """
+        if name == "timestamp":
+            return self.timestamps, np.zeros(self.rows_scanned, dtype=bool)
+        if name == "entity_id":
+            return self.entity_ids, np.zeros(self.rows_scanned, dtype=bool)
+        cached = self._columns.get(name)
+        if cached is not None:
+            return cached
+        kind = self.table.schema.column_kind(name)  # KeyError on unknown
+        if self._slices:
+            pieces = [frame.column(name) for frame, __, __ in self._slices]
+            values = np.concatenate(
+                [piece[0][lo:hi] for piece, (__, lo, hi) in zip(pieces, self._slices)]
+            )
+            null = np.concatenate(
+                [piece[1][lo:hi] for piece, (__, lo, hi) in zip(pieces, self._slices)]
+            )
+        else:
+            values = np.empty(0, dtype=object if kind == "string" else np.float64)
+            null = np.empty(0, dtype=bool)
+        built = (values, null)
+        self._columns[name] = built
+        return built
+
+    def row_at(self, position: int) -> dict[str, object]:
+        """The stored row dict at a global scan position (object identity)."""
+        k = int(np.searchsorted(self._offsets, position, side="right")) - 1
+        frame, lo, __ = self._slices[k]
+        return frame.rows[lo + (position - int(self._offsets[k]))]
+
+    def entity_segments(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(order, starts, ends, entities)`` — the per-entity segment index.
+
+        ``order`` is a permutation of global positions stably sorted by
+        entity id; ``order[starts[k]:ends[k]]`` are entity ``entities[k]``'s
+        rows in ``(timestamp, insertion)`` order. Cached.
+        """
+        if self._segments is None:
+            order = np.argsort(self.entity_ids, kind="stable")
+            sorted_entities = self.entity_ids[order]
+            boundaries = np.flatnonzero(np.diff(sorted_entities)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(sorted_entities)]))
+            entities = (
+                sorted_entities[starts]
+                if len(sorted_entities)
+                else np.empty(0, dtype=np.int64)
+            )
+            self._segments = (order, starts, ends, entities)
+        return self._segments
+
+    def segment_of(self, entity_id: int) -> np.ndarray:
+        """Global positions of one entity's rows, in time order (may be empty)."""
+        order, starts, ends, entities = self.entity_segments()
+        k = int(np.searchsorted(entities, entity_id))
+        if k >= len(entities) or int(entities[k]) != entity_id:
+            return np.empty(0, dtype=np.int64)
+        return order[int(starts[k]) : int(ends[k])]

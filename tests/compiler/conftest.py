@@ -1,0 +1,91 @@
+"""Shared fixtures for the pipeline-compiler suite."""
+
+import numpy as np
+import pytest
+
+from repro.storage.offline import OfflineStore, TableSchema
+
+DAY = 86400.0
+
+
+def trip_schema() -> TableSchema:
+    return TableSchema(
+        columns={
+            "fare": "float",
+            "distance": "float",
+            "tips": "int",
+            "city": "string",
+        }
+    )
+
+
+def trip_rows(
+    n_rows: int = 4000,
+    n_entities: int = 40,
+    span: float = 3 * DAY,
+    null_rate: float = 0.05,
+    seed: int = 0,
+) -> list[dict]:
+    """Raw trip events spanning several partitions, with NULLs mixed in."""
+    rng = np.random.default_rng(seed)
+    cities = ["nyc", "sf", "chi", None]
+    rows = []
+    for __ in range(n_rows):
+        rows.append(
+            {
+                "entity_id": int(rng.integers(0, n_entities)),
+                "timestamp": float(rng.uniform(0, span)),
+                "fare": (
+                    None
+                    if rng.random() < null_rate
+                    else float(rng.uniform(1, 100))
+                ),
+                "distance": float(rng.uniform(0.1, 30)),
+                "tips": (
+                    None
+                    if rng.random() < null_rate
+                    else int(rng.integers(0, 25))
+                ),
+                "city": cities[int(rng.integers(0, len(cities)))],
+            }
+        )
+    return rows
+
+
+def make_trips(
+    n_rows: int = 4000,
+    n_entities: int = 40,
+    span: float = 3 * DAY,
+    null_rate: float = 0.05,
+    seed: int = 0,
+):
+    """A multi-partition event table with NULLs and mixed dtypes."""
+    store = OfflineStore()
+    table = store.create_table("trips", trip_schema())
+    table.append(trip_rows(n_rows, n_entities, span, null_rate, seed))
+    return table
+
+
+@pytest.fixture
+def trips():
+    return make_trips()
+
+
+def rows_equal(a, b):
+    """None/NaN-aware equality of two result-row lists (order-sensitive)."""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if set(ra) != set(rb):
+            return False
+        for key in ra:
+            va, vb = ra[key], rb[key]
+            if va is None or vb is None:
+                if va is not vb:
+                    return False
+            elif isinstance(va, float) and isinstance(vb, float):
+                if va != vb and not (np.isnan(va) and np.isnan(vb)):
+                    return False
+            elif va != vb:
+                return False
+    return True

@@ -90,3 +90,66 @@ class TestLayering:
             checker.ImportEdge("repro.vecserve.snapshot", "repro.codec", 5),
         ]
         assert checker.check_edges(edges) == []
+
+    def test_lint_detects_compiler_plane_import(self):
+        """The pipeline compiler may not import any serving plane."""
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.compiler.plan", "repro.serving", 1),
+            checker.ImportEdge(
+                "repro.compiler.executor", "repro.monitoring.dashboard", 2
+            ),
+            checker.ImportEdge("repro.compiler.compile", "repro.pipeline", 3),
+        ]
+        violations = checker.check_edges(edges)
+        assert len(violations) == 3
+        assert all("repro.compiler" in v.rule for v in violations)
+
+    def test_lint_allows_compiler_substrate_imports(self):
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge(
+                "repro.compiler.plan", "repro.core.feature_view", 1
+            ),
+            checker.ImportEdge(
+                "repro.compiler.compile", "repro.storage.offline", 2
+            ),
+            checker.ImportEdge(
+                "repro.compiler.executor", "repro.compiler.compile", 3
+            ),
+            checker.ImportEdge("repro.compiler.plan", "numpy", 4),
+            checker.ImportEdge("repro.compiler.schema", "repro.errors", 5),
+        ]
+        assert checker.check_edges(edges) == []
+
+    def test_lint_detects_plane_reaching_into_compiler_internals(self):
+        """Other planes use repro.compiler's package root, not submodules —
+        and core must not import the compiler at all (the plan object is
+        duck-typed through the view)."""
+        checker = _load_checker()
+        edge = checker.ImportEdge(
+            importer="repro.monitoring.dashboard",
+            imported="repro.compiler.plan",
+            lineno=1,
+        )
+        violations = checker.check_edges([edge])
+        assert len(violations) == 1
+        assert "package root" in violations[0].rule
+        # the package root itself is fine
+        root_edge = checker.ImportEdge(
+            "repro.monitoring.dashboard", "repro.compiler", 1
+        )
+        assert checker.check_edges([root_edge]) == []
+
+    def test_core_does_not_import_compiler(self):
+        """The acyclicity guarantee: core → compiler would close a cycle
+        with compiler → core, so the edge must not exist in the tree."""
+        checker = _load_checker()
+        edges = checker.collect_edges(SRC)
+        offenders = [
+            e
+            for e in edges
+            if e.importer.startswith("repro.core")
+            and e.imported.startswith("repro.compiler")
+        ]
+        assert offenders == []

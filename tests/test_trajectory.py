@@ -1,0 +1,131 @@
+"""Tier-1 wiring for the perf-trajectory gate (tools/check_trajectory.py).
+
+The committed ``BENCH_*.json`` documents and the folded
+``TRAJECTORY.json`` ledger must stay (a) above their declared thresholds
+and (b) in sync with each other — a PR that regresses a tracked speedup
+or refreshes a bench without updating the ledger fails here, not in an
+unread results directory.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_trajectory", REPO_ROOT / "tools" / "check_trajectory.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_trajectory", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def checker():
+    return _load_checker()
+
+
+class TestCommittedTrajectory:
+    def test_gate_passes_on_committed_documents(self, checker):
+        failures = checker.check(RESULTS_DIR)
+        assert failures == [], "\n".join(failures)
+
+    def test_every_tracked_source_is_committed(self, checker):
+        for bench, spec in checker.BENCHES.items():
+            assert (RESULTS_DIR / spec["source"]).exists(), bench
+
+    def test_ledger_in_sync_with_sources(self, checker):
+        """TRAJECTORY.json must be regenerable byte-for-byte from the
+        committed BENCH files — refreshing a bench without running
+        ``--update`` is a failure."""
+        ledger, failures = checker.extract(RESULTS_DIR)
+        assert failures == []
+        committed = json.loads(checker.TRAJECTORY_PATH.read_text())
+        assert committed["benches"] == json.loads(json.dumps(ledger))
+
+    def test_compiler_bench_is_tracked(self, checker):
+        metrics = checker.BENCHES["pipeline_compiler"]["metrics"]
+        assert metrics["fused_vs_naive"].min == 4.0
+        assert "materialization_parity" in metrics
+
+
+class TestGateMechanics:
+    def _results_copy(self, tmp_path) -> Path:
+        target = tmp_path / "results"
+        target.mkdir()
+        for source in RESULTS_DIR.glob("BENCH_*.json"):
+            shutil.copy(source, target / source.name)
+        return target
+
+    def test_regressed_speedup_trips_gate(self, checker, tmp_path):
+        results = self._results_copy(tmp_path)
+        doc_path = results / "BENCH_pipeline_compiler.json"
+        doc = json.loads(doc_path.read_text())
+        doc["materialization"]["fused_vs_naive"] = 1.5
+        doc_path.write_text(json.dumps(doc))
+        failures = checker.check(results)
+        assert any(
+            "pipeline_compiler.fused_vs_naive" in f and "1.5" in f
+            for f in failures
+        ), failures
+
+    def test_broken_parity_trips_gate(self, checker, tmp_path):
+        results = self._results_copy(tmp_path)
+        doc_path = results / "BENCH_columnar_join.json"
+        doc = json.loads(doc_path.read_text())
+        for case in doc["sizes"].values():
+            case["build_training_set"]["parity_nan_equal"] = False
+        doc_path.write_text(json.dumps(doc))
+        failures = checker.check(results)
+        assert any("pit_join_parity" in f for f in failures), failures
+
+    def test_missing_source_trips_gate(self, checker, tmp_path):
+        results = self._results_copy(tmp_path)
+        (results / "BENCH_ingestion_bus.json").unlink()
+        failures = checker.check(results)
+        assert any(
+            "ingestion_bus" in f and "missing" in f for f in failures
+        ), failures
+
+    def test_malformed_document_reports_metric(self, checker, tmp_path):
+        results = self._results_copy(tmp_path)
+        doc_path = results / "BENCH_vector_serving.json"
+        doc = json.loads(doc_path.read_text())
+        del doc["recall"]["recall_at_10_online"]
+        doc_path.write_text(json.dumps(doc))
+        failures = checker.check(results)
+        assert any(
+            "vector_serving.recall_at_10_online" in f for f in failures
+        ), failures
+
+    def test_update_refuses_failing_trajectory(self, checker, tmp_path):
+        results = self._results_copy(tmp_path)
+        doc_path = results / "BENCH_pipeline_compiler.json"
+        doc = json.loads(doc_path.read_text())
+        doc["materialization"]["parity"] = False
+        doc_path.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit, match="refusing"):
+            checker.update(results, tmp_path / "TRAJECTORY.json")
+
+    def test_update_writes_ledger(self, checker, tmp_path):
+        results = self._results_copy(tmp_path)
+        out = tmp_path / "TRAJECTORY.json"
+        written = checker.update(results, out)
+        assert written == out
+        document = json.loads(out.read_text())
+        assert set(document["benches"]) == set(checker.BENCHES)
+        for bench in document["benches"].values():
+            for metric in bench["metrics"].values():
+                assert "value" in metric
+                assert "min" in metric or "max" in metric

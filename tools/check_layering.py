@@ -27,6 +27,13 @@ Three rules keep it a DAG:
    ``repro.errors`` and other ``repro.codec`` modules — so any layer
    (vecserve snapshots, the embedding store, offline tooling) can use
    the compression substrate without an upward edge.
+4. **The compiler sits on core + storage, below every plane.** Modules
+   under ``repro.compiler`` may import only the stdlib, numpy,
+   ``repro.errors``, ``repro.clock``, ``repro.core``, ``repro.storage``
+   and other ``repro.compiler`` modules — never a plane. (Core reaches
+   compiled behaviour through duck-typed methods on the plan object a
+   view carries, so there is no ``repro.core → repro.compiler`` edge
+   either; the DAG stays acyclic.)
 
 ``if TYPE_CHECKING:`` blocks are exempt — annotations may name
 cross-plane types without creating a runtime edge.
@@ -45,7 +52,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: packages whose submodules are private to the package ("planes")
-PLANES = ("serving", "bus", "vecserve", "streaming", "monitoring")
+PLANES = ("serving", "bus", "vecserve", "streaming", "monitoring", "compiler")
 
 #: top-level roots repro.runtime may import at runtime
 RUNTIME_ALLOWED_ROOTS = {
@@ -60,6 +67,18 @@ RUNTIME_ALLOWED_ROOTS = {
 CODEC_ALLOWED_ROOTS = {
     "repro.errors",
     "repro.codec",
+    "numpy",
+}
+
+#: top-level roots repro.compiler may import at runtime (rule 4: the
+#: pipeline compiler lowers plans onto core/storage kernels and must be
+#: importable without dragging in any serving/monitoring plane)
+COMPILER_ALLOWED_ROOTS = {
+    "repro.errors",
+    "repro.clock",
+    "repro.compiler",
+    "repro.core",
+    "repro.storage",
     "numpy",
 }
 
@@ -181,6 +200,22 @@ def check_edges(edges: list[ImportEdge]) -> list[Violation]:
                         edge,
                         "repro.codec may import only the stdlib, numpy "
                         "and repro.errors",
+                    )
+                )
+                continue
+        # Rule 4: the compiler sits on core + storage, below every plane.
+        if edge.importer.startswith("repro.compiler"):
+            allowed = not edge.imported.startswith("repro") or any(
+                edge.imported == root or edge.imported.startswith(root + ".")
+                for root in COMPILER_ALLOWED_ROOTS
+            )
+            if not allowed:
+                violations.append(
+                    Violation(
+                        edge,
+                        "repro.compiler may import only the stdlib, numpy, "
+                        "repro.errors, repro.clock, repro.core and "
+                        "repro.storage",
                     )
                 )
                 continue

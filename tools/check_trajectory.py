@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Perf-trajectory regression gate over the tracked benchmark documents.
+
+Every perf-critical subsystem ships a bench that writes a JSON document to
+``benchmarks/results/`` (A4 columnar engine, E17 ingestion bus, E18 vector
+serving, E19 codecs, telemetry overhead, E20 pipeline compiler). This tool
+folds the headline numbers of all of them into one ledger —
+``benchmarks/results/TRAJECTORY.json`` — and enforces a floor (or ceiling)
+on each, so a future PR that quietly regresses a speedup or breaks a
+parity bit fails loudly instead of rotting in an unread JSON file.
+
+Two modes::
+
+    python tools/check_trajectory.py            # gate: thresholds only
+    python tools/check_trajectory.py --update   # refresh TRAJECTORY.json
+
+``check`` re-extracts each metric from its source ``BENCH_*.json`` and
+verifies it clears the threshold *declared in this file* — thresholds are
+code, values are data. ``--update`` rewrites the ledger from the current
+source documents; ``tests/test_trajectory.py`` keeps the committed ledger
+in sync with the committed sources.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+from typing import Callable
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+TRAJECTORY_PATH = RESULTS_DIR / "TRAJECTORY.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class Metric:
+    """One gated number: how to pull it from the doc, and its bound."""
+
+    extract: Callable[[dict], float]
+    min: float | None = None
+    max: float | None = None
+
+    def bound(self) -> tuple[str, float]:
+        if self.min is not None:
+            return "min", self.min
+        assert self.max is not None
+        return "max", self.max
+
+    def violation(self, value: float) -> str | None:
+        if self.min is not None and value < self.min:
+            return f"{value} < min {self.min}"
+        if self.max is not None and value > self.max:
+            return f"{value} > max {self.max}"
+        return None
+
+
+def _smallest_size(doc: dict) -> dict:
+    """The smallest measured size in an A4-style ``sizes`` document —
+    the one every smoke run refreshes."""
+    return doc["sizes"][min(doc["sizes"], key=int)]
+
+
+# The ledger. Thresholds are intentionally *looser* than the day-one
+# numbers: the gate catches order-of-magnitude rot and broken parity,
+# not machine-to-machine timing noise.
+BENCHES: dict[str, dict] = {
+    "columnar_join": {
+        "source": "BENCH_columnar_join.json",
+        "metrics": {
+            "pit_join_speedup": Metric(
+                lambda d: _smallest_size(d)["build_training_set"]["speedup"],
+                min=4.0,
+            ),
+            "pit_join_parity": Metric(
+                lambda d: float(
+                    _smallest_size(d)["build_training_set"]["parity_nan_equal"]
+                ),
+                min=1.0,
+            ),
+        },
+    },
+    "ingestion_bus": {
+        "source": "BENCH_ingestion_bus.json",
+        "metrics": {
+            "group_vs_per_record_speedup": Metric(
+                lambda d: d["group_vs_per_record_speedup"], min=5.0
+            ),
+            "replay_parity": Metric(
+                lambda d: float(d["replay"]["parity"]), min=1.0
+            ),
+        },
+    },
+    "vector_serving": {
+        "source": "BENCH_vector_serving.json",
+        "metrics": {
+            "recall_at_10_online": Metric(
+                lambda d: d["recall"]["recall_at_10_online"], min=0.95
+            ),
+            "queries_failed": Metric(
+                lambda d: float(d["availability"]["queries_failed"]), max=0.0
+            ),
+        },
+    },
+    "compressed_vectors": {
+        "source": "BENCH_compressed_vectors.json",
+        "metrics": {
+            "int8_memory_reduction": Metric(
+                lambda d: d["tradeoff"]["codecs"]["int8"][
+                    "memory_reduction_vs_raw"
+                ],
+                min=8.0,
+            ),
+            "pq_memory_reduction": Metric(
+                lambda d: d["tradeoff"]["codecs"]["pq"][
+                    "memory_reduction_vs_raw"
+                ],
+                min=32.0,
+            ),
+            "pq_recall_at_10_online": Metric(
+                lambda d: d["tradeoff"]["codecs"]["pq"]["recall_at_10_online"],
+                min=0.9,
+            ),
+        },
+    },
+    "telemetry_overhead": {
+        "source": "BENCH_telemetry_overhead.json",
+        "metrics": {
+            "cached_vs_raw_counter_ratio": Metric(
+                lambda d: d["registry_cached_inc_ns"]
+                / d["raw_counter_inc_ns"],
+                max=3.0,
+            ),
+        },
+    },
+    "pipeline_compiler": {
+        "source": "BENCH_pipeline_compiler.json",
+        "metrics": {
+            "fused_vs_naive": Metric(
+                lambda d: d["materialization"]["fused_vs_naive"], min=4.0
+            ),
+            "materialization_parity": Metric(
+                lambda d: float(d["materialization"]["parity"]), min=1.0
+            ),
+            "pushdown_pruned_fraction": Metric(
+                lambda d: d["pushdown"]["pruned_fraction"], min=0.1
+            ),
+            "asof_join_parity": Metric(
+                lambda d: float(d["asof_join"]["parity"]), min=1.0
+            ),
+        },
+    },
+}
+
+
+def extract(results_dir: pathlib.Path = RESULTS_DIR) -> tuple[dict, list[str]]:
+    """Pull every gated metric from the source documents.
+
+    Returns ``(ledger, failures)`` where the ledger mirrors the
+    TRAJECTORY.json shape and failures lists missing/unreadable sources
+    and threshold violations.
+    """
+    ledger: dict[str, dict] = {}
+    failures: list[str] = []
+    for bench, spec in BENCHES.items():
+        source = results_dir / spec["source"]
+        if not source.exists():
+            failures.append(f"{bench}: missing source {spec['source']}")
+            continue
+        doc = json.loads(source.read_text())
+        metrics: dict[str, dict] = {}
+        for name, metric in spec["metrics"].items():
+            try:
+                value = round(float(metric.extract(doc)), 4)
+            except (KeyError, TypeError, ZeroDivisionError) as exc:
+                failures.append(
+                    f"{bench}.{name}: cannot extract from "
+                    f"{spec['source']} ({exc!r})"
+                )
+                continue
+            kind, threshold = metric.bound()
+            metrics[name] = {"value": value, kind: threshold}
+            violation = metric.violation(value)
+            if violation is not None:
+                failures.append(f"{bench}.{name}: {violation}")
+        ledger[bench] = {"source": spec["source"], "metrics": metrics}
+    return ledger, failures
+
+
+def check(results_dir: pathlib.Path = RESULTS_DIR) -> list[str]:
+    """The gate: every tracked metric clears its threshold."""
+    __, failures = extract(results_dir)
+    return failures
+
+
+def update(
+    results_dir: pathlib.Path = RESULTS_DIR,
+    path: pathlib.Path = TRAJECTORY_PATH,
+) -> pathlib.Path:
+    """Refresh TRAJECTORY.json from the current source documents."""
+    ledger, failures = extract(results_dir)
+    if failures:
+        raise SystemExit(
+            "refusing to record a failing trajectory:\n  "
+            + "\n  ".join(failures)
+        )
+    document = {
+        "comment": (
+            "Perf-trajectory ledger folded from the tracked BENCH_*.json "
+            "documents. Values are data; thresholds are declared in "
+            "tools/check_trajectory.py. Refresh with "
+            "`python tools/check_trajectory.py --update`."
+        ),
+        "benches": ledger,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite TRAJECTORY.json from the current BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=pathlib.Path,
+        default=RESULTS_DIR,
+        help="directory holding the BENCH_*.json documents",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        path = update(args.results_dir)
+        print(f"wrote {path}")
+        return 0
+    failures = check(args.results_dir)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    count = sum(len(spec["metrics"]) for spec in BENCHES.values())
+    print(f"trajectory ok: {count} metrics across {len(BENCHES)} benches")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,11 @@ Two modes:
   ``BENCH_columnar_join.json`` (A4 columnar engine),
   ``BENCH_ingestion_bus.json`` (E17 ingestion bus),
   ``BENCH_vector_serving.json`` (E18 vector serving plane),
-  ``BENCH_compressed_vectors.json`` (E19 codec plane), and
-  ``BENCH_pipeline_compiler.json`` (E20 pipeline compiler). This is the
-  CI target: cheap enough for every run. ``--targets columnar bus
-  vectors codecs compiler`` selects a subset (default: all). After the
+  ``BENCH_compressed_vectors.json`` (E19 codec plane),
+  ``BENCH_pipeline_compiler.json`` (E20 pipeline compiler), and
+  ``BENCH_network_serving.json`` (E21 network serving plane). This is
+  the CI target: cheap enough for every run. ``--targets columnar bus
+  vectors codecs compiler net`` selects a subset (default: all). After the
   selected benches refresh their JSON, the perf-trajectory gate
   (``tools/check_trajectory.py``) re-checks every tracked document.
 * default — delegate to pytest over the whole ``benchmarks/`` tree
@@ -162,6 +163,40 @@ def _smoke_codecs() -> int:
     return 1 if failures else 0
 
 
+def _smoke_net() -> int:
+    import bench_e21_network_serving as e21
+
+    results = e21.run_suite("smoke")
+    path = e21.write_json(results)
+    print(f"wrote {path}")
+    baseline = results["baseline"]
+    overload = results["overload"]
+    drain = results["drain"]
+    high = overload["by_priority"]["high"]
+    best_effort = overload["by_priority"]["best_effort"]
+    print(
+        f"  baseline: {baseline['qps']} req/s, "
+        f"p50 {baseline['p50_ms']}ms p99 {baseline['p99_ms']}ms, "
+        f"success {baseline['success_rate']:.0%}"
+    )
+    print(
+        f"  overload ({overload['saturation_x']}x watermark): "
+        f"high success {high['success_rate']:.1%}, best-effort "
+        f"429s={best_effort['throttled']} 503s={best_effort['shed']} "
+        f"(shed rate {overload['shed_rate']:.0%})"
+    )
+    print(
+        f"  drain: admitted {drain['admitted']} == "
+        f"completed {drain['completed']}, "
+        f"dropped={drain['dropped_inflight']} "
+        f"leaked_threads={drain['leaked_threads']}"
+    )
+    failures = e21.check_acceptance(results)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def _smoke_compiler() -> int:
     import bench_e20_pipeline_compiler as e20
 
@@ -223,6 +258,8 @@ def run_smoke(
         status = _smoke_codecs() or status
     if "compiler" in targets:
         status = _smoke_compiler() or status
+    if "net" in targets:
+        status = _smoke_net() or status
     status = _check_trajectory() or status
     return status
 
@@ -247,14 +284,14 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="run the trajectory benches (A4 columnar, E17 bus, E18 "
-        "vectors, E19 codecs, E20 compiler) at small sizes and refresh "
-        "their tracked JSON documents",
+        "vectors, E19 codecs, E20 compiler, E21 net) at small sizes and "
+        "refresh their tracked JSON documents",
     )
     parser.add_argument(
         "--targets",
         nargs="+",
-        choices=["columnar", "bus", "vectors", "codecs", "compiler"],
-        default=["columnar", "bus", "vectors", "codecs", "compiler"],
+        choices=["columnar", "bus", "vectors", "codecs", "compiler", "net"],
+        default=["columnar", "bus", "vectors", "codecs", "compiler", "net"],
         help="which smoke benches to run (default: all)",
     )
     parser.add_argument(

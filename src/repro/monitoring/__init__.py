@@ -19,6 +19,7 @@ from repro.monitoring.dashboard import (
     DashboardSection,
     bus_section,
     compiler_section,
+    network_section,
     render_dashboard,
     services_section,
     serving_section,
@@ -68,6 +69,7 @@ __all__ = [
     "SkewReport",
     "bus_section",
     "compiler_section",
+    "network_section",
     "chi_square_drift",
     "kl_divergence",
     "ks_drift",

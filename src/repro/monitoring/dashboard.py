@@ -38,6 +38,7 @@ from repro.runtime.telemetry import (
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.bus.consumer import Consumer
     from repro.bus.metrics import BusMetrics
+    from repro.net.server import FeatureServer
     from repro.runtime.lifecycle import Service
     from repro.serving.gateway import ServingGateway
     from repro.vecserve.service import VectorService
@@ -320,6 +321,57 @@ def vector_section(service: "VectorService") -> DashboardSection:
     if not lines:
         lines = ["no vector tables served"]
     return DashboardSection("vector serving", tuple(lines))
+
+
+def network_section(server: "FeatureServer") -> DashboardSection:
+    """Network front-end health: traffic, sheds, drain state, latency.
+
+    Duck-typed over ``server.snapshot()`` (the layering lint forbids a
+    runtime ``monitoring → net`` import: the network plane is the top of
+    the DAG, so the dashboard renders its exported state, not its
+    types). Shows the admission story at a glance — in-flight vs
+    watermark vs hard cap, per-priority shed counts, per-tenant
+    throttles — because "are we shedding, and *whom*" is the question an
+    operator asks first when p99 moves.
+    """
+    snap = server.snapshot()
+    admission: dict[str, object] = snap["admission"]  # type: ignore[assignment]
+    shed: dict[str, int] = admission["shed"]  # type: ignore[assignment]
+    address = snap.get("address")
+    location = f"{address[0]}:{address[1]}" if address else "unbound"
+    state = "DRAINING" if snap["draining"] else "serving"
+    lines = [
+        f"{location} [{state}] requests={snap['requests']} "
+        f"completed={snap['completed']} "
+        f"open_connections={snap['open_connections']}",
+        f"admission: inflight={admission['inflight']} "
+        f"(peak={admission['inflight_peak']}) "
+        f"watermark={admission['shed_watermark']} "
+        f"cap={admission['max_inflight']}",
+        f"refused: throttled={admission['throttled']} "
+        + " ".join(
+            f"shed[{priority}]={count}"
+            for priority, count in sorted(shed.items())
+        ),
+    ]
+    responses: dict[str, int] = snap.get("responses_by_status") or {}  # type: ignore[assignment]
+    if responses:
+        lines.append(
+            "responses: "
+            + " ".join(
+                f"{status}={count}"
+                for status, count in sorted(responses.items())
+            )
+        )
+    latency: dict[str, dict[str, float]] = snap.get("latency_by_route") or {}  # type: ignore[assignment]
+    for route, summary in sorted(latency.items()):
+        if summary["count"]:
+            lines.append(
+                f"  {route}: n={summary['count']:.0f} "
+                f"p50={summary['p50_s'] * 1e3:.2f}ms "
+                f"p99={summary['p99_s'] * 1e3:.2f}ms"
+            )
+    return DashboardSection("network serving", tuple(lines))
 
 
 def _format_labels(labels: dict[str, str]) -> str:

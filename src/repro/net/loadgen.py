@@ -1,0 +1,284 @@
+"""Closed-loop Zipfian load generation over the network surface.
+
+The serving-plane loadgen (:mod:`repro.serving.loadgen`) drives a Python
+callable; this one drives real sockets through :class:`FeatureClient`
+instances, which is what makes E21's claims *network* claims — every
+measured latency includes JSON encode, TCP round trip, HTTP parse,
+admission control and the envelope decode on the way back.
+
+The E21-specific piece is the **priority mix**: ``high_fraction`` of the
+clients declare ``X-Priority: high`` (a deployed ranking model), the
+rest ``best_effort`` (a batch backfill). Per-class outcomes are reported
+separately, because the whole point of watermark shedding is that those
+two populations experience overload *differently*: past saturation the
+best-effort class absorbs the 429/503s while the high class keeps its
+deadline success rate.
+
+Clients here are deliberately **non-retrying** (``max_retries=0``): the
+loadgen measures what the *server* does under pressure, and retries
+would both hide sheds (a retried request eventually succeeds) and
+amplify offered load non-linearly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.workloads import ZipfianWorkloadConfig, generate_zipfian_keys
+from repro.errors import ValidationError
+from repro.net.client import ClientConfig, FeatureClient
+from repro.net.protocol import OverloadedError, ThrottledError
+from repro.runtime import RetryPolicy
+
+
+@dataclass(frozen=True)
+class NetLoadConfig:
+    """Shape of one closed-loop network run."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    namespace: str = "profile"
+    n_clients: int = 8
+    requests_per_client: int = 100
+    n_keys: int = 1000
+    zipf_skew: float = 1.0
+    #: fraction of clients sending X-Priority: high (the rest best_effort)
+    high_fraction: float = 0.5
+    deadline_s: float = 0.25
+    tenant: str | None = None
+    #: map a priority class to its own tenant (e.g. the batch backfill
+    #: runs as "batch" so a per-tenant quota can rate-limit it without
+    #: touching the ranking tenant); falls back to ``tenant``
+    tenant_by_priority: dict[str, str] | None = None
+    token: str | None = None
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.n_clients < 1:
+            raise ValidationError(f"n_clients must be >= 1 ({self.n_clients=})")
+        if self.requests_per_client < 1:
+            raise ValidationError(
+                f"requests_per_client must be >= 1 "
+                f"({self.requests_per_client=})"
+            )
+        if not 0.0 <= self.high_fraction <= 1.0:
+            raise ValidationError(
+                f"high_fraction must be in [0, 1] ({self.high_fraction=})"
+            )
+        if self.deadline_s <= 0:
+            raise ValidationError(
+                f"deadline_s must be positive ({self.deadline_s=})"
+            )
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Outcomes for one priority class."""
+
+    requests: int
+    ok: int
+    throttled: int
+    shed: int
+    deadline_exceeded: int
+    other_errors: int
+    p50_ms: float
+    p99_ms: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.ok / self.requests if self.requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return (
+            (self.throttled + self.shed) / self.requests
+            if self.requests
+            else 0.0
+        )
+
+
+@dataclass(frozen=True)
+class NetLoadReport:
+    """Merged results of a closed-loop network run."""
+
+    total_requests: int
+    duration_s: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    by_priority: dict[str, ClassReport] = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        shed = sum(c.throttled + c.shed for c in self.by_priority.values())
+        return shed / self.total_requests if self.total_requests else 0.0
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "total_requests": self.total_requests,
+            "duration_s": round(self.duration_s, 4),
+            "qps": round(self.qps, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "shed_rate": round(self.shed_rate, 4),
+            "by_priority": {
+                name: {
+                    "requests": c.requests,
+                    "ok": c.ok,
+                    "throttled": c.throttled,
+                    "shed": c.shed,
+                    "deadline_exceeded": c.deadline_exceeded,
+                    "other_errors": c.other_errors,
+                    "success_rate": round(c.success_rate, 4),
+                    "shed_rate": round(c.shed_rate, 4),
+                    "p50_ms": round(c.p50_ms, 3),
+                    "p99_ms": round(c.p99_ms, 3),
+                }
+                for name, c in self.by_priority.items()
+            },
+        }
+
+
+class _ClientStats:
+    __slots__ = (
+        "priority",
+        "latencies",
+        "ok",
+        "throttled",
+        "shed",
+        "deadline_exceeded",
+        "other_errors",
+    )
+
+    def __init__(self, priority: str) -> None:
+        self.priority = priority
+        self.latencies: list[float] = []
+        self.ok = 0
+        self.throttled = 0
+        self.shed = 0
+        self.deadline_exceeded = 0
+        self.other_errors = 0
+
+
+def run_network_load(config: NetLoadConfig) -> NetLoadReport:
+    """Drive ``n_clients`` closed-loop HTTP clients; merge per-class stats.
+
+    Every client owns its own socket (thread-local inside the shared
+    :class:`FeatureClient` machinery) and issues its next request only
+    after the previous response — offered load adapts to latency the way
+    a blocking RPC fleet does.
+    """
+    config.validate()
+    n_high = round(config.n_clients * config.high_fraction)
+    stats = [
+        _ClientStats("high" if client < n_high else "best_effort")
+        for client in range(config.n_clients)
+    ]
+    key_streams = [
+        generate_zipfian_keys(
+            ZipfianWorkloadConfig(
+                n_keys=config.n_keys,
+                n_requests=config.requests_per_client,
+                skew=config.zipf_skew,
+            ),
+            seed=config.seed + client,
+        )
+        for client in range(config.n_clients)
+    ]
+    barrier = threading.Barrier(config.n_clients + 1)
+
+    def client_loop(client: int) -> None:
+        record = stats[client]
+        tenant = (config.tenant_by_priority or {}).get(
+            record.priority, config.tenant
+        )
+        feature_client = FeatureClient(
+            ClientConfig(
+                host=config.host,
+                port=config.port,
+                token=config.token,
+                tenant=tenant,
+                priority=record.priority,
+                default_deadline_s=config.deadline_s,
+                retry=RetryPolicy(max_retries=0),
+            )
+        )
+        barrier.wait()
+        with feature_client:
+            for key in key_streams[client]:
+                start = time.perf_counter()
+                try:
+                    feature_client.get_features(config.namespace, int(key))
+                    record.ok += 1
+                except ThrottledError:
+                    record.throttled += 1
+                except OverloadedError:
+                    record.shed += 1
+                except Exception as exc:  # noqa: BLE001 - classified, not raised
+                    code = getattr(exc, "code", "")
+                    if code == "throttled":
+                        record.throttled += 1
+                    elif code in ("overloaded", "unavailable"):
+                        record.shed += 1
+                    elif code == "deadline_exceeded" or type(exc).__name__ == (
+                        "DeadlineExceededError"
+                    ):
+                        record.deadline_exceeded += 1
+                    else:
+                        record.other_errors += 1
+                record.latencies.append(time.perf_counter() - start)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(client,), daemon=True)
+        for client in range(config.n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    def class_report(priority: str) -> ClassReport:
+        members = [s for s in stats if s.priority == priority]
+        latencies = np.array(
+            [lat for s in members for lat in s.latencies]
+        )
+        return ClassReport(
+            requests=int(latencies.size),
+            ok=sum(s.ok for s in members),
+            throttled=sum(s.throttled for s in members),
+            shed=sum(s.shed for s in members),
+            deadline_exceeded=sum(s.deadline_exceeded for s in members),
+            other_errors=sum(s.other_errors for s in members),
+            p50_ms=(
+                float(np.percentile(latencies, 50)) * 1e3
+                if latencies.size
+                else 0.0
+            ),
+            p99_ms=(
+                float(np.percentile(latencies, 99)) * 1e3
+                if latencies.size
+                else 0.0
+            ),
+        )
+
+    merged = np.array([lat for s in stats for lat in s.latencies])
+    by_priority = {
+        priority: class_report(priority)
+        for priority in ("high", "best_effort")
+        if any(s.priority == priority for s in stats)
+    }
+    return NetLoadReport(
+        total_requests=int(merged.size),
+        duration_s=duration,
+        qps=merged.size / duration if duration > 0 else 0.0,
+        p50_ms=float(np.percentile(merged, 50)) * 1e3 if merged.size else 0.0,
+        p99_ms=float(np.percentile(merged, 99)) * 1e3 if merged.size else 0.0,
+        by_priority=by_priority,
+    )

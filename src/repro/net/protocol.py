@@ -1,0 +1,288 @@
+"""The wire protocol: versioned routes, JSON codecs, the error envelope.
+
+Everything a request or response *is* lives here, with no dependency on
+``http.server`` — the server and the client both consume these pure
+codecs, so a byte sequence accepted by one side is by construction
+parseable by the other. Three pieces:
+
+* **the error envelope** — every failure crossing the wire is one JSON
+  shape: ``{"error": {"code", "message", "retryable"}}``. The code/status/
+  retryable triple is declared per :mod:`repro.errors` class in
+  :data:`ERROR_SPECS`; :func:`encode_error` walks the exception's MRO so
+  subclasses inherit their nearest registered ancestor's mapping, and
+  :func:`decode_error` reconstructs the registered exception class on the
+  client — the round trip the ``FeatureClient`` retry loop keys off
+  (backoff on ``retryable``, fail fast otherwise).
+* **header plumbing** — ``Authorization: Bearer`` token extraction,
+  ``X-Deadline-Ms`` parsing into a :class:`repro.runtime.Deadline` (the
+  ingress end of deadline propagation), and the ``X-Priority`` deadline
+  class consumed by admission control.
+* **body codecs** — bounded JSON decode (:func:`parse_json_body` raises
+  the protocol's own 400/413 errors) and a numpy-tolerant
+  :func:`dump_json` for responses.
+
+Routes are versioned under ``/v1/`` (:data:`API_PREFIX`); an unknown
+path or method is itself an envelope (``unknown_route`` /
+``method_not_allowed``), so clients never have to parse free-form 404
+pages.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.errors as errors
+from repro.errors import (
+    NotRegisteredError,
+    ReproError,
+    ServingError,
+    ValidationError,
+)
+from repro.runtime import Deadline
+from repro.runtime.lifecycle import LifecycleError
+
+API_PREFIX = "/v1"
+
+#: request headers the protocol understands
+DEADLINE_HEADER = "X-Deadline-Ms"
+PRIORITY_HEADER = "X-Priority"
+TENANT_HEADER = "X-Tenant"
+RETRY_AFTER_HEADER = "Retry-After"
+
+JSON_CONTENT_TYPE = "application/json"
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class AuthError(ServingError):
+    """The request carried no (or a wrong) bearer token."""
+
+
+class ThrottledError(ServingError):
+    """Admission control rejected the request on its tenant quota (429)."""
+
+
+class OverloadedError(ServingError):
+    """Admission control shed the request under load pressure (503)."""
+
+
+class PayloadTooLargeError(ValidationError):
+    """The request body exceeded the server's size limit (413)."""
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """How one exception class crosses the wire."""
+
+    code: str
+    status: int
+    retryable: bool
+
+
+#: exception class -> wire mapping. Order does not matter — encoding
+#: walks the exception's MRO and uses the *first* registered class, so a
+#: subclass (LifecycleError < ValidationError) only needs its own entry
+#: when its wire semantics differ from its parent's.
+ERROR_SPECS: dict[type[BaseException], ErrorSpec] = {
+    # protocol-level failures (defined above)
+    AuthError: ErrorSpec("unauthenticated", 401, False),
+    ThrottledError: ErrorSpec("throttled", 429, True),
+    OverloadedError: ErrorSpec("overloaded", 503, True),
+    PayloadTooLargeError: ErrorSpec("payload_too_large", 413, False),
+    # the runtime kernel's drain signal: another replica can serve
+    LifecycleError: ErrorSpec("unavailable", 503, True),
+    # the repro.errors hierarchy
+    errors.NotRegisteredError: ErrorSpec("not_found", 404, False),
+    errors.AlreadyRegisteredError: ErrorSpec("already_exists", 409, False),
+    errors.RegistryError: ErrorSpec("registry_error", 500, False),
+    errors.ValidationError: ErrorSpec("invalid_argument", 400, False),
+    errors.PartitionNotFoundError: ErrorSpec("partition_not_found", 404, False),
+    errors.StaleFeatureError: ErrorSpec("stale_feature", 412, False),
+    errors.SchemaMismatchError: ErrorSpec("schema_mismatch", 400, False),
+    errors.TransientStoreError: ErrorSpec("transient_store", 503, True),
+    errors.StorageError: ErrorSpec("storage_error", 500, False),
+    errors.CompatibilityError: ErrorSpec("incompatible_embedding", 409, False),
+    errors.ProvenanceError: ErrorSpec("provenance_error", 500, False),
+    errors.DeadlineExceededError: ErrorSpec("deadline_exceeded", 504, True),
+    errors.ServingError: ErrorSpec("serving_error", 500, False),
+    errors.Backpressure: ErrorSpec("backpressure", 429, True),
+    errors.CorruptRecordError: ErrorSpec("corrupt_record", 500, False),
+    errors.BusError: ErrorSpec("bus_error", 500, False),
+    errors.TrainingError: ErrorSpec("training_error", 500, False),
+    errors.MonitoringError: ErrorSpec("monitoring_error", 500, False),
+    errors.PipelineError: ErrorSpec("pipeline_error", 500, False),
+    errors.ReproError: ErrorSpec("internal", 500, False),
+}
+
+#: wire code -> exception class, for client-side reconstruction. Built
+#: from ERROR_SPECS plus the protocol codes the server raises before any
+#: library call runs.
+_CLASS_FOR_CODE: dict[str, type[BaseException]] = {
+    spec.code: cls for cls, spec in ERROR_SPECS.items()
+}
+_CLASS_FOR_CODE.update(
+    {
+        "invalid_json": ValidationError,
+        "unknown_route": NotRegisteredError,
+        "method_not_allowed": ValidationError,
+    }
+)
+
+_FALLBACK = ErrorSpec("internal", 500, False)
+
+
+def spec_for(exc: BaseException) -> ErrorSpec:
+    """The wire mapping for ``exc``: nearest registered class in its MRO."""
+    for cls in type(exc).__mro__:
+        spec = ERROR_SPECS.get(cls)
+        if spec is not None:
+            return spec
+    return _FALLBACK
+
+
+def encode_error(
+    exc: BaseException, retry_after_s: float | None = None
+) -> tuple[int, dict]:
+    """``exc`` -> ``(http_status, envelope_payload)``."""
+    spec = spec_for(exc)
+    envelope: dict[str, object] = {
+        # an instance-level code (e.g. invalid_json on a ValidationError)
+        # refines the class mapping without needing its own class
+        "code": getattr(exc, "code", None) or spec.code,
+        "message": str(exc) or type(exc).__name__,
+        "retryable": spec.retryable,
+    }
+    if retry_after_s is not None:
+        envelope["retry_after_s"] = round(retry_after_s, 4)
+    return spec.status, {"error": envelope}
+
+
+def protocol_error(code: str, message: str, status: int) -> tuple[int, dict]:
+    """An envelope for failures with no exception yet (bad JSON, 404s)."""
+    retryable = code in ("throttled", "overloaded", "unavailable")
+    return status, {
+        "error": {"code": code, "message": message, "retryable": retryable}
+    }
+
+
+def decode_error(payload: dict) -> BaseException:
+    """Envelope -> exception instance (the client's half of the round trip).
+
+    A registered code reconstructs its exception class; an unknown code
+    degrades to :class:`~repro.errors.ServingError` so a newer server
+    never crashes an older client — the ``retryable`` flag still travels
+    on the instance as ``exc.retryable``.
+    """
+    envelope = payload.get("error") if isinstance(payload, dict) else None
+    if not isinstance(envelope, dict):
+        exc: BaseException = ServingError(f"malformed error envelope: {payload!r}")
+        exc.retryable = False  # type: ignore[attr-defined]
+        return exc
+    code = str(envelope.get("code", "internal"))
+    message = str(envelope.get("message", ""))
+    cls = _CLASS_FOR_CODE.get(code, ServingError)
+    exc = cls(message or code)
+    exc.retryable = bool(  # type: ignore[attr-defined]
+        envelope.get("retryable", False)
+    )
+    exc.code = code  # type: ignore[attr-defined]
+    retry_after = envelope.get("retry_after_s")
+    if retry_after is not None:
+        exc.retry_after_s = float(retry_after)  # type: ignore[attr-defined]
+    return exc
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """The client's retry predicate: the decoded flag when present
+    (authoritative — it crossed the wire), the static table otherwise."""
+    flag = getattr(exc, "retryable", None)
+    if flag is not None:
+        return bool(flag)
+    return spec_for(exc).retryable
+
+
+# -- headers ------------------------------------------------------------------
+
+
+def bearer_token(headers) -> str | None:
+    """Extract the ``Authorization: Bearer <token>`` credential, if any."""
+    value = headers.get("Authorization")
+    if not value:
+        return None
+    scheme, __, token = value.partition(" ")
+    if scheme.lower() != "bearer" or not token.strip():
+        return None
+    return token.strip()
+
+
+def parse_deadline(headers) -> Deadline | None:
+    """``X-Deadline-Ms`` -> an ingress :class:`~repro.runtime.Deadline`.
+
+    The budget starts counting the moment the header is parsed, so queue
+    wait, admission and the downstream gateway call all burn the same
+    clock. A malformed value raises ``ValidationError`` (a 400, not a
+    silently unbounded request).
+    """
+    raw = headers.get(DEADLINE_HEADER)
+    if raw is None:
+        return None
+    try:
+        ms = float(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"{DEADLINE_HEADER} must be a number of milliseconds ({raw!r})"
+        ) from None
+    if ms <= 0:
+        raise ValidationError(
+            f"{DEADLINE_HEADER} must be positive milliseconds ({raw!r})"
+        )
+    return Deadline.after(ms / 1000.0)
+
+
+# -- bodies -------------------------------------------------------------------
+
+
+def parse_json_body(raw: bytes) -> dict:
+    """Bounded-size JSON decode with protocol-shaped failures."""
+    if not raw:
+        return {}
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        error = ValidationError(f"request body is not valid JSON: {exc}")
+        error.code = "invalid_json"  # type: ignore[attr-defined]
+        raise error from None
+    if not isinstance(payload, dict):
+        error = ValidationError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+        error.code = "invalid_json"  # type: ignore[attr-defined]
+        raise error
+    return payload
+
+
+def _json_default(value):
+    """Tolerate the numpy scalars/arrays the planes hand back."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+def dump_json(payload: dict) -> bytes:
+    return json.dumps(payload, default=_json_default).encode("utf-8")
+
+
+def search_result_payload(result) -> dict:
+    """Serialize a (duck-typed) sharded search result for the wire."""
+    return {
+        "ids": np.asarray(result.ids).tolist(),
+        "scores": [round(float(s), 6) for s in np.asarray(result.scores)],
+        "partial": bool(getattr(result, "partial", False)),
+        "shards_missed": int(getattr(result, "shards_missed", 0)),
+    }

@@ -1,0 +1,628 @@
+"""The HTTP front end: a threaded stdlib server over the serving gateway.
+
+This is the process boundary the roadmap's "network serving surface"
+item asks for: requests arrive as bytes on a socket, which is what makes
+replicas, real clients and real load shedding possible. The server is
+deliberately stdlib-only (``http.server`` + ``socketserver`` threading),
+because the interesting engineering is not the HTTP parsing — it is the
+three-stage request path every call walks:
+
+1. **protocol** (:mod:`repro.net.protocol`): versioned routes, auth
+   token check, ``X-Deadline-Ms`` → :class:`~repro.runtime.Deadline`,
+   bounded JSON bodies, and the structured error envelope for every
+   failure;
+2. **admission** (:mod:`repro.net.admission`): per-tenant token buckets
+   (429 + ``Retry-After``) and watermark shedding of best-effort traffic
+   under pressure (503 + ``Retry-After``);
+3. **dispatch**: the surviving request becomes a plain
+   :class:`~repro.serving.ServingGateway` /
+   ``VectorService``-via-gateway call with the *remaining* deadline
+   budget — queue wait and admission burn the same clock the backend
+   sees.
+
+The server is a :class:`repro.runtime.Service`, so a
+:class:`~repro.runtime.ServiceGroup` drains it *before* the gateway
+behind it. Drain is graceful and bounded: ``stop()`` closes the accept
+loop, requests already admitted run to completion (new requests on
+kept-alive connections get a retryable 503 ``unavailable``), and the
+server waits up to ``drain_deadline_s`` for in-flight work plus idle
+keep-alive connections to clear before closing the listener — the E21
+acceptance gate asserts zero dropped in-flight responses and zero leaked
+threads under load.
+
+Routes (all under ``/v1``):
+
+====================================  =======================================
+``GET  /v1/healthz``                  liveness + drain state (no auth)
+``GET  /v1/metrics``                  registry export; ``Accept:
+                                      application/json`` negotiates JSON,
+                                      anything else Prometheus text
+``GET  /v1/features/{ns}/{id}``       point feature lookup (``?policy=``)
+``POST /v1/features/{ns}``            batch lookup ``{"entity_ids": [...]}``
+``PUT  /v1/features/{ns}/{id}``       write-through ``{"values", "event_time"}``
+``POST /v1/vectors/{name}/search``    top-k ``{"query", "k", "version"}``
+====================================  =======================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
+
+from repro.errors import ValidationError
+from repro.net.admission import AdmissionConfig, AdmissionController, Priority
+from repro.net.protocol import (
+    API_PREFIX,
+    AuthError,
+    DEADLINE_HEADER,
+    JSON_CONTENT_TYPE,
+    OverloadedError,
+    PROMETHEUS_CONTENT_TYPE,
+    PayloadTooLargeError,
+    PRIORITY_HEADER,
+    RETRY_AFTER_HEADER,
+    TENANT_HEADER,
+    ThrottledError,
+    bearer_token,
+    dump_json,
+    encode_error,
+    parse_deadline,
+    parse_json_body,
+    protocol_error,
+    search_result_payload,
+)
+from repro.runtime import Deadline, MetricsRegistry, Service, await_condition
+from repro.runtime.lifecycle import LifecycleError
+from repro.serving import FreshnessPolicy
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything tunable about the front end."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off server.port
+    #: token -> tenant; empty mapping disables auth (tenant comes from
+    #: the X-Tenant header, default "anonymous")
+    auth_tokens: Mapping[str, str] = field(default_factory=dict)
+    max_body_bytes: int = 1_000_000
+    #: budget for in-flight requests + idle keep-alive connections to
+    #: clear after the accept loop closes
+    drain_deadline_s: float = 5.0
+    #: deadline applied when a request carries no X-Deadline-Ms
+    default_deadline_s: float = 0.25
+    #: socket timeout for keep-alive reads — bounds how long an idle
+    #: connection can hold its handler thread during drain
+    keepalive_idle_s: float = 0.5
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+
+    def validate(self) -> None:
+        if self.max_body_bytes < 1:
+            raise ValidationError(
+                f"max_body_bytes must be >= 1 ({self.max_body_bytes=})"
+            )
+        if self.drain_deadline_s <= 0:
+            raise ValidationError(
+                f"drain_deadline_s must be positive ({self.drain_deadline_s=})"
+            )
+        if self.default_deadline_s <= 0:
+            raise ValidationError(
+                f"default_deadline_s must be positive "
+                f"({self.default_deadline_s=})"
+            )
+        self.admission.validate()
+
+
+class _HttpServer(ThreadingHTTPServer):
+    """Per-connection threads; the FeatureServer drains them itself."""
+
+    daemon_threads = True  # drain is explicit (inflight + connection gauges)
+    block_on_close = False
+    allow_reuse_address = True
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin shim: every verb lands in ``FeatureServer._handle``."""
+
+    server_version = "repro-net/1.0"
+    protocol_version = "HTTP/1.1"
+    # response headers and body are separate send()s; without NODELAY,
+    # Nagle + the peer's delayed ACK turns every response into ~40ms
+    disable_nagle_algorithm = True
+    net: "FeatureServer" = None  # type: ignore[assignment] # bound per server
+
+    def setup(self) -> None:
+        super().setup()
+        self.timeout = self.net.config.keepalive_idle_s
+        self.connection.settimeout(self.timeout)
+        self.net._connections.inc()
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        finally:
+            self.net._connections.dec()
+
+    def do_GET(self) -> None:
+        self.net._handle(self, "GET")
+
+    def do_POST(self) -> None:
+        self.net._handle(self, "POST")
+
+    def do_PUT(self) -> None:
+        self.net._handle(self, "PUT")
+
+    def do_DELETE(self) -> None:
+        self.net._handle(self, "DELETE")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # access logging is a metrics concern, not stderr noise
+
+
+class FeatureServer(Service):
+    """The HTTP/JSON serving surface over a gateway (and its vector plane).
+
+    ``gateway`` is a :class:`~repro.serving.ServingGateway`; vector
+    search routes through ``gateway.search_neighbors``, so attach a
+    ``VectorService`` to the gateway to serve ``/v1/vectors``.
+    ``registry`` defaults to the gateway's own metrics registry — which
+    makes ``GET /v1/metrics`` export the *whole* plane (serving,
+    vecserve, admission, net) through one scrape endpoint.
+
+    Unlike the historical planes this service is **not** started by its
+    constructor: binding a socket is an observable side effect, so the
+    caller (usually a :class:`~repro.runtime.ServiceGroup`) decides when.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        config: ServerConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        super().__init__(name="net-server")
+        self.config = config or ServerConfig()
+        self.config.validate()
+        self.gateway = gateway
+        self.registry = (
+            registry
+            if registry is not None
+            else gateway.metrics.registry
+        )
+        self.admission = AdmissionController(
+            self.config.admission, registry=self.registry
+        )
+        self._httpd: _HttpServer | None = None
+        self._draining = threading.Event()
+        self._connections = self.registry.gauge("net_open_connections")
+        self._inflight = self.registry.gauge("net_inflight")
+        self.requests = self.registry.counter("net_requests_total")
+        self.completed = self.registry.counter("net_completed_total")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _on_start(self) -> None:
+        handler = type("BoundHandler", (_Handler,), {"net": self})
+        self._httpd = _HttpServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._spawn(self._httpd.serve_forever, name="net-accept-loop")
+
+    def _on_stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, then close."""
+        httpd = self._httpd
+        if httpd is None:
+            return
+        self._draining.set()
+        httpd.shutdown()  # accept loop exits; admitted requests keep running
+        deadline = Deadline.after(self.config.drain_deadline_s)
+        await_condition(
+            lambda: self._inflight.value == 0,
+            timeout_s=max(deadline.remaining(), 0.0),
+        )
+        httpd.server_close()  # listener gone; idle keep-alives now error out
+        await_condition(
+            lambda: self._connections.value == 0,
+            timeout_s=max(
+                deadline.remaining(), self.config.keepalive_idle_s + 0.5
+            ),
+        )
+        self._stop_event.set()
+        self._join_workers()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise LifecycleError(f"{self.name}: not started, no bound port")
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.config.host, self.port)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def health(self) -> dict[str, object]:
+        record = super().health()
+        record["draining"] = self.draining
+        record["inflight"] = self._inflight.value
+        record["open_connections"] = self._connections.value
+        if self._httpd is not None:
+            record["address"] = list(self.address)
+        return record
+
+    # -- request path ---------------------------------------------------------
+
+    def _handle(self, handler: _Handler, method: str) -> None:
+        self.requests.inc()
+        route = "unmatched"
+        start = time.monotonic()
+        status = 500
+        try:
+            route, status = self._route(handler, method)
+        except Exception as exc:  # noqa: BLE001 - every failure is an envelope
+            status, payload = encode_error(exc)
+            self._respond(handler, status, payload)
+        finally:
+            self.registry.histogram(
+                "net_request_latency_seconds", route=route
+            ).record(time.monotonic() - start)
+            self.registry.counter(
+                "net_responses_total", status=str(status)
+            ).inc()
+
+    def _route(self, handler: _Handler, method: str) -> tuple[str, int]:
+        """Match + dispatch; returns ``(route_label, http_status)``."""
+        path = handler.path.split("?", 1)[0].rstrip("/")
+        query = self._query(handler)
+        if not path.startswith(API_PREFIX + "/"):
+            return "unmatched", self._respond(
+                handler,
+                *protocol_error(
+                    "unknown_route", f"no route for {path!r}", 404
+                ),
+            )
+        parts = path[len(API_PREFIX) + 1 :].split("/")
+
+        # unauthenticated liveness first: load balancers probe it
+        if parts == ["healthz"] and method == "GET":
+            return "healthz", self._respond(
+                handler,
+                200,
+                {
+                    "status": "draining" if self.draining else "ok",
+                    "health": self.health(),
+                },
+            )
+
+        tenant = self._authenticate(handler)
+
+        if parts == ["metrics"] and method == "GET":
+            return "metrics", self._serve_metrics(handler)
+
+        priority = Priority.parse(handler.headers.get(PRIORITY_HEADER))
+        deadline = parse_deadline(handler.headers) or Deadline.after(
+            self.config.default_deadline_s
+        )
+
+        if self.draining:
+            # a kept-alive connection racing the drain: refuse retryably,
+            # and close so the client reconnects elsewhere
+            status, payload = encode_error(
+                LifecycleError("server is draining; retry another replica")
+            )
+            return "draining", self._respond(
+                handler, status, payload, close=True
+            )
+
+        admission = self.admission.try_admit(tenant, priority)
+        if not admission.admitted:
+            exc: Exception = (
+                ThrottledError(admission.reason)
+                if admission.verdict.value == "throttle"
+                else OverloadedError(admission.reason)
+            )
+            status, payload = encode_error(
+                exc, retry_after_s=admission.retry_after_s
+            )
+            return "shed", self._respond(
+                handler,
+                status,
+                payload,
+                extra_headers={
+                    RETRY_AFTER_HEADER: f"{admission.retry_after_s:.3f}"
+                },
+            )
+
+        try:
+            result = self._dispatch(
+                handler, method, parts, query, deadline, priority
+            )
+            self.completed.inc()
+            return result
+        except Exception:
+            self.completed.inc()  # an error envelope is still a response
+            raise
+        finally:
+            self.admission.release()
+
+    def _dispatch(
+        self,
+        handler: _Handler,
+        method: str,
+        parts: list[str],
+        query: dict[str, str],
+        deadline: Deadline,
+        priority: Priority,
+    ) -> tuple[str, int]:
+        self._inflight.inc()
+        try:
+            if parts[0] == "features" and len(parts) == 2 and method == "POST":
+                return "features_batch", self._serve_features_batch(
+                    handler, parts[1], deadline
+                )
+            if parts[0] == "features" and len(parts) == 3 and method == "GET":
+                return "features_get", self._serve_feature(
+                    handler, parts[1], parts[2], query, deadline
+                )
+            if parts[0] == "features" and len(parts) == 3 and method == "PUT":
+                return "features_write", self._serve_write(
+                    handler, parts[1], parts[2]
+                )
+            if (
+                parts[0] == "vectors"
+                and len(parts) == 3
+                and parts[2] == "search"
+                and method == "POST"
+            ):
+                return "vector_search", self._serve_vector_search(
+                    handler, parts[1], deadline
+                )
+            known_prefix = parts[0] in ("features", "vectors", "metrics", "healthz")
+            if known_prefix:
+                return "unmatched", self._respond(
+                    handler,
+                    *protocol_error(
+                        "method_not_allowed",
+                        f"{method} not allowed on {handler.path!r}",
+                        405,
+                    ),
+                )
+            return "unmatched", self._respond(
+                handler,
+                *protocol_error(
+                    "unknown_route", f"no route for {handler.path!r}", 404
+                ),
+            )
+        finally:
+            self._inflight.dec()
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _serve_feature(
+        self,
+        handler: _Handler,
+        namespace: str,
+        raw_id: str,
+        query: dict[str, str],
+        deadline: Deadline,
+    ) -> int:
+        entity_id = self._parse_entity_id(raw_id)
+        policy = self._parse_policy(query.get("policy"))
+        values = self.gateway.get_features(
+            namespace,
+            entity_id,
+            policy=policy,
+            deadline_s=max(deadline.remaining(), 0.0),
+        )
+        return self._respond(
+            handler,
+            200,
+            {"namespace": namespace, "entity_id": entity_id, "features": values},
+        )
+
+    def _serve_features_batch(
+        self, handler: _Handler, namespace: str, deadline: Deadline
+    ) -> int:
+        body = self._read_body(handler)
+        entity_ids = body.get("entity_ids")
+        if not isinstance(entity_ids, list):
+            raise ValidationError(
+                "POST /v1/features/{ns} body needs an 'entity_ids' list"
+            )
+        policy = self._parse_policy(body.get("policy"))
+        values = self.gateway.get_features_batch(
+            namespace,
+            [self._parse_entity_id(e) for e in entity_ids],
+            policy=policy,
+            deadline_s=max(deadline.remaining(), 0.0),
+        )
+        return self._respond(
+            handler, 200, {"namespace": namespace, "features": values}
+        )
+
+    def _serve_write(
+        self, handler: _Handler, namespace: str, raw_id: str
+    ) -> int:
+        body = self._read_body(handler)
+        values = body.get("values")
+        if not isinstance(values, dict):
+            raise ValidationError(
+                "PUT /v1/features/{ns}/{id} body needs a 'values' object"
+            )
+        entity_id = self._parse_entity_id(raw_id)
+        event_time = body.get("event_time")
+        self.gateway.write_features(
+            namespace,
+            entity_id,
+            values,
+            event_time=float(event_time) if event_time is not None else time.time(),
+        )
+        return self._respond(
+            handler, 200, {"namespace": namespace, "entity_id": entity_id, "written": True}
+        )
+
+    def _serve_vector_search(
+        self, handler: _Handler, name: str, deadline: Deadline
+    ) -> int:
+        body = self._read_body(handler)
+        query_vector = body.get("query")
+        if not isinstance(query_vector, list) or not query_vector:
+            raise ValidationError(
+                "POST /v1/vectors/{name}/search body needs a non-empty "
+                "'query' list"
+            )
+        k = int(body.get("k", 10))
+        version = body.get("version")
+        result = self.gateway.search_neighbors(
+            name,
+            [float(v) for v in query_vector],
+            k=k,
+            version=int(version) if version is not None else None,
+            deadline_s=max(deadline.remaining(), 0.0),
+        )
+        return self._respond(
+            handler, 200, {"name": name, **search_result_payload(result)}
+        )
+
+    def _serve_metrics(self, handler: _Handler) -> int:
+        accept = handler.headers.get("Accept", "")
+        if JSON_CONTENT_TYPE in accept:
+            body = self.registry.to_json(indent=2).encode("utf-8")
+            return self._respond_raw(handler, 200, body, JSON_CONTENT_TYPE)
+        body = self.registry.to_prometheus().encode("utf-8")
+        return self._respond_raw(handler, 200, body, PROMETHEUS_CONTENT_TYPE)
+
+    # -- request plumbing -----------------------------------------------------
+
+    def _authenticate(self, handler: _Handler) -> str:
+        """Token check (when configured) and tenant resolution."""
+        tokens = self.config.auth_tokens
+        if tokens:
+            token = bearer_token(handler.headers)
+            if token is None:
+                raise AuthError("missing bearer token")
+            tenant = tokens.get(token)
+            if tenant is None:
+                raise AuthError("unrecognized bearer token")
+            return tenant
+        return handler.headers.get(TENANT_HEADER) or "anonymous"
+
+    @staticmethod
+    def _query(handler: _Handler) -> dict[str, str]:
+        if "?" not in handler.path:
+            return {}
+        out: dict[str, str] = {}
+        for pair in handler.path.split("?", 1)[1].split("&"):
+            if pair:
+                key, __, value = pair.partition("=")
+                out[key] = value
+        return out
+
+    @staticmethod
+    def _parse_entity_id(raw) -> int:
+        try:
+            return int(raw)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"entity id must be an integer ({raw!r})"
+            ) from None
+
+    @staticmethod
+    def _parse_policy(raw) -> FreshnessPolicy:
+        if raw is None or raw == "":
+            return FreshnessPolicy.SERVE_ANYWAY
+        try:
+            return FreshnessPolicy(str(raw))
+        except ValueError:
+            raise ValidationError(
+                f"unknown freshness policy {raw!r}; allowed "
+                f"{sorted(p.value for p in FreshnessPolicy)}"
+            ) from None
+
+    def _read_body(self, handler: _Handler) -> dict:
+        length = int(handler.headers.get("Content-Length") or 0)
+        if length > self.config.max_body_bytes:
+            # drain nothing: refuse before reading an oversized body
+            handler.close_connection = True
+            raise PayloadTooLargeError(
+                f"request body {length} bytes > limit "
+                f"{self.config.max_body_bytes}"
+            )
+        raw = handler.rfile.read(length) if length else b""
+        return parse_json_body(raw)
+
+    def _respond(
+        self,
+        handler: _Handler,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+        close: bool = False,
+    ) -> int:
+        return self._respond_raw(
+            handler,
+            status,
+            dump_json(payload),
+            JSON_CONTENT_TYPE,
+            extra_headers=extra_headers,
+            close=close,
+        )
+
+    def _respond_raw(
+        self,
+        handler: _Handler,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+        close: bool = False,
+    ) -> int:
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", content_type)
+            handler.send_header("Content-Length", str(len(body)))
+            for key, value in (extra_headers or {}).items():
+                handler.send_header(key, value)
+            if close or self.draining:
+                handler.send_header("Connection", "close")
+                handler.close_connection = True
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            # the client hung up mid-response; the request still counts
+            # as answered — nothing upstream can do better
+            handler.close_connection = True
+        return status
+
+    # -- introspection --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Operational state for the dashboard's network section."""
+        responses = {
+            labels["status"]: metric.value
+            for name, labels, metric in self.registry.collect()
+            if name == "net_responses_total"
+        }
+        latency = {
+            labels["route"]: metric.summary()
+            for name, labels, metric in self.registry.collect()
+            if name == "net_request_latency_seconds"
+        }
+        return {
+            "address": list(self.address) if self._httpd else None,
+            "draining": self.draining,
+            "requests": self.requests.value,
+            "completed": self.completed.value,
+            "inflight": self._inflight.value,
+            "inflight_peak": self._inflight.peak,
+            "open_connections": self._connections.value,
+            "responses_by_status": responses,
+            "latency_by_route": latency,
+            "admission": self.admission.snapshot(),
+        }

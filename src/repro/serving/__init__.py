@@ -17,6 +17,10 @@ features *and* embeddings to deployed models. This package is that tier:
 """
 
 from repro.serving.batcher import MicroBatcher
+
+# Re-exported so higher planes (repro.net) can name freshness semantics
+# without importing the storage layer directly.
+from repro.storage.online import FreshnessPolicy
 from repro.serving.cache import (
     CacheEntry,
     CacheStats,
@@ -42,6 +46,7 @@ __all__ = [
     "EnrichResult",
     "FaultInjectingOnlineStore",
     "FaultPolicy",
+    "FreshnessPolicy",
     "Gauge",
     "GatewayConfig",
     "LatencyHistogram",

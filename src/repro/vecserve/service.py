@@ -40,6 +40,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -54,6 +55,7 @@ from repro.index import (
 )
 from repro.runtime import (
     Counter,
+    Deadline,
     MetricsRegistry,
     PeriodicTask,
     Service,
@@ -92,6 +94,10 @@ class _QueryRequest:
     k: int
     query: np.ndarray
     future: Future
+    #: the submitter's remaining latency budget; the batch it lands in is
+    #: bounded by the *tightest* member so one caller's deadline is never
+    #: silently loosened by co-batched traffic
+    deadline: Deadline | None = None
 
 
 _STOP = object()
@@ -143,7 +149,13 @@ class VectorQueryBatcher(Service):
         self._queue.put(_STOP)
         self._join_workers()
 
-    def submit(self, key: tuple[str, int], query: np.ndarray, k: int) -> Future:
+    def submit(
+        self,
+        key: tuple[str, int],
+        query: np.ndarray,
+        k: int,
+        deadline: Deadline | None = None,
+    ) -> Future:
         # Check + enqueue under the lifecycle lock: the request either
         # precedes the stop sentinel (served during the drain) or is
         # rejected — never stranded behind it with a forever-pending
@@ -151,7 +163,7 @@ class VectorQueryBatcher(Service):
         with self._state_lock:
             self._check_running("submit queries")
             future: Future = Future()
-            self._queue.put(_QueryRequest(key, k, query, future))
+            self._queue.put(_QueryRequest(key, k, query, future, deadline))
         return future
 
     def mean_batch_size(self) -> float:
@@ -193,9 +205,21 @@ class VectorQueryBatcher(Service):
         for request in batch:
             groups.setdefault((request.key, request.k), []).append(request)
         for (key, k), requests in groups.items():
+            # The shard fan-out honors the tightest remaining budget in
+            # the group (clamped to ~0 so an already-expired member still
+            # gets a fast partial answer rather than an unbounded scan).
+            budgets = [
+                r.deadline.remaining()
+                for r in requests
+                if r.deadline is not None
+            ]
+            deadline_s = max(min(budgets), 1e-4) if budgets else None
             try:
                 results = self._run_batch(
-                    key, np.stack([r.query for r in requests]), k
+                    key,
+                    np.stack([r.query for r in requests]),
+                    k,
+                    deadline_s=deadline_s,
                 )
             except BaseException as exc:  # noqa: BLE001 - forwarded to callers
                 for request in requests:
@@ -454,10 +478,14 @@ class VectorService(Service):
     # -- query path -----------------------------------------------------------
 
     def _run_batch(
-        self, key: tuple[str, int], queries: np.ndarray, k: int
+        self,
+        key: tuple[str, int],
+        queries: np.ndarray,
+        k: int,
+        deadline_s: float | None = None,
     ) -> list[ShardedSearchResult]:
         table = self._resolve(*key)
-        results = table.sharded.search_batch(queries, k)
+        results = table.sharded.search_batch(queries, k, deadline_s=deadline_s)
         for query, result in zip(queries, results):
             table.recall.maybe_observe(query, result)
         return results
@@ -476,14 +504,43 @@ class VectorService(Service):
         shard-batched scatter-gathers; otherwise the query fans out
         directly. Either way a sampled shadow query may feed the recall
         monitor.
+
+        ``deadline_s`` bounds the whole path *including* batcher queue
+        wait: the request carries its :class:`~repro.runtime.Deadline`
+        into the batch (the shard fan-out honors the tightest member),
+        and the caller waits at most its remaining budget (plus a small
+        grace for the in-progress fan-out to deliver its own partial
+        result) before degrading to an empty ``partial`` answer — the
+        same degradation contract the unbatched path has always had.
         """
         self._check_running("serve queries")
         table = self._resolve(name, version)
-        if self.batcher is not None and deadline_s is None:
-            future = self.batcher.submit(
-                (table.name, table.version), np.asarray(query, dtype=float), k
+        if self.batcher is not None:
+            deadline = (
+                Deadline.after(deadline_s) if deadline_s is not None else None
             )
-            return future.result()
+            future = self.batcher.submit(
+                (table.name, table.version),
+                np.asarray(query, dtype=float),
+                k,
+                deadline=deadline,
+            )
+            if deadline is None:
+                return future.result()
+            grace = 0.05  # let the deadline-bounded fan-out report partials
+            try:
+                return future.result(
+                    timeout=max(deadline.remaining(), 0.0) + grace
+                )
+            except FutureTimeoutError:
+                future.cancel()
+                table.sharded.metrics.partials.inc()
+                return ShardedSearchResult(
+                    ids=np.empty(0, dtype=np.int64),
+                    scores=np.empty(0, dtype=float),
+                    partial=True,
+                    shards_missed=table.sharded.n_shards,
+                )
         result = table.sharded.search(query, k, deadline_s=deadline_s)
         table.recall.maybe_observe(query, result)
         return result

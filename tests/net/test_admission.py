@@ -1,0 +1,189 @@
+"""Unit tests for admission control on a fake clock.
+
+The token bucket and the watermark gate are the pieces whose edge cases
+(refill arithmetic, the quota-vs-pressure ordering, atomicity of the
+depth check) decide whether E21's "high priority survives overload"
+claim is engineering or luck — so they get exact, clock-controlled
+tests here, independent of any socket.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.net.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Priority,
+    QuotaConfig,
+    TokenBucket,
+    Verdict,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPriority:
+    def test_parse_defaults_high(self):
+        assert Priority.parse(None) is Priority.HIGH
+        assert Priority.parse("") is Priority.HIGH
+
+    def test_parse_values(self):
+        assert Priority.parse("high") is Priority.HIGH
+        assert Priority.parse("BEST_EFFORT") is Priority.BEST_EFFORT
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            Priority.parse("urgent")
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaConfig(rate=10.0, burst=3), clock=clock)
+        assert all(bucket.try_acquire() for __ in range(3))
+        assert not bucket.try_acquire()  # burst exhausted
+        clock.advance(0.1)  # one token refilled at 10/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaConfig(rate=100.0, burst=2), clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == 2.0
+
+    def test_retry_after_is_honest(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaConfig(rate=2.0, burst=1), clock=clock)
+        assert bucket.try_acquire()
+        # empty; next token in 0.5s at 2/s
+        assert bucket.retry_after_s() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.retry_after_s() == 0.0
+        assert bucket.try_acquire()
+
+    def test_infinite_rate_never_throttles(self):
+        bucket = TokenBucket(QuotaConfig())
+        assert math.isinf(bucket.quota.rate)
+        assert all(bucket.try_acquire() for __ in range(10_000))
+
+    def test_invalid_quota_rejected(self):
+        with pytest.raises(ValidationError):
+            QuotaConfig(rate=0).validate()
+        with pytest.raises(ValidationError):
+            QuotaConfig(burst=0).validate()
+
+
+class TestAdmissionController:
+    def test_admit_then_release_cycles(self):
+        ctrl = AdmissionController(AdmissionConfig(max_inflight=2))
+        assert ctrl.try_admit("t", Priority.HIGH).admitted
+        assert ctrl.try_admit("t", Priority.HIGH).admitted
+        third = ctrl.try_admit("t", Priority.HIGH)
+        assert third.verdict is Verdict.SHED  # hard cap
+        ctrl.release()
+        assert ctrl.try_admit("t", Priority.HIGH).admitted
+
+    def test_watermark_sheds_best_effort_only(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(max_inflight=4, shed_watermark=2)
+        )
+        for __ in range(2):
+            assert ctrl.try_admit("t", Priority.BEST_EFFORT).admitted
+        # at the watermark: best-effort refused, high still admitted
+        refused = ctrl.try_admit("t", Priority.BEST_EFFORT)
+        assert refused.verdict is Verdict.SHED
+        assert "watermark" in refused.reason
+        assert ctrl.try_admit("t", Priority.HIGH).admitted
+        assert ctrl.shed_count(Priority.BEST_EFFORT) == 1
+        assert ctrl.shed_count(Priority.HIGH) == 0
+
+    def test_hard_cap_sheds_high_too(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(max_inflight=2, shed_watermark=1)
+        )
+        assert ctrl.try_admit("t", Priority.HIGH).admitted
+        assert ctrl.try_admit("t", Priority.HIGH).admitted
+        refused = ctrl.try_admit("t", Priority.HIGH)
+        assert refused.verdict is Verdict.SHED
+        assert "max_inflight" in refused.reason
+
+    def test_quota_throttles_before_pressure(self):
+        clock = FakeClock()
+        ctrl = AdmissionController(
+            AdmissionConfig(
+                max_inflight=100,
+                tenant_quotas={"noisy": QuotaConfig(rate=1.0, burst=1)},
+            ),
+            clock=clock,
+        )
+        assert ctrl.try_admit("noisy", Priority.HIGH).admitted
+        refused = ctrl.try_admit("noisy", Priority.HIGH)
+        assert refused.verdict is Verdict.THROTTLE
+        assert refused.retry_after_s > 0
+        # another tenant is unaffected by the noisy one's quota
+        assert ctrl.try_admit("quiet", Priority.HIGH).admitted
+        assert ctrl.throttled.value == 1
+
+    def test_quota_rejection_does_not_hold_inflight(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(
+                max_inflight=10,
+                default_quota=QuotaConfig(rate=0.001, burst=1),
+            ),
+            clock=FakeClock(),
+        )
+        assert ctrl.try_admit("t", Priority.HIGH).admitted
+        for __ in range(5):
+            assert not ctrl.try_admit("t", Priority.HIGH).admitted
+        assert ctrl.inflight.value == 1
+
+    def test_hard_cap_is_atomic_under_contention(self):
+        """Racing admits never exceed max_inflight (the check+inc is one
+        critical section, not a read-then-write)."""
+        cap = 8
+        ctrl = AdmissionController(AdmissionConfig(max_inflight=cap))
+        admitted = []
+        barrier = threading.Barrier(32)
+
+        def worker():
+            barrier.wait()
+            if ctrl.try_admit("t", Priority.HIGH).admitted:
+                admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for __ in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == cap
+        assert ctrl.inflight.peak == cap
+
+    def test_effective_watermark_defaults_to_half(self):
+        assert AdmissionConfig(max_inflight=64).effective_watermark == 32
+        assert AdmissionConfig(max_inflight=1).effective_watermark == 1
+
+    def test_invalid_watermark_rejected(self):
+        with pytest.raises(ValidationError):
+            AdmissionConfig(max_inflight=4, shed_watermark=9).validate()
+
+    def test_snapshot_shape(self):
+        ctrl = AdmissionController(AdmissionConfig(max_inflight=4))
+        ctrl.try_admit("alice", Priority.HIGH)
+        snap = ctrl.snapshot()
+        assert snap["admitted"] == 1
+        assert snap["inflight"] == 1
+        assert snap["tenants"] == ["alice"]
+        assert set(snap["shed"]) == {"high", "best_effort"}

@@ -1,0 +1,232 @@
+"""Property-style tests for the wire protocol's error envelope.
+
+The envelope is the contract that lets a remote client behave like a
+local caller: every ``repro.errors`` exception must map to a stable
+``(code, status, retryable)`` triple, and decoding the encoded envelope
+must reconstruct an exception the client's retry loop classifies
+identically. Rather than enumerating classes by hand (and silently
+missing the next PR's new exception), the round-trip tests *introspect*
+``repro.errors`` — any exception class defined there is covered the day
+it is born.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro.errors
+from repro.errors import (
+    DeadlineExceededError,
+    NotRegisteredError,
+    ReproError,
+    ServingError,
+    ValidationError,
+)
+from repro.net import protocol
+from repro.net.protocol import (
+    AuthError,
+    ERROR_SPECS,
+    OverloadedError,
+    PayloadTooLargeError,
+    ThrottledError,
+    bearer_token,
+    decode_error,
+    dump_json,
+    encode_error,
+    is_retryable,
+    parse_deadline,
+    parse_json_body,
+    spec_for,
+)
+from repro.runtime.lifecycle import LifecycleError
+
+
+def all_repro_error_classes() -> list[type]:
+    """Every exception class the errors module defines (introspected)."""
+    return [
+        cls
+        for __, cls in inspect.getmembers(repro.errors, inspect.isclass)
+        if issubclass(cls, BaseException)
+        and cls.__module__ == "repro.errors"
+    ]
+
+
+class TestSpecCoverage:
+    def test_every_errors_class_has_an_exact_spec(self):
+        """No repro.errors class rides on an ancestor's mapping by
+        accident: each one is deliberately registered."""
+        missing = [
+            cls.__name__
+            for cls in all_repro_error_classes()
+            if cls not in ERROR_SPECS
+        ]
+        assert missing == []
+
+    def test_codes_are_unique(self):
+        codes = [spec.code for spec in ERROR_SPECS.values()]
+        assert len(codes) == len(set(codes))
+
+    def test_statuses_are_plausible_http(self):
+        for spec in ERROR_SPECS.values():
+            assert 400 <= spec.status <= 599
+
+    def test_retryable_set_is_intentional(self):
+        """The retryable set is exactly the transient conditions."""
+        retryable = {
+            spec.code for spec in ERROR_SPECS.values() if spec.retryable
+        }
+        assert retryable == {
+            "throttled",
+            "overloaded",
+            "unavailable",
+            "transient_store",
+            "deadline_exceeded",
+            "backpressure",
+        }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", all_repro_error_classes(), ids=lambda c: c.__name__
+    )
+    def test_encode_decode_preserves_class_and_retryability(self, cls):
+        exc = cls("boom: detail text")
+        status, payload = encode_error(exc)
+        spec = spec_for(exc)
+        assert status == spec.status
+        envelope = payload["error"]
+        assert envelope["code"] == spec.code
+        assert envelope["retryable"] is spec.retryable
+        assert "boom: detail text" in envelope["message"]
+        # ...and back: the JSON-serialized envelope reconstructs the class
+        decoded = decode_error(parse_json_body(dump_json(payload)))
+        assert type(decoded) is cls
+        assert is_retryable(decoded) is spec.retryable
+        assert decoded.code == spec.code
+
+    def test_subclass_inherits_nearest_ancestor_spec(self):
+        class CustomServingFailure(ServingError):
+            pass
+
+        status, payload = encode_error(CustomServingFailure("x"))
+        assert status == ERROR_SPECS[ServingError].status
+        assert payload["error"]["code"] == "serving_error"
+
+    def test_lifecycle_error_is_retryable_unavailable(self):
+        """The drain signal must read as 'try another replica', not as a
+        client bug — despite LifecycleError subclassing ValidationError."""
+        status, payload = encode_error(LifecycleError("draining"))
+        assert status == 503
+        assert payload["error"]["code"] == "unavailable"
+        assert payload["error"]["retryable"] is True
+
+    def test_protocol_exceptions_map(self):
+        cases = [
+            (AuthError("no"), 401, "unauthenticated", False),
+            (ThrottledError("q"), 429, "throttled", True),
+            (OverloadedError("p"), 503, "overloaded", True),
+            (PayloadTooLargeError("b"), 413, "payload_too_large", False),
+        ]
+        for exc, want_status, want_code, want_retryable in cases:
+            status, payload = encode_error(exc)
+            assert (status, payload["error"]["code"]) == (
+                want_status,
+                want_code,
+            )
+            assert payload["error"]["retryable"] is want_retryable
+
+    def test_unknown_code_degrades_to_serving_error(self):
+        """A newer server's code must not crash an older client; the
+        wire retryable flag still governs."""
+        decoded = decode_error(
+            {
+                "error": {
+                    "code": "code_from_the_future",
+                    "message": "m",
+                    "retryable": True,
+                }
+            }
+        )
+        assert type(decoded) is ServingError
+        assert is_retryable(decoded) is True
+
+    def test_malformed_envelope_degrades_terminal(self):
+        decoded = decode_error({"not_an_error": 1})
+        assert isinstance(decoded, ServingError)
+        assert is_retryable(decoded) is False
+
+    def test_retry_after_travels(self):
+        status, payload = encode_error(
+            ThrottledError("slow down"), retry_after_s=0.25
+        )
+        decoded = decode_error(payload)
+        assert decoded.retry_after_s == 0.25
+
+    def test_instance_code_overrides_class_code(self):
+        exc = ValidationError("bad json")
+        exc.code = "invalid_json"
+        __, payload = encode_error(exc)
+        assert payload["error"]["code"] == "invalid_json"
+        assert type(decode_error(payload)) is ValidationError
+
+
+class TestHeaders:
+    def test_bearer_token_extraction(self):
+        assert bearer_token({"Authorization": "Bearer abc"}) == "abc"
+        assert bearer_token({"Authorization": "bearer abc"}) == "abc"
+        assert bearer_token({"Authorization": "Basic abc"}) is None
+        assert bearer_token({"Authorization": "Bearer "}) is None
+        assert bearer_token({}) is None
+
+    def test_parse_deadline(self):
+        deadline = parse_deadline({protocol.DEADLINE_HEADER: "250"})
+        assert 0.0 < deadline.remaining() <= 0.25
+
+    def test_parse_deadline_absent(self):
+        assert parse_deadline({}) is None
+
+    @pytest.mark.parametrize("raw", ["abc", "", "-5", "0"])
+    def test_parse_deadline_malformed(self, raw):
+        with pytest.raises(ValidationError):
+            parse_deadline({protocol.DEADLINE_HEADER: raw})
+
+
+class TestBodies:
+    def test_empty_body_is_empty_object(self):
+        assert parse_json_body(b"") == {}
+
+    def test_malformed_json_carries_invalid_json_code(self):
+        with pytest.raises(ValidationError) as info:
+            parse_json_body(b"{nope")
+        assert info.value.code == "invalid_json"
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ValidationError) as info:
+            parse_json_body(b"[1, 2]")
+        assert info.value.code == "invalid_json"
+
+    def test_dump_json_tolerates_numpy(self):
+        raw = dump_json(
+            {
+                "i": np.int64(3),
+                "f": np.float32(0.5),
+                "a": np.arange(3),
+            }
+        )
+        assert parse_json_body(raw) == {"i": 3, "f": 0.5, "a": [0, 1, 2]}
+
+    def test_deadline_exceeded_round_trip_is_retryable(self):
+        __, payload = encode_error(DeadlineExceededError("late"))
+        assert is_retryable(decode_error(payload)) is True
+
+    def test_not_registered_round_trip_is_terminal(self):
+        __, payload = encode_error(NotRegisteredError("ghost"))
+        decoded = decode_error(payload)
+        assert type(decoded) is NotRegisteredError
+        assert is_retryable(decoded) is False
+
+    def test_base_repro_error_is_internal(self):
+        status, payload = encode_error(ReproError("wat"))
+        assert status == 500
+        assert payload["error"]["code"] == "internal"

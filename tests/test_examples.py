@@ -23,6 +23,7 @@ EXAMPLES = [
     "serving_gateway",
     "ingestion_bus",
     "vector_serving",
+    "network_serving",
 ]
 
 

@@ -141,6 +141,69 @@ class TestLayering:
         )
         assert checker.check_edges([root_edge]) == []
 
+    def test_lint_detects_net_upward_import(self):
+        """The network plane may not import storage internals or planes
+        outside its declared downward set."""
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.net.server", "repro.storage.online", 1),
+            checker.ImportEdge("repro.net.protocol", "repro.bus", 2),
+            checker.ImportEdge("repro.net.loadgen", "repro.monitoring", 3),
+        ]
+        violations = checker.check_edges(edges)
+        assert len(violations) == 3
+        assert all("repro.net" in v.rule for v in violations)
+
+    def test_lint_allows_net_downward_imports(self):
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.net.server", "repro.serving", 1),
+            checker.ImportEdge("repro.net.server", "repro.runtime", 2),
+            checker.ImportEdge(
+                "repro.net.server", "repro.runtime.lifecycle", 3
+            ),
+            checker.ImportEdge("repro.net.protocol", "repro.errors", 4),
+            checker.ImportEdge(
+                "repro.net.loadgen", "repro.datagen.workloads", 5
+            ),
+            checker.ImportEdge("repro.net.client", "repro.net.protocol", 6),
+            checker.ImportEdge("repro.net.server", "http.server", 7),
+        ]
+        assert checker.check_edges(edges) == []
+
+    def test_lint_detects_reverse_import_of_net(self):
+        """Nothing inside repro may import the network plane back — not
+        even through its package root (the root-only cross-plane rule is
+        not enough at the top of the DAG)."""
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.serving.gateway", "repro.net", 1),
+            checker.ImportEdge(
+                "repro.monitoring.dashboard", "repro.net.server", 2
+            ),
+            checker.ImportEdge("repro.storage.online", "repro.net", 3),
+        ]
+        violations = checker.check_edges(edges)
+        assert len(violations) == 3
+        assert all("top of the DAG" in v.rule for v in violations)
+        # a runtime → net edge is also caught (by rule 1, which fires first)
+        runtime_edge = checker.ImportEdge(
+            "repro.runtime.lifecycle", "repro.net", 1
+        )
+        assert len(checker.check_edges([runtime_edge])) == 1
+
+    def test_nothing_in_tree_imports_net(self):
+        """The live source tree honors rule 5b."""
+        checker = _load_checker()
+        edges = checker.collect_edges(SRC)
+        offenders = [
+            e
+            for e in edges
+            if not e.importer.startswith("repro.net")
+            and e.imported.startswith("repro.net")
+        ]
+        assert offenders == []
+
     def test_core_does_not_import_compiler(self):
         """The acyclicity guarantee: core → compiler would close a cycle
         with compiler → core, so the edge must not exist in the tree."""

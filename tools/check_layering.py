@@ -8,8 +8,9 @@ The unified runtime refactor gave the repo an explicit layer diagram
     codec | runtime                (compression kernels; lifecycle, telemetry)
     storage / core / index / ...   (domain substrate)
     serving | bus | vecserve | streaming | monitoring   (the planes)
+    net                            (the network surface, top of the DAG)
 
-Three rules keep it a DAG:
+Five rules keep it a DAG:
 
 1. **The runtime imports nothing above it.** Modules under
    ``repro.runtime`` may import only the stdlib, numpy, ``repro.errors``,
@@ -34,6 +35,14 @@ Three rules keep it a DAG:
    compiled behaviour through duck-typed methods on the plan object a
    view carries, so there is no ``repro.core → repro.compiler`` edge
    either; the DAG stays acyclic.)
+5. **The network plane is the top of the DAG.** Modules under
+   ``repro.net`` may import only the stdlib, numpy, ``repro.errors``,
+   ``repro.clock``, ``repro.runtime``, ``repro.serving``,
+   ``repro.vecserve`` and ``repro.datagen`` (the loadgen's workload
+   substrate) — and **nothing** else in ``repro`` may import
+   ``repro.net`` back. Only benchmarks, examples and tests sit above
+   the network surface; a library module depending on the HTTP front
+   end would invert the whole diagram.
 
 ``if TYPE_CHECKING:`` blocks are exempt — annotations may name
 cross-plane types without creating a runtime edge.
@@ -52,7 +61,15 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: packages whose submodules are private to the package ("planes")
-PLANES = ("serving", "bus", "vecserve", "streaming", "monitoring", "compiler")
+PLANES = (
+    "serving",
+    "bus",
+    "vecserve",
+    "streaming",
+    "monitoring",
+    "compiler",
+    "net",
+)
 
 #: top-level roots repro.runtime may import at runtime
 RUNTIME_ALLOWED_ROOTS = {
@@ -79,6 +96,20 @@ COMPILER_ALLOWED_ROOTS = {
     "repro.compiler",
     "repro.core",
     "repro.storage",
+    "numpy",
+}
+
+#: top-level roots repro.net may import at runtime (rule 5: the network
+#: surface mounts the serving/vector planes over the runtime kernel and
+#: reuses the datagen workload substrate for its loadgen)
+NET_ALLOWED_ROOTS = {
+    "repro.errors",
+    "repro.clock",
+    "repro.runtime",
+    "repro.serving",
+    "repro.vecserve",
+    "repro.datagen",
+    "repro.net",
     "numpy",
 }
 
@@ -219,6 +250,34 @@ def check_edges(edges: list[ImportEdge]) -> list[Violation]:
                     )
                 )
                 continue
+        # Rule 5a: the network plane's own downward imports.
+        if edge.importer.startswith("repro.net"):
+            allowed = not edge.imported.startswith("repro") or any(
+                edge.imported == root or edge.imported.startswith(root + ".")
+                for root in NET_ALLOWED_ROOTS
+            )
+            if not allowed:
+                violations.append(
+                    Violation(
+                        edge,
+                        "repro.net may import only the stdlib, numpy, "
+                        "repro.errors, repro.clock, repro.runtime, "
+                        "repro.serving, repro.vecserve and repro.datagen",
+                    )
+                )
+                continue
+        # Rule 5b: nothing inside repro imports the network plane back.
+        elif edge.imported == "repro.net" or edge.imported.startswith(
+            "repro.net."
+        ):
+            violations.append(
+                Violation(
+                    edge,
+                    "repro.net is the top of the DAG — only benchmarks, "
+                    "examples and tests may import it",
+                )
+            )
+            continue
         # Rule 2: cross-plane imports only via the package root.
         importer_plane = _plane_of(edge.importer)
         imported_plane = _plane_of(edge.imported)

@@ -3,7 +3,8 @@
 
 Every perf-critical subsystem ships a bench that writes a JSON document to
 ``benchmarks/results/`` (A4 columnar engine, E17 ingestion bus, E18 vector
-serving, E19 codecs, telemetry overhead, E20 pipeline compiler). This tool
+serving, E19 codecs, telemetry overhead, E20 pipeline compiler, E21
+network serving plane). This tool
 folds the headline numbers of all of them into one ledger —
 ``benchmarks/results/TRAJECTORY.json`` — and enforces a floor (or ceiling)
 on each, so a future PR that quietly regresses a speedup or breaks a
@@ -149,6 +150,26 @@ BENCHES: dict[str, dict] = {
             ),
             "asof_join_parity": Metric(
                 lambda d: float(d["asof_join"]["parity"]), min=1.0
+            ),
+        },
+    },
+    "network_serving": {
+        "source": "BENCH_network_serving.json",
+        "metrics": {
+            "high_priority_success": Metric(
+                lambda d: d["overload"]["by_priority"]["high"][
+                    "success_rate"
+                ],
+                min=0.99,
+            ),
+            "overload_shed_rate": Metric(
+                lambda d: d["overload"]["shed_rate"], min=0.001
+            ),
+            "drain_dropped_inflight": Metric(
+                lambda d: float(d["drain"]["dropped_inflight"]), max=0.0
+            ),
+            "drain_leaked_threads": Metric(
+                lambda d: float(d["drain"]["leaked_threads"]), max=0.0
             ),
         },
     },

@@ -1,0 +1,430 @@
+"""E22 — replicated cluster plane: replication lag and failover time.
+
+The paper's platform sections describe feature stores that outgrew one
+box — geo-distributed deployments where shards replicate and fail over
+without losing acknowledged writes. This bench measures this repo's
+cluster plane (:mod:`repro.cluster`) on the two numbers that story
+hangs on:
+
+* ``replication`` — sustained Zipfian writes through
+  :class:`ClusterClient` against a sharded, replicated cluster:
+  write throughput and ack latency (each ack = durable on the leader
+  *and* shipped to a follower), replication lag sampled live (records
+  behind, seconds behind), and the end-state **byte-identical parity**
+  of follower segment files against their leader's — the replication
+  oracle.
+* ``failover`` — kill a shard leader under live write load: time for
+  the coordinator to detect and promote, time to the first successful
+  *write* and first successful authoritative *read* through a routing
+  client, whether stale-bounded reads kept serving inside the detection
+  window, and — the hard bar — that **zero acknowledged writes** are
+  missing from the promoted leader's log. The cluster must drain to
+  zero leaked threads.
+
+Results go to ``benchmarks/results/BENCH_cluster.json``; headline
+numbers are gated by ``tools/check_trajectory.py``.
+
+Run the pytest bench, or the CLI smoke target::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e22_cluster.py -q
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke --targets cluster
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import tempfile
+import threading
+import time
+
+from repro.cluster import Cluster, CoordinatorConfig
+from repro.datagen.workloads import ZipfianWorkloadConfig, generate_zipfian_keys
+from repro.runtime import await_condition
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_cluster.json"
+
+SCALES = {
+    "smoke": dict(n_keys=400, n_writes=2_000, writers=4),
+    "default": dict(n_keys=1_000, n_writes=8_000, writers=4),
+    "full": dict(n_keys=4_000, n_writes=24_000, writers=8),
+}
+
+ZIPF_SKEW = 1.0
+
+
+def _segment_bytes(node) -> dict[str, bytes]:
+    node.log.flush()
+    log_dir = pathlib.Path(node.config.data_dir) / "log"
+    return {
+        str(p.relative_to(log_dir)): p.read_bytes()
+        for p in sorted(log_dir.rglob("*.seg"))
+    }
+
+
+def _shard_parity(cluster: Cluster) -> bool:
+    """Every follower's segment files byte-identical to its leader's."""
+    routes = cluster.coordinator.routes()
+    for shard_id, leader_id in routes["leaders"].items():
+        leader_files = _segment_bytes(cluster.nodes[leader_id])
+        for follower_id in routes["replicas"][shard_id]:
+            if _segment_bytes(cluster.nodes[follower_id]) != leader_files:
+                return False
+    return True
+
+
+def _total_follower_lag_records(cluster: Cluster) -> int:
+    routes = cluster.coordinator.routes()
+    lag = 0
+    for shard_id, leader_id in routes["leaders"].items():
+        leader = cluster.nodes[leader_id]
+        ends = leader.log.end_offsets()
+        for follower_id in routes["replicas"][shard_id]:
+            follower = cluster.nodes[follower_id]
+            if follower.running:
+                lag += max(sum(ends) - sum(follower.log.end_offsets()), 0)
+    return lag
+
+
+def run_replication_case(sizing: dict) -> dict:
+    """Sustained Zipfian writes: ack latency, lag, end-state parity."""
+    keys = generate_zipfian_keys(
+        ZipfianWorkloadConfig(
+            n_keys=sizing["n_keys"],
+            n_requests=sizing["n_writes"],
+            skew=ZIPF_SKEW,
+        ),
+        seed=11,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        with Cluster(
+            tmp, n_shards=2, n_replicas=1, min_replica_acks=1
+        ) as cluster:
+            lag_samples: list[int] = []
+            lag_seconds_samples: list[float] = []
+            stop_sampler = threading.Event()
+
+            def sampler() -> None:
+                while not stop_sampler.is_set():
+                    lag_samples.append(_total_follower_lag_records(cluster))
+                    now = time.time()
+                    behind = 0.0
+                    for node in cluster.nodes.values():
+                        if node.role.value == "leader":
+                            continue
+                        beat = node.heartbeat()
+                        if beat["last_event_time"]:
+                            behind = max(
+                                behind, now - beat["last_event_time"]
+                            )
+                    lag_seconds_samples.append(behind)
+                    stop_sampler.wait(0.005)
+
+            sampling = threading.Thread(target=sampler, daemon=True)
+            sampling.start()
+
+            latencies: list[float] = []
+            lat_lock = threading.Lock()
+            n_writers = sizing["writers"]
+
+            def writer(worker: int) -> None:
+                client = cluster.client(client_id=f"w{worker}")
+                local: list[float] = []
+                for sequence, eid in enumerate(keys[worker::n_writers]):
+                    t0 = time.perf_counter()
+                    client.put(
+                        int(eid),
+                        float(sequence),
+                        timestamp=time.time(),
+                        sequence=worker * 10_000_000 + sequence,
+                    )
+                    local.append(time.perf_counter() - t0)
+                with lat_lock:
+                    latencies.extend(local)
+
+            t_start = time.perf_counter()
+            writers = [
+                threading.Thread(target=writer, args=(i,), daemon=True)
+                for i in range(n_writers)
+            ]
+            for thread in writers:
+                thread.start()
+            for thread in writers:
+                thread.join()
+            elapsed = time.perf_counter() - t_start
+            stop_sampler.set()
+            sampling.join(timeout=2.0)
+
+            # post-load: how long until followers are fully caught up
+            t_catch = time.perf_counter()
+            caught_up = await_condition(
+                lambda: _total_follower_lag_records(cluster) == 0,
+                timeout_s=10.0,
+            )
+            catch_up_s = time.perf_counter() - t_catch
+            parity = _shard_parity(cluster)
+            applied = cluster.wait_applied(timeout_s=10.0)
+
+            latencies.sort()
+            quantile = lambda q: latencies[int(q * (len(latencies) - 1))]
+            return {
+                "n_writes": len(latencies),
+                "n_writers": n_writers,
+                "zipf_skew": ZIPF_SKEW,
+                "write_qps": round(len(latencies) / elapsed, 1),
+                "ack_p50_ms": round(quantile(0.50) * 1e3, 3),
+                "ack_p99_ms": round(quantile(0.99) * 1e3, 3),
+                "lag_records_mean": round(statistics.mean(lag_samples), 2),
+                "lag_records_max": max(lag_samples),
+                "lag_seconds_max": round(max(lag_seconds_samples), 4),
+                "post_load_catch_up_s": round(catch_up_s, 4),
+                "followers_caught_up": bool(caught_up),
+                "replication_parity": bool(parity),
+                "stores_applied": bool(applied),
+            }
+
+
+def run_failover_case(sizing: dict) -> dict:
+    """Kill the shard-0 leader under live load; time the recovery."""
+    keys = generate_zipfian_keys(
+        ZipfianWorkloadConfig(
+            n_keys=sizing["n_keys"],
+            n_requests=sizing["n_writes"],
+            skew=ZIPF_SKEW,
+        ),
+        seed=13,
+    )
+    threads_before = threading.active_count()
+    with tempfile.TemporaryDirectory() as tmp:
+        with Cluster(
+            tmp,
+            n_shards=2,
+            n_replicas=2,
+            min_replica_acks=1,
+            coordinator_config=CoordinatorConfig(
+                heartbeat_interval_s=0.02, failure_threshold=3
+            ),
+        ) as cluster:
+            probe = cluster.client(client_id="probe")
+            # a key owned by shard-0, written + applied before the kill:
+            # the first-read probe below must see real features, which
+            # proves the promoted follower's store, not just its log
+            probe_key = next(
+                eid
+                for eid in range(10_000)
+                if probe.owner_of(eid)[0] == "shard-0"
+            )
+            probe.put(probe_key, 42.0)
+            assert cluster.wait_applied(timeout_s=10.0)
+
+            acked: dict[int, int] = {}  # sequence -> entity_id
+            acked_lock = threading.Lock()
+            stop_writers = threading.Event()
+
+            def writer(worker: int) -> None:
+                client = cluster.client(client_id=f"w{worker}")
+                sequence = worker * 10_000_000
+                for eid in keys[worker :: sizing["writers"]]:
+                    if stop_writers.is_set():
+                        return
+                    sequence += 1
+                    try:
+                        client.put(
+                            int(eid),
+                            float(sequence),
+                            timestamp=time.time(),
+                            sequence=sequence,
+                        )
+                    except Exception:  # noqa: BLE001 - unacked, not counted
+                        continue
+                    with acked_lock:
+                        acked[sequence] = int(eid)
+
+            writers = [
+                threading.Thread(target=writer, args=(i,), daemon=True)
+                for i in range(sizing["writers"])
+            ]
+            for thread in writers:
+                thread.start()
+            await_condition(lambda: len(acked) > 200, timeout_s=20.0)
+
+            old_leader_id = cluster.coordinator.leader_of("shard-0")
+            t_kill = time.perf_counter()
+            cluster.crash(old_leader_id)
+
+            # stale-bounded reads keep serving inside the detection window
+            stale_served = False
+            stale_ms = None
+            try:
+                response = probe.get(probe_key, stale_ok=True)
+                stale_served = response["features"] is not None
+                stale_ms = round((time.perf_counter() - t_kill) * 1e3, 3)
+            except Exception:  # noqa: BLE001 - measured, not fatal
+                pass
+
+            promoted = await_condition(
+                lambda: cluster.coordinator.leader_of("shard-0")
+                != old_leader_id,
+                timeout_s=10.0,
+            )
+            detect_promote_ms = round((time.perf_counter() - t_kill) * 1e3, 3)
+
+            # first successful authoritative read of a shard-0 key
+            first_read_ms = None
+            reader = cluster.client(client_id="reader")
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                try:
+                    response = reader.get(probe_key)
+                    if response["features"] is not None:
+                        first_read_ms = round(
+                            (time.perf_counter() - t_kill) * 1e3, 3
+                        )
+                        break
+                except Exception:  # noqa: BLE001 - still failing over
+                    time.sleep(0.002)
+
+            # first successful write to the same shard
+            first_write_ms = None
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                try:
+                    probe.put(probe_key, 43.0, sequence=999_999_999)
+                    first_write_ms = round(
+                        (time.perf_counter() - t_kill) * 1e3, 3
+                    )
+                    break
+                except Exception:  # noqa: BLE001 - still failing over
+                    time.sleep(0.002)
+
+            time.sleep(0.1)  # let post-failover acks accumulate
+            stop_writers.set()
+            for thread in writers:
+                thread.join(timeout=30.0)
+
+            # --- no acked write lost --------------------------------------
+            new_leader_id = cluster.coordinator.leader_of("shard-0")
+            in_logs: set[int] = set()
+            for node_id in (new_leader_id, cluster.coordinator.leader_of("shard-1")):
+                node = cluster.nodes[node_id]
+                for partition in range(node.log.n_partitions):
+                    for __, record in node.log.read(partition, 0, 10_000_000):
+                        in_logs.add(record.sequence)
+            lost = [seq for seq in acked if seq not in in_logs]
+            failovers = cluster.coordinator.failovers.value
+
+        threads_restored = await_condition(
+            lambda: threading.active_count() <= threads_before, 10.0
+        )
+        return {
+            "n_acked_writes": len(acked),
+            "old_leader": old_leader_id,
+            "new_leader": new_leader_id,
+            "promoted": bool(promoted),
+            "failovers_observed": failovers,
+            "detect_promote_ms": detect_promote_ms,
+            "failover_first_read_ms": first_read_ms,
+            "failover_first_write_ms": first_write_ms,
+            "stale_read_served_in_window": bool(stale_served),
+            "stale_read_ms": stale_ms,
+            "acked_writes_lost": len(lost),
+            "leaked_threads": (
+                0
+                if threads_restored
+                else threading.active_count() - threads_before
+            ),
+        }
+
+
+def run_suite(scale: str = "default") -> dict:
+    sizing = SCALES[scale]
+    return {
+        "bench": "e22_cluster",
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "replication": run_replication_case(sizing),
+        "failover": run_failover_case(sizing),
+    }
+
+
+def check_acceptance(results: dict) -> list[str]:
+    """Hard bars this bench must clear; empty list means accepted."""
+    failures: list[str] = []
+    replication = results["replication"]
+    if not replication["replication_parity"]:
+        failures.append("follower logs are not byte-identical to leaders")
+    if not replication["followers_caught_up"]:
+        failures.append("followers never caught up after load stopped")
+    failover = results["failover"]
+    if not failover["promoted"]:
+        failures.append("coordinator never promoted a new shard leader")
+    if failover["acked_writes_lost"] != 0:
+        failures.append(
+            f"{failover['acked_writes_lost']} acked writes lost in failover"
+        )
+    if failover["failover_first_read_ms"] is None:
+        failures.append("no successful read after failover")
+    elif failover["failover_first_read_ms"] > 5_000:
+        failures.append(
+            f"first read took {failover['failover_first_read_ms']}ms "
+            "after leader death (> 5s)"
+        )
+    if failover["failover_first_write_ms"] is None:
+        failures.append("no successful write after failover")
+    if not failover["stale_read_served_in_window"]:
+        failures.append("stale-bounded read did not serve during detection")
+    if failover["leaked_threads"] != 0:
+        failures.append(f"{failover['leaked_threads']} threads leaked")
+    return failures
+
+
+def write_json(results: dict, path: pathlib.Path = RESULTS_PATH) -> pathlib.Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+# -- pytest entry point -------------------------------------------------------
+
+
+def test_e22_cluster(report):
+    scale = "full" if os.environ.get("REPRO_BENCH_FULL") else "default"
+    results = run_suite(scale)
+    write_json(results)
+
+    replication = results["replication"]
+    failover = results["failover"]
+    report.line("E22: cluster plane — replication lag / failover recovery")
+    report.line(f"(written to {RESULTS_PATH.relative_to(RESULTS_PATH.parents[2])})")
+    report.line(
+        f"replication ({replication['n_writers']} Zipfian writers, "
+        f"{replication['n_writes']} writes): {replication['write_qps']} w/s, "
+        f"ack p50 {replication['ack_p50_ms']}ms "
+        f"p99 {replication['ack_p99_ms']}ms"
+    )
+    report.line(
+        f"lag: mean {replication['lag_records_mean']} rec, "
+        f"max {replication['lag_records_max']} rec / "
+        f"{replication['lag_seconds_max'] * 1e3:.0f}ms; "
+        f"catch-up {replication['post_load_catch_up_s']}s, "
+        f"parity={'ok' if replication['replication_parity'] else 'FAIL'}"
+    )
+    report.line(
+        f"failover: {failover['old_leader']} -> {failover['new_leader']}, "
+        f"detect+promote {failover['detect_promote_ms']}ms, "
+        f"first read {failover['failover_first_read_ms']}ms, "
+        f"first write {failover['failover_first_write_ms']}ms"
+    )
+    report.line(
+        f"stale read in window: "
+        f"{'yes' if failover['stale_read_served_in_window'] else 'NO'} "
+        f"({failover['stale_read_ms']}ms); "
+        f"acked writes: {failover['n_acked_writes']} "
+        f"lost={failover['acked_writes_lost']}; "
+        f"leaked_threads={failover['leaked_threads']}"
+    )
+
+    failures = check_acceptance(results)
+    assert failures == [], failures

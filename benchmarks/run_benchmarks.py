@@ -9,10 +9,12 @@ Two modes:
   ``BENCH_ingestion_bus.json`` (E17 ingestion bus),
   ``BENCH_vector_serving.json`` (E18 vector serving plane),
   ``BENCH_compressed_vectors.json`` (E19 codec plane),
-  ``BENCH_pipeline_compiler.json`` (E20 pipeline compiler), and
-  ``BENCH_network_serving.json`` (E21 network serving plane). This is
+  ``BENCH_pipeline_compiler.json`` (E20 pipeline compiler),
+  ``BENCH_network_serving.json`` (E21 network serving plane), and
+  ``BENCH_cluster.json`` (E22 replicated cluster plane). This is
   the CI target: cheap enough for every run. ``--targets columnar bus
-  vectors codecs compiler net`` selects a subset (default: all). After the
+  vectors codecs compiler net cluster`` selects a subset (default: all).
+  After the
   selected benches refresh their JSON, the perf-trajectory gate
   (``tools/check_trajectory.py``) re-checks every tracked document.
 * default — delegate to pytest over the whole ``benchmarks/`` tree
@@ -224,6 +226,37 @@ def _smoke_compiler() -> int:
     return 1 if failures else 0
 
 
+def _smoke_cluster() -> int:
+    import bench_e22_cluster as e22
+
+    results = e22.run_suite("smoke")
+    path = e22.write_json(results)
+    print(f"wrote {path}")
+    replication = results["replication"]
+    failover = results["failover"]
+    print(
+        f"  replication: {replication['write_qps']} w/s "
+        f"({replication['n_writers']} Zipfian writers), "
+        f"ack p50 {replication['ack_p50_ms']}ms "
+        f"p99 {replication['ack_p99_ms']}ms, "
+        f"lag max {replication['lag_records_max']} rec, "
+        f"parity={'ok' if replication['replication_parity'] else 'FAIL'}"
+    )
+    print(
+        f"  failover: {failover['old_leader']} -> {failover['new_leader']} "
+        f"detect+promote {failover['detect_promote_ms']}ms, "
+        f"first read {failover['failover_first_read_ms']}ms, "
+        f"first write {failover['failover_first_write_ms']}ms; "
+        f"acked={failover['n_acked_writes']} "
+        f"lost={failover['acked_writes_lost']} "
+        f"leaked_threads={failover['leaked_threads']}"
+    )
+    failures = e22.check_acceptance(results)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def _check_trajectory() -> int:
     import importlib.util
 
@@ -260,6 +293,8 @@ def run_smoke(
         status = _smoke_compiler() or status
     if "net" in targets:
         status = _smoke_net() or status
+    if "cluster" in targets:
+        status = _smoke_cluster() or status
     status = _check_trajectory() or status
     return status
 
@@ -284,14 +319,20 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="run the trajectory benches (A4 columnar, E17 bus, E18 "
-        "vectors, E19 codecs, E20 compiler, E21 net) at small sizes and "
-        "refresh their tracked JSON documents",
+        "vectors, E19 codecs, E20 compiler, E21 net, E22 cluster) at "
+        "small sizes and refresh their tracked JSON documents",
     )
     parser.add_argument(
         "--targets",
         nargs="+",
-        choices=["columnar", "bus", "vectors", "codecs", "compiler", "net"],
-        default=["columnar", "bus", "vectors", "codecs", "compiler", "net"],
+        choices=[
+            "columnar", "bus", "vectors", "codecs", "compiler", "net",
+            "cluster",
+        ],
+        default=[
+            "columnar", "bus", "vectors", "codecs", "compiler", "net",
+            "cluster",
+        ],
         help="which smoke benches to run (default: all)",
     )
     parser.add_argument(

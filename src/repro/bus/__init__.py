@@ -38,6 +38,7 @@ from repro.bus.log import (
     FsyncConfig,
     FsyncPolicy,
     SegmentLog,
+    decode_frame,
     decode_payload,
     encode_record,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "ProducerStats",
     "SegmentLog",
     "Sink",
+    "decode_frame",
     "decode_payload",
     "encode_record",
     "replay",

@@ -43,7 +43,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import BusError, ValidationError
+from repro.errors import BusError, CorruptRecordError, ValidationError
 
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 _FIXED = struct.Struct("<qqdd")  # sequence, entity_id, timestamp, value
@@ -129,6 +129,33 @@ def decode_payload(payload: bytes) -> BusRecord:
         attributes=attributes,
         sequence=sequence,
     )
+
+
+def decode_frame(frame: bytes) -> BusRecord:
+    """Full inverse of :func:`encode_record`: verify framing, then decode.
+
+    The cluster plane's log shipping moves whole frames between nodes;
+    the follower calls this before appending, so a frame damaged in
+    flight is rejected *before* it can enter the replica log. Raises
+    :class:`~repro.errors.CorruptRecordError` on a short frame, an
+    implausible length, trailing garbage, or a CRC mismatch.
+    """
+    if len(frame) < _FRAME.size:
+        raise CorruptRecordError(
+            f"frame shorter than its header ({len(frame)} bytes)"
+        )
+    length, crc = _FRAME.unpack_from(frame)
+    if length <= 0 or length > _MAX_PAYLOAD:
+        raise CorruptRecordError(f"implausible frame payload length {length}")
+    if len(frame) != _FRAME.size + length:
+        raise CorruptRecordError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(frame) - _FRAME.size} payload bytes"
+        )
+    payload = frame[_FRAME.size :]
+    if zlib.crc32(payload) != crc:
+        raise CorruptRecordError("frame CRC mismatch")
+    return decode_payload(payload)
 
 
 def record_size(record: BusRecord) -> int:

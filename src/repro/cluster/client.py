@@ -1,0 +1,205 @@
+"""Routing client: ring-directed reads and writes with retry-on-wrong-owner.
+
+A :class:`ClusterClient` is how application code talks to the cluster.
+It pulls the coordinator's route table once (``members`` + ``vnodes`` +
+``leaders``), rebuilds the identical consistent-hash
+:class:`~repro.cluster.Ring` locally — routing is pure computation, the
+coordinator is not on the data path — and from then on sends each
+``put``/``get`` straight to ``leaders[ring.owner(entity_id)]``.
+
+Routes go stale: a failover re-points a shard's leader and bumps the
+route version. The client discovers this lazily, the way production
+clients do — a request lands on a node that is no longer (or not yet)
+the leader, the node answers :class:`~repro.errors.WrongOwnerError`, and
+the client refreshes its table and retries, bounded by ``max_attempts``.
+Unreachable nodes get the same treatment with a small backoff, which is
+what rides out the detection window during a failover: the client spins
+politely until the coordinator promotes a follower, then lands on the
+new leader. Reads can opt into ``stale_ok`` fallback, draining to a
+follower replica (bounded-stale by replication lag) when the leader is
+unreachable — the "reads keep serving during failover" half of the
+cluster story.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import (
+    ClusterError,
+    NodeUnreachableError,
+    ReplicationError,
+    WrongOwnerError,
+)
+from repro.runtime import Counter
+
+from repro.cluster.coordinator import COORDINATOR_ID
+from repro.cluster.ring import Ring
+from repro.cluster.transport import Transport
+
+
+class ClusterClient:
+    """Entity-routed access to a running cluster. Thread-compatible:
+    each writer/reader thread should own its client (route state is a
+    plain dict swap, so sharing merely risks redundant refreshes)."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        client_id: str = "client",
+        max_attempts: int = 8,
+        retry_backoff_s: float = 0.01,
+    ) -> None:
+        self.transport = transport
+        self.client_id = client_id
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self._ring: Ring | None = None
+        self._leaders: dict[str, str] = {}
+        self._replicas: dict[str, tuple[str, ...]] = {}
+        self._version = 0
+        self.route_refreshes = Counter()
+        self.wrong_owner_retries = Counter()
+        self.unreachable_retries = Counter()
+        self.stale_reads = Counter()
+        self.refresh_routes()
+
+    # -- routing --------------------------------------------------------------
+
+    def refresh_routes(self) -> None:
+        """Pull the coordinator's table and rebuild the ring if it moved."""
+        table = self.transport.request(
+            self.client_id, COORDINATOR_ID, "routes", {}
+        )
+        if table["version"] != self._version or self._ring is None:
+            self._ring = Ring(table["members"], vnodes=table["vnodes"])
+            self._version = table["version"]
+        self._leaders = dict(table["leaders"])
+        self._replicas = {
+            shard: tuple(followers)
+            for shard, followers in table.get("replicas", {}).items()
+        }
+        self.route_refreshes.inc()
+
+    def owner_of(self, entity_id: int) -> tuple[str, str]:
+        """``(shard_id, leader_node_id)`` for an entity under current routes."""
+        assert self._ring is not None  # refresh_routes ran in __init__
+        shard_id = self._ring.owner(entity_id)
+        return shard_id, self._leaders[shard_id]
+
+    @property
+    def route_version(self) -> int:
+        return self._version
+
+    # -- data path ------------------------------------------------------------
+
+    def put(
+        self,
+        entity_id: int,
+        value: float,
+        attributes: dict | None = None,
+        timestamp: float | None = None,
+        sequence: int = 0,
+    ) -> dict:
+        """Write one record to its shard leader; returns the leader's ack.
+
+        Retries through stale routes (``WrongOwnerError``), dead nodes
+        (``NodeUnreachableError``) and under-replicated writes
+        (``ReplicationError``) up to ``max_attempts``, refreshing routes
+        between attempts; the last error propagates when the budget is
+        spent. A returned ack means the record is durable on the leader
+        *and* replicated to the acked follower count.
+        """
+        payload = {
+            "entity_id": int(entity_id),
+            "value": float(value),
+            "attributes": attributes or {},
+            "timestamp": timestamp,
+            "sequence": sequence,
+        }
+        return self._routed_request(entity_id, "put", payload)
+
+    def get(
+        self,
+        entity_id: int,
+        namespace: str | None = None,
+        stale_ok: bool = False,
+    ) -> dict:
+        """Read an entity's features from its shard leader.
+
+        With ``stale_ok`` the read falls back to the shard's follower
+        replicas when the leader cannot answer — the answer is then
+        bounded-stale (behind by at most the replication lag) and
+        ``response["role"]`` says ``"follower"`` so callers can tell.
+        """
+        payload: dict = {"entity_id": int(entity_id)}
+        if namespace is not None:
+            payload["namespace"] = namespace
+        try:
+            return self._routed_request(entity_id, "get", payload)
+        except (NodeUnreachableError, WrongOwnerError, ClusterError):
+            if not stale_ok:
+                raise
+        # leader path exhausted; drain to any follower replica
+        assert self._ring is not None
+        shard_id = self._ring.owner(entity_id)
+        stale_payload = {**payload, "stale_ok": True}
+        for replica in self._replicas.get(shard_id, ()):
+            try:
+                response = self.transport.request(
+                    self.client_id, replica, "get", stale_payload
+                )
+                self.stale_reads.inc()
+                return response
+            except (NodeUnreachableError, ClusterError):
+                continue
+        raise NodeUnreachableError(
+            f"shard {shard_id}: no replica could serve entity {entity_id}"
+        )
+
+    # -- retry engine ----------------------------------------------------------
+
+    def _routed_request(self, entity_id: int, kind: str, payload: dict) -> dict:
+        last_error: Exception | None = None
+        for attempt in range(self.max_attempts):
+            __, leader = self.owner_of(entity_id)
+            try:
+                return self.transport.request(
+                    self.client_id, leader, kind, payload
+                )
+            except WrongOwnerError as exc:
+                # stale routes: the node demoted/was never promoted here
+                last_error = exc
+                self.wrong_owner_retries.inc()
+                self._pause(attempt)
+                self._try_refresh()
+            except (NodeUnreachableError, ReplicationError) as exc:
+                # dead node or under-replicated write; wait out the
+                # coordinator's detection window and re-resolve
+                last_error = exc
+                self.unreachable_retries.inc()
+                self._pause(attempt)
+                self._try_refresh()
+        assert last_error is not None
+        raise last_error
+
+    def _pause(self, attempt: int) -> None:
+        if self.retry_backoff_s > 0:
+            time.sleep(self.retry_backoff_s * (attempt + 1))
+
+    def _try_refresh(self) -> None:
+        try:
+            self.refresh_routes()
+        except (NodeUnreachableError, ClusterError):
+            pass  # coordinator briefly away; retry with current routes
+
+    # -- introspection --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "route_version": self._version,
+            "route_refreshes": self.route_refreshes.value,
+            "wrong_owner_retries": self.wrong_owner_retries.value,
+            "unreachable_retries": self.unreachable_retries.value,
+            "stale_reads": self.stale_reads.value,
+        }

@@ -109,6 +109,40 @@ class CorruptRecordError(BusError):
     """
 
 
+class ClusterError(ReproError):
+    """A cluster-plane operation failed (routing, replication, membership)."""
+
+
+class WrongOwnerError(ClusterError):
+    """A request landed on a node that does not own the key.
+
+    Raised by a :class:`repro.cluster.ClusterNode` when a write reaches a
+    follower (or a node whose shard does not cover the entity). The
+    client treats it as a routing-staleness signal: refresh the route
+    table from the coordinator and retry against the current owner.
+    """
+
+
+class NodeUnreachableError(ClusterError, TransientStoreError):
+    """A transport send could not reach the destination node.
+
+    Covers a dead node, an unregistered address, and an injected network
+    fault (drop / partition). Subclasses
+    :class:`TransientStoreError` so the standard retry machinery
+    (:class:`repro.runtime.RetryPolicy`) treats it as retryable.
+    """
+
+
+class ReplicationError(ClusterError, TransientStoreError):
+    """A write could not reach its required number of replica acks.
+
+    The record is durably in the leader's log but under-replicated; the
+    caller must treat the write as unacknowledged and retry. Retryable
+    (subclasses :class:`TransientStoreError`): the background reconcile
+    loop or a coordinator reconfigure normally clears the condition.
+    """
+
+
 class TrainingError(ReproError):
     """A model or embedding training run failed."""
 

@@ -18,6 +18,7 @@ in the system."
 from repro.monitoring.dashboard import (
     DashboardSection,
     bus_section,
+    cluster_section,
     compiler_section,
     network_section,
     render_dashboard,
@@ -68,6 +69,7 @@ __all__ = [
     "RetrainingPolicy",
     "SkewReport",
     "bus_section",
+    "cluster_section",
     "compiler_section",
     "network_section",
     "chi_square_drift",

@@ -374,6 +374,58 @@ def network_section(server: "FeatureServer") -> DashboardSection:
     return DashboardSection("network serving", tuple(lines))
 
 
+def cluster_section(cluster) -> DashboardSection:
+    """Cluster plane health: roles, replication lag, ring spread, failovers.
+
+    Duck-typed over ``cluster.snapshot()`` for the same reason as
+    :func:`network_section` — ``repro.cluster`` is a top of the DAG, so
+    the dashboard renders its exported state, never its types. One line
+    per node answers the on-call questions in order: who leads each
+    shard, is anyone dead, how far behind is each follower (records and
+    seconds), and has the ring's key ownership stayed balanced.
+    """
+    snap = cluster.snapshot()
+    coordinator: dict[str, object] = snap["coordinator"]  # type: ignore[assignment]
+    transport: dict[str, object] = snap.get("transport") or {}  # type: ignore[assignment]
+    shards: dict[str, dict] = coordinator["shards"]  # type: ignore[assignment]
+    lines = [
+        f"shards={len(shards)} route_version={coordinator['route_version']} "
+        f"failovers={coordinator['failovers']} "
+        f"reconfigures={coordinator['reconfigures']}",
+    ]
+    for record in coordinator["nodes"]:  # type: ignore[union-attr]
+        state = "alive" if record["alive"] else "DEAD"
+        line = (
+            f"  {record['node_id']} [{record['role']}/{state}] "
+            f"shard={record['shard_id']}"
+        )
+        if record["role"] == "follower" and record["alive"]:
+            line += (
+                f" lag={record['lag_records']}rec"
+                f"/{record['lag_seconds'] * 1e3:.0f}ms"
+            )
+        lines.append(line)
+    spread: dict[str, float] = coordinator.get("ring_spread") or {}  # type: ignore[assignment]
+    if spread:
+        fractions = sorted(spread.values())
+        lines.append(
+            "ring spread: "
+            + " ".join(
+                f"{member}={fraction:.1%}"
+                for member, fraction in sorted(spread.items())
+            )
+            + f" (max/min={fractions[-1] / fractions[0]:.2f})"
+        )
+    if transport:
+        lines.append(
+            f"transport: requests={transport['requests']} "
+            f"unreachable={transport['unreachable']} "
+            f"dropped={transport['dropped']} "
+            f"partitions={len(transport.get('partitions') or [])}"
+        )
+    return DashboardSection("cluster", tuple(lines))
+
+
 def _format_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""

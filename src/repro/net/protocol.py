@@ -110,6 +110,13 @@ ERROR_SPECS: dict[type[BaseException], ErrorSpec] = {
     errors.Backpressure: ErrorSpec("backpressure", 429, True),
     errors.CorruptRecordError: ErrorSpec("corrupt_record", 500, False),
     errors.BusError: ErrorSpec("bus_error", 500, False),
+    # cluster plane: misdirected requests heal by re-routing (the caller
+    # must refresh routes, so a blind retry is wrong); unreachable nodes
+    # and under-replicated writes are transient — retry after failover
+    errors.WrongOwnerError: ErrorSpec("wrong_owner", 421, False),
+    errors.NodeUnreachableError: ErrorSpec("node_unreachable", 503, True),
+    errors.ReplicationError: ErrorSpec("under_replicated", 503, True),
+    errors.ClusterError: ErrorSpec("cluster_error", 500, False),
     errors.TrainingError: ErrorSpec("training_error", 500, False),
     errors.MonitoringError: ErrorSpec("monitoring_error", 500, False),
     errors.PipelineError: ErrorSpec("pipeline_error", 500, False),

@@ -46,6 +46,7 @@ Routes (all under ``/v1``):
 
 from __future__ import annotations
 
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -197,6 +198,8 @@ class FeatureServer(Service):
         )
         self._httpd: _HttpServer | None = None
         self._draining = threading.Event()
+        self._previous_handlers: dict[int, object] = {}
+        self._signal_drains = 0
         self._connections = self.registry.gauge("net_open_connections")
         self._inflight = self.registry.gauge("net_inflight")
         self.requests = self.registry.counter("net_requests_total")
@@ -232,6 +235,50 @@ class FeatureServer(Service):
         )
         self._stop_event.set()
         self._join_workers()
+
+    # -- signal-initiated drain -----------------------------------------------
+
+    def install_signal_handlers(
+        self, signals: tuple[int, ...] = (signal.SIGTERM,)
+    ) -> None:
+        """Route process signals into the graceful drain (SIGTERM by default).
+
+        This is the supervisor contract: an orchestrator (systemd,
+        Kubernetes) sends SIGTERM and expects the listener to stop
+        accepting while admitted requests run to completion — exactly
+        what :meth:`stop` already does. The handler fires on the main
+        thread, so it hands the blocking drain to a helper thread and
+        returns immediately; in-flight handler threads are untouched.
+
+        CPython only allows installing handlers from the main thread —
+        call this from ``main()`` after :meth:`start`. Previous handlers
+        are remembered and restored by :meth:`uninstall_signal_handlers`.
+        """
+        for signum in signals:
+            self._previous_handlers[signum] = signal.signal(
+                signum, self._handle_signal
+            )
+
+    def uninstall_signal_handlers(self) -> None:
+        """Restore whatever handlers were in place before installation."""
+        for signum, previous in self._previous_handlers.items():
+            try:
+                signal.signal(signum, previous)  # type: ignore[arg-type]
+            except ValueError:
+                pass  # not on the main thread; the process is exiting anyway
+        self._previous_handlers.clear()
+
+    def _handle_signal(self, signum: int, frame) -> None:
+        self._signal_drains += 1
+        self._draining.set()  # healthz flips before the drain thread runs
+        threading.Thread(
+            target=self.stop, name="net-signal-drain", daemon=True
+        ).start()
+
+    @property
+    def signal_drains(self) -> int:
+        """How many times a signal initiated the drain (0 or 1 normally)."""
+        return self._signal_drains
 
     @property
     def port(self) -> int:
@@ -617,6 +664,7 @@ class FeatureServer(Service):
         return {
             "address": list(self.address) if self._httpd else None,
             "draining": self.draining,
+            "signal_drains": self._signal_drains,
             "requests": self.requests.value,
             "completed": self.completed.value,
             "inflight": self._inflight.value,

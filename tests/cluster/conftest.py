@@ -1,0 +1,78 @@
+"""Shared builders for the cluster plane tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterNode, LocalTransport, NodeConfig, NodeRole
+
+
+def segment_files(log_dir: Path) -> dict[str, bytes]:
+    """All segment file contents keyed by path relative to the log root —
+    the byte-identical replication oracle."""
+    return {
+        str(path.relative_to(log_dir)): path.read_bytes()
+        for path in sorted(log_dir.rglob("*.seg"))
+    }
+
+
+def assert_logs_identical(leader: ClusterNode, follower: ClusterNode) -> None:
+    leader.log.flush()
+    follower.log.flush()
+    leader_files = segment_files(Path(leader.config.data_dir) / "log")
+    follower_files = segment_files(Path(follower.config.data_dir) / "log")
+    assert leader_files.keys() == follower_files.keys()
+    for name in leader_files:
+        assert leader_files[name] == follower_files[name], (
+            f"segment {name} diverged between "
+            f"{leader.config.node_id} and {follower.config.node_id}"
+        )
+
+
+def make_pair(
+    tmp_path: Path,
+    n_partitions: int = 2,
+    min_replica_acks: int = 1,
+    segment_bytes: int = 1 << 20,
+    reconcile_interval_s: float = 0.01,
+):
+    """A started leader/follower pair on one transport, no coordinator."""
+    transport = LocalTransport()
+    leader = ClusterNode(
+        NodeConfig(
+            node_id="L",
+            shard_id="s0",
+            data_dir=tmp_path / "L",
+            n_partitions=n_partitions,
+            segment_bytes=segment_bytes,
+            min_replica_acks=min_replica_acks,
+            reconcile_interval_s=reconcile_interval_s,
+        ),
+        transport,
+        role=NodeRole.LEADER,
+        followers=("F",),
+    )
+    follower = ClusterNode(
+        NodeConfig(
+            node_id="F",
+            shard_id="s0",
+            data_dir=tmp_path / "F",
+            n_partitions=n_partitions,
+            segment_bytes=segment_bytes,
+            min_replica_acks=min_replica_acks,
+            reconcile_interval_s=reconcile_interval_s,
+        ),
+        transport,
+        role=NodeRole.FOLLOWER,
+    )
+    leader.start()
+    follower.start()
+    return transport, leader, follower
+
+
+@pytest.fixture
+def pair(tmp_path):
+    transport, leader, follower = make_pair(tmp_path)
+    yield transport, leader, follower
+    leader.stop()
+    follower.stop()

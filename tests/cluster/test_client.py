@@ -1,0 +1,106 @@
+"""ClusterClient: ring routing, route refresh, bounded retries."""
+
+import pytest
+
+from repro.cluster import Cluster, CoordinatorConfig, Ring
+from repro.errors import NodeUnreachableError, WrongOwnerError
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    with Cluster(
+        tmp_path,
+        n_shards=3,
+        n_replicas=1,
+        coordinator_config=CoordinatorConfig(
+            heartbeat_interval_s=0.02, failure_threshold=3
+        ),
+    ) as running:
+        yield running
+
+
+class TestClusterClient:
+    def test_client_rebuilds_the_coordinators_ring_exactly(self, cluster):
+        client = cluster.client()
+        reference = Ring(
+            cluster.coordinator.ring.members(),
+            vnodes=cluster.coordinator.config.vnodes,
+        )
+        for eid in range(500):
+            shard_id, leader = client.owner_of(eid)
+            assert shard_id == reference.owner(eid)
+            assert leader == cluster.coordinator.leader_of(shard_id)
+
+    def test_put_routes_to_the_owning_shard(self, cluster):
+        client = cluster.client()
+        for eid in range(120):
+            ack = client.put(eid, float(eid))
+            shard_id, leader = client.owner_of(eid)
+            assert ack["node"] == leader
+        # every shard took some share of the key space
+        sizes = {
+            node_id: sum(node.log.end_offsets())
+            for node_id, node in cluster.nodes.items()
+            if node.role.value == "leader"
+        }
+        assert all(size > 0 for size in sizes.values()), sizes
+
+    def test_get_reads_back_through_the_leader(self, cluster):
+        client = cluster.client()
+        for eid in range(30):
+            client.put(eid, float(eid) * 3)
+        assert cluster.wait_applied()
+        for eid in (0, 17, 29):
+            response = client.get(eid)
+            assert response["features"]["value"] == float(eid) * 3
+            assert response["role"] == "leader"
+
+    def test_stale_routes_recover_via_wrong_owner_retry(self, cluster):
+        """Promote a follower behind the client's back: the client's
+        next write hits the stale route, gets WrongOwnerError, and
+        recovers by refreshing — bounded, counted."""
+        client = cluster.client()
+        client.put(1, 1.0)
+        # force a failover by crashing the owner of key 1
+        shard_id, old_leader = client.owner_of(1)
+        cluster.crash(old_leader)
+        ack = client.put(1, 2.0)  # retries through the detection window
+        assert ack["node"] != old_leader
+        assert ack["node"].startswith(f"{shard_id}/")
+        assert (
+            client.unreachable_retries.value + client.wrong_owner_retries.value
+            >= 1
+        )
+        assert client.route_refreshes.value >= 2  # init + at least one
+
+    def test_retry_budget_is_bounded(self, cluster):
+        client = cluster.client(client_id="bounded")
+        client.max_attempts = 2
+        client.retry_backoff_s = 0.0
+        shard_id, leader = client.owner_of(5)
+        # kill the whole shard: leader and its follower
+        for node_id in list(cluster.nodes):
+            if node_id.startswith(f"{shard_id}/"):
+                cluster.crash(node_id)
+        with pytest.raises(NodeUnreachableError):
+            client.put(5, 1.0)
+
+    def test_direct_follower_write_is_refused(self, cluster):
+        client = cluster.client()
+        shard_id, leader = client.owner_of(9)
+        follower_id = next(
+            node_id
+            for node_id in cluster.nodes
+            if node_id.startswith(f"{shard_id}/") and node_id != leader
+        )
+        with pytest.raises(WrongOwnerError):
+            cluster.transport.request(
+                "rogue", follower_id, "put", {"entity_id": 9, "value": 1.0}
+            )
+
+    def test_snapshot_counts(self, cluster):
+        client = cluster.client()
+        client.put(3, 3.0)
+        snap = client.snapshot()
+        assert snap["route_refreshes"] >= 1
+        assert snap["route_version"] >= 1

@@ -1,0 +1,94 @@
+"""The dashboard's cluster pane: duck-typed over Cluster.snapshot()."""
+
+from repro.cluster import Cluster, CoordinatorConfig
+from repro.monitoring import cluster_section
+
+
+class _FakeCluster:
+    """Anything with a .snapshot() shaped like Cluster's works — the pane
+    is duck-typed because repro.monitoring may not import repro.cluster."""
+
+    def snapshot(self):
+        return {
+            "coordinator": {
+                "nodes": [
+                    {
+                        "node_id": "shard-0/n0",
+                        "shard_id": "shard-0",
+                        "role": "leader",
+                        "alive": True,
+                        "is_leader": True,
+                        "lag_records": 0,
+                        "lag_seconds": 0.0,
+                    },
+                    {
+                        "node_id": "shard-0/n1",
+                        "shard_id": "shard-0",
+                        "role": "follower",
+                        "alive": True,
+                        "is_leader": False,
+                        "lag_records": 12,
+                        "lag_seconds": 0.25,
+                    },
+                    {
+                        "node_id": "shard-1/n0",
+                        "shard_id": "shard-1",
+                        "role": "leader",
+                        "alive": False,
+                        "is_leader": True,
+                        "lag_records": 0,
+                        "lag_seconds": 0.0,
+                    },
+                ],
+                "shards": {
+                    "shard-0": {"leader": "shard-0/n0", "followers": ["shard-0/n1"]},
+                    "shard-1": {"leader": "shard-1/n0", "followers": []},
+                },
+                "ring_spread": {"shard-0": 0.52, "shard-1": 0.48},
+                "route_version": 3,
+                "failovers": 1,
+                "reconfigures": 2,
+                "heartbeats": 99,
+            },
+            "transport": {
+                "nodes": ["shard-0/n0", "shard-0/n1"],
+                "requests": 500,
+                "unreachable": 7,
+                "dropped": 2,
+                "partitions": [("a", "b")],
+            },
+        }
+
+
+class TestClusterSection:
+    def test_renders_roles_lag_spread_and_failovers(self):
+        section = cluster_section(_FakeCluster())
+        text = section.render()
+        assert section.title == "cluster"
+        assert "failovers=1" in text
+        assert "route_version=3" in text
+        assert "shard-0/n0 [leader/alive]" in text
+        assert "shard-0/n1 [follower/alive]" in text
+        assert "lag=12rec/250ms" in text
+        assert "shard-1/n0 [leader/DEAD]" in text
+        assert "ring spread:" in text
+        assert "shard-0=52.0%" in text
+        assert "transport: requests=500 unreachable=7 dropped=2" in text
+
+    def test_renders_a_live_cluster(self, tmp_path):
+        """The real Cluster.snapshot() satisfies the pane's duck type."""
+        with Cluster(
+            tmp_path,
+            n_shards=2,
+            n_replicas=1,
+            coordinator_config=CoordinatorConfig(heartbeat_interval_s=0.02),
+        ) as cluster:
+            client = cluster.client()
+            for eid in range(20):
+                client.put(eid, float(eid))
+            section = cluster_section(cluster)
+            text = section.render()
+            assert "shards=2" in text
+            assert "shard-0/n0" in text
+            assert "shard-1/n1" in text
+            assert "ring spread:" in text

@@ -1,0 +1,153 @@
+"""Leader → follower log shipping: parity, acks, role enforcement."""
+
+import pytest
+
+from repro.cluster import NodeRole
+from repro.errors import (
+    ClusterError,
+    NodeUnreachableError,
+    ReplicationError,
+    WrongOwnerError,
+)
+from repro.runtime import await_condition
+
+from tests.cluster.conftest import assert_logs_identical, make_pair
+
+
+def _put(transport, entity_id, value, **extra):
+    return transport.request(
+        "test", "L", "put", {"entity_id": entity_id, "value": value, **extra}
+    )
+
+
+class TestReplication:
+    def test_follower_log_is_byte_identical_after_writes(self, pair):
+        """The core invariant: synchronous frame shipping reproduces the
+        leader's segment files bit for bit on the follower."""
+        transport, leader, follower = pair
+        for eid in range(300):
+            ack = _put(transport, eid, float(eid), attributes={"k": eid % 5})
+            assert ack["acks"] == 1
+        assert leader.log.end_offsets() == follower.log.end_offsets()
+        assert_logs_identical(leader, follower)
+
+    def test_follower_applies_shipped_records_to_its_store(self, pair):
+        transport, leader, follower = pair
+        for eid in range(50):
+            _put(transport, eid, float(eid) * 2)
+        assert follower.wait_applied()
+        for eid in (0, 13, 49):
+            row = follower.store.read("features", eid)
+            assert row["value"] == float(eid) * 2
+
+    def test_write_to_follower_raises_wrong_owner(self, pair):
+        transport, __, follower = pair
+        with pytest.raises(WrongOwnerError):
+            transport.request("test", "F", "put", {"entity_id": 1, "value": 1.0})
+        assert follower.writes_rejected.value == 1
+
+    def test_replicate_to_leader_is_refused(self, pair):
+        transport, __, __f = pair
+        with pytest.raises(ClusterError):
+            transport.request(
+                "test",
+                "L",
+                "replicate",
+                {"partition": 0, "base_offset": 0, "frames": []},
+            )
+
+    def test_partitioned_follower_fails_acked_writes(self, pair):
+        """min_replica_acks=1 with the only follower unreachable: the
+        write is rejected retryably, and the client-visible error is the
+        replication shortfall — never a silent un-replicated ack."""
+        transport, leader, __ = pair
+        _put(transport, 1, 1.0)
+        transport.partition("L", "F")
+        with pytest.raises(ReplicationError):
+            _put(transport, 2, 2.0)
+        assert leader.ship_failures.value >= 1
+        assert leader.writes_rejected.value == 1
+
+    def test_reconcile_catches_follower_up_after_partition(self, tmp_path):
+        """Writes accepted while the follower is cut off (min_acks=0)
+        reach it after heal via the background reconcile loop — resumed
+        from the follower's durable end offset, not from zero."""
+        transport, leader, follower = make_pair(tmp_path, min_replica_acks=0)
+        try:
+            for eid in range(40):
+                _put(transport, eid, 1.0)
+            shipped_before = follower.frames_applied.value
+            transport.partition("L", "F")
+            for eid in range(40, 120):
+                _put(transport, eid, 2.0)  # acks=0, still durable on L
+            assert sum(follower.log.end_offsets()) < sum(
+                leader.log.end_offsets()
+            )
+            transport.heal("L", "F")
+            assert await_condition(
+                lambda: follower.log.end_offsets()
+                == leader.log.end_offsets(),
+                timeout_s=5.0,
+            )
+            assert_logs_identical(leader, follower)
+            # catch-up shipped only the missing suffix, not the prefix
+            assert (
+                follower.frames_applied.value - shipped_before
+                <= 80 + leader.log.n_partitions
+            )
+            assert follower.wait_applied()
+            assert follower.store.read("features", 100)["value"] == 2.0
+        finally:
+            leader.stop()
+            follower.stop()
+
+    def test_promote_flips_role_and_accepts_writes(self, pair):
+        transport, leader, follower = pair
+        _put(transport, 1, 1.0)
+        transport.request("test", "F", "promote", {"followers": []})
+        assert follower.role is NodeRole.LEADER
+        assert follower.promotions.value == 1
+        ack = transport.request(
+            "test", "F", "put", {"entity_id": 2, "value": 2.0}
+        )
+        assert ack["acks"] == 0  # no followers configured
+
+    def test_reconfigure_shrinks_follower_set(self, pair):
+        transport, leader, __ = pair
+        assert leader.followers == ("F",)
+        response = transport.request(
+            "test", "L", "reconfigure", {"followers": []}
+        )
+        assert response["followers"] == []
+        assert leader.followers == ()
+        # writes no longer wait for the departed follower
+        transport.partition("L", "F")
+        assert _put(transport, 9, 9.0)["acks"] == 0
+
+    def test_follower_read_requires_stale_ok(self, pair):
+        transport, __, follower = pair
+        _put(transport, 7, 7.0)
+        assert follower.wait_applied()
+        with pytest.raises(WrongOwnerError):
+            transport.request("test", "F", "get", {"entity_id": 7})
+        response = transport.request(
+            "test", "F", "get", {"entity_id": 7, "stale_ok": True}
+        )
+        assert response["features"]["value"] == 7.0
+        assert response["role"] == "follower"
+
+    def test_heartbeat_reports_positions(self, pair):
+        transport, __, __f = pair
+        for eid in range(10):
+            _put(transport, eid, 1.0)
+        beat = transport.request("test", "F", "heartbeat", {})
+        assert beat["node_id"] == "F"
+        assert sum(beat["end_offsets"]) == 10
+        assert beat["healthy"] is True
+
+    def test_crashed_node_is_unreachable(self, pair):
+        transport, __, follower = pair
+        transport.deregister("F")
+        follower.stop()
+        with pytest.raises(NodeUnreachableError):
+            transport.request("test", "F", "heartbeat", {})

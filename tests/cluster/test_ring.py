@@ -1,0 +1,102 @@
+"""Consistent-hash ring: determinism, stability, spread."""
+
+import pytest
+
+from repro.cluster import Ring
+from repro.errors import ValidationError
+
+
+class TestRing:
+    def test_routing_is_deterministic_across_instances(self):
+        """A client must be able to rebuild an identical ring from
+        (members, vnodes) alone — no shared state, no process affinity."""
+        a = Ring(["shard-0", "shard-1", "shard-2"], vnodes=32)
+        b = Ring(["shard-2", "shard-0", "shard-1"], vnodes=32)  # any order
+        for key in range(2000):
+            assert a.owner(key) == b.owner(key)
+
+    def test_all_members_own_keys(self):
+        ring = Ring(["shard-0", "shard-1", "shard-2"], vnodes=64)
+        owners = {ring.owner(key) for key in range(5000)}
+        assert owners == {"shard-0", "shard-1", "shard-2"}
+
+    def test_member_removal_moves_only_that_members_keys(self):
+        """The consistent-hashing contract: removing a member reassigns
+        *only* the keys it owned; every other key keeps its owner."""
+        ring = Ring(["shard-0", "shard-1", "shard-2", "shard-3"], vnodes=64)
+        before = {key: ring.owner(key) for key in range(5000)}
+        ring.remove("shard-2")
+        for key, owner in before.items():
+            if owner != "shard-2":
+                assert ring.owner(key) == owner
+            else:
+                assert ring.owner(key) != "shard-2"
+
+    def test_member_addition_only_steals_keys(self):
+        ring = Ring(["shard-0", "shard-1"], vnodes=64)
+        before = {key: ring.owner(key) for key in range(5000)}
+        ring.add("shard-2")
+        moved = 0
+        for key, owner in before.items():
+            after = ring.owner(key)
+            if after != owner:
+                assert after == "shard-2"  # keys only move *to* the newcomer
+                moved += 1
+        assert 0 < moved < len(before)
+
+    def test_vnodes_tighten_ownership_spread(self):
+        """More virtual nodes → arcs closer to the fair share."""
+
+        def imbalance(vnodes: int) -> float:
+            spread = Ring(["a", "b", "c", "d"], vnodes=vnodes).spread()
+            fair = 1.0 / 4
+            return max(abs(fraction - fair) for fraction in spread.values())
+
+        assert imbalance(128) < imbalance(1)
+
+    def test_spread_sums_to_one(self):
+        spread = Ring(["a", "b", "c"], vnodes=16).spread()
+        assert sum(spread.values()) == pytest.approx(1.0)
+        assert set(spread) == {"a", "b", "c"}
+
+    def test_spread_matches_sampled_ownership(self):
+        """The analytic arc computation agrees with brute-force sampling."""
+        ring = Ring(["a", "b", "c"], vnodes=64)
+        counts = {"a": 0, "b": 0, "c": 0}
+        n = 20_000
+        for key in range(n):
+            counts[ring.owner(key)] += 1
+        for member, fraction in ring.spread().items():
+            assert counts[member] / n == pytest.approx(fraction, abs=0.02)
+
+    def test_owners_walk_returns_distinct_members(self):
+        ring = Ring(["a", "b", "c"], vnodes=16)
+        owners = ring.owners(123, 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+        assert owners[0] == ring.owner(123)
+
+    def test_owners_clamps_to_member_count(self):
+        ring = Ring(["a", "b"], vnodes=16)
+        assert len(ring.owners(1, 5)) == 2
+        assert ring.owners(1, 0) == []
+
+    def test_key_types_route_consistently(self):
+        ring = Ring(["a", "b", "c"], vnodes=16)
+        # int and its explicit little-endian bytes encoding agree
+        assert ring.owner(42) == ring.owner((42).to_bytes(8, "little", signed=True))
+        # str and bytes encodings agree
+        assert ring.owner("user:7") == ring.owner(b"user:7")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Ring([])
+        with pytest.raises(ValidationError):
+            Ring(["a"], vnodes=0)
+        ring = Ring(["a", "b"])
+        with pytest.raises(ValidationError):
+            ring.remove("zz")
+        ring.remove("b")
+        with pytest.raises(ValidationError):
+            ring.remove("a")  # never empty the ring
+        assert "a" in ring and len(ring) == 1

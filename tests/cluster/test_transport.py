@@ -1,0 +1,87 @@
+"""LocalTransport: delivery, partitions, fault injection."""
+
+import pytest
+
+from repro.cluster import LocalTransport, Message
+from repro.errors import NodeUnreachableError
+from repro.runtime import FaultPolicy
+
+
+def _echo(message: Message) -> dict:
+    return {"kind": message.kind, "src": message.src, **message.payload}
+
+
+class TestLocalTransport:
+    def test_request_reaches_handler_and_returns_response(self):
+        transport = LocalTransport()
+        transport.register("a", _echo)
+        response = transport.request("b", "a", "ping", {"x": 1})
+        assert response == {"kind": "ping", "src": "b", "x": 1}
+        assert transport.requests.value == 1
+
+    def test_unregistered_destination_is_unreachable(self):
+        transport = LocalTransport()
+        with pytest.raises(NodeUnreachableError):
+            transport.request("a", "ghost", "ping")
+        assert transport.unreachable.value == 1
+
+    def test_deregister_makes_node_disappear(self):
+        transport = LocalTransport()
+        transport.register("a", _echo)
+        assert transport.reachable("b", "a")
+        transport.deregister("a")
+        assert not transport.reachable("b", "a")
+        with pytest.raises(NodeUnreachableError):
+            transport.request("b", "a", "ping")
+
+    def test_partition_is_symmetric_and_healable(self):
+        transport = LocalTransport()
+        transport.register("a", _echo)
+        transport.register("b", _echo)
+        transport.partition("a", "b")
+        for src, dst in (("a", "b"), ("b", "a")):
+            with pytest.raises(NodeUnreachableError):
+                transport.request(src, dst, "ping")
+        # third parties are unaffected
+        assert transport.request("c", "a", "ping")["src"] == "c"
+        transport.heal("a", "b")
+        assert transport.request("a", "b", "ping")["src"] == "a"
+
+    def test_handler_exceptions_propagate_unchanged(self):
+        transport = LocalTransport()
+
+        def boom(message: Message) -> dict:
+            raise RuntimeError("handler exploded")
+
+        transport.register("a", boom)
+        with pytest.raises(RuntimeError, match="handler exploded"):
+            transport.request("b", "a", "ping")
+
+    def test_injected_errors_surface_as_unreachable(self):
+        transport = LocalTransport()
+        transport.register("a", _echo)
+        transport.set_fault(FaultPolicy(error_rate=1.0, seed=1), dst="a")
+        with pytest.raises(NodeUnreachableError):
+            transport.request("b", "a", "ping")
+        assert transport.dropped.value == 1
+
+    def test_fault_specificity_exact_link_wins_over_wildcard(self):
+        transport = LocalTransport()
+        transport.register("a", _echo)
+        # global: drop everything; exact link a<-b: clean
+        transport.set_fault(FaultPolicy(error_rate=1.0, seed=1))
+        transport.set_fault(FaultPolicy(), src="b", dst="a")
+        assert transport.request("b", "a", "ping")["src"] == "b"
+        with pytest.raises(NodeUnreachableError):
+            transport.request("c", "a", "ping")
+        transport.clear_faults()
+        assert transport.request("c", "a", "ping")["src"] == "c"
+
+    def test_snapshot_reports_state(self):
+        transport = LocalTransport()
+        transport.register("a", _echo)
+        transport.register("b", _echo)
+        transport.partition("a", "b")
+        snap = transport.snapshot()
+        assert snap["nodes"] == ["a", "b"]
+        assert snap["partitions"] == [("a", "b")]

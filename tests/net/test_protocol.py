@@ -83,6 +83,8 @@ class TestSpecCoverage:
             "transient_store",
             "deadline_exceeded",
             "backpressure",
+            "node_unreachable",
+            "under_replicated",
         }
 
 

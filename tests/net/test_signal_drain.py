@@ -1,0 +1,137 @@
+"""SIGTERM → graceful drain: the supervisor contract on FeatureServer.
+
+An orchestrator stops a replica by sending SIGTERM and expects it to
+finish what it already admitted. ``install_signal_handlers`` routes the
+signal into the same drain path ``stop()`` runs: the in-flight request
+(gated on an event, so "in flight when the signal lands" is guaranteed,
+not timed) must complete with its real response, and the server must end
+STOPPED with handlers restored.
+"""
+
+import signal
+import threading
+import time
+
+from repro.net import ClientConfig, FeatureClient, FeatureServer, ServerConfig
+from repro.runtime import RetryPolicy, ServiceGroup, await_condition
+from repro.runtime.lifecycle import ServiceState
+from repro.serving import ServingGateway
+from repro.storage.online import OnlineStore
+
+
+class _GatedStore:
+    """Delegating store whose read of one entity blocks on an event."""
+
+    def __init__(self, inner: OnlineStore, gated_entity: int) -> None:
+        self._inner = inner
+        self._gated_entity = gated_entity
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def _gate(self, entity_id) -> None:
+        if entity_id == self._gated_entity:
+            self.entered.set()
+            self.release.wait(timeout=10.0)
+
+    def read(self, namespace, entity_id, *args, **kwargs):
+        self._gate(entity_id)
+        return self._inner.read(namespace, entity_id, *args, **kwargs)
+
+    def read_many(self, namespace, entity_ids, *args, **kwargs):
+        for entity_id in entity_ids:
+            self._gate(entity_id)
+        return self._inner.read_many(namespace, entity_ids, *args, **kwargs)
+
+
+class TestSignalDrain:
+    def test_sigterm_drains_gracefully_with_inflight_completion(self):
+        """SIGTERM while a request is mid-dispatch: the request completes,
+        the server drains to STOPPED, previous handlers come back."""
+        store = OnlineStore()
+        store.create_namespace("profile")
+        for eid in range(5):
+            store.write(
+                "profile", eid, {"score": float(eid)}, event_time=time.time()
+            )
+        gate = _GatedStore(store, gated_entity=2)
+        gateway = ServingGateway(gate)
+        server = FeatureServer(
+            gateway,
+            # the gated read outlives the 0.25s default deadline budget
+            ServerConfig(drain_deadline_s=5.0, default_deadline_s=5.0),
+        )
+        group = ServiceGroup(name="net-stack")
+        group.add(gateway)
+        group.add(server)
+        group.start()
+        before = signal.getsignal(signal.SIGTERM)
+        server.install_signal_handlers()
+        try:
+            slow_done = threading.Event()
+            slow_result: list[object] = []
+
+            def slow_request():
+                client = FeatureClient(
+                    ClientConfig(
+                        host="127.0.0.1",
+                        port=server.port,
+                        default_deadline_s=5.0,
+                        retry=RetryPolicy(max_retries=0),
+                    )
+                )
+                with client:
+                    slow_result.append(client.get_features("profile", 2))
+                slow_done.set()
+
+            slow = threading.Thread(target=slow_request, daemon=True)
+            slow.start()
+            assert gate.entered.wait(timeout=5.0)
+
+            # the supervisor's stop: delivered to this (the main) thread
+            signal.raise_signal(signal.SIGTERM)
+
+            assert await_condition(lambda: server.draining, 5.0)
+            assert server.signal_drains == 1
+            gate.release.set()
+            # the signal-initiated drain finishes the in-flight request
+            assert slow_done.wait(timeout=5.0)
+            assert slow_result == [{"score": 2.0}]
+            assert await_condition(
+                lambda: server.state is ServiceState.STOPPED, 5.0
+            )
+            assert server._inflight.value == 0
+        finally:
+            gate.release.set()
+            server.uninstall_signal_handlers()
+            group.stop()
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_uninstall_restores_previous_handler(self):
+        store = OnlineStore()
+        store.create_namespace("profile")
+        gateway = ServingGateway(store)
+        server = FeatureServer(gateway, ServerConfig())
+        group = ServiceGroup(name="net-stack")
+        group.add(gateway)
+        group.add(server)
+        group.start()
+        try:
+            sentinel_calls: list[int] = []
+
+            def sentinel(signum, frame):
+                sentinel_calls.append(signum)
+
+            previous = signal.signal(signal.SIGTERM, sentinel)
+            try:
+                server.install_signal_handlers()
+                assert signal.getsignal(signal.SIGTERM) != sentinel
+                server.uninstall_signal_handlers()
+                assert signal.getsignal(signal.SIGTERM) is sentinel
+                assert server.signal_drains == 0
+            finally:
+                signal.signal(signal.SIGTERM, previous)
+        finally:
+            group.stop()

@@ -204,6 +204,69 @@ class TestLayering:
         ]
         assert offenders == []
 
+    def test_lint_detects_cluster_upward_import(self):
+        """The cluster plane may not import planes outside its declared
+        downward set — in particular not repro.net (rule 6 keeps the two
+        tops of the DAG mutually independent)."""
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.cluster.node", "repro.net", 1),
+            checker.ImportEdge(
+                "repro.cluster.coordinator", "repro.monitoring", 2
+            ),
+            checker.ImportEdge("repro.cluster.client", "repro.vecserve", 3),
+        ]
+        violations = checker.check_edges(edges)
+        assert len(violations) == 3
+        # the cluster → net edge is reported by rule 5b (net's reverse-
+        # import guard fires first); the others by rule 6a
+        assert "top of the DAG" in violations[0].rule
+        assert all("repro.cluster" in v.rule for v in violations[1:])
+
+    def test_lint_allows_cluster_downward_imports(self):
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.cluster.node", "repro.bus", 1),
+            checker.ImportEdge("repro.cluster.node", "repro.serving", 2),
+            checker.ImportEdge(
+                "repro.cluster.node", "repro.storage.online", 3
+            ),
+            checker.ImportEdge("repro.cluster.coordinator", "repro.runtime", 4),
+            checker.ImportEdge(
+                "repro.cluster.cluster", "repro.cluster.node", 5
+            ),
+            checker.ImportEdge("repro.cluster.ring", "hashlib", 6),
+            checker.ImportEdge("repro.cluster.ring", "repro.errors", 7),
+        ]
+        assert checker.check_edges(edges) == []
+
+    def test_lint_detects_reverse_import_of_cluster(self):
+        """Nothing inside repro may import the cluster plane back — not
+        even through its package root, and not from repro.net."""
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.serving.gateway", "repro.cluster", 1),
+            checker.ImportEdge(
+                "repro.monitoring.dashboard", "repro.cluster.node", 2
+            ),
+            checker.ImportEdge("repro.net.server", "repro.cluster", 3),
+            checker.ImportEdge("repro.bus.log", "repro.cluster.ring", 4),
+        ]
+        violations = checker.check_edges(edges)
+        assert len(violations) == 4
+
+    def test_nothing_in_tree_imports_cluster(self):
+        """The live source tree honors rule 6b."""
+        checker = _load_checker()
+        edges = checker.collect_edges(SRC)
+        offenders = [
+            e
+            for e in edges
+            if not e.importer.startswith("repro.cluster")
+            and e.imported.startswith("repro.cluster")
+        ]
+        assert offenders == []
+
     def test_core_does_not_import_compiler(self):
         """The acyclicity guarantee: core → compiler would close a cycle
         with compiler → core, so the edge must not exist in the tree."""

@@ -8,9 +8,9 @@ The unified runtime refactor gave the repo an explicit layer diagram
     codec | runtime                (compression kernels; lifecycle, telemetry)
     storage / core / index / ...   (domain substrate)
     serving | bus | vecserve | streaming | monitoring   (the planes)
-    net                            (the network surface, top of the DAG)
+    net | cluster                  (the top of the DAG, mutually independent)
 
-Five rules keep it a DAG:
+Six rules keep it a DAG:
 
 1. **The runtime imports nothing above it.** Modules under
    ``repro.runtime`` may import only the stdlib, numpy, ``repro.errors``,
@@ -43,6 +43,15 @@ Five rules keep it a DAG:
    ``repro.net`` back. Only benchmarks, examples and tests sit above
    the network surface; a library module depending on the HTTP front
    end would invert the whole diagram.
+6. **The cluster plane is also a top of the DAG.** Modules under
+   ``repro.cluster`` may import only the stdlib, numpy, ``repro.errors``,
+   ``repro.clock``, ``repro.runtime``, ``repro.storage``, ``repro.bus``
+   and ``repro.serving`` — and **nothing** else in ``repro`` may import
+   ``repro.cluster`` back. In particular ``repro.net`` and
+   ``repro.cluster`` stay mutually independent: the single-process
+   network surface and the multi-node replication plane compose in
+   application code (a node can *own* a server), never by importing
+   each other.
 
 ``if TYPE_CHECKING:`` blocks are exempt — annotations may name
 cross-plane types without creating a runtime edge.
@@ -69,6 +78,7 @@ PLANES = (
     "monitoring",
     "compiler",
     "net",
+    "cluster",
 )
 
 #: top-level roots repro.runtime may import at runtime
@@ -110,6 +120,20 @@ NET_ALLOWED_ROOTS = {
     "repro.vecserve",
     "repro.datagen",
     "repro.net",
+    "numpy",
+}
+
+#: top-level roots repro.cluster may import at runtime (rule 6: the
+#: cluster plane replicates the bus log across store/serving stacks over
+#: the runtime kernel; it sits at the top of the DAG beside repro.net)
+CLUSTER_ALLOWED_ROOTS = {
+    "repro.errors",
+    "repro.clock",
+    "repro.runtime",
+    "repro.storage",
+    "repro.bus",
+    "repro.serving",
+    "repro.cluster",
     "numpy",
 }
 
@@ -274,6 +298,34 @@ def check_edges(edges: list[ImportEdge]) -> list[Violation]:
                 Violation(
                     edge,
                     "repro.net is the top of the DAG — only benchmarks, "
+                    "examples and tests may import it",
+                )
+            )
+            continue
+        # Rule 6a: the cluster plane's own downward imports.
+        if edge.importer.startswith("repro.cluster"):
+            allowed = not edge.imported.startswith("repro") or any(
+                edge.imported == root or edge.imported.startswith(root + ".")
+                for root in CLUSTER_ALLOWED_ROOTS
+            )
+            if not allowed:
+                violations.append(
+                    Violation(
+                        edge,
+                        "repro.cluster may import only the stdlib, numpy, "
+                        "repro.errors, repro.clock, repro.runtime, "
+                        "repro.storage, repro.bus and repro.serving",
+                    )
+                )
+                continue
+        # Rule 6b: nothing inside repro imports the cluster plane back.
+        elif edge.imported == "repro.cluster" or edge.imported.startswith(
+            "repro.cluster."
+        ):
+            violations.append(
+                Violation(
+                    edge,
+                    "repro.cluster is a top of the DAG — only benchmarks, "
                     "examples and tests may import it",
                 )
             )

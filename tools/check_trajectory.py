@@ -4,7 +4,7 @@
 Every perf-critical subsystem ships a bench that writes a JSON document to
 ``benchmarks/results/`` (A4 columnar engine, E17 ingestion bus, E18 vector
 serving, E19 codecs, telemetry overhead, E20 pipeline compiler, E21
-network serving plane). This tool
+network serving plane, E22 replicated cluster plane). This tool
 folds the headline numbers of all of them into one ledger —
 ``benchmarks/results/TRAJECTORY.json`` — and enforces a floor (or ceiling)
 on each, so a future PR that quietly regresses a speedup or breaks a
@@ -170,6 +170,30 @@ BENCHES: dict[str, dict] = {
             ),
             "drain_leaked_threads": Metric(
                 lambda d: float(d["drain"]["leaked_threads"]), max=0.0
+            ),
+        },
+    },
+    "cluster": {
+        "source": "BENCH_cluster.json",
+        "metrics": {
+            "replication_parity": Metric(
+                lambda d: float(d["replication"]["replication_parity"]),
+                min=1.0,
+            ),
+            "acked_writes_lost": Metric(
+                lambda d: float(d["failover"]["acked_writes_lost"]), max=0.0
+            ),
+            "failover_first_read_ms": Metric(
+                lambda d: d["failover"]["failover_first_read_ms"], max=5000.0
+            ),
+            "stale_read_served_in_window": Metric(
+                lambda d: float(
+                    d["failover"]["stale_read_served_in_window"]
+                ),
+                min=1.0,
+            ),
+            "failover_leaked_threads": Metric(
+                lambda d: float(d["failover"]["leaked_threads"]), max=0.0
             ),
         },
     },

@@ -1,0 +1,587 @@
+"""E23 — the selector I/O substrate: connection scale and socket replication.
+
+PR10 hoisted a ``selectors``-based event loop into the runtime kernel
+(:mod:`repro.runtime.io`) and re-founded both top-of-DAG planes on it:
+the HTTP front end left ``ThreadingHTTPServer``'s thread-per-connection
+model, and the cluster gained a real-TCP ``SocketTransport``. This bench
+measures what the refactor bought:
+
+* ``connection_scale`` — one selector :class:`FeatureServer` process
+  holding **thousands of concurrent keep-alive connections** (the
+  acceptance bar is 5,000 at default scale) on a handful of threads,
+  with live requests served off sampled connections while the rest sit
+  idle. A thread-per-connection baseline (stdlib
+  ``ThreadingHTTPServer``) is measured alongside at the scale it can
+  manage: its thread count grows one-for-one with connections — the
+  curve that caps it far below the selector. Both sides must tear down
+  to zero leaked threads and fds.
+* ``socket_replication`` — sustained Zipfian writes through a
+  ``Cluster(transport="socket")``: every leader→follower frame ship,
+  heartbeat and catch-up crosses real TCP, and the end state must keep
+  the byte-identical parity oracle.
+* ``socket_failover`` — kill the shard-0 leader under live Zipfian load
+  over the socket transport: the coordinator promotes, **zero acked
+  writes** are lost, and the process drains to zero leaked threads and
+  zero leaked fds.
+
+Results go to ``benchmarks/results/BENCH_io_substrate.json``; headline
+numbers are gated by ``tools/check_trajectory.py``.
+
+Run the pytest bench, or the CLI smoke target::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e23_io_substrate.py -q
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke --targets io
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.cluster import Cluster, CoordinatorConfig
+from repro.datagen.workloads import ZipfianWorkloadConfig, generate_zipfian_keys
+from repro.net import FeatureServer, ServerConfig
+from repro.runtime import await_condition
+from repro.serving import ServingGateway
+from repro.storage.online import OnlineStore
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_io_substrate.json"
+)
+
+SCALES = {
+    "smoke": dict(
+        connections=300,
+        baseline_connections=64,
+        sample=30,
+        n_keys=400,
+        n_writes=1_500,
+        writers=4,
+    ),
+    "default": dict(
+        connections=5_000,
+        baseline_connections=512,
+        sample=200,
+        n_keys=1_000,
+        n_writes=6_000,
+        writers=4,
+    ),
+    "full": dict(
+        connections=8_000,
+        baseline_connections=1_024,
+        sample=400,
+        n_keys=4_000,
+        n_writes=20_000,
+        writers=8,
+    ),
+}
+
+ZIPF_SKEW = 1.0
+
+HEALTHZ = b"GET /v1/healthz HTTP/1.1\r\n\r\n"
+
+
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+def _http_roundtrip(sock: socket.socket, request: bytes) -> bytes:
+    """One keep-alive request/response; returns the raw response."""
+    sock.sendall(request)
+    buf = b""
+    while b"\r\n\r\n" not in buf:
+        chunk = sock.recv(65536)
+        assert chunk, "server closed mid-response"
+        buf += chunk
+    head, __, body = buf.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        assert chunk, "server closed mid-body"
+        body += chunk
+    return head + b"\r\n\r\n" + body
+
+
+# -- thread-per-connection baseline -------------------------------------------
+
+
+class _BaselineHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"  # keep-alive: the thread stays pinned
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        body = b'{"status": "ok"}'
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # quiet
+        pass
+
+
+def run_baseline_case(n_connections: int) -> dict:
+    """How the old model scales: one thread per keep-alive connection."""
+    threads_before = threading.active_count()
+    fds_before = _open_fds()
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _BaselineHandler)
+    httpd.daemon_threads = True
+    serve = threading.Thread(target=httpd.serve_forever, daemon=True)
+    serve.start()
+    socks: list[socket.socket] = []
+    t0 = time.perf_counter()
+    try:
+        for __ in range(n_connections):
+            sock = socket.create_connection(
+                ("127.0.0.1", httpd.server_port), timeout=10.0
+            )
+            sock.settimeout(10.0)
+            # one request so the handler thread parks in its read loop
+            _http_roundtrip(sock, HEALTHZ)
+            socks.append(sock)
+        open_s = time.perf_counter() - t0
+        # each connection is pinned to a live handler thread
+        threads_held = await_condition(
+            lambda: threading.active_count() - threads_before
+            >= n_connections,
+            timeout_s=10.0,
+        )
+        threads_at_peak = threading.active_count() - threads_before
+    finally:
+        for sock in socks:
+            sock.close()
+        httpd.shutdown()
+        httpd.server_close()
+        serve.join(timeout=10.0)
+    threads_restored = await_condition(
+        lambda: threading.active_count() <= threads_before, timeout_s=10.0
+    )
+    fds_restored = await_condition(
+        lambda: _open_fds() <= fds_before, timeout_s=10.0
+    )
+    return {
+        "model": "thread-per-connection (ThreadingHTTPServer)",
+        "connections": len(socks),
+        "open_all_s": round(open_s, 3),
+        "threads_at_peak": threads_at_peak,
+        "threads_per_connection": round(threads_at_peak / len(socks), 3),
+        "one_thread_per_connection": bool(threads_held),
+        "leaked_threads": (
+            0
+            if threads_restored
+            else threading.active_count() - threads_before
+        ),
+        "leaked_fds": 0 if fds_restored else _open_fds() - fds_before,
+    }
+
+
+# -- selector front end at scale ----------------------------------------------
+
+
+def run_selector_case(n_connections: int, sample: int) -> dict:
+    """Thousands of keep-alive connections against one selector loop."""
+    threads_before = threading.active_count()
+    fds_before = _open_fds()
+    store = OnlineStore()
+    store.create_namespace("profile")
+    gateway = ServingGateway(store)
+    server = FeatureServer(
+        gateway,
+        # long idle budget: the herd must survive sitting quiet
+        ServerConfig(keepalive_idle_s=120.0),
+    )
+    server.start()
+    socks: list[socket.socket] = []
+    try:
+        t0 = time.perf_counter()
+        for __ in range(n_connections):
+            sock = socket.create_connection(server.address, timeout=10.0)
+            sock.settimeout(10.0)
+            socks.append(sock)
+        all_tracked = await_condition(
+            lambda: server._connections.value >= n_connections,
+            timeout_s=30.0,
+        )
+        open_s = time.perf_counter() - t0
+        threads_at_peak = threading.active_count() - threads_before
+
+        # the herd is not just parked fds: sampled connections serve
+        # live requests while the rest stay idle on the same loop
+        latencies: list[float] = []
+        step = max(len(socks) // sample, 1)
+        for sock in socks[::step][:sample]:
+            t1 = time.perf_counter()
+            response = _http_roundtrip(sock, HEALTHZ)
+            latencies.append(time.perf_counter() - t1)
+            assert response.startswith(b"HTTP/1.1 200 ")
+        latencies.sort()
+        quantile = lambda q: latencies[int(q * (len(latencies) - 1))]
+        concurrent = server._connections.value
+        peak = server._connections.peak
+    finally:
+        for sock in socks:
+            sock.close()
+        drained = await_condition(
+            lambda: server._connections.value == 0, timeout_s=30.0
+        )
+        server.stop()
+        gateway.stop()
+    threads_restored = await_condition(
+        lambda: threading.active_count() <= threads_before, timeout_s=10.0
+    )
+    fds_restored = await_condition(
+        lambda: _open_fds() <= fds_before, timeout_s=10.0
+    )
+    return {
+        "model": "selector loop (repro.runtime.io)",
+        "connections": n_connections,
+        "concurrent_connections": concurrent,
+        "peak_connections": peak,
+        "all_tracked": bool(all_tracked),
+        "open_all_s": round(open_s, 3),
+        "open_rate_conn_s": round(n_connections / open_s, 1),
+        "threads_at_peak": threads_at_peak,
+        "threads_per_connection": round(
+            threads_at_peak / n_connections, 6
+        ),
+        "sampled_requests": len(latencies),
+        "request_p50_ms": round(quantile(0.50) * 1e3, 3),
+        "request_p99_ms": round(quantile(0.99) * 1e3, 3),
+        "connections_drained": bool(drained),
+        "leaked_threads": (
+            0
+            if threads_restored
+            else threading.active_count() - threads_before
+        ),
+        "leaked_fds": 0 if fds_restored else _open_fds() - fds_before,
+    }
+
+
+# -- cluster over real TCP ----------------------------------------------------
+
+
+def run_socket_replication_case(sizing: dict) -> dict:
+    """Zipfian writes through a socket-transport cluster: throughput and
+    the byte-identical parity oracle, now over real TCP."""
+    keys = generate_zipfian_keys(
+        ZipfianWorkloadConfig(
+            n_keys=sizing["n_keys"],
+            n_requests=sizing["n_writes"],
+            skew=ZIPF_SKEW,
+        ),
+        seed=23,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        with Cluster(
+            tmp,
+            n_shards=2,
+            n_replicas=1,
+            min_replica_acks=1,
+            transport="socket",
+        ) as cluster:
+            latencies: list[float] = []
+            lat_lock = threading.Lock()
+            n_writers = sizing["writers"]
+
+            def writer(worker: int) -> None:
+                client = cluster.client(client_id=f"w{worker}")
+                local: list[float] = []
+                for sequence, eid in enumerate(keys[worker::n_writers]):
+                    t0 = time.perf_counter()
+                    client.put(
+                        int(eid),
+                        float(sequence),
+                        timestamp=time.time(),
+                        sequence=worker * 10_000_000 + sequence,
+                    )
+                    local.append(time.perf_counter() - t0)
+                with lat_lock:
+                    latencies.extend(local)
+
+            t_start = time.perf_counter()
+            writers = [
+                threading.Thread(target=writer, args=(i,), daemon=True)
+                for i in range(n_writers)
+            ]
+            for thread in writers:
+                thread.start()
+            for thread in writers:
+                thread.join()
+            elapsed = time.perf_counter() - t_start
+
+            # parity: every follower byte-identical to its leader
+            parity = True
+            routes = cluster.coordinator.routes()
+            for shard_id, leader_id in routes["leaders"].items():
+                leader = cluster.nodes[leader_id]
+                leader.log.flush()
+                leader_dir = pathlib.Path(leader.config.data_dir) / "log"
+                leader_files = {
+                    str(p.relative_to(leader_dir)): p.read_bytes()
+                    for p in sorted(leader_dir.rglob("*.seg"))
+                }
+                for follower_id in routes["replicas"][shard_id]:
+                    follower = cluster.nodes[follower_id]
+                    caught_up = await_condition(
+                        lambda f=follower, l=leader: f.log.end_offsets()
+                        == l.log.end_offsets(),
+                        timeout_s=10.0,
+                    )
+                    follower.log.flush()
+                    follower_dir = (
+                        pathlib.Path(follower.config.data_dir) / "log"
+                    )
+                    follower_files = {
+                        str(p.relative_to(follower_dir)): p.read_bytes()
+                        for p in sorted(follower_dir.rglob("*.seg"))
+                    }
+                    parity = parity and caught_up and (
+                        follower_files == leader_files
+                    )
+
+            transport_snap = cluster.transport.snapshot()
+            latencies.sort()
+            quantile = lambda q: latencies[int(q * (len(latencies) - 1))]
+            return {
+                "n_writes": len(latencies),
+                "n_writers": n_writers,
+                "zipf_skew": ZIPF_SKEW,
+                "write_qps": round(len(latencies) / elapsed, 1),
+                "ack_p50_ms": round(quantile(0.50) * 1e3, 3),
+                "ack_p99_ms": round(quantile(0.99) * 1e3, 3),
+                "transport_requests": transport_snap["requests"],
+                "replication_parity": bool(parity),
+            }
+
+
+def run_socket_failover_case(sizing: dict) -> dict:
+    """Kill the shard-0 leader under Zipfian load, all over real TCP."""
+    keys = generate_zipfian_keys(
+        ZipfianWorkloadConfig(
+            n_keys=sizing["n_keys"],
+            n_requests=sizing["n_writes"],
+            skew=ZIPF_SKEW,
+        ),
+        seed=29,
+    )
+    threads_before = threading.active_count()
+    fds_before = _open_fds()
+    with tempfile.TemporaryDirectory() as tmp:
+        with Cluster(
+            tmp,
+            n_shards=2,
+            n_replicas=2,
+            min_replica_acks=1,
+            coordinator_config=CoordinatorConfig(
+                heartbeat_interval_s=0.02, failure_threshold=3
+            ),
+            transport="socket",
+        ) as cluster:
+            acked: dict[int, int] = {}
+            acked_lock = threading.Lock()
+            stop_writers = threading.Event()
+
+            def writer(worker: int) -> None:
+                client = cluster.client(client_id=f"w{worker}")
+                sequence = worker * 10_000_000
+                for eid in keys[worker :: sizing["writers"]]:
+                    if stop_writers.is_set():
+                        return
+                    sequence += 1
+                    try:
+                        client.put(
+                            int(eid),
+                            float(sequence),
+                            timestamp=time.time(),
+                            sequence=sequence,
+                        )
+                    except Exception:  # noqa: BLE001 - unacked, not counted
+                        continue
+                    with acked_lock:
+                        acked[sequence] = int(eid)
+
+            writers = [
+                threading.Thread(target=writer, args=(i,), daemon=True)
+                for i in range(sizing["writers"])
+            ]
+            for thread in writers:
+                thread.start()
+            await_condition(lambda: len(acked) > 200, timeout_s=20.0)
+
+            old_leader_id = cluster.coordinator.leader_of("shard-0")
+            t_kill = time.perf_counter()
+            cluster.crash(old_leader_id)
+            promoted = await_condition(
+                lambda: cluster.coordinator.leader_of("shard-0")
+                != old_leader_id,
+                timeout_s=10.0,
+            )
+            detect_promote_ms = round((time.perf_counter() - t_kill) * 1e3, 3)
+            # writers must keep acking against the promoted leader
+            acked_at_failover = len(acked)
+            resumed = await_condition(
+                lambda: len(acked) > acked_at_failover + 50, timeout_s=15.0
+            )
+            time.sleep(0.1)
+            stop_writers.set()
+            for thread in writers:
+                thread.join(timeout=30.0)
+
+            new_leader_id = cluster.coordinator.leader_of("shard-0")
+            in_logs: set[int] = set()
+            for node_id in (
+                new_leader_id,
+                cluster.coordinator.leader_of("shard-1"),
+            ):
+                node = cluster.nodes[node_id]
+                for partition in range(node.log.n_partitions):
+                    for __, record in node.log.read(partition, 0, 10_000_000):
+                        in_logs.add(record.sequence)
+            lost = [seq for seq in acked if seq not in in_logs]
+
+    threads_restored = await_condition(
+        lambda: threading.active_count() <= threads_before, timeout_s=10.0
+    )
+    fds_restored = await_condition(
+        lambda: _open_fds() <= fds_before, timeout_s=10.0
+    )
+    return {
+        "n_acked_writes": len(acked),
+        "old_leader": old_leader_id,
+        "new_leader": new_leader_id,
+        "promoted": bool(promoted),
+        "writes_resumed_after_failover": bool(resumed),
+        "detect_promote_ms": detect_promote_ms,
+        "acked_writes_lost": len(lost),
+        "leaked_threads": (
+            0
+            if threads_restored
+            else threading.active_count() - threads_before
+        ),
+        "leaked_fds": 0 if fds_restored else _open_fds() - fds_before,
+    }
+
+
+# -- suite --------------------------------------------------------------------
+
+
+def run_suite(scale: str = "default") -> dict:
+    sizing = SCALES[scale]
+    return {
+        "bench": "e23_io_substrate",
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "connection_scale": {
+            "selector": run_selector_case(
+                sizing["connections"], sizing["sample"]
+            ),
+            "baseline": run_baseline_case(sizing["baseline_connections"]),
+        },
+        "socket_replication": run_socket_replication_case(sizing),
+        "socket_failover": run_socket_failover_case(sizing),
+    }
+
+
+def check_acceptance(results: dict) -> list[str]:
+    """Hard bars this bench must clear; empty list means accepted."""
+    failures: list[str] = []
+    sizing = SCALES[results["scale"]]
+    selector = results["connection_scale"]["selector"]
+    baseline = results["connection_scale"]["baseline"]
+    if selector["concurrent_connections"] < sizing["connections"]:
+        failures.append(
+            f"selector held {selector['concurrent_connections']} concurrent "
+            f"connections (< {sizing['connections']})"
+        )
+    if selector["threads_at_peak"] > 32:
+        failures.append(
+            f"selector needed {selector['threads_at_peak']} threads at peak "
+            "(> 32: that is not a selector loop)"
+        )
+    if selector["leaked_threads"] != 0 or selector["leaked_fds"] != 0:
+        failures.append(
+            f"selector leaked {selector['leaked_threads']} threads / "
+            f"{selector['leaked_fds']} fds"
+        )
+    if baseline["threads_per_connection"] < 0.9:
+        failures.append(
+            "baseline did not exhibit thread-per-connection scaling — "
+            "the comparison is not measuring what it claims"
+        )
+    replication = results["socket_replication"]
+    if not replication["replication_parity"]:
+        failures.append(
+            "follower logs not byte-identical over the socket transport"
+        )
+    failover = results["socket_failover"]
+    if not failover["promoted"]:
+        failures.append("no promotion after leader kill over sockets")
+    if failover["acked_writes_lost"] != 0:
+        failures.append(
+            f"{failover['acked_writes_lost']} acked writes lost over sockets"
+        )
+    if failover["leaked_threads"] != 0:
+        failures.append(f"{failover['leaked_threads']} threads leaked")
+    if failover["leaked_fds"] != 0:
+        failures.append(f"{failover['leaked_fds']} fds leaked")
+    return failures
+
+
+def write_json(results: dict, path: pathlib.Path = RESULTS_PATH) -> pathlib.Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+# -- pytest entry point -------------------------------------------------------
+
+
+def test_e23_io_substrate(report):
+    scale = "full" if os.environ.get("REPRO_BENCH_FULL") else "default"
+    results = run_suite(scale)
+    write_json(results)
+
+    selector = results["connection_scale"]["selector"]
+    baseline = results["connection_scale"]["baseline"]
+    replication = results["socket_replication"]
+    failover = results["socket_failover"]
+    report.line("E23: selector I/O substrate — connection scale / socket cluster")
+    report.line(f"(written to {RESULTS_PATH.relative_to(RESULTS_PATH.parents[2])})")
+    report.line(
+        f"selector: {selector['concurrent_connections']} concurrent "
+        f"keep-alive connections on {selector['threads_at_peak']} threads "
+        f"({selector['open_rate_conn_s']} conn/s open), sampled request "
+        f"p50 {selector['request_p50_ms']}ms p99 {selector['request_p99_ms']}ms"
+    )
+    report.line(
+        f"baseline: {baseline['connections']} connections cost "
+        f"{baseline['threads_at_peak']} threads "
+        f"({baseline['threads_per_connection']}/conn) — "
+        "thread-per-connection confirmed"
+    )
+    report.line(
+        f"socket replication: {replication['write_qps']} w/s over TCP "
+        f"({replication['n_writers']} Zipfian writers), ack p50 "
+        f"{replication['ack_p50_ms']}ms p99 {replication['ack_p99_ms']}ms, "
+        f"parity={'ok' if replication['replication_parity'] else 'FAIL'}"
+    )
+    report.line(
+        f"socket failover: {failover['old_leader']} -> "
+        f"{failover['new_leader']} in {failover['detect_promote_ms']}ms, "
+        f"acked={failover['n_acked_writes']} "
+        f"lost={failover['acked_writes_lost']}, "
+        f"leaked_threads={failover['leaked_threads']} "
+        f"leaked_fds={failover['leaked_fds']}"
+    )
+
+    failures = check_acceptance(results)
+    assert failures == [], failures

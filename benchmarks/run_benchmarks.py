@@ -10,10 +10,12 @@ Two modes:
   ``BENCH_vector_serving.json`` (E18 vector serving plane),
   ``BENCH_compressed_vectors.json`` (E19 codec plane),
   ``BENCH_pipeline_compiler.json`` (E20 pipeline compiler),
-  ``BENCH_network_serving.json`` (E21 network serving plane), and
-  ``BENCH_cluster.json`` (E22 replicated cluster plane). This is
+  ``BENCH_network_serving.json`` (E21 network serving plane),
+  ``BENCH_cluster.json`` (E22 replicated cluster plane), and
+  ``BENCH_io_substrate.json`` (E23 selector I/O substrate). This is
   the CI target: cheap enough for every run. ``--targets columnar bus
-  vectors codecs compiler net cluster`` selects a subset (default: all).
+  vectors codecs compiler net cluster io`` selects a subset
+  (default: all).
   After the
   selected benches refresh their JSON, the perf-trajectory gate
   (``tools/check_trajectory.py``) re-checks every tracked document.
@@ -257,6 +259,46 @@ def _smoke_cluster() -> int:
     return 1 if failures else 0
 
 
+def _smoke_io() -> int:
+    import bench_e23_io_substrate as e23
+
+    results = e23.run_suite("smoke")
+    path = e23.write_json(results)
+    print(f"wrote {path}")
+    selector = results["connection_scale"]["selector"]
+    baseline = results["connection_scale"]["baseline"]
+    replication = results["socket_replication"]
+    failover = results["socket_failover"]
+    print(
+        f"  selector: {selector['concurrent_connections']} concurrent "
+        f"keep-alive conns on {selector['threads_at_peak']} threads, "
+        f"request p50 {selector['request_p50_ms']}ms "
+        f"p99 {selector['request_p99_ms']}ms"
+    )
+    print(
+        f"  baseline: {baseline['connections']} conns cost "
+        f"{baseline['threads_at_peak']} threads "
+        f"({baseline['threads_per_connection']}/conn)"
+    )
+    print(
+        f"  socket replication: {replication['write_qps']} w/s, "
+        f"ack p50 {replication['ack_p50_ms']}ms "
+        f"p99 {replication['ack_p99_ms']}ms, "
+        f"parity={'ok' if replication['replication_parity'] else 'FAIL'}"
+    )
+    print(
+        f"  socket failover: {failover['old_leader']} -> "
+        f"{failover['new_leader']} in {failover['detect_promote_ms']}ms, "
+        f"lost={failover['acked_writes_lost']} "
+        f"leaked_threads={failover['leaked_threads']} "
+        f"leaked_fds={failover['leaked_fds']}"
+    )
+    failures = e23.check_acceptance(results)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def _check_trajectory() -> int:
     import importlib.util
 
@@ -295,6 +337,8 @@ def run_smoke(
         status = _smoke_net() or status
     if "cluster" in targets:
         status = _smoke_cluster() or status
+    if "io" in targets:
+        status = _smoke_io() or status
     status = _check_trajectory() or status
     return status
 
@@ -319,19 +363,20 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="run the trajectory benches (A4 columnar, E17 bus, E18 "
-        "vectors, E19 codecs, E20 compiler, E21 net, E22 cluster) at "
-        "small sizes and refresh their tracked JSON documents",
+        "vectors, E19 codecs, E20 compiler, E21 net, E22 cluster, "
+        "E23 io) at small sizes and refresh their tracked JSON "
+        "documents",
     )
     parser.add_argument(
         "--targets",
         nargs="+",
         choices=[
             "columnar", "bus", "vectors", "codecs", "compiler", "net",
-            "cluster",
+            "cluster", "io",
         ],
         default=[
             "columnar", "bus", "vectors", "codecs", "compiler", "net",
-            "cluster",
+            "cluster", "io",
         ],
         help="which smoke benches to run (default: all)",
     )

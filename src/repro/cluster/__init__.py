@@ -14,6 +14,10 @@ answer, built from the planes below it rather than beside them:
   request/response :class:`Transport` protocol plus the in-process
   :class:`LocalTransport` (deterministic, fault-injectable — drops,
   delays, partitions — via the runtime's :class:`FaultInjector`);
+* :mod:`repro.cluster.socket_transport` — the same protocol over real
+  TCP on the runtime's selector substrate (:mod:`repro.runtime.io`):
+  length-prefixed JSON frames, pooled handler dispatch, the identical
+  fault surface, and ``add_route`` for cross-process peers;
 * :mod:`repro.cluster.node` — a shard replica: the PR3
   :class:`~repro.bus.SegmentLog` as the replication stream, leader →
   follower frame shipping with CRC-checked apply and checkpointed
@@ -40,6 +44,7 @@ from repro.cluster.coordinator import (
 )
 from repro.cluster.node import ClusterNode, NodeConfig, NodeRole
 from repro.cluster.ring import Ring
+from repro.cluster.socket_transport import SocketTransport
 from repro.cluster.transport import LocalTransport, Message, Transport
 
 __all__ = [
@@ -55,5 +60,6 @@ __all__ = [
     "NodeRole",
     "Ring",
     "ShardSpec",
+    "SocketTransport",
     "Transport",
 ]

@@ -30,7 +30,7 @@ from pathlib import Path
 from repro.bus import FsyncConfig
 from repro.clock import Clock
 from repro.errors import ValidationError
-from repro.runtime import ServiceGroup
+from repro.runtime import Service, ServiceGroup
 
 from repro.cluster.client import ClusterClient
 from repro.cluster.coordinator import (
@@ -39,11 +39,33 @@ from repro.cluster.coordinator import (
     ShardSpec,
 )
 from repro.cluster.node import ClusterNode, NodeConfig, NodeRole
-from repro.cluster.transport import LocalTransport
+from repro.cluster.socket_transport import SocketTransport
+from repro.cluster.transport import LocalTransport, Transport
+
+
+def _build_transport(transport: str | Transport) -> Transport:
+    if isinstance(transport, str):
+        if transport == "local":
+            return LocalTransport()
+        if transport == "socket":
+            return SocketTransport(name="cluster-transport")
+        raise ValidationError(
+            f"transport must be 'local', 'socket' or a Transport "
+            f"instance ({transport!r})"
+        )
+    return transport
 
 
 class Cluster:
-    """A full in-process cluster: sharded, replicated, failover-capable."""
+    """A full in-process cluster: sharded, replicated, failover-capable.
+
+    ``transport`` selects the message plane: ``"local"`` (the default —
+    deterministic in-process calls) or ``"socket"`` (real TCP over
+    :class:`~repro.cluster.SocketTransport`); an already-constructed
+    :class:`~repro.cluster.Transport` instance is also accepted. A
+    transport that is itself a runtime service joins the group *first*,
+    so it outlives every node it carries.
+    """
 
     def __init__(
         self,
@@ -58,13 +80,14 @@ class Cluster:
         with_gateways: bool = False,
         coordinator_config: CoordinatorConfig | None = None,
         clock: Clock | None = None,
+        transport: str | Transport = "local",
     ) -> None:
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1 ({n_shards=})")
         if n_replicas < 0:
             raise ValidationError(f"n_replicas must be >= 0 ({n_replicas=})")
         self.root_dir = Path(root_dir)
-        self.transport = LocalTransport()
+        self.transport = _build_transport(transport)
         self.nodes: dict[str, ClusterNode] = {}
         shards: list[ShardSpec] = []
         for s in range(n_shards):
@@ -99,6 +122,8 @@ class Cluster:
             shards, self.transport, config=coordinator_config, clock=clock
         )
         self.group = ServiceGroup(name="cluster")
+        if isinstance(self.transport, Service):
+            self.group.add(self.transport)  # first up, last down
         for node in self.nodes.values():
             self.group.add(node)
         self.group.add(self.coordinator)  # last up, first down

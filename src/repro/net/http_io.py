@@ -1,0 +1,222 @@
+"""Minimal HTTP/1.1 wire machinery for the selector-based front end.
+
+When :class:`~repro.net.FeatureServer` moved off ``ThreadingHTTPServer``
+onto the runtime's :mod:`repro.runtime.io` selector loop, it needed the
+one thing the stdlib server kept hidden: an *incremental* request
+parser that can be fed arbitrary socket chunks on the event-loop thread
+and yields complete requests as they finish. This module is that — and
+nothing more. No routing, no auth, no envelopes; those stay in
+:mod:`repro.net.protocol` and the server.
+
+* :class:`Headers` — the case-insensitive read-only mapping both
+  :mod:`repro.net.protocol` helpers (``bearer_token``,
+  ``parse_deadline``) and the server expect from ``headers.get(...)``;
+* :class:`HttpRequest` — one parsed request: method, target, headers,
+  body, and whether the client asked for ``Connection: close``;
+* :class:`HttpRequestParser` — the incremental state machine: header
+  block (bounded by ``MAX_HEADER_BYTES``), then exactly
+  ``Content-Length`` body bytes. **Oversized bodies are refused at
+  header time**: a ``Content-Length`` beyond ``max_body_bytes`` raises
+  :class:`~repro.net.protocol.PayloadTooLargeError` before a single
+  body byte is buffered — the fix for the old server's
+  read-then-reject memory hole. Parse failures raise protocol-shaped
+  exceptions the server turns into error envelopes (then closes, since
+  the stream can no longer be resynchronized);
+* :func:`serialize_response` — one response as bytes: status line,
+  headers, ``Content-Length``-delimited body (keep-alive by default;
+  the server appends ``Connection: close`` when it means it).
+
+Chunked transfer encoding is deliberately unsupported (501-shaped
+rejection): every client in this system sends ``Content-Length``
+bodies, and refusing is safer than half-implementing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from http.client import responses as _REASONS
+
+from repro.errors import ValidationError
+from repro.net.protocol import PayloadTooLargeError
+
+#: bound on the request line + header block, total
+MAX_HEADER_BYTES = 65536
+
+SERVER_NAME = "repro-net/2.0"
+
+_CRLF2 = b"\r\n\r\n"
+
+
+class Headers:
+    """Case-insensitive, read-only header view (``get`` + ``in`` + iter)."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: list[tuple[str, str]]) -> None:
+        self._items = {name.lower(): value for name, value in items}
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        return self._items.get(name.lower(), default)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._items
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def items(self):
+        return self._items.items()
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"
+
+
+@dataclass
+class HttpRequest:
+    """One complete request off the wire."""
+
+    method: str
+    target: str  #: the raw request target (path + optional ?query)
+    headers: Headers
+    body: bytes = b""
+    close: bool = False  #: the client sent ``Connection: close``
+
+    #: alias so the request duck-types where handler.path was used
+    @property
+    def path(self) -> str:
+        return self.target
+
+
+def _protocol_violation(message: str) -> ValidationError:
+    error = ValidationError(message)
+    error.code = "bad_request"  # type: ignore[attr-defined]
+    return error
+
+
+class HttpRequestParser:
+    """Incremental HTTP/1.1 request parser for one connection.
+
+    ``feed(chunk)`` absorbs bytes as they arrive (any split) and
+    returns every request completed by the chunk, preserving pipeline
+    order. Raises on protocol violations — after which the stream is
+    poisoned and the caller must respond-and-close.
+    """
+
+    def __init__(self, max_body_bytes: int) -> None:
+        self.max_body_bytes = max_body_bytes
+        self._buf = bytearray()
+        self._pending: HttpRequest | None = None  # headers done, body pending
+        self._body_needed = 0
+
+    def feed(self, chunk: bytes) -> list[HttpRequest]:
+        self._buf += chunk
+        complete: list[HttpRequest] = []
+        while True:
+            if self._pending is not None:
+                if len(self._buf) < self._body_needed:
+                    return complete
+                request = self._pending
+                request.body = bytes(self._buf[: self._body_needed])
+                del self._buf[: self._body_needed]
+                self._pending = None
+                self._body_needed = 0
+                complete.append(request)
+                continue
+            end = self._buf.find(_CRLF2)
+            if end < 0:
+                if len(self._buf) > MAX_HEADER_BYTES:
+                    raise _protocol_violation(
+                        f"header block exceeds {MAX_HEADER_BYTES} bytes"
+                    )
+                return complete
+            head = bytes(self._buf[:end])
+            del self._buf[: end + len(_CRLF2)]
+            request, body_length = self._parse_head(head)
+            if body_length:
+                self._pending = request
+                self._body_needed = body_length
+            else:
+                complete.append(request)
+
+    def _parse_head(self, head: bytes) -> tuple[HttpRequest, int]:
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError as exc:  # latin-1 never fails; defensive
+            raise _protocol_violation(f"undecodable header block: {exc}") from None
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _protocol_violation(f"malformed request line {lines[0]!r}")
+        method, target, version = parts
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise _protocol_violation(f"unsupported protocol {version!r}")
+        items: list[tuple[str, str]] = []
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep or not name.strip():
+                raise _protocol_violation(f"malformed header line {line!r}")
+            items.append((name.strip(), value.strip()))
+        headers = Headers(items)
+        if headers.get("Transfer-Encoding"):
+            raise _protocol_violation(
+                "chunked transfer encoding is not supported; send a "
+                "Content-Length body"
+            )
+        raw_length = headers.get("Content-Length")
+        if raw_length is None:
+            body_length = 0
+        else:
+            try:
+                body_length = int(raw_length)
+            except ValueError:
+                raise _protocol_violation(
+                    f"malformed Content-Length {raw_length!r}"
+                ) from None
+            if body_length < 0:
+                raise _protocol_violation(
+                    f"negative Content-Length {raw_length!r}"
+                )
+        if body_length > self.max_body_bytes:
+            # the satellite fix: refuse *here*, before buffering a byte
+            raise PayloadTooLargeError(
+                f"request body {body_length} bytes > limit "
+                f"{self.max_body_bytes}"
+            )
+        connection = (headers.get("Connection") or "").lower()
+        close = (
+            "close" in connection
+            if connection
+            else version == "HTTP/1.0"
+        )
+        request = HttpRequest(
+            method=method.upper(), target=target, headers=headers, close=close
+        )
+        return request, body_length
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+
+def serialize_response(
+    status: int,
+    body: bytes,
+    content_type: str,
+    extra_headers: dict[str, str] | None = None,
+    close: bool = False,
+) -> bytes:
+    """One full HTTP/1.1 response, keep-alive unless ``close``."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Server: {SERVER_NAME}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if close:
+        lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

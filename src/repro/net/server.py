@@ -1,34 +1,46 @@
-"""The HTTP front end: a threaded stdlib server over the serving gateway.
+"""The HTTP front end: a selector-loop server over the serving gateway.
 
 This is the process boundary the roadmap's "network serving surface"
 item asks for: requests arrive as bytes on a socket, which is what makes
-replicas, real clients and real load shedding possible. The server is
-deliberately stdlib-only (``http.server`` + ``socketserver`` threading),
-because the interesting engineering is not the HTTP parsing — it is the
+replicas, real clients and real load shedding possible. The server rides
+the runtime kernel's I/O substrate (:mod:`repro.runtime.io`) — one
+selector thread multiplexes every connection, so ten thousand idle
+keep-alive clients cost ten thousand fds, not ten thousand threads —
+because the interesting engineering is not connection plumbing but the
 three-stage request path every call walks:
 
-1. **protocol** (:mod:`repro.net.protocol`): versioned routes, auth
-   token check, ``X-Deadline-Ms`` → :class:`~repro.runtime.Deadline`,
-   bounded JSON bodies, and the structured error envelope for every
-   failure;
+1. **protocol** (:mod:`repro.net.protocol` + :mod:`repro.net.http_io`):
+   incremental HTTP/1.1 parsing on the loop thread (oversized
+   ``Content-Length`` refused with 413 *before* buffering a body byte),
+   versioned routes, auth token check, ``X-Deadline-Ms`` →
+   :class:`~repro.runtime.Deadline`, and the structured error envelope
+   for every failure;
 2. **admission** (:mod:`repro.net.admission`): per-tenant token buckets
    (429 + ``Retry-After``) and watermark shedding of best-effort traffic
    under pressure (503 + ``Retry-After``);
 3. **dispatch**: the surviving request becomes a plain
    :class:`~repro.serving.ServingGateway` /
    ``VectorService``-via-gateway call with the *remaining* deadline
-   budget — queue wait and admission burn the same clock the backend
-   sees.
+   budget, run on a small fixed worker pool (gateway calls block on
+   deadlines; the loop thread never does).
+
+Concurrency shape: parse on the loop thread, dispatch on the pool, one
+request in flight per connection (matching ``http.client``'s
+non-pipelined keep-alive), responses flushed back through the loop's
+buffered writer with write-interest toggling. Idle keep-alive
+connections are reaped by the loop after ``keepalive_idle_s`` and
+counted in ``connections_reaped`` — an abandoned client pins an fd for
+half a second, not a thread forever.
 
 The server is a :class:`repro.runtime.Service`, so a
 :class:`~repro.runtime.ServiceGroup` drains it *before* the gateway
-behind it. Drain is graceful and bounded: ``stop()`` closes the accept
-loop, requests already admitted run to completion (new requests on
-kept-alive connections get a retryable 503 ``unavailable``), and the
-server waits up to ``drain_deadline_s`` for in-flight work plus idle
-keep-alive connections to clear before closing the listener — the E21
-acceptance gate asserts zero dropped in-flight responses and zero leaked
-threads under load.
+behind it. Drain is graceful and bounded: ``stop()`` closes the
+listener, requests already admitted run to completion (new requests on
+kept-alive connections get a retryable 503 ``unavailable`` and
+``Connection: close``), idle connections are actively closed, and the
+worker pool + loop shut down only when the last response has flushed —
+the E21/E23 acceptance gates assert zero dropped in-flight responses
+and zero leaked threads or fds under load.
 
 Routes (all under ``/v1``):
 
@@ -49,20 +61,24 @@ from __future__ import annotations
 import signal
 import threading
 import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Mapping
 
 from repro.errors import ValidationError
 from repro.net.admission import AdmissionConfig, AdmissionController, Priority
+from repro.net.http_io import (
+    HttpRequest,
+    HttpRequestParser,
+    serialize_response,
+)
 from repro.net.protocol import (
     API_PREFIX,
     AuthError,
-    DEADLINE_HEADER,
     JSON_CONTENT_TYPE,
     OverloadedError,
     PROMETHEUS_CONTENT_TYPE,
-    PayloadTooLargeError,
     PRIORITY_HEADER,
     RETRY_AFTER_HEADER,
     TENANT_HEADER,
@@ -76,6 +92,7 @@ from repro.net.protocol import (
     search_result_payload,
 )
 from repro.runtime import Deadline, MetricsRegistry, Service, await_condition
+from repro.runtime.io import Connection, IoLoop, Listener
 from repro.runtime.lifecycle import LifecycleError
 from repro.serving import FreshnessPolicy
 
@@ -89,15 +106,19 @@ class ServerConfig:
     #: token -> tenant; empty mapping disables auth (tenant comes from
     #: the X-Tenant header, default "anonymous")
     auth_tokens: Mapping[str, str] = field(default_factory=dict)
+    #: max Content-Length accepted; larger requests get 413 *before*
+    #: any body byte is buffered
     max_body_bytes: int = 1_000_000
     #: budget for in-flight requests + idle keep-alive connections to
-    #: clear after the accept loop closes
+    #: clear after the listener closes
     drain_deadline_s: float = 5.0
     #: deadline applied when a request carries no X-Deadline-Ms
     default_deadline_s: float = 0.25
-    #: socket timeout for keep-alive reads — bounds how long an idle
-    #: connection can hold its handler thread during drain
+    #: idle budget for keep-alive connections — the loop reaps quieter
+    #: ones (counted in ``connections_reaped``)
     keepalive_idle_s: float = 0.5
+    #: dispatch pool size: how many gateway calls may block concurrently
+    worker_threads: int = 16
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
 
     def validate(self) -> None:
@@ -114,53 +135,38 @@ class ServerConfig:
                 f"default_deadline_s must be positive "
                 f"({self.default_deadline_s=})"
             )
+        if self.worker_threads < 1:
+            raise ValidationError(
+                f"worker_threads must be >= 1 ({self.worker_threads=})"
+            )
         self.admission.validate()
 
 
-class _HttpServer(ThreadingHTTPServer):
-    """Per-connection threads; the FeatureServer drains them itself."""
+class _Exchange:
+    """One request/response pair moving through the server.
 
-    daemon_threads = True  # drain is explicit (inflight + connection gauges)
-    block_on_close = False
-    allow_reuse_address = True
+    Presents the surface the route/dispatch code consumes (``method``,
+    ``path``, ``headers``, already-buffered ``body``) and collects the
+    response as bytes; the worker ships ``response_bytes`` through the
+    connection's buffered writer when the handler returns.
+    """
 
+    __slots__ = (
+        "method",
+        "path",
+        "headers",
+        "body",
+        "close_connection",
+        "response_bytes",
+    )
 
-class _Handler(BaseHTTPRequestHandler):
-    """Thin shim: every verb lands in ``FeatureServer._handle``."""
-
-    server_version = "repro-net/1.0"
-    protocol_version = "HTTP/1.1"
-    # response headers and body are separate send()s; without NODELAY,
-    # Nagle + the peer's delayed ACK turns every response into ~40ms
-    disable_nagle_algorithm = True
-    net: "FeatureServer" = None  # type: ignore[assignment] # bound per server
-
-    def setup(self) -> None:
-        super().setup()
-        self.timeout = self.net.config.keepalive_idle_s
-        self.connection.settimeout(self.timeout)
-        self.net._connections.inc()
-
-    def finish(self) -> None:
-        try:
-            super().finish()
-        finally:
-            self.net._connections.dec()
-
-    def do_GET(self) -> None:
-        self.net._handle(self, "GET")
-
-    def do_POST(self) -> None:
-        self.net._handle(self, "POST")
-
-    def do_PUT(self) -> None:
-        self.net._handle(self, "PUT")
-
-    def do_DELETE(self) -> None:
-        self.net._handle(self, "DELETE")
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # access logging is a metrics concern, not stderr noise
+    def __init__(self, request: HttpRequest) -> None:
+        self.method = request.method
+        self.path = request.target
+        self.headers = request.headers
+        self.body = request.body
+        self.close_connection = request.close
+        self.response_bytes = b""
 
 
 class FeatureServer(Service):
@@ -171,7 +177,7 @@ class FeatureServer(Service):
     ``VectorService`` to the gateway to serve ``/v1/vectors``.
     ``registry`` defaults to the gateway's own metrics registry — which
     makes ``GET /v1/metrics`` export the *whole* plane (serving,
-    vecserve, admission, net) through one scrape endpoint.
+    vecserve, admission, net, io) through one scrape endpoint.
 
     Unlike the historical planes this service is **not** started by its
     constructor: binding a socket is an observable side effect, so the
@@ -196,7 +202,9 @@ class FeatureServer(Service):
         self.admission = AdmissionController(
             self.config.admission, registry=self.registry
         )
-        self._httpd: _HttpServer | None = None
+        self._loop: IoLoop | None = None
+        self._listener: Listener | None = None
+        self._pool: ThreadPoolExecutor | None = None
         self._draining = threading.Event()
         self._previous_handlers: dict[int, object] = {}
         self._signal_drains = 0
@@ -204,35 +212,67 @@ class FeatureServer(Service):
         self._inflight = self.registry.gauge("net_inflight")
         self.requests = self.registry.counter("net_requests_total")
         self.completed = self.registry.counter("net_completed_total")
+        self.connections_reaped = self.registry.counter(
+            "net_connections_reaped_total"
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
     def _on_start(self) -> None:
-        handler = type("BoundHandler", (_Handler,), {"net": self})
-        self._httpd = _HttpServer(
-            (self.config.host, self.config.port), handler
+        self._loop = IoLoop(name="net-io", registry=self.registry)
+        self._loop.start()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.worker_threads,
+            thread_name_prefix="net-worker",
         )
-        self._spawn(self._httpd.serve_forever, name="net-accept-loop")
+        self._listener = self._loop.listen(
+            self.config.host,
+            self.config.port,
+            self._on_accept,
+            idle_timeout_s=self.config.keepalive_idle_s,
+        )
 
     def _on_stop(self) -> None:
-        """Graceful drain: stop accepting, finish in-flight, then close."""
-        httpd = self._httpd
-        if httpd is None:
+        """Graceful drain: stop accepting, finish in-flight, then close.
+
+        Order matters: listener first (no new connections), then wait
+        for admitted requests (draining refusals carry ``Connection:
+        close`` so their connections self-retire), then actively close
+        idle keep-alives, and only then take down the pool and loop —
+        every response flushes before its fd dies.
+        """
+        loop = self._loop
+        if loop is None:
             return
         self._draining.set()
-        httpd.shutdown()  # accept loop exits; admitted requests keep running
+        if self._listener is not None:
+            self._listener.close()
         deadline = Deadline.after(self.config.drain_deadline_s)
         await_condition(
             lambda: self._inflight.value == 0,
             timeout_s=max(deadline.remaining(), 0.0),
         )
-        httpd.server_close()  # listener gone; idle keep-alives now error out
+
+        def _close_idle() -> None:
+            for conn in loop.connections():
+                if (
+                    not getattr(conn, "busy", False)
+                    and not getattr(conn, "queue", None)
+                    and not conn.pending_out_bytes()
+                ):
+                    loop._close_connection(conn, "local")
+
+        loop.run_on_loop(_close_idle)
         await_condition(
             lambda: self._connections.value == 0,
             timeout_s=max(
                 deadline.remaining(), self.config.keepalive_idle_s + 0.5
             ),
         )
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        loop.stop()
         self._stop_event.set()
         self._join_workers()
 
@@ -248,7 +288,7 @@ class FeatureServer(Service):
         accepting while admitted requests run to completion — exactly
         what :meth:`stop` already does. The handler fires on the main
         thread, so it hands the blocking drain to a helper thread and
-        returns immediately; in-flight handler threads are untouched.
+        returns immediately; in-flight dispatch is untouched.
 
         CPython only allows installing handlers from the main thread —
         call this from ``main()`` after :meth:`start`. Previous handlers
@@ -282,9 +322,9 @@ class FeatureServer(Service):
 
     @property
     def port(self) -> int:
-        if self._httpd is None:
+        if self._listener is None:
             raise LifecycleError(f"{self.name}: not started, no bound port")
-        return self._httpd.server_address[1]
+        return self._listener.port
 
     @property
     def address(self) -> tuple[str, int]:
@@ -299,22 +339,99 @@ class FeatureServer(Service):
         record["draining"] = self.draining
         record["inflight"] = self._inflight.value
         record["open_connections"] = self._connections.value
-        if self._httpd is not None:
+        if self._listener is not None:
             record["address"] = list(self.address)
         return record
 
+    # -- connection plumbing (loop thread) -------------------------------------
+
+    def _on_accept(self, conn: Connection) -> None:
+        self._connections.inc()
+        conn.parser = HttpRequestParser(  # type: ignore[attr-defined]
+            max_body_bytes=self.config.max_body_bytes
+        )
+        conn.queue = deque()  # type: ignore[attr-defined]
+        conn.busy = False  # type: ignore[attr-defined]
+        conn.on_data = self._on_data
+        conn.on_close = self._on_conn_close
+
+    def _on_conn_close(self, conn: Connection, reason: str) -> None:
+        self._connections.dec()
+        if reason == "idle":
+            self.connections_reaped.inc()
+
+    def _on_data(self, conn: Connection, chunk: bytes) -> None:
+        try:
+            requests = conn.parser.feed(chunk)  # type: ignore[attr-defined]
+        except Exception as exc:  # noqa: BLE001 - protocol violation
+            # the stream cannot be resynchronized: envelope, then close
+            self.requests.inc()
+            status, payload = encode_error(exc)
+            self.registry.counter(
+                "net_responses_total", status=str(status)
+            ).inc()
+            conn.send(
+                serialize_response(
+                    status, dump_json(payload), JSON_CONTENT_TYPE, close=True
+                )
+            )
+            conn.close_when_drained()
+            return
+        if requests:
+            conn.queue.extend(requests)  # type: ignore[attr-defined]
+            self._pump(conn)
+
+    def _pump(self, conn: Connection) -> None:
+        """Start the next queued request unless one is already running."""
+        if conn.closed or conn.busy or not conn.queue:  # type: ignore[attr-defined]
+            return
+        request = conn.queue.popleft()  # type: ignore[attr-defined]
+        conn.busy = True  # type: ignore[attr-defined]
+        conn.reap_exempt = True  # never idle-reap mid-request
+        pool = self._pool
+        if pool is None:  # racing shutdown
+            conn.close("shutdown")
+            return
+        pool.submit(self._work, conn, request)
+
+    def _work(self, conn: Connection, request: HttpRequest) -> None:
+        """Pool thread: run the request path, ship the response."""
+        exchange = _Exchange(request)
+        try:
+            self._handle(exchange)
+        except Exception as exc:  # noqa: BLE001 - belt and braces
+            status, payload = encode_error(exc)
+            exchange.response_bytes = serialize_response(
+                status, dump_json(payload), JSON_CONTENT_TYPE, close=True
+            )
+            exchange.close_connection = True
+        conn.send(exchange.response_bytes)
+        if exchange.close_connection:
+            conn.close_when_drained()
+            return
+        loop = self._loop
+
+        def _request_done() -> None:
+            conn.busy = False  # type: ignore[attr-defined]
+            conn.reap_exempt = False
+            conn.touch()
+            self._pump(conn)
+
+        if loop is not None:
+            loop.call_soon(_request_done)
+
     # -- request path ---------------------------------------------------------
 
-    def _handle(self, handler: _Handler, method: str) -> None:
+    def _handle(self, exchange: _Exchange) -> None:
         self.requests.inc()
         route = "unmatched"
         start = time.monotonic()
         status = 500
         try:
-            route, status = self._route(handler, method)
+            route, status = self._route(exchange, exchange.method)
         except Exception as exc:  # noqa: BLE001 - every failure is an envelope
             status, payload = encode_error(exc)
-            self._respond(handler, status, payload)
+            self._respond(exchange, status, payload)
         finally:
             self.registry.histogram(
                 "net_request_latency_seconds", route=route
@@ -323,13 +440,13 @@ class FeatureServer(Service):
                 "net_responses_total", status=str(status)
             ).inc()
 
-    def _route(self, handler: _Handler, method: str) -> tuple[str, int]:
+    def _route(self, exchange: _Exchange, method: str) -> tuple[str, int]:
         """Match + dispatch; returns ``(route_label, http_status)``."""
-        path = handler.path.split("?", 1)[0].rstrip("/")
-        query = self._query(handler)
+        path = exchange.path.split("?", 1)[0].rstrip("/")
+        query = self._query(exchange)
         if not path.startswith(API_PREFIX + "/"):
             return "unmatched", self._respond(
-                handler,
+                exchange,
                 *protocol_error(
                     "unknown_route", f"no route for {path!r}", 404
                 ),
@@ -339,7 +456,7 @@ class FeatureServer(Service):
         # unauthenticated liveness first: load balancers probe it
         if parts == ["healthz"] and method == "GET":
             return "healthz", self._respond(
-                handler,
+                exchange,
                 200,
                 {
                     "status": "draining" if self.draining else "ok",
@@ -347,13 +464,13 @@ class FeatureServer(Service):
                 },
             )
 
-        tenant = self._authenticate(handler)
+        tenant = self._authenticate(exchange)
 
         if parts == ["metrics"] and method == "GET":
-            return "metrics", self._serve_metrics(handler)
+            return "metrics", self._serve_metrics(exchange)
 
-        priority = Priority.parse(handler.headers.get(PRIORITY_HEADER))
-        deadline = parse_deadline(handler.headers) or Deadline.after(
+        priority = Priority.parse(exchange.headers.get(PRIORITY_HEADER))
+        deadline = parse_deadline(exchange.headers) or Deadline.after(
             self.config.default_deadline_s
         )
 
@@ -364,7 +481,7 @@ class FeatureServer(Service):
                 LifecycleError("server is draining; retry another replica")
             )
             return "draining", self._respond(
-                handler, status, payload, close=True
+                exchange, status, payload, close=True
             )
 
         admission = self.admission.try_admit(tenant, priority)
@@ -378,7 +495,7 @@ class FeatureServer(Service):
                 exc, retry_after_s=admission.retry_after_s
             )
             return "shed", self._respond(
-                handler,
+                exchange,
                 status,
                 payload,
                 extra_headers={
@@ -388,7 +505,7 @@ class FeatureServer(Service):
 
         try:
             result = self._dispatch(
-                handler, method, parts, query, deadline, priority
+                exchange, method, parts, query, deadline, priority
             )
             self.completed.inc()
             return result
@@ -400,7 +517,7 @@ class FeatureServer(Service):
 
     def _dispatch(
         self,
-        handler: _Handler,
+        exchange: _Exchange,
         method: str,
         parts: list[str],
         query: dict[str, str],
@@ -411,15 +528,15 @@ class FeatureServer(Service):
         try:
             if parts[0] == "features" and len(parts) == 2 and method == "POST":
                 return "features_batch", self._serve_features_batch(
-                    handler, parts[1], deadline
+                    exchange, parts[1], deadline
                 )
             if parts[0] == "features" and len(parts) == 3 and method == "GET":
                 return "features_get", self._serve_feature(
-                    handler, parts[1], parts[2], query, deadline
+                    exchange, parts[1], parts[2], query, deadline
                 )
             if parts[0] == "features" and len(parts) == 3 and method == "PUT":
                 return "features_write", self._serve_write(
-                    handler, parts[1], parts[2]
+                    exchange, parts[1], parts[2]
                 )
             if (
                 parts[0] == "vectors"
@@ -428,22 +545,22 @@ class FeatureServer(Service):
                 and method == "POST"
             ):
                 return "vector_search", self._serve_vector_search(
-                    handler, parts[1], deadline
+                    exchange, parts[1], deadline
                 )
             known_prefix = parts[0] in ("features", "vectors", "metrics", "healthz")
             if known_prefix:
                 return "unmatched", self._respond(
-                    handler,
+                    exchange,
                     *protocol_error(
                         "method_not_allowed",
-                        f"{method} not allowed on {handler.path!r}",
+                        f"{method} not allowed on {exchange.path!r}",
                         405,
                     ),
                 )
             return "unmatched", self._respond(
-                handler,
+                exchange,
                 *protocol_error(
-                    "unknown_route", f"no route for {handler.path!r}", 404
+                    "unknown_route", f"no route for {exchange.path!r}", 404
                 ),
             )
         finally:
@@ -453,7 +570,7 @@ class FeatureServer(Service):
 
     def _serve_feature(
         self,
-        handler: _Handler,
+        exchange: _Exchange,
         namespace: str,
         raw_id: str,
         query: dict[str, str],
@@ -468,15 +585,15 @@ class FeatureServer(Service):
             deadline_s=max(deadline.remaining(), 0.0),
         )
         return self._respond(
-            handler,
+            exchange,
             200,
             {"namespace": namespace, "entity_id": entity_id, "features": values},
         )
 
     def _serve_features_batch(
-        self, handler: _Handler, namespace: str, deadline: Deadline
+        self, exchange: _Exchange, namespace: str, deadline: Deadline
     ) -> int:
-        body = self._read_body(handler)
+        body = self._read_body(exchange)
         entity_ids = body.get("entity_ids")
         if not isinstance(entity_ids, list):
             raise ValidationError(
@@ -490,13 +607,13 @@ class FeatureServer(Service):
             deadline_s=max(deadline.remaining(), 0.0),
         )
         return self._respond(
-            handler, 200, {"namespace": namespace, "features": values}
+            exchange, 200, {"namespace": namespace, "features": values}
         )
 
     def _serve_write(
-        self, handler: _Handler, namespace: str, raw_id: str
+        self, exchange: _Exchange, namespace: str, raw_id: str
     ) -> int:
-        body = self._read_body(handler)
+        body = self._read_body(exchange)
         values = body.get("values")
         if not isinstance(values, dict):
             raise ValidationError(
@@ -511,13 +628,13 @@ class FeatureServer(Service):
             event_time=float(event_time) if event_time is not None else time.time(),
         )
         return self._respond(
-            handler, 200, {"namespace": namespace, "entity_id": entity_id, "written": True}
+            exchange, 200, {"namespace": namespace, "entity_id": entity_id, "written": True}
         )
 
     def _serve_vector_search(
-        self, handler: _Handler, name: str, deadline: Deadline
+        self, exchange: _Exchange, name: str, deadline: Deadline
     ) -> int:
-        body = self._read_body(handler)
+        body = self._read_body(exchange)
         query_vector = body.get("query")
         if not isinstance(query_vector, list) or not query_vector:
             raise ValidationError(
@@ -534,38 +651,38 @@ class FeatureServer(Service):
             deadline_s=max(deadline.remaining(), 0.0),
         )
         return self._respond(
-            handler, 200, {"name": name, **search_result_payload(result)}
+            exchange, 200, {"name": name, **search_result_payload(result)}
         )
 
-    def _serve_metrics(self, handler: _Handler) -> int:
-        accept = handler.headers.get("Accept", "")
+    def _serve_metrics(self, exchange: _Exchange) -> int:
+        accept = exchange.headers.get("Accept", "") or ""
         if JSON_CONTENT_TYPE in accept:
             body = self.registry.to_json(indent=2).encode("utf-8")
-            return self._respond_raw(handler, 200, body, JSON_CONTENT_TYPE)
+            return self._respond_raw(exchange, 200, body, JSON_CONTENT_TYPE)
         body = self.registry.to_prometheus().encode("utf-8")
-        return self._respond_raw(handler, 200, body, PROMETHEUS_CONTENT_TYPE)
+        return self._respond_raw(exchange, 200, body, PROMETHEUS_CONTENT_TYPE)
 
     # -- request plumbing -----------------------------------------------------
 
-    def _authenticate(self, handler: _Handler) -> str:
+    def _authenticate(self, exchange: _Exchange) -> str:
         """Token check (when configured) and tenant resolution."""
         tokens = self.config.auth_tokens
         if tokens:
-            token = bearer_token(handler.headers)
+            token = bearer_token(exchange.headers)
             if token is None:
                 raise AuthError("missing bearer token")
             tenant = tokens.get(token)
             if tenant is None:
                 raise AuthError("unrecognized bearer token")
             return tenant
-        return handler.headers.get(TENANT_HEADER) or "anonymous"
+        return exchange.headers.get(TENANT_HEADER) or "anonymous"
 
     @staticmethod
-    def _query(handler: _Handler) -> dict[str, str]:
-        if "?" not in handler.path:
+    def _query(exchange: _Exchange) -> dict[str, str]:
+        if "?" not in exchange.path:
             return {}
         out: dict[str, str] = {}
-        for pair in handler.path.split("?", 1)[1].split("&"):
+        for pair in exchange.path.split("?", 1)[1].split("&"):
             if pair:
                 key, __, value = pair.partition("=")
                 out[key] = value
@@ -592,28 +709,21 @@ class FeatureServer(Service):
                 f"{sorted(p.value for p in FreshnessPolicy)}"
             ) from None
 
-    def _read_body(self, handler: _Handler) -> dict:
-        length = int(handler.headers.get("Content-Length") or 0)
-        if length > self.config.max_body_bytes:
-            # drain nothing: refuse before reading an oversized body
-            handler.close_connection = True
-            raise PayloadTooLargeError(
-                f"request body {length} bytes > limit "
-                f"{self.config.max_body_bytes}"
-            )
-        raw = handler.rfile.read(length) if length else b""
-        return parse_json_body(raw)
+    def _read_body(self, exchange: _Exchange) -> dict:
+        # size was enforced at header-parse time (413 before buffering);
+        # here the bytes are already bounded
+        return parse_json_body(exchange.body)
 
     def _respond(
         self,
-        handler: _Handler,
+        exchange: _Exchange,
         status: int,
         payload: dict,
         extra_headers: dict[str, str] | None = None,
         close: bool = False,
     ) -> int:
         return self._respond_raw(
-            handler,
+            exchange,
             status,
             dump_json(payload),
             JSON_CONTENT_TYPE,
@@ -623,28 +733,22 @@ class FeatureServer(Service):
 
     def _respond_raw(
         self,
-        handler: _Handler,
+        exchange: _Exchange,
         status: int,
         body: bytes,
         content_type: str,
         extra_headers: dict[str, str] | None = None,
         close: bool = False,
     ) -> int:
-        try:
-            handler.send_response(status)
-            handler.send_header("Content-Type", content_type)
-            handler.send_header("Content-Length", str(len(body)))
-            for key, value in (extra_headers or {}).items():
-                handler.send_header(key, value)
-            if close or self.draining:
-                handler.send_header("Connection", "close")
-                handler.close_connection = True
-            handler.end_headers()
-            handler.wfile.write(body)
-        except (BrokenPipeError, ConnectionResetError, TimeoutError):
-            # the client hung up mid-response; the request still counts
-            # as answered — nothing upstream can do better
-            handler.close_connection = True
+        if close or self.draining:
+            exchange.close_connection = True
+        exchange.response_bytes = serialize_response(
+            status,
+            body,
+            content_type,
+            extra_headers=extra_headers,
+            close=exchange.close_connection,
+        )
         return status
 
     # -- introspection --------------------------------------------------------
@@ -662,7 +766,7 @@ class FeatureServer(Service):
             if name == "net_request_latency_seconds"
         }
         return {
-            "address": list(self.address) if self._httpd else None,
+            "address": list(self.address) if self._listener else None,
             "draining": self.draining,
             "signal_drains": self._signal_drains,
             "requests": self.requests.value,
@@ -670,6 +774,7 @@ class FeatureServer(Service):
             "inflight": self._inflight.value,
             "inflight_peak": self._inflight.peak,
             "open_connections": self._connections.value,
+            "connections_reaped": self.connections_reaped.value,
             "responses_by_status": responses,
             "latency_by_route": latency,
             "admission": self.admission.snapshot(),

@@ -1,10 +1,38 @@
-"""Shared builders for the cluster plane tests."""
+"""Shared builders for the cluster plane tests.
+
+The replication suites run twice: once over :class:`LocalTransport`
+(deterministic in-process calls) and once over
+:class:`SocketTransport` (real TCP frames on the selector substrate).
+Same tests, same assertions — the transports are behavioral twins, and
+parameterizing here is what enforces it.
+"""
 
 from pathlib import Path
 
 import pytest
 
-from repro.cluster import ClusterNode, LocalTransport, NodeConfig, NodeRole
+from repro.cluster import (
+    ClusterNode,
+    LocalTransport,
+    NodeConfig,
+    NodeRole,
+    SocketTransport,
+    Transport,
+)
+from repro.runtime import Service
+
+TRANSPORT_KINDS = ("local", "socket")
+
+
+def build_transport(kind: str) -> Transport:
+    if kind == "socket":
+        return SocketTransport(name="test-transport")
+    return LocalTransport()
+
+
+def stop_transport(transport: Transport) -> None:
+    if isinstance(transport, Service) and transport.running:
+        transport.stop()
 
 
 def segment_files(log_dir: Path) -> dict[str, bytes]:
@@ -35,9 +63,10 @@ def make_pair(
     min_replica_acks: int = 1,
     segment_bytes: int = 1 << 20,
     reconcile_interval_s: float = 0.01,
+    transport_kind: str = "local",
 ):
     """A started leader/follower pair on one transport, no coordinator."""
-    transport = LocalTransport()
+    transport = build_transport(transport_kind)
     leader = ClusterNode(
         NodeConfig(
             node_id="L",
@@ -70,9 +99,18 @@ def make_pair(
     return transport, leader, follower
 
 
+@pytest.fixture(params=TRANSPORT_KINDS)
+def transport_kind(request):
+    """Parameterizes a test over both message planes."""
+    return request.param
+
+
 @pytest.fixture
-def pair(tmp_path):
-    transport, leader, follower = make_pair(tmp_path)
+def pair(tmp_path, transport_kind):
+    transport, leader, follower = make_pair(
+        tmp_path, transport_kind=transport_kind
+    )
     yield transport, leader, follower
     leader.stop()
     follower.stop()
+    stop_transport(transport)

@@ -1,5 +1,10 @@
 """Failover: kill the leader under live load, lose nothing acked.
 
+Every scenario runs over both transports (the ``transport_kind``
+fixture): the deterministic in-process ``LocalTransport`` and the real
+TCP ``SocketTransport`` — acked-write durability must not depend on the
+message plane.
+
 The acceptance scenario for the cluster plane: Zipfian writers hammer a
 replicated cluster through :class:`ClusterClient`, the shard-0 leader is
 killed mid-stream, the coordinator promotes the most-caught-up follower,
@@ -30,7 +35,7 @@ def _read_log_sequences(node) -> dict[int, tuple[int, float]]:
 
 class TestFailover:
     def test_kill_leader_under_zipfian_load_loses_no_acked_write(
-        self, tmp_path
+        self, tmp_path, transport_kind
     ):
         baseline_threads = threading.active_count()
         cluster = Cluster(
@@ -41,6 +46,7 @@ class TestFailover:
             coordinator_config=CoordinatorConfig(
                 heartbeat_interval_s=0.02, failure_threshold=3
             ),
+            transport=transport_kind,
         )
         keys = generate_zipfian_keys(
             ZipfianWorkloadConfig(n_keys=500, n_requests=4000, skew=1.0),
@@ -156,7 +162,9 @@ class TestFailover:
             timeout_s=5.0,
         ), f"threads leaked: {threading.enumerate()}"
 
-    def test_reads_keep_serving_stale_during_detection_window(self, tmp_path):
+    def test_reads_keep_serving_stale_during_detection_window(
+        self, tmp_path, transport_kind
+    ):
         """Between the leader dying and the coordinator noticing, reads
         with stale_ok drain to a follower replica (bounded-stale)."""
         cluster = Cluster(
@@ -167,6 +175,7 @@ class TestFailover:
             coordinator_config=CoordinatorConfig(
                 heartbeat_interval_s=0.5, failure_threshold=5
             ),
+            transport=transport_kind,
         )
         with cluster:
             client = cluster.client()
@@ -181,7 +190,9 @@ class TestFailover:
             assert response["role"] == "follower"
             assert client.stale_reads.value >= 1
 
-    def test_follower_death_degrades_but_keeps_writing(self, tmp_path):
+    def test_follower_death_degrades_but_keeps_writing(
+        self, tmp_path, transport_kind
+    ):
         """A dead follower must not wedge the write path: the coordinator
         reconfigures the leader's replica set and writes continue."""
         cluster = Cluster(
@@ -192,6 +203,7 @@ class TestFailover:
             coordinator_config=CoordinatorConfig(
                 heartbeat_interval_s=0.02, failure_threshold=3
             ),
+            transport=transport_kind,
         )
         with cluster:
             client = cluster.client()

@@ -11,7 +11,11 @@ from repro.errors import (
 )
 from repro.runtime import await_condition
 
-from tests.cluster.conftest import assert_logs_identical, make_pair
+from tests.cluster.conftest import (
+    assert_logs_identical,
+    make_pair,
+    stop_transport,
+)
 
 
 def _put(transport, entity_id, value, **extra):
@@ -68,11 +72,15 @@ class TestReplication:
         assert leader.ship_failures.value >= 1
         assert leader.writes_rejected.value == 1
 
-    def test_reconcile_catches_follower_up_after_partition(self, tmp_path):
+    def test_reconcile_catches_follower_up_after_partition(
+        self, tmp_path, transport_kind
+    ):
         """Writes accepted while the follower is cut off (min_acks=0)
         reach it after heal via the background reconcile loop — resumed
         from the follower's durable end offset, not from zero."""
-        transport, leader, follower = make_pair(tmp_path, min_replica_acks=0)
+        transport, leader, follower = make_pair(
+            tmp_path, min_replica_acks=0, transport_kind=transport_kind
+        )
         try:
             for eid in range(40):
                 _put(transport, eid, 1.0)
@@ -100,6 +108,7 @@ class TestReplication:
         finally:
             leader.stop()
             follower.stop()
+            stop_transport(transport)
 
     def test_promote_flips_role_and_accepts_writes(self, pair):
         transport, leader, follower = pair

@@ -1,0 +1,154 @@
+"""SocketTransport: the LocalTransport contract over real TCP.
+
+Mirrors ``test_transport.py`` assertion for assertion — the socket
+plane must be indistinguishable from the in-process one at the
+:class:`Transport` protocol level — then adds what only a real wire
+can test: bytes surviving the JSON framing, exception classes
+reconstructed across the boundary, and clean teardown.
+"""
+
+import threading
+
+import pytest
+
+from repro.cluster import Message, SocketTransport
+from repro.errors import NodeUnreachableError, WrongOwnerError
+from repro.runtime import FaultPolicy
+
+
+def _echo(message: Message) -> dict:
+    return {"kind": message.kind, "src": message.src, **message.payload}
+
+
+@pytest.fixture
+def transport():
+    transport = SocketTransport(name="unit-transport")
+    yield transport
+    if transport.running:
+        transport.stop()
+
+
+class TestSocketTransport:
+    def test_request_reaches_handler_and_returns_response(self, transport):
+        transport.register("a", _echo)
+        response = transport.request("b", "a", "ping", {"x": 1})
+        assert response == {"kind": "ping", "src": "b", "x": 1}
+        assert transport.requests.value == 1
+
+    def test_unregistered_destination_is_unreachable(self, transport):
+        transport.register("a", _echo)  # start the loop
+        with pytest.raises(NodeUnreachableError):
+            transport.request("a", "ghost", "ping")
+        assert transport.unreachable.value == 1
+
+    def test_deregister_makes_node_disappear(self, transport):
+        transport.register("a", _echo)
+        assert transport.reachable("b", "a")
+        transport.deregister("a")
+        assert not transport.reachable("b", "a")
+        with pytest.raises(NodeUnreachableError):
+            transport.request("b", "a", "ping")
+
+    def test_partition_is_symmetric_and_healable(self, transport):
+        transport.register("a", _echo)
+        transport.register("b", _echo)
+        transport.partition("a", "b")
+        for src, dst in (("a", "b"), ("b", "a")):
+            with pytest.raises(NodeUnreachableError):
+                transport.request(src, dst, "ping")
+        # third parties are unaffected
+        assert transport.request("c", "a", "ping")["src"] == "c"
+        transport.heal("a", "b")
+        assert transport.request("a", "b", "ping")["src"] == "a"
+
+    def test_handler_exceptions_cross_the_wire_typed(self, transport):
+        def boom(message: Message) -> dict:
+            raise WrongOwnerError("not the leader for that key")
+
+        transport.register("a", boom)
+        with pytest.raises(WrongOwnerError, match="not the leader"):
+            transport.request("b", "a", "ping")
+
+    def test_builtin_exceptions_reconstruct_too(self, transport):
+        def boom(message: Message) -> dict:
+            raise RuntimeError("handler exploded")
+
+        transport.register("a", boom)
+        with pytest.raises(RuntimeError, match="handler exploded"):
+            transport.request("b", "a", "ping")
+
+    def test_injected_errors_surface_as_unreachable(self, transport):
+        transport.register("a", _echo)
+        transport.set_fault(FaultPolicy(error_rate=1.0, seed=1), dst="a")
+        with pytest.raises(NodeUnreachableError):
+            transport.request("b", "a", "ping")
+        assert transport.dropped.value == 1
+
+    def test_fault_specificity_exact_link_wins_over_wildcard(self, transport):
+        transport.register("a", _echo)
+        transport.set_fault(FaultPolicy(error_rate=1.0, seed=1))
+        transport.set_fault(FaultPolicy(), src="b", dst="a")
+        assert transport.request("b", "a", "ping")["src"] == "b"
+        with pytest.raises(NodeUnreachableError):
+            transport.request("c", "a", "ping")
+        transport.clear_faults()
+        assert transport.request("c", "a", "ping")["src"] == "c"
+
+    def test_bytes_payloads_survive_the_json_framing(self, transport):
+        """Replication frames are raw bytes: the __b64__ tagging must
+        return them byte-identical, nested anywhere in the payload."""
+        blob = bytes(range(256)) * 4
+
+        def relay(message: Message) -> dict:
+            assert message.payload["frames"] == [blob]
+            return {"echo": message.payload["frames"], "n": 1}
+
+        transport.register("a", relay)
+        response = transport.request(
+            "b", "a", "replicate", {"frames": [blob], "meta": {"raw": blob}}
+        )
+        assert response["echo"] == [blob]
+
+    def test_concurrent_requests_from_many_threads(self, transport):
+        transport.register("a", _echo)
+        errors: list[Exception] = []
+
+        def caller(i: int) -> None:
+            try:
+                for j in range(20):
+                    out = transport.request("b", "a", "ping", {"i": i, "j": j})
+                    assert out["i"] == i and out["j"] == j
+            except Exception as exc:  # noqa: BLE001 - collected below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=caller, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert errors == []
+        assert transport.requests.value == 160
+
+    def test_snapshot_reports_state(self, transport):
+        transport.register("a", _echo)
+        transport.register("b", _echo)
+        transport.partition("a", "b")
+        snap = transport.snapshot()
+        assert snap["nodes"] == ["a", "b"]
+        assert snap["partitions"] == [("a", "b")]
+        assert snap["address"][0] == "127.0.0.1"
+
+    def test_stop_leaks_no_threads(self):
+        baseline = threading.active_count()
+        transport = SocketTransport(name="leak-check")
+        transport.register("a", _echo)
+        for __ in range(10):
+            transport.request("b", "a", "ping")
+        transport.stop()
+        from repro.runtime import await_condition
+
+        assert await_condition(
+            lambda: threading.active_count() <= baseline, timeout_s=5.0
+        ), f"leaked threads: {threading.enumerate()}"

@@ -1,0 +1,125 @@
+"""The incremental HTTP/1.1 parser behind the selector front end."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.net.http_io import (
+    Headers,
+    HttpRequestParser,
+    MAX_HEADER_BYTES,
+    serialize_response,
+)
+from repro.net.protocol import PayloadTooLargeError
+
+
+def parser(max_body_bytes: int = 1000) -> HttpRequestParser:
+    return HttpRequestParser(max_body_bytes=max_body_bytes)
+
+
+GET = b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+PUT = (
+    b"PUT /v1/features/ns/1 HTTP/1.1\r\nHost: x\r\n"
+    b"Content-Length: 9\r\n\r\n"
+    b'{"a": 1}\n'
+)
+
+
+class TestHeaders:
+    def test_case_insensitive_get_and_contains(self):
+        headers = Headers([("Content-Type", "a"), ("X-Deadline-Ms", "5")])
+        assert headers.get("content-type") == "a"
+        assert headers.get("CONTENT-TYPE") == "a"
+        assert "x-deadline-ms" in headers
+        assert headers.get("missing") is None
+        assert headers.get("missing", "d") == "d"
+
+
+class TestParser:
+    def test_single_request_no_body(self):
+        (request,) = parser().feed(GET)
+        assert request.method == "GET"
+        assert request.target == "/v1/healthz"
+        assert request.headers.get("Host") == "x"
+        assert request.body == b""
+        assert request.close is False
+
+    def test_body_request_any_chunking(self):
+        for step in (1, 4, len(PUT)):
+            p = parser()
+            out = []
+            for i in range(0, len(PUT), step):
+                out.extend(p.feed(PUT[i : i + step]))
+            assert len(out) == 1
+            assert out[0].method == "PUT"
+            assert out[0].body == b'{"a": 1}\n'
+
+    def test_pipelined_requests_preserve_order(self):
+        out = parser().feed(PUT + GET + PUT)
+        assert [r.method for r in out] == ["PUT", "GET", "PUT"]
+
+    def test_oversized_content_length_rejected_before_body_arrives(self):
+        """The 413 fix: the header block alone — no body byte sent —
+        triggers the rejection, so a hostile client cannot make the
+        server buffer a giant payload."""
+        p = parser(max_body_bytes=100)
+        head = (
+            b"PUT /v1/features/ns/1 HTTP/1.1\r\n"
+            b"Content-Length: 101\r\n\r\n"
+        )
+        with pytest.raises(PayloadTooLargeError):
+            p.feed(head)
+
+    def test_connection_close_semantics(self):
+        (r10,) = parser().feed(b"GET / HTTP/1.0\r\n\r\n")
+        assert r10.close is True  # 1.0 defaults to close
+        (keep,) = parser().feed(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        assert keep.close is False
+        (explicit,) = parser().feed(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert explicit.close is True
+
+    @pytest.mark.parametrize(
+        "head",
+        [
+            b"GARBAGE\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: -3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ],
+    )
+    def test_protocol_violations_raise(self, head):
+        with pytest.raises(ValidationError):
+            parser().feed(head)
+
+    def test_unbounded_header_block_is_cut_off(self):
+        p = parser()
+        with pytest.raises(ValidationError):
+            p.feed(b"GET / HTTP/1.1\r\nX-Junk: " + b"j" * MAX_HEADER_BYTES)
+
+
+class TestSerialize:
+    def test_response_shape(self):
+        raw = serialize_response(200, b'{"ok": true}', "application/json")
+        head, __, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Connection: close" not in head
+        assert body == b'{"ok": true}'
+
+    def test_close_and_extra_headers(self):
+        raw = serialize_response(
+            429,
+            b"{}",
+            "application/json",
+            extra_headers={"Retry-After": "0.5"},
+            close=True,
+        )
+        head = raw.partition(b"\r\n\r\n")[0]
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 0.5" in head
+        assert b"Connection: close" in head

@@ -10,6 +10,7 @@ wiring.
 
 import http.client
 import json
+import socket
 import time
 
 import numpy as np
@@ -31,7 +32,7 @@ from repro.net import (
     ServerConfig,
     ThrottledError,
 )
-from repro.runtime import RetryPolicy
+from repro.runtime import RetryPolicy, await_condition
 from repro.serving import FaultInjectingOnlineStore, ServingGateway
 from repro.serving.faults import FaultPolicy
 from repro.storage.online import OnlineStore
@@ -200,6 +201,51 @@ class TestProtocolEdges:
         )
         assert status == 400
         assert payload["error"]["code"] == "invalid_argument"
+
+
+class TestSelectorSubstrate:
+    """Behaviors only the selector front end has: header-time 413 and
+    idle keep-alive reaping."""
+
+    def test_oversized_content_length_rejected_before_body_sent(self, stack):
+        """The 413 arrives from the headers alone — the client never
+        gets to upload the body it declared."""
+        __, __, server = stack
+        gateway = server.gateway
+        small = FeatureServer(gateway, ServerConfig(max_body_bytes=64))
+        small.start()
+        try:
+            with socket.create_connection(small.address, timeout=5) as sock:
+                sock.sendall(
+                    b"POST /v1/features/profile HTTP/1.1\r\n"
+                    b"Content-Length: 1000000\r\n\r\n"
+                )  # headers only: the megabyte body is never sent
+                response = sock.recv(65536)
+            assert response.startswith(b"HTTP/1.1 413 ")
+            assert b'"payload_too_large"' in response
+            assert b"Connection: close" in response
+        finally:
+            small.stop()
+
+    def test_idle_keepalive_connection_is_reaped_and_counted(self, stack):
+        __, __, server = stack
+        gateway = server.gateway
+        quick = FeatureServer(gateway, ServerConfig(keepalive_idle_s=0.15))
+        quick.start()
+        try:
+            with socket.create_connection(quick.address, timeout=5) as sock:
+                sock.sendall(b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+                assert sock.recv(65536).startswith(b"HTTP/1.1 200 ")
+                # then go quiet: the loop reaps us
+                sock.settimeout(5.0)
+                assert sock.recv(1) == b""
+            # the FIN races the counter increment by a few instructions
+            assert await_condition(
+                lambda: quick.connections_reaped.value == 1, timeout_s=5.0
+            )
+            assert quick.snapshot()["connections_reaped"] == 1
+        finally:
+            quick.stop()
 
 
 class TestAuth:

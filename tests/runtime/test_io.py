@@ -1,0 +1,222 @@
+"""The selector I/O substrate: framing, the loop, and the no-leak contract.
+
+The substrate is what :mod:`repro.net` and the cluster's socket
+transport stand on, so its tests are deliberately low-level: raw client
+sockets against an :class:`IoLoop` listener, byte-exact frame
+assertions, and — the one the whole refactor is for — the churn test
+proving a thousand connect/disconnect cycles leak zero fds and zero
+threads.
+"""
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime import MetricsRegistry, await_condition
+from repro.runtime.io import (
+    FrameBuffer,
+    IoLoop,
+    MAX_FRAME_BYTES,
+    length_prefix,
+)
+
+
+def open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+def connect(port: int) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    buf = FrameBuffer()
+    while True:
+        chunk = sock.recv(65536)
+        assert chunk, "peer closed mid-frame"
+        frames = buf.feed(chunk)
+        if frames:
+            assert len(frames) == 1
+            return frames[0]
+
+
+@pytest.fixture
+def loop():
+    loop = IoLoop(name="test-io", registry=MetricsRegistry())
+    loop.start()
+    yield loop
+    if loop.running:
+        loop.stop()
+
+
+def echo_listener(loop: IoLoop, idle_timeout_s: float | None = None):
+    """Length-prefixed echo: every received frame is sent straight back."""
+
+    def on_accept(conn):
+        buf = FrameBuffer()
+
+        def on_data(c, chunk):
+            for frame in buf.feed(chunk):
+                c.send(length_prefix(frame))
+
+        conn.on_data = on_data
+
+    return loop.listen(
+        "127.0.0.1", 0, on_accept, idle_timeout_s=idle_timeout_s
+    )
+
+
+class TestFraming:
+    def test_roundtrip_through_arbitrary_chunking(self):
+        frames = [b"a", b"b" * 1000, b"", b"\x00\xff" * 300]
+        wire = b"".join(length_prefix(f) for f in frames)
+        for step in (1, 3, 7, len(wire)):
+            buf = FrameBuffer()
+            out = []
+            for i in range(0, len(wire), step):
+                out.extend(buf.feed(wire[i : i + step]))
+            assert out == frames
+            assert buf.pending_bytes == 0
+
+    def test_oversized_frame_is_refused_on_both_sides(self):
+        with pytest.raises(ValidationError):
+            length_prefix(b"x" * (MAX_FRAME_BYTES + 1))
+        buf = FrameBuffer(max_frame_bytes=64)
+        with pytest.raises(ValidationError):
+            buf.feed(length_prefix(b"y" * 65))
+
+    def test_partial_header_then_body(self):
+        wire = length_prefix(b"hello")
+        buf = FrameBuffer()
+        assert buf.feed(wire[:2]) == []
+        assert buf.feed(wire[2:5]) == []
+        assert buf.feed(wire[5:]) == [b"hello"]
+
+
+class TestIoLoop:
+    def test_echo_over_real_sockets(self, loop):
+        listener = echo_listener(loop)
+        with connect(listener.port) as sock:
+            for payload in (b"ping", b"x" * 100_000):
+                sock.sendall(length_prefix(payload))
+                assert recv_frame(sock) == payload
+
+    def test_many_concurrent_connections_one_thread(self, loop):
+        listener = echo_listener(loop)
+        socks = [connect(listener.port) for _ in range(50)]
+        try:
+            for i, sock in enumerate(socks):
+                sock.sendall(length_prefix(f"c{i}".encode()))
+            for i, sock in enumerate(socks):
+                assert recv_frame(sock) == f"c{i}".encode()
+            assert await_condition(
+                lambda: loop.connection_count == 50, timeout_s=5.0
+            )
+        finally:
+            for sock in socks:
+                sock.close()
+
+    def test_idle_connections_are_reaped_and_counted(self, loop):
+        listener = echo_listener(loop, idle_timeout_s=0.2)
+        with connect(listener.port) as sock:
+            # the peer closes us: recv returns b"" once the reaper fires
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""
+        assert loop.reaped.value >= 1
+        assert await_condition(
+            lambda: loop.connection_count == 0, timeout_s=5.0
+        )
+
+    def test_busy_connections_are_reap_exempt(self, loop):
+        listener = echo_listener(loop, idle_timeout_s=0.1)
+        with connect(listener.port) as sock:
+            assert await_condition(
+                lambda: loop.connection_count == 1, timeout_s=5.0
+            )
+            loop.run_on_loop(
+                lambda: [
+                    setattr(c, "reap_exempt", True)
+                    for c in loop.connections()
+                ]
+            )
+            time.sleep(0.4)  # several reap intervals
+            assert loop.connection_count == 1
+            sock.sendall(length_prefix(b"still here"))
+            assert recv_frame(sock) == b"still here"
+
+    def test_run_on_loop_round_trips_values_and_errors(self, loop):
+        assert loop.run_on_loop(lambda: 42) == 42
+        with pytest.raises(ZeroDivisionError):
+            loop.run_on_loop(lambda: 1 // 0)
+
+    def test_metrics_track_bytes_and_connections(self, loop):
+        listener = echo_listener(loop)
+        with connect(listener.port) as sock:
+            sock.sendall(length_prefix(b"abcd"))
+            assert recv_frame(sock) == b"abcd"
+        assert loop.bytes_read.value == 8  # 4-byte prefix + 4 payload
+        assert loop.bytes_written.value == 8
+        assert loop.accepted.value == 1
+
+    def test_stop_closes_everything_and_joins_the_thread(self):
+        baseline_threads = threading.active_count()
+        baseline_fds = open_fds()
+        loop = IoLoop(name="teardown-io", registry=MetricsRegistry())
+        loop.start()
+        listener = echo_listener(loop)
+        socks = [connect(listener.port) for _ in range(5)]
+        for sock in socks:
+            sock.sendall(length_prefix(b"hi"))
+            assert recv_frame(sock) == b"hi"
+        loop.stop()
+        for sock in socks:  # server side closed on shutdown
+            assert sock.recv(1) == b""
+            sock.close()
+        assert await_condition(
+            lambda: threading.active_count() == baseline_threads,
+            timeout_s=5.0,
+        ), f"leaked threads: {threading.enumerate()}"
+        assert open_fds() == baseline_fds
+
+
+class TestConnectionChurn:
+    def test_1k_connect_disconnect_cycles_leak_nothing(self):
+        """The acceptance gate for the substrate: a thousand short-lived
+        connections leave the process with exactly the fds and threads
+        it started with — no per-connection thread, no forgotten fd."""
+        baseline_fds = open_fds()
+        loop = IoLoop(name="churn-io", registry=MetricsRegistry())
+        loop.start()
+        listener = echo_listener(loop)
+        baseline_threads = threading.active_count()
+        try:
+            for cycle in range(1000):
+                with connect(listener.port) as sock:
+                    if cycle % 100 == 0:  # exercise the data path sometimes
+                        sock.sendall(length_prefix(b"churn"))
+                        assert recv_frame(sock) == b"churn"
+            assert threading.active_count() == baseline_threads
+            # accept is asynchronous: the client handshake completes via
+            # the kernel backlog before the loop thread accepts, so wait
+            # for the counter rather than asserting it immediately
+            assert await_condition(
+                lambda: loop.accepted.value == 1000, timeout_s=10.0
+            ), f"accepted {loop.accepted.value}/1000"
+            assert await_condition(
+                lambda: loop.connection_count == 0, timeout_s=10.0
+            ), f"{loop.connection_count} connections still open"
+        finally:
+            loop.stop()
+        # after the loop is gone: selector, wakeup pair, listener,
+        # every connection fd — all returned to the OS
+        assert await_condition(
+            lambda: threading.active_count() <= baseline_threads,
+            timeout_s=5.0,
+        ), f"leaked threads: {threading.enumerate()}"
+        assert open_fds() == baseline_fds

@@ -267,6 +267,40 @@ class TestLayering:
         ]
         assert offenders == []
 
+    def test_lint_detects_plane_importing_io_substrate(self):
+        """Rule 7: the selector loop is kernel infrastructure for the
+        socket planes — serving/storage/bus reaching for it is caught."""
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.serving.gateway", "repro.runtime.io", 1),
+            checker.ImportEdge("repro.bus.sinks", "repro.runtime.io", 2),
+            checker.ImportEdge(
+                "repro.storage.online", "repro.runtime.io", 3
+            ),
+        ]
+        violations = checker.check_edges(edges)
+        assert len(violations) == 3
+        assert all("repro.runtime.io" in v.rule for v in violations)
+
+    def test_lint_allows_io_substrate_for_socket_planes(self):
+        checker = _load_checker()
+        edges = [
+            checker.ImportEdge("repro.net.server", "repro.runtime.io", 1),
+            checker.ImportEdge(
+                "repro.cluster.socket_transport", "repro.runtime.io", 2
+            ),
+            checker.ImportEdge("repro.runtime.io", "repro.errors", 3),
+        ]
+        assert checker.check_edges(edges) == []
+
+    def test_io_substrate_not_reexported_from_runtime_root(self):
+        """Rule 7's enforcement depends on io imports being visible as
+        ``repro.runtime.io`` statements — the package root must not
+        launder them."""
+        import repro.runtime as runtime
+
+        assert "IoLoop" not in dir(runtime)
+
     def test_core_does_not_import_compiler(self):
         """The acyclicity guarantee: core → compiler would close a cycle
         with compiler → core, so the edge must not exist in the tree."""

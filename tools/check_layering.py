@@ -10,7 +10,7 @@ The unified runtime refactor gave the repo an explicit layer diagram
     serving | bus | vecserve | streaming | monitoring   (the planes)
     net | cluster                  (the top of the DAG, mutually independent)
 
-Six rules keep it a DAG:
+Seven rules keep it a DAG:
 
 1. **The runtime imports nothing above it.** Modules under
    ``repro.runtime`` may import only the stdlib, numpy, ``repro.errors``,
@@ -52,6 +52,14 @@ Six rules keep it a DAG:
    network surface and the multi-node replication plane compose in
    application code (a node can *own* a server), never by importing
    each other.
+
+7. **The I/O substrate stays in the kernel, for the socket planes.**
+   ``repro.runtime.io`` (the selector loop) is infrastructure for the
+   two planes that own real sockets: only ``repro.net``,
+   ``repro.cluster`` and the runtime itself may import it. It is
+   deliberately *not* re-exported from ``repro.runtime``'s package
+   root — a storage or serving module reaching for an event loop is a
+   design smell this rule turns into a lint failure.
 
 ``if TYPE_CHECKING:`` blocks are exempt — annotations may name
 cross-plane types without creating a runtime edge.
@@ -330,6 +338,24 @@ def check_edges(edges: list[ImportEdge]) -> list[Violation]:
                 )
             )
             continue
+        # Rule 7: the selector substrate is reserved for the kernel and
+        # the two socket-facing planes.
+        if edge.imported == "repro.runtime.io" or edge.imported.startswith(
+            "repro.runtime.io."
+        ):
+            allowed = edge.importer.startswith(
+                ("repro.runtime", "repro.net", "repro.cluster")
+            )
+            if not allowed:
+                violations.append(
+                    Violation(
+                        edge,
+                        "repro.runtime.io is kernel I/O infrastructure — "
+                        "only repro.net, repro.cluster and the runtime "
+                        "itself may import it",
+                    )
+                )
+                continue
         # Rule 2: cross-plane imports only via the package root.
         importer_plane = _plane_of(edge.importer)
         imported_plane = _plane_of(edge.imported)

@@ -4,7 +4,8 @@
 Every perf-critical subsystem ships a bench that writes a JSON document to
 ``benchmarks/results/`` (A4 columnar engine, E17 ingestion bus, E18 vector
 serving, E19 codecs, telemetry overhead, E20 pipeline compiler, E21
-network serving plane, E22 replicated cluster plane). This tool
+network serving plane, E22 replicated cluster plane, E23 selector I/O
+substrate). This tool
 folds the headline numbers of all of them into one ledger —
 ``benchmarks/results/TRAJECTORY.json`` — and enforces a floor (or ceiling)
 on each, so a future PR that quietly regresses a speedup or breaks a
@@ -194,6 +195,57 @@ BENCHES: dict[str, dict] = {
             ),
             "failover_leaked_threads": Metric(
                 lambda d: float(d["failover"]["leaked_threads"]), max=0.0
+            ),
+        },
+    },
+    "io_substrate": {
+        "source": "BENCH_io_substrate.json",
+        "metrics": {
+            # scale-independent: held every connection it opened (the
+            # absolute >=5000 bar is enforced by the bench's own
+            # check_acceptance at default scale)
+            "selector_connections_held_ratio": Metric(
+                lambda d: d["connection_scale"]["selector"][
+                    "concurrent_connections"
+                ]
+                / d["connection_scale"]["selector"]["connections"],
+                min=1.0,
+            ),
+            "selector_threads_at_peak": Metric(
+                lambda d: float(
+                    d["connection_scale"]["selector"]["threads_at_peak"]
+                ),
+                max=32.0,
+            ),
+            "baseline_threads_per_connection": Metric(
+                lambda d: d["connection_scale"]["baseline"][
+                    "threads_per_connection"
+                ],
+                min=0.9,
+            ),
+            "selector_leaked_fds": Metric(
+                lambda d: float(
+                    d["connection_scale"]["selector"]["leaked_fds"]
+                ),
+                max=0.0,
+            ),
+            "socket_replication_parity": Metric(
+                lambda d: float(
+                    d["socket_replication"]["replication_parity"]
+                ),
+                min=1.0,
+            ),
+            "socket_acked_writes_lost": Metric(
+                lambda d: float(d["socket_failover"]["acked_writes_lost"]),
+                max=0.0,
+            ),
+            "socket_failover_leaked_threads": Metric(
+                lambda d: float(d["socket_failover"]["leaked_threads"]),
+                max=0.0,
+            ),
+            "socket_failover_leaked_fds": Metric(
+                lambda d: float(d["socket_failover"]["leaked_fds"]),
+                max=0.0,
             ),
         },
     },
